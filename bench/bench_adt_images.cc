@@ -1,0 +1,107 @@
+// Ext-8: the paper's §7 motivating scenario -- "avoid processing a large
+// number of images by first selecting a few images from other data
+// source".
+//
+// A photo archive (object database; producing an image object costs 9 ms,
+// and image objects are large) joined with a small metadata catalog at a
+// relational source. The query selects a year's photos. Without bind
+// joins the optimizer must scan/ship the whole image collection; with
+// them it first evaluates the cheap metadata selection and then probes
+// only the matching images by id.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "mediator/mediator.h"
+#include "optimizer/optimizer.h"
+
+namespace disco {
+namespace {
+
+std::unique_ptr<mediator::Mediator> BuildFederation(int num_images) {
+  mediator::MediatorOptions options;
+  options.record_history = false;
+  auto med = std::make_unique<mediator::Mediator>(options);
+
+  auto img = sources::MakeObjectDbSource("photoarchive");
+  storage::Table* images = img->CreateTable(CollectionSchema(
+      "Image", {{"id", AttrType::kLong},
+                {"width", AttrType::kLong},
+                {"height", AttrType::kLong},
+                {"checksum", AttrType::kString}}));
+  Rng rng(41);
+  for (int i = 0; i < num_images; ++i) {
+    DISCO_CHECK(images
+                    ->Insert({Value(int64_t{i}),
+                              Value(rng.NextInt64(640, 4000)),
+                              Value(rng.NextInt64(480, 3000)),
+                              Value(std::string(48, 'x'))})  // blob-ish
+                    .ok());
+  }
+  DISCO_CHECK(images->CreateIndex("id").ok());
+  DISCO_CHECK(med->RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                       std::move(img),
+                                       wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+
+  auto meta = sources::MakeRelationalSource("catalog");
+  storage::Table* entries = meta->CreateTable(CollectionSchema(
+      "Meta", {{"photoId", AttrType::kLong}, {"year", AttrType::kLong}}));
+  for (int i = 0; i < num_images; ++i) {
+    DISCO_CHECK(
+        entries
+            ->Insert({Value(int64_t{i}), Value(int64_t{1980 + i % 40})})
+            .ok());
+  }
+  DISCO_CHECK(med->RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                       std::move(meta),
+                                       wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+  return med;
+}
+
+int Run() {
+  std::printf("# Ext-8: probing a few images vs processing them all (§7)\n");
+  std::printf("%-10s %-12s %14s %14s %10s   plan\n", "images", "bindjoin",
+              "estimated_s", "measured_s", "probes");
+
+  for (int num_images : {10000, 40000}) {
+    std::unique_ptr<mediator::Mediator> med = BuildFederation(num_images);
+    const std::string sql =
+        "SELECT photoId, width, height FROM Meta, Image "
+        "WHERE Meta.photoId = Image.id AND year = 2001";
+
+    auto bound = med->Analyze(sql);
+    DISCO_CHECK(bound.ok()) << bound.status().ToString();
+    costmodel::CostEstimator estimator(med->registry(), &med->catalog());
+    optimizer::Optimizer opt(&estimator, &med->capabilities());
+
+    for (bool bind : {false, true}) {
+      optimizer::OptimizerOptions options;
+      options.enable_bind_join = bind;
+      auto plan = opt.Optimize(*bound, options);
+      DISCO_CHECK(plan.ok()) << plan.status().ToString();
+      auto result = med->Execute(*plan.ValueOrDie().plan);
+      DISCO_CHECK(result.ok()) << result.status().ToString();
+
+      std::string one_line;
+      for (char c : result->plan_text) one_line += (c == '\n') ? ' ' : c;
+      std::printf("%-10d %-12s %14.1f %14.1f %10zu   %s\n", num_images,
+                  bind ? "on" : "off", plan.ValueOrDie().estimated_ms / 1000.0,
+                  result->measured_ms / 1000.0, result->tuples.size(),
+                  one_line.c_str());
+    }
+  }
+  std::printf(
+      "\nWith bind joins the mediator retrieves only the year's images by\n"
+      "id instead of producing the whole archive -- the plan the paper\n"
+      "argues accurate ADT/operation costs should enable.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace disco
+
+int main() { return disco::Run(); }

@@ -1,0 +1,143 @@
+// Ext-6: cost of the cost language itself.
+//
+// Section 2.4 argues for shipping *compiled* cost formulas: compilation
+// happens once at registration, so query optimization evaluates cheap
+// bytecode instead of re-processing rule text. This bench measures
+// (a) registration-time compilation throughput,
+// (b) evaluation of a compiled formula through the VM, and
+// (c) the naive alternative: re-parse + re-compile the rule text on
+//     every evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "costlang/compiler.h"
+#include "costlang/vm.h"
+
+namespace disco {
+namespace {
+
+const char* kYaoRule =
+    "define IO = 25;\n"
+    "define Output = 9;\n"
+    "define PageSize = 4096;\n"
+    "select(C, id <= V) {\n"
+    "  CountPage   = C.TotalSize / PageSize;\n"
+    "  CountObject = C.CountObject * (V - C.id.Min) / (C.id.Max - C.id.Min);\n"
+    "  TotalTime   = IO * CountPage * (1 - exp(-1 * (CountObject / CountPage)))\n"
+    "              + CountObject * Output;\n"
+    "}\n";
+
+/// Fixed-statistics EvalContext for formula micro-benchmarks.
+class FixedContext : public costlang::EvalContext {
+ public:
+  Result<double> InputVar(int, costlang::CostVarId var) override {
+    switch (var) {
+      case costlang::CostVarId::kCountObject: return 70000.0;
+      case costlang::CostVarId::kTotalSize: return 4096000.0;
+      case costlang::CostVarId::kObjectSize: return 56.0;
+      default: return 0.0;
+    }
+  }
+  Result<Value> InputAttrStat(int, const std::string&,
+                              costlang::AttrStatId stat) override {
+    switch (stat) {
+      case costlang::AttrStatId::kMin: return Value(0.0);
+      case costlang::AttrStatId::kMax: return Value(69999.0);
+      case costlang::AttrStatId::kCountDistinct: return Value(70000.0);
+      default: return Value(1.0);
+    }
+  }
+  Result<double> SelfVar(costlang::CostVarId) override { return 0.0; }
+  Result<Value> Binding(int) override { return Value(35000.0); }
+  Result<std::string> ImpliedAttribute() override {
+    return std::string("id");
+  }
+  Result<double> Selectivity(int, const std::optional<std::string>&,
+                             const std::optional<Value>&) override {
+    return 0.5;
+  }
+};
+
+std::string ManyRules(int n) {
+  std::string text = "define K = 3;\n";
+  for (int i = 0; i < n; ++i) {
+    text += StringPrintf(
+        "select(C, attr%d = V) { TotalTime = C.TotalTime + %d * K; }\n", i,
+        i);
+  }
+  return text;
+}
+
+void BM_CompileRuleSet(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::string text = ManyRules(n);
+  costlang::CompileSchema schema;
+  for (auto _ : state) {
+    Result<costlang::CompiledRuleSet> rules =
+        costlang::CompileRuleText(text, schema);
+    DISCO_CHECK(rules.ok()) << rules.status().ToString();
+    benchmark::DoNotOptimize(rules->rules.size());
+  }
+  state.counters["rules"] = n;
+}
+BENCHMARK(BM_CompileRuleSet)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_EvaluateCompiled(benchmark::State& state) {
+  costlang::CompileSchema schema;
+  schema.AddCollection("AtomicPart", {"id"});
+  Result<costlang::CompiledRuleSet> rules =
+      costlang::CompileRuleText(kYaoRule, schema);
+  DISCO_CHECK(rules.ok()) << rules.status().ToString();
+  const costlang::CompiledRule& rule = rules->rules[0];
+  FixedContext ctx;
+  for (auto _ : state) {
+    // Locals first (CountPage), then the TotalTime formula.
+    std::vector<Value> locals;
+    for (const costlang::CompiledLocal& local : rule.locals) {
+      Result<double> v = costlang::Execute(local.program, &ctx, locals,
+                                           rules->global_values);
+      DISCO_CHECK(v.ok()) << v.status().ToString();
+      locals.push_back(Value(*v));
+    }
+    for (const costlang::CompiledFormula& f : rule.formulas) {
+      Result<double> v =
+          costlang::Execute(f.program, &ctx, locals, rules->global_values);
+      DISCO_CHECK(v.ok()) << v.status().ToString();
+      benchmark::DoNotOptimize(*v);
+    }
+  }
+}
+BENCHMARK(BM_EvaluateCompiled);
+
+void BM_EvaluateReparsingEachTime(benchmark::State& state) {
+  costlang::CompileSchema schema;
+  schema.AddCollection("AtomicPart", {"id"});
+  FixedContext ctx;
+  for (auto _ : state) {
+    Result<costlang::CompiledRuleSet> rules =
+        costlang::CompileRuleText(kYaoRule, schema);
+    DISCO_CHECK(rules.ok());
+    const costlang::CompiledRule& rule = rules->rules[0];
+    std::vector<Value> locals;
+    for (const costlang::CompiledLocal& local : rule.locals) {
+      Result<double> v = costlang::Execute(local.program, &ctx, locals,
+                                           rules->global_values);
+      DISCO_CHECK(v.ok());
+      locals.push_back(Value(*v));
+    }
+    for (const costlang::CompiledFormula& f : rule.formulas) {
+      Result<double> v =
+          costlang::Execute(f.program, &ctx, locals, rules->global_values);
+      DISCO_CHECK(v.ok());
+      benchmark::DoNotOptimize(*v);
+    }
+  }
+}
+BENCHMARK(BM_EvaluateReparsingEachTime);
+
+}  // namespace
+}  // namespace disco
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Ext-3: the two phase-1 optimizations of Section 4.2 --
+//   (i) propagate only the *required* variables to children,
+//   (ii) cut the recursion into children from which nothing is required
+// -- measured by estimating deep plans with the optimization on and off.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "algebra/operator.h"
+#include "catalog/catalog.h"
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "costlang/compiler.h"
+#include "costmodel/estimator.h"
+#include "costmodel/generic_model.h"
+#include "costmodel/registry.h"
+
+namespace disco {
+namespace {
+
+Catalog BuildCatalog(int num_collections) {
+  Catalog catalog;
+  DISCO_CHECK(catalog.RegisterSource("src").ok());
+  for (int i = 0; i < num_collections; ++i) {
+    CollectionSchema schema(StringPrintf("C%d", i),
+                            {{"a", AttrType::kLong}, {"b", AttrType::kLong}});
+    CollectionStats stats;
+    stats.extent = ExtentStats{10000 + i, 1000000, 100};
+    AttributeStats a;
+    a.indexed = (i % 2) == 0;
+    a.count_distinct = 1000;
+    a.min = Value(int64_t{0});
+    a.max = Value(int64_t{100000});
+    stats.attributes["a"] = a;
+    stats.attributes["b"] = a;
+    DISCO_CHECK(catalog.RegisterCollection("src", schema, stats).ok());
+  }
+  return catalog;
+}
+
+/// A deep plan: a left-deep join tree of `n` collections, each side
+/// filtered.
+std::unique_ptr<algebra::Operator> DeepPlan(int n) {
+  std::unique_ptr<algebra::Operator> plan = algebra::Select(
+      algebra::Scan("C0"), "a", algebra::CmpOp::kGt, Value(int64_t{10}));
+  for (int i = 1; i < n; ++i) {
+    std::unique_ptr<algebra::Operator> rhs = algebra::Select(
+        algebra::Scan(StringPrintf("C%d", i)), "a", algebra::CmpOp::kGt,
+        Value(int64_t{10}));
+    plan = algebra::Join(std::move(plan), std::move(rhs),
+                         algebra::JoinPredicate{"b", "b"});
+  }
+  return algebra::Submit("src", std::move(plan));
+}
+
+void BM_Estimate(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const bool propagate = state.range(1) != 0;
+  Catalog catalog = BuildCatalog(depth);
+  costmodel::RuleRegistry registry;
+  DISCO_CHECK(costmodel::InstallGenericModel(&registry,
+                                             costmodel::CalibrationParams())
+                  .ok());
+  costmodel::CostEstimator estimator(&registry, &catalog);
+  std::unique_ptr<algebra::Operator> plan = DeepPlan(depth);
+
+  costmodel::EstimateOptions options;
+  options.propagate_required_vars = propagate;
+
+  int64_t formulas = 0, runs = 0;
+  for (auto _ : state) {
+    Result<costmodel::PlanEstimate> est = estimator.Estimate(*plan, options);
+    DISCO_CHECK(est.ok()) << est.status().ToString();
+    formulas += est->formulas_evaluated;
+    ++runs;
+    benchmark::DoNotOptimize(est->root.total_time());
+  }
+  state.counters["depth"] = depth;
+  state.counters["propagate_required"] = propagate ? 1 : 0;
+  state.counters["formulas_per_estimate"] =
+      runs > 0 ? static_cast<double>(formulas) / static_cast<double>(runs)
+               : 0;
+}
+BENCHMARK(BM_Estimate)
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({12, 1})
+    ->Args({12, 0})
+    ->Args({24, 1})
+    ->Args({24, 0});
+
+/// Optimization (ii) at its strongest: a root rule that needs nothing
+/// from its child cuts the whole subtree traversal.
+void BM_EstimateConstantRootRule(benchmark::State& state) {
+  const bool propagate = state.range(0) != 0;
+  Catalog catalog = BuildCatalog(16);
+  costmodel::RuleRegistry registry;
+  DISCO_CHECK(costmodel::InstallGenericModel(&registry,
+                                             costmodel::CalibrationParams())
+                  .ok());
+  // A wrapper rule answering every variable of the root join from
+  // constants: with propagation the recursion is cut at the root.
+  costlang::CompileSchema schema;
+  Result<costlang::CompiledRuleSet> rules = costlang::CompileRuleText(
+      "join(C1, C2, A1 = A2) {\n"
+      "  CountObject = 100; ObjectSize = 64; TotalSize = 6400;\n"
+      "  TimeFirst = 5; TimeNext = 1; TotalTime = 105;\n"
+      "}",
+      schema);
+  DISCO_CHECK(rules.ok()) << rules.status().ToString();
+  DISCO_CHECK(registry.AddWrapperRules("src", std::move(*rules)).ok());
+
+  costmodel::CostEstimator estimator(&registry, &catalog);
+  std::unique_ptr<algebra::Operator> plan = DeepPlan(16);
+  costmodel::EstimateOptions options;
+  options.propagate_required_vars = propagate;
+
+  int64_t nodes = 0, runs = 0;
+  for (auto _ : state) {
+    Result<costmodel::PlanEstimate> est = estimator.Estimate(*plan, options);
+    DISCO_CHECK(est.ok()) << est.status().ToString();
+    nodes += est->nodes_visited;
+    ++runs;
+  }
+  state.counters["propagate_required"] = propagate ? 1 : 0;
+  state.counters["nodes_per_estimate"] =
+      runs > 0 ? static_cast<double>(nodes) / static_cast<double>(runs) : 0;
+}
+BENCHMARK(BM_EstimateConstantRootRule)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace disco
+
+BENCHMARK_MAIN();

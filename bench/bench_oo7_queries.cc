@@ -1,0 +1,105 @@
+// Ext-9: estimate accuracy across the OO7 query classes.
+//
+// The paper's calibration baseline [GST96] was validated by running the
+// OO7 benchmark and comparing real execution times with calibrated
+// estimates. We run an OO7-style query suite through the mediator twice:
+// once with a statistics-only wrapper (the calibration setting) and once
+// with the wrapper additionally exporting its cost rules (the paper's
+// proposal), and report the estimate error per query class.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench007/oo7.h"
+#include "common/logging.h"
+#include "mediator/mediator.h"
+
+namespace disco {
+namespace {
+
+struct QueryCase {
+  const char* name;
+  std::string sql;
+};
+
+std::unique_ptr<mediator::Mediator> BuildMediator(bool blended) {
+  mediator::MediatorOptions options;
+  options.record_history = false;  // measure pure model accuracy
+  auto med = std::make_unique<mediator::Mediator>(options);
+  bench007::OO7Config config;
+  config.num_atomic_parts = 35000;
+  config.connections_per_atomic = 2;
+  config.num_composite_parts = 500;
+  config.num_documents = 500;
+  Result<std::unique_ptr<sources::DataSource>> source =
+      bench007::BuildOO7Source(config);
+  DISCO_CHECK(source.ok()) << source.status().ToString();
+  wrapper::SimulatedWrapper::Options wopts;
+  if (blended) {
+    wopts.cost_rules = bench007::Oo7YaoRuleText();
+    wopts.histogram_buckets = 32;
+  }
+  DISCO_CHECK(med->RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                       std::move(*source), wopts))
+                  .ok());
+  return med;
+}
+
+int Run() {
+  std::vector<QueryCase> queries{
+      {"Q1 exact match",
+       "SELECT id, x, y FROM AtomicPart WHERE id = 17321"},
+      {"Q2 1% range",
+       "SELECT id FROM AtomicPart WHERE buildDate <= 9"},
+      {"Q3 10% range",
+       "SELECT id FROM AtomicPart WHERE buildDate <= 99"},
+      {"Q4 doc join",
+       "SELECT title FROM Document, CompositePart "
+       "WHERE Document.id = CompositePart.documentId "
+       "AND CompositePart.id <= 49"},
+      {"Q5 conn join",
+       "SELECT length FROM AtomicPart, Connection "
+       "WHERE AtomicPart.id = Connection.fromId AND id <= 99"},
+      {"Q7 full scan", "SELECT id FROM AtomicPart"},
+      {"Q8 group-by",
+       "SELECT type, count(*) FROM AtomicPart GROUP BY type"},
+      {"idx 20% range",
+       "SELECT id FROM AtomicPart WHERE id <= 6999"},
+  };
+
+  std::printf("# Ext-9: OO7 query suite, estimate vs measured\n");
+  std::printf("%-15s %-10s %12s %12s %10s\n", "query", "model",
+              "estimated_s", "measured_s", "rel_error");
+
+  for (bool blended : {false, true}) {
+    std::unique_ptr<mediator::Mediator> med = BuildMediator(blended);
+    double sum_err = 0;
+    for (const QueryCase& q : queries) {
+      // Cold caches per query, as an isolated measurement.
+      wrapper::SimulatedWrapper* w =
+          static_cast<wrapper::SimulatedWrapper*>(med->wrapper("oo7"));
+      w->source()->env()->pool.Clear();
+
+      Result<mediator::QueryResult> r = med->Query(q.sql);
+      DISCO_CHECK(r.ok()) << q.sql << ": " << r.status().ToString();
+      double err = r->measured_ms > 0
+                       ? std::abs(r->estimated_ms - r->measured_ms) /
+                             r->measured_ms
+                       : 0;
+      sum_err += err;
+      std::printf("%-15s %-10s %12.2f %12.2f %10.3f\n", q.name,
+                  blended ? "blended" : "generic", r->estimated_ms / 1000.0,
+                  r->measured_ms / 1000.0, err);
+    }
+    std::printf("%-15s %-10s %37s mean %.3f\n\n", "", "", "",
+                sum_err / static_cast<double>(queries.size()));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace disco
+
+int main() { return disco::Run(); }

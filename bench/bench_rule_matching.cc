@@ -1,0 +1,126 @@
+// Ext-2: rule-matching overhead vs registry size.
+//
+// Section 3.3.2 worries that "the proliferation of query-specific cost
+// rules ... tends to slow down the cost estimate process" and motivates
+// the indexed ("virtual table") matcher. This bench estimates a fixed
+// plan while the registry holds growing numbers of wrapper rules at
+// predicate scope, measuring estimation time and match attempts.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "algebra/operator.h"
+#include "catalog/catalog.h"
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "costlang/compiler.h"
+#include "costmodel/estimator.h"
+#include "costmodel/generic_model.h"
+#include "costmodel/registry.h"
+
+namespace disco {
+namespace {
+
+/// Populates a registry with the generic model plus `num_rules`
+/// predicate-scope rules for collection "Employee" (each binding a
+/// distinct constant, so none match the benchmark plan's constant).
+std::unique_ptr<costmodel::RuleRegistry> BuildRegistry(int num_rules) {
+  auto registry = std::make_unique<costmodel::RuleRegistry>();
+  costmodel::CalibrationParams params;
+  DISCO_CHECK(costmodel::InstallGenericModel(registry.get(), params).ok());
+
+  costlang::CompileSchema schema;
+  schema.AddCollection("Employee", {"salary", "name"});
+  std::string text;
+  for (int i = 0; i < num_rules; ++i) {
+    text += StringPrintf(
+        "select(Employee, salary = %d) { TotalTime = %d; }\n", 1000000 + i,
+        i + 1);
+  }
+  if (!text.empty()) {
+    Result<costlang::CompiledRuleSet> rules =
+        costlang::CompileRuleText(text, schema);
+    DISCO_CHECK(rules.ok()) << rules.status().ToString();
+    DISCO_CHECK(registry->AddWrapperRules("src", std::move(*rules)).ok());
+  }
+  return registry;
+}
+
+Catalog BuildCatalog() {
+  Catalog catalog;
+  DISCO_CHECK(catalog.RegisterSource("src").ok());
+  CollectionSchema schema("Employee", {{"salary", AttrType::kLong},
+                                       {"name", AttrType::kString}});
+  CollectionStats stats;
+  stats.extent = ExtentStats{100000, 12000000, 120};
+  AttributeStats salary;
+  salary.indexed = true;
+  salary.count_distinct = 5000;
+  salary.min = Value(int64_t{0});
+  salary.max = Value(int64_t{200000});
+  stats.attributes["salary"] = salary;
+  DISCO_CHECK(catalog.RegisterCollection("src", schema, stats).ok());
+  return catalog;
+}
+
+void BM_EstimateWithRules(benchmark::State& state) {
+  const int num_rules = static_cast<int>(state.range(0));
+  std::unique_ptr<costmodel::RuleRegistry> registry =
+      BuildRegistry(num_rules);
+  Catalog catalog = BuildCatalog();
+  costmodel::CostEstimator estimator(registry.get(), &catalog);
+
+  std::unique_ptr<algebra::Operator> plan = algebra::Submit(
+      "src", algebra::Select(algebra::Scan("Employee"), "salary",
+                             algebra::CmpOp::kEq, Value(int64_t{77})));
+
+  int64_t match_attempts = 0;
+  int64_t estimates = 0;
+  for (auto _ : state) {
+    Result<costmodel::PlanEstimate> est = estimator.Estimate(*plan);
+    DISCO_CHECK(est.ok()) << est.status().ToString();
+    match_attempts += est->match_attempts;
+    ++estimates;
+    benchmark::DoNotOptimize(est->root.total_time());
+  }
+  state.counters["rules"] = num_rules;
+  state.counters["match_attempts_per_estimate"] =
+      estimates > 0 ? static_cast<double>(match_attempts) /
+                          static_cast<double>(estimates)
+                    : 0;
+}
+BENCHMARK(BM_EstimateWithRules)->Arg(0)->Arg(16)->Arg(256)->Arg(4096);
+
+/// A matching predicate-scope rule among many non-matching ones: the
+/// winning level must still be found quickly.
+void BM_EstimateMatchingRule(benchmark::State& state) {
+  const int num_rules = static_cast<int>(state.range(0));
+  std::unique_ptr<costmodel::RuleRegistry> registry =
+      BuildRegistry(num_rules);
+  // The rule that actually matches salary = 77.
+  costlang::CompileSchema schema;
+  schema.AddCollection("Employee", {"salary", "name"});
+  Result<costlang::CompiledRuleSet> rules = costlang::CompileRuleText(
+      "select(Employee, salary = 77) { TotalTime = 5; }", schema);
+  DISCO_CHECK(rules.ok());
+  DISCO_CHECK(registry->AddWrapperRules("src", std::move(*rules)).ok());
+
+  Catalog catalog = BuildCatalog();
+  costmodel::CostEstimator estimator(registry.get(), &catalog);
+  std::unique_ptr<algebra::Operator> plan = algebra::Submit(
+      "src", algebra::Select(algebra::Scan("Employee"), "salary",
+                             algebra::CmpOp::kEq, Value(int64_t{77})));
+  for (auto _ : state) {
+    Result<costmodel::PlanEstimate> est = estimator.Estimate(*plan);
+    DISCO_CHECK(est.ok());
+    benchmark::DoNotOptimize(est->root.total_time());
+  }
+  state.counters["rules"] = num_rules;
+}
+BENCHMARK(BM_EstimateMatchingRule)->Arg(16)->Arg(4096);
+
+}  // namespace
+}  // namespace disco
+
+BENCHMARK_MAIN();

@@ -1,0 +1,187 @@
+// disco_shell: an interactive mediator console over a demo federation.
+//
+//   ./build/examples/disco_shell            # interactive
+//   echo "SELECT count(*) FROM AtomicPart" | ./build/examples/disco_shell
+//
+// Commands:
+//   <SQL>            optimize + execute, print rows and costs
+//   \plan <SQL>      optimize only, print the chosen plan + estimate
+//   \explain <SQL>   per-node winning cost rules of the chosen plan
+//   \catalog         registered sources, collections and statistics
+//   \rules           the cost-rule hierarchy (Figure 10, rendered)
+//   \history         recorded query-scope entries
+//   \help, \quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "algebra/plan_printer.h"
+#include "bench007/oo7.h"
+#include "common/str_util.h"
+#include "mediator/mediator.h"
+
+namespace {
+
+using disco::mediator::Mediator;
+
+void Fail(const disco::Status& s) {
+  std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+  std::exit(1);
+}
+
+std::unique_ptr<Mediator> BuildDemoFederation() {
+  auto med = std::make_unique<Mediator>();
+
+  disco::bench007::OO7Config config;
+  config.num_atomic_parts = 14000;
+  config.num_composite_parts = 200;
+  config.connections_per_atomic = 2;
+  config.num_documents = 200;
+  auto oo7 = disco::bench007::BuildOO7Source(config);
+  if (!oo7.ok()) Fail(oo7.status());
+  disco::wrapper::SimulatedWrapper::Options oo7_opts;
+  oo7_opts.cost_rules = disco::bench007::Oo7YaoRuleText();
+  if (auto s = med->RegisterWrapper(
+          std::make_unique<disco::wrapper::SimulatedWrapper>(std::move(*oo7),
+                                                             oo7_opts));
+      !s.ok()) {
+    Fail(s);
+  }
+
+  auto erp = disco::sources::MakeRelationalSource("erp");
+  disco::storage::Table* suppliers = erp->CreateTable(disco::CollectionSchema(
+      "Supplier", {{"sid", disco::AttrType::kLong},
+                   {"partType", disco::AttrType::kString},
+                   {"region", disco::AttrType::kString}}));
+  for (int i = 0; i < 1000; ++i) {
+    if (auto s = suppliers->Insert(
+            {disco::Value(int64_t{i}),
+             disco::Value("t" + std::to_string(i % 10)),
+             disco::Value(std::string(i % 3 ? "europe" : "asia"))});
+        !s.ok()) {
+      Fail(s);
+    }
+  }
+  if (auto s = suppliers->CreateIndex("sid"); !s.ok()) Fail(s);
+  disco::wrapper::SimulatedWrapper::Options erp_opts;
+  erp_opts.histogram_buckets = 32;
+  if (auto s = med->RegisterWrapper(
+          std::make_unique<disco::wrapper::SimulatedWrapper>(std::move(erp),
+                                                             erp_opts));
+      !s.ok()) {
+    Fail(s);
+  }
+  return med;
+}
+
+void PrintCatalog(const Mediator& med) {
+  for (const std::string& source : med.catalog().Sources()) {
+    std::printf("source %s\n", source.c_str());
+    for (const std::string& coll : med.catalog().CollectionsOf(source)) {
+      auto entry = med.catalog().Collection(coll);
+      if (!entry.ok()) continue;
+      std::printf("  %s  %s\n", entry->schema.ToString().c_str(),
+                  entry->stats.extent.ToString().c_str());
+      for (const auto& [attr, stats] : entry->stats.attributes) {
+        std::printf("    .%s %s\n", attr.c_str(), stats.ToString().c_str());
+      }
+    }
+  }
+}
+
+void PrintRows(const disco::mediator::QueryResult& result, size_t limit) {
+  for (const std::string& c : result.columns) std::printf("%-18s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < result.tuples.size() && i < limit; ++i) {
+    for (const disco::Value& v : result.tuples[i]) {
+      std::printf("%-18s", v.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (result.tuples.size() > limit) {
+    std::printf("... (%zu rows total)\n", result.tuples.size());
+  }
+}
+
+int Repl() {
+  std::unique_ptr<Mediator> med = BuildDemoFederation();
+  std::printf(
+      "disco shell -- demo federation: oo7 (AtomicPart, CompositePart,\n"
+      "Connection, Document; Yao cost rules) + erp (Supplier; histograms).\n"
+      "Type SQL, or \\help.\n");
+
+  std::string line;
+  while (true) {
+    std::printf("disco> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string input(disco::StripWhitespace(line));
+    if (input.empty()) continue;
+
+    if (input == "\\quit" || input == "\\q") break;
+    if (input == "\\help") {
+      std::printf(
+          "  <SQL>          run a query\n"
+          "  \\plan <SQL>    show the chosen plan without executing\n"
+          "  \\explain <SQL> per-node winning cost rules\n"
+          "  \\catalog       sources, collections, statistics\n"
+          "  \\rules         the cost-rule scope hierarchy\n"
+          "  \\history       recorded subquery costs\n"
+          "  \\quit          leave\n");
+      continue;
+    }
+    if (input == "\\catalog") {
+      PrintCatalog(*med);
+      continue;
+    }
+    if (input == "\\rules") {
+      std::printf("%s", med->registry()->Describe().c_str());
+      continue;
+    }
+    if (input == "\\history") {
+      std::printf("%d query-scope entries, %d observations\n",
+                  med->registry()->num_query_entries(),
+                  med->history()->num_observations());
+      continue;
+    }
+    if (disco::StartsWith(input, "\\explain ")) {
+      auto text = med->Explain(input.substr(9));
+      if (!text.ok()) {
+        std::printf("error: %s\n", text.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", text->c_str());
+      continue;
+    }
+    if (disco::StartsWith(input, "\\plan ")) {
+      auto plan = med->Plan(input.substr(6));
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", disco::algebra::PrintPlan(*plan->plan).c_str());
+      std::printf("estimated: %.1f ms  (%d candidate plans costed)\n",
+                  plan->estimated_ms, plan->stats.plans_costed);
+      continue;
+    }
+    if (input[0] == '\\') {
+      std::printf("unknown command; try \\help\n");
+      continue;
+    }
+
+    auto result = med->Query(input);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintRows(*result, 20);
+    std::printf("estimated %.1f ms, measured %.1f ms (simulated)\n",
+                result->estimated_ms, result->measured_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Repl(); }

@@ -1,0 +1,347 @@
+#include "algebra/operator.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace disco {
+namespace algebra {
+
+const char* OpKindToString(OpKind k) {
+  switch (k) {
+    case OpKind::kScan: return "scan";
+    case OpKind::kSelect: return "select";
+    case OpKind::kProject: return "project";
+    case OpKind::kSort: return "sort";
+    case OpKind::kDedup: return "dedup";
+    case OpKind::kAggregate: return "aggregate";
+    case OpKind::kJoin: return "join";
+    case OpKind::kUnion: return "union";
+    case OpKind::kSubmit: return "submit";
+    case OpKind::kBindJoin: return "bindjoin";
+  }
+  return "?";
+}
+
+Result<OpKind> OpKindFromName(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "scan") return OpKind::kScan;
+  if (n == "select") return OpKind::kSelect;
+  if (n == "project") return OpKind::kProject;
+  if (n == "sort") return OpKind::kSort;
+  if (n == "dedup" || n == "unique") return OpKind::kDedup;
+  if (n == "aggregate" || n == "agg") return OpKind::kAggregate;
+  if (n == "join") return OpKind::kJoin;
+  if (n == "union") return OpKind::kUnion;
+  if (n == "submit") return OpKind::kSubmit;
+  if (n == "bindjoin") return OpKind::kBindJoin;
+  return Status::ParseError("unknown operator '" + name + "'");
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+  }
+  return "?";
+}
+
+std::unique_ptr<Operator> Operator::Clone() const {
+  auto out = std::make_unique<Operator>();
+  out->kind = kind;
+  out->collection = collection;
+  out->select_pred = select_pred;
+  out->project_attrs = project_attrs;
+  out->sort_attr = sort_attr;
+  out->sort_ascending = sort_ascending;
+  out->agg_func = agg_func;
+  out->agg_attr = agg_attr;
+  out->group_by = group_by;
+  out->join_pred = join_pred;
+  out->source = source;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+Status Operator::CheckWellFormed() const {
+  auto arity_error = [&](int expected) {
+    return Status::InvalidArgument(
+        StringPrintf("%s expects %d child(ren), has %d", OpKindToString(kind),
+                     expected, num_children()));
+  };
+  switch (kind) {
+    case OpKind::kScan:
+      if (num_children() != 0) return arity_error(0);
+      if (collection.empty()) {
+        return Status::InvalidArgument("scan without a collection name");
+      }
+      break;
+    case OpKind::kSelect:
+      if (num_children() != 1) return arity_error(1);
+      if (!select_pred.has_value()) {
+        return Status::InvalidArgument("select without a predicate");
+      }
+      break;
+    case OpKind::kProject:
+      if (num_children() != 1) return arity_error(1);
+      if (project_attrs.empty()) {
+        return Status::InvalidArgument("project without attributes");
+      }
+      break;
+    case OpKind::kSort:
+      if (num_children() != 1) return arity_error(1);
+      if (sort_attr.empty()) {
+        return Status::InvalidArgument("sort without an attribute");
+      }
+      break;
+    case OpKind::kDedup:
+      if (num_children() != 1) return arity_error(1);
+      break;
+    case OpKind::kAggregate:
+      if (num_children() != 1) return arity_error(1);
+      if (agg_func != AggFunc::kCount && agg_attr.empty()) {
+        return Status::InvalidArgument("aggregate without an attribute");
+      }
+      break;
+    case OpKind::kJoin:
+      if (num_children() != 2) return arity_error(2);
+      if (!join_pred.has_value()) {
+        return Status::InvalidArgument("join without a predicate");
+      }
+      break;
+    case OpKind::kUnion:
+      if (num_children() != 2) return arity_error(2);
+      break;
+    case OpKind::kSubmit:
+      if (num_children() != 1) return arity_error(1);
+      if (source.empty()) {
+        return Status::InvalidArgument("submit without a source name");
+      }
+      if (child(0).kind == OpKind::kSubmit) {
+        return Status::InvalidArgument("nested submit");
+      }
+      break;
+    case OpKind::kBindJoin:
+      if (num_children() != 1) return arity_error(1);
+      if (source.empty() || collection.empty()) {
+        return Status::InvalidArgument(
+            "bindjoin needs a source and a collection to probe");
+      }
+      if (!join_pred.has_value()) {
+        return Status::InvalidArgument("bindjoin without a predicate");
+      }
+      break;
+  }
+  for (const auto& c : children) DISCO_RETURN_NOT_OK(c->CheckWellFormed());
+  return Status::OK();
+}
+
+std::string Operator::ToString() const {
+  std::string out = OpKindToString(kind);
+  out += "(";
+  std::vector<std::string> parts;
+  if (kind == OpKind::kSubmit) parts.push_back("@" + source);
+  if (kind == OpKind::kBindJoin) {
+    parts.push_back("@" + source + "." + collection);
+  }
+  for (const auto& c : children) parts.push_back(c->ToString());
+  switch (kind) {
+    case OpKind::kScan:
+      parts.push_back(collection);
+      break;
+    case OpKind::kSelect:
+      parts.push_back(select_pred->ToString());
+      break;
+    case OpKind::kProject:
+      parts.push_back(JoinStrings(project_attrs, ", "));
+      break;
+    case OpKind::kSort:
+      parts.push_back(sort_attr + (sort_ascending ? " asc" : " desc"));
+      break;
+    case OpKind::kAggregate: {
+      std::string a = AggFuncToString(agg_func);
+      a += "(" + (agg_attr.empty() ? std::string("*") : agg_attr) + ")";
+      if (!group_by.empty()) a += " by " + JoinStrings(group_by, ", ");
+      parts.push_back(std::move(a));
+      break;
+    }
+    case OpKind::kJoin:
+    case OpKind::kBindJoin:
+      parts.push_back(join_pred->ToString());
+      break;
+    default:
+      break;
+  }
+  out += JoinStrings(parts, ", ");
+  out += ")";
+  return out;
+}
+
+bool Operator::Equals(const Operator& other) const {
+  if (kind != other.kind || num_children() != other.num_children()) {
+    return false;
+  }
+  if (collection != other.collection || source != other.source) return false;
+  if (select_pred.has_value() != other.select_pred.has_value()) return false;
+  if (select_pred.has_value() && !(*select_pred == *other.select_pred)) {
+    return false;
+  }
+  if (join_pred.has_value() != other.join_pred.has_value()) return false;
+  if (join_pred.has_value() && !(*join_pred == *other.join_pred)) return false;
+  if (project_attrs != other.project_attrs || sort_attr != other.sort_attr ||
+      sort_ascending != other.sort_ascending || agg_func != other.agg_func ||
+      agg_attr != other.agg_attr || group_by != other.group_by) {
+    return false;
+  }
+  for (int i = 0; i < num_children(); ++i) {
+    if (!child(i).Equals(other.child(i))) return false;
+  }
+  return true;
+}
+
+size_t Operator::Hash() const {
+  size_t h = static_cast<size_t>(kind) * 0x9e3779b97f4a7c15ULL;
+  h = HashCombine(h, std::hash<std::string>()(collection));
+  h = HashCombine(h, std::hash<std::string>()(source));
+  if (select_pred.has_value()) {
+    h = HashCombine(h, std::hash<std::string>()(select_pred->attribute));
+    h = HashCombine(h, static_cast<size_t>(select_pred->op));
+    h = HashCombine(h, select_pred->value.Hash());
+  }
+  if (join_pred.has_value()) {
+    h = HashCombine(h, std::hash<std::string>()(join_pred->left_attribute));
+    h = HashCombine(h, std::hash<std::string>()(join_pred->right_attribute));
+  }
+  for (const std::string& a : project_attrs) {
+    h = HashCombine(h, std::hash<std::string>()(a));
+  }
+  h = HashCombine(h, std::hash<std::string>()(sort_attr));
+  h = HashCombine(h, static_cast<size_t>(agg_func));
+  h = HashCombine(h, std::hash<std::string>()(agg_attr));
+  for (const std::string& a : group_by) {
+    h = HashCombine(h, std::hash<std::string>()(a));
+  }
+  for (const auto& c : children) h = HashCombine(h, c->Hash());
+  return h;
+}
+
+std::vector<std::string> Operator::BaseCollections() const {
+  std::vector<std::string> out;
+  if (kind == OpKind::kScan) {
+    out.push_back(collection);
+    return out;
+  }
+  for (const auto& c : children) {
+    std::vector<std::string> sub = c->BaseCollections();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  if (kind == OpKind::kBindJoin) out.push_back(collection);
+  return out;
+}
+
+std::string Operator::FirstBaseCollection() const {
+  if (kind == OpKind::kScan) return collection;
+  for (const auto& c : children) {
+    std::string sub = c->FirstBaseCollection();
+    if (!sub.empty()) return sub;
+  }
+  return "";
+}
+
+std::unique_ptr<Operator> Scan(std::string collection) {
+  auto op = std::make_unique<Operator>(OpKind::kScan);
+  op->collection = std::move(collection);
+  return op;
+}
+
+std::unique_ptr<Operator> Select(std::unique_ptr<Operator> input,
+                                 SelectPredicate pred) {
+  auto op = std::make_unique<Operator>(OpKind::kSelect);
+  op->children.push_back(std::move(input));
+  op->select_pred = std::move(pred);
+  return op;
+}
+
+std::unique_ptr<Operator> Select(std::unique_ptr<Operator> input,
+                                 std::string attribute, CmpOp cmp,
+                                 Value value) {
+  return Select(std::move(input),
+                SelectPredicate{std::move(attribute), cmp, std::move(value)});
+}
+
+std::unique_ptr<Operator> Project(std::unique_ptr<Operator> input,
+                                  std::vector<std::string> attrs) {
+  auto op = std::make_unique<Operator>(OpKind::kProject);
+  op->children.push_back(std::move(input));
+  op->project_attrs = std::move(attrs);
+  return op;
+}
+
+std::unique_ptr<Operator> Sort(std::unique_ptr<Operator> input,
+                               std::string attr, bool ascending) {
+  auto op = std::make_unique<Operator>(OpKind::kSort);
+  op->children.push_back(std::move(input));
+  op->sort_attr = std::move(attr);
+  op->sort_ascending = ascending;
+  return op;
+}
+
+std::unique_ptr<Operator> Dedup(std::unique_ptr<Operator> input) {
+  auto op = std::make_unique<Operator>(OpKind::kDedup);
+  op->children.push_back(std::move(input));
+  return op;
+}
+
+std::unique_ptr<Operator> Aggregate(std::unique_ptr<Operator> input,
+                                    AggFunc func, std::string attr,
+                                    std::vector<std::string> group_by) {
+  auto op = std::make_unique<Operator>(OpKind::kAggregate);
+  op->children.push_back(std::move(input));
+  op->agg_func = func;
+  op->agg_attr = std::move(attr);
+  op->group_by = std::move(group_by);
+  return op;
+}
+
+std::unique_ptr<Operator> Join(std::unique_ptr<Operator> left,
+                               std::unique_ptr<Operator> right,
+                               JoinPredicate pred) {
+  auto op = std::make_unique<Operator>(OpKind::kJoin);
+  op->children.push_back(std::move(left));
+  op->children.push_back(std::move(right));
+  op->join_pred = std::move(pred);
+  return op;
+}
+
+std::unique_ptr<Operator> Union(std::unique_ptr<Operator> left,
+                                std::unique_ptr<Operator> right) {
+  auto op = std::make_unique<Operator>(OpKind::kUnion);
+  op->children.push_back(std::move(left));
+  op->children.push_back(std::move(right));
+  return op;
+}
+
+std::unique_ptr<Operator> Submit(std::string source,
+                                 std::unique_ptr<Operator> subplan) {
+  auto op = std::make_unique<Operator>(OpKind::kSubmit);
+  op->source = std::move(source);
+  op->children.push_back(std::move(subplan));
+  return op;
+}
+
+std::unique_ptr<Operator> BindJoin(std::unique_ptr<Operator> left,
+                                   std::string source, std::string collection,
+                                   JoinPredicate pred) {
+  auto op = std::make_unique<Operator>(OpKind::kBindJoin);
+  op->children.push_back(std::move(left));
+  op->source = std::move(source);
+  op->collection = std::move(collection);
+  op->join_pred = std::move(pred);
+  return op;
+}
+
+}  // namespace algebra
+}  // namespace disco

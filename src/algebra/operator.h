@@ -1,0 +1,146 @@
+// The mediator logical algebra (paper Section 2.2).
+//
+// "the mediator algebra covers the following common operators: unary
+// operators including scan, select, project, sort; binary operators
+// including join, union; aggregate operators ...; plus an operator submit
+// that is used to model the issuing of a subplan to a wrapper."
+
+#ifndef DISCO_ALGEBRA_OPERATOR_H_
+#define DISCO_ALGEBRA_OPERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "common/result.h"
+
+namespace disco {
+namespace algebra {
+
+enum class OpKind {
+  kScan = 0,
+  kSelect,
+  kProject,
+  kSort,
+  kDedup,
+  kAggregate,
+  kJoin,
+  kUnion,
+  kSubmit,
+  /// Bind join (extension, cf. paper §7): the mediator evaluates the
+  /// left input, then probes `collection` at `source` once per distinct
+  /// join key -- "selecting a few images from [the] other data source"
+  /// instead of shipping or scanning the whole inner collection.
+  kBindJoin,
+};
+constexpr int kNumOpKinds = 10;
+
+const char* OpKindToString(OpKind k);
+
+/// Parses an operator name as used in rule heads ("scan", "select", ...),
+/// case-insensitive.
+Result<OpKind> OpKindFromName(const std::string& name);
+
+/// Aggregate functions of the algebra's aggregate operator.
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncToString(AggFunc f);
+
+/// A node of a logical plan tree. Which fields are meaningful depends on
+/// `kind`; CheckWellFormed() validates the shape.
+///
+/// Plans own their children (unique_ptr); Clone() deep-copies.
+struct Operator {
+  OpKind kind = OpKind::kScan;
+  std::vector<std::unique_ptr<Operator>> children;
+
+  // kScan
+  std::string collection;
+
+  // kSelect
+  std::optional<SelectPredicate> select_pred;
+
+  // kProject
+  std::vector<std::string> project_attrs;
+
+  // kSort
+  std::string sort_attr;
+  bool sort_ascending = true;
+
+  // kAggregate
+  AggFunc agg_func = AggFunc::kCount;
+  std::string agg_attr;                 ///< empty for COUNT(*)
+  std::vector<std::string> group_by;    ///< empty for scalar aggregate
+
+  // kJoin, kBindJoin
+  std::optional<JoinPredicate> join_pred;
+
+  // kSubmit: wrapper that executes the child subplan.
+  // kBindJoin: wrapper owning the probed collection (`collection` holds
+  // the collection name).
+  std::string source;
+
+  Operator() = default;
+  explicit Operator(OpKind k) : kind(k) {}
+
+  int num_children() const { return static_cast<int>(children.size()); }
+  const Operator& child(int i) const { return *children[static_cast<size_t>(i)]; }
+  Operator& child(int i) { return *children[static_cast<size_t>(i)]; }
+
+  std::unique_ptr<Operator> Clone() const;
+
+  /// Validates arity and required fields for this node and its subtree.
+  Status CheckWellFormed() const;
+
+  /// Canonical single-line rendering, e.g.
+  /// `select(scan(Employee), salary = 10)`. Used for display and as the
+  /// identity key of query-scope (historical) rules.
+  std::string ToString() const;
+
+  /// Structural equality (same tree, same parameters).
+  bool Equals(const Operator& other) const;
+
+  /// Structural hash consistent with Equals.
+  size_t Hash() const;
+
+  /// The set of base collections scanned in this subtree, in scan order.
+  std::vector<std::string> BaseCollections() const;
+
+  /// For provenance-based statistic lookup: the first base collection in
+  /// this subtree ("" if none).
+  std::string FirstBaseCollection() const;
+};
+
+// ---- Construction helpers --------------------------------------------
+
+std::unique_ptr<Operator> Scan(std::string collection);
+std::unique_ptr<Operator> Select(std::unique_ptr<Operator> input,
+                                 SelectPredicate pred);
+std::unique_ptr<Operator> Select(std::unique_ptr<Operator> input,
+                                 std::string attribute, CmpOp op, Value value);
+std::unique_ptr<Operator> Project(std::unique_ptr<Operator> input,
+                                  std::vector<std::string> attrs);
+std::unique_ptr<Operator> Sort(std::unique_ptr<Operator> input,
+                               std::string attr, bool ascending = true);
+std::unique_ptr<Operator> Dedup(std::unique_ptr<Operator> input);
+std::unique_ptr<Operator> Aggregate(std::unique_ptr<Operator> input,
+                                    AggFunc func, std::string attr,
+                                    std::vector<std::string> group_by = {});
+std::unique_ptr<Operator> Join(std::unique_ptr<Operator> left,
+                               std::unique_ptr<Operator> right,
+                               JoinPredicate pred);
+std::unique_ptr<Operator> Union(std::unique_ptr<Operator> left,
+                                std::unique_ptr<Operator> right);
+std::unique_ptr<Operator> Submit(std::string source,
+                                 std::unique_ptr<Operator> subplan);
+/// Bind join: probe `collection`@`source` per distinct left key.
+std::unique_ptr<Operator> BindJoin(std::unique_ptr<Operator> left,
+                                   std::string source, std::string collection,
+                                   JoinPredicate pred);
+
+}  // namespace algebra
+}  // namespace disco
+
+#endif  // DISCO_ALGEBRA_OPERATOR_H_

@@ -1,0 +1,60 @@
+#include "algebra/plan_printer.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace algebra {
+
+/// One-line label for a node, without children.
+std::string NodeLabel(const Operator& op) {
+  switch (op.kind) {
+    case OpKind::kScan:
+      return "scan(" + op.collection + ")";
+    case OpKind::kSelect:
+      return "select(" + op.select_pred->ToString() + ")";
+    case OpKind::kProject:
+      return "project(" + JoinStrings(op.project_attrs, ", ") + ")";
+    case OpKind::kSort:
+      return "sort(" + op.sort_attr +
+             (op.sort_ascending ? " asc)" : " desc)");
+    case OpKind::kDedup:
+      return "dedup";
+    case OpKind::kAggregate: {
+      std::string s = "aggregate(";
+      s += AggFuncToString(op.agg_func);
+      s += "(" + (op.agg_attr.empty() ? std::string("*") : op.agg_attr) + ")";
+      if (!op.group_by.empty()) s += " by " + JoinStrings(op.group_by, ", ");
+      return s + ")";
+    }
+    case OpKind::kJoin:
+      return "join(" + op.join_pred->ToString() + ")";
+    case OpKind::kUnion:
+      return "union";
+    case OpKind::kSubmit:
+      return "submit(@" + op.source + ")";
+    case OpKind::kBindJoin:
+      return "bindjoin(@" + op.source + "." + op.collection + ", " +
+             op.join_pred->ToString() + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+void PrintRec(const Operator& op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(NodeLabel(op));
+  out->push_back('\n');
+  for (const auto& c : op.children) PrintRec(*c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string PrintPlan(const Operator& plan) {
+  std::string out;
+  PrintRec(plan, 0, &out);
+  return out;
+}
+
+}  // namespace algebra
+}  // namespace disco

@@ -1,0 +1,29 @@
+// Multi-line, indented rendering of plan trees for humans.
+
+#ifndef DISCO_ALGEBRA_PLAN_PRINTER_H_
+#define DISCO_ALGEBRA_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "algebra/operator.h"
+
+namespace disco {
+namespace algebra {
+
+/// Pretty-prints `plan` as an indented tree, one operator per line, e.g.
+///
+///   join(name = author)
+///     submit(@objdb)
+///       select(salary > 100)
+///         scan(Employee)
+///     scan(Book)
+std::string PrintPlan(const Operator& plan);
+
+/// One-line label of a single node (no children), e.g.
+/// `select(salary = 10)` or `submit(@oo7)`.
+std::string NodeLabel(const Operator& op);
+
+}  // namespace algebra
+}  // namespace disco
+
+#endif  // DISCO_ALGEBRA_PLAN_PRINTER_H_

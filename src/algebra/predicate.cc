@@ -1,0 +1,52 @@
+#include "algebra/predicate.h"
+
+namespace disco {
+namespace algebra {
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+Result<bool> EvalCmp(const Value& lhs, CmpOp op, const Value& rhs) {
+  DISCO_ASSIGN_OR_RETURN(int c, lhs.Compare(rhs));
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return Status::Internal("bad CmpOp");
+}
+
+CmpOp FlipCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return CmpOp::kEq;
+    case CmpOp::kNe: return CmpOp::kNe;
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+  }
+  return op;
+}
+
+std::string SelectPredicate::ToString() const {
+  return attribute + " " + CmpOpToString(op) + " " + value.ToString();
+}
+
+std::string JoinPredicate::ToString() const {
+  return left_attribute + " = " + right_attribute;
+}
+
+}  // namespace algebra
+}  // namespace disco

@@ -1,0 +1,58 @@
+// Predicates of the mediator algebra.
+//
+// Following the paper's Figure 9 grammar, a selection predicate is
+// `attribute cmp value` and a join predicate is `attribute = attribute`.
+// Conjunctions are represented as stacked select operators, so a single
+// predicate object is always atomic — which is also what makes the
+// rule-head matching of Section 3.3.2 well-defined.
+
+#ifndef DISCO_ALGEBRA_PREDICATE_H_
+#define DISCO_ALGEBRA_PREDICATE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace disco {
+namespace algebra {
+
+/// Comparison operator of a selection predicate.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpToString(CmpOp op);
+
+/// Evaluates `lhs op rhs`; incomparable values yield an error.
+Result<bool> EvalCmp(const Value& lhs, CmpOp op, const Value& rhs);
+
+/// Mirrors the operator left<->right (a < b  <=>  b > a).
+CmpOp FlipCmp(CmpOp op);
+
+/// A selection predicate: `attribute cmp constant`.
+struct SelectPredicate {
+  std::string attribute;
+  CmpOp op = CmpOp::kEq;
+  Value value;
+
+  std::string ToString() const;
+  bool operator==(const SelectPredicate& o) const {
+    return attribute == o.attribute && op == o.op && value == o.value;
+  }
+};
+
+/// An equi-join predicate: `left_attribute = right_attribute`.
+struct JoinPredicate {
+  std::string left_attribute;
+  std::string right_attribute;
+
+  std::string ToString() const;
+  bool operator==(const JoinPredicate& o) const {
+    return left_attribute == o.left_attribute &&
+           right_attribute == o.right_attribute;
+  }
+};
+
+}  // namespace algebra
+}  // namespace disco
+
+#endif  // DISCO_ALGEBRA_PREDICATE_H_

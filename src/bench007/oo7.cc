@@ -1,0 +1,168 @@
+#include "bench007/oo7.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace disco {
+namespace bench007 {
+
+namespace {
+
+using storage::Tuple;
+
+// Two-character type codes keep the serialized AtomicPart record at 52
+// bytes (+4 bytes slot = 56), which at a 96% fill factor of a 4096-byte
+// page yields exactly the paper's 70 objects per page / 1000 data pages.
+const char* kPartTypes[] = {"t0", "t1", "t2", "t3", "t4",
+                            "t5", "t6", "t7", "t8", "t9"};
+
+}  // namespace
+
+Result<std::unique_ptr<sources::DataSource>> BuildOO7Source(
+    const OO7Config& config, std::string source_name) {
+  std::unique_ptr<sources::DataSource> source =
+      sources::MakeObjectDbSource(std::move(source_name), config.pool_pages);
+  Rng rng(config.seed);
+
+  // ---- AtomicPart ------------------------------------------------------
+  // Five Long attributes + a short type string: 56 bytes of payload, 70
+  // objects per 4096-byte page at 96% fill.
+  CollectionSchema atomic_schema(
+      "AtomicPart", {{"id", AttrType::kLong},
+                     {"docId", AttrType::kLong},
+                     {"buildDate", AttrType::kLong},
+                     {"x", AttrType::kLong},
+                     {"y", AttrType::kLong},
+                     {"type", AttrType::kString}});
+  storage::TableOptions atomic_opts;
+  atomic_opts.heap.page_size = config.page_size;
+  atomic_opts.heap.fill_factor = config.fill_factor;
+  atomic_opts.heap.max_records_per_page = config.atomic_parts_per_page;
+  storage::Table* atomic =
+      source->CreateTable(atomic_schema, atomic_opts);
+
+  // Insertion order decides clustering: a random permutation of ids makes
+  // the Id index unclustered (the Figure 12 regime).
+  std::vector<int64_t> ids(static_cast<size_t>(config.num_atomic_parts));
+  std::iota(ids.begin(), ids.end(), 0);
+  if (!config.clustered_ids) {
+    for (size_t i = ids.size(); i > 1; --i) {
+      std::swap(ids[i - 1], ids[rng.NextUint64(i)]);
+    }
+  }
+  for (int64_t id : ids) {
+    Tuple t;
+    t.push_back(Value(id));
+    t.push_back(Value(id / std::max(1, config.atomic_per_composite)));
+    t.push_back(Value(rng.NextInt64(0, 999)));           // buildDate
+    t.push_back(Value(rng.NextInt64(0, 99999)));         // x
+    t.push_back(Value(rng.NextInt64(0, 99999)));         // y
+    t.push_back(Value(std::string(
+        kPartTypes[rng.NextUint64(10)])));               // type
+    DISCO_RETURN_NOT_OK(atomic->Insert(t));
+  }
+  DISCO_RETURN_NOT_OK(
+      atomic->CreateIndex("id", /*clustered=*/config.clustered_ids));
+  DISCO_RETURN_NOT_OK(atomic->CreateIndex("docId"));
+
+  // ---- CompositePart ---------------------------------------------------
+  CollectionSchema composite_schema(
+      "CompositePart", {{"id", AttrType::kLong},
+                        {"buildDate", AttrType::kLong},
+                        {"documentId", AttrType::kLong}});
+  storage::TableOptions composite_opts;
+  composite_opts.heap.page_size = config.page_size;
+  composite_opts.heap.fill_factor = config.fill_factor;
+  storage::Table* composite = source->CreateTable(composite_schema,
+                                                  composite_opts);
+  for (int i = 0; i < config.num_composite_parts; ++i) {
+    Tuple t;
+    t.push_back(Value(static_cast<int64_t>(i)));
+    t.push_back(Value(rng.NextInt64(0, 999)));
+    t.push_back(Value(static_cast<int64_t>(
+        rng.NextUint64(static_cast<uint64_t>(
+            std::max(1, config.num_documents))))));
+    DISCO_RETURN_NOT_OK(composite->Insert(t));
+  }
+  DISCO_RETURN_NOT_OK(composite->CreateIndex("id"));
+
+  // ---- Connection ------------------------------------------------------
+  CollectionSchema connection_schema(
+      "Connection", {{"fromId", AttrType::kLong},
+                     {"toId", AttrType::kLong},
+                     {"length", AttrType::kLong},
+                     {"type", AttrType::kString}});
+  storage::TableOptions connection_opts;
+  connection_opts.heap.page_size = config.page_size;
+  connection_opts.heap.fill_factor = config.fill_factor;
+  storage::Table* connection = source->CreateTable(connection_schema,
+                                                   connection_opts);
+  const uint64_t n_atomic = static_cast<uint64_t>(
+      std::max(1, config.num_atomic_parts));
+  for (int i = 0; i < config.num_atomic_parts; ++i) {
+    for (int c = 0; c < config.connections_per_atomic; ++c) {
+      Tuple t;
+      t.push_back(Value(static_cast<int64_t>(i)));
+      t.push_back(Value(static_cast<int64_t>(rng.NextUint64(n_atomic))));
+      t.push_back(Value(rng.NextInt64(1, 1000)));
+      t.push_back(Value(std::string(kPartTypes[rng.NextUint64(10)])));
+      DISCO_RETURN_NOT_OK(connection->Insert(t));
+    }
+  }
+  DISCO_RETURN_NOT_OK(connection->CreateIndex("fromId"));
+
+  // ---- Document --------------------------------------------------------
+  CollectionSchema document_schema(
+      "Document", {{"id", AttrType::kLong},
+                   {"title", AttrType::kString},
+                   {"compositePartId", AttrType::kLong}});
+  storage::TableOptions document_opts;
+  document_opts.heap.page_size = config.page_size;
+  document_opts.heap.fill_factor = config.fill_factor;
+  storage::Table* document = source->CreateTable(document_schema,
+                                                 document_opts);
+  for (int i = 0; i < config.num_documents; ++i) {
+    Tuple t;
+    t.push_back(Value(static_cast<int64_t>(i)));
+    t.push_back(Value(StringPrintf("Composite Part %08d", i)));
+    t.push_back(Value(static_cast<int64_t>(i)));
+    DISCO_RETURN_NOT_OK(document->Insert(t));
+  }
+  DISCO_RETURN_NOT_OK(document->CreateIndex("id"));
+
+  // Fresh caches: nothing from loading should linger in the pool.
+  source->env()->pool.Clear();
+  source->env()->pool.ResetStats();
+  source->env()->clock.Reset();
+  return source;
+}
+
+std::string Oo7YaoRuleText(double io_ms, double output_ms, double page_size) {
+  // Figure 13, written in the wrapper cost language. `C` is a free
+  // collection variable, `id` a literal attribute of AtomicPart, `V` a
+  // free value variable; CountPage is a rule-local intermediate.
+  return StringPrintf(
+      "define IO = %.6g;\n"
+      "define Output = %.6g;\n"
+      "define PageSize = %.6g;\n"
+      "\n"
+      "select(C, id <= V) {\n"
+      "  CountPage   = C.TotalSize / PageSize;\n"
+      "  CountObject = C.CountObject * (V - C.id.Min)\n"
+      "              / (C.id.Max - C.id.Min);\n"
+      "  ObjectSize  = C.ObjectSize;\n"
+      "  TotalSize   = CountObject * ObjectSize;\n"
+      "  TimeFirst   = IO;\n"
+      "  TimeNext    = Output;\n"
+      "  TotalTime   = IO * CountPage\n"
+      "              * (1 - exp(-1 * (CountObject / CountPage)))\n"
+      "              + CountObject * Output;\n"
+      "}\n",
+      io_ms, output_ms, page_size);
+}
+
+}  // namespace bench007
+}  // namespace disco

@@ -1,0 +1,55 @@
+// OO7 benchmark database generator [CDN93], scaled to the paper's
+// Section 5 setup: an AtomicParts collection of 70 000 objects of 56
+// bytes, 70 per 4096-byte page at 96% fill (1000 data pages), with an
+// unclustered index on Id whose values are uniformly distributed.
+//
+// Besides AtomicParts we generate the surrounding OO7 design-library
+// schema (CompositeParts, Connections, Documents) so multi-collection
+// queries and joins have realistic shape.
+
+#ifndef DISCO_BENCH007_OO7_H_
+#define DISCO_BENCH007_OO7_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sources/data_source.h"
+
+namespace disco {
+namespace bench007 {
+
+struct OO7Config {
+  int num_atomic_parts = 70000;
+  int num_composite_parts = 500;
+  int atomic_per_composite = 20;    ///< derived docId fanout
+  int connections_per_atomic = 3;
+  int num_documents = 500;
+  uint64_t seed = 7;
+
+  uint32_t page_size = 4096;
+  double fill_factor = 0.96;
+  int atomic_parts_per_page = 70;   ///< the paper's layout: 1000 pages
+  size_t pool_pages = 4096;         ///< holds the whole working set
+
+  /// Insert AtomicParts in Id order (clustered) instead of a random
+  /// permutation (unclustered, the Figure 12 regime).
+  bool clustered_ids = false;
+};
+
+/// Builds an ObjectStore-like data source named `source_name` holding the
+/// OO7 tables, with indexes on the id attributes.
+Result<std::unique_ptr<sources::DataSource>> BuildOO7Source(
+    const OO7Config& config, std::string source_name = "oo7");
+
+/// The Figure 13 wrapper rule: Yao's formula for index scans on
+/// AtomicPart by Id range, exactly as a wrapper implementor would export
+/// it. `io_ms` and `output_ms` are the measured constants (25 and 9 in
+/// the paper).
+std::string Oo7YaoRuleText(double io_ms = 25.0, double output_ms = 9.0,
+                           double page_size = 4096.0);
+
+}  // namespace bench007
+}  // namespace disco
+
+#endif  // DISCO_BENCH007_OO7_H_

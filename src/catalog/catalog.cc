@@ -1,0 +1,96 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace disco {
+
+Status Catalog::RegisterSource(const std::string& source) {
+  if (HasSource(source)) {
+    return Status::AlreadyExists("source '" + source + "' already registered");
+  }
+  sources_.push_back(source);
+  return Status::OK();
+}
+
+Status Catalog::RegisterCollection(const std::string& source,
+                                   CollectionSchema schema,
+                                   CollectionStats stats) {
+  if (!HasSource(source)) {
+    return Status::NotFound("source '" + source + "' is not registered");
+  }
+  const std::string name = schema.name();
+  if (collections_.count(name) > 0) {
+    return Status::AlreadyExists("collection '" + name +
+                                 "' already registered");
+  }
+  collections_[name] =
+      CatalogEntry{source, std::move(schema), std::move(stats)};
+  return Status::OK();
+}
+
+Status Catalog::UpdateStats(const std::string& collection,
+                            CollectionStats stats) {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + collection + "' is not registered");
+  }
+  it->second.stats = std::move(stats);
+  return Status::OK();
+}
+
+Status Catalog::RemoveSource(const std::string& source) {
+  auto it = std::find(sources_.begin(), sources_.end(), source);
+  if (it == sources_.end()) {
+    return Status::NotFound("source '" + source + "' is not registered");
+  }
+  sources_.erase(it);
+  for (auto cit = collections_.begin(); cit != collections_.end();) {
+    if (cit->second.source == source) {
+      cit = collections_.erase(cit);
+    } else {
+      ++cit;
+    }
+  }
+  return Status::OK();
+}
+
+bool Catalog::HasSource(const std::string& source) const {
+  return std::find(sources_.begin(), sources_.end(), source) != sources_.end();
+}
+
+bool Catalog::HasCollection(const std::string& collection) const {
+  return collections_.count(collection) > 0;
+}
+
+Result<CatalogEntry> Catalog::Collection(const std::string& collection) const {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + collection + "' is not registered");
+  }
+  return it->second;
+}
+
+Result<std::string> Catalog::SourceOf(const std::string& collection) const {
+  DISCO_ASSIGN_OR_RETURN(CatalogEntry entry, Collection(collection));
+  return entry.source;
+}
+
+std::vector<std::string> Catalog::CollectionsOf(
+    const std::string& source) const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : collections_) {
+    if (entry.source == source) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::Sources() const { return sources_; }
+
+std::vector<std::string> Catalog::Collections() const {
+  std::vector<std::string> out;
+  out.reserve(collections_.size());
+  for (const auto& [name, entry] : collections_) out.push_back(name);
+  return out;
+}
+
+}  // namespace disco

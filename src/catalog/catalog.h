@@ -1,0 +1,67 @@
+// The mediator catalog (paper Figure 1: "Schema / Cost info" storage).
+//
+// At registration the mediator pulls each wrapper's schema and statistics
+// and stores them here; the optimizer and cost estimator consult the
+// catalog during the query phase.
+
+#ifndef DISCO_CATALOG_CATALOG_H_
+#define DISCO_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/statistics.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace disco {
+
+/// One registered collection: where it lives, its shape, and its stats.
+struct CatalogEntry {
+  std::string source;       ///< wrapper/source name owning the collection
+  CollectionSchema schema;
+  CollectionStats stats;
+};
+
+/// Name-keyed registry of sources and collections. Collection names are
+/// global (the mediator's integrated view); a name can be registered only
+/// once.
+class Catalog {
+ public:
+  /// Declares a data source. Registering twice is AlreadyExists.
+  Status RegisterSource(const std::string& source);
+
+  /// Registers a collection owned by `source` (which must exist).
+  Status RegisterCollection(const std::string& source,
+                            CollectionSchema schema, CollectionStats stats);
+
+  /// Replaces the statistics of an existing collection (the paper's
+  /// re-registration path for out-of-date statistics, Section 2.1).
+  Status UpdateStats(const std::string& collection, CollectionStats stats);
+
+  /// Removes a source and every collection it owns (rollback of a failed
+  /// registration, or administrative removal). NotFound if absent.
+  Status RemoveSource(const std::string& source);
+
+  bool HasSource(const std::string& source) const;
+  bool HasCollection(const std::string& collection) const;
+
+  Result<CatalogEntry> Collection(const std::string& collection) const;
+  Result<std::string> SourceOf(const std::string& collection) const;
+
+  /// All collection names owned by `source`.
+  std::vector<std::string> CollectionsOf(const std::string& source) const;
+
+  std::vector<std::string> Sources() const;
+  std::vector<std::string> Collections() const;
+
+ private:
+  std::vector<std::string> sources_;
+  std::map<std::string, CatalogEntry> collections_;
+};
+
+}  // namespace disco
+
+#endif  // DISCO_CATALOG_CATALOG_H_

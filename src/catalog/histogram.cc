@@ -1,0 +1,108 @@
+#include "catalog/histogram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace disco {
+
+Result<EquiDepthHistogram> EquiDepthHistogram::Build(std::vector<Value> values,
+                                                     int num_buckets) {
+  if (num_buckets <= 0) {
+    return Status::InvalidArgument("histogram needs at least one bucket");
+  }
+  EquiDepthHistogram h;
+  if (values.empty()) return h;
+
+  // Sort; mixed incomparable types surface as an error.
+  Status sort_status = Status::OK();
+  std::sort(values.begin(), values.end(), [&](const Value& a, const Value& b) {
+    Result<int> c = a.Compare(b);
+    if (!c.ok()) {
+      if (sort_status.ok()) sort_status = c.status();
+      return false;
+    }
+    return *c < 0;
+  });
+  if (!sort_status.ok()) return sort_status;
+
+  const int64_t n = static_cast<int64_t>(values.size());
+  const int64_t depth = std::max<int64_t>(1, (n + num_buckets - 1) / num_buckets);
+  for (int64_t start = 0; start < n; start += depth) {
+    int64_t end = std::min(n, start + depth);
+    Bucket b;
+    b.lower = values[static_cast<size_t>(start)];
+    b.upper = values[static_cast<size_t>(end - 1)];
+    b.count = end - start;
+    b.distinct = 1;
+    for (int64_t i = start + 1; i < end; ++i) {
+      if (values[static_cast<size_t>(i)] != values[static_cast<size_t>(i - 1)]) {
+        ++b.distinct;
+      }
+    }
+    h.buckets_.push_back(std::move(b));
+  }
+  h.total_count_ = n;
+  return h;
+}
+
+double EquiDepthHistogram::FractionBelow(const Bucket& b, const Value& v) {
+  if (b.lower.is_numeric() && b.upper.is_numeric() && v.is_numeric()) {
+    double lo = b.lower.AsDouble(), hi = b.upper.AsDouble(), x = v.AsDouble();
+    if (hi <= lo) return x > lo ? 1.0 : 0.0;
+    double f = (x - lo) / (hi - lo);
+    return std::clamp(f, 0.0, 1.0);
+  }
+  return 0.5;  // no interpolation basis for strings
+}
+
+double EquiDepthHistogram::EstimateEq(const Value& v) const {
+  if (total_count_ == 0) return 0.0;
+  // A frequent value spans several equi-depth buckets; sum its share of
+  // every bucket whose range contains it (uniform-within-bucket: each
+  // distinct value holds count/distinct rows).
+  double rows = 0;
+  for (const Bucket& b : buckets_) {
+    Result<int> lo = v.Compare(b.lower);
+    Result<int> hi = v.Compare(b.upper);
+    if (!lo.ok() || !hi.ok()) return 0.0;
+    if (*lo >= 0 && *hi <= 0) {
+      rows += static_cast<double>(b.count) /
+              static_cast<double>(std::max<int64_t>(1, b.distinct));
+    }
+  }
+  return std::clamp(rows / static_cast<double>(total_count_), 0.0, 1.0);
+}
+
+double EquiDepthHistogram::EstimateLt(const Value& v) const {
+  if (total_count_ == 0) return 0.0;
+  double below = 0;
+  for (const Bucket& b : buckets_) {
+    Result<int> lo = v.Compare(b.lower);
+    Result<int> hi = v.Compare(b.upper);
+    if (!lo.ok() || !hi.ok()) return 0.0;
+    if (*lo <= 0) continue;        // v <= bucket.lower: nothing below in it
+    if (*hi > 0) {                 // whole bucket below v
+      below += static_cast<double>(b.count);
+    } else {                       // v splits the bucket
+      below += static_cast<double>(b.count) * FractionBelow(b, v);
+    }
+  }
+  return std::clamp(below / static_cast<double>(total_count_), 0.0, 1.0);
+}
+
+double EquiDepthHistogram::EstimateRange(const Value& lo, const Value& hi) const {
+  if (total_count_ == 0) return 0.0;
+  double f = EstimateLt(hi) + EstimateEq(hi) - EstimateLt(lo);
+  return std::clamp(f, 0.0, 1.0);
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::string out = StringPrintf("EquiDepthHistogram(%lld rows, %zu buckets)",
+                                 static_cast<long long>(total_count_),
+                                 buckets_.size());
+  return out;
+}
+
+}  // namespace disco

@@ -1,0 +1,67 @@
+// Equi-depth histogram for value-aware selectivity estimation.
+//
+// The paper (Section 3.3.2) notes that a wrapper's `selectivity(A, V)`
+// function "could handle, for example, histogram statistics [IP95,
+// PIHS96]". This class is that machinery: wrappers may attach a histogram
+// to an attribute's statistics, and the builtin `selectivity` function in
+// the cost-formula VM consults it when present.
+
+#ifndef DISCO_CATALOG_HISTOGRAM_H_
+#define DISCO_CATALOG_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace disco {
+
+/// An equi-depth (equi-height) histogram over numeric or string values.
+/// Buckets hold approximately equal row counts; bucket boundaries adapt to
+/// skew, which is the property [PIHS96] argues for.
+class EquiDepthHistogram {
+ public:
+  struct Bucket {
+    Value lower;          ///< inclusive lower bound
+    Value upper;          ///< inclusive upper bound
+    int64_t count = 0;    ///< rows in the bucket
+    int64_t distinct = 0; ///< distinct values in the bucket
+  };
+
+  EquiDepthHistogram() = default;
+
+  /// Builds a histogram with (at most) `num_buckets` buckets from a
+  /// sample of values. Values must be mutually comparable.
+  static Result<EquiDepthHistogram> Build(std::vector<Value> values,
+                                          int num_buckets);
+
+  /// Estimated fraction of rows with value == v, in [0, 1].
+  double EstimateEq(const Value& v) const;
+
+  /// Estimated fraction of rows with value < v (strict) in [0, 1].
+  double EstimateLt(const Value& v) const;
+
+  /// Estimated fraction of rows in [lo, hi] inclusive.
+  double EstimateRange(const Value& lo, const Value& hi) const;
+
+  int64_t total_count() const { return total_count_; }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  bool empty() const { return buckets_.empty(); }
+
+  std::string ToString() const;
+
+ private:
+  /// Fraction of `b` estimated to fall strictly below `v`, assuming
+  /// uniform spread inside the bucket (numeric interpolation; string
+  /// buckets fall back to half).
+  static double FractionBelow(const Bucket& b, const Value& v);
+
+  std::vector<Bucket> buckets_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace disco
+
+#endif  // DISCO_CATALOG_HISTOGRAM_H_

@@ -1,0 +1,77 @@
+#include "catalog/schema.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+
+const char* AttrTypeToString(AttrType t) {
+  switch (t) {
+    case AttrType::kLong:
+      return "Long";
+    case AttrType::kDouble:
+      return "Double";
+    case AttrType::kString:
+      return "String";
+    case AttrType::kBool:
+      return "Boolean";
+  }
+  return "?";
+}
+
+Result<AttrType> AttrTypeFromName(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "long" || n == "short" || n == "int" || n == "integer") {
+    return AttrType::kLong;
+  }
+  if (n == "double" || n == "float" || n == "real") return AttrType::kDouble;
+  if (n == "string") return AttrType::kString;
+  if (n == "boolean" || n == "bool") return AttrType::kBool;
+  return Status::ParseError("unknown attribute type '" + name + "'");
+}
+
+ValueType AttrTypeToValueType(AttrType t) {
+  switch (t) {
+    case AttrType::kLong:
+      return ValueType::kInt64;
+    case AttrType::kDouble:
+      return ValueType::kDouble;
+    case AttrType::kString:
+      return ValueType::kString;
+    case AttrType::kBool:
+      return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+std::optional<int> CollectionSchema::AttributeIndex(
+    const std::string& attribute) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == attribute) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+Result<AttributeDef> CollectionSchema::Attribute(
+    const std::string& attribute) const {
+  std::optional<int> idx = AttributeIndex(attribute);
+  if (!idx.has_value()) {
+    return Status::NotFound("collection '" + name_ + "' has no attribute '" +
+                            attribute + "'");
+  }
+  return attributes_[static_cast<size_t>(*idx)];
+}
+
+std::string CollectionSchema::ToString() const {
+  std::string out = "interface " + name_ + " {";
+  for (const AttributeDef& a : attributes_) {
+    out += " ";
+    out += AttrTypeToString(a.type);
+    out += " ";
+    out += a.name;
+    out += ";";
+  }
+  out += " }";
+  return out;
+}
+
+}  // namespace disco

@@ -1,0 +1,81 @@
+// Collection schemas: the structural half of what a wrapper exports at
+// registration (paper Section 3.1, Figure 3).
+
+#ifndef DISCO_CATALOG_SCHEMA_H_
+#define DISCO_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace disco {
+
+/// Declared type of an attribute in an interface definition.
+enum class AttrType { kLong, kDouble, kString, kBool };
+
+const char* AttrTypeToString(AttrType t);
+
+/// Maps an IDL type name ("Long", "Double", "String", "Boolean"/"Bool",
+/// case-insensitive) to an AttrType.
+Result<AttrType> AttrTypeFromName(const std::string& name);
+
+/// The ValueType that tuples of this attribute carry at runtime.
+ValueType AttrTypeToValueType(AttrType t);
+
+/// One attribute of a collection.
+struct AttributeDef {
+  std::string name;
+  AttrType type = AttrType::kLong;
+
+  bool operator==(const AttributeDef& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// A declared operation (method) of an interface. The mediator does not
+/// invoke operations; they are carried through from the IDL for
+/// completeness and for ADT-cost future work (paper Section 7).
+struct OperationDef {
+  std::string name;
+  std::string return_type;
+  std::vector<std::string> parameter_types;
+};
+
+/// Schema of one collection (IDL interface): name, attributes, operations.
+class CollectionSchema {
+ public:
+  CollectionSchema() = default;
+  CollectionSchema(std::string name, std::vector<AttributeDef> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  std::vector<OperationDef>& operations() { return operations_; }
+  const std::vector<OperationDef>& operations() const { return operations_; }
+
+  /// Index of `attribute` within the tuple layout, or nullopt.
+  std::optional<int> AttributeIndex(const std::string& attribute) const;
+
+  /// Definition of `attribute`; NotFound if absent.
+  Result<AttributeDef> Attribute(const std::string& attribute) const;
+
+  bool HasAttribute(const std::string& attribute) const {
+    return AttributeIndex(attribute).has_value();
+  }
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+  std::vector<OperationDef> operations_;
+};
+
+}  // namespace disco
+
+#endif  // DISCO_CATALOG_SCHEMA_H_

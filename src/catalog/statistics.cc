@@ -1,0 +1,34 @@
+#include "catalog/statistics.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+
+std::string ExtentStats::ToString() const {
+  return StringPrintf("extent(CountObject=%lld, TotalSize=%lld, ObjectSize=%lld)",
+                      static_cast<long long>(count_object),
+                      static_cast<long long>(total_size),
+                      static_cast<long long>(object_size));
+}
+
+std::string AttributeStats::ToString() const {
+  std::string out = StringPrintf(
+      "attribute(Indexed=%s, CountDistinct=%lld, Min=%s, Max=%s",
+      indexed ? "true" : "false", static_cast<long long>(count_distinct),
+      min.ToString().c_str(), max.ToString().c_str());
+  if (clustered) out += ", clustered";
+  if (histogram.has_value()) out += ", histogram";
+  out += ")";
+  return out;
+}
+
+Result<AttributeStats> CollectionStats::Attribute(
+    const std::string& attribute) const {
+  auto it = attributes.find(attribute);
+  if (it == attributes.end()) {
+    return Status::NotFound("no statistics for attribute '" + attribute + "'");
+  }
+  return it->second;
+}
+
+}  // namespace disco

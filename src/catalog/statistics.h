@@ -1,0 +1,63 @@
+// Statistics exported by wrappers at registration time (paper Section 3.2).
+//
+// The paper defines two "cardinality" methods per interface:
+//   extent()    -> (CountObject, TotalSize, ObjectSize)
+//   attribute() -> (Indexed, CountDistinct, Min, Max) per attribute
+// These map to ExtentStats and AttributeStats below. The optional
+// histogram supports the ad-hoc `selectivity(A, V)` function the paper
+// suggests wrapper implementors may define (Section 3.3.2).
+
+#ifndef DISCO_CATALOG_STATISTICS_H_
+#define DISCO_CATALOG_STATISTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "catalog/histogram.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace disco {
+
+/// Collection-level statistics: the `extent` cardinality triplet.
+struct ExtentStats {
+  int64_t count_object = 0;  ///< number of objects in the extent
+  int64_t total_size = 0;    ///< extent size in bytes
+  int64_t object_size = 0;   ///< average object size in bytes
+
+  std::string ToString() const;
+};
+
+/// Attribute-level statistics: the `attribute` cardinality quadruplet.
+struct AttributeStats {
+  bool indexed = false;       ///< an index exists on this attribute
+  bool clustered = false;     ///< ... and the data is clustered on it
+  int64_t count_distinct = 0; ///< number of distinct values in the extent
+  Value min;                  ///< minimum value (polymorphic Constant)
+  Value max;                  ///< maximum value (polymorphic Constant)
+
+  /// Optional equi-depth histogram for value-aware selectivity.
+  std::optional<EquiDepthHistogram> histogram;
+
+  std::string ToString() const;
+};
+
+/// All statistics for one collection, as stored in the mediator catalog.
+struct CollectionStats {
+  ExtentStats extent;
+  std::map<std::string, AttributeStats> attributes;
+
+  /// Looks up stats for `attribute`; NotFound if the wrapper never
+  /// exported them.
+  Result<AttributeStats> Attribute(const std::string& attribute) const;
+
+  bool HasAttribute(const std::string& attribute) const {
+    return attributes.count(attribute) > 0;
+  }
+};
+
+}  // namespace disco
+
+#endif  // DISCO_CATALOG_STATISTICS_H_

@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace disco {
+namespace internal {
+
+namespace {
+const char* SeverityName(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityName(severity_), file_,
+               line_, stream_.str().c_str());
+  if (severity_ == LogSeverity::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace disco

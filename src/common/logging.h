@@ -1,0 +1,77 @@
+// Minimal logging and invariant-checking macros.
+//
+// DISCO_CHECK(cond) << "msg";   -- aborts with message if cond is false.
+// DISCO_DCHECK(cond) << "msg";  -- same, compiled out in NDEBUG builds.
+// DISCO_LOG(Info) << "msg";     -- line to stderr, used sparingly.
+
+#ifndef DISCO_COMMON_LOGGING_H_
+#define DISCO_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace disco {
+namespace internal {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// Accumulates a message via operator<< and emits it (aborting for kFatal)
+/// on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log stream in compiled-out DCHECKs.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a LogMessage stream expression into void so it can sit in the
+/// false branch of the ternary in DISCO_CHECK. operator& binds looser
+/// than operator<< but tighter than ?:.
+struct Voidify {
+  void operator&(LogMessage&) {}
+  void operator&(NullLog&) {}
+  void operator&(LogMessage&&) {}
+  void operator&(NullLog&&) {}
+};
+
+}  // namespace internal
+
+#define DISCO_LOG(severity)                \
+  ::disco::internal::LogMessage(           \
+      ::disco::internal::LogSeverity::k##severity, __FILE__, __LINE__)
+
+#define DISCO_CHECK(cond)                                  \
+  (cond) ? (void)0                                         \
+         : ::disco::internal::Voidify() & DISCO_LOG(Fatal) \
+               << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+#define DISCO_DCHECK(cond) \
+  true ? (void)0 : ::disco::internal::Voidify() & ::disco::internal::NullLog()
+#else
+#define DISCO_DCHECK(cond) DISCO_CHECK(cond)
+#endif
+
+}  // namespace disco
+
+#endif  // DISCO_COMMON_LOGGING_H_

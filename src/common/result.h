@@ -1,0 +1,77 @@
+// Result<T>: a value-or-Status, the return type of fallible producers.
+
+#ifndef DISCO_COMMON_RESULT_H_
+#define DISCO_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace disco {
+
+/// Holds either a `T` or a non-OK Status. Accessing the value of an
+/// errored Result is a checked failure (DISCO_CHECK).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a Status (must be an error).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    DISCO_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK Status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error (or OK if this Result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    DISCO_CHECK(ok()) << "ValueOrDie on error Result: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    DISCO_CHECK(ok()) << "ValueOrDie on error Result: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    DISCO_CHECK(ok()) << "ValueOrDie on error Result: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, replacing it with a default-constructed T.
+  T MoveValueUnsafe() { return std::get<T>(std::move(repr_)); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error. `lhs` may include a declaration, e.g.
+///   DISCO_ASSIGN_OR_RETURN(auto plan, Optimize(query));
+#define DISCO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).MoveValueUnsafe();
+
+#define DISCO_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define DISCO_ASSIGN_OR_RETURN_NAME(x, y) DISCO_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define DISCO_ASSIGN_OR_RETURN(lhs, expr) \
+  DISCO_ASSIGN_OR_RETURN_IMPL(            \
+      DISCO_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace disco
+
+#endif  // DISCO_COMMON_RESULT_H_

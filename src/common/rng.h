@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generator for data generation.
+//
+// All synthetic data (OO7 database, workload parameters) is produced from
+// explicitly seeded Rng instances so every experiment is reproducible
+// bit-for-bit.
+
+#ifndef DISCO_COMMON_RNG_H_
+#define DISCO_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace disco {
+
+/// SplitMix64-seeded xorshift128+ generator. Not cryptographic; fast and
+/// platform-stable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into two non-zero state words.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    s0_ = Mix(z);
+    z += 0x9e3779b97f4a7c15ULL;
+    s1_ = Mix(z);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be positive.
+  uint64_t NextUint64(uint64_t n) {
+    DISCO_DCHECK(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt64(int64_t lo, int64_t hi) {
+    DISCO_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static uint64_t Mix(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  uint64_t s0_, s1_;
+};
+
+}  // namespace disco
+
+#endif  // DISCO_COMMON_RNG_H_

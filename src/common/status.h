@@ -1,0 +1,119 @@
+// Status: the error-handling currency of the disco library.
+//
+// Public APIs never throw; fallible operations return a Status (or a
+// Result<T>, see result.h) in the style of Arrow / RocksDB.
+
+#ifndef DISCO_COMMON_STATUS_H_
+#define DISCO_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace disco {
+
+/// Classifies a failure. `kOk` means success and carries no message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kParseError,        ///< text in IDL / cost language / SQL did not parse
+  kNotFound,          ///< named collection, attribute, rule, ... is unknown
+  kAlreadyExists,     ///< duplicate registration
+  kOutOfRange,        ///< index / value outside its domain
+  kNotSupported,      ///< valid request outside implemented capabilities
+  kExecutionError,    ///< runtime failure while evaluating a plan or formula
+  kInternal,          ///< invariant violation (a bug in disco itself)
+};
+
+/// Human-readable name of a code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap success-or-error value. Success is represented by a null
+/// internal state so returning Status::OK() never allocates.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with `context + ": "` (no-op on OK).
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+/// Propagates a non-OK Status to the caller.
+#define DISCO_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::disco::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace disco
+
+#endif  // DISCO_COMMON_STATUS_H_

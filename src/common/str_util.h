@@ -1,0 +1,42 @@
+// Small string helpers shared by the lexers/parsers and printers.
+
+#ifndef DISCO_COMMON_STR_UTIL_H_
+#define DISCO_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace disco {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view s);
+
+/// True if `s` equals `other` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view other);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Combines two hash values (boost::hash_combine recipe).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace disco
+
+#endif  // DISCO_COMMON_STR_UTIL_H_

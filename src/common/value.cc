@@ -1,0 +1,121 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace disco {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "Null";
+    case ValueType::kBool:
+      return "Bool";
+    case ValueType::kInt64:
+      return "Int64";
+    case ValueType::kDouble:
+      return "Double";
+    case ValueType::kString:
+      return "String";
+  }
+  return "?";
+}
+
+bool Value::AsBool() const {
+  DISCO_CHECK(is_bool()) << "Value is " << ValueTypeToString(type());
+  return std::get<bool>(repr_);
+}
+
+int64_t Value::AsInt64() const {
+  DISCO_CHECK(is_int64()) << "Value is " << ValueTypeToString(type());
+  return std::get<int64_t>(repr_);
+}
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(std::get<int64_t>(repr_));
+  DISCO_CHECK(is_double()) << "Value is " << ValueTypeToString(type());
+  return std::get<double>(repr_);
+}
+
+const std::string& Value::AsString() const {
+  DISCO_CHECK(is_string()) << "Value is " << ValueTypeToString(type());
+  return std::get<std::string>(repr_);
+}
+
+double Value::NumericAsDouble() const {
+  DISCO_CHECK(is_numeric()) << "Value is " << ValueTypeToString(type());
+  return AsDouble();
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  // Null sorts below everything; two nulls are equal.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (is_numeric() && other.is_numeric()) {
+    double a = AsDouble(), b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_string() && other.is_string()) {
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_bool() && other.is_bool()) {
+    int a = AsBool() ? 1 : 0, b = other.AsBool() ? 1 : 0;
+    return a - b;
+  }
+  return Status::InvalidArgument(
+      std::string("incomparable value types ") + ValueTypeToString(type()) +
+      " and " + ValueTypeToString(other.type()));
+}
+
+bool Value::operator==(const Value& other) const {
+  Result<int> c = Compare(other);
+  return c.ok() && *c == 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      double d = std::get<double>(repr_);
+      // Render integral doubles compactly ("3" not "3.000000").
+      if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+        return std::to_string(static_cast<int64_t>(d));
+      }
+      return std::to_string(d);
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return AsBool() ? 0x1234567 : 0x7654321;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      // Hash via the double representation so 1 and 1.0 collide, matching
+      // operator==.
+      return std::hash<double>()(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+}  // namespace disco

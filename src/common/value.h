@@ -1,0 +1,81 @@
+// Value: the polymorphic constant of the paper (its `Constant` object).
+//
+// Statistics such as Min/Max, query predicates, and tuple fields all carry
+// values whose type varies per attribute (Figure 4 encodes Min/Max "in a
+// special polymorphic Constant object"). Value is a small tagged union over
+// null / bool / int64 / double / string with total ordering within
+// comparable types.
+
+#ifndef DISCO_COMMON_VALUE_H_
+#define DISCO_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace disco {
+
+/// Runtime type tag of a Value.
+enum class ValueType { kNull = 0, kBool, kInt64, kDouble, kString };
+
+/// Human-readable type name, e.g. "Int64".
+const char* ValueTypeToString(ValueType t);
+
+/// A polymorphic constant. Numeric values (Int64/Double) compare and
+/// compute with each other; Strings compare lexicographically.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  explicit Value(bool b) : repr_(b) {}
+  explicit Value(int64_t i) : repr_(i) {}
+  explicit Value(int i) : repr_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : repr_(d) {}
+  explicit Value(std::string s) : repr_(std::move(s)) {}
+  explicit Value(const char* s) : repr_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(repr_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  bool AsBool() const;
+  int64_t AsInt64() const;
+  double AsDouble() const;          ///< Int64 widens to double.
+  const std::string& AsString() const;
+
+  /// Numeric content as double regardless of Int64/Double tag; checked.
+  double NumericAsDouble() const;
+
+  /// Three-way comparison. Numerics compare numerically across tags;
+  /// strings lexicographically; bools false<true; Null compares less
+  /// than everything. Mixed non-numeric types are an error.
+  Result<int> Compare(const Value& other) const;
+
+  /// Exact equality: same type class and equal content (Int64 1 equals
+  /// Double 1.0; used by predicate evaluation and plan identity).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// SQL-literal-like rendering: strings quoted, null as "null".
+  std::string ToString() const;
+
+  /// Stable hash, consistent with operator== (numeric 1 and 1.0 collide).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> repr_;
+};
+
+}  // namespace disco
+
+#endif  // DISCO_COMMON_VALUE_H_

@@ -1,0 +1,315 @@
+#include "costlang/analyzer.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace costlang {
+
+void CompileSchema::AddCollection(const std::string& collection,
+                                  const std::vector<std::string>& attributes) {
+  Coll c;
+  c.canonical = collection;
+  for (const std::string& a : attributes) c.attrs[ToLower(a)] = a;
+  colls_[ToLower(collection)] = std::move(c);
+}
+
+bool CompileSchema::IsCollection(const std::string& name) const {
+  return colls_.count(ToLower(name)) > 0;
+}
+
+bool CompileSchema::IsAttributeOf(const std::string& collection,
+                                  const std::string& attribute) const {
+  auto it = colls_.find(ToLower(collection));
+  if (it == colls_.end()) return false;
+  return it->second.attrs.count(ToLower(attribute)) > 0;
+}
+
+bool CompileSchema::IsAttributeOfAny(const std::string& attribute) const {
+  std::string a = ToLower(attribute);
+  for (const auto& [name, coll] : colls_) {
+    if (coll.attrs.count(a) > 0) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> CompileSchema::CanonicalCollection(
+    const std::string& name) const {
+  auto it = colls_.find(ToLower(name));
+  if (it == colls_.end()) return std::nullopt;
+  return it->second.canonical;
+}
+
+std::optional<std::string> CompileSchema::CanonicalAttribute(
+    const std::string& collection, const std::string& attribute) const {
+  auto it = colls_.find(ToLower(collection));
+  if (it == colls_.end()) return std::nullopt;
+  auto at = it->second.attrs.find(ToLower(attribute));
+  if (at == it->second.attrs.end()) return std::nullopt;
+  return at->second;
+}
+
+std::optional<std::string> CompileSchema::CanonicalAttributeOfAny(
+    const std::string& attribute) const {
+  std::string a = ToLower(attribute);
+  for (const auto& [name, coll] : colls_) {
+    auto at = coll.attrs.find(a);
+    if (at != coll.attrs.end()) return at->second;
+  }
+  return std::nullopt;
+}
+
+std::string CompiledPattern::ToString() const {
+  std::string out = algebra::OpKindToString(op);
+  out += "(";
+  std::vector<std::string> parts;
+  for (const InputPattern& in : inputs) {
+    parts.push_back(in.is_literal ? in.name : ("?" + in.name));
+  }
+  auto attr_str = [](const AttrPattern& a) {
+    return a.is_literal ? a.name : ("?" + a.name);
+  };
+  switch (pred_kind) {
+    case PredKind::kNone:
+      break;
+    case PredKind::kFree:
+      parts.push_back("?P");
+      break;
+    case PredKind::kSelect: {
+      std::string p = attr_str(sel_attr);
+      p += " ";
+      p += algebra::CmpOpToString(sel_op);
+      p += " ";
+      p += sel_value.is_literal ? sel_value.value.ToString()
+                                : ("?" + sel_value.name);
+      parts.push_back(std::move(p));
+      break;
+    }
+    case PredKind::kJoin:
+      parts.push_back(attr_str(join_left) + " = " + attr_str(join_right));
+      break;
+    case PredKind::kSortAttr:
+      parts.push_back(attr_str(sort_attr));
+      break;
+  }
+  out += JoinStrings(parts, ", ");
+  out += ")";
+  return out;
+}
+
+namespace {
+
+/// Slot allocation: a variable name maps to one slot per rule, so a name
+/// repeated in the head unifies (both occurrences must bind equal).
+class SlotTable {
+ public:
+  explicit SlotTable(AnalyzedHead* out) : out_(out) {}
+
+  int Intern(const std::string& name, BindingKind kind) {
+    std::string key = ToLower(name);
+    for (size_t i = 0; i < out_->slots.size(); ++i) {
+      if (out_->slots[i].first == key) return static_cast<int>(i);
+    }
+    out_->slots.emplace_back(key, kind);
+    return static_cast<int>(out_->slots.size()) - 1;
+  }
+
+ private:
+  AnalyzedHead* out_;
+};
+
+Status HeadError(const RuleHeadAst& head, const std::string& msg) {
+  return Status::ParseError(
+      StringPrintf("cost rule line %d (%s): %s", head.line,
+                   head.ToString().c_str(), msg.c_str()));
+}
+
+/// True if `term` is a plain (possibly qualified) name.
+bool IsName(const TermAst& term) { return term.kind == TermAst::Kind::kName; }
+
+}  // namespace
+
+Result<AnalyzedHead> AnalyzeHead(const RuleHeadAst& head,
+                                 const CompileSchema& schema) {
+  AnalyzedHead out;
+  SlotTable slots(&out);
+  CompiledPattern& pat = out.pattern;
+
+  DISCO_ASSIGN_OR_RETURN(pat.op, algebra::OpKindFromName(head.op_name));
+
+  // Expected shape per operator: how many collection positions, and
+  // whether a predicate position follows.
+  int num_inputs = 1;
+  bool wants_pred = false;
+  switch (pat.op) {
+    case algebra::OpKind::kScan:
+      num_inputs = 1;
+      break;
+    case algebra::OpKind::kSelect:
+      num_inputs = 1;
+      wants_pred = true;
+      break;
+    case algebra::OpKind::kProject:
+    case algebra::OpKind::kAggregate:
+      num_inputs = 1;
+      wants_pred = true;  // optional free variable
+      break;
+    case algebra::OpKind::kSort:
+      num_inputs = 1;
+      wants_pred = true;  // attribute position
+      break;
+    case algebra::OpKind::kDedup:
+    case algebra::OpKind::kSubmit:
+      num_inputs = 1;
+      break;
+    case algebra::OpKind::kJoin:
+    case algebra::OpKind::kUnion:
+    case algebra::OpKind::kBindJoin:
+      num_inputs = 2;
+      wants_pred = (pat.op != algebra::OpKind::kUnion);
+      break;
+  }
+
+  const int total_args = static_cast<int>(head.args.size());
+  if (total_args < num_inputs || total_args > num_inputs + (wants_pred ? 1 : 0)) {
+    return HeadError(head, StringPrintf("expected %d input argument(s)%s",
+                                        num_inputs,
+                                        wants_pred ? " plus a predicate" : ""));
+  }
+
+  // Collection positions.
+  for (int i = 0; i < num_inputs; ++i) {
+    const HeadArgAst& arg = head.args[static_cast<size_t>(i)];
+    if (arg.cmp.has_value()) {
+      return HeadError(head, "predicate found in a collection position");
+    }
+    if (!IsName(arg.lhs) || arg.lhs.path.size() != 1) {
+      return HeadError(head, "collection position must be a simple name");
+    }
+    const std::string& name = arg.lhs.path[0];
+    InputPattern in;
+    std::optional<std::string> canonical = schema.CanonicalCollection(name);
+    if (canonical.has_value()) {
+      in.is_literal = true;
+      in.name = *canonical;
+      ++pat.specificity;
+      pat.collection_bound = true;
+    } else {
+      in.is_literal = false;
+      in.name = name;
+      in.slot = slots.Intern(name, BindingKind::kCollection);
+    }
+    out.input_names[ToLower(name)] = i;
+    pat.inputs.push_back(std::move(in));
+  }
+
+  if (total_args == num_inputs) return out;  // no predicate position
+
+  const HeadArgAst& parg = head.args[static_cast<size_t>(num_inputs)];
+
+  // Helper: classify an attribute term. Qualified names (x1.id) use the
+  // last component; a qualifier naming a literal input constrains nothing
+  // further here (orientation is checked by the matcher via provenance).
+  auto analyze_attr = [&](const TermAst& term) -> Result<AttrPattern> {
+    if (!IsName(term)) {
+      return HeadError(head, "attribute position must be a name");
+    }
+    const std::string& name = term.path.back();
+    AttrPattern attr;
+    // Literal iff some literal input collection has the attribute, or the
+    // schema knows it anywhere (for free-collection patterns).
+    std::optional<std::string> canonical;
+    for (const InputPattern& in : pat.inputs) {
+      if (in.is_literal) {
+        canonical = schema.CanonicalAttribute(in.name, name);
+        if (canonical.has_value()) break;
+      }
+    }
+    if (!canonical.has_value()) canonical = schema.CanonicalAttributeOfAny(name);
+    if (canonical.has_value()) {
+      attr.is_literal = true;
+      attr.name = *canonical;
+      ++pat.specificity;
+      pat.predicate_bound = true;
+    } else {
+      attr.is_literal = false;
+      attr.name = name;
+      attr.slot = slots.Intern(name, BindingKind::kAttribute);
+    }
+    return attr;
+  };
+
+  if (pat.op == algebra::OpKind::kSort) {
+    // sort(C, A): a bare attribute position.
+    if (parg.cmp.has_value()) {
+      return HeadError(head, "sort takes an attribute, not a predicate");
+    }
+    DISCO_ASSIGN_OR_RETURN(pat.sort_attr, analyze_attr(parg.lhs));
+    pat.pred_kind = CompiledPattern::PredKind::kSortAttr;
+    return out;
+  }
+
+  if (!parg.cmp.has_value()) {
+    // A bare name in predicate position: the whole-predicate variable P.
+    if (!IsName(parg.lhs) || parg.lhs.path.size() != 1) {
+      return HeadError(head, "predicate position must be a comparison or a "
+                             "free variable");
+    }
+    pat.pred_kind = CompiledPattern::PredKind::kFree;
+    pat.pred_slot = slots.Intern(parg.lhs.path[0], BindingKind::kPredicate);
+    return out;
+  }
+
+  if (pat.op == algebra::OpKind::kProject ||
+      pat.op == algebra::OpKind::kAggregate ||
+      pat.op == algebra::OpKind::kUnion) {
+    return HeadError(head, "this operator only accepts a free variable in "
+                           "predicate position");
+  }
+
+  if (pat.op == algebra::OpKind::kJoin ||
+      pat.op == algebra::OpKind::kBindJoin) {
+    pat.pred_kind = CompiledPattern::PredKind::kJoin;
+    DISCO_ASSIGN_OR_RETURN(pat.join_left, analyze_attr(parg.lhs));
+    if (*parg.cmp != algebra::CmpOp::kEq) {
+      return HeadError(head, "join patterns support only equi-joins");
+    }
+    if (!parg.rhs.has_value() || !IsName(*parg.rhs)) {
+      return HeadError(head, "join pattern needs attribute = attribute");
+    }
+    DISCO_ASSIGN_OR_RETURN(pat.join_right, analyze_attr(*parg.rhs));
+    return out;
+  }
+
+  // Selection predicate: attr cmp value.
+  pat.pred_kind = CompiledPattern::PredKind::kSelect;
+  DISCO_ASSIGN_OR_RETURN(pat.sel_attr, analyze_attr(parg.lhs));
+  pat.sel_op = *parg.cmp;
+  const TermAst& rhs = *parg.rhs;
+  switch (rhs.kind) {
+    case TermAst::Kind::kNumber:
+      pat.sel_value.is_literal = true;
+      pat.sel_value.value = Value(rhs.number);
+      ++pat.specificity;
+      pat.predicate_bound = true;
+      break;
+    case TermAst::Kind::kString:
+      pat.sel_value.is_literal = true;
+      pat.sel_value.value = Value(rhs.string_value);
+      ++pat.specificity;
+      pat.predicate_bound = true;
+      break;
+    case TermAst::Kind::kName:
+      if (rhs.path.size() != 1) {
+        return HeadError(head, "value position must be a simple name or "
+                               "literal");
+      }
+      pat.sel_value.is_literal = false;
+      pat.sel_value.name = rhs.path[0];
+      pat.sel_value.slot = slots.Intern(rhs.path[0], BindingKind::kValue);
+      break;
+  }
+  return out;
+}
+
+}  // namespace costlang
+}  // namespace disco

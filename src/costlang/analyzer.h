@@ -1,0 +1,144 @@
+// Semantic analysis of rule heads: deciding literal vs free-variable
+// terms against the registering wrapper's schema, assigning binding
+// slots, and deriving pattern specificity.
+//
+// The paper's examples rely on context to distinguish `employee` (a
+// collection of the source) from `C` (a free variable). We make that
+// precise: a name in a pattern position is a literal iff the compile-time
+// schema knows it (as a collection, or as an attribute of a relevant
+// collection); otherwise it is a free variable that binds during
+// matching.
+
+#ifndef DISCO_COSTLANG_ANALYZER_H_
+#define DISCO_COSTLANG_ANALYZER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "algebra/predicate.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "costlang/ast.h"
+
+namespace disco {
+namespace costlang {
+
+/// What the compiler knows about the registering source's schema. All
+/// lookups are case-insensitive (the paper itself writes `employee` in a
+/// head and `Employee` in the body).
+class CompileSchema {
+ public:
+  /// Declares `collection` with its attribute names.
+  void AddCollection(const std::string& collection,
+                     const std::vector<std::string>& attributes);
+
+  bool IsCollection(const std::string& name) const;
+  bool IsAttributeOf(const std::string& collection,
+                     const std::string& attribute) const;
+  bool IsAttributeOfAny(const std::string& attribute) const;
+
+  /// Canonical (as-declared) spelling of a collection name.
+  std::optional<std::string> CanonicalCollection(const std::string& name) const;
+  /// Canonical spelling of an attribute of `collection`.
+  std::optional<std::string> CanonicalAttribute(
+      const std::string& collection, const std::string& attribute) const;
+  /// Canonical spelling of an attribute in any collection.
+  std::optional<std::string> CanonicalAttributeOfAny(
+      const std::string& attribute) const;
+
+ private:
+  struct Coll {
+    std::string canonical;
+    std::map<std::string, std::string> attrs;  // lower -> canonical
+  };
+  std::map<std::string, Coll> colls_;  // lower -> Coll
+};
+
+/// How a head variable may be used in the body (for diagnostics and for
+/// what gets bound at match time).
+enum class BindingKind {
+  kCollection,  ///< bound to an input's provenance collection name
+  kAttribute,   ///< bound to an attribute name
+  kValue,       ///< bound to a predicate constant
+  kPredicate,   ///< whole-predicate variable (bound to its rendering)
+};
+
+/// A pattern term in collection position: literal name or variable slot.
+struct InputPattern {
+  bool is_literal = false;
+  std::string name;  ///< canonical literal name, or the variable's name
+  int slot = -1;     ///< binding slot when !is_literal
+};
+
+/// A pattern term in attribute position.
+struct AttrPattern {
+  bool is_literal = false;
+  std::string name;
+  int slot = -1;
+};
+
+/// A pattern term in value position.
+struct ValuePattern {
+  bool is_literal = false;
+  Value value;
+  std::string name;  ///< variable name when !is_literal
+  int slot = -1;
+};
+
+/// Fully analyzed rule head, ready for matching.
+struct CompiledPattern {
+  algebra::OpKind op = algebra::OpKind::kScan;
+  std::vector<InputPattern> inputs;
+
+  enum class PredKind { kNone, kFree, kSelect, kJoin, kSortAttr } pred_kind =
+      PredKind::kNone;
+  int pred_slot = -1;  ///< kFree: slot of the whole-predicate variable
+
+  // kSelect
+  AttrPattern sel_attr;
+  algebra::CmpOp sel_op = algebra::CmpOp::kEq;
+  ValuePattern sel_value;
+
+  // kJoin
+  AttrPattern join_left;
+  AttrPattern join_right;
+
+  // kSortAttr (sort rules)
+  AttrPattern sort_attr;
+
+  /// Number of literal (bound) parameters; the paper's "more bound
+  /// parameters" ordering (Section 3.3.2).
+  int specificity = 0;
+
+  /// True if any part of the predicate position is literal -- this makes
+  /// the rule predicate-scope in the Figure 10 hierarchy.
+  bool predicate_bound = false;
+  /// True if any input is a literal collection -- collection-scope.
+  bool collection_bound = false;
+
+  std::string ToString() const;
+};
+
+/// Analysis result for one head: the pattern plus the binding-slot table
+/// the body compiler resolves variables against.
+struct AnalyzedHead {
+  CompiledPattern pattern;
+  /// slot -> (name lowercased, kind); slot i of the Bindings vector.
+  std::vector<std::pair<std::string, BindingKind>> slots;
+  /// lowercased literal input names / collection-variable names -> input
+  /// index, for resolving `Employee.TotalSize` or `C.TotalTime`.
+  std::map<std::string, int> input_names;
+};
+
+/// Analyzes a rule head against `schema`.
+Result<AnalyzedHead> AnalyzeHead(const RuleHeadAst& head,
+                                 const CompileSchema& schema);
+
+}  // namespace costlang
+}  // namespace disco
+
+#endif  // DISCO_COSTLANG_ANALYZER_H_

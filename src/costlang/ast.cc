@@ -1,0 +1,132 @@
+#include "costlang/ast.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace costlang {
+
+namespace {
+const char* BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kNumber: {
+      Value v(number);
+      return v.ToString();
+    }
+    case ExprKind::kString:
+      return "'" + string_value + "'";
+    case ExprKind::kPathRef:
+      return JoinStrings(path, ".");
+    case ExprKind::kBinary:
+      return "(" + args[0]->ToString() + " " + BinOpToString(bin_op) + " " +
+             args[1]->ToString() + ")";
+    case ExprKind::kNeg:
+      return "(-" + args[0]->ToString() + ")";
+    case ExprKind::kCall: {
+      std::string out = callee + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> MakeNumber(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNumber;
+  e->number = v;
+  return e;
+}
+
+std::unique_ptr<Expr> MakeString(std::string s) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kString;
+  e->string_value = std::move(s);
+  return e;
+}
+
+std::unique_ptr<Expr> MakePathRef(std::vector<std::string> path) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kPathRef;
+  e->path = std::move(path);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeBinary(BinOp op, std::unique_ptr<Expr> l,
+                                 std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->args.push_back(std::move(l));
+  e->args.push_back(std::move(r));
+  return e;
+}
+
+std::unique_ptr<Expr> MakeNeg(std::unique_ptr<Expr> inner) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNeg;
+  e->args.push_back(std::move(inner));
+  return e;
+}
+
+std::unique_ptr<Expr> MakeCall(std::string callee,
+                               std::vector<std::unique_ptr<Expr>> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->callee = std::move(callee);
+  e->args = std::move(args);
+  return e;
+}
+
+std::string TermAst::ToString() const {
+  switch (kind) {
+    case Kind::kName:
+      return JoinStrings(path, ".");
+    case Kind::kNumber: {
+      Value v(number);
+      return v.ToString();
+    }
+    case Kind::kString:
+      return "'" + string_value + "'";
+  }
+  return "?";
+}
+
+std::string RuleHeadAst::ToString() const {
+  std::string out = op_name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].lhs.ToString();
+    if (args[i].cmp.has_value()) {
+      out += " ";
+      out += algebra::CmpOpToString(*args[i].cmp);
+      out += " ";
+      out += args[i].rhs->ToString();
+    }
+  }
+  return out + ")";
+}
+
+std::string RuleAst::ToString() const {
+  std::string out = head.ToString() + " {\n";
+  for (const FormulaAst& f : formulas) {
+    out += "  " + f.target + " = " + f.expr->ToString() + ";\n";
+  }
+  return out + "}";
+}
+
+}  // namespace costlang
+}  // namespace disco

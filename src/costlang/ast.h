@@ -1,0 +1,139 @@
+// AST of the cost-rule language (paper Section 3.3, Figure 9).
+//
+// Surface syntax accepted (a superset of Figure 9; bodies may use `{}` or
+// the paper's `()`, formula separators `;` are optional at line ends):
+//
+//   rule_set  ::= (var_def | rule)*
+//   var_def   ::= "define" name "=" expr ";"
+//   rule      ::= head "{" formula* "}"
+//   head      ::= op_name "(" arg ("," arg)* ")"
+//   arg       ::= term                      -- collection position
+//               | term cmp term             -- predicate position
+//   term      ::= name ("." name)*  | number | string
+//   formula   ::= target "=" expr ";"
+//   target    ::= TimeFirst | TimeNext | TotalTime
+//               | CountObject | TotalSize | ObjectSize
+//               | name                      -- rule-local variable
+//   expr      ::= standard arithmetic over numbers, strings, path
+//                 references (Figure 7 naming scheme) and function calls
+//
+// Whether a name in a pattern position is a *literal* (a known collection
+// or attribute of the registering wrapper) or a *free variable* is decided
+// by the analyzer against the wrapper's schema, mirroring how the paper's
+// examples use `employee` (literal) vs `C`, `A`, `V` (variables).
+
+#ifndef DISCO_COSTLANG_AST_H_
+#define DISCO_COSTLANG_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "algebra/predicate.h"
+#include "common/value.h"
+
+namespace disco {
+namespace costlang {
+
+// ---- Expressions ------------------------------------------------------
+
+enum class ExprKind {
+  kNumber,   ///< numeric literal
+  kString,   ///< string literal
+  kPathRef,  ///< dotted name, e.g. Employee.Id.Min or CountObject
+  kBinary,   ///< lhs op rhs
+  kNeg,      ///< unary minus
+  kCall,     ///< function call f(args...)
+};
+
+enum class BinOp { kAdd, kSub, kMul, kDiv };
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+  int line = 0;
+
+  double number = 0;                     // kNumber
+  std::string string_value;              // kString
+  std::vector<std::string> path;         // kPathRef: 1-3 components
+  BinOp bin_op = BinOp::kAdd;            // kBinary
+  std::string callee;                    // kCall
+  std::vector<std::unique_ptr<Expr>> args;  // kBinary(2), kNeg(1), kCall(n)
+
+  std::string ToString() const;
+};
+
+std::unique_ptr<Expr> MakeNumber(double v);
+std::unique_ptr<Expr> MakeString(std::string s);
+std::unique_ptr<Expr> MakePathRef(std::vector<std::string> path);
+std::unique_ptr<Expr> MakeBinary(BinOp op, std::unique_ptr<Expr> l,
+                                 std::unique_ptr<Expr> r);
+std::unique_ptr<Expr> MakeNeg(std::unique_ptr<Expr> e);
+std::unique_ptr<Expr> MakeCall(std::string callee,
+                               std::vector<std::unique_ptr<Expr>> args);
+
+// ---- Rule heads -------------------------------------------------------
+
+/// One term of a head pattern before analysis. Literal-vs-variable is not
+/// yet decided, except for numbers/strings which are always literals.
+struct TermAst {
+  enum class Kind { kName, kNumber, kString } kind = Kind::kName;
+  std::vector<std::string> path;  ///< kName: possibly qualified (x1.id)
+  double number = 0;
+  std::string string_value;
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// One argument of a head: either a plain term (collection position or a
+/// free predicate variable) or a comparison `lhs cmp rhs` (predicate).
+struct HeadArgAst {
+  TermAst lhs;
+  std::optional<algebra::CmpOp> cmp;  ///< set iff this is a predicate arg
+  std::optional<TermAst> rhs;
+};
+
+struct RuleHeadAst {
+  std::string op_name;  ///< scan | select | ... (validated by analyzer)
+  std::vector<HeadArgAst> args;
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+// ---- Rules and rule sets ---------------------------------------------
+
+struct FormulaAst {
+  std::string target;  ///< cost-var name or rule-local variable
+  std::unique_ptr<Expr> expr;
+  int line = 0;
+};
+
+struct RuleAst {
+  RuleHeadAst head;
+  std::vector<FormulaAst> formulas;
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+struct VarDefAst {
+  std::string name;
+  std::unique_ptr<Expr> expr;
+  int line = 0;
+};
+
+/// A full parsed rule file: global variable definitions plus rules, in
+/// source order (order is the paper's tiebreak between equally specific
+/// rules).
+struct RuleSetAst {
+  std::vector<VarDefAst> defs;
+  std::vector<RuleAst> rules;
+};
+
+}  // namespace costlang
+}  // namespace disco
+
+#endif  // DISCO_COSTLANG_AST_H_

@@ -1,0 +1,208 @@
+#include "costlang/builtin_functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace disco {
+namespace costlang {
+
+namespace {
+
+enum BuiltinId {
+  kExp = 0,
+  kLn,
+  kLog2,
+  kLog10,
+  kSqrt,
+  kPow,
+  kCeil,
+  kFloor,
+  kAbs,
+  kMin,
+  kMax,
+  kIf,
+  kLtFn,
+  kLeFn,
+  kGtFn,
+  kGeFn,
+  kEqFn,
+  kNeFn,
+  kAndFn,
+  kOrFn,
+  kNotFn,
+  kClamp,
+  kYao,
+  kNumBuiltins,
+};
+
+const BuiltinFunction kBuiltins[] = {
+    {kExp, "exp", 1, 1},    {kLn, "ln", 1, 1},       {kLog2, "log2", 1, 1},
+    {kLog10, "log10", 1, 1},{kSqrt, "sqrt", 1, 1},   {kPow, "pow", 2, 2},
+    {kCeil, "ceil", 1, 1},  {kFloor, "floor", 1, 1}, {kAbs, "abs", 1, 1},
+    {kMin, "min", 1, -1},   {kMax, "max", 1, -1},    {kIf, "if", 3, 3},
+    {kLtFn, "lt", 2, 2},    {kLeFn, "le", 2, 2},     {kGtFn, "gt", 2, 2},
+    {kGeFn, "ge", 2, 2},    {kEqFn, "eq", 2, 2},     {kNeFn, "ne", 2, 2},
+    {kAndFn, "and", 2, -1}, {kOrFn, "or", 2, -1},    {kNotFn, "not", 1, 1},
+    {kClamp, "clamp", 3, 3},{kYao, "yao", 3, 3},
+};
+static_assert(sizeof(kBuiltins) / sizeof(kBuiltins[0]) == kNumBuiltins);
+
+Result<double> Num(const Value& v, const char* fn) {
+  if (!v.is_numeric()) {
+    if (v.is_bool()) return v.AsBool() ? 1.0 : 0.0;
+    return Status::ExecutionError(std::string(fn) +
+                                  ": non-numeric argument " + v.ToString());
+  }
+  return v.AsDouble();
+}
+
+}  // namespace
+
+Result<BuiltinFunction> LookupBuiltin(const std::string& name) {
+  // "log" is accepted as an alias for the natural logarithm, matching the
+  // paper's informal formula notation.
+  std::string n = ToLower(name);
+  if (n == "log") n = "ln";
+  for (const BuiltinFunction& f : kBuiltins) {
+    if (f.name == n) return f;
+  }
+  return Status::NotFound("unknown function '" + name + "'");
+}
+
+const BuiltinFunction& BuiltinById(int id) {
+  DISCO_CHECK(id >= 0 && id < kNumBuiltins) << "bad builtin id " << id;
+  return kBuiltins[id];
+}
+
+double YaoFraction(double sel, double count_object, double count_page) {
+  if (count_page <= 0) return 1.0;
+  double f = 1.0 - std::exp(-sel * count_object / count_page);
+  return std::clamp(f, 0.0, 1.0);
+}
+
+Result<Value> CallBuiltin(int id, std::span<const Value> args) {
+  const char* fn = BuiltinById(id).name.c_str();
+  auto num = [&](size_t i) { return Num(args[i], fn); };
+
+  switch (id) {
+    case kExp: {
+      DISCO_ASSIGN_OR_RETURN(double x, num(0));
+      return Value(std::exp(x));
+    }
+    case kLn: {
+      DISCO_ASSIGN_OR_RETURN(double x, num(0));
+      if (x <= 0) return Status::ExecutionError("ln of non-positive value");
+      return Value(std::log(x));
+    }
+    case kLog2: {
+      DISCO_ASSIGN_OR_RETURN(double x, num(0));
+      if (x <= 0) return Status::ExecutionError("log2 of non-positive value");
+      return Value(std::log2(x));
+    }
+    case kLog10: {
+      DISCO_ASSIGN_OR_RETURN(double x, num(0));
+      if (x <= 0) return Status::ExecutionError("log10 of non-positive value");
+      return Value(std::log10(x));
+    }
+    case kSqrt: {
+      DISCO_ASSIGN_OR_RETURN(double x, num(0));
+      if (x < 0) return Status::ExecutionError("sqrt of negative value");
+      return Value(std::sqrt(x));
+    }
+    case kPow: {
+      DISCO_ASSIGN_OR_RETURN(double x, num(0));
+      DISCO_ASSIGN_OR_RETURN(double y, num(1));
+      return Value(std::pow(x, y));
+    }
+    case kCeil: {
+      DISCO_ASSIGN_OR_RETURN(double x, num(0));
+      return Value(std::ceil(x));
+    }
+    case kFloor: {
+      DISCO_ASSIGN_OR_RETURN(double x, num(0));
+      return Value(std::floor(x));
+    }
+    case kAbs: {
+      DISCO_ASSIGN_OR_RETURN(double x, num(0));
+      return Value(std::abs(x));
+    }
+    case kMin: {
+      DISCO_ASSIGN_OR_RETURN(double best, num(0));
+      for (size_t i = 1; i < args.size(); ++i) {
+        DISCO_ASSIGN_OR_RETURN(double x, num(i));
+        best = std::min(best, x);
+      }
+      return Value(best);
+    }
+    case kMax: {
+      DISCO_ASSIGN_OR_RETURN(double best, num(0));
+      for (size_t i = 1; i < args.size(); ++i) {
+        DISCO_ASSIGN_OR_RETURN(double x, num(i));
+        best = std::max(best, x);
+      }
+      return Value(best);
+    }
+    case kIf: {
+      DISCO_ASSIGN_OR_RETURN(double c, num(0));
+      return c != 0 ? args[1] : args[2];
+    }
+    case kLtFn:
+    case kLeFn:
+    case kGtFn:
+    case kGeFn:
+    case kEqFn:
+    case kNeFn: {
+      DISCO_ASSIGN_OR_RETURN(int c, args[0].Compare(args[1]));
+      bool r = false;
+      switch (id) {
+        case kLtFn: r = c < 0; break;
+        case kLeFn: r = c <= 0; break;
+        case kGtFn: r = c > 0; break;
+        case kGeFn: r = c >= 0; break;
+        case kEqFn: r = c == 0; break;
+        case kNeFn: r = c != 0; break;
+      }
+      return Value(r ? 1.0 : 0.0);
+    }
+    case kAndFn: {
+      for (size_t i = 0; i < args.size(); ++i) {
+        DISCO_ASSIGN_OR_RETURN(double x, num(i));
+        if (x == 0) return Value(0.0);
+      }
+      return Value(1.0);
+    }
+    case kOrFn: {
+      for (size_t i = 0; i < args.size(); ++i) {
+        DISCO_ASSIGN_OR_RETURN(double x, num(i));
+        if (x != 0) return Value(1.0);
+      }
+      return Value(0.0);
+    }
+    case kNotFn: {
+      DISCO_ASSIGN_OR_RETURN(double x, num(0));
+      return Value(x == 0 ? 1.0 : 0.0);
+    }
+    case kClamp: {
+      DISCO_ASSIGN_OR_RETURN(double x, num(0));
+      DISCO_ASSIGN_OR_RETURN(double lo, num(1));
+      DISCO_ASSIGN_OR_RETURN(double hi, num(2));
+      if (lo > hi) return Status::ExecutionError("clamp: lo > hi");
+      return Value(std::clamp(x, lo, hi));
+    }
+    case kYao: {
+      DISCO_ASSIGN_OR_RETURN(double sel, num(0));
+      DISCO_ASSIGN_OR_RETURN(double count_object, num(1));
+      DISCO_ASSIGN_OR_RETURN(double count_page, num(2));
+      return Value(YaoFraction(sel, count_object, count_page));
+    }
+    default:
+      return Status::Internal(StringPrintf("bad builtin id %d", id));
+  }
+}
+
+}  // namespace costlang
+}  // namespace disco

@@ -1,0 +1,50 @@
+// Builtin function library available to cost formulas.
+//
+// The paper lets wrapper implementors "invoke functions from the standard
+// Java library"; this is the C++ analogue: a fixed registry of pure
+// functions resolvable by name at compile time and dispatched by id in
+// the VM. Notable entries:
+//   yao(sel, count_object, count_page) -- Yao's page-fetch fraction
+//       1 - exp(-sel * count_object / count_page), the approximation the
+//       paper's Section 5 uses for the improved index-scan estimate.
+//   if(cond, a, b)  -- cond != 0 ? a : b; lets the generic cost model
+//       express "index scan if an index exists, else sequential".
+
+#ifndef DISCO_COSTLANG_BUILTIN_FUNCTIONS_H_
+#define DISCO_COSTLANG_BUILTIN_FUNCTIONS_H_
+
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace disco {
+namespace costlang {
+
+struct BuiltinFunction {
+  int id = -1;
+  std::string name;
+  int min_arity = 0;
+  int max_arity = 0;  ///< -1 = unbounded (min, max)
+};
+
+/// Resolves a function by name (case-insensitive); NotFound if unknown.
+Result<BuiltinFunction> LookupBuiltin(const std::string& name);
+
+/// Resolves a function by id; checked.
+const BuiltinFunction& BuiltinById(int id);
+
+/// Invokes builtin `id` on `args`. Arity has been checked at compile
+/// time; argument type errors surface as ExecutionError.
+Result<Value> CallBuiltin(int id, std::span<const Value> args);
+
+/// Yao's approximation of the fraction of pages fetched by an index scan
+/// retrieving `sel * count_object` objects spread over `count_page` pages
+/// (paper Section 5): 1 - exp(-sel * count_object / count_page).
+double YaoFraction(double sel, double count_object, double count_page);
+
+}  // namespace costlang
+}  // namespace disco
+
+#endif  // DISCO_COSTLANG_BUILTIN_FUNCTIONS_H_

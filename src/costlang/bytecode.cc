@@ -1,0 +1,118 @@
+#include "costlang/bytecode.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace costlang {
+
+const char* CostVarName(CostVarId id) {
+  switch (id) {
+    case CostVarId::kCountObject: return "CountObject";
+    case CostVarId::kObjectSize: return "ObjectSize";
+    case CostVarId::kTotalSize: return "TotalSize";
+    case CostVarId::kTimeFirst: return "TimeFirst";
+    case CostVarId::kTimeNext: return "TimeNext";
+    case CostVarId::kTotalTime: return "TotalTime";
+  }
+  return "?";
+}
+
+Result<CostVarId> CostVarFromName(const std::string& name) {
+  for (int i = 0; i < kNumCostVars; ++i) {
+    CostVarId id = static_cast<CostVarId>(i);
+    if (EqualsIgnoreCase(name, CostVarName(id))) return id;
+  }
+  return Status::NotFound("'" + name + "' is not a cost variable");
+}
+
+bool IsCostVarName(const std::string& name) {
+  return CostVarFromName(name).ok();
+}
+
+const char* AttrStatName(AttrStatId id) {
+  switch (id) {
+    case AttrStatId::kIndexed: return "Indexed";
+    case AttrStatId::kClustered: return "Clustered";
+    case AttrStatId::kCountDistinct: return "CountDistinct";
+    case AttrStatId::kMin: return "Min";
+    case AttrStatId::kMax: return "Max";
+  }
+  return "?";
+}
+
+Result<AttrStatId> AttrStatFromName(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(AttrStatId::kMax); ++i) {
+    AttrStatId id = static_cast<AttrStatId>(i);
+    if (EqualsIgnoreCase(name, AttrStatName(id))) return id;
+  }
+  return Status::NotFound("'" + name + "' is not an attribute statistic");
+}
+
+bool IsAttrStatName(const std::string& name) {
+  return AttrStatFromName(name).ok();
+}
+
+namespace {
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kPushConst: return "push_const";
+    case OpCode::kLoadInputVar: return "load_input_var";
+    case OpCode::kLoadInputAttr: return "load_input_attr";
+    case OpCode::kLoadSelfVar: return "load_self_var";
+    case OpCode::kLoadLocal: return "load_local";
+    case OpCode::kLoadGlobal: return "load_global";
+    case OpCode::kLoadBinding: return "load_binding";
+    case OpCode::kAdd: return "add";
+    case OpCode::kSub: return "sub";
+    case OpCode::kMul: return "mul";
+    case OpCode::kDiv: return "div";
+    case OpCode::kNeg: return "neg";
+    case OpCode::kCall: return "call";
+    case OpCode::kSelectivity: return "selectivity";
+    case OpCode::kRet: return "ret";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Program::Disassemble() const {
+  std::string out;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Instr& in = code[i];
+    out += StringPrintf("%3zu  %-16s", i, OpCodeName(in.op));
+    switch (in.op) {
+      case OpCode::kPushConst:
+        out += const_pool[static_cast<size_t>(in.a)].ToString();
+        break;
+      case OpCode::kLoadInputVar:
+        out += StringPrintf("input=%d var=%s", in.a,
+                            CostVarName(static_cast<CostVarId>(in.b)));
+        break;
+      case OpCode::kLoadInputAttr:
+        out += StringPrintf("input=%d attr=%d stat=%s", in.a, in.b,
+                            AttrStatName(static_cast<AttrStatId>(in.c)));
+        break;
+      case OpCode::kLoadSelfVar:
+        out += CostVarName(static_cast<CostVarId>(in.a));
+        break;
+      case OpCode::kLoadLocal:
+      case OpCode::kLoadGlobal:
+      case OpCode::kLoadBinding:
+        out += StringPrintf("slot=%d", in.a);
+        break;
+      case OpCode::kCall:
+        out += StringPrintf("fn=%d argc=%d", in.a, in.b);
+        break;
+      case OpCode::kSelectivity:
+        out += StringPrintf("argc=%d attr=%d", in.a, in.b);
+        break;
+      default:
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace costlang
+}  // namespace disco

@@ -1,0 +1,107 @@
+// Bytecode representation of compiled cost formulas.
+//
+// The paper (Section 2.4) ships cost formulas as compiled code to the
+// mediator at registration "yield[ing] fast evaluation time ... during
+// query optimization". This module is that target: a small stack machine
+// whose programs are produced once by the compiler and executed many
+// times by the VM while the optimizer costs candidate plans.
+
+#ifndef DISCO_COSTLANG_BYTECODE_H_
+#define DISCO_COSTLANG_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace disco {
+namespace costlang {
+
+/// The cost/statistic variables a formula can compute or reference,
+/// ordered by evaluation dependency: sizes first, then times (paper
+/// Section 2.3 time parameters + Section 3.3 size rules).
+enum class CostVarId {
+  kCountObject = 0,
+  kObjectSize,
+  kTotalSize,
+  kTimeFirst,
+  kTimeNext,
+  kTotalTime,
+};
+constexpr int kNumCostVars = 6;
+
+const char* CostVarName(CostVarId id);
+/// Case-insensitive lookup; NotFound for non-cost-var names.
+Result<CostVarId> CostVarFromName(const std::string& name);
+bool IsCostVarName(const std::string& name);
+
+/// Per-attribute statistics addressable from formulas (Figure 7).
+enum class AttrStatId {
+  kIndexed = 0,     ///< 1.0 if an index exists, else 0.0
+  kClustered,       ///< 1.0 if data is clustered on the attribute
+  kCountDistinct,
+  kMin,             ///< polymorphic: may be a string
+  kMax,
+};
+
+const char* AttrStatName(AttrStatId id);
+Result<AttrStatId> AttrStatFromName(const std::string& name);
+bool IsAttrStatName(const std::string& name);
+
+/// Stack-machine opcodes. Operands live in Instr::a/b/c; the meaning of
+/// each operand is documented per opcode.
+enum class OpCode : uint8_t {
+  kPushConst,      ///< a: constant-pool index
+  kLoadInputVar,   ///< a: input index; b: CostVarId
+  kLoadInputAttr,  ///< a: input index; b: attr operand (see below); c: AttrStatId
+  kLoadSelfVar,    ///< a: CostVarId of this node (already computed)
+  kLoadLocal,      ///< a: rule-local slot
+  kLoadGlobal,     ///< a: rule-set global slot
+  kLoadBinding,    ///< a: head-variable binding slot
+  kAdd,            ///< pop rhs, lhs; push lhs + rhs
+  kSub,
+  kMul,
+  kDiv,            ///< division by zero is an ExecutionError
+  kNeg,
+  kCall,           ///< a: builtin id; b: argc (args popped left-to-right)
+  kSelectivity,    ///< a: argc (0 or 2); b: attr operand when argc == 2.
+                   ///< argc == 2 additionally pops the comparison value.
+  kRet,            ///< result is top of stack
+};
+
+/// Attribute operands of kLoadInputAttr / kSelectivity:
+///   >= 0            constant-pool index of a literal attribute name
+///   kAttrImplied    the attribute of the node's own select predicate
+///   <= -2           binding slot s encoded as -(s + 2)
+constexpr int kAttrImplied = -1;
+inline int EncodeAttrBinding(int slot) { return -(slot + 2); }
+inline int DecodeAttrBinding(int operand) { return -operand - 2; }
+
+struct Instr {
+  OpCode op;
+  int a = 0;
+  int b = 0;
+  int c = 0;
+};
+
+/// A compiled formula: straight-line code ending in kRet, plus the
+/// dependency metadata the estimator's phase 1 uses to propagate required
+/// variables to children (paper Section 4.2 optimization (i)).
+struct Program {
+  std::vector<Instr> code;
+  std::vector<Value> const_pool;
+
+  /// (input index, variable) pairs this formula reads from its inputs.
+  std::vector<std::pair<int, CostVarId>> input_var_refs;
+  /// Variables of the same node this formula reads (cross-rule refs).
+  std::vector<CostVarId> self_var_refs;
+
+  std::string Disassemble() const;
+};
+
+}  // namespace costlang
+}  // namespace disco
+
+#endif  // DISCO_COSTLANG_BYTECODE_H_

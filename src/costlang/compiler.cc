@@ -1,0 +1,395 @@
+#include "costlang/compiler.h"
+
+#include <map>
+
+#include "common/str_util.h"
+#include "costlang/builtin_functions.h"
+#include "costlang/parser.h"
+#include "costlang/vm.h"
+
+namespace disco {
+namespace costlang {
+
+bool CompiledRule::Provides(CostVarId var) const {
+  for (const CompiledFormula& f : formulas) {
+    if (f.target == var) return true;
+  }
+  return false;
+}
+
+std::string CompiledRule::ToString() const {
+  std::string out = pattern.ToString() + " -> {";
+  std::vector<std::string> targets;
+  for (const CompiledFormula& f : formulas) {
+    targets.push_back(CostVarName(f.target));
+  }
+  out += JoinStrings(targets, ", ");
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// Per-rule compilation environment shared by the expression compiler.
+struct RuleEnv {
+  const AnalyzedHead* head = nullptr;
+  const CompileSchema* schema = nullptr;
+  // Globals: lowercased name -> slot.
+  const std::map<std::string, int>* globals = nullptr;
+  // Locals defined so far in this rule: lowercased name -> slot.
+  std::map<std::string, int> locals;
+};
+
+/// Compiles one expression into `program` (appends instructions; caller
+/// adds kRet). Records input/self dependencies in the program metadata.
+class ExprCompiler {
+ public:
+  ExprCompiler(const RuleEnv& env, Program* program)
+      : env_(env), program_(program) {}
+
+  Status Compile(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+        Emit({OpCode::kPushConst, PoolConst(Value(e.number))});
+        return Status::OK();
+      case ExprKind::kString:
+        Emit({OpCode::kPushConst, PoolConst(Value(e.string_value))});
+        return Status::OK();
+      case ExprKind::kBinary: {
+        DISCO_RETURN_NOT_OK(Compile(*e.args[0]));
+        DISCO_RETURN_NOT_OK(Compile(*e.args[1]));
+        OpCode op = OpCode::kAdd;
+        switch (e.bin_op) {
+          case BinOp::kAdd: op = OpCode::kAdd; break;
+          case BinOp::kSub: op = OpCode::kSub; break;
+          case BinOp::kMul: op = OpCode::kMul; break;
+          case BinOp::kDiv: op = OpCode::kDiv; break;
+        }
+        Emit({op});
+        return Status::OK();
+      }
+      case ExprKind::kNeg:
+        DISCO_RETURN_NOT_OK(Compile(*e.args[0]));
+        Emit({OpCode::kNeg});
+        return Status::OK();
+      case ExprKind::kCall:
+        return CompileCall(e);
+      case ExprKind::kPathRef:
+        return CompilePathRef(e);
+    }
+    return Status::Internal("bad expression kind");
+  }
+
+ private:
+  Status CompileCall(const Expr& e) {
+    if (EqualsIgnoreCase(e.callee, "selectivity")) {
+      return CompileSelectivity(e);
+    }
+    Result<BuiltinFunction> fn = LookupBuiltin(e.callee);
+    if (!fn.ok()) {
+      return Err(e.line, "unknown function '" + e.callee + "'");
+    }
+    const int argc = static_cast<int>(e.args.size());
+    if (argc < fn->min_arity ||
+        (fn->max_arity >= 0 && argc > fn->max_arity)) {
+      return Err(e.line,
+                 StringPrintf("%s expects %d..%d arguments, got %d",
+                              fn->name.c_str(), fn->min_arity, fn->max_arity,
+                              argc));
+    }
+    for (const auto& a : e.args) DISCO_RETURN_NOT_OK(Compile(*a));
+    Emit({OpCode::kCall, fn->id, argc});
+    return Status::OK();
+  }
+
+  /// selectivity() / selectivity(V) / selectivity(A, V): the selectivity
+  /// of the node's predicate (paper Figure 8). With no arguments both the
+  /// attribute and the comparison value come from the matched node.
+  Status CompileSelectivity(const Expr& e) {
+    if (e.args.empty()) {
+      Emit({OpCode::kSelectivity, 0});
+      return Status::OK();
+    }
+    if (e.args.size() == 1) {
+      DISCO_RETURN_NOT_OK(Compile(*e.args[0]));
+      Emit({OpCode::kSelectivity, 2, kAttrImplied});
+      return Status::OK();
+    }
+    if (e.args.size() != 2) {
+      return Err(e.line, "selectivity takes at most 2 arguments");
+    }
+    DISCO_ASSIGN_OR_RETURN(int attr_operand, AttrOperandFor(*e.args[0]));
+    DISCO_RETURN_NOT_OK(Compile(*e.args[1]));
+    Emit({OpCode::kSelectivity, 2, attr_operand});
+    return Status::OK();
+  }
+
+  /// Resolves an expression used in attribute position (first argument of
+  /// selectivity) into an attribute operand.
+  Result<int> AttrOperandFor(const Expr& e) {
+    if (e.kind == ExprKind::kString) {
+      return PoolConst(Value(e.string_value));
+    }
+    if (e.kind != ExprKind::kPathRef || e.path.size() != 1) {
+      return Err(e.line, "selectivity's first argument must name an attribute");
+    }
+    const std::string key = ToLower(e.path[0]);
+    // A head attribute variable?
+    for (size_t i = 0; i < env_.head->slots.size(); ++i) {
+      if (env_.head->slots[i].first == key &&
+          env_.head->slots[i].second == BindingKind::kAttribute) {
+        return EncodeAttrBinding(static_cast<int>(i));
+      }
+    }
+    // A literal attribute name.
+    return PoolConst(Value(e.path[0]));
+  }
+
+  Status CompilePathRef(const Expr& e) {
+    const std::vector<std::string>& p = e.path;
+    if (p.size() == 1) return CompileBareName(e);
+    if (p.size() == 2) return CompileTwoPart(e);
+    if (p.size() == 3) return CompileThreePart(e);
+    return Err(e.line, "path '" + JoinStrings(p, ".") + "' has too many parts");
+  }
+
+  /// Bare name resolution order: rule-local, head binding, global, cost
+  /// variable of this node, attribute statistic with implied attribute.
+  Status CompileBareName(const Expr& e) {
+    const std::string& name = e.path[0];
+    const std::string key = ToLower(name);
+
+    auto lit = env_.locals.find(key);
+    if (lit != env_.locals.end()) {
+      Emit({OpCode::kLoadLocal, lit->second});
+      return Status::OK();
+    }
+    for (size_t i = 0; i < env_.head->slots.size(); ++i) {
+      if (env_.head->slots[i].first == key) {
+        Emit({OpCode::kLoadBinding, static_cast<int>(i)});
+        return Status::OK();
+      }
+    }
+    auto git = env_.globals->find(key);
+    if (git != env_.globals->end()) {
+      Emit({OpCode::kLoadGlobal, git->second});
+      return Status::OK();
+    }
+    Result<CostVarId> var = CostVarFromName(name);
+    if (var.ok()) {
+      Emit({OpCode::kLoadSelfVar, static_cast<int>(*var)});
+      program_->self_var_refs.push_back(*var);
+      return Status::OK();
+    }
+    Result<AttrStatId> stat = AttrStatFromName(name);
+    if (stat.ok()) {
+      Emit({OpCode::kLoadInputAttr, 0, kAttrImplied, static_cast<int>(*stat)});
+      return Status::OK();
+    }
+    return Err(e.line, "unknown name '" + name + "'");
+  }
+
+  /// `X.Y`: X an input (literal collection or collection variable), Y a
+  /// cost variable or an attribute statistic with implied attribute; or
+  /// X an attribute variable and Y a statistic.
+  Status CompileTwoPart(const Expr& e) {
+    const std::string xkey = ToLower(e.path[0]);
+    const std::string& y = e.path[1];
+
+    auto iit = env_.head->input_names.find(xkey);
+    if (iit != env_.head->input_names.end()) {
+      const int input = iit->second;
+      Result<CostVarId> var = CostVarFromName(y);
+      if (var.ok()) {
+        Emit({OpCode::kLoadInputVar, input, static_cast<int>(*var)});
+        program_->input_var_refs.emplace_back(input, *var);
+        return Status::OK();
+      }
+      Result<AttrStatId> stat = AttrStatFromName(y);
+      if (stat.ok()) {
+        Emit({OpCode::kLoadInputAttr, input, kAttrImplied,
+              static_cast<int>(*stat)});
+        return Status::OK();
+      }
+      return Err(e.line, "'" + y + "' is neither a cost variable nor an "
+                 "attribute statistic");
+    }
+    // X as attribute variable: A.CountDistinct et al., on input 0.
+    for (size_t i = 0; i < env_.head->slots.size(); ++i) {
+      if (env_.head->slots[i].first == xkey &&
+          env_.head->slots[i].second == BindingKind::kAttribute) {
+        DISCO_ASSIGN_OR_RETURN(AttrStatId stat, AttrStatFromName(y));
+        Emit({OpCode::kLoadInputAttr, 0,
+              EncodeAttrBinding(static_cast<int>(i)), static_cast<int>(stat)});
+        return Status::OK();
+      }
+    }
+    return Err(e.line, "'" + e.path[0] + "' does not name an input of this "
+               "rule");
+  }
+
+  /// `X.A.Stat`: input X, attribute A (literal or attribute variable),
+  /// statistic Stat.
+  Status CompileThreePart(const Expr& e) {
+    const std::string xkey = ToLower(e.path[0]);
+    auto iit = env_.head->input_names.find(xkey);
+    if (iit == env_.head->input_names.end()) {
+      return Err(e.line, "'" + e.path[0] + "' does not name an input of this "
+                 "rule");
+    }
+    const int input = iit->second;
+    DISCO_ASSIGN_OR_RETURN(AttrStatId stat, AttrStatFromName(e.path[2]));
+
+    const std::string akey = ToLower(e.path[1]);
+    int attr_operand = 0;
+    bool is_binding = false;
+    for (size_t i = 0; i < env_.head->slots.size(); ++i) {
+      if (env_.head->slots[i].first == akey &&
+          env_.head->slots[i].second == BindingKind::kAttribute) {
+        attr_operand = EncodeAttrBinding(static_cast<int>(i));
+        is_binding = true;
+        break;
+      }
+    }
+    if (!is_binding) attr_operand = PoolConst(Value(e.path[1]));
+    Emit({OpCode::kLoadInputAttr, input, attr_operand, static_cast<int>(stat)});
+    return Status::OK();
+  }
+
+  int PoolConst(Value v) {
+    for (size_t i = 0; i < program_->const_pool.size(); ++i) {
+      if (program_->const_pool[i] == v &&
+          program_->const_pool[i].type() == v.type()) {
+        return static_cast<int>(i);
+      }
+    }
+    program_->const_pool.push_back(std::move(v));
+    return static_cast<int>(program_->const_pool.size()) - 1;
+  }
+
+  void Emit(Instr in) { program_->code.push_back(in); }
+
+  Status Err(int line, const std::string& msg) {
+    return Status::ParseError(
+        StringPrintf("cost rule line %d: %s", line, msg.c_str()));
+  }
+
+  const RuleEnv& env_;
+  Program* program_;
+};
+
+/// EvalContext that rejects all node-dependent accesses; used to evaluate
+/// `define`s, which may only reference constants, earlier globals and
+/// pure functions.
+class GlobalEvalContext : public EvalContext {
+ public:
+  Result<double> InputVar(int, CostVarId) override { return Fail(); }
+  Result<Value> InputAttrStat(int, const std::string&, AttrStatId) override {
+    return Status::ExecutionError(kMsg);
+  }
+  Result<double> SelfVar(CostVarId) override { return Fail(); }
+  Result<Value> Binding(int) override {
+    return Status::ExecutionError(kMsg);
+  }
+  Result<std::string> ImpliedAttribute() override {
+    return Status::ExecutionError(kMsg);
+  }
+  Result<double> Selectivity(int, const std::optional<std::string>&,
+                             const std::optional<Value>&) override {
+    return Fail();
+  }
+
+ private:
+  static constexpr const char* kMsg =
+      "global definitions may not reference operators or statistics";
+  Result<double> Fail() { return Status::ExecutionError(kMsg); }
+};
+
+}  // namespace
+
+Result<CompiledRuleSet> Compile(const RuleSetAst& ast,
+                                const CompileSchema& schema) {
+  CompiledRuleSet out;
+  std::map<std::string, int> globals;  // lowercased -> slot
+
+  // Globals evaluate at compile (= registration) time, in order; each may
+  // reference the ones before it.
+  for (const VarDefAst& def : ast.defs) {
+    const std::string key = ToLower(def.name);
+    if (globals.count(key) > 0) {
+      return Status::ParseError(StringPrintf(
+          "cost rule line %d: duplicate definition of '%s'", def.line,
+          def.name.c_str()));
+    }
+    RuleEnv env;
+    AnalyzedHead empty_head;
+    env.head = &empty_head;
+    env.schema = &schema;
+    env.globals = &globals;
+    Program program;
+    ExprCompiler ec(env, &program);
+    DISCO_RETURN_NOT_OK(ec.Compile(*def.expr));
+    program.code.push_back({OpCode::kRet});
+    GlobalEvalContext gctx;
+    DISCO_ASSIGN_OR_RETURN(
+        double v, Execute(program, &gctx, {}, out.global_values));
+    globals[key] = static_cast<int>(out.global_values.size());
+    out.global_names.push_back(def.name);
+    out.global_values.push_back(Value(v));
+  }
+
+  for (const RuleAst& rule_ast : ast.rules) {
+    DISCO_ASSIGN_OR_RETURN(AnalyzedHead head,
+                           AnalyzeHead(rule_ast.head, schema));
+    CompiledRule rule;
+    rule.pattern = head.pattern;
+    rule.binding_slots = head.slots;
+    rule.line = rule_ast.line;
+
+    RuleEnv env;
+    env.head = &head;
+    env.schema = &schema;
+    env.globals = &globals;
+
+    for (const FormulaAst& f : rule_ast.formulas) {
+      Program program;
+      ExprCompiler ec(env, &program);
+      DISCO_RETURN_NOT_OK(ec.Compile(*f.expr));
+      program.code.push_back({OpCode::kRet});
+
+      Result<CostVarId> var = CostVarFromName(f.target);
+      if (var.ok()) {
+        if (rule.Provides(*var)) {
+          return Status::ParseError(StringPrintf(
+              "cost rule line %d: '%s' is computed twice in one rule", f.line,
+              f.target.c_str()));
+        }
+        rule.formulas.push_back(CompiledFormula{*var, std::move(program)});
+      } else {
+        const std::string key = ToLower(f.target);
+        if (env.locals.count(key) > 0) {
+          return Status::ParseError(StringPrintf(
+              "cost rule line %d: duplicate local '%s'", f.line,
+              f.target.c_str()));
+        }
+        env.locals[key] = static_cast<int>(rule.locals.size());
+        rule.locals.push_back(CompiledLocal{f.target, std::move(program)});
+      }
+    }
+    if (rule.formulas.empty()) {
+      return Status::ParseError(StringPrintf(
+          "cost rule line %d: rule computes no cost variable", rule_ast.line));
+    }
+    out.rules.push_back(std::move(rule));
+  }
+  return out;
+}
+
+Result<CompiledRuleSet> CompileRuleText(const std::string& text,
+                                        const CompileSchema& schema) {
+  DISCO_ASSIGN_OR_RETURN(RuleSetAst ast, ParseRuleSet(text));
+  return Compile(ast, schema);
+}
+
+}  // namespace costlang
+}  // namespace disco

@@ -1,0 +1,71 @@
+// Compiler: rule-set AST -> compiled rules (patterns + bytecode).
+//
+// This is the "semi-compiled bytecode ... sent efficiently from the
+// wrapper to the mediator at source registration time" of the paper's
+// conclusion. Compilation happens once per registration; the produced
+// CompiledRuleSet is what the mediator's rule registry stores.
+
+#ifndef DISCO_COSTLANG_COMPILER_H_
+#define DISCO_COSTLANG_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "costlang/analyzer.h"
+#include "costlang/ast.h"
+#include "costlang/bytecode.h"
+
+namespace disco {
+namespace costlang {
+
+/// One compiled formula: which cost variable it computes and the code.
+struct CompiledFormula {
+  CostVarId target = CostVarId::kTotalTime;
+  Program program;
+};
+
+/// One compiled rule-local definition (e.g. Figure 13's CountPage),
+/// evaluated in textual order before the rule's formulas.
+struct CompiledLocal {
+  std::string name;
+  Program program;
+};
+
+/// A compiled rule: matchable pattern + code. Scope and registration
+/// order are attached later by the cost-model registry.
+struct CompiledRule {
+  CompiledPattern pattern;
+  /// slot -> (lowercased variable name, kind); indices are the binding
+  /// slots the matcher fills and kLoadBinding reads.
+  std::vector<std::pair<std::string, BindingKind>> binding_slots;
+  std::vector<CompiledLocal> locals;
+  std::vector<CompiledFormula> formulas;
+  int line = 0;
+
+  /// True if some formula computes `var`.
+  bool Provides(CostVarId var) const;
+
+  std::string ToString() const;
+};
+
+/// A compiled rule file: globals (already evaluated -- `define`s are
+/// registration-time constants) plus rules in source order.
+struct CompiledRuleSet {
+  std::vector<std::string> global_names;
+  std::vector<Value> global_values;
+  std::vector<CompiledRule> rules;
+};
+
+/// Compiles `ast` against the registering source's schema.
+Result<CompiledRuleSet> Compile(const RuleSetAst& ast,
+                                const CompileSchema& schema);
+
+/// Convenience: parse + compile.
+Result<CompiledRuleSet> CompileRuleText(const std::string& text,
+                                        const CompileSchema& schema);
+
+}  // namespace costlang
+}  // namespace disco
+
+#endif  // DISCO_COSTLANG_COMPILER_H_

@@ -1,0 +1,182 @@
+#include "costlang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace costlang {
+
+const char* TokenTypeToString(TokenType t) {
+  switch (t) {
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kNumber: return "number";
+    case TokenType::kString: return "string";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kLBrace: return "{";
+    case TokenType::kRBrace: return "}";
+    case TokenType::kComma: return ",";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kDot: return ".";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kStar: return "*";
+    case TokenType::kSlash: return "/";
+    case TokenType::kEq: return "=";
+    case TokenType::kNe: return "!=";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+    case TokenType::kEof: return "<eof>";
+  }
+  return "?";
+}
+
+bool Token::IsIdent(const std::string& word) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, word);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&](TokenType t, std::string text) {
+    Token tok;
+    tok.type = t;
+    tok.text = std::move(text);
+    tok.line = line;
+    tokens.push_back(std::move(tok));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < n && input[i + 1] == '/')) {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      push(TokenType::kIdentifier, input.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+                       ((input[i] == '+' || input[i] == '-') && i > start &&
+                        (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        ++i;
+      }
+      std::string text = input.substr(start, i - start);
+      char* end = nullptr;
+      double value = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError(
+            StringPrintf("cost rule line %d: bad number '%s'", line,
+                         text.c_str()));
+      }
+      Token tok;
+      tok.type = TokenType::kNumber;
+      tok.text = std::move(text);
+      tok.number = value;
+      tok.line = line;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t start = ++i;
+      while (i < n && input[i] != quote) {
+        if (input[i] == '\n') ++line;
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError(
+            StringPrintf("cost rule line %d: unterminated string", line));
+      }
+      push(TokenType::kString, input.substr(start, i - start));
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenType::kLParen, "("); ++i; break;
+      case ')': push(TokenType::kRParen, ")"); ++i; break;
+      case '{': push(TokenType::kLBrace, "{"); ++i; break;
+      case '}': push(TokenType::kRBrace, "}"); ++i; break;
+      case ',': push(TokenType::kComma, ","); ++i; break;
+      case ';': push(TokenType::kSemicolon, ";"); ++i; break;
+      case '.': push(TokenType::kDot, "."); ++i; break;
+      case '+': push(TokenType::kPlus, "+"); ++i; break;
+      case '-': push(TokenType::kMinus, "-"); ++i; break;
+      case '*': push(TokenType::kStar, "*"); ++i; break;
+      case '/': push(TokenType::kSlash, "/"); ++i; break;
+      case '=':
+        if (i + 1 < n && input[i + 1] == '=') {  // accept == as =
+          push(TokenType::kEq, "==");
+          i += 2;
+        } else {
+          push(TokenType::kEq, "=");
+          ++i;
+        }
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kNe, "!=");
+          i += 2;
+        } else {
+          return Status::ParseError(
+              StringPrintf("cost rule line %d: stray '!'", line));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kLe, "<=");
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenType::kNe, "<>");
+          i += 2;
+        } else {
+          push(TokenType::kLt, "<");
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kGe, ">=");
+          i += 2;
+        } else {
+          push(TokenType::kGt, ">");
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(StringPrintf(
+            "cost rule line %d: unexpected character '%c'", line, c));
+    }
+  }
+  push(TokenType::kEof, "");
+  return tokens;
+}
+
+}  // namespace costlang
+}  // namespace disco

@@ -1,0 +1,56 @@
+// Tokenizer for the cost-rule language (paper Section 3.3, Figure 9).
+
+#ifndef DISCO_COSTLANG_LEXER_H_
+#define DISCO_COSTLANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace disco {
+namespace costlang {
+
+enum class TokenType {
+  kIdentifier,
+  kNumber,     ///< integer or decimal literal
+  kString,     ///< single- or double-quoted literal
+  kLParen,     // (
+  kRParen,     // )
+  kLBrace,     // {
+  kRBrace,     // }
+  kComma,      // ,
+  kSemicolon,  // ;
+  kDot,        // .
+  kPlus,       // +
+  kMinus,      // -
+  kStar,       // *
+  kSlash,      // /
+  kEq,         // =
+  kNe,         // !=  or <>
+  kLt,         // <
+  kLe,         // <=
+  kGt,         // >
+  kGe,         // >=
+  kEof,
+};
+
+const char* TokenTypeToString(TokenType t);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;
+  double number = 0;  ///< parsed value for kNumber
+  int line = 1;
+
+  bool Is(TokenType t) const { return type == t; }
+  bool IsIdent(const std::string& word) const;
+};
+
+/// Tokenizes cost-rule text. `//` and `#` start line comments.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace costlang
+}  // namespace disco
+
+#endif  // DISCO_COSTLANG_LEXER_H_

@@ -1,0 +1,119 @@
+#include "costlang/lint.h"
+
+#include <set>
+
+#include "common/str_util.h"
+#include "costlang/compiler.h"
+
+namespace disco {
+namespace costlang {
+
+const char* LintKindToString(LintKind kind) {
+  switch (kind) {
+    case LintKind::kDuplicatePattern: return "duplicate-pattern";
+    case LintKind::kUnknownAttribute: return "unknown-attribute";
+    case LintKind::kSizeOnlyRule: return "size-only-rule";
+    case LintKind::kUnusedDefine: return "unused-define";
+  }
+  return "?";
+}
+
+std::string LintWarning::ToString() const {
+  return StringPrintf("line %d: [%s] %s", line, LintKindToString(kind),
+                      message.c_str());
+}
+
+namespace {
+
+/// Collects lint facts from one compiled program.
+void ScanProgram(const Program& program, const CompiledPattern& pattern,
+                 const CompileSchema& schema, int line,
+                 std::set<int>* used_globals,
+                 std::vector<LintWarning>* warnings,
+                 std::set<std::string>* reported_attrs) {
+  for (const Instr& instr : program.code) {
+    if (instr.op == OpCode::kLoadGlobal) {
+      used_globals->insert(instr.a);
+      continue;
+    }
+    if (instr.op != OpCode::kLoadInputAttr) continue;
+    // Literal attribute name on a literal-collection input: check it
+    // against the schema (a typo silently falls back to the generic
+    // model's default statistics at estimation time).
+    if (instr.b < 0) continue;  // implied or binding: fine
+    const int input = instr.a;
+    if (input < 0 || input >= static_cast<int>(pattern.inputs.size())) {
+      continue;
+    }
+    const InputPattern& in = pattern.inputs[static_cast<size_t>(input)];
+    if (!in.is_literal) continue;
+    const Value& name = program.const_pool[static_cast<size_t>(instr.b)];
+    if (!name.is_string()) continue;
+    if (schema.IsAttributeOf(in.name, name.AsString())) continue;
+    std::string key = ToLower(in.name) + "." + ToLower(name.AsString());
+    if (!reported_attrs->insert(key).second) continue;
+    warnings->push_back(LintWarning{
+        LintKind::kUnknownAttribute, line,
+        "'" + name.AsString() + "' is not an attribute of '" + in.name +
+            "'; statistics will fall back to defaults"});
+  }
+}
+
+}  // namespace
+
+Result<std::vector<LintWarning>> LintRuleText(const std::string& text,
+                                              const CompileSchema& schema) {
+  DISCO_ASSIGN_OR_RETURN(CompiledRuleSet rules,
+                         CompileRuleText(text, schema));
+  std::vector<LintWarning> warnings;
+  std::set<std::string> seen_patterns;
+  std::set<int> used_globals;
+  std::set<std::string> reported_attrs;
+
+  for (const CompiledRule& rule : rules.rules) {
+    // Duplicate heads: both still run (min-wins), but under first-only
+    // tie-breaking the later one is dead; either way it is usually a
+    // copy/paste slip.
+    std::string key = rule.pattern.ToString();
+    if (!seen_patterns.insert(key).second) {
+      warnings.push_back(LintWarning{
+          LintKind::kDuplicatePattern, rule.line,
+          "pattern " + key + " already appeared earlier in this file"});
+    }
+
+    bool any_time = false;
+    for (const CompiledFormula& f : rule.formulas) {
+      if (f.target == CostVarId::kTimeFirst ||
+          f.target == CostVarId::kTimeNext ||
+          f.target == CostVarId::kTotalTime) {
+        any_time = true;
+      }
+      ScanProgram(f.program, rule.pattern, schema, rule.line, &used_globals,
+                  &warnings, &reported_attrs);
+    }
+    for (const CompiledLocal& local : rule.locals) {
+      ScanProgram(local.program, rule.pattern, schema, rule.line,
+                  &used_globals, &warnings, &reported_attrs);
+    }
+    if (!any_time) {
+      warnings.push_back(LintWarning{
+          LintKind::kSizeOnlyRule, rule.line,
+          "rule " + key + " computes only size variables; time estimates "
+          "for matching operators will come from less specific scopes"});
+    }
+  }
+
+  for (size_t i = 0; i < rules.global_names.size(); ++i) {
+    if (used_globals.count(static_cast<int>(i)) > 0) continue;
+    // A define may legitimately feed a later define; treat any global
+    // referenced by no rule formula as unused only if no other global's
+    // value depended on it -- conservatively, report it as info anyway.
+    warnings.push_back(LintWarning{
+        LintKind::kUnusedDefine, 0,
+        "define '" + rules.global_names[i] + "' is never used by a rule"});
+  }
+  return warnings;
+}
+
+}  // namespace costlang
+}  // namespace disco

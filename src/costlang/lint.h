@@ -1,0 +1,46 @@
+// Lint checks for wrapper cost-rule files.
+//
+// The paper's framework succeeds or fails with the wrapper implementor's
+// rules; this linter catches the mistakes that compile fine but behave
+// surprisingly: misspelled attributes (silently falling back to default
+// statistics), duplicated patterns, unused defines, and rules that never
+// contribute a time estimate.
+
+#ifndef DISCO_COSTLANG_LINT_H_
+#define DISCO_COSTLANG_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "costlang/analyzer.h"
+
+namespace disco {
+namespace costlang {
+
+enum class LintKind {
+  kDuplicatePattern,   ///< identical head seen earlier in the file
+  kUnknownAttribute,   ///< literal attribute not in the collection's schema
+  kSizeOnlyRule,       ///< rule contributes no time variable
+  kUnusedDefine,       ///< global never referenced by any rule
+};
+
+const char* LintKindToString(LintKind kind);
+
+struct LintWarning {
+  LintKind kind;
+  int line = 0;        ///< source line of the offending rule/define
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Compiles `text` against `schema` and reports warnings. Returns the
+/// compile error if the text does not even compile.
+Result<std::vector<LintWarning>> LintRuleText(const std::string& text,
+                                              const CompileSchema& schema);
+
+}  // namespace costlang
+}  // namespace disco
+
+#endif  // DISCO_COSTLANG_LINT_H_

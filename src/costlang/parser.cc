@@ -1,0 +1,315 @@
+#include "costlang/parser.h"
+
+#include "common/str_util.h"
+#include "costlang/lexer.h"
+
+namespace disco {
+namespace costlang {
+
+namespace {
+
+/// Expression precedence: additive < multiplicative < unary < primary.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<RuleSetAst> ParseRuleSet() {
+    RuleSetAst out;
+    while (!Peek().Is(TokenType::kEof)) {
+      if (Peek().IsIdent("define") || Peek().IsIdent("let")) {
+        DISCO_ASSIGN_OR_RETURN(VarDefAst def, ParseVarDef());
+        out.defs.push_back(std::move(def));
+      } else {
+        DISCO_ASSIGN_OR_RETURN(RuleAst rule, ParseRule());
+        out.rules.push_back(std::move(rule));
+      }
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseWholeExpr() {
+    DISCO_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+    if (!Peek().Is(TokenType::kEof)) {
+      return Err("trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  Result<VarDefAst> ParseVarDef() {
+    VarDefAst def;
+    def.line = Peek().line;
+    Advance();  // 'define'
+    DISCO_ASSIGN_OR_RETURN(def.name, ExpectName());
+    DISCO_RETURN_NOT_OK(Expect(TokenType::kEq, "="));
+    DISCO_ASSIGN_OR_RETURN(def.expr, ParseExpr());
+    if (Peek().Is(TokenType::kSemicolon)) Advance();
+    return def;
+  }
+
+  Result<RuleAst> ParseRule() {
+    RuleAst rule;
+    rule.line = Peek().line;
+    DISCO_ASSIGN_OR_RETURN(rule.head, ParseHead());
+    // Body: `{ formulas }` or the paper's `( formulas )`.
+    TokenType open, close;
+    if (Peek().Is(TokenType::kLBrace)) {
+      open = TokenType::kLBrace;
+      close = TokenType::kRBrace;
+    } else if (Peek().Is(TokenType::kLParen)) {
+      open = TokenType::kLParen;
+      close = TokenType::kRParen;
+    } else {
+      return Err("expected '{' or '(' to open a rule body");
+    }
+    (void)open;
+    Advance();
+    while (!Peek().Is(close)) {
+      if (Peek().Is(TokenType::kEof)) {
+        return Err("unexpected end of input inside a rule body");
+      }
+      DISCO_ASSIGN_OR_RETURN(FormulaAst f, ParseFormula());
+      rule.formulas.push_back(std::move(f));
+    }
+    Advance();  // close
+    if (Peek().Is(TokenType::kSemicolon)) Advance();
+    if (rule.formulas.empty()) {
+      return Status::ParseError(
+          StringPrintf("cost rule line %d: rule body is empty", rule.line));
+    }
+    return rule;
+  }
+
+  Result<RuleHeadAst> ParseHead() {
+    RuleHeadAst head;
+    head.line = Peek().line;
+    DISCO_ASSIGN_OR_RETURN(head.op_name, ExpectName());
+    DISCO_RETURN_NOT_OK(Expect(TokenType::kLParen, "("));
+    while (!Peek().Is(TokenType::kRParen)) {
+      DISCO_ASSIGN_OR_RETURN(HeadArgAst arg, ParseHeadArg());
+      head.args.push_back(std::move(arg));
+      if (Peek().Is(TokenType::kComma)) {
+        Advance();
+        continue;
+      }
+      if (!Peek().Is(TokenType::kRParen)) {
+        return Err("expected ',' or ')' in rule head");
+      }
+    }
+    Advance();  // ')'
+    if (head.args.empty()) {
+      return Status::ParseError(StringPrintf(
+          "cost rule line %d: rule head needs at least one argument",
+          head.line));
+    }
+    return head;
+  }
+
+  Result<HeadArgAst> ParseHeadArg() {
+    HeadArgAst arg;
+    DISCO_ASSIGN_OR_RETURN(arg.lhs, ParseTerm());
+    std::optional<algebra::CmpOp> cmp = PeekCmp();
+    if (cmp.has_value()) {
+      Advance();
+      arg.cmp = cmp;
+      DISCO_ASSIGN_OR_RETURN(TermAst rhs, ParseTerm());
+      arg.rhs = std::move(rhs);
+    }
+    return arg;
+  }
+
+  Result<TermAst> ParseTerm() {
+    TermAst term;
+    term.line = Peek().line;
+    if (Peek().Is(TokenType::kNumber)) {
+      term.kind = TermAst::Kind::kNumber;
+      term.number = Peek().number;
+      Advance();
+      return term;
+    }
+    if (Peek().Is(TokenType::kString)) {
+      term.kind = TermAst::Kind::kString;
+      term.string_value = Peek().text;
+      Advance();
+      return term;
+    }
+    if (Peek().Is(TokenType::kMinus)) {  // negative literal in a pattern
+      Advance();
+      if (!Peek().Is(TokenType::kNumber)) {
+        return Err("expected number after '-' in pattern");
+      }
+      term.kind = TermAst::Kind::kNumber;
+      term.number = -Peek().number;
+      Advance();
+      return term;
+    }
+    term.kind = TermAst::Kind::kName;
+    DISCO_ASSIGN_OR_RETURN(std::string first, ExpectName());
+    term.path.push_back(std::move(first));
+    while (Peek().Is(TokenType::kDot)) {
+      Advance();
+      DISCO_ASSIGN_OR_RETURN(std::string next, ExpectName());
+      term.path.push_back(std::move(next));
+    }
+    return term;
+  }
+
+  Result<FormulaAst> ParseFormula() {
+    FormulaAst f;
+    f.line = Peek().line;
+    DISCO_ASSIGN_OR_RETURN(f.target, ExpectName());
+    DISCO_RETURN_NOT_OK(Expect(TokenType::kEq, "="));
+    DISCO_ASSIGN_OR_RETURN(f.expr, ParseExpr());
+    if (Peek().Is(TokenType::kSemicolon)) Advance();
+    return f;
+  }
+
+  // expr := mul (('+'|'-') mul)*
+  Result<std::unique_ptr<Expr>> ParseExpr() {
+    DISCO_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseMul());
+    while (Peek().Is(TokenType::kPlus) || Peek().Is(TokenType::kMinus)) {
+      BinOp op = Peek().Is(TokenType::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      int line = Peek().line;
+      Advance();
+      DISCO_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseMul());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+      lhs->line = line;
+    }
+    return lhs;
+  }
+
+  // mul := unary (('*'|'/') unary)*
+  Result<std::unique_ptr<Expr>> ParseMul() {
+    DISCO_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnary());
+    while (Peek().Is(TokenType::kStar) || Peek().Is(TokenType::kSlash)) {
+      BinOp op = Peek().Is(TokenType::kStar) ? BinOp::kMul : BinOp::kDiv;
+      int line = Peek().line;
+      Advance();
+      DISCO_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+      lhs->line = line;
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (Peek().Is(TokenType::kMinus)) {
+      int line = Peek().line;
+      Advance();
+      DISCO_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseUnary());
+      std::unique_ptr<Expr> e = MakeNeg(std::move(inner));
+      e->line = line;
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    int line = Peek().line;
+    if (Peek().Is(TokenType::kNumber)) {
+      std::unique_ptr<Expr> e = MakeNumber(Peek().number);
+      e->line = line;
+      Advance();
+      return e;
+    }
+    if (Peek().Is(TokenType::kString)) {
+      std::unique_ptr<Expr> e = MakeString(Peek().text);
+      e->line = line;
+      Advance();
+      return e;
+    }
+    if (Peek().Is(TokenType::kLParen)) {
+      Advance();
+      DISCO_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+      DISCO_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+      return e;
+    }
+    if (Peek().Is(TokenType::kIdentifier)) {
+      std::string first = Peek().text;
+      Advance();
+      if (Peek().Is(TokenType::kLParen)) {  // function call
+        Advance();
+        std::vector<std::unique_ptr<Expr>> args;
+        while (!Peek().Is(TokenType::kRParen)) {
+          DISCO_ASSIGN_OR_RETURN(std::unique_ptr<Expr> a, ParseExpr());
+          args.push_back(std::move(a));
+          if (Peek().Is(TokenType::kComma)) Advance();
+        }
+        Advance();  // ')'
+        std::unique_ptr<Expr> e = MakeCall(std::move(first), std::move(args));
+        e->line = line;
+        return e;
+      }
+      std::vector<std::string> path{std::move(first)};
+      while (Peek().Is(TokenType::kDot)) {
+        Advance();
+        DISCO_ASSIGN_OR_RETURN(std::string next, ExpectName());
+        path.push_back(std::move(next));
+      }
+      std::unique_ptr<Expr> e = MakePathRef(std::move(path));
+      e->line = line;
+      return e;
+    }
+    return Err("expected an expression, got '" + Peek().text + "'");
+  }
+
+  std::optional<algebra::CmpOp> PeekCmp() const {
+    switch (Peek().type) {
+      case TokenType::kEq: return algebra::CmpOp::kEq;
+      case TokenType::kNe: return algebra::CmpOp::kNe;
+      case TokenType::kLt: return algebra::CmpOp::kLt;
+      case TokenType::kLe: return algebra::CmpOp::kLe;
+      case TokenType::kGt: return algebra::CmpOp::kGt;
+      case TokenType::kGe: return algebra::CmpOp::kGe;
+      default: return std::nullopt;
+    }
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Expect(TokenType t, const char* what) {
+    if (!Peek().Is(t)) {
+      return Err(std::string("expected '") + what + "', got '" + Peek().text +
+                 "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectName() {
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Err("expected identifier, got '" + Peek().text + "'");
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StringPrintf("cost rule line %d: %s", Peek().line, msg.c_str()));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RuleSetAst> ParseRuleSet(const std::string& input) {
+  DISCO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser p(std::move(tokens));
+  return p.ParseRuleSet();
+}
+
+Result<std::unique_ptr<Expr>> ParseExpr(const std::string& input) {
+  DISCO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser p(std::move(tokens));
+  return p.ParseWholeExpr();
+}
+
+}  // namespace costlang
+}  // namespace disco

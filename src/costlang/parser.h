@@ -1,0 +1,23 @@
+// Recursive-descent parser for the cost-rule language.
+
+#ifndef DISCO_COSTLANG_PARSER_H_
+#define DISCO_COSTLANG_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "costlang/ast.h"
+
+namespace disco {
+namespace costlang {
+
+/// Parses a rule file (global `define`s plus rules) into an AST.
+Result<RuleSetAst> ParseRuleSet(const std::string& input);
+
+/// Parses a standalone expression (used by tests and the VarDef path).
+Result<std::unique_ptr<Expr>> ParseExpr(const std::string& input);
+
+}  // namespace costlang
+}  // namespace disco
+
+#endif  // DISCO_COSTLANG_PARSER_H_

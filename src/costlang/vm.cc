@@ -1,0 +1,159 @@
+#include "costlang/vm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "costlang/builtin_functions.h"
+
+namespace disco {
+namespace costlang {
+
+namespace {
+
+Result<double> AsNumber(const Value& v) {
+  if (v.is_numeric()) return v.AsDouble();
+  if (v.is_bool()) return v.AsBool() ? 1.0 : 0.0;
+  return Status::ExecutionError("expected a number, got " + v.ToString());
+}
+
+}  // namespace
+
+Result<std::string> ResolveAttrOperand(int operand, const Program& program,
+                                       EvalContext* ctx) {
+  if (operand >= 0) {
+    const Value& v = program.const_pool[static_cast<size_t>(operand)];
+    if (!v.is_string()) {
+      return Status::Internal("attribute operand pool entry is not a string");
+    }
+    return v.AsString();
+  }
+  if (operand == kAttrImplied) return ctx->ImpliedAttribute();
+  DISCO_ASSIGN_OR_RETURN(Value bound, ctx->Binding(DecodeAttrBinding(operand)));
+  if (!bound.is_string()) {
+    return Status::ExecutionError(
+        "attribute variable bound to non-name value " + bound.ToString());
+  }
+  return bound.AsString();
+}
+
+Result<double> Execute(const Program& program, EvalContext* ctx,
+                       std::span<const Value> locals,
+                       std::span<const Value> globals) {
+  std::vector<Value> stack;
+  stack.reserve(16);
+
+  auto pop = [&]() -> Value {
+    Value v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+
+  for (const Instr& in : program.code) {
+    switch (in.op) {
+      case OpCode::kPushConst:
+        stack.push_back(program.const_pool[static_cast<size_t>(in.a)]);
+        break;
+      case OpCode::kLoadInputVar: {
+        DISCO_ASSIGN_OR_RETURN(
+            double v, ctx->InputVar(in.a, static_cast<CostVarId>(in.b)));
+        stack.push_back(Value(v));
+        break;
+      }
+      case OpCode::kLoadInputAttr: {
+        DISCO_ASSIGN_OR_RETURN(std::string attr,
+                               ResolveAttrOperand(in.b, program, ctx));
+        DISCO_ASSIGN_OR_RETURN(
+            Value v,
+            ctx->InputAttrStat(in.a, attr, static_cast<AttrStatId>(in.c)));
+        stack.push_back(std::move(v));
+        break;
+      }
+      case OpCode::kLoadSelfVar: {
+        DISCO_ASSIGN_OR_RETURN(double v,
+                               ctx->SelfVar(static_cast<CostVarId>(in.a)));
+        stack.push_back(Value(v));
+        break;
+      }
+      case OpCode::kLoadLocal:
+        DISCO_DCHECK(static_cast<size_t>(in.a) < locals.size());
+        stack.push_back(locals[static_cast<size_t>(in.a)]);
+        break;
+      case OpCode::kLoadGlobal:
+        DISCO_DCHECK(static_cast<size_t>(in.a) < globals.size());
+        stack.push_back(globals[static_cast<size_t>(in.a)]);
+        break;
+      case OpCode::kLoadBinding: {
+        DISCO_ASSIGN_OR_RETURN(Value v, ctx->Binding(in.a));
+        stack.push_back(std::move(v));
+        break;
+      }
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kDiv: {
+        Value rv = pop();
+        Value lv = pop();
+        DISCO_ASSIGN_OR_RETURN(double r, AsNumber(rv));
+        DISCO_ASSIGN_OR_RETURN(double l, AsNumber(lv));
+        double out = 0;
+        switch (in.op) {
+          case OpCode::kAdd: out = l + r; break;
+          case OpCode::kSub: out = l - r; break;
+          case OpCode::kMul: out = l * r; break;
+          case OpCode::kDiv:
+            if (r == 0) {
+              return Status::ExecutionError("division by zero in cost formula");
+            }
+            out = l / r;
+            break;
+          default:
+            break;
+        }
+        stack.push_back(Value(out));
+        break;
+      }
+      case OpCode::kNeg: {
+        Value v = pop();
+        DISCO_ASSIGN_OR_RETURN(double x, AsNumber(v));
+        stack.push_back(Value(-x));
+        break;
+      }
+      case OpCode::kCall: {
+        const int argc = in.b;
+        DISCO_DCHECK(static_cast<size_t>(argc) <= stack.size());
+        std::span<const Value> args(stack.data() + stack.size() -
+                                        static_cast<size_t>(argc),
+                                    static_cast<size_t>(argc));
+        DISCO_ASSIGN_OR_RETURN(Value out, CallBuiltin(in.a, args));
+        stack.resize(stack.size() - static_cast<size_t>(argc));
+        stack.push_back(std::move(out));
+        break;
+      }
+      case OpCode::kSelectivity: {
+        std::optional<std::string> attr;
+        std::optional<Value> value;
+        if (in.a == 2) {
+          value = pop();
+          DISCO_ASSIGN_OR_RETURN(std::string a,
+                                 ResolveAttrOperand(in.b, program, ctx));
+          attr = std::move(a);
+        }
+        DISCO_ASSIGN_OR_RETURN(double sel, ctx->Selectivity(0, attr, value));
+        stack.push_back(Value(sel));
+        break;
+      }
+      case OpCode::kRet: {
+        if (stack.size() != 1) {
+          return Status::Internal(StringPrintf(
+              "VM stack has %zu entries at return", stack.size()));
+        }
+        return AsNumber(stack.back());
+      }
+    }
+  }
+  return Status::Internal("program fell off the end without kRet");
+}
+
+}  // namespace costlang
+}  // namespace disco

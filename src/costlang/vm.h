@@ -1,0 +1,75 @@
+// The stack VM that evaluates compiled cost formulas, and the evaluation
+// context interface through which it reaches node inputs, statistics and
+// head-variable bindings.
+
+#ifndef DISCO_COSTLANG_VM_H_
+#define DISCO_COSTLANG_VM_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "costlang/bytecode.h"
+
+namespace disco {
+namespace costlang {
+
+/// Everything a formula can observe about the node it is costing. The
+/// estimator (costmodel/estimator.cc) implements this against the plan
+/// tree, the catalog, and the partially-computed cost vectors.
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+
+  /// Cost variable `var` of input `input` (a child operator's computed
+  /// cost, or a base collection's extent statistic for leaf inputs).
+  virtual Result<double> InputVar(int input, CostVarId var) = 0;
+
+  /// Statistic `stat` of attribute `attr` of input `input`, resolved via
+  /// the input's provenance collection. Min/Max may be non-numeric.
+  virtual Result<Value> InputAttrStat(int input, const std::string& attr,
+                                      AttrStatId stat) = 0;
+
+  /// Cost variable of the node being estimated, computed earlier in the
+  /// evaluation order (kCountObject .. kTotalTime).
+  virtual Result<double> SelfVar(CostVarId var) = 0;
+
+  /// Value bound to head-variable slot `slot` during rule matching:
+  /// predicate constants bind as themselves, attribute/collection
+  /// variables bind as their name (a string Value).
+  virtual Result<Value> Binding(int slot) = 0;
+
+  /// The attribute of the node's own select predicate, for implied
+  /// attribute references (`C.CountDistinct` without naming an
+  /// attribute, or `selectivity()` with no arguments).
+  virtual Result<std::string> ImpliedAttribute() = 0;
+
+  /// Selectivity of a comparison on input `input`'s attribute `attr`
+  /// against `value` (both default to the node's own predicate when
+  /// unset). Uses histograms when exported, else min/max/count-distinct
+  /// (paper Sections 2.3 and 3.3.2).
+  virtual Result<double> Selectivity(int input,
+                                     const std::optional<std::string>& attr,
+                                     const std::optional<Value>& value) = 0;
+};
+
+/// Executes `program` against `ctx`.
+/// `locals` holds the rule-local variable slots (already evaluated);
+/// `globals` holds the rule set's `define`d values.
+Result<double> Execute(const Program& program, EvalContext* ctx,
+                       std::span<const Value> locals,
+                       std::span<const Value> globals);
+
+/// Resolves an attribute operand (literal pool index / implied / binding
+/// slot; see bytecode.h) to an attribute name. Shared between the VM and
+/// the estimator's matcher.
+Result<std::string> ResolveAttrOperand(int operand, const Program& program,
+                                       EvalContext* ctx);
+
+}  // namespace costlang
+}  // namespace disco
+
+#endif  // DISCO_COSTLANG_VM_H_

@@ -1,0 +1,60 @@
+#include "costmodel/cost_vector.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace costmodel {
+
+VarSet AllVars() {
+  VarSet s;
+  s.set();
+  return s;
+}
+
+VarSet TotalTimeOnly() { return SingleVar(CostVarId::kTotalTime); }
+
+VarSet SingleVar(CostVarId var) {
+  VarSet s;
+  s.set(static_cast<size_t>(var));
+  return s;
+}
+
+Result<double> CostVector::Get(CostVarId var) const {
+  if (!IsComputed(var)) {
+    return Status::ExecutionError(
+        std::string("cost variable ") + costlang::CostVarName(var) +
+        " was not computed for this node");
+  }
+  return values_[static_cast<size_t>(var)];
+}
+
+CostVector CostVector::Full(double count_object, double total_size,
+                            double object_size, double time_first,
+                            double time_next, double total_time) {
+  CostVector v;
+  v.Set(CostVarId::kCountObject, count_object);
+  v.Set(CostVarId::kTotalSize, total_size);
+  v.Set(CostVarId::kObjectSize, object_size);
+  v.Set(CostVarId::kTimeFirst, time_first);
+  v.Set(CostVarId::kTimeNext, time_next);
+  v.Set(CostVarId::kTotalTime, total_time);
+  return v;
+}
+
+std::string CostVector::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < kNumCostVars; ++i) {
+    CostVarId id = static_cast<CostVarId>(i);
+    if (!IsComputed(id)) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += costlang::CostVarName(id);
+    out += StringPrintf("=%.3f", GetOrZero(id));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace costmodel
+}  // namespace disco

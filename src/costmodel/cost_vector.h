@@ -1,0 +1,78 @@
+// CostVector: the per-node estimation state -- the three time parameters
+// of the paper's Section 2.3 (TimeFirst, TimeNext, TotalTime) plus the
+// size statistics its size rules compute (CountObject, TotalSize,
+// ObjectSize). Times are milliseconds, sizes bytes/objects.
+
+#ifndef DISCO_COSTMODEL_COST_VECTOR_H_
+#define DISCO_COSTMODEL_COST_VECTOR_H_
+
+#include <array>
+#include <bitset>
+#include <string>
+
+#include "common/result.h"
+#include "costlang/bytecode.h"
+
+namespace disco {
+namespace costmodel {
+
+using costlang::CostVarId;
+using costlang::kNumCostVars;
+
+/// A bitmask over cost variables; used for the required-variable
+/// propagation of the estimation algorithm (paper Section 4.2).
+using VarSet = std::bitset<kNumCostVars>;
+
+/// All six cost variables.
+VarSet AllVars();
+/// Just TotalTime (what a plan comparison ultimately needs).
+VarSet TotalTimeOnly();
+VarSet SingleVar(CostVarId var);
+
+/// The computed variables of one plan node. Variables start unset; the
+/// estimator fills exactly the required ones.
+class CostVector {
+ public:
+  CostVector() { values_.fill(0); }
+
+  bool IsComputed(CostVarId var) const {
+    return computed_.test(static_cast<size_t>(var));
+  }
+  VarSet computed_set() const { return computed_; }
+
+  void Set(CostVarId var, double value) {
+    values_[static_cast<size_t>(var)] = value;
+    computed_.set(static_cast<size_t>(var));
+  }
+
+  /// Checked read.
+  Result<double> Get(CostVarId var) const;
+
+  /// Unchecked read (0 if unset); for display only.
+  double GetOrZero(CostVarId var) const {
+    return values_[static_cast<size_t>(var)];
+  }
+
+  double total_time() const { return GetOrZero(CostVarId::kTotalTime); }
+  double time_first() const { return GetOrZero(CostVarId::kTimeFirst); }
+  double time_next() const { return GetOrZero(CostVarId::kTimeNext); }
+  double count_object() const { return GetOrZero(CostVarId::kCountObject); }
+  double total_size() const { return GetOrZero(CostVarId::kTotalSize); }
+  double object_size() const { return GetOrZero(CostVarId::kObjectSize); }
+
+  /// Fully-specified vector (e.g. from a measured execution).
+  static CostVector Full(double count_object, double total_size,
+                         double object_size, double time_first,
+                         double time_next, double total_time);
+
+  std::string ToString() const;
+
+ private:
+  std::array<double, kNumCostVars> values_;
+  VarSet computed_;
+};
+
+}  // namespace costmodel
+}  // namespace disco
+
+#endif  // DISCO_COSTMODEL_COST_VECTOR_H_

@@ -1,0 +1,583 @@
+#include "costmodel/estimator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "algebra/plan_printer.h"
+#include "common/str_util.h"
+#include "costlang/vm.h"
+#include "costmodel/matcher.h"
+#include "costmodel/selectivity.h"
+
+namespace disco {
+namespace costmodel {
+
+namespace {
+
+using algebra::OpKind;
+using algebra::Operator;
+using costlang::AttrStatId;
+using costlang::CompiledFormula;
+using costlang::CompiledRule;
+
+/// Per-node estimation state.
+struct NodeState {
+  const Operator* node = nullptr;
+  std::string source_ctx;  ///< wrapper executing the node; "" = mediator
+  std::vector<std::unique_ptr<NodeState>> children;
+  MatchContext match_ctx;
+  CostVector cost;
+};
+
+std::unique_ptr<NodeState> BuildStateTree(const Operator& node,
+                                          const std::string& source_ctx) {
+  auto st = std::make_unique<NodeState>();
+  st->node = &node;
+  st->source_ctx = source_ctx;
+  st->match_ctx = MakeMatchContext(node);
+  const std::string child_ctx =
+      node.kind == OpKind::kSubmit ? ToLower(node.source) : source_ctx;
+  for (const auto& c : node.children) {
+    st->children.push_back(BuildStateTree(*c, child_ctx));
+  }
+  return st;
+}
+
+/// Default attribute statistics when a wrapper exported none -- the
+/// "standard values ... as usual" of paper Section 6.
+AttributeStats DefaultAttrStats(const ExtentStats& extent) {
+  AttributeStats st;
+  st.indexed = false;
+  st.clustered = false;
+  st.count_distinct = std::max<int64_t>(1, extent.count_object / 10);
+  return st;
+}
+
+/// The walk over one node: selects rules, recurses, evaluates.
+class NodeEstimator : public costlang::EvalContext {
+ public:
+  NodeEstimator(NodeState* st, const RuleRegistry* registry,
+                const Catalog* catalog, const HistoryManager* history,
+                const EstimateOptions& options, PlanEstimate* out,
+                int depth = 0)
+      : st_(st),
+        registry_(registry),
+        catalog_(catalog),
+        history_(history),
+        options_(options),
+        out_(out),
+        depth_(depth) {
+    child_required_.resize(st_->children.size());
+  }
+
+  Status Run(VarSet required) {
+    ++out_->nodes_visited;
+
+    // EXPLAIN records are pre-order: reserve this node's slot before
+    // recursing, fill it after evaluation.
+    size_t explain_idx = 0;
+    if (options_.collect_explain) {
+      explain_idx = out_->explain.size();
+      NodeExplain rec;
+      rec.depth = depth_;
+      rec.label = algebra::NodeLabel(*st_->node);
+      rec.source = st_->source_ctx;
+      out_->explain.push_back(std::move(rec));
+    }
+
+    // Pruning needs TotalTime observable at every node.
+    if (std::isfinite(options_.prune_bound)) {
+      required.set(static_cast<size_t>(CostVarId::kTotalTime));
+    }
+
+    // Query scope: an exactly recorded subquery short-circuits everything
+    // (most specific level of the Figure 10 hierarchy).
+    if (options_.use_history && !st_->source_ctx.empty()) {
+      const CostVector* recorded =
+          registry_->QueryCost(st_->source_ctx, *st_->node);
+      if (recorded != nullptr) {
+        st_->cost = *recorded;
+        if (options_.collect_explain) {
+          out_->explain[explain_idx].cost = st_->cost;
+          out_->explain[explain_idx].from_query_scope = true;
+        }
+        return CheckPrune();
+      }
+    }
+
+    // ---- Phase 1: associate cost formulas with the node. -------------
+    const std::vector<RegisteredRule>& candidates =
+        registry_->Candidates(st_->source_ctx, st_->node->kind);
+    exact_bucket_ =
+        registry_->ExactSelectBucket(st_->source_ctx, *st_->node);
+
+    VarSet done;
+    VarSet pending = required;
+    while (pending.any()) {
+      VarSet round = pending;
+      pending.reset();
+      for (int v = 0; v < kNumCostVars; ++v) {
+        if (!round.test(static_cast<size_t>(v)) ||
+            done.test(static_cast<size_t>(v))) {
+          continue;
+        }
+        CostVarId var = static_cast<CostVarId>(v);
+        DISCO_RETURN_NOT_OK(SelectRulesFor(var, candidates, &pending));
+        done.set(static_cast<size_t>(v));
+      }
+      // Drop already-done vars from the next round.
+      pending &= ~done;
+    }
+    required_closure_ = done;
+
+    // ---- Phase 2: recursive traversal (depth-first fetch). -----------
+    const int num_children = static_cast<int>(st_->children.size());
+    for (int i = 0; i < num_children; ++i) {
+      VarSet child_req =
+          options_.propagate_required_vars ? child_required_[i] : AllVars();
+      if (child_req.none() && options_.propagate_required_vars) {
+        continue;  // optimization (ii): cut the recursive call
+      }
+      NodeEstimator child(st_->children[static_cast<size_t>(i)].get(),
+                          registry_, catalog_, history_, options_, out_,
+                          depth_ + 1);
+      DISCO_RETURN_NOT_OK(child.Run(child_req));
+      if (out_->pruned) return Status::OK();
+    }
+
+    // ---- Phase 3: apply formulas to the node. -------------------------
+    for (int v = 0; v < kNumCostVars; ++v) {
+      CostVarId var = static_cast<CostVarId>(v);
+      if (!required_closure_.test(static_cast<size_t>(v))) continue;
+      DISCO_RETURN_NOT_OK(EvaluateVar(var));
+    }
+
+    if (options_.collect_explain) {
+      out_->explain[explain_idx].cost = st_->cost;
+      out_->explain[explain_idx].vars = std::move(explain_vars_);
+    }
+
+    // History-based parameter adjustment at submit boundaries (§4.3.1).
+    if (options_.use_history && history_ != nullptr &&
+        st_->node->kind == OpKind::kSubmit &&
+        st_->cost.IsComputed(CostVarId::kTotalTime)) {
+      double factor = history_->AdjustmentFactor(
+          st_->node->source, st_->node->child(0).kind);
+      if (factor != 1.0) {
+        st_->cost.Set(CostVarId::kTotalTime,
+                      st_->cost.total_time() * factor);
+      }
+    }
+    return CheckPrune();
+  }
+
+  const CostVector& cost() const { return st_->cost; }
+
+  // ---- costlang::EvalContext ------------------------------------------
+
+  Result<double> InputVar(int input, CostVarId var) override {
+    // Base-collection inputs read catalog statistics: a scan's single
+    // input, and a bind join's probed collection (input 1).
+    const bool collection_input =
+        st_->node->kind == OpKind::kScan ||
+        (st_->node->kind == OpKind::kBindJoin && input == 1);
+    if (collection_input) {
+      DISCO_ASSIGN_OR_RETURN(CatalogEntry entry,
+                             catalog_->Collection(st_->node->collection));
+      switch (var) {
+        case CostVarId::kCountObject:
+          return static_cast<double>(entry.stats.extent.count_object);
+        case CostVarId::kTotalSize:
+          return static_cast<double>(entry.stats.extent.total_size);
+        case CostVarId::kObjectSize:
+          return static_cast<double>(entry.stats.extent.object_size);
+        default:
+          return 0.0;  // a raw collection has no time cost of its own
+      }
+    }
+    if (input < 0 || input >= static_cast<int>(st_->children.size())) {
+      return Status::Internal(StringPrintf("input %d out of range", input));
+    }
+    return st_->children[static_cast<size_t>(input)]->cost.Get(var);
+  }
+
+  Result<Value> InputAttrStat(int input, const std::string& attr,
+                              AttrStatId stat) override {
+    if (input < 0 ||
+        input >= static_cast<int>(st_->match_ctx.input_provenance.size())) {
+      return Status::Internal(StringPrintf("input %d out of range", input));
+    }
+    const std::string& prov =
+        st_->match_ctx.input_provenance[static_cast<size_t>(input)];
+    if (prov.empty()) {
+      return Status::ExecutionError(
+          "input has no provenance collection for attribute statistics");
+    }
+    DISCO_ASSIGN_OR_RETURN(CatalogEntry entry, catalog_->Collection(prov));
+    AttributeStats astats;
+    Result<AttributeStats> looked = entry.stats.Attribute(attr);
+    if (looked.ok()) {
+      astats = *looked;
+    } else {
+      astats = DefaultAttrStats(entry.stats.extent);
+    }
+    switch (stat) {
+      case AttrStatId::kIndexed:
+        return Value(astats.indexed ? 1.0 : 0.0);
+      case AttrStatId::kClustered:
+        return Value(astats.clustered ? 1.0 : 0.0);
+      case AttrStatId::kCountDistinct:
+        return Value(static_cast<double>(astats.count_distinct));
+      case AttrStatId::kMin:
+        if (astats.min.is_null()) {
+          return Status::ExecutionError("Min of '" + attr +
+                                        "' was not exported by the wrapper");
+        }
+        return astats.min;
+      case AttrStatId::kMax:
+        if (astats.max.is_null()) {
+          return Status::ExecutionError("Max of '" + attr +
+                                        "' was not exported by the wrapper");
+        }
+        return astats.max;
+    }
+    return Status::Internal("bad AttrStatId");
+  }
+
+  Result<double> SelfVar(CostVarId var) override {
+    return st_->cost.Get(var);
+  }
+
+  Result<Value> Binding(int slot) override {
+    if (current_bindings_ == nullptr || slot < 0 ||
+        slot >= static_cast<int>(current_bindings_->size())) {
+      return Status::Internal("binding slot out of range");
+    }
+    const Value& v = (*current_bindings_)[static_cast<size_t>(slot)];
+    if (v.is_null()) {
+      return Status::ExecutionError("referenced head variable is unbound");
+    }
+    return v;
+  }
+
+  Result<std::string> ImpliedAttribute() override {
+    const Operator& node = *st_->node;
+    if (node.select_pred.has_value()) return node.select_pred->attribute;
+    if (!node.sort_attr.empty()) return node.sort_attr;
+    if (!node.agg_attr.empty()) return node.agg_attr;
+    return Status::ExecutionError(
+        "no implied attribute: the node has no predicate");
+  }
+
+  Result<double> Selectivity(int input, const std::optional<std::string>& attr,
+                             const std::optional<Value>& value) override {
+    std::string attribute;
+    algebra::CmpOp op = algebra::CmpOp::kEq;
+    Value v;
+    const Operator& node = *st_->node;
+    if (!attr.has_value()) {
+      if (!node.select_pred.has_value()) {
+        return Status::ExecutionError(
+            "selectivity(): the node has no selection predicate");
+      }
+      attribute = node.select_pred->attribute;
+      op = node.select_pred->op;
+      v = value.has_value() ? *value : node.select_pred->value;
+    } else {
+      attribute = *attr;
+      if (!value.has_value()) {
+        return Status::ExecutionError("selectivity(A): missing value");
+      }
+      v = *value;
+      if (node.select_pred.has_value() &&
+          EqualsIgnoreCase(node.select_pred->attribute, attribute)) {
+        op = node.select_pred->op;
+      }
+    }
+    if (input < 0 ||
+        input >= static_cast<int>(st_->match_ctx.input_provenance.size())) {
+      return Status::Internal(StringPrintf("input %d out of range", input));
+    }
+    const std::string& prov =
+        st_->match_ctx.input_provenance[static_cast<size_t>(input)];
+    if (prov.empty()) return DefaultSelectivity(op);
+    Result<CatalogEntry> entry = catalog_->Collection(prov);
+    if (!entry.ok()) return DefaultSelectivity(op);
+    Result<AttributeStats> astats = entry->stats.Attribute(attribute);
+    if (!astats.ok()) return DefaultSelectivity(op);
+    return EstimateSelectivity(*astats, op, v);
+  }
+
+ private:
+  /// A rule selected for this node, with its match bindings.
+  struct Selected {
+    const RegisteredRule* reg = nullptr;
+    Bindings bindings;
+    std::optional<std::vector<Value>> locals;  ///< evaluated lazily
+  };
+
+  /// Finds the winning level for `var` among sorted candidates, collects
+  /// all matching rules at that level, and extends the required-variable
+  /// worklist with their self references.
+  Status SelectRulesFor(CostVarId var,
+                        const std::vector<RegisteredRule>& candidates,
+                        VarSet* pending) {
+    std::vector<Selected*>& chosen =
+        selected_by_var_[static_cast<size_t>(var)];
+    bool have_level = false;
+    bool stop = false;
+    Scope level_scope = Scope::kDefault;
+    int level_spec = 0;
+
+    auto process = [&](const RegisteredRule& reg) -> Status {
+      if (!reg.rule->Provides(var)) return Status::OK();
+      if (have_level) {
+        if (reg.scope != level_scope ||
+            reg.rule->pattern.specificity != level_spec) {
+          stop = true;  // sorted: anything further is less specific
+          return Status::OK();
+        }
+        if (options_.tie_break_first_only) {
+          stop = true;
+          return Status::OK();
+        }
+      }
+      Selected* sel = MatchCached(reg);
+      if (sel == nullptr) return Status::OK();
+      if (!have_level) {
+        have_level = true;
+        level_scope = reg.scope;
+        level_spec = reg.rule->pattern.specificity;
+      }
+      chosen.push_back(sel);
+      return AccountRuleDeps(*sel->reg->rule, var, pending);
+    };
+
+    // Hash-indexed exact-select rules are the most specific candidates
+    // (literal collection + attribute + value); they come first.
+    if (exact_bucket_ != nullptr) {
+      for (const RegisteredRule& reg : *exact_bucket_) {
+        DISCO_RETURN_NOT_OK(process(reg));
+        if (stop) break;
+      }
+    }
+    for (const RegisteredRule& reg : candidates) {
+      if (stop) break;
+      DISCO_RETURN_NOT_OK(process(reg));
+    }
+    if (!have_level) {
+      return Status::Internal(StringPrintf(
+          "no cost rule provides %s for operator %s (source '%s'); is the "
+          "generic model installed?",
+          costlang::CostVarName(var),
+          algebra::OpKindToString(st_->node->kind), st_->source_ctx.c_str()));
+    }
+    return Status::OK();
+  }
+
+  /// Records the child-variable and self-variable dependencies of the
+  /// formula computing `var` in `rule`, plus (once per rule) those of its
+  /// locals.
+  Status AccountRuleDeps(const CompiledRule& rule, CostVarId var,
+                         VarSet* pending) {
+    for (const CompiledFormula& f : rule.formulas) {
+      if (f.target != var) continue;
+      for (const auto& [input, v] : f.program.input_var_refs) {
+        NoteChildRef(input, v);
+      }
+      for (CostVarId v : f.program.self_var_refs) {
+        pending->set(static_cast<size_t>(v));
+      }
+    }
+    if (locals_accounted_.insert(&rule).second) {
+      for (const costlang::CompiledLocal& local : rule.locals) {
+        for (const auto& [input, v] : local.program.input_var_refs) {
+          NoteChildRef(input, v);
+        }
+        for (CostVarId v : local.program.self_var_refs) {
+          pending->set(static_cast<size_t>(v));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  void NoteChildRef(int input, CostVarId var) {
+    // Scans have no NodeState children; their "input" is the catalog.
+    if (st_->node->kind == OpKind::kScan) return;
+    if (input >= 0 && input < static_cast<int>(child_required_.size())) {
+      child_required_[static_cast<size_t>(input)].set(
+          static_cast<size_t>(var));
+    }
+  }
+
+  /// Match attempt with caching; returns the Selected entry or null.
+  Selected* MatchCached(const RegisteredRule& reg) {
+    auto it = match_cache_.find(reg.rule);
+    if (it != match_cache_.end()) {
+      return it->second.has_value() ? &*it->second : nullptr;
+    }
+    ++out_->match_attempts;
+    std::optional<Bindings> m =
+        MatchPattern(reg.rule->pattern,
+                     static_cast<int>(reg.rule->binding_slots.size()),
+                     st_->match_ctx);
+    auto [pos, inserted] = match_cache_.emplace(
+        reg.rule, m.has_value()
+                      ? std::optional<Selected>(
+                            Selected{&reg, std::move(*m), std::nullopt})
+                      : std::nullopt);
+    return pos->second.has_value() ? &*pos->second : nullptr;
+  }
+
+  /// Evaluates `var`: all selected formulas run, the minimum wins.
+  Status EvaluateVar(CostVarId var) {
+    std::vector<Selected*>& chosen =
+        selected_by_var_[static_cast<size_t>(var)];
+    if (chosen.empty()) {
+      return Status::Internal(StringPrintf(
+          "phase 1 selected no rule for %s", costlang::CostVarName(var)));
+    }
+    double best = std::numeric_limits<double>::infinity();
+    const Selected* winner = nullptr;
+    for (Selected* sel : chosen) {
+      DISCO_RETURN_NOT_OK(EnsureLocals(sel));
+      const CompiledRule& rule = *sel->reg->rule;
+      for (const CompiledFormula& f : rule.formulas) {
+        if (f.target != var) continue;
+        current_bindings_ = &sel->bindings;
+        ++out_->formulas_evaluated;
+        DISCO_ASSIGN_OR_RETURN(
+            double v, costlang::Execute(f.program, this, *sel->locals,
+                                        *sel->reg->globals));
+        current_bindings_ = nullptr;
+        if (v < best || winner == nullptr) {
+          best = v;
+          winner = sel;
+        }
+      }
+    }
+    st_->cost.Set(var, best);
+    if (options_.collect_explain && winner != nullptr) {
+      VarExplain ve;
+      ve.var = var;
+      ve.value = best;
+      ve.scope = winner->reg->scope;
+      ve.rule = winner->reg->rule->pattern.ToString();
+      explain_vars_.push_back(std::move(ve));
+    }
+    return Status::OK();
+  }
+
+  /// Evaluates a rule's local definitions once per node, in textual order.
+  Status EnsureLocals(Selected* sel) {
+    if (sel->locals.has_value()) return Status::OK();
+    std::vector<Value> locals;
+    const CompiledRule& rule = *sel->reg->rule;
+    locals.reserve(rule.locals.size());
+    for (const costlang::CompiledLocal& local : rule.locals) {
+      current_bindings_ = &sel->bindings;
+      ++out_->formulas_evaluated;
+      DISCO_ASSIGN_OR_RETURN(
+          double v, costlang::Execute(local.program, this, locals,
+                                      *sel->reg->globals));
+      current_bindings_ = nullptr;
+      locals.push_back(Value(v));
+    }
+    sel->locals = std::move(locals);
+    return Status::OK();
+  }
+
+  Status CheckPrune() {
+    // The cutoff applies only at mediator-context nodes: inside a source
+    // context, min-wins access-path strategies (e.g. an index scan that
+    // bypasses its child's sequential cost) make subcosts non-monotone,
+    // so a large subcost there does not imply a large final cost. The
+    // mediator-side composition rules (local scope) all accumulate their
+    // children's TotalTime, so every submit boundary is a sound prune
+    // point and an expensive subquery still aborts the estimate early.
+    if (st_->source_ctx.empty() && std::isfinite(options_.prune_bound) &&
+        st_->cost.IsComputed(CostVarId::kTotalTime) &&
+        st_->cost.total_time() > options_.prune_bound) {
+      out_->pruned = true;
+    }
+    return Status::OK();
+  }
+
+  NodeState* st_;
+  const RuleRegistry* registry_;
+  const Catalog* catalog_;
+  const HistoryManager* history_;
+  const EstimateOptions& options_;
+  PlanEstimate* out_;
+
+  VarSet required_closure_;
+  const std::vector<RegisteredRule>* exact_bucket_ = nullptr;
+  std::vector<VarSet> child_required_;
+  std::array<std::vector<Selected*>, kNumCostVars> selected_by_var_;
+  std::map<const CompiledRule*, std::optional<Selected>> match_cache_;
+  std::set<const CompiledRule*> locals_accounted_;
+  const Bindings* current_bindings_ = nullptr;
+  int depth_ = 0;
+  std::vector<VarExplain> explain_vars_;
+};
+
+}  // namespace
+
+std::string FormatExplain(const PlanEstimate& estimate) {
+  std::string out;
+  for (const NodeExplain& node : estimate.explain) {
+    out.append(static_cast<size_t>(node.depth) * 2, ' ');
+    out += node.label;
+    if (!node.source.empty()) out += "  @" + node.source;
+    out += "  " + node.cost.ToString();
+    out += "\n";
+    if (node.from_query_scope) {
+      out.append(static_cast<size_t>(node.depth) * 2 + 2, ' ');
+      out += "<- recorded execution (query scope)\n";
+      continue;
+    }
+    for (const VarExplain& v : node.vars) {
+      out.append(static_cast<size_t>(node.depth) * 2 + 2, ' ');
+      out += StringPrintf("%-12s <- [%s] %s\n",
+                          costlang::CostVarName(v.var),
+                          ScopeToString(v.scope), v.rule.c_str());
+    }
+  }
+  return out;
+}
+
+Result<PlanEstimate> CostEstimator::Estimate(
+    const Operator& plan, const EstimateOptions& options) const {
+  return EstimateAt(plan, "", options);
+}
+
+Result<PlanEstimate> CostEstimator::EstimateAt(
+    const Operator& plan, const std::string& source,
+    const EstimateOptions& options) const {
+  DISCO_RETURN_NOT_OK(plan.CheckWellFormed());
+  std::unique_ptr<NodeState> root = BuildStateTree(plan, ToLower(source));
+  PlanEstimate out;
+  // The root is asked for every variable (the optimizer compares
+  // TotalTime but callers inspect sizes too); propagation still trims the
+  // variables computed below the root.
+  NodeEstimator est(root.get(), registry_, catalog_, history_, options, &out);
+  DISCO_RETURN_NOT_OK(est.Run(AllVars()));
+  out.root = root->cost;
+  return out;
+}
+
+Result<double> CostEstimator::EstimateTotalTime(
+    const Operator& plan, const EstimateOptions& options) const {
+  DISCO_ASSIGN_OR_RETURN(PlanEstimate est, Estimate(plan, options));
+  return est.root.total_time();
+}
+
+}  // namespace costmodel
+}  // namespace disco

@@ -1,0 +1,120 @@
+// The cost evaluation algorithm of paper Section 4.2 (Figure 11).
+//
+// Estimating a plan is a two-phase traversal:
+//   phase 1 (top-down): for every required cost variable of a node, select
+//     the most specific matching rules (query > predicate > collection >
+//     wrapper > local > default); propagate to each child exactly the set
+//     of variables the selected formulas reference (optimization (i)); cut
+//     the recursion into children from which nothing is required
+//     (optimization (ii));
+//   phase 2 (bottom-up): evaluate the selected formulas in dependency
+//     order (sizes before times); when several same-level formulas compute
+//     one variable, all are invoked and the minimum wins (Step 3).
+//
+// Section 4.3's extensions are both here: query-scope lookups /
+// adjustment factors via the HistoryManager, and branch-and-bound pruning
+// via EstimateOptions::prune_bound.
+
+#ifndef DISCO_COSTMODEL_ESTIMATOR_H_
+#define DISCO_COSTMODEL_ESTIMATOR_H_
+
+#include <limits>
+#include <string>
+
+#include "algebra/operator.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "costmodel/cost_vector.h"
+#include "costmodel/history.h"
+#include "costmodel/registry.h"
+
+namespace disco {
+namespace costmodel {
+
+struct EstimateOptions {
+  /// Paper §4.2 optimization (i)+(ii): pass each child only the variables
+  /// actually referenced; skip children entirely when none are. Disabling
+  /// computes all six variables everywhere (for the ablation bench).
+  bool propagate_required_vars = true;
+
+  /// Consult query-scope entries and adjustment factors (§4.3.1).
+  bool use_history = true;
+
+  /// §3.3.2 alternative tie-break: take only the first (registration
+  /// order) rule at the winning level instead of min across all of them.
+  bool tie_break_first_only = false;
+
+  /// §4.3.2 branch-and-bound: abort as soon as any node's TotalTime
+  /// exceeds this bound (the best complete plan seen so far).
+  double prune_bound = std::numeric_limits<double>::infinity();
+
+  /// Record which rule won each variable at each node (EXPLAIN).
+  bool collect_explain = false;
+};
+
+/// Which rule produced a variable's (minimum) value at one node.
+struct VarExplain {
+  CostVarId var = CostVarId::kTotalTime;
+  double value = 0;
+  Scope scope = Scope::kDefault;
+  std::string rule;  ///< the winning rule's pattern, or "(query scope)"
+};
+
+/// EXPLAIN record for one plan node (pre-order).
+struct NodeExplain {
+  int depth = 0;
+  std::string label;        ///< operator rendering, e.g. "select(salary = 7)"
+  std::string source;       ///< executing context ("" = mediator)
+  CostVector cost;
+  bool from_query_scope = false;
+  std::vector<VarExplain> vars;
+};
+
+struct PlanEstimate {
+  CostVector root;
+  bool pruned = false;       ///< estimation aborted via prune_bound
+  int nodes_visited = 0;
+  int formulas_evaluated = 0;
+  int match_attempts = 0;    ///< rule-head unification attempts (Ext-2)
+  /// Filled when EstimateOptions::collect_explain is set.
+  std::vector<NodeExplain> explain;
+
+  double total_time() const { return root.total_time(); }
+};
+
+/// Human-readable rendering of an estimate's explain records: one line
+/// per node, indented by plan depth, with the winning rule per variable.
+std::string FormatExplain(const PlanEstimate& estimate);
+
+class CostEstimator {
+ public:
+  /// `history` may be null (no query scope / no adjustment).
+  CostEstimator(const RuleRegistry* registry, const Catalog* catalog,
+                const HistoryManager* history = nullptr)
+      : registry_(registry), catalog_(catalog), history_(history) {}
+
+  /// Estimates a mediator plan (submit nodes switch the scope context to
+  /// their wrapper, per Figure 10).
+  Result<PlanEstimate> Estimate(const algebra::Operator& plan,
+                                const EstimateOptions& options = {}) const;
+
+  /// Estimates `plan` as if it executed entirely at `source` -- the view
+  /// a wrapper-scope estimate takes of a subquery.
+  Result<PlanEstimate> EstimateAt(const algebra::Operator& plan,
+                                  const std::string& source,
+                                  const EstimateOptions& options = {}) const;
+
+  /// Convenience: TotalTime of the whole plan.
+  Result<double> EstimateTotalTime(const algebra::Operator& plan,
+                                   const EstimateOptions& options = {}) const;
+
+ private:
+  const RuleRegistry* registry_;
+  const Catalog* catalog_;
+  const HistoryManager* history_;
+};
+
+}  // namespace costmodel
+}  // namespace disco
+
+#endif  // DISCO_COSTMODEL_ESTIMATOR_H_

@@ -1,0 +1,323 @@
+#include "costmodel/generic_model.h"
+
+#include "common/str_util.h"
+#include "costlang/compiler.h"
+
+namespace disco {
+namespace costmodel {
+
+namespace {
+
+std::string Defines(const CalibrationParams& p) {
+  return StringPrintf(
+      "define StartupMs = %.6g;\n"
+      "define IoMs = %.6g;\n"
+      "define ObjMs = %.6g;\n"
+      "define CmpMs = %.6g;\n"
+      "define ProbeMs = %.6g;\n"
+      "define PageSize = %.6g;\n"
+      "define MedCmpMs = %.6g;\n"
+      "define LatencyMs = %.6g;\n"
+      "define NetByteMs = %.6g;\n"
+      "define Huge = 1e18;\n",
+      p.ms_startup, p.ms_per_io, p.ms_per_object, p.ms_per_cmp,
+      p.ms_index_probe, p.page_size, p.ms_med_cmp, p.ms_msg_latency,
+      p.ms_per_net_byte);
+}
+
+}  // namespace
+
+std::string GenericModelRuleText(const CalibrationParams& p) {
+  std::string text = Defines(p);
+  text += R"RULES(
+# ---- sequential scan of a collection --------------------------------
+scan(C) {
+  CountObject = C.CountObject;
+  TotalSize   = C.TotalSize;
+  ObjectSize  = C.ObjectSize;
+  TimeFirst   = StartupMs + IoMs;
+  TimeNext    = ObjMs;
+  TotalTime   = StartupMs + IoMs * (C.TotalSize / PageSize)
+              + ObjMs * C.CountObject;
+}
+
+# ---- selection, strategy 1: sequential filter fused into the access
+# path: only surviving objects pay the per-object production cost (the
+# input's ObjMs charge is refunded and re-applied to the output) --------
+select(C, P) {
+  CountObject = C.CountObject * selectivity();
+  ObjectSize  = C.ObjectSize;
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C.TimeFirst;
+  TimeNext    = C.TimeNext;
+  TotalTime   = C.TotalTime - ObjMs * C.CountObject
+              + CmpMs * C.CountObject + ObjMs * CountObject;
+}
+
+# ---- selection, strategy 2: index scan (calibration-style linear page
+# estimate -- precisely the formula Figure 12 shows to be inaccurate,
+# which wrapper rules may override with e.g. Yao's formula) ------------
+select(C, P) {
+  CountObject = C.CountObject * selectivity();
+  ObjectSize  = C.ObjectSize;
+  TotalSize   = CountObject * ObjectSize;
+  TotalTime   = if(Indexed,
+                   StartupMs
+                   + ProbeMs * log2(max(C.CountObject, 2))
+                   + IoMs * selectivity() * (C.TotalSize / PageSize)
+                   + ObjMs * CountObject,
+                   Huge);
+}
+
+# ---- projection ------------------------------------------------------
+project(C, P) {
+  CountObject = C.CountObject;
+  ObjectSize  = max(C.ObjectSize * 0.5, 8);
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C.TimeFirst;
+  TimeNext    = C.TimeNext;
+  TotalTime   = C.TotalTime + CmpMs * C.CountObject;
+}
+
+# ---- sort (blocking) -------------------------------------------------
+sort(C, A) {
+  CountObject = C.CountObject;
+  TotalSize   = C.TotalSize;
+  ObjectSize  = C.ObjectSize;
+  TimeFirst   = C.TotalTime
+              + CmpMs * C.CountObject * log2(max(C.CountObject, 2));
+  TimeNext    = ObjMs;
+  TotalTime   = TimeFirst + ObjMs * C.CountObject;
+}
+
+# ---- duplicate elimination ------------------------------------------
+dedup(C) {
+  CountObject = C.CountObject * 0.8;
+  ObjectSize  = C.ObjectSize;
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C.TotalTime
+              + CmpMs * C.CountObject * log2(max(C.CountObject, 2));
+  TimeNext    = ObjMs;
+  TotalTime   = TimeFirst + ObjMs * CountObject;
+}
+
+# ---- aggregation -----------------------------------------------------
+aggregate(C, F) {
+  CountObject = max(C.CountObject / 10, 1);
+  ObjectSize  = 16;
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C.TotalTime + CmpMs * C.CountObject;
+  TimeNext    = ObjMs;
+  TotalTime   = TimeFirst + ObjMs * CountObject;
+}
+
+# ---- join, strategy 1: nested loops (also carries the size rules) ----
+join(C1, C2, A1 = A2) {
+  CountObject = C1.CountObject * C2.CountObject
+              / max(min(C1.A1.CountDistinct, C2.A2.CountDistinct), 1);
+  ObjectSize  = C1.ObjectSize + C2.ObjectSize;
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C1.TimeFirst + C2.TimeFirst;
+  TimeNext    = ObjMs;
+  TotalTime   = C1.TotalTime + C2.TotalTime
+              + CmpMs * C1.CountObject * C2.CountObject
+              + ObjMs * CountObject;
+}
+
+# ---- join, strategy 2: sort-merge ------------------------------------
+join(C1, C2, A1 = A2) {
+  TotalTime = C1.TotalTime + C2.TotalTime
+            + CmpMs * C1.CountObject * log2(max(C1.CountObject, 2))
+            + CmpMs * C2.CountObject * log2(max(C2.CountObject, 2))
+            + CmpMs * (C1.CountObject + C2.CountObject)
+            + ObjMs * CountObject;
+}
+
+# ---- join, strategy 3: index join (probe an index on the inner) ------
+join(C1, C2, A1 = A2) {
+  TotalTime = if(C2.A2.Indexed,
+                 C1.TotalTime
+                 + C1.CountObject * (ProbeMs + IoMs)
+                 + ObjMs * CountObject,
+                 Huge);
+}
+
+# ---- union -----------------------------------------------------------
+union(C1, C2) {
+  CountObject = C1.CountObject + C2.CountObject;
+  TotalSize   = C1.TotalSize + C2.TotalSize;
+  ObjectSize  = (C1.ObjectSize + C2.ObjectSize) / 2;
+  TimeFirst   = min(C1.TimeFirst, C2.TimeFirst);
+  TimeNext    = ObjMs;
+  TotalTime   = C1.TotalTime + C2.TotalTime + CmpMs * CountObject;
+}
+
+# ---- submit: ship a subquery to a wrapper ----------------------------
+submit(C) {
+  CountObject = C.CountObject;
+  TotalSize   = C.TotalSize;
+  ObjectSize  = C.ObjectSize;
+  TimeFirst   = C.TimeFirst + LatencyMs;
+  TimeNext    = C.TimeNext + NetByteMs * C.ObjectSize;
+  TotalTime   = C.TotalTime + LatencyMs + NetByteMs * C.TotalSize;
+}
+
+# ---- bind join (extension, cf. paper §7): the mediator probes the
+# second collection once per distinct outer key ----------------------
+bindjoin(C1, C2, A1 = A2) {
+  Probes      = min(C1.CountObject, max(C1.A1.CountDistinct, 1));
+  PerProbe    = LatencyMs + StartupMs
+              + if(C2.A2.Indexed,
+                   ProbeMs * log2(max(C2.CountObject, 2)) + IoMs,
+                   IoMs * (C2.TotalSize / PageSize)
+                   + CmpMs * C2.CountObject);
+  CountObject = C1.CountObject * C2.CountObject
+              / max(min(C1.A1.CountDistinct, C2.A2.CountDistinct), 1);
+  ObjectSize  = C1.ObjectSize + C2.ObjectSize;
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C1.TimeFirst + LatencyMs + StartupMs;
+  TimeNext    = ObjMs;
+  TotalTime   = C1.TotalTime + Probes * PerProbe
+              + ObjMs * CountObject
+              + NetByteMs * TotalSize;
+}
+)RULES";
+  return text;
+}
+
+std::string LocalModelRuleText(const CalibrationParams& p) {
+  std::string text = Defines(p);
+  text += R"RULES(
+# Mediator-local physical operators: the data is already in memory at the
+# mediator (it arrived through submit), so there is no I/O component and
+# the per-compare constant is the mediator's own.
+
+select(C, P) {
+  CountObject = C.CountObject * selectivity();
+  ObjectSize  = C.ObjectSize;
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C.TimeFirst;
+  TimeNext    = C.TimeNext;
+  TotalTime   = C.TotalTime + MedCmpMs * C.CountObject;
+}
+
+project(C, P) {
+  CountObject = C.CountObject;
+  ObjectSize  = max(C.ObjectSize * 0.5, 8);
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C.TimeFirst;
+  TimeNext    = C.TimeNext;
+  TotalTime   = C.TotalTime + MedCmpMs * C.CountObject;
+}
+
+sort(C, A) {
+  CountObject = C.CountObject;
+  TotalSize   = C.TotalSize;
+  ObjectSize  = C.ObjectSize;
+  TimeFirst   = C.TotalTime
+              + MedCmpMs * C.CountObject * log2(max(C.CountObject, 2));
+  TimeNext    = MedCmpMs;
+  TotalTime   = TimeFirst + MedCmpMs * C.CountObject;
+}
+
+dedup(C) {
+  CountObject = C.CountObject * 0.8;
+  ObjectSize  = C.ObjectSize;
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C.TotalTime
+              + MedCmpMs * C.CountObject * log2(max(C.CountObject, 2));
+  TimeNext    = MedCmpMs;
+  TotalTime   = TimeFirst + MedCmpMs * CountObject;
+}
+
+aggregate(C, F) {
+  CountObject = max(C.CountObject / 10, 1);
+  ObjectSize  = 16;
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C.TotalTime + MedCmpMs * C.CountObject;
+  TimeNext    = MedCmpMs;
+  TotalTime   = TimeFirst + MedCmpMs * CountObject;
+}
+
+# Mediator joins: nested loops and sort-merge (no indexes at the
+# mediator); min-wins picks the cheaper.
+join(C1, C2, A1 = A2) {
+  CountObject = C1.CountObject * C2.CountObject
+              / max(min(C1.A1.CountDistinct, C2.A2.CountDistinct), 1);
+  ObjectSize  = C1.ObjectSize + C2.ObjectSize;
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C1.TimeFirst + C2.TimeFirst;
+  TimeNext    = MedCmpMs;
+  TotalTime   = C1.TotalTime + C2.TotalTime
+              + MedCmpMs * C1.CountObject * C2.CountObject
+              + MedCmpMs * CountObject;
+}
+
+join(C1, C2, A1 = A2) {
+  TotalTime = C1.TotalTime + C2.TotalTime
+            + MedCmpMs * C1.CountObject * log2(max(C1.CountObject, 2))
+            + MedCmpMs * C2.CountObject * log2(max(C2.CountObject, 2))
+            + MedCmpMs * (C1.CountObject + C2.CountObject)
+            + MedCmpMs * CountObject;
+}
+
+union(C1, C2) {
+  CountObject = C1.CountObject + C2.CountObject;
+  TotalSize   = C1.TotalSize + C2.TotalSize;
+  ObjectSize  = (C1.ObjectSize + C2.ObjectSize) / 2;
+  TimeFirst   = min(C1.TimeFirst, C2.TimeFirst);
+  TimeNext    = MedCmpMs;
+  TotalTime   = C1.TotalTime + C2.TotalTime + MedCmpMs * CountObject;
+}
+
+# Communication cost of issuing a subplan to a wrapper (uniform network,
+# per the paper's assumption).
+submit(C) {
+  CountObject = C.CountObject;
+  TotalSize   = C.TotalSize;
+  ObjectSize  = C.ObjectSize;
+  TimeFirst   = C.TimeFirst + LatencyMs;
+  TimeNext    = C.TimeNext + NetByteMs * C.ObjectSize;
+  TotalTime   = C.TotalTime + LatencyMs + NetByteMs * C.TotalSize;
+}
+
+# ---- bind join (extension, cf. paper §7): the mediator probes the
+# second collection once per distinct outer key ----------------------
+bindjoin(C1, C2, A1 = A2) {
+  Probes      = min(C1.CountObject, max(C1.A1.CountDistinct, 1));
+  PerProbe    = LatencyMs + StartupMs
+              + if(C2.A2.Indexed,
+                   ProbeMs * log2(max(C2.CountObject, 2)) + IoMs,
+                   IoMs * (C2.TotalSize / PageSize)
+                   + CmpMs * C2.CountObject);
+  CountObject = C1.CountObject * C2.CountObject
+              / max(min(C1.A1.CountDistinct, C2.A2.CountDistinct), 1);
+  ObjectSize  = C1.ObjectSize + C2.ObjectSize;
+  TotalSize   = CountObject * ObjectSize;
+  TimeFirst   = C1.TimeFirst + LatencyMs + StartupMs;
+  TimeNext    = ObjMs;
+  TotalTime   = C1.TotalTime + Probes * PerProbe
+              + ObjMs * CountObject
+              + NetByteMs * TotalSize;
+}
+)RULES";
+  (void)p;
+  return text;
+}
+
+Status InstallGenericModel(RuleRegistry* registry,
+                           const CalibrationParams& p) {
+  costlang::CompileSchema empty_schema;  // all pattern names are variables
+  DISCO_ASSIGN_OR_RETURN(
+      costlang::CompiledRuleSet default_rules,
+      costlang::CompileRuleText(GenericModelRuleText(p), empty_schema));
+  DISCO_RETURN_NOT_OK(registry->AddDefaultRules(std::move(default_rules)));
+  DISCO_ASSIGN_OR_RETURN(
+      costlang::CompiledRuleSet local_rules,
+      costlang::CompileRuleText(LocalModelRuleText(p), empty_schema));
+  DISCO_RETURN_NOT_OK(registry->AddLocalRules(std::move(local_rules)));
+  return Status::OK();
+}
+
+}  // namespace costmodel
+}  // namespace disco

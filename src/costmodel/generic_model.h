@@ -1,0 +1,59 @@
+// The mediator's generic cost model (paper Section 2.3).
+//
+// "When no specific information are given by wrappers, the mediator
+// estimates the cost of plans using a cost model" -- calibration-style
+// formulas for sequential scan, index scan, nested-loop / sort-merge /
+// index join, and the remaining algebra operators. We express the model
+// in the cost language itself and install it in the default scope, so a
+// single matching/overriding mechanism serves every scope (the "elegant
+// consequence" of Section 4.1). A parallel local-scope rule set covers
+// mediator-side physical operators (Footnote 1) and the submit operator's
+// communication cost.
+
+#ifndef DISCO_COSTMODEL_GENERIC_MODEL_H_
+#define DISCO_COSTMODEL_GENERIC_MODEL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "costmodel/registry.h"
+
+namespace disco {
+namespace costmodel {
+
+/// Calibration constants of the generic model. Defaults reflect the
+/// ObjectStore measurements the paper's Section 5 reports: 25 ms to read
+/// a page, 9 ms to produce an object, 120 ms startup (Figure 8's example
+/// constant).
+struct CalibrationParams {
+  double ms_startup = 120.0;     ///< query start-up overhead (TimeFirst)
+  double ms_per_io = 25.0;       ///< read one page from a data source
+  double ms_per_object = 9.0;    ///< produce one result object
+  double ms_per_cmp = 0.005;     ///< evaluate a predicate / compare once
+  double ms_index_probe = 0.5;   ///< descend one B-tree level
+  double page_size = 4096.0;     ///< bytes per page
+
+  // Mediator-side processing (in-memory, faster than sources).
+  double ms_med_cmp = 0.002;     ///< mediator compare/filter per object
+
+  // Communication (uniform, per the paper's Section 2.3 assumption).
+  // ~100 KB/s effective -- the Internet/intranet setting the paper
+  // targets; shipping volume is a real factor in site placement.
+  double ms_msg_latency = 50.0;   ///< per submitted subquery round trip
+  double ms_per_net_byte = 0.01;  ///< ship one byte mediator-ward
+};
+
+/// Renders the default-scope rule text (generic model) for `p`.
+std::string GenericModelRuleText(const CalibrationParams& p);
+
+/// Renders the local-scope rule text (mediator operators + submit).
+std::string LocalModelRuleText(const CalibrationParams& p);
+
+/// Compiles and installs both rule sets into `registry`. Must run before
+/// any estimation (the default scope is the fallback of last resort).
+Status InstallGenericModel(RuleRegistry* registry, const CalibrationParams& p);
+
+}  // namespace costmodel
+}  // namespace disco
+
+#endif  // DISCO_COSTMODEL_GENERIC_MODEL_H_

@@ -1,0 +1,41 @@
+#include "costmodel/history.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace costmodel {
+
+void HistoryManager::RecordExecution(RuleRegistry* registry,
+                                     const std::string& source,
+                                     const algebra::Operator& subplan,
+                                     double estimated_total_ms,
+                                     const CostVector& measured) {
+  registry->AddQueryCost(source, subplan, measured);
+  ++num_observations_;
+
+  if (estimated_total_ms <= 0) return;
+  double observed = measured.total_time();
+  if (observed <= 0) return;
+  double ratio = observed / estimated_total_ms;
+  // Guard against degenerate observations dominating the factor.
+  ratio = std::clamp(ratio, 1e-3, 1e3);
+
+  Key key{ToLower(source), static_cast<int>(subplan.kind)};
+  auto it = factors_.find(key);
+  if (it == factors_.end()) {
+    factors_[key] = ratio;
+  } else {
+    it->second = (1 - alpha_) * it->second + alpha_ * ratio;
+  }
+}
+
+double HistoryManager::AdjustmentFactor(const std::string& source,
+                                        algebra::OpKind kind) const {
+  auto it = factors_.find(Key{ToLower(source), static_cast<int>(kind)});
+  return it == factors_.end() ? 1.0 : it->second;
+}
+
+}  // namespace costmodel
+}  // namespace disco

@@ -1,0 +1,68 @@
+// Historical cost management (paper Section 4.3.1).
+//
+// Two mechanisms, both fed by measured executions of wrapper subqueries:
+//
+// 1. *Query-scope rules*: the exact measured cost vector of a subquery is
+//    stored in the registry's query scope; an identical subquery later
+//    estimates to its recorded cost ("two executions of the same subquery
+//    have the same cost regardless of differences in time").
+//
+// 2. *Parameter adjustment*: instead of storing a new formula per query,
+//    the paper proposes adjusting formula input parameters until estimates
+//    track observed costs. We realize this as an exponentially-weighted
+//    multiplicative correction per (source, root operator kind): the
+//    estimator multiplies a subquery's estimated TotalTime by the learned
+//    factor at its submit node. This "encode[s] the history of the
+//    execution in the adjustments" and generalizes to similar (not just
+//    identical) subqueries.
+
+#ifndef DISCO_COSTMODEL_HISTORY_H_
+#define DISCO_COSTMODEL_HISTORY_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/operator.h"
+#include "costmodel/cost_vector.h"
+#include "costmodel/registry.h"
+
+namespace disco {
+namespace costmodel {
+
+class HistoryManager {
+ public:
+  /// `alpha` is the EWMA weight of the newest observation in [0, 1].
+  explicit HistoryManager(double alpha = 0.3) : alpha_(alpha) {}
+
+  /// Records that `subplan`, submitted to `source`, was estimated at
+  /// `estimated_total_ms` and actually took `measured`. Installs a
+  /// query-scope entry in `registry` and updates the adjustment factor.
+  void RecordExecution(RuleRegistry* registry, const std::string& source,
+                       const algebra::Operator& subplan,
+                       double estimated_total_ms, const CostVector& measured);
+
+  /// Multiplicative TotalTime correction for subqueries rooted at `kind`
+  /// on `source`; 1.0 when nothing has been learned.
+  double AdjustmentFactor(const std::string& source,
+                          algebra::OpKind kind) const;
+
+  int num_observations() const { return num_observations_; }
+
+ private:
+  struct Key {
+    std::string source;
+    int kind;
+    bool operator<(const Key& o) const {
+      if (source != o.source) return source < o.source;
+      return kind < o.kind;
+    }
+  };
+  double alpha_;
+  std::map<Key, double> factors_;
+  int num_observations_ = 0;
+};
+
+}  // namespace costmodel
+}  // namespace disco
+
+#endif  // DISCO_COSTMODEL_HISTORY_H_

@@ -1,0 +1,153 @@
+#include "costmodel/matcher.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace costmodel {
+
+namespace {
+
+using algebra::OpKind;
+using costlang::CompiledPattern;
+
+/// Last component of a possibly qualified attribute name ("E.id" -> "id").
+std::string_view Unqualified(const std::string& attr) {
+  size_t pos = attr.rfind('.');
+  return pos == std::string::npos ? std::string_view(attr)
+                                  : std::string_view(attr).substr(pos + 1);
+}
+
+/// Binds `slot` to `v`, or checks consistency if already bound (a variable
+/// repeated in a head must unify to equal values).
+bool BindSlot(Bindings* bindings, int slot, Value v) {
+  Value& cur = (*bindings)[static_cast<size_t>(slot)];
+  if (cur.is_null()) {
+    cur = std::move(v);
+    return true;
+  }
+  if (cur.is_string() && v.is_string()) {
+    return EqualsIgnoreCase(cur.AsString(), v.AsString());
+  }
+  return cur == v;
+}
+
+bool MatchAttr(const costlang::AttrPattern& pat, const std::string& node_attr,
+               Bindings* bindings) {
+  std::string_view plain = Unqualified(node_attr);
+  if (pat.is_literal) {
+    return EqualsIgnoreCase(plain, pat.name);
+  }
+  return BindSlot(bindings, pat.slot, Value(std::string(plain)));
+}
+
+}  // namespace
+
+MatchContext MakeMatchContext(const algebra::Operator& node) {
+  MatchContext ctx;
+  ctx.node = &node;
+  if (node.kind == OpKind::kScan) {
+    ctx.input_provenance.push_back(node.collection);
+  } else {
+    for (const auto& child : node.children) {
+      ctx.input_provenance.push_back(child->FirstBaseCollection());
+    }
+    // A bind join's second logical input is the probed base collection.
+    if (node.kind == OpKind::kBindJoin) {
+      ctx.input_provenance.push_back(node.collection);
+    }
+  }
+  return ctx;
+}
+
+std::optional<Bindings> MatchPattern(const CompiledPattern& pattern,
+                                     int num_slots, const MatchContext& ctx) {
+  const algebra::Operator& node = *ctx.node;
+  if (pattern.op != node.kind) return std::nullopt;
+  if (pattern.inputs.size() != ctx.input_provenance.size()) return std::nullopt;
+
+  Bindings bindings(static_cast<size_t>(num_slots));
+
+  // Collection positions match against input provenance.
+  for (size_t i = 0; i < pattern.inputs.size(); ++i) {
+    const costlang::InputPattern& in = pattern.inputs[i];
+    const std::string& prov = ctx.input_provenance[i];
+    if (in.is_literal) {
+      if (!EqualsIgnoreCase(prov, in.name)) return std::nullopt;
+    } else {
+      if (!BindSlot(&bindings, in.slot, Value(prov))) return std::nullopt;
+    }
+  }
+
+  switch (pattern.pred_kind) {
+    case CompiledPattern::PredKind::kNone:
+      break;
+
+    case CompiledPattern::PredKind::kFree: {
+      // Binds to a rendering of whatever occupies the predicate position.
+      std::string repr;
+      switch (node.kind) {
+        case OpKind::kSelect:
+          repr = node.select_pred->ToString();
+          break;
+        case OpKind::kJoin:
+        case OpKind::kBindJoin:
+          repr = node.join_pred->ToString();
+          break;
+        case OpKind::kProject:
+          repr = JoinStrings(node.project_attrs, ", ");
+          break;
+        case OpKind::kAggregate:
+          repr = algebra::AggFuncToString(node.agg_func);
+          break;
+        default:
+          repr = "";
+          break;
+      }
+      if (!BindSlot(&bindings, pattern.pred_slot, Value(repr))) {
+        return std::nullopt;
+      }
+      break;
+    }
+
+    case CompiledPattern::PredKind::kSelect: {
+      if (node.kind != OpKind::kSelect) return std::nullopt;
+      const algebra::SelectPredicate& pred = *node.select_pred;
+      if (pattern.sel_op != pred.op) return std::nullopt;
+      if (!MatchAttr(pattern.sel_attr, pred.attribute, &bindings)) {
+        return std::nullopt;
+      }
+      if (pattern.sel_value.is_literal) {
+        if (!(pattern.sel_value.value == pred.value)) return std::nullopt;
+      } else {
+        if (!BindSlot(&bindings, pattern.sel_value.slot, pred.value)) {
+          return std::nullopt;
+        }
+      }
+      break;
+    }
+
+    case CompiledPattern::PredKind::kJoin: {
+      if (node.kind != OpKind::kJoin && node.kind != OpKind::kBindJoin) {
+        return std::nullopt;
+      }
+      const algebra::JoinPredicate& pred = *node.join_pred;
+      if (!MatchAttr(pattern.join_left, pred.left_attribute, &bindings) ||
+          !MatchAttr(pattern.join_right, pred.right_attribute, &bindings)) {
+        return std::nullopt;
+      }
+      break;
+    }
+
+    case CompiledPattern::PredKind::kSortAttr: {
+      if (node.kind != OpKind::kSort) return std::nullopt;
+      if (!MatchAttr(pattern.sort_attr, node.sort_attr, &bindings)) {
+        return std::nullopt;
+      }
+      break;
+    }
+  }
+  return bindings;
+}
+
+}  // namespace costmodel
+}  // namespace disco

@@ -1,0 +1,44 @@
+// Rule-head matching (paper Section 3.3.2): unifies a compiled pattern
+// against an operator node, producing variable bindings.
+
+#ifndef DISCO_COSTMODEL_MATCHER_H_
+#define DISCO_COSTMODEL_MATCHER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "common/value.h"
+#include "costlang/analyzer.h"
+
+namespace disco {
+namespace costmodel {
+
+/// Bindings produced by a successful match: one Value per binding slot of
+/// the rule (collection variables bind to provenance names, attribute
+/// variables to attribute names, value variables to the predicate
+/// constant, predicate variables to the predicate's rendering).
+using Bindings = std::vector<Value>;
+
+/// What the matcher needs to know about a node: the node itself plus the
+/// provenance collection of each input (for a scan, the scanned
+/// collection; otherwise each child subtree's first base collection).
+struct MatchContext {
+  const algebra::Operator* node = nullptr;
+  std::vector<std::string> input_provenance;
+};
+
+/// Builds the MatchContext for `node`.
+MatchContext MakeMatchContext(const algebra::Operator& node);
+
+/// Attempts to unify `pattern` with the node. Returns bindings on
+/// success, nullopt on mismatch. `num_slots` is the rule's binding-slot
+/// count (pattern slots index into it).
+std::optional<Bindings> MatchPattern(const costlang::CompiledPattern& pattern,
+                                     int num_slots, const MatchContext& ctx);
+
+}  // namespace costmodel
+}  // namespace disco
+
+#endif  // DISCO_COSTMODEL_MATCHER_H_

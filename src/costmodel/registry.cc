@@ -1,0 +1,234 @@
+#include "costmodel/registry.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace costmodel {
+
+Status RuleRegistry::AddDefaultRules(costlang::CompiledRuleSet rules) {
+  return AddRuleSet("", Scope::kDefault, /*derive_scope=*/false,
+                    std::move(rules));
+}
+
+Status RuleRegistry::AddLocalRules(costlang::CompiledRuleSet rules) {
+  return AddRuleSet("", Scope::kLocal, /*derive_scope=*/false,
+                    std::move(rules));
+}
+
+Status RuleRegistry::AddWrapperRules(const std::string& source,
+                                     costlang::CompiledRuleSet rules) {
+  if (source.empty()) {
+    return Status::InvalidArgument("wrapper rules need a source name");
+  }
+  return AddRuleSet(source, Scope::kWrapper, /*derive_scope=*/true,
+                    std::move(rules));
+}
+
+Status RuleRegistry::AddRuleSet(const std::string& source, Scope fixed_scope,
+                                bool derive_scope,
+                                costlang::CompiledRuleSet rules) {
+  auto owned = std::make_unique<costlang::CompiledRuleSet>(std::move(rules));
+  for (const costlang::CompiledRule& rule : owned->rules) {
+    RegisteredRule reg;
+    reg.rule = &rule;
+    reg.globals = &owned->global_values;
+    reg.scope = derive_scope ? DeriveWrapperScope(rule.pattern) : fixed_scope;
+    reg.source = ToLower(source);
+    reg.seq = next_seq_++;
+    rules_.push_back(std::move(reg));
+    ++total_rules_;
+  }
+  rule_sets_.push_back(std::move(owned));
+  index_valid_ = false;
+  return Status::OK();
+}
+
+int RuleRegistry::RemoveWrapperRules(const std::string& source) {
+  const std::string key = ToLower(source);
+  int removed = 0;
+  std::vector<RegisteredRule> kept;
+  kept.reserve(rules_.size());
+  for (RegisteredRule& r : rules_) {
+    if (r.source == key) {
+      ++removed;
+    } else {
+      kept.push_back(std::move(r));
+    }
+  }
+  rules_ = std::move(kept);
+  total_rules_ -= removed;
+  // The owned rule sets stay allocated (cheap, and keeps remaining
+  // pointers stable); only the registration entries go away.
+  query_costs_.erase(key);
+  index_valid_ = false;
+  return removed;
+}
+
+void RuleRegistry::AddQueryCost(const std::string& source,
+                                const algebra::Operator& subplan,
+                                const CostVector& cost) {
+  query_costs_[ToLower(source)][subplan.ToString()] = cost;
+}
+
+const CostVector* RuleRegistry::QueryCost(
+    const std::string& source, const algebra::Operator& subplan) const {
+  auto sit = query_costs_.find(ToLower(source));
+  if (sit == query_costs_.end()) return nullptr;
+  auto qit = sit->second.find(subplan.ToString());
+  if (qit == sit->second.end()) return nullptr;
+  return &qit->second;
+}
+
+int RuleRegistry::num_query_entries() const {
+  int n = 0;
+  for (const auto& [source, entries] : query_costs_) {
+    n += static_cast<int>(entries.size());
+  }
+  return n;
+}
+
+namespace {
+
+/// Hash-index key for a fully-bound select pattern / select node.
+std::string ExactSelectKey(const std::string& collection,
+                           const std::string& attribute, algebra::CmpOp op,
+                           const Value& value) {
+  std::string key = ToLower(collection);
+  key += '\x1f';
+  // Attribute names may arrive qualified from a plan; use the suffix.
+  std::string attr(attribute);
+  size_t pos = attr.rfind('.');
+  if (pos != std::string::npos) attr = attr.substr(pos + 1);
+  key += ToLower(attr);
+  key += '\x1f';
+  key += algebra::CmpOpToString(op);
+  key += '\x1f';
+  key += value.ToString();
+  return key;
+}
+
+/// True if the rule belongs in the exact-select hash index.
+bool IsExactSelectRule(const RegisteredRule& r) {
+  const costlang::CompiledPattern& p = r.rule->pattern;
+  return p.op == algebra::OpKind::kSelect &&
+         p.pred_kind == costlang::CompiledPattern::PredKind::kSelect &&
+         !p.inputs.empty() && p.inputs[0].is_literal &&
+         p.sel_attr.is_literal && p.sel_value.is_literal &&
+         !r.source.empty();
+}
+
+}  // namespace
+
+void RuleRegistry::Reindex() {
+  index_.clear();
+  exact_select_index_.clear();
+  // Collect the set of sources seen among wrapper rules, plus "".
+  std::vector<std::string> sources{""};
+  for (const RegisteredRule& r : rules_) {
+    if (!r.source.empty() &&
+        std::find(sources.begin(), sources.end(), r.source) == sources.end()) {
+      sources.push_back(r.source);
+    }
+  }
+  for (const RegisteredRule& r : rules_) {
+    if (!IsExactSelectRule(r)) continue;
+    const costlang::CompiledPattern& p = r.rule->pattern;
+    std::string key = ExactSelectKey(p.inputs[0].name, p.sel_attr.name,
+                                     p.sel_op, p.sel_value.value);
+    exact_select_index_[r.source][key].push_back(r);
+  }
+  for (const std::string& source : sources) {
+    for (int k = 0; k < algebra::kNumOpKinds; ++k) {
+      std::vector<RegisteredRule> list;
+      for (const RegisteredRule& r : rules_) {
+        if (static_cast<int>(r.rule->pattern.op) != k) continue;
+        if (IsExactSelectRule(r)) continue;  // lives in the hash index
+        const bool visible =
+            r.scope == Scope::kDefault ||
+            (r.scope == Scope::kLocal && source.empty()) ||
+            (!r.source.empty() && r.source == source);
+        if (visible) list.push_back(r);
+      }
+      std::sort(list.begin(), list.end(),
+                [](const RegisteredRule& a, const RegisteredRule& b) {
+                  return a.OrderedBefore(b);
+                });
+      if (!list.empty()) index_[{source, k}] = std::move(list);
+    }
+  }
+  index_valid_ = true;
+}
+
+const std::vector<RegisteredRule>* RuleRegistry::ExactSelectBucket(
+    const std::string& source, const algebra::Operator& node) const {
+  if (node.kind != algebra::OpKind::kSelect || !node.select_pred.has_value()) {
+    return nullptr;
+  }
+  if (!index_valid_) const_cast<RuleRegistry*>(this)->Reindex();
+  auto sit = exact_select_index_.find(ToLower(source));
+  if (sit == exact_select_index_.end()) return nullptr;
+  std::string key =
+      ExactSelectKey(node.FirstBaseCollection(), node.select_pred->attribute,
+                     node.select_pred->op, node.select_pred->value);
+  auto bit = sit->second.find(key);
+  if (bit == sit->second.end()) return nullptr;
+  return &bit->second;
+}
+
+const std::vector<RegisteredRule>& RuleRegistry::Candidates(
+    const std::string& source, algebra::OpKind kind) const {
+  static const std::vector<RegisteredRule> kEmpty;
+  if (!index_valid_) const_cast<RuleRegistry*>(this)->Reindex();
+  auto it = index_.find({ToLower(source), static_cast<int>(kind)});
+  // A source with no wrapper rules at all still sees the default scope.
+  if (it == index_.end()) {
+    it = index_.find({std::string(), static_cast<int>(kind)});
+    if (it == index_.end()) return kEmpty;
+    // The mediator-context list may contain local-scope rules which do
+    // not apply at a wrapper; filter lazily only if any are present.
+    bool has_local = false;
+    for (const RegisteredRule& r : it->second) {
+      if (r.scope == Scope::kLocal) {
+        has_local = true;
+        break;
+      }
+    }
+    if (!has_local || source.empty()) return it->second;
+    auto key = std::make_pair(ToLower(source), static_cast<int>(kind));
+    std::vector<RegisteredRule> filtered;
+    for (const RegisteredRule& r : it->second) {
+      if (r.scope != Scope::kLocal) filtered.push_back(r);
+    }
+    index_[key] = std::move(filtered);
+    return index_[key];
+  }
+  return it->second;
+}
+
+std::string RuleRegistry::Describe() const {
+  std::string out;
+  if (!index_valid_) const_cast<RuleRegistry*>(this)->Reindex();
+  std::vector<RegisteredRule> all = rules_;
+  std::sort(all.begin(), all.end(),
+            [](const RegisteredRule& a, const RegisteredRule& b) {
+              if (a.source != b.source) return a.source < b.source;
+              return a.OrderedBefore(b);
+            });
+  for (const RegisteredRule& r : all) {
+    out += StringPrintf("[%-10s] %-12s %s\n", ScopeToString(r.scope),
+                        r.source.empty() ? "(mediator)" : r.source.c_str(),
+                        r.rule->ToString().c_str());
+  }
+  for (const auto& [source, entries] : query_costs_) {
+    for (const auto& [key, cost] : entries) {
+      out += StringPrintf("[%-10s] %-12s %s -> %s\n", "query", source.c_str(),
+                          key.c_str(), cost.ToString().c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace costmodel
+}  // namespace disco

@@ -1,0 +1,116 @@
+// RuleRegistry: the mediator's store of cost rules across all scopes --
+// the "hierarchic cost formula tree" of Figure 10, indexed for fast
+// candidate lookup (the paper's "kind of virtual tables", Section 3.3.2).
+//
+// Wrapper rules land here at registration time; default- and local-scope
+// rules are installed at mediator startup; query-scope entries are added
+// by the history manager after executions.
+
+#ifndef DISCO_COSTMODEL_REGISTRY_H_
+#define DISCO_COSTMODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "common/status.h"
+#include "costlang/compiler.h"
+#include "costmodel/cost_vector.h"
+#include "costmodel/rule.h"
+
+namespace disco {
+namespace costmodel {
+
+class RuleRegistry {
+ public:
+  RuleRegistry() = default;
+  RuleRegistry(const RuleRegistry&) = delete;
+  RuleRegistry& operator=(const RuleRegistry&) = delete;
+
+  /// Installs the generic cost model (default scope, applies to every
+  /// source as the fallback of last resort).
+  Status AddDefaultRules(costlang::CompiledRuleSet rules);
+
+  /// Installs rules for mediator-local operators (local scope).
+  Status AddLocalRules(costlang::CompiledRuleSet rules);
+
+  /// Installs a wrapper's exported rules under `source`. Each rule's
+  /// scope (wrapper/collection/predicate) derives from its pattern.
+  Status AddWrapperRules(const std::string& source,
+                         costlang::CompiledRuleSet rules);
+
+  /// Drops all of `source`'s wrapper rules and query-scope entries --
+  /// the re-registration path of paper §2.1 ("when the cost formulas
+  /// are improved by the wrapper implementor"). Default/local rules are
+  /// unaffected. Returns how many rules were removed.
+  int RemoveWrapperRules(const std::string& source);
+
+  /// Records a query-scope entry: the exact measured cost of a subquery
+  /// previously submitted to `source` (paper Section 4.3.1).
+  void AddQueryCost(const std::string& source,
+                    const algebra::Operator& subplan, const CostVector& cost);
+
+  /// Exact-match query-scope lookup; nullptr if absent.
+  const CostVector* QueryCost(const std::string& source,
+                              const algebra::Operator& subplan) const;
+
+  /// Candidate rules for estimating an operator of kind `kind` executing
+  /// at `source` ("" = the mediator itself). Pre-sorted by matching
+  /// precedence: scope desc, specificity desc, registration order asc.
+  /// Includes the source's own rules plus default-scope rules (and
+  /// local-scope rules when source is the mediator). Fully-bound select
+  /// rules live in the hash index below, not here.
+  const std::vector<RegisteredRule>& Candidates(const std::string& source,
+                                                algebra::OpKind kind) const;
+
+  /// The paper's "virtual tables" (Section 3.3.2): selection rules whose
+  /// collection, attribute and value are all literal are hash-indexed by
+  /// that triple, so thousands of query-specific rules cost O(1) to
+  /// consult instead of lengthening every candidate scan. Returns the
+  /// bucket matching `node` exactly (highest select specificity), or
+  /// nullptr. These rules are excluded from Candidates().
+  const std::vector<RegisteredRule>* ExactSelectBucket(
+      const std::string& source, const algebra::Operator& node) const;
+
+  int num_rules() const { return total_rules_; }
+  int num_query_entries() const;
+
+  /// Human-readable dump of the scope hierarchy (for debugging and the
+  /// examples).
+  std::string Describe() const;
+
+ private:
+  Status AddRuleSet(const std::string& source, Scope fixed_scope,
+                    bool derive_scope, costlang::CompiledRuleSet rules);
+  void Reindex();
+
+  /// Owned storage for compiled rule sets (stable addresses).
+  std::vector<std::unique_ptr<costlang::CompiledRuleSet>> rule_sets_;
+  /// All registered rules, in registration order.
+  std::vector<RegisteredRule> rules_;
+  int total_rules_ = 0;
+  int next_seq_ = 0;
+
+  /// Index: (lowercased source, op kind) -> sorted candidate list. The
+  /// mediator context is source "".
+  mutable std::map<std::pair<std::string, int>, std::vector<RegisteredRule>>
+      index_;
+  /// Exact-select hash index: source -> "coll\x1f attr\x1f op\x1f value"
+  /// -> rules, ordered by registration.
+  mutable std::map<std::string,
+                   std::unordered_map<std::string, std::vector<RegisteredRule>>>
+      exact_select_index_;
+  mutable bool index_valid_ = false;
+
+  /// Query scope: source -> canonical subplan string -> measured cost.
+  std::map<std::string, std::unordered_map<std::string, CostVector>>
+      query_costs_;
+};
+
+}  // namespace costmodel
+}  // namespace disco
+
+#endif  // DISCO_COSTMODEL_REGISTRY_H_

@@ -1,0 +1,33 @@
+#include "costmodel/rule.h"
+
+namespace disco {
+namespace costmodel {
+
+const char* ScopeToString(Scope s) {
+  switch (s) {
+    case Scope::kDefault: return "default";
+    case Scope::kLocal: return "local";
+    case Scope::kWrapper: return "wrapper";
+    case Scope::kCollection: return "collection";
+    case Scope::kPredicate: return "predicate";
+    case Scope::kQuery: return "query";
+  }
+  return "?";
+}
+
+Scope DeriveWrapperScope(const costlang::CompiledPattern& pattern) {
+  if (pattern.predicate_bound) return Scope::kPredicate;
+  if (pattern.collection_bound) return Scope::kCollection;
+  return Scope::kWrapper;
+}
+
+bool RegisteredRule::OrderedBefore(const RegisteredRule& other) const {
+  if (scope != other.scope) return ScopeRank(scope) > ScopeRank(other.scope);
+  if (rule->pattern.specificity != other.rule->pattern.specificity) {
+    return rule->pattern.specificity > other.rule->pattern.specificity;
+  }
+  return seq < other.seq;
+}
+
+}  // namespace costmodel
+}  // namespace disco

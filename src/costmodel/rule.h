@@ -1,0 +1,53 @@
+// Scoped cost rules: a compiled rule plus its place in the Figure-10
+// specialization hierarchy.
+
+#ifndef DISCO_COSTMODEL_RULE_H_
+#define DISCO_COSTMODEL_RULE_H_
+
+#include <string>
+
+#include "costlang/compiler.h"
+
+namespace disco {
+namespace costmodel {
+
+/// The scopes of the paper's Section 4.1, ordered by matching precedence
+/// (most specific last so higher enum value = tried first):
+///   default < local < wrapper < collection < predicate < query.
+enum class Scope {
+  kDefault = 0,  ///< the mediator's generic cost model
+  kLocal,        ///< mediator-local physical operators
+  kWrapper,      ///< a wrapper rule with no bound collection/predicate
+  kCollection,   ///< wrapper rule bound to a specific collection
+  kPredicate,    ///< wrapper rule bound to a specific predicate part
+  kQuery,        ///< exact recorded subquery (historical costs, §4.3.1)
+};
+
+const char* ScopeToString(Scope s);
+
+/// Matching precedence rank; higher ranks are consulted first.
+inline int ScopeRank(Scope s) { return static_cast<int>(s); }
+
+/// Derives a wrapper rule's scope from its pattern: any bound predicate
+/// part makes it predicate-scope, else a bound collection makes it
+/// collection-scope, else it is wrapper-scope.
+Scope DeriveWrapperScope(const costlang::CompiledPattern& pattern);
+
+/// One rule as stored in the registry. `rule` and `globals` point into
+/// the registry-owned compiled rule set.
+struct RegisteredRule {
+  const costlang::CompiledRule* rule = nullptr;
+  const std::vector<Value>* globals = nullptr;
+  Scope scope = Scope::kDefault;
+  std::string source;  ///< owning wrapper; "" for default/local scope
+  int seq = 0;         ///< registration order (the paper's tiebreak)
+
+  /// Sort key for candidate ordering: scope desc, specificity desc,
+  /// registration order asc.
+  bool OrderedBefore(const RegisteredRule& other) const;
+};
+
+}  // namespace costmodel
+}  // namespace disco
+
+#endif  // DISCO_COSTMODEL_RULE_H_

@@ -1,0 +1,107 @@
+#include "costmodel/selectivity.h"
+
+#include <algorithm>
+
+namespace disco {
+namespace costmodel {
+
+double DefaultSelectivity(algebra::CmpOp op) {
+  switch (op) {
+    case algebra::CmpOp::kEq:
+      return 0.1;
+    case algebra::CmpOp::kNe:
+      return 0.9;
+    default:
+      return 1.0 / 3.0;  // range predicates
+  }
+}
+
+namespace {
+
+/// Uniform interpolation position of `v` within [min, max]; nullopt when
+/// the statistics do not support it (non-numeric or degenerate).
+std::optional<double> Position(const AttributeStats& stats, const Value& v) {
+  if (!stats.min.is_numeric() || !stats.max.is_numeric() || !v.is_numeric()) {
+    return std::nullopt;
+  }
+  double lo = stats.min.AsDouble(), hi = stats.max.AsDouble();
+  if (hi <= lo) return std::nullopt;
+  return std::clamp((v.AsDouble() - lo) / (hi - lo), 0.0, 1.0);
+}
+
+/// True if `v` lies outside [min, max] (only when comparable).
+bool OutOfRange(const AttributeStats& stats, const Value& v) {
+  Result<int> lo = v.Compare(stats.min);
+  Result<int> hi = v.Compare(stats.max);
+  if (!lo.ok() || !hi.ok()) return false;
+  return *lo < 0 || *hi > 0;
+}
+
+}  // namespace
+
+double EstimateSelectivity(const AttributeStats& stats, algebra::CmpOp op,
+                           const Value& value) {
+  using algebra::CmpOp;
+
+  if (stats.histogram.has_value() && !stats.histogram->empty()) {
+    const EquiDepthHistogram& h = *stats.histogram;
+    switch (op) {
+      case CmpOp::kEq:
+        return h.EstimateEq(value);
+      case CmpOp::kNe:
+        return std::clamp(1.0 - h.EstimateEq(value), 0.0, 1.0);
+      case CmpOp::kLt:
+        return h.EstimateLt(value);
+      case CmpOp::kLe:
+        return std::clamp(h.EstimateLt(value) + h.EstimateEq(value), 0.0, 1.0);
+      case CmpOp::kGt:
+        return std::clamp(1.0 - h.EstimateLt(value) - h.EstimateEq(value),
+                          0.0, 1.0);
+      case CmpOp::kGe:
+        return std::clamp(1.0 - h.EstimateLt(value), 0.0, 1.0);
+    }
+  }
+
+  switch (op) {
+    case CmpOp::kEq: {
+      if (!stats.min.is_null() && !stats.max.is_null() &&
+          OutOfRange(stats, value)) {
+        return 0.0;
+      }
+      if (stats.count_distinct > 0) {
+        return 1.0 / static_cast<double>(stats.count_distinct);
+      }
+      return DefaultSelectivity(op);
+    }
+    case CmpOp::kNe: {
+      if (stats.count_distinct > 0) {
+        return std::clamp(
+            1.0 - 1.0 / static_cast<double>(stats.count_distinct), 0.0, 1.0);
+      }
+      return DefaultSelectivity(op);
+    }
+    case CmpOp::kLt:
+    case CmpOp::kLe: {
+      std::optional<double> pos = Position(stats, value);
+      if (!pos.has_value()) return DefaultSelectivity(op);
+      return *pos;
+    }
+    case CmpOp::kGt:
+    case CmpOp::kGe: {
+      std::optional<double> pos = Position(stats, value);
+      if (!pos.has_value()) return DefaultSelectivity(op);
+      return 1.0 - *pos;
+    }
+  }
+  return DefaultSelectivity(op);
+}
+
+double JoinSelectivity(int64_t count_distinct_left,
+                       int64_t count_distinct_right) {
+  int64_t d = std::min(count_distinct_left, count_distinct_right);
+  if (d <= 0) return 0.1;
+  return 1.0 / static_cast<double>(d);
+}
+
+}  // namespace costmodel
+}  // namespace disco

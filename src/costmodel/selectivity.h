@@ -1,0 +1,37 @@
+// Selectivity estimation from exported statistics (paper Section 2.3:
+// "the selectivity of a selection ... can be derived from the minimum,
+// maximum, and number of distinct values of the restricted attributes").
+
+#ifndef DISCO_COSTMODEL_SELECTIVITY_H_
+#define DISCO_COSTMODEL_SELECTIVITY_H_
+
+#include "algebra/predicate.h"
+#include "catalog/statistics.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace disco {
+namespace costmodel {
+
+/// Fallback selectivities when an attribute's statistics were never
+/// exported -- the "standard values ... as usual" of Section 6 (the
+/// classic System-R defaults).
+double DefaultSelectivity(algebra::CmpOp op);
+
+/// Estimates the fraction of objects satisfying `attr op value`.
+/// Prefers the attribute's histogram; falls back to uniform estimates
+/// from Min/Max/CountDistinct; falls back to DefaultSelectivity when the
+/// needed statistics are absent. Always in [0, 1].
+double EstimateSelectivity(const AttributeStats& stats, algebra::CmpOp op,
+                           const Value& value);
+
+/// Equi-join selectivity from the two attributes' distinct counts. The
+/// paper (Section 2.3) estimates it as
+/// 1 / Min(CountDistinct(A), CountDistinct(B)).
+double JoinSelectivity(int64_t count_distinct_left,
+                       int64_t count_distinct_right);
+
+}  // namespace costmodel
+}  // namespace disco
+
+#endif  // DISCO_COSTMODEL_SELECTIVITY_H_

@@ -1,0 +1,136 @@
+#include "idl/idl_lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace idl {
+
+bool Token::IsIdent(const std::string& word) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, word);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && input[i + 1] == '/') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      size_t start_line = static_cast<size_t>(line);
+      i += 2;
+      while (i + 1 < n && !(input[i] == '*' && input[i + 1] == '/')) {
+        if (input[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return Status::ParseError(
+            StringPrintf("unterminated comment starting at line %zu",
+                         start_line));
+      }
+      i += 2;
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      tok.type = TokenType::kIdentifier;
+      tok.text = input.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        ++i;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = input.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      while (i < n && input[i] != '"') {
+        if (input[i] == '\n') ++line;
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError(
+            StringPrintf("unterminated string at line %d", tok.line));
+      }
+      tok.type = TokenType::kString;
+      tok.text = input.substr(start, i - start);
+      ++i;  // closing quote
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    switch (c) {
+      case '{':
+        tok.type = TokenType::kLBrace;
+        break;
+      case '}':
+        tok.type = TokenType::kRBrace;
+        break;
+      case '(':
+        tok.type = TokenType::kLParen;
+        break;
+      case ')':
+        tok.type = TokenType::kRParen;
+        break;
+      case ';':
+        tok.type = TokenType::kSemicolon;
+        break;
+      case ',':
+        tok.type = TokenType::kComma;
+        break;
+      case ':':
+        tok.type = TokenType::kColon;
+        break;
+      default:
+        return Status::ParseError(
+            StringPrintf("unexpected character '%c' at line %d", c, line));
+    }
+    tok.text = std::string(1, c);
+    tokens.push_back(std::move(tok));
+    ++i;
+  }
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.line = line;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace idl
+}  // namespace disco

@@ -1,0 +1,46 @@
+// Tokenizer for the IDL subset of paper Section 3.1 (Figures 3-5).
+
+#ifndef DISCO_IDL_IDL_LEXER_H_
+#define DISCO_IDL_IDL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace disco {
+namespace idl {
+
+enum class TokenType {
+  kIdentifier,  ///< names, keywords (keyword-ness decided by the parser)
+  kNumber,      ///< integer or decimal literal
+  kString,      ///< double-quoted literal
+  kLBrace,      // {
+  kRBrace,      // }
+  kLParen,      // (
+  kRParen,      // )
+  kSemicolon,   // ;
+  kComma,       // ,
+  kColon,       // :
+  kEof,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;  ///< raw text (without quotes for kString)
+  int line = 1;      ///< 1-based source line, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive identifier match (IDL keywords are matched loosely).
+  bool IsIdent(const std::string& word) const;
+};
+
+/// Tokenizes `input`; `//` line comments and `/* */` block comments are
+/// skipped. Fails on unterminated strings/comments or stray characters.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace idl
+}  // namespace disco
+
+#endif  // DISCO_IDL_IDL_LEXER_H_

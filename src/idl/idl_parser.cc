@@ -1,0 +1,270 @@
+#include "idl/idl_parser.h"
+
+#include <functional>
+#include <map>
+
+#include "common/str_util.h"
+#include "idl/idl_lexer.h"
+
+namespace disco {
+namespace idl {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<InterfaceDef>> ParseModule() {
+    std::vector<InterfaceDef> out;
+    while (!Peek().Is(TokenType::kEof)) {
+      DISCO_ASSIGN_OR_RETURN(InterfaceDef def, ParseInterface());
+      out.push_back(std::move(def));
+    }
+    return out;
+  }
+
+  Result<InterfaceDef> ParseInterface() {
+    DISCO_RETURN_NOT_OK(ExpectIdent("interface"));
+    DISCO_ASSIGN_OR_RETURN(std::string name, ExpectName());
+    std::vector<std::string> bases;
+    if (Peek().Is(TokenType::kColon)) {
+      Advance();
+      while (true) {
+        DISCO_ASSIGN_OR_RETURN(std::string base, ExpectName());
+        bases.push_back(std::move(base));
+        if (!Peek().Is(TokenType::kComma)) break;
+        Advance();
+      }
+    }
+    DISCO_RETURN_NOT_OK(Expect(TokenType::kLBrace, "{"));
+
+    std::vector<AttributeDef> attributes;
+    std::vector<OperationDef> operations;
+    bool extent_stats = false, attribute_stats = false;
+
+    while (!Peek().Is(TokenType::kRBrace)) {
+      if (Peek().Is(TokenType::kEof)) {
+        return Err("unexpected end of input inside interface '" + name + "'");
+      }
+      if (Peek().IsIdent("attribute")) {
+        Advance();
+        DISCO_ASSIGN_OR_RETURN(std::string type_name, ExpectName());
+        Result<AttrType> type_result = AttrTypeFromName(type_name);
+        if (!type_result.ok()) return Err(type_result.status().message());
+        AttrType type = *type_result;
+        DISCO_ASSIGN_OR_RETURN(std::string attr_name, ExpectName());
+        DISCO_RETURN_NOT_OK(Expect(TokenType::kSemicolon, ";"));
+        attributes.push_back(AttributeDef{attr_name, type});
+        continue;
+      }
+      if (Peek().IsIdent("cardinality")) {
+        Advance();
+        DISCO_ASSIGN_OR_RETURN(std::string which, ExpectName());
+        if (EqualsIgnoreCase(which, "extent")) {
+          DISCO_RETURN_NOT_OK(CheckSignature(
+              {"CountObject", "TotalSize", "ObjectSize"}, "extent"));
+          extent_stats = true;
+        } else if (EqualsIgnoreCase(which, "attribute")) {
+          DISCO_RETURN_NOT_OK(CheckSignature(
+              {"AttributeName", "Indexed", "CountDistinct", "Min", "Max"},
+              "attribute"));
+          attribute_stats = true;
+        } else {
+          return Err("cardinality declaration must be 'extent' or "
+                     "'attribute', got '" + which + "'");
+        }
+        DISCO_RETURN_NOT_OK(Expect(TokenType::kSemicolon, ";"));
+        continue;
+      }
+      // Otherwise: an operation declaration `<type> <name> ( params ) ;`.
+      DISCO_ASSIGN_OR_RETURN(std::string ret_type, ExpectName());
+      DISCO_ASSIGN_OR_RETURN(std::string op_name, ExpectName());
+      DISCO_RETURN_NOT_OK(Expect(TokenType::kLParen, "("));
+      OperationDef op;
+      op.name = op_name;
+      op.return_type = ret_type;
+      while (!Peek().Is(TokenType::kRParen)) {
+        if (Peek().IsIdent("in") || Peek().IsIdent("out")) Advance();
+        DISCO_ASSIGN_OR_RETURN(std::string ptype, ExpectName());
+        // Parameter name is optional in abbreviated declarations.
+        if (Peek().Is(TokenType::kIdentifier)) Advance();
+        op.parameter_types.push_back(ptype);
+        if (Peek().Is(TokenType::kComma)) Advance();
+      }
+      Advance();  // ')'
+      DISCO_RETURN_NOT_OK(Expect(TokenType::kSemicolon, ";"));
+      operations.push_back(std::move(op));
+    }
+    Advance();  // '}'
+    if (Peek().Is(TokenType::kSemicolon)) Advance();
+
+    InterfaceDef def;
+    def.schema = CollectionSchema(name, std::move(attributes));
+    def.schema.operations() = std::move(operations);
+    def.bases = std::move(bases);
+    def.declares_extent_stats = extent_stats;
+    def.declares_attribute_stats = attribute_stats;
+    return def;
+  }
+
+ private:
+  /// Verifies a cardinality method's parameter list names the expected
+  /// out-parameters in order (modes and types are accepted loosely, as the
+  /// section is "purely descriptive" per the paper).
+  Status CheckSignature(const std::vector<std::string>& expected_names,
+                        const std::string& method) {
+    DISCO_RETURN_NOT_OK(Expect(TokenType::kLParen, "("));
+    size_t next = 0;
+    while (!Peek().Is(TokenType::kRParen)) {
+      if (Peek().IsIdent("in") || Peek().IsIdent("out")) Advance();
+      DISCO_ASSIGN_OR_RETURN(std::string type_name, ExpectName());
+      (void)type_name;
+      DISCO_ASSIGN_OR_RETURN(std::string param_name, ExpectName());
+      if (next >= expected_names.size() ||
+          !EqualsIgnoreCase(param_name, expected_names[next])) {
+        return Err("cardinality " + method + ": unexpected parameter '" +
+                   param_name + "'");
+      }
+      ++next;
+      if (Peek().Is(TokenType::kComma)) Advance();
+    }
+    Advance();  // ')'
+    if (next != expected_names.size()) {
+      return Err("cardinality " + method + ": expected " +
+                 std::to_string(expected_names.size()) + " parameters, got " +
+                 std::to_string(next));
+    }
+    return Status::OK();
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Expect(TokenType t, const char* what) {
+    if (!Peek().Is(t)) {
+      return Err(std::string("expected '") + what + "', got '" + Peek().text +
+                 "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectIdent(const std::string& word) {
+    if (!Peek().IsIdent(word)) {
+      return Err("expected '" + word + "', got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectName() {
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Err("expected identifier, got '" + Peek().text + "'");
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StringPrintf("IDL line %d: %s", Peek().line, msg.c_str()));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+namespace {
+
+/// Resolves inheritance across a module: base attributes/operations are
+/// prepended (in declaration order), cardinality flags OR in, cycles and
+/// shadowed attributes are rejected.
+Status ResolveInheritance(std::vector<InterfaceDef>* defs) {
+  std::map<std::string, int> by_name;
+  for (size_t i = 0; i < defs->size(); ++i) {
+    by_name[(*defs)[i].schema.name()] = static_cast<int>(i);
+  }
+  // 0 = unresolved, 1 = in progress, 2 = done.
+  std::vector<int> state(defs->size(), 0);
+  std::function<Status(int)> resolve = [&](int idx) -> Status {
+    InterfaceDef& def = (*defs)[static_cast<size_t>(idx)];
+    if (state[static_cast<size_t>(idx)] == 2) return Status::OK();
+    if (state[static_cast<size_t>(idx)] == 1) {
+      return Status::ParseError("inheritance cycle through interface '" +
+                                def.schema.name() + "'");
+    }
+    state[static_cast<size_t>(idx)] = 1;
+
+    std::vector<AttributeDef> attributes;
+    std::vector<OperationDef> operations;
+    for (const std::string& base_name : def.bases) {
+      auto it = by_name.find(base_name);
+      if (it == by_name.end()) {
+        return Status::ParseError("interface '" + def.schema.name() +
+                                  "' inherits unknown interface '" +
+                                  base_name + "'");
+      }
+      DISCO_RETURN_NOT_OK(resolve(it->second));
+      const InterfaceDef& base = (*defs)[static_cast<size_t>(it->second)];
+      for (const AttributeDef& a : base.schema.attributes()) {
+        attributes.push_back(a);
+      }
+      for (const OperationDef& o : base.schema.operations()) {
+        operations.push_back(o);
+      }
+      def.declares_extent_stats |= base.declares_extent_stats;
+      def.declares_attribute_stats |= base.declares_attribute_stats;
+    }
+    for (const AttributeDef& own : def.schema.attributes()) {
+      for (const AttributeDef& inherited : attributes) {
+        if (own.name == inherited.name) {
+          return Status::ParseError(
+              "interface '" + def.schema.name() + "' redefines inherited "
+              "attribute '" + own.name + "'");
+        }
+      }
+      attributes.push_back(own);
+    }
+    for (const OperationDef& own : def.schema.operations()) {
+      operations.push_back(own);
+    }
+    CollectionSchema merged(def.schema.name(), std::move(attributes));
+    merged.operations() = std::move(operations);
+    def.schema = std::move(merged);
+    state[static_cast<size_t>(idx)] = 2;
+    return Status::OK();
+  };
+  for (size_t i = 0; i < defs->size(); ++i) {
+    DISCO_RETURN_NOT_OK(resolve(static_cast<int>(i)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<InterfaceDef>> ParseModule(const std::string& input) {
+  DISCO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser p(std::move(tokens));
+  DISCO_ASSIGN_OR_RETURN(std::vector<InterfaceDef> defs, p.ParseModule());
+  DISCO_RETURN_NOT_OK(ResolveInheritance(&defs));
+  return defs;
+}
+
+Result<InterfaceDef> ParseInterface(const std::string& input) {
+  DISCO_ASSIGN_OR_RETURN(std::vector<InterfaceDef> defs, ParseModule(input));
+  if (defs.size() != 1) {
+    return Status::ParseError(
+        StringPrintf("expected exactly one interface, found %zu", defs.size()));
+  }
+  return std::move(defs[0]);
+}
+
+}  // namespace idl
+}  // namespace disco

@@ -1,0 +1,55 @@
+// Parser for the extended IDL interface language (paper Section 3,
+// Figures 3-5).
+//
+// Grammar (the paper's Figure 5, plus operations and constants):
+//
+//   <module>          ::= <interface>*
+//   <interface>       ::= "interface" <name> [":" <name> ("," <name>)*]
+//                         "{" <export>* "}" [";"]
+//   <export>          ::= <attr_dcl> | <op_dcl> | <card_dcl> | <const_dcl>
+//   <attr_dcl>        ::= "attribute" <type> <name> ";"
+//   <op_dcl>          ::= <type> <name> "(" [<param> ("," <param>)*] ")" ";"
+//   <param>           ::= ["in"|"out"] <type> <name>
+//   <card_dcl>        ::= "cardinality" <extent_sign> ";"
+//                       | "cardinality" <attribute_sign> ";"
+//   <const_dcl>       ::= "const" <type> <name> "=" <literal> ";"   (ignored)
+//
+// The `cardinality` declarations are fixed-signature markers; the parser
+// verifies the signatures match Figure 5 and records their presence.
+
+#ifndef DISCO_IDL_IDL_PARSER_H_
+#define DISCO_IDL_IDL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace disco {
+namespace idl {
+
+/// Parsed interface: schema plus which cardinality methods it declares.
+/// The paper lists interface inheritance as planned (§3.1); this parser
+/// supports it: `interface Manager : Employee { ... }` prepends the base
+/// interfaces' attributes and operations (ParseModule resolves bases).
+struct InterfaceDef {
+  CollectionSchema schema;
+  std::vector<std::string> bases;         ///< declared base interfaces
+  bool declares_extent_stats = false;     ///< `cardinality extent(...)` seen
+  bool declares_attribute_stats = false;  ///< `cardinality attribute(...)` seen
+};
+
+/// Parses a module: zero or more interface definitions. Inheritance is
+/// resolved within the module: bases must be declared (in any order),
+/// cycles and attribute redefinitions are errors, and the cardinality
+/// flags of a base carry over to its derived interfaces.
+Result<std::vector<InterfaceDef>> ParseModule(const std::string& input);
+
+/// Parses exactly one interface definition.
+Result<InterfaceDef> ParseInterface(const std::string& input);
+
+}  // namespace idl
+}  // namespace disco
+
+#endif  // DISCO_IDL_IDL_PARSER_H_

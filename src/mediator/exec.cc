@@ -1,0 +1,402 @@
+#include "mediator/exec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace mediator {
+
+namespace {
+
+using algebra::OpKind;
+using algebra::Operator;
+using sources::Rel;
+using storage::Tuple;
+
+double Log2N(size_t n) {
+  return std::log2(static_cast<double>(std::max<size_t>(n, 2)));
+}
+
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    Result<int> c = a[i].Compare(b[i]);
+    if (!c.ok()) continue;
+    if (*c != 0) return *c < 0;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+int64_t MediatorExecutor::TupleBytes(const storage::Tuple& t) {
+  int64_t bytes = 0;
+  for (const Value& v : t) {
+    switch (v.type()) {
+      case ValueType::kNull:
+        bytes += 1;
+        break;
+      case ValueType::kBool:
+        bytes += 2;
+        break;
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        bytes += 9;
+        break;
+      case ValueType::kString:
+        bytes += 5 + static_cast<int64_t>(v.AsString().size());
+        break;
+    }
+  }
+  return bytes;
+}
+
+Result<ExecResult> MediatorExecutor::Execute(const Operator& plan) {
+  DISCO_RETURN_NOT_OK(plan.CheckWellFormed());
+  elapsed_ms_ = 0;
+  subqueries_.clear();
+
+  DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(plan));
+
+  ExecResult out;
+  out.columns = std::move(rel.columns);
+  out.tuples = std::move(rel.tuples);
+  out.measured_ms = elapsed_ms_;
+  out.subqueries = std::move(subqueries_);
+  return out;
+}
+
+Result<wrapper::Wrapper*> MediatorExecutor::WrapperFor(
+    const std::string& source) const {
+  auto wit = wrappers_.find(ToLower(source));
+  if (wit == wrappers_.end()) {
+    for (const auto& [name, w] : wrappers_) {
+      if (EqualsIgnoreCase(name, source)) return w;
+    }
+    return Status::NotFound("no registered wrapper named '" + source + "'");
+  }
+  return wit->second;
+}
+
+Result<Rel> MediatorExecutor::EvalBindJoin(const Operator& op) {
+  DISCO_ASSIGN_OR_RETURN(wrapper::Wrapper * w, WrapperFor(op.source));
+  if (catalog_ == nullptr) {
+    return Status::ExecutionError(
+        "bind join needs a catalog for the probed collection's schema");
+  }
+  DISCO_ASSIGN_OR_RETURN(CatalogEntry entry,
+                         catalog_->Collection(op.collection));
+
+  DISCO_ASSIGN_OR_RETURN(Rel left, Eval(op.child(0)));
+  DISCO_ASSIGN_OR_RETURN(int lcol,
+                         left.ColumnIndex(op.join_pred->left_attribute));
+
+  Rel out;
+  out.columns = left.columns;
+  for (const AttributeDef& a : entry.schema.attributes()) {
+    out.columns.push_back(a.name);
+  }
+
+  // One probe per distinct outer key; results cached for reuse.
+  std::map<std::string, std::vector<Tuple>> cache;
+  Charge(static_cast<double>(left.tuples.size()) * params_.ms_med_cmp);
+  for (const Tuple& lt : left.tuples) {
+    const Value& key = lt[static_cast<size_t>(lcol)];
+    std::string canon = key.ToString();
+    auto it = cache.find(canon);
+    if (it == cache.end()) {
+      std::unique_ptr<Operator> probe = algebra::Select(
+          algebra::Scan(op.collection), op.join_pred->right_attribute,
+          algebra::CmpOp::kEq, key);
+      DISCO_ASSIGN_OR_RETURN(sources::ExecutionResult result,
+                             w->Execute(*probe));
+      int64_t bytes = 0;
+      for (const Tuple& t : result.tuples) bytes += TupleBytes(t);
+      Charge(result.total_ms + params_.ms_msg_latency +
+             params_.ms_per_net_byte * static_cast<double>(bytes));
+
+      SubqueryRecord record;
+      record.source = op.source;
+      record.subplan = probe->Clone();
+      record.source_ms = result.total_ms;
+      const auto n = static_cast<double>(result.tuples.size());
+      record.measured = costmodel::CostVector::Full(
+          n, static_cast<double>(bytes),
+          n > 0 ? static_cast<double>(bytes) / n : 0, result.first_tuple_ms,
+          n > 1 ? (result.total_ms - result.first_tuple_ms) / (n - 1) : 0,
+          result.total_ms);
+      subqueries_.push_back(std::move(record));
+
+      it = cache.emplace(canon, std::move(result.tuples)).first;
+    }
+    for (const Tuple& rt : it->second) {
+      Tuple joined = lt;
+      joined.insert(joined.end(), rt.begin(), rt.end());
+      out.tuples.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<Rel> MediatorExecutor::EvalSubmit(const Operator& op) {
+  DISCO_ASSIGN_OR_RETURN(wrapper::Wrapper * w, WrapperFor(op.source));
+  DISCO_ASSIGN_OR_RETURN(sources::ExecutionResult result,
+                         w->Execute(op.child(0)));
+
+  // Communication: one round trip plus shipping the subanswer.
+  int64_t bytes = 0;
+  for (const Tuple& t : result.tuples) bytes += TupleBytes(t);
+  Charge(result.total_ms + params_.ms_msg_latency +
+         params_.ms_per_net_byte * static_cast<double>(bytes));
+
+  SubqueryRecord record;
+  record.source = op.source;
+  record.subplan = op.child(0).Clone();
+  record.source_ms = result.total_ms;
+  const auto n = static_cast<double>(result.tuples.size());
+  record.measured = costmodel::CostVector::Full(
+      n, static_cast<double>(bytes), n > 0 ? static_cast<double>(bytes) / n : 0,
+      result.first_tuple_ms,
+      n > 1 ? (result.total_ms - result.first_tuple_ms) / (n - 1) : 0,
+      result.total_ms);
+  subqueries_.push_back(std::move(record));
+
+  Rel rel;
+  rel.columns = std::move(result.columns);
+  rel.tuples = std::move(result.tuples);
+  return rel;
+}
+
+Result<Rel> MediatorExecutor::Eval(const Operator& op) {
+  switch (op.kind) {
+    case OpKind::kSubmit:
+      return EvalSubmit(op);
+
+    case OpKind::kBindJoin:
+      return EvalBindJoin(op);
+
+    case OpKind::kScan:
+      return Status::ExecutionError(
+          "scan(" + op.collection +
+          ") reached the mediator executor outside a submit");
+
+    case OpKind::kSelect: {
+      DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
+      DISCO_ASSIGN_OR_RETURN(int col,
+                             rel.ColumnIndex(op.select_pred->attribute));
+      Charge(static_cast<double>(rel.tuples.size()) * params_.ms_med_cmp);
+      Rel out;
+      out.columns = rel.columns;
+      for (Tuple& t : rel.tuples) {
+        DISCO_ASSIGN_OR_RETURN(
+            bool keep, algebra::EvalCmp(t[static_cast<size_t>(col)],
+                                        op.select_pred->op,
+                                        op.select_pred->value));
+        if (keep) out.tuples.push_back(std::move(t));
+      }
+      return out;
+    }
+
+    case OpKind::kProject: {
+      DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
+      std::vector<int> cols;
+      for (const std::string& a : op.project_attrs) {
+        DISCO_ASSIGN_OR_RETURN(int c, rel.ColumnIndex(a));
+        cols.push_back(c);
+      }
+      Charge(static_cast<double>(rel.tuples.size()) * params_.ms_med_cmp);
+      Rel out;
+      out.columns = op.project_attrs;
+      for (const Tuple& t : rel.tuples) {
+        Tuple nt;
+        for (int c : cols) nt.push_back(t[static_cast<size_t>(c)]);
+        out.tuples.push_back(std::move(nt));
+      }
+      return out;
+    }
+
+    case OpKind::kSort: {
+      DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
+      DISCO_ASSIGN_OR_RETURN(int col, rel.ColumnIndex(op.sort_attr));
+      Charge(static_cast<double>(rel.tuples.size()) *
+             Log2N(rel.tuples.size()) * params_.ms_med_cmp);
+      Status status = Status::OK();
+      std::stable_sort(rel.tuples.begin(), rel.tuples.end(),
+                       [&](const Tuple& a, const Tuple& b) {
+                         Result<int> c = a[static_cast<size_t>(col)].Compare(
+                             b[static_cast<size_t>(col)]);
+                         if (!c.ok()) {
+                           if (status.ok()) status = c.status();
+                           return false;
+                         }
+                         return op.sort_ascending ? *c < 0 : *c > 0;
+                       });
+      DISCO_RETURN_NOT_OK(status);
+      return rel;
+    }
+
+    case OpKind::kDedup: {
+      DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
+      Charge(static_cast<double>(rel.tuples.size()) *
+             Log2N(rel.tuples.size()) * params_.ms_med_cmp);
+      std::stable_sort(rel.tuples.begin(), rel.tuples.end(), TupleLess);
+      Rel out;
+      out.columns = rel.columns;
+      for (Tuple& t : rel.tuples) {
+        if (out.tuples.empty() || !(out.tuples.back() == t)) {
+          out.tuples.push_back(std::move(t));
+        }
+      }
+      return out;
+    }
+
+    case OpKind::kAggregate: {
+      DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
+      Charge(static_cast<double>(rel.tuples.size()) * params_.ms_med_cmp);
+      int agg_col = -1;
+      if (!op.agg_attr.empty()) {
+        DISCO_ASSIGN_OR_RETURN(agg_col, rel.ColumnIndex(op.agg_attr));
+      }
+      std::vector<int> group_cols;
+      for (const std::string& g : op.group_by) {
+        DISCO_ASSIGN_OR_RETURN(int c, rel.ColumnIndex(g));
+        group_cols.push_back(c);
+      }
+      struct Acc {
+        int64_t count = 0;
+        double sum = 0;
+        std::optional<Value> min, max;
+      };
+      std::map<std::string, std::pair<Tuple, Acc>> groups;
+      for (const Tuple& t : rel.tuples) {
+        std::string key;
+        Tuple vals;
+        for (int c : group_cols) {
+          key += t[static_cast<size_t>(c)].ToString();
+          key += '\x1f';
+          vals.push_back(t[static_cast<size_t>(c)]);
+        }
+        auto& [gvals, acc] = groups[key];
+        gvals = vals;
+        ++acc.count;
+        if (agg_col >= 0) {
+          const Value& v = t[static_cast<size_t>(agg_col)];
+          if (v.is_numeric()) acc.sum += v.AsDouble();
+          if (!acc.min.has_value()) {
+            acc.min = v;
+            acc.max = v;
+          } else {
+            Result<int> lo = v.Compare(*acc.min);
+            Result<int> hi = v.Compare(*acc.max);
+            if (lo.ok() && *lo < 0) acc.min = v;
+            if (hi.ok() && *hi > 0) acc.max = v;
+          }
+        }
+      }
+      if (groups.empty() && op.group_by.empty()) {
+        groups[""] = {Tuple{}, Acc{}};
+      }
+      Rel out;
+      out.columns = op.group_by;
+      std::string agg_name = algebra::AggFuncToString(op.agg_func);
+      agg_name +=
+          "(" + (op.agg_attr.empty() ? std::string("*") : op.agg_attr) + ")";
+      out.columns.push_back(agg_name);
+      for (auto& [key, entry] : groups) {
+        auto& [vals, acc] = entry;
+        Tuple t = vals;
+        switch (op.agg_func) {
+          case algebra::AggFunc::kCount:
+            t.push_back(Value(acc.count));
+            break;
+          case algebra::AggFunc::kSum:
+            t.push_back(Value(acc.sum));
+            break;
+          case algebra::AggFunc::kAvg:
+            t.push_back(Value(
+                acc.count > 0 ? acc.sum / static_cast<double>(acc.count)
+                              : 0.0));
+            break;
+          case algebra::AggFunc::kMin:
+            t.push_back(acc.min.value_or(Value::Null()));
+            break;
+          case algebra::AggFunc::kMax:
+            t.push_back(acc.max.value_or(Value::Null()));
+            break;
+        }
+        out.tuples.push_back(std::move(t));
+      }
+      return out;
+    }
+
+    case OpKind::kJoin: {
+      DISCO_ASSIGN_OR_RETURN(Rel left, Eval(op.child(0)));
+      DISCO_ASSIGN_OR_RETURN(Rel right, Eval(op.child(1)));
+      DISCO_ASSIGN_OR_RETURN(int lcol,
+                             left.ColumnIndex(op.join_pred->left_attribute));
+      DISCO_ASSIGN_OR_RETURN(int rcol,
+                             right.ColumnIndex(op.join_pred->right_attribute));
+      Rel out;
+      out.columns = left.columns;
+      out.columns.insert(out.columns.end(), right.columns.begin(),
+                         right.columns.end());
+      // Sort-merge (charging both sorts and the merge).
+      Charge(static_cast<double>(left.tuples.size()) *
+                 Log2N(left.tuples.size()) * params_.ms_med_cmp +
+             static_cast<double>(right.tuples.size()) *
+                 Log2N(right.tuples.size()) * params_.ms_med_cmp);
+      auto sort_by = [&](Rel* rel, int col) {
+        std::stable_sort(rel->tuples.begin(), rel->tuples.end(),
+                         [col](const Tuple& a, const Tuple& b) {
+                           Result<int> c = a[static_cast<size_t>(col)].Compare(
+                               b[static_cast<size_t>(col)]);
+                           return c.ok() && *c < 0;
+                         });
+      };
+      sort_by(&left, lcol);
+      sort_by(&right, rcol);
+      size_t i = 0, j = 0;
+      while (i < left.tuples.size() && j < right.tuples.size()) {
+        Charge(params_.ms_med_cmp);
+        DISCO_ASSIGN_OR_RETURN(
+            int c, left.tuples[i][static_cast<size_t>(lcol)].Compare(
+                       right.tuples[j][static_cast<size_t>(rcol)]));
+        if (c < 0) {
+          ++i;
+        } else if (c > 0) {
+          ++j;
+        } else {
+          for (size_t j2 = j; j2 < right.tuples.size(); ++j2) {
+            DISCO_ASSIGN_OR_RETURN(
+                int c2, left.tuples[i][static_cast<size_t>(lcol)].Compare(
+                            right.tuples[j2][static_cast<size_t>(rcol)]));
+            if (c2 != 0) break;
+            Tuple joined = left.tuples[i];
+            joined.insert(joined.end(), right.tuples[j2].begin(),
+                          right.tuples[j2].end());
+            out.tuples.push_back(std::move(joined));
+          }
+          ++i;
+        }
+      }
+      return out;
+    }
+
+    case OpKind::kUnion: {
+      DISCO_ASSIGN_OR_RETURN(Rel left, Eval(op.child(0)));
+      DISCO_ASSIGN_OR_RETURN(Rel right, Eval(op.child(1)));
+      if (left.columns.size() != right.columns.size()) {
+        return Status::ExecutionError("union inputs have different arity");
+      }
+      Charge(static_cast<double>(right.tuples.size()) * params_.ms_med_cmp);
+      Rel out = std::move(left);
+      for (Tuple& t : right.tuples) out.tuples.push_back(std::move(t));
+      return out;
+    }
+  }
+  return Status::Internal("bad operator kind");
+}
+
+}  // namespace mediator
+}  // namespace disco

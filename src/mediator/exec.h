@@ -1,0 +1,80 @@
+// Mediator-side plan execution (paper Figure 2, steps 4-6): submits
+// subqueries to wrappers, combines subanswers with mediator-local
+// physical operators, and accounts simulated communication and mediator
+// CPU time.
+
+#ifndef DISCO_MEDIATOR_EXEC_H_
+#define DISCO_MEDIATOR_EXEC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "costmodel/cost_vector.h"
+#include "sources/source_engine.h"
+#include "wrapper/wrapper.h"
+
+namespace disco {
+namespace mediator {
+
+/// Communication and mediator-CPU constants (mirrors the local-scope
+/// generic model; uniform communication per the paper's assumption).
+struct MediatorCostParams {
+  double ms_msg_latency = 50.0;
+  double ms_per_net_byte = 0.01;
+  double ms_med_cmp = 0.002;
+};
+
+/// What one submitted subquery cost -- the raw material of the history
+/// mechanism (§4.3.1): first-answer time, all-answers time, cardinality.
+struct SubqueryRecord {
+  std::string source;
+  std::unique_ptr<algebra::Operator> subplan;
+  costmodel::CostVector measured;
+  double source_ms = 0;  ///< execution time at the source (excl. comm)
+};
+
+struct ExecResult {
+  std::vector<std::string> columns;
+  std::vector<storage::Tuple> tuples;
+  double measured_ms = 0;  ///< total simulated time at the mediator
+  std::vector<SubqueryRecord> subqueries;
+};
+
+class MediatorExecutor {
+ public:
+  /// `catalog` supplies collection schemas for bind-join probing; it may
+  /// be null if no plan contains bindjoin nodes.
+  MediatorExecutor(std::map<std::string, wrapper::Wrapper*> wrappers,
+                   MediatorCostParams params, const Catalog* catalog = nullptr)
+      : wrappers_(std::move(wrappers)), params_(params), catalog_(catalog) {}
+
+  /// Executes a complete mediator plan. Every scan must sit under a
+  /// submit to a registered wrapper.
+  Result<ExecResult> Execute(const algebra::Operator& plan);
+
+ private:
+  Result<sources::Rel> Eval(const algebra::Operator& op);
+  Result<sources::Rel> EvalSubmit(const algebra::Operator& op);
+  Result<sources::Rel> EvalBindJoin(const algebra::Operator& op);
+  Result<wrapper::Wrapper*> WrapperFor(const std::string& source) const;
+  void Charge(double ms) { elapsed_ms_ += ms; }
+
+  /// Approximate wire size of a tuple in bytes.
+  static int64_t TupleBytes(const storage::Tuple& t);
+
+  std::map<std::string, wrapper::Wrapper*> wrappers_;
+  MediatorCostParams params_;
+  const Catalog* catalog_ = nullptr;
+  double elapsed_ms_ = 0;
+  std::vector<SubqueryRecord> subqueries_;
+};
+
+}  // namespace mediator
+}  // namespace disco
+
+#endif  // DISCO_MEDIATOR_EXEC_H_

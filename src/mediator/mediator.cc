@@ -1,0 +1,123 @@
+#include "mediator/mediator.h"
+
+#include "algebra/plan_printer.h"
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace disco {
+namespace mediator {
+
+Mediator::Mediator(MediatorOptions options)
+    : options_(std::move(options)),
+      history_(options_.history_alpha),
+      estimator_(&registry_, &catalog_,
+                 options_.record_history ? &history_ : nullptr),
+      optimizer_(&estimator_, &caps_) {
+  Status s = costmodel::InstallGenericModel(&registry_, options_.calibration);
+  DISCO_CHECK(s.ok()) << "generic cost model failed to install: "
+                      << s.ToString();
+}
+
+Status Mediator::RegisterWrapper(std::unique_ptr<wrapper::Wrapper> w) {
+  DISCO_ASSIGN_OR_RETURN(
+      wrapper::RegistrationReport report,
+      wrapper::RegisterWrapper(w.get(), &catalog_, &registry_, &caps_));
+  (void)report;
+  wrappers_.push_back(std::move(w));
+  return Status::OK();
+}
+
+Status Mediator::ReRegisterWrapper(const std::string& name) {
+  wrapper::Wrapper* w = wrapper(name);
+  if (w == nullptr) {
+    return Status::NotFound("no registered wrapper named '" + name + "'");
+  }
+  DISCO_RETURN_NOT_OK(wrapper::RefreshStatistics(w, &catalog_));
+  registry_.RemoveWrapperRules(w->name());
+  const std::string rule_text = w->ExportCostRules();
+  if (!rule_text.empty()) {
+    // Recompile against the wrapper's current schema.
+    costlang::CompileSchema schema;
+    for (const std::string& coll : catalog_.CollectionsOf(w->name())) {
+      Result<CatalogEntry> entry = catalog_.Collection(coll);
+      if (!entry.ok()) continue;
+      std::vector<std::string> attrs;
+      for (const AttributeDef& a : entry->schema.attributes()) {
+        attrs.push_back(a.name);
+      }
+      schema.AddCollection(coll, attrs);
+    }
+    DISCO_ASSIGN_OR_RETURN(costlang::CompiledRuleSet rules,
+                           costlang::CompileRuleText(rule_text, schema));
+    DISCO_RETURN_NOT_OK(registry_.AddWrapperRules(w->name(), std::move(rules)));
+  }
+  caps_.Set(w->name(), w->ExportCapabilities());
+  return Status::OK();
+}
+
+wrapper::Wrapper* Mediator::wrapper(const std::string& name) {
+  for (auto& w : wrappers_) {
+    if (EqualsIgnoreCase(w->name(), name)) return w.get();
+  }
+  return nullptr;
+}
+
+Result<query::BoundQuery> Mediator::Analyze(const std::string& sql) const {
+  DISCO_ASSIGN_OR_RETURN(query::ParsedQuery parsed, query::ParseSql(sql));
+  return query::Bind(parsed, catalog_);
+}
+
+Result<optimizer::OptimizedPlan> Mediator::Plan(const std::string& sql) const {
+  DISCO_ASSIGN_OR_RETURN(query::BoundQuery bound, Analyze(sql));
+  return optimizer_.Optimize(bound, options_.optimizer);
+}
+
+Result<std::string> Mediator::Explain(const std::string& sql) const {
+  DISCO_ASSIGN_OR_RETURN(optimizer::OptimizedPlan plan, Plan(sql));
+  costmodel::EstimateOptions options = options_.optimizer.estimate;
+  options.collect_explain = true;
+  DISCO_ASSIGN_OR_RETURN(costmodel::PlanEstimate estimate,
+                         estimator_.Estimate(*plan.plan, options));
+  return costmodel::FormatExplain(estimate);
+}
+
+Result<QueryResult> Mediator::Query(const std::string& sql) {
+  DISCO_ASSIGN_OR_RETURN(optimizer::OptimizedPlan plan, Plan(sql));
+  DISCO_ASSIGN_OR_RETURN(QueryResult result, Execute(*plan.plan));
+  result.estimated_ms = plan.estimated_ms;
+  result.optimizer_stats = plan.stats;
+  return result;
+}
+
+Result<QueryResult> Mediator::Execute(const algebra::Operator& plan) {
+  std::map<std::string, wrapper::Wrapper*> by_name;
+  for (auto& w : wrappers_) by_name[ToLower(w->name())] = w.get();
+  MediatorExecutor exec(std::move(by_name), options_.exec, &catalog_);
+  DISCO_ASSIGN_OR_RETURN(ExecResult raw, exec.Execute(plan));
+
+  // Feed measured subquery costs back into the history mechanism: the
+  // query scope records the exact cost; the adjustment factor tracks
+  // observed/estimated per (source, operator kind).
+  if (options_.record_history) {
+    for (const SubqueryRecord& record : raw.subqueries) {
+      costmodel::EstimateOptions no_history;
+      no_history.use_history = false;
+      double estimated = 0;
+      Result<costmodel::PlanEstimate> est = estimator_.EstimateAt(
+          *record.subplan, record.source, no_history);
+      if (est.ok()) estimated = est->root.total_time();
+      history_.RecordExecution(&registry_, record.source, *record.subplan,
+                               estimated, record.measured);
+    }
+  }
+
+  QueryResult out;
+  out.columns = std::move(raw.columns);
+  out.tuples = std::move(raw.tuples);
+  out.plan_text = algebra::PrintPlan(plan);
+  out.measured_ms = raw.measured_ms;
+  return out;
+}
+
+}  // namespace mediator
+}  // namespace disco

@@ -1,0 +1,110 @@
+// The DISCO-style mediator: the public facade of this library.
+//
+//   Mediator med;                       // generic cost model installed
+//   med.RegisterWrapper(std::move(w));  // registration phase (Figure 1)
+//   auto result = med.Query("SELECT ... FROM ... WHERE ...");  // Figure 2
+//
+// Query() parses the declarative query, rewrites it over the local
+// schemas, optimizes it with the blended cost model, executes the best
+// plan (submitting subqueries to wrappers), and feeds measured subquery
+// costs back into the history mechanism.
+
+#ifndef DISCO_MEDIATOR_MEDIATOR_H_
+#define DISCO_MEDIATOR_MEDIATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "costmodel/estimator.h"
+#include "costmodel/generic_model.h"
+#include "costmodel/history.h"
+#include "costmodel/registry.h"
+#include "mediator/exec.h"
+#include "optimizer/optimizer.h"
+#include "query/binder.h"
+#include "query/sql_parser.h"
+#include "wrapper/registration.h"
+#include "wrapper/wrapper.h"
+
+namespace disco {
+namespace mediator {
+
+struct MediatorOptions {
+  costmodel::CalibrationParams calibration;
+  MediatorCostParams exec;
+  optimizer::OptimizerOptions optimizer;
+  /// Record measured subquery costs as query-scope rules + adjustment
+  /// factors (§4.3.1).
+  bool record_history = true;
+  double history_alpha = 0.3;
+};
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<storage::Tuple> tuples;
+  std::string plan_text;   ///< pretty-printed chosen plan
+  double estimated_ms = 0; ///< optimizer's estimate of the chosen plan
+  double measured_ms = 0;  ///< simulated execution time
+  optimizer::EnumStats optimizer_stats;
+};
+
+class Mediator {
+ public:
+  explicit Mediator(MediatorOptions options = {});
+
+  /// Registration phase: pulls schema / statistics / cost rules /
+  /// capabilities from the wrapper and takes ownership of it.
+  Status RegisterWrapper(std::unique_ptr<wrapper::Wrapper> w);
+
+  /// Re-registration (paper §2.1's administrative interface): refreshes
+  /// an already registered wrapper's statistics and replaces its cost
+  /// rules and capabilities -- "when the cost formulas are improved by
+  /// the wrapper implementor, or the statistics become out of date".
+  /// Recorded query-scope entries for the source are dropped (they may
+  /// reflect the old behaviour).
+  Status ReRegisterWrapper(const std::string& name);
+
+  /// Parse + bind only.
+  Result<query::BoundQuery> Analyze(const std::string& sql) const;
+
+  /// Parse + bind + optimize (no execution).
+  Result<optimizer::OptimizedPlan> Plan(const std::string& sql) const;
+
+  /// EXPLAIN: the chosen plan plus, per node, the winning cost rule of
+  /// each cost variable (rendered via costmodel::FormatExplain).
+  Result<std::string> Explain(const std::string& sql) const;
+
+  /// Full query phase: returns the answer and updates history.
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// Executes an already-built mediator plan.
+  Result<QueryResult> Execute(const algebra::Operator& plan);
+
+  // Component access (benches, tests, examples).
+  const Catalog& catalog() const { return catalog_; }
+  costmodel::RuleRegistry* registry() { return &registry_; }
+  const costmodel::CostEstimator& estimator() const { return estimator_; }
+  costmodel::HistoryManager* history() { return &history_; }
+  const optimizer::CapabilityTable& capabilities() const { return caps_; }
+  wrapper::Wrapper* wrapper(const std::string& name);
+  const MediatorOptions& options() const { return options_; }
+
+ private:
+  MediatorOptions options_;
+  Catalog catalog_;
+  costmodel::RuleRegistry registry_;
+  costmodel::HistoryManager history_;
+  optimizer::CapabilityTable caps_;
+  costmodel::CostEstimator estimator_;
+  optimizer::Optimizer optimizer_;
+  std::vector<std::unique_ptr<wrapper::Wrapper>> wrappers_;
+};
+
+}  // namespace mediator
+}  // namespace disco
+
+#endif  // DISCO_MEDIATOR_MEDIATOR_H_

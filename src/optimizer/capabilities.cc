@@ -1,0 +1,53 @@
+#include "optimizer/capabilities.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace optimizer {
+
+bool SourceCapabilities::Supports(algebra::OpKind kind) const {
+  switch (kind) {
+    case algebra::OpKind::kScan:
+      return true;
+    case algebra::OpKind::kSelect:
+      return select;
+    case algebra::OpKind::kProject:
+      return project;
+    case algebra::OpKind::kJoin:
+      return join;
+    case algebra::OpKind::kSort:
+      return sort;
+    case algebra::OpKind::kDedup:
+      return dedup;
+    case algebra::OpKind::kAggregate:
+      return aggregate;
+    case algebra::OpKind::kUnion:
+      return set_union;
+    case algebra::OpKind::kSubmit:
+    case algebra::OpKind::kBindJoin:
+      return false;  // mediator-only operators
+  }
+  return false;
+}
+
+SourceCapabilities SourceCapabilities::FilterOnly() {
+  SourceCapabilities caps;
+  caps.join = false;
+  caps.sort = false;
+  caps.dedup = false;
+  caps.aggregate = false;
+  caps.set_union = false;
+  return caps;
+}
+
+void CapabilityTable::Set(const std::string& source, SourceCapabilities caps) {
+  caps_[ToLower(source)] = caps;
+}
+
+SourceCapabilities CapabilityTable::Get(const std::string& source) const {
+  auto it = caps_.find(ToLower(source));
+  return it == caps_.end() ? SourceCapabilities::All() : it->second;
+}
+
+}  // namespace optimizer
+}  // namespace disco

@@ -1,0 +1,49 @@
+// Wrapper capability descriptions: which algebra operators a wrapper can
+// execute in a submitted subquery. The paper assumes all wrappers execute
+// all operations (Section 2.1, deferring discrepancies to [KTV97]); the
+// table defaults to that, but sources may restrict (e.g. a flat-file
+// wrapper that can only scan and filter).
+
+#ifndef DISCO_OPTIMIZER_CAPABILITIES_H_
+#define DISCO_OPTIMIZER_CAPABILITIES_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/operator.h"
+
+namespace disco {
+namespace optimizer {
+
+struct SourceCapabilities {
+  bool select = true;
+  bool project = true;
+  bool join = true;
+  bool sort = true;
+  bool dedup = true;
+  bool aggregate = true;
+  bool set_union = true;
+
+  /// Scan is always supported; submit never is (wrappers don't nest).
+  bool Supports(algebra::OpKind kind) const;
+
+  static SourceCapabilities All() { return SourceCapabilities(); }
+  /// Scan + select + project only (simple file wrappers).
+  static SourceCapabilities FilterOnly();
+};
+
+/// Per-source capability registry, filled at registration.
+class CapabilityTable {
+ public:
+  void Set(const std::string& source, SourceCapabilities caps);
+  /// Defaults to All() for unknown sources (the paper's assumption).
+  SourceCapabilities Get(const std::string& source) const;
+
+ private:
+  std::map<std::string, SourceCapabilities> caps_;
+};
+
+}  // namespace optimizer
+}  // namespace disco
+
+#endif  // DISCO_OPTIMIZER_CAPABILITIES_H_

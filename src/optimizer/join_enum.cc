@@ -1,0 +1,306 @@
+#include "optimizer/join_enum.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/str_util.h"
+#include "optimizer/rewriter.h"
+
+namespace disco {
+namespace optimizer {
+
+namespace {
+
+using algebra::Operator;
+using query::BoundQuery;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Best plan for a subset at one location. `location` "" = mediator
+/// (source work already submitted); otherwise the plan runs wholly at
+/// that source and is not yet wrapped in submit.
+struct Entry {
+  std::unique_ptr<Operator> plan;
+  double completion_cost = kInf;  ///< estimated cost once submitted/run
+};
+
+class Enumeration {
+ public:
+  Enumeration(const BoundQuery& q, const costmodel::CostEstimator* estimator,
+              const CapabilityTable* caps, const EnumOptions& options,
+              EnumStats* stats)
+      : q_(q),
+        estimator_(estimator),
+        caps_(caps),
+        options_(options),
+        stats_(stats) {}
+
+  Result<EnumResult> Run() {
+    const int n = static_cast<int>(q_.relations.size());
+    const uint32_t full = (n == 32) ? 0xFFFFFFFFu : ((1u << n) - 1);
+    best_.clear();
+    best_.resize(static_cast<size_t>(full) + 1);
+
+    // Base relations.
+    for (int i = 0; i < n; ++i) {
+      DISCO_RETURN_NOT_OK(SeedRelation(i));
+    }
+
+    // Connected-subset DP, by subset size.
+    for (uint32_t s = 1; s <= full; ++s) {
+      if (__builtin_popcount(s) < 2) continue;
+      // Split into (s1, s2); fix the lowest bit into s1 to halve the
+      // work, and try both join orientations explicitly.
+      const uint32_t low = s & (~s + 1);
+      for (uint32_t s1 = (s - 1) & s; s1 != 0; s1 = (s1 - 1) & s) {
+        if ((s1 & low) == 0) continue;
+        const uint32_t s2 = s & ~s1;
+        if (best_[s1].empty() || best_[s2].empty()) continue;
+        DISCO_RETURN_NOT_OK(Combine(s, s1, s2));
+      }
+    }
+
+    if (best_[full].empty()) {
+      return Status::NotSupported(
+          "no plan found: the join graph could not be enumerated");
+    }
+
+    // Finish: append the query tail, trying both "inside the submit"
+    // (single-source queries, capabilities permitting) and "at the
+    // mediator".
+    std::unique_ptr<Operator> best_plan;
+    double best_cost = kInf;
+    for (const auto& [loc, entry] : best_[full]) {
+      if (loc.empty()) {
+        std::unique_ptr<Operator> plan =
+            AppendQueryTail(entry.plan->Clone(), q_);
+        DISCO_RETURN_NOT_OK(Consider(std::move(plan), &best_plan, &best_cost));
+      } else {
+        // (a) tail inside the submitted subquery.
+        std::unique_ptr<Operator> inside = AppendQueryTail(entry.plan->Clone(), q_);
+        if (SubplanSupported(*inside, caps_->Get(loc))) {
+          DISCO_RETURN_NOT_OK(Consider(EnsureSubmitted(loc, std::move(inside)),
+                                       &best_plan, &best_cost));
+        }
+        // (b) tail at the mediator.
+        std::unique_ptr<Operator> outside = AppendQueryTail(
+            EnsureSubmitted(loc, entry.plan->Clone()), q_);
+        DISCO_RETURN_NOT_OK(
+            Consider(std::move(outside), &best_plan, &best_cost));
+      }
+    }
+    if (best_plan == nullptr) {
+      return Status::NotSupported("no executable complete plan found");
+    }
+    EnumResult out;
+    out.plan = std::move(best_plan);
+    out.cost_ms = best_cost;
+    out.stats = *stats_;
+    return out;
+  }
+
+ private:
+  /// Estimates `plan` (a complete mediator plan), with branch-and-bound
+  /// against `bound` when enabled. Returns +inf when pruned.
+  Result<double> Cost(const Operator& plan, double bound) {
+    costmodel::EstimateOptions opts = options_.estimate;
+    // Branch-and-bound cuts on TotalTime, so it only applies to the
+    // TotalTime objective (a plan with a large TotalTime may still have
+    // the best TimeFirst).
+    if (options_.use_pruning &&
+        options_.objective == Objective::kTotalTime &&
+        std::isfinite(bound)) {
+      opts.prune_bound = bound;
+    }
+    DISCO_ASSIGN_OR_RETURN(costmodel::PlanEstimate est,
+                           estimator_->Estimate(plan, opts));
+    ++stats_->plans_costed;
+    stats_->nodes_visited += est.nodes_visited;
+    stats_->formulas_evaluated += est.formulas_evaluated;
+    stats_->match_attempts += est.match_attempts;
+    if (est.pruned) {
+      ++stats_->plans_pruned;
+      return kInf;
+    }
+    return options_.objective == Objective::kTimeFirst
+               ? est.root.time_first()
+               : est.root.total_time();
+  }
+
+  Status Consider(std::unique_ptr<Operator> plan,
+                  std::unique_ptr<Operator>* best_plan, double* best_cost) {
+    DISCO_ASSIGN_OR_RETURN(double cost, Cost(*plan, *best_cost));
+    if (cost < *best_cost) {
+      *best_cost = cost;
+      *best_plan = std::move(plan);
+    }
+    return Status::OK();
+  }
+
+  Status SeedRelation(int i) {
+    const query::BoundRelation& rel = q_.relations[static_cast<size_t>(i)];
+    const std::string source = ToLower(rel.source);
+    const SourceCapabilities caps = caps_->Get(source);
+    const uint32_t mask = 1u << i;
+
+    std::unique_ptr<Operator> local = BuildRelationPlan(rel);
+    const bool pushable = SubplanSupported(*local, caps);
+    if (pushable) {
+      // Submitted form of the pushed-down selections.
+      DISCO_RETURN_NOT_OK(
+          Store(mask, "", EnsureSubmitted(source, local->Clone())));
+      DISCO_RETURN_NOT_OK(Store(mask, source, std::move(local)));
+    }
+    // The alternative of filtering at the mediator is always considered:
+    // it is mandatory when the source cannot evaluate selections, and it
+    // can win when the source's predicate evaluation is expensive (a
+    // fact only its exported cost rules reveal).
+    if (!pushable || !rel.predicates.empty()) {
+      std::unique_ptr<Operator> plan =
+          algebra::Submit(source, algebra::Scan(rel.collection));
+      for (const algebra::SelectPredicate& p : rel.predicates) {
+        plan = algebra::Select(std::move(plan), p);
+      }
+      DISCO_RETURN_NOT_OK(Store(mask, "", std::move(plan)));
+    }
+    return Status::OK();
+  }
+
+  /// The single join edge crossing (s1, s2), oriented left=s1. The join
+  /// graph is a tree (binder guarantees connectivity; Enumerate checks
+  /// acyclicity), so at most one edge crosses any connected split.
+  Result<algebra::JoinPredicate> CrossingEdge(uint32_t s1, uint32_t s2) const {
+    for (const query::BoundJoin& j : q_.joins) {
+      const uint32_t lbit = 1u << j.left_rel;
+      const uint32_t rbit = 1u << j.right_rel;
+      if ((lbit & s1) && (rbit & s2)) {
+        return algebra::JoinPredicate{j.left_attr, j.right_attr};
+      }
+      if ((rbit & s1) && (lbit & s2)) {
+        return algebra::JoinPredicate{j.right_attr, j.left_attr};
+      }
+    }
+    return Status::NotFound("no crossing edge");
+  }
+
+  Status Combine(uint32_t s, uint32_t s1, uint32_t s2) {
+    Result<algebra::JoinPredicate> edge = CrossingEdge(s1, s2);
+    if (!edge.ok()) return Status::OK();  // not a valid (connected) split
+    const algebra::JoinPredicate flipped{edge->right_attribute,
+                                         edge->left_attribute};
+
+    // Bind-join candidates: probe a single predicate-free relation per
+    // distinct key of the other side's result.
+    if (options_.enable_bind_join) {
+      DISCO_RETURN_NOT_OK(TryBindJoin(s, s1, s2, *edge));
+      DISCO_RETURN_NOT_OK(TryBindJoin(s, s2, s1, flipped));
+    }
+
+    for (const auto& [loc1, e1] : best_[s1]) {
+      for (const auto& [loc2, e2] : best_[s2]) {
+        // Same-source join pushed into the source.
+        if (!loc1.empty() && loc1 == loc2 && caps_->Get(loc1).join) {
+          DISCO_RETURN_NOT_OK(Store(
+              s, loc1,
+              algebra::Join(e1.plan->Clone(), e2.plan->Clone(), *edge)));
+          DISCO_RETURN_NOT_OK(Store(
+              s, loc1,
+              algebra::Join(e2.plan->Clone(), e1.plan->Clone(), flipped)));
+        }
+        // Mediator join of the submitted sides.
+        std::unique_ptr<Operator> l = FinishClone(loc1, e1);
+        std::unique_ptr<Operator> r = FinishClone(loc2, e2);
+        DISCO_RETURN_NOT_OK(
+            Store(s, "", algebra::Join(std::move(l), std::move(r), *edge)));
+        l = FinishClone(loc2, e2);
+        r = FinishClone(loc1, e1);
+        DISCO_RETURN_NOT_OK(
+            Store(s, "", algebra::Join(std::move(l), std::move(r), flipped)));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Adds bindjoin(outer, probed) candidates where `probed_set` is a
+  /// single relation with no local predicates whose source can answer
+  /// point selections.
+  Status TryBindJoin(uint32_t s, uint32_t outer_set, uint32_t probed_set,
+                     const algebra::JoinPredicate& edge) {
+    if (__builtin_popcount(probed_set) != 1) return Status::OK();
+    const int idx = __builtin_ctz(probed_set);
+    const query::BoundRelation& rel = q_.relations[static_cast<size_t>(idx)];
+    if (!rel.predicates.empty()) return Status::OK();
+    if (!caps_->Get(rel.source).select) return Status::OK();
+    for (const auto& [loc, e] : best_[outer_set]) {
+      DISCO_RETURN_NOT_OK(Store(
+          s, "",
+          algebra::BindJoin(FinishClone(loc, e), ToLower(rel.source),
+                            rel.collection, edge)));
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<Operator> FinishClone(const std::string& loc,
+                                        const Entry& e) const {
+    std::unique_ptr<Operator> plan = e.plan->Clone();
+    return loc.empty() ? std::move(plan) : EnsureSubmitted(loc, std::move(plan));
+  }
+
+  /// Prices `plan` as a candidate for (subset, location) and keeps it if
+  /// it beats the incumbent. Local plans are priced by their submitted
+  /// completion.
+  Status Store(uint32_t subset, const std::string& location,
+               std::unique_ptr<Operator> plan) {
+    auto& entries = best_[subset];
+    double bound = kInf;
+    auto it = entries.find(location);
+    if (it != entries.end()) bound = it->second.completion_cost;
+
+    double cost;
+    if (location.empty()) {
+      DISCO_ASSIGN_OR_RETURN(cost, Cost(*plan, bound));
+    } else {
+      std::unique_ptr<Operator> completed =
+          EnsureSubmitted(location, plan->Clone());
+      DISCO_ASSIGN_OR_RETURN(cost, Cost(*completed, bound));
+    }
+    if (cost < bound) {
+      entries[location] = Entry{std::move(plan), cost};
+    }
+    return Status::OK();
+  }
+
+  const BoundQuery& q_;
+  const costmodel::CostEstimator* estimator_;
+  const CapabilityTable* caps_;
+  const EnumOptions& options_;
+  EnumStats* stats_;
+
+  /// best_[subset][location] -> Entry.
+  std::vector<std::map<std::string, Entry>> best_;
+};
+
+}  // namespace
+
+Result<EnumResult> JoinEnumerator::Enumerate(const BoundQuery& q,
+                                             const EnumOptions& options) const {
+  const int n = static_cast<int>(q.relations.size());
+  if (n == 0) return Status::InvalidArgument("no relations to enumerate");
+  if (n > options.max_relations) {
+    return Status::NotSupported(
+        StringPrintf("%d relations exceed the enumeration limit (%d)", n,
+                     options.max_relations));
+  }
+  if (static_cast<int>(q.joins.size()) != n - 1 && n > 1) {
+    return Status::NotSupported(
+        "cyclic join graphs are not supported by the enumerator");
+  }
+  EnumStats stats;
+  Enumeration e(q, estimator_, capabilities_, options, &stats);
+  return e.Run();
+}
+
+}  // namespace optimizer
+}  // namespace disco

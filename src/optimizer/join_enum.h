@@ -1,0 +1,79 @@
+// Dynamic-programming join enumeration with submit placement.
+//
+// The mediator "constructs several plans" and keeps the cheapest by
+// estimated cost (paper Section 2.2). We enumerate connected subsets of
+// the (acyclic) join graph bottom-up. Each subset keeps the best plan per
+// *location*: entirely at one source (no submit yet -- it can still merge
+// with other work at that source into one subquery), or at the mediator
+// (all source work wrapped in submits). Capabilities gate what can be
+// pushed; the cost estimator prices every candidate, optionally with the
+// branch-and-bound cutoff of Section 4.3.2.
+
+#ifndef DISCO_OPTIMIZER_JOIN_ENUM_H_
+#define DISCO_OPTIMIZER_JOIN_ENUM_H_
+
+#include <memory>
+
+#include "costmodel/estimator.h"
+#include "optimizer/capabilities.h"
+#include "query/binder.h"
+
+namespace disco {
+namespace optimizer {
+
+/// What the optimizer minimizes. The paper's cost vectors carry
+/// TimeFirst/TimeNext precisely so a mediator can optimize either for
+/// throughput (TotalTime) or for response time to the first answer
+/// (TimeFirst) -- interactive clients want the latter.
+enum class Objective {
+  kTotalTime = 0,
+  kTimeFirst,
+};
+
+struct EnumOptions {
+  /// Abort candidate estimations that exceed the incumbent (§4.3.2).
+  bool use_pruning = true;
+  Objective objective = Objective::kTotalTime;
+  /// Consider bind joins (probe a predicate-free relation per outer key)
+  /// as an alternative to shipping it -- the paper's §7 scenario of
+  /// "selecting a few images" via another source.
+  bool enable_bind_join = true;
+  costmodel::EstimateOptions estimate;
+  int max_relations = 12;
+};
+
+/// Work counters accumulated across all candidate estimations.
+struct EnumStats {
+  int plans_costed = 0;
+  int plans_pruned = 0;
+  int64_t nodes_visited = 0;
+  int64_t formulas_evaluated = 0;
+  int64_t match_attempts = 0;
+};
+
+struct EnumResult {
+  std::unique_ptr<algebra::Operator> plan;  ///< complete mediator plan
+  double cost_ms = 0;
+  EnumStats stats;
+};
+
+class JoinEnumerator {
+ public:
+  JoinEnumerator(const costmodel::CostEstimator* estimator,
+                 const CapabilityTable* capabilities)
+      : estimator_(estimator), capabilities_(capabilities) {}
+
+  /// Enumerates and returns the cheapest complete plan for `q` (including
+  /// the query tail: aggregate / projection / distinct / order).
+  Result<EnumResult> Enumerate(const query::BoundQuery& q,
+                               const EnumOptions& options = {}) const;
+
+ private:
+  const costmodel::CostEstimator* estimator_;
+  const CapabilityTable* capabilities_;
+};
+
+}  // namespace optimizer
+}  // namespace disco
+
+#endif  // DISCO_OPTIMIZER_JOIN_ENUM_H_

@@ -1,0 +1,29 @@
+#include "optimizer/optimizer.h"
+
+namespace disco {
+namespace optimizer {
+
+Result<OptimizedPlan> Optimizer::Optimize(const query::BoundQuery& q,
+                                          const OptimizerOptions& options) const {
+  EnumOptions enum_options;
+  enum_options.use_pruning = options.use_pruning;
+  enum_options.objective = options.objective;
+  enum_options.enable_bind_join = options.enable_bind_join;
+  enum_options.estimate = options.estimate;
+  enum_options.max_relations = options.max_relations;
+
+  DISCO_ASSIGN_OR_RETURN(EnumResult result,
+                         enumerator_.Enumerate(q, enum_options));
+
+  OptimizedPlan out;
+  // Re-estimate the winner without a bound for a complete cost vector.
+  DISCO_ASSIGN_OR_RETURN(out.final_estimate,
+                         estimator_->Estimate(*result.plan, options.estimate));
+  out.plan = std::move(result.plan);
+  out.estimated_ms = out.final_estimate.root.total_time();
+  out.stats = result.stats;
+  return out;
+}
+
+}  // namespace optimizer
+}  // namespace disco

@@ -1,0 +1,48 @@
+// The mediator optimizer facade: bound query -> best complete plan.
+
+#ifndef DISCO_OPTIMIZER_OPTIMIZER_H_
+#define DISCO_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+
+#include "costmodel/estimator.h"
+#include "optimizer/capabilities.h"
+#include "optimizer/join_enum.h"
+#include "query/binder.h"
+
+namespace disco {
+namespace optimizer {
+
+struct OptimizerOptions {
+  bool use_pruning = true;  ///< §4.3.2 branch-and-bound in enumeration
+  Objective objective = Objective::kTotalTime;
+  bool enable_bind_join = true;
+  costmodel::EstimateOptions estimate;
+  int max_relations = 12;
+};
+
+struct OptimizedPlan {
+  std::unique_ptr<algebra::Operator> plan;
+  double estimated_ms = 0;
+  costmodel::PlanEstimate final_estimate;  ///< full estimate of the winner
+  EnumStats stats;
+};
+
+class Optimizer {
+ public:
+  Optimizer(const costmodel::CostEstimator* estimator,
+            const CapabilityTable* capabilities)
+      : estimator_(estimator), enumerator_(estimator, capabilities) {}
+
+  Result<OptimizedPlan> Optimize(const query::BoundQuery& q,
+                                 const OptimizerOptions& options = {}) const;
+
+ private:
+  const costmodel::CostEstimator* estimator_;
+  JoinEnumerator enumerator_;
+};
+
+}  // namespace optimizer
+}  // namespace disco
+
+#endif  // DISCO_OPTIMIZER_OPTIMIZER_H_

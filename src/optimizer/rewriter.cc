@@ -1,0 +1,46 @@
+#include "optimizer/rewriter.h"
+
+namespace disco {
+namespace optimizer {
+
+using algebra::Operator;
+
+std::unique_ptr<Operator> BuildRelationPlan(const query::BoundRelation& rel) {
+  std::unique_ptr<Operator> plan = algebra::Scan(rel.collection);
+  for (const algebra::SelectPredicate& p : rel.predicates) {
+    plan = algebra::Select(std::move(plan), p);
+  }
+  return plan;
+}
+
+std::unique_ptr<Operator> EnsureSubmitted(const std::string& source,
+                                          std::unique_ptr<Operator> plan) {
+  if (plan->kind == algebra::OpKind::kSubmit) return plan;
+  return algebra::Submit(source, std::move(plan));
+}
+
+std::unique_ptr<Operator> AppendQueryTail(std::unique_ptr<Operator> plan,
+                                          const query::BoundQuery& q) {
+  if (q.aggregate.has_value()) {
+    plan = algebra::Aggregate(std::move(plan), q.aggregate->func,
+                              q.aggregate->attribute, q.group_by);
+  } else if (!q.projections.empty()) {
+    plan = algebra::Project(std::move(plan), q.projections);
+  }
+  if (q.distinct) plan = algebra::Dedup(std::move(plan));
+  if (q.order_by.has_value()) {
+    plan = algebra::Sort(std::move(plan), *q.order_by, q.order_ascending);
+  }
+  return plan;
+}
+
+bool SubplanSupported(const Operator& plan, const SourceCapabilities& caps) {
+  if (!caps.Supports(plan.kind)) return false;
+  for (const auto& child : plan.children) {
+    if (!SubplanSupported(*child, caps)) return false;
+  }
+  return true;
+}
+
+}  // namespace optimizer
+}  // namespace disco

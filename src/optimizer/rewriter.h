@@ -1,0 +1,41 @@
+// Plan-building rewrites: relation access paths with pushed-down
+// selections, submit placement, and the mediator-side "tail" (project /
+// aggregate / dedup / sort) of a query.
+
+#ifndef DISCO_OPTIMIZER_REWRITER_H_
+#define DISCO_OPTIMIZER_REWRITER_H_
+
+#include <memory>
+
+#include "algebra/operator.h"
+#include "optimizer/capabilities.h"
+#include "query/binder.h"
+
+namespace disco {
+namespace optimizer {
+
+/// scan(collection) with the relation's selections stacked on top (the
+/// classic select-pushdown shape; each conjunct is its own select so
+/// predicate-scope rules can match it).
+std::unique_ptr<algebra::Operator> BuildRelationPlan(
+    const query::BoundRelation& rel);
+
+/// Wraps `plan` in submit(source) unless it is already submitted.
+std::unique_ptr<algebra::Operator> EnsureSubmitted(
+    const std::string& source, std::unique_ptr<algebra::Operator> plan);
+
+/// Appends the query tail (aggregate/group-by, projection, distinct,
+/// order-by) above `plan`. Used at the mediator, or inside a submit when
+/// a single source runs the whole query and its capabilities allow.
+std::unique_ptr<algebra::Operator> AppendQueryTail(
+    std::unique_ptr<algebra::Operator> plan, const query::BoundQuery& q);
+
+/// True if every operator in `plan` is executable by a wrapper with
+/// capabilities `caps` (scan/select/join/...; submit is never).
+bool SubplanSupported(const algebra::Operator& plan,
+                      const SourceCapabilities& caps);
+
+}  // namespace optimizer
+}  // namespace disco
+
+#endif  // DISCO_OPTIMIZER_REWRITER_H_

@@ -1,0 +1,237 @@
+#include "query/binder.h"
+
+#include <functional>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace query {
+
+namespace {
+
+/// A resolved attribute: which relation, and its canonical definition.
+struct ResolvedAttr {
+  int rel = 0;
+  AttributeDef def;
+};
+
+class Binder {
+ public:
+  Binder(const ParsedQuery& q, const Catalog& catalog)
+      : q_(q), catalog_(catalog) {}
+
+  Result<BoundQuery> Bind() {
+    BoundQuery out;
+
+    // FROM: resolve collections and owning sources.
+    std::set<std::string> seen;
+    for (const std::string& table : q_.tables) {
+      DISCO_ASSIGN_OR_RETURN(CatalogEntry entry, Lookup(table));
+      if (!seen.insert(ToLower(entry.schema.name())).second) {
+        return Status::NotSupported(
+            "collection '" + entry.schema.name() +
+            "' appears twice; self-joins (aliases) are not supported");
+      }
+      BoundRelation rel;
+      rel.collection = entry.schema.name();
+      rel.source = entry.source;
+      out.relations.push_back(std::move(rel));
+      schemas_.push_back(entry.schema);
+    }
+
+    // WHERE selections.
+    for (const algebra::SelectPredicate& p : q_.selections) {
+      DISCO_ASSIGN_OR_RETURN(ResolvedAttr attr, Resolve(p.attribute));
+      DISCO_ASSIGN_OR_RETURN(Value value, Coerce(p.value, attr.def));
+      out.relations[static_cast<size_t>(attr.rel)].predicates.push_back(
+          algebra::SelectPredicate{attr.def.name, p.op, std::move(value)});
+    }
+
+    // WHERE joins.
+    for (const algebra::JoinPredicate& j : q_.joins) {
+      DISCO_ASSIGN_OR_RETURN(ResolvedAttr l, Resolve(j.left_attribute));
+      DISCO_ASSIGN_OR_RETURN(ResolvedAttr r, Resolve(j.right_attribute));
+      if (l.rel == r.rel) {
+        return Status::NotSupported("join predicate '" + j.ToString() +
+                                    "' relates a collection to itself");
+      }
+      if (l.def.type != r.def.type) {
+        return Status::InvalidArgument(
+            "join predicate '" + j.ToString() + "' compares " +
+            AttrTypeToString(l.def.type) + " with " +
+            AttrTypeToString(r.def.type));
+      }
+      BoundJoin join;
+      join.left_rel = l.rel;
+      join.left_attr = l.def.name;
+      join.right_rel = r.rel;
+      join.right_attr = r.def.name;
+      out.joins.push_back(std::move(join));
+    }
+
+    // Connectivity (no cross products).
+    DISCO_RETURN_NOT_OK(CheckConnected(out));
+
+    // SELECT list.
+    out.distinct = q_.distinct;
+    if (!q_.select_all) {
+      for (const SelectItem& item : q_.items) {
+        if (item.agg.has_value()) {
+          if (out.aggregate.has_value()) {
+            return Status::NotSupported(
+                "at most one aggregate per query is supported");
+          }
+          BoundAggregate agg;
+          agg.func = *item.agg;
+          if (!item.attribute.empty()) {
+            DISCO_ASSIGN_OR_RETURN(ResolvedAttr a, Resolve(item.attribute));
+            agg.attribute = a.def.name;
+          }
+          out.aggregate = std::move(agg);
+        } else {
+          DISCO_ASSIGN_OR_RETURN(ResolvedAttr a, Resolve(item.attribute));
+          out.projections.push_back(a.def.name);
+        }
+      }
+    }
+
+    // GROUP BY.
+    for (const std::string& g : q_.group_by) {
+      DISCO_ASSIGN_OR_RETURN(ResolvedAttr a, Resolve(g));
+      out.group_by.push_back(a.def.name);
+    }
+    if (!out.group_by.empty() && !out.aggregate.has_value()) {
+      return Status::InvalidArgument("GROUP BY without an aggregate");
+    }
+    // Plain attributes next to an aggregate must be grouped.
+    if (out.aggregate.has_value()) {
+      for (const std::string& p : out.projections) {
+        bool grouped = false;
+        for (const std::string& g : out.group_by) {
+          if (EqualsIgnoreCase(p, g)) grouped = true;
+        }
+        if (!grouped) {
+          return Status::InvalidArgument("'" + p +
+                                         "' must appear in GROUP BY");
+        }
+      }
+    }
+
+    // ORDER BY.
+    if (q_.order_by.has_value()) {
+      DISCO_ASSIGN_OR_RETURN(ResolvedAttr a, Resolve(*q_.order_by));
+      out.order_by = a.def.name;
+      out.order_ascending = q_.order_ascending;
+    }
+    return out;
+  }
+
+ private:
+  Result<CatalogEntry> Lookup(const std::string& table) const {
+    if (catalog_.HasCollection(table)) return catalog_.Collection(table);
+    // Case-insensitive fallback.
+    for (const std::string& name : catalog_.Collections()) {
+      if (EqualsIgnoreCase(name, table)) return catalog_.Collection(name);
+    }
+    return Status::NotFound("unknown collection '" + table + "'");
+  }
+
+  /// Resolves a possibly qualified attribute against the FROM relations.
+  Result<ResolvedAttr> Resolve(const std::string& name) const {
+    std::string qualifier, attr = name;
+    size_t pos = name.rfind('.');
+    if (pos != std::string::npos) {
+      qualifier = name.substr(0, pos);
+      attr = name.substr(pos + 1);
+    }
+    std::optional<ResolvedAttr> found;
+    for (size_t i = 0; i < schemas_.size(); ++i) {
+      if (!qualifier.empty() &&
+          !EqualsIgnoreCase(schemas_[i].name(), qualifier)) {
+        continue;
+      }
+      for (const AttributeDef& def : schemas_[i].attributes()) {
+        if (!EqualsIgnoreCase(def.name, attr)) continue;
+        if (found.has_value()) {
+          return Status::InvalidArgument("attribute '" + name +
+                                         "' is ambiguous");
+        }
+        found = ResolvedAttr{static_cast<int>(i), def};
+      }
+    }
+    if (!found.has_value()) {
+      return Status::NotFound("unknown attribute '" + name + "'");
+    }
+    return *found;
+  }
+
+  /// Checks/coerces a literal against the attribute type.
+  Result<Value> Coerce(const Value& v, const AttributeDef& def) const {
+    switch (def.type) {
+      case AttrType::kLong:
+        if (v.is_int64()) return v;
+        if (v.is_double() && v.AsDouble() == static_cast<double>(static_cast<int64_t>(v.AsDouble()))) {
+          return Value(static_cast<int64_t>(v.AsDouble()));
+        }
+        if (v.is_double()) return v;  // range compare against Long is fine
+        break;
+      case AttrType::kDouble:
+        if (v.is_numeric()) return Value(v.AsDouble());
+        break;
+      case AttrType::kString:
+        if (v.is_string()) return v;
+        break;
+      case AttrType::kBool:
+        if (v.is_bool()) return v;
+        break;
+    }
+    return Status::InvalidArgument(
+        "literal " + v.ToString() + " does not match the " +
+        AttrTypeToString(def.type) + " attribute '" + def.name + "'");
+  }
+
+  /// Rejects disconnected join graphs.
+  Status CheckConnected(const BoundQuery& out) const {
+    const size_t n = out.relations.size();
+    if (n <= 1) return Status::OK();
+    std::vector<int> comp(n);
+    for (size_t i = 0; i < n; ++i) comp[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+      while (comp[static_cast<size_t>(x)] != x) {
+        x = comp[static_cast<size_t>(x)];
+      }
+      return x;
+    };
+    for (const BoundJoin& j : out.joins) {
+      int a = find(j.left_rel), b = find(j.right_rel);
+      if (a != b) comp[static_cast<size_t>(a)] = b;
+    }
+    int root = find(0);
+    for (size_t i = 1; i < n; ++i) {
+      if (find(static_cast<int>(i)) != root) {
+        return Status::NotSupported(
+            "the join graph is disconnected (cross products are not "
+            "supported)");
+      }
+    }
+    return Status::OK();
+  }
+
+  const ParsedQuery& q_;
+  const Catalog& catalog_;
+  std::vector<CollectionSchema> schemas_;
+};
+
+}  // namespace
+
+Result<BoundQuery> Bind(const ParsedQuery& q, const Catalog& catalog) {
+  if (q.tables.empty()) {
+    return Status::InvalidArgument("query has no FROM clause");
+  }
+  Binder b(q, catalog);
+  return b.Bind();
+}
+
+}  // namespace query
+}  // namespace disco

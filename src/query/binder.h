@@ -1,0 +1,58 @@
+// Binder: resolves a parsed query against the mediator catalog into a
+// bound query graph -- the form the optimizer enumerates over.
+
+#ifndef DISCO_QUERY_BINDER_H_
+#define DISCO_QUERY_BINDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "query/sql_parser.h"
+
+namespace disco {
+namespace query {
+
+/// One FROM relation with the selection predicates bound to it.
+struct BoundRelation {
+  std::string collection;  ///< canonical collection name
+  std::string source;      ///< wrapper owning it
+  std::vector<algebra::SelectPredicate> predicates;
+};
+
+/// One equi-join edge of the query graph.
+struct BoundJoin {
+  int left_rel = 0;
+  std::string left_attr;
+  int right_rel = 0;
+  std::string right_attr;
+};
+
+struct BoundAggregate {
+  algebra::AggFunc func = algebra::AggFunc::kCount;
+  std::string attribute;  ///< empty for count(*)
+};
+
+struct BoundQuery {
+  std::vector<BoundRelation> relations;
+  std::vector<BoundJoin> joins;
+  /// Output attributes (unqualified); empty means "all".
+  std::vector<std::string> projections;
+  bool distinct = false;
+  std::optional<BoundAggregate> aggregate;
+  std::vector<std::string> group_by;
+  std::optional<std::string> order_by;
+  bool order_ascending = true;
+};
+
+/// Binds `q` against `catalog`. Rejects unknown collections/attributes,
+/// type-mismatched literals, and disconnected join graphs (cross products
+/// are not supported).
+Result<BoundQuery> Bind(const ParsedQuery& q, const Catalog& catalog);
+
+}  // namespace query
+}  // namespace disco
+
+#endif  // DISCO_QUERY_BINDER_H_

@@ -1,0 +1,287 @@
+#include "query/sql_parser.h"
+
+#include "common/str_util.h"
+#include "costlang/lexer.h"
+
+namespace disco {
+namespace query {
+
+namespace {
+
+// The SQL subset shares its token shapes with the cost language; we
+// reuse that lexer and treat keywords case-insensitively here.
+using costlang::Token;
+using costlang::TokenType;
+
+std::optional<algebra::AggFunc> AggFromName(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "count") return algebra::AggFunc::kCount;
+  if (n == "sum") return algebra::AggFunc::kSum;
+  if (n == "avg") return algebra::AggFunc::kAvg;
+  if (n == "min") return algebra::AggFunc::kMin;
+  if (n == "max") return algebra::AggFunc::kMax;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery q;
+    DISCO_RETURN_NOT_OK(ExpectKeyword("select"));
+    if (Peek().IsIdent("distinct")) {
+      q.distinct = true;
+      Advance();
+    }
+    if (Peek().Is(TokenType::kStar)) {
+      q.select_all = true;
+      Advance();
+    } else {
+      while (true) {
+        DISCO_ASSIGN_OR_RETURN(SelectItem item, ParseItem());
+        q.items.push_back(std::move(item));
+        if (!Peek().Is(TokenType::kComma)) break;
+        Advance();
+      }
+    }
+
+    DISCO_RETURN_NOT_OK(ExpectKeyword("from"));
+    while (true) {
+      DISCO_ASSIGN_OR_RETURN(std::string t, ExpectName());
+      q.tables.push_back(std::move(t));
+      if (!Peek().Is(TokenType::kComma)) break;
+      Advance();
+    }
+
+    if (Peek().IsIdent("where")) {
+      Advance();
+      while (true) {
+        DISCO_RETURN_NOT_OK(ParsePredicate(&q));
+        if (!Peek().IsIdent("and")) break;
+        Advance();
+      }
+    }
+
+    if (Peek().IsIdent("group")) {
+      Advance();
+      DISCO_RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        DISCO_ASSIGN_OR_RETURN(std::string a, ParseAttrName());
+        q.group_by.push_back(std::move(a));
+        if (!Peek().Is(TokenType::kComma)) break;
+        Advance();
+      }
+    }
+
+    if (Peek().IsIdent("order")) {
+      Advance();
+      DISCO_RETURN_NOT_OK(ExpectKeyword("by"));
+      DISCO_ASSIGN_OR_RETURN(std::string a, ParseAttrName());
+      q.order_by = std::move(a);
+      if (Peek().IsIdent("asc")) {
+        Advance();
+      } else if (Peek().IsIdent("desc")) {
+        q.order_ascending = false;
+        Advance();
+      }
+    }
+
+    if (Peek().Is(TokenType::kSemicolon)) Advance();
+    if (!Peek().Is(TokenType::kEof)) {
+      return Err("unexpected trailing input '" + Peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  Result<SelectItem> ParseItem() {
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Err("expected a select item, got '" + Peek().text + "'");
+    }
+    std::string first = Peek().text;
+    std::optional<algebra::AggFunc> agg = AggFromName(first);
+    if (agg.has_value() && PeekAt(1).Is(TokenType::kLParen)) {
+      Advance();  // function name
+      Advance();  // '('
+      SelectItem item;
+      item.agg = agg;
+      if (Peek().Is(TokenType::kStar)) {
+        if (*agg != algebra::AggFunc::kCount) {
+          return Err("only count(*) may aggregate '*'");
+        }
+        Advance();
+      } else {
+        DISCO_ASSIGN_OR_RETURN(item.attribute, ParseAttrName());
+      }
+      DISCO_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+      return item;
+    }
+    SelectItem item;
+    DISCO_ASSIGN_OR_RETURN(item.attribute, ParseAttrName());
+    return item;
+  }
+
+  Status ParsePredicate(ParsedQuery* q) {
+    DISCO_ASSIGN_OR_RETURN(std::string lhs, ParseAttrName());
+    DISCO_ASSIGN_OR_RETURN(algebra::CmpOp op, ParseCmp());
+    // The right side decides selection vs join.
+    if (Peek().Is(TokenType::kNumber)) {
+      double v = Peek().number;
+      Advance();
+      Value val = (v == static_cast<int64_t>(v))
+                      ? Value(static_cast<int64_t>(v))
+                      : Value(v);
+      q->selections.push_back(
+          algebra::SelectPredicate{std::move(lhs), op, std::move(val)});
+      return Status::OK();
+    }
+    if (Peek().Is(TokenType::kString)) {
+      q->selections.push_back(
+          algebra::SelectPredicate{std::move(lhs), op, Value(Peek().text)});
+      Advance();
+      return Status::OK();
+    }
+    if (Peek().Is(TokenType::kMinus)) {
+      Advance();
+      if (!Peek().Is(TokenType::kNumber)) {
+        return Err("expected number after '-'");
+      }
+      double v = -Peek().number;
+      Advance();
+      Value val = (v == static_cast<int64_t>(v))
+                      ? Value(static_cast<int64_t>(v))
+                      : Value(v);
+      q->selections.push_back(
+          algebra::SelectPredicate{std::move(lhs), op, std::move(val)});
+      return Status::OK();
+    }
+    if (Peek().Is(TokenType::kIdentifier)) {
+      if (Peek().IsIdent("true") || Peek().IsIdent("false")) {
+        q->selections.push_back(algebra::SelectPredicate{
+            std::move(lhs), op, Value(Peek().IsIdent("true"))});
+        Advance();
+        return Status::OK();
+      }
+      DISCO_ASSIGN_OR_RETURN(std::string rhs, ParseAttrName());
+      if (op != algebra::CmpOp::kEq) {
+        return Err("join predicates must be equalities");
+      }
+      q->joins.push_back(
+          algebra::JoinPredicate{std::move(lhs), std::move(rhs)});
+      return Status::OK();
+    }
+    return Err("expected a literal or attribute after comparison");
+  }
+
+  Result<std::string> ParseAttrName() {
+    DISCO_ASSIGN_OR_RETURN(std::string name, ExpectName());
+    if (Peek().Is(TokenType::kDot)) {
+      Advance();
+      DISCO_ASSIGN_OR_RETURN(std::string attr, ExpectName());
+      return name + "." + attr;
+    }
+    return name;
+  }
+
+  Result<algebra::CmpOp> ParseCmp() {
+    algebra::CmpOp op;
+    switch (Peek().type) {
+      case TokenType::kEq: op = algebra::CmpOp::kEq; break;
+      case TokenType::kNe: op = algebra::CmpOp::kNe; break;
+      case TokenType::kLt: op = algebra::CmpOp::kLt; break;
+      case TokenType::kLe: op = algebra::CmpOp::kLe; break;
+      case TokenType::kGt: op = algebra::CmpOp::kGt; break;
+      case TokenType::kGe: op = algebra::CmpOp::kGe; break;
+      default:
+        return Err("expected a comparison operator, got '" + Peek().text +
+                   "'");
+    }
+    Advance();
+    return op;
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAt(size_t ahead) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Expect(TokenType t, const char* what) {
+    if (!Peek().Is(t)) {
+      return Err(std::string("expected '") + what + "', got '" + Peek().text +
+                 "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!Peek().IsIdent(kw)) {
+      return Err("expected '" + kw + "', got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectName() {
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Err("expected identifier, got '" + Peek().text + "'");
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StringPrintf("SQL line %d: %s", Peek().line, msg.c_str()));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ParsedQuery::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (select_all) {
+    out += "*";
+  } else {
+    std::vector<std::string> parts;
+    for (const SelectItem& item : items) {
+      if (item.agg.has_value()) {
+        parts.push_back(std::string(algebra::AggFuncToString(*item.agg)) +
+                        "(" + (item.attribute.empty() ? "*" : item.attribute) +
+                        ")");
+      } else {
+        parts.push_back(item.attribute);
+      }
+    }
+    out += JoinStrings(parts, ", ");
+  }
+  out += " FROM " + JoinStrings(tables, ", ");
+  std::vector<std::string> preds;
+  for (const auto& s : selections) preds.push_back(s.ToString());
+  for (const auto& j : joins) preds.push_back(j.ToString());
+  if (!preds.empty()) out += " WHERE " + JoinStrings(preds, " AND ");
+  if (!group_by.empty()) out += " GROUP BY " + JoinStrings(group_by, ", ");
+  if (order_by.has_value()) {
+    out += " ORDER BY " + *order_by + (order_ascending ? "" : " DESC");
+  }
+  return out;
+}
+
+Result<ParsedQuery> ParseSql(const std::string& sql) {
+  DISCO_ASSIGN_OR_RETURN(std::vector<Token> tokens, costlang::Tokenize(sql));
+  Parser p(std::move(tokens));
+  return p.Parse();
+}
+
+}  // namespace query
+}  // namespace disco

@@ -1,0 +1,53 @@
+// Parser for the client query language: the "simple object/relational
+// SQL" of the paper's Step 3 (Section 2.2).
+//
+//   query  ::= SELECT [DISTINCT] items FROM tables
+//              [WHERE pred (AND pred)*]
+//              [GROUP BY attrs] [ORDER BY attr [ASC|DESC]]
+//   items  ::= '*' | item (',' item)*
+//   item   ::= attr | (COUNT|SUM|AVG|MIN|MAX) '(' (attr|'*') ')'
+//   pred   ::= attr cmp literal | attr '=' attr
+//   attr   ::= name ['.' name]
+//
+// Conjunctive predicates only; disjunctions and nesting are out of scope
+// (as in the paper's examples).
+
+#ifndef DISCO_QUERY_SQL_PARSER_H_
+#define DISCO_QUERY_SQL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "algebra/predicate.h"
+#include "common/result.h"
+
+namespace disco {
+namespace query {
+
+struct SelectItem {
+  std::string attribute;                  ///< empty for count(*)
+  std::optional<algebra::AggFunc> agg;    ///< set for aggregate items
+};
+
+struct ParsedQuery {
+  bool select_all = false;
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<std::string> tables;
+  std::vector<algebra::SelectPredicate> selections;  ///< attr cmp literal
+  std::vector<algebra::JoinPredicate> joins;         ///< attr = attr
+  std::vector<std::string> group_by;
+  std::optional<std::string> order_by;
+  bool order_ascending = true;
+
+  std::string ToString() const;
+};
+
+Result<ParsedQuery> ParseSql(const std::string& sql);
+
+}  // namespace query
+}  // namespace disco
+
+#endif  // DISCO_QUERY_SQL_PARSER_H_

@@ -1,0 +1,56 @@
+#include "sources/data_source.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace sources {
+
+DataSource::DataSource(std::string name, size_t pool_pages,
+                       storage::SourceCostParams params,
+                       EngineOptions engine_options)
+    : name_(std::move(name)),
+      env_(pool_pages, params),
+      engine_options_(engine_options) {}
+
+storage::Table* DataSource::CreateTable(CollectionSchema schema,
+                                        storage::TableOptions options) {
+  tables_.push_back(
+      std::make_unique<storage::Table>(std::move(schema), &env_, options));
+  return tables_.back().get();
+}
+
+storage::Table* DataSource::table(const std::string& name) {
+  for (auto& t : tables_) {
+    if (EqualsIgnoreCase(t->name(), name)) return t.get();
+  }
+  return nullptr;
+}
+
+const storage::Table* DataSource::table(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (EqualsIgnoreCase(t->name(), name)) return t.get();
+  }
+  return nullptr;
+}
+
+std::vector<storage::Table*> DataSource::tables() {
+  std::vector<storage::Table*> out;
+  for (auto& t : tables_) out.push_back(t.get());
+  return out;
+}
+
+std::vector<const storage::Table*> DataSource::tables() const {
+  std::vector<const storage::Table*> out;
+  for (const auto& t : tables_) out.push_back(t.get());
+  return out;
+}
+
+Result<ExecutionResult> DataSource::Execute(const algebra::Operator& plan) {
+  std::map<std::string, storage::Table*> by_name;
+  for (auto& t : tables_) by_name[t->name()] = t.get();
+  SourceEngine engine(&env_, std::move(by_name), engine_options_);
+  return engine.Execute(plan);
+}
+
+}  // namespace sources
+}  // namespace disco

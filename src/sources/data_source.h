@@ -1,0 +1,76 @@
+// A simulated heterogeneous data source: a named set of tables over one
+// StorageEnv, executing algebraic subqueries through a SourceEngine and
+// reporting *measured* (simulated-clock) costs.
+//
+// Source families differ in their engine options and timing constants --
+// the heterogeneity the paper's cost-model problem is about:
+//   file sources        no indexes, per-object parse overhead;
+//   relational sources  indexes + page-ordered fetching;
+//   object db sources   indexes with unclustered per-object fetching
+//                       (the ObjectStore behaviour of Figure 12).
+
+#ifndef DISCO_SOURCES_DATA_SOURCE_H_
+#define DISCO_SOURCES_DATA_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "common/result.h"
+#include "sources/source_engine.h"
+#include "storage/table.h"
+
+namespace disco {
+namespace sources {
+
+class DataSource {
+ public:
+  DataSource(std::string name, size_t pool_pages,
+             storage::SourceCostParams params, EngineOptions engine_options);
+
+  const std::string& name() const { return name_; }
+  storage::StorageEnv* env() { return &env_; }
+  const EngineOptions& engine_options() const { return engine_options_; }
+
+  /// Creates (and owns) a table.
+  storage::Table* CreateTable(CollectionSchema schema,
+                              storage::TableOptions options = {});
+
+  /// Table by name; nullptr if absent.
+  storage::Table* table(const std::string& name);
+  const storage::Table* table(const std::string& name) const;
+  std::vector<storage::Table*> tables();
+  std::vector<const storage::Table*> tables() const;
+
+  /// Executes an algebraic subquery against this source's tables,
+  /// charging the simulated clock. The subquery must not contain submit.
+  Result<ExecutionResult> Execute(const algebra::Operator& plan);
+
+ private:
+  std::string name_;
+  storage::StorageEnv env_;
+  EngineOptions engine_options_;
+  std::vector<std::unique_ptr<storage::Table>> tables_;
+};
+
+/// File-family source: scan-only access (no indexes), with a per-object
+/// parse overhead of `parse_ms`.
+std::unique_ptr<DataSource> MakeFileSource(std::string name,
+                                           double parse_ms = 1.0);
+
+/// Relational-family source: indexes available; record fetches after an
+/// index lookup happen in page order (rid-sorted), like a disk-based
+/// RDBMS.
+std::unique_ptr<DataSource> MakeRelationalSource(std::string name);
+
+/// Object-database-family source: indexes available; objects are fetched
+/// one by one in index order through the buffer pool (ObjectStore-style
+/// unclustered behaviour -- the regime where Yao's formula applies).
+std::unique_ptr<DataSource> MakeObjectDbSource(std::string name,
+                                               size_t pool_pages = 4096);
+
+}  // namespace sources
+}  // namespace disco
+
+#endif  // DISCO_SOURCES_DATA_SOURCE_H_

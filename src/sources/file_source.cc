@@ -1,0 +1,20 @@
+#include "sources/data_source.h"
+
+namespace disco {
+namespace sources {
+
+std::unique_ptr<DataSource> MakeFileSource(std::string name, double parse_ms) {
+  storage::SourceCostParams params;
+  params.ms_startup = 20.0;             // opening a file is cheap
+  params.ms_per_page_read = 10.0;       // sequential read-ahead
+  params.ms_per_object = 2.0;           // emit a parsed record
+  params.ms_parse_per_object = parse_ms;  // decoding text per record
+  params.ms_per_cmp = 0.01;             // interpreting predicates on text
+  EngineOptions engine;
+  engine.allow_index = false;           // flat files have no indexes
+  return std::make_unique<DataSource>(std::move(name), /*pool_pages=*/256,
+                                      params, engine);
+}
+
+}  // namespace sources
+}  // namespace disco

@@ -1,0 +1,24 @@
+#include "sources/data_source.h"
+
+namespace disco {
+namespace sources {
+
+std::unique_ptr<DataSource> MakeObjectDbSource(std::string name,
+                                               size_t pool_pages) {
+  // The ObjectStore-like configuration of the paper's Section 5: 25 ms
+  // per page fault, 9 ms to produce an object, objects fetched one by one
+  // in index-key order (unclustered pointer chasing).
+  storage::SourceCostParams params;
+  params.ms_startup = 120.0;
+  params.ms_per_page_read = 25.0;
+  params.ms_per_object = 9.0;
+  params.ms_per_cmp = 0.005;
+  EngineOptions engine;
+  engine.allow_index = true;
+  engine.sort_rids_before_fetch = false;
+  return std::make_unique<DataSource>(std::move(name), pool_pages, params,
+                                      engine);
+}
+
+}  // namespace sources
+}  // namespace disco

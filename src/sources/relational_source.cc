@@ -1,0 +1,20 @@
+#include "sources/data_source.h"
+
+namespace disco {
+namespace sources {
+
+std::unique_ptr<DataSource> MakeRelationalSource(std::string name) {
+  storage::SourceCostParams params;
+  params.ms_startup = 60.0;        // SQL session + plan overhead
+  params.ms_per_page_read = 12.0;  // page-server style I/O
+  params.ms_per_object = 1.5;      // tuple copy-out
+  params.ms_per_cmp = 0.003;
+  EngineOptions engine;
+  engine.allow_index = true;
+  engine.sort_rids_before_fetch = true;  // fetch in page order, like a RDBMS
+  return std::make_unique<DataSource>(std::move(name), /*pool_pages=*/2048,
+                                      params, engine);
+}
+
+}  // namespace sources
+}  // namespace disco

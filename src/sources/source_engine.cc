@@ -1,0 +1,544 @@
+#include "sources/source_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace sources {
+
+namespace {
+
+using algebra::CmpOp;
+using algebra::OpKind;
+using algebra::Operator;
+using storage::Table;
+using storage::Tuple;
+
+double Log2N(size_t n) { return std::log2(static_cast<double>(std::max<size_t>(n, 2))); }
+
+/// Lexicographic tuple comparison over all columns (for dedup).
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    Result<int> c = a[i].Compare(b[i]);
+    if (!c.ok()) continue;
+    if (*c != 0) return *c < 0;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+Result<int> Rel::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i], name)) return static_cast<int>(i);
+  }
+  // Unqualified suffix match ("salary" finds "Employee.salary" and vice
+  // versa).
+  auto suffix = [](const std::string& s) {
+    size_t pos = s.rfind('.');
+    return pos == std::string::npos ? std::string_view(s)
+                                    : std::string_view(s).substr(pos + 1);
+  };
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(suffix(columns[i]), suffix(name))) {
+      return static_cast<int>(i);
+    }
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+SourceEngine::SourceEngine(storage::StorageEnv* env,
+                           std::map<std::string, Table*> tables,
+                           EngineOptions options)
+    : env_(env), tables_(std::move(tables)), options_(options) {}
+
+Result<Table*> SourceEngine::TableFor(const std::string& collection) const {
+  auto it = tables_.find(collection);
+  if (it != tables_.end()) return it->second;
+  for (const auto& [name, table] : tables_) {
+    if (EqualsIgnoreCase(name, collection)) return table;
+  }
+  return Status::NotFound("source has no collection '" + collection + "'");
+}
+
+void SourceEngine::ChargeOutput(int64_t n) {
+  env_->clock.Advance(static_cast<double>(n) *
+                      (env_->params.ms_per_object +
+                       env_->params.ms_parse_per_object));
+  objects_produced_ += n;
+  if (n > 0) NoteFirstTuple();
+}
+
+void SourceEngine::NoteFirstTuple() {
+  if (!first_tuple_at_.has_value()) first_tuple_at_ = env_->clock.now_ms();
+}
+
+void SourceEngine::MarkBlockingBarrier() {
+  first_tuple_at_ = env_->clock.now_ms();
+}
+
+Result<ExecutionResult> SourceEngine::Execute(const Operator& plan) {
+  DISCO_RETURN_NOT_OK(plan.CheckWellFormed());
+  first_tuple_at_.reset();
+  objects_produced_ = 0;
+  const int64_t misses_before = env_->pool.misses();
+  const double t0 = env_->clock.now_ms();
+  env_->clock.Advance(env_->params.ms_startup);
+
+  DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(plan));
+
+  ExecutionResult out;
+  out.columns = std::move(rel.columns);
+  out.tuples = std::move(rel.tuples);
+  out.total_ms = env_->clock.now_ms() - t0;
+  out.first_tuple_ms =
+      first_tuple_at_.has_value() ? *first_tuple_at_ - t0 : out.total_ms;
+  out.pages_read = env_->pool.misses() - misses_before;
+  out.objects_produced = objects_produced_;
+  return out;
+}
+
+Result<Rel> SourceEngine::Eval(const Operator& op) {
+  switch (op.kind) {
+    case OpKind::kScan: {
+      DISCO_ASSIGN_OR_RETURN(Table * table, TableFor(op.collection));
+      return EvalAccessPath(*table, {});
+    }
+
+    case OpKind::kSelect: {
+      // Fuse a chain of selects over a scan into one access path.
+      std::vector<algebra::SelectPredicate> preds{*op.select_pred};
+      const Operator* cur = &op.child(0);
+      while (cur->kind == OpKind::kSelect) {
+        preds.push_back(*cur->select_pred);
+        cur = &cur->child(0);
+      }
+      if (cur->kind == OpKind::kScan) {
+        DISCO_ASSIGN_OR_RETURN(Table * table, TableFor(cur->collection));
+        return EvalAccessPath(*table, std::move(preds));
+      }
+      // General case: filter a materialized input.
+      DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
+      DISCO_ASSIGN_OR_RETURN(int col,
+                             rel.ColumnIndex(op.select_pred->attribute));
+      Rel out;
+      out.columns = rel.columns;
+      for (Tuple& t : rel.tuples) {
+        env_->clock.Advance(env_->params.ms_per_cmp);
+        DISCO_ASSIGN_OR_RETURN(
+            bool keep, algebra::EvalCmp(t[static_cast<size_t>(col)],
+                                        op.select_pred->op,
+                                        op.select_pred->value));
+        if (keep) {
+          out.tuples.push_back(std::move(t));
+          NoteFirstTuple();
+        }
+      }
+      return out;
+    }
+
+    case OpKind::kProject: {
+      DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
+      std::vector<int> cols;
+      for (const std::string& a : op.project_attrs) {
+        DISCO_ASSIGN_OR_RETURN(int c, rel.ColumnIndex(a));
+        cols.push_back(c);
+      }
+      Rel out;
+      out.columns = op.project_attrs;
+      out.tuples.reserve(rel.tuples.size());
+      env_->clock.Advance(static_cast<double>(rel.tuples.size()) *
+                          env_->params.ms_per_cmp);
+      for (const Tuple& t : rel.tuples) {
+        Tuple nt;
+        nt.reserve(cols.size());
+        for (int c : cols) nt.push_back(t[static_cast<size_t>(c)]);
+        out.tuples.push_back(std::move(nt));
+      }
+      if (!out.tuples.empty()) NoteFirstTuple();
+      return out;
+    }
+
+    case OpKind::kSort: {
+      DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
+      DISCO_ASSIGN_OR_RETURN(int col, rel.ColumnIndex(op.sort_attr));
+      return SortRel(std::move(rel), col, op.sort_ascending);
+    }
+
+    case OpKind::kDedup: {
+      DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
+      env_->clock.Advance(static_cast<double>(rel.tuples.size()) *
+                          Log2N(rel.tuples.size()) * env_->params.ms_per_cmp);
+      MarkBlockingBarrier();
+      std::stable_sort(rel.tuples.begin(), rel.tuples.end(), TupleLess);
+      Rel out;
+      out.columns = rel.columns;
+      for (Tuple& t : rel.tuples) {
+        env_->clock.Advance(env_->params.ms_per_cmp);
+        if (out.tuples.empty() || !(out.tuples.back() == t)) {
+          out.tuples.push_back(std::move(t));
+        }
+      }
+      if (!out.tuples.empty()) NoteFirstTuple();
+      return out;
+    }
+
+    case OpKind::kAggregate: {
+      DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
+      int agg_col = -1;
+      if (!op.agg_attr.empty()) {
+        DISCO_ASSIGN_OR_RETURN(agg_col, rel.ColumnIndex(op.agg_attr));
+      }
+      std::vector<int> group_cols;
+      for (const std::string& g : op.group_by) {
+        DISCO_ASSIGN_OR_RETURN(int c, rel.ColumnIndex(g));
+        group_cols.push_back(c);
+      }
+      env_->clock.Advance(static_cast<double>(rel.tuples.size()) *
+                          env_->params.ms_per_cmp);
+
+      struct Acc {
+        int64_t count = 0;
+        double sum = 0;
+        std::optional<Value> min, max;
+      };
+      std::map<std::string, std::pair<Tuple, Acc>> groups;
+      for (const Tuple& t : rel.tuples) {
+        std::string key;
+        Tuple group_vals;
+        for (int c : group_cols) {
+          key += t[static_cast<size_t>(c)].ToString();
+          key += '\x1f';
+          group_vals.push_back(t[static_cast<size_t>(c)]);
+        }
+        auto& [vals, acc] = groups[key];
+        vals = group_vals;
+        ++acc.count;
+        if (agg_col >= 0) {
+          const Value& v = t[static_cast<size_t>(agg_col)];
+          if (v.is_numeric()) acc.sum += v.AsDouble();
+          if (!acc.min.has_value()) {
+            acc.min = v;
+            acc.max = v;
+          } else {
+            Result<int> lo = v.Compare(*acc.min);
+            Result<int> hi = v.Compare(*acc.max);
+            if (lo.ok() && *lo < 0) acc.min = v;
+            if (hi.ok() && *hi > 0) acc.max = v;
+          }
+        }
+      }
+      if (groups.empty() && op.group_by.empty()) {
+        groups[""] = {Tuple{}, Acc{}};  // scalar aggregate over empty input
+      }
+      MarkBlockingBarrier();
+      Rel out;
+      out.columns = op.group_by;
+      std::string agg_name = algebra::AggFuncToString(op.agg_func);
+      agg_name += "(" + (op.agg_attr.empty() ? std::string("*") : op.agg_attr) +
+                  ")";
+      out.columns.push_back(agg_name);
+      for (auto& [key, entry] : groups) {
+        auto& [vals, acc] = entry;
+        Tuple t = vals;
+        switch (op.agg_func) {
+          case algebra::AggFunc::kCount:
+            t.push_back(Value(acc.count));
+            break;
+          case algebra::AggFunc::kSum:
+            t.push_back(Value(acc.sum));
+            break;
+          case algebra::AggFunc::kAvg:
+            t.push_back(Value(acc.count > 0
+                                  ? acc.sum / static_cast<double>(acc.count)
+                                  : 0.0));
+            break;
+          case algebra::AggFunc::kMin:
+            t.push_back(acc.min.value_or(Value::Null()));
+            break;
+          case algebra::AggFunc::kMax:
+            t.push_back(acc.max.value_or(Value::Null()));
+            break;
+        }
+        out.tuples.push_back(std::move(t));
+      }
+      ChargeOutput(static_cast<int64_t>(out.tuples.size()));
+      return out;
+    }
+
+    case OpKind::kJoin:
+      return EvalJoin(op);
+
+    case OpKind::kUnion: {
+      DISCO_ASSIGN_OR_RETURN(Rel left, Eval(op.child(0)));
+      DISCO_ASSIGN_OR_RETURN(Rel right, Eval(op.child(1)));
+      if (left.columns.size() != right.columns.size()) {
+        return Status::ExecutionError("union inputs have different arity");
+      }
+      env_->clock.Advance(static_cast<double>(right.tuples.size()) *
+                          env_->params.ms_per_cmp);
+      Rel out = std::move(left);
+      for (Tuple& t : right.tuples) out.tuples.push_back(std::move(t));
+      if (!out.tuples.empty()) NoteFirstTuple();
+      return out;
+    }
+
+    case OpKind::kSubmit:
+    case OpKind::kBindJoin:
+      return Status::NotSupported(
+          "data sources do not execute mediator operators");
+  }
+  return Status::Internal("bad operator kind");
+}
+
+Result<Rel> SourceEngine::EvalAccessPath(
+    const Table& table, std::vector<algebra::SelectPredicate> preds) {
+  Rel out;
+  for (const AttributeDef& a : table.schema().attributes()) {
+    out.columns.push_back(a.name);
+  }
+
+  // Resolve predicate columns up front.
+  struct BoundPred {
+    int col;
+    CmpOp op;
+    Value value;
+  };
+  std::vector<BoundPred> bound;
+  for (const algebra::SelectPredicate& p : preds) {
+    std::optional<int> col = table.schema().AttributeIndex(p.attribute);
+    if (!col.has_value()) {
+      // Attribute names may arrive qualified; retry with the suffix.
+      size_t pos = p.attribute.rfind('.');
+      if (pos != std::string::npos) {
+        col = table.schema().AttributeIndex(p.attribute.substr(pos + 1));
+      }
+    }
+    if (!col.has_value()) {
+      return Status::NotFound("collection '" + table.name() +
+                              "' has no attribute '" + p.attribute + "'");
+    }
+    bound.push_back(BoundPred{*col, p.op, p.value});
+  }
+
+  // Pick an index predicate if allowed: first equality, else first range.
+  int index_pred = -1;
+  if (options_.allow_index) {
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i].op == CmpOp::kNe) continue;
+      std::string attr =
+          out.columns[static_cast<size_t>(bound[i].col)];
+      if (!table.HasIndex(attr)) continue;
+      if (preds[i].op == CmpOp::kEq) {
+        index_pred = static_cast<int>(i);
+        break;
+      }
+      if (index_pred < 0) index_pred = static_cast<int>(i);
+    }
+  }
+
+  auto passes_residual = [&](const Tuple& t, int skip) -> Result<bool> {
+    for (size_t i = 0; i < bound.size(); ++i) {
+      if (static_cast<int>(i) == skip) continue;
+      env_->clock.Advance(env_->params.ms_per_cmp);
+      DISCO_ASSIGN_OR_RETURN(
+          bool keep, algebra::EvalCmp(t[static_cast<size_t>(bound[i].col)],
+                                      bound[i].op, bound[i].value));
+      if (!keep) return false;
+    }
+    return true;
+  };
+
+  if (index_pred >= 0) {
+    const BoundPred& ip = bound[static_cast<size_t>(index_pred)];
+    const std::string& attr = out.columns[static_cast<size_t>(ip.col)];
+    DISCO_ASSIGN_OR_RETURN(const storage::BTree* index, table.Index(attr));
+    std::vector<storage::RID> rids;
+    storage::BTree::Bound b{ip.value, true};
+    switch (ip.op) {
+      case CmpOp::kEq: {
+        DISCO_ASSIGN_OR_RETURN(rids, index->SearchEq(ip.value));
+        break;
+      }
+      case CmpOp::kLt:
+        b.inclusive = false;
+        [[fallthrough]];
+      case CmpOp::kLe: {
+        DISCO_ASSIGN_OR_RETURN(rids, index->SearchRange(std::nullopt, b));
+        break;
+      }
+      case CmpOp::kGt:
+        b.inclusive = false;
+        [[fallthrough]];
+      case CmpOp::kGe: {
+        DISCO_ASSIGN_OR_RETURN(rids, index->SearchRange(b, std::nullopt));
+        break;
+      }
+      default:
+        return Status::Internal("bad index predicate");
+    }
+    if (options_.sort_rids_before_fetch) {
+      std::sort(rids.begin(), rids.end());
+    }
+    for (const storage::RID& rid : rids) {
+      DISCO_ASSIGN_OR_RETURN(Tuple t, table.Fetch(rid));
+      DISCO_ASSIGN_OR_RETURN(bool keep, passes_residual(t, index_pred));
+      if (keep) {
+        ChargeOutput(1);
+        out.tuples.push_back(std::move(t));
+      }
+    }
+    return out;
+  }
+
+  // Sequential scan with inline filtering.
+  Status inner = Status::OK();
+  DISCO_RETURN_NOT_OK(table.Scan([&](const storage::RID&, const Tuple& t) {
+    Result<bool> keep = passes_residual(t, -1);
+    if (!keep.ok()) {
+      inner = keep.status();
+      return false;
+    }
+    if (*keep) {
+      ChargeOutput(1);
+      out.tuples.push_back(t);
+    }
+    return true;
+  }));
+  DISCO_RETURN_NOT_OK(inner);
+  return out;
+}
+
+Result<Rel> SourceEngine::EvalJoin(const Operator& op) {
+  const algebra::JoinPredicate& pred = *op.join_pred;
+
+  // Index nested loop: right child is a bare scan with an index on the
+  // join attribute.
+  const Operator& right_op = op.child(1);
+  if (options_.allow_index && right_op.kind == OpKind::kScan) {
+    Result<Table*> rt = TableFor(right_op.collection);
+    if (rt.ok()) {
+      std::string right_attr = pred.right_attribute;
+      size_t pos = right_attr.rfind('.');
+      if (pos != std::string::npos &&
+          !(*rt)->schema().HasAttribute(right_attr)) {
+        right_attr = right_attr.substr(pos + 1);
+      }
+      if ((*rt)->HasIndex(right_attr)) {
+        DISCO_ASSIGN_OR_RETURN(Rel left, Eval(op.child(0)));
+        DISCO_ASSIGN_OR_RETURN(int lcol,
+                               left.ColumnIndex(pred.left_attribute));
+        DISCO_ASSIGN_OR_RETURN(const storage::BTree* index,
+                               (*rt)->Index(right_attr));
+        Rel out;
+        out.columns = left.columns;
+        for (const AttributeDef& a : (*rt)->schema().attributes()) {
+          out.columns.push_back(a.name);
+        }
+        for (const Tuple& lt : left.tuples) {
+          env_->clock.Advance(env_->params.ms_per_cmp);
+          DISCO_ASSIGN_OR_RETURN(
+              std::vector<storage::RID> rids,
+              index->SearchEq(lt[static_cast<size_t>(lcol)]));
+          for (const storage::RID& rid : rids) {
+            DISCO_ASSIGN_OR_RETURN(Tuple rtuple, (*rt)->Fetch(rid));
+            Tuple joined = lt;
+            joined.insert(joined.end(), rtuple.begin(), rtuple.end());
+            ChargeOutput(1);
+            out.tuples.push_back(std::move(joined));
+          }
+        }
+        return out;
+      }
+    }
+  }
+
+  DISCO_ASSIGN_OR_RETURN(Rel left, Eval(op.child(0)));
+  DISCO_ASSIGN_OR_RETURN(Rel right, Eval(op.child(1)));
+  DISCO_ASSIGN_OR_RETURN(int lcol, left.ColumnIndex(pred.left_attribute));
+  DISCO_ASSIGN_OR_RETURN(int rcol, right.ColumnIndex(pred.right_attribute));
+
+  Rel out;
+  out.columns = left.columns;
+  out.columns.insert(out.columns.end(), right.columns.begin(),
+                     right.columns.end());
+
+  const size_t ln = left.tuples.size(), rn = right.tuples.size();
+  if (std::min(ln, rn) < static_cast<size_t>(options_.nested_loop_threshold)) {
+    // Nested loops.
+    for (const Tuple& lt : left.tuples) {
+      for (const Tuple& rt : right.tuples) {
+        env_->clock.Advance(env_->params.ms_per_cmp);
+        if (lt[static_cast<size_t>(lcol)] == rt[static_cast<size_t>(rcol)]) {
+          Tuple joined = lt;
+          joined.insert(joined.end(), rt.begin(), rt.end());
+          ChargeOutput(1);
+          out.tuples.push_back(std::move(joined));
+        }
+      }
+    }
+    return out;
+  }
+
+  // Sort-merge.
+  DISCO_ASSIGN_OR_RETURN(left, SortRel(std::move(left), lcol, true));
+  DISCO_ASSIGN_OR_RETURN(right, SortRel(std::move(right), rcol, true));
+  size_t i = 0, j = 0;
+  while (i < left.tuples.size() && j < right.tuples.size()) {
+    env_->clock.Advance(env_->params.ms_per_cmp);
+    DISCO_ASSIGN_OR_RETURN(
+        int c, left.tuples[i][static_cast<size_t>(lcol)].Compare(
+                   right.tuples[j][static_cast<size_t>(rcol)]));
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      // Emit the cross product of the equal runs.
+      size_t j2 = j;
+      while (j2 < right.tuples.size()) {
+        DISCO_ASSIGN_OR_RETURN(
+            int c2, left.tuples[i][static_cast<size_t>(lcol)].Compare(
+                        right.tuples[j2][static_cast<size_t>(rcol)]));
+        if (c2 != 0) break;
+        Tuple joined = left.tuples[i];
+        joined.insert(joined.end(), right.tuples[j2].begin(),
+                      right.tuples[j2].end());
+        ChargeOutput(1);
+        out.tuples.push_back(std::move(joined));
+        ++j2;
+      }
+      ++i;
+    }
+  }
+  return out;
+}
+
+Result<Rel> SourceEngine::SortRel(Rel rel, int column, bool ascending) {
+  env_->clock.Advance(static_cast<double>(rel.tuples.size()) *
+                      Log2N(rel.tuples.size()) * env_->params.ms_per_cmp);
+  MarkBlockingBarrier();
+  Status status = Status::OK();
+  std::stable_sort(
+      rel.tuples.begin(), rel.tuples.end(),
+      [&](const Tuple& a, const Tuple& b) {
+        Result<int> c = a[static_cast<size_t>(column)].Compare(
+            b[static_cast<size_t>(column)]);
+        if (!c.ok()) {
+          if (status.ok()) status = c.status();
+          return false;
+        }
+        return ascending ? *c < 0 : *c > 0;
+      });
+  DISCO_RETURN_NOT_OK(status);
+  return rel;
+}
+
+}  // namespace sources
+}  // namespace disco

@@ -1,0 +1,84 @@
+// SourceEngine: executes algebraic subqueries against a set of tables,
+// charging the simulated clock for page I/O (through the buffer pool),
+// per-comparison CPU and per-object output work.
+
+#ifndef DISCO_SOURCES_SOURCE_ENGINE_H_
+#define DISCO_SOURCES_SOURCE_ENGINE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace disco {
+namespace sources {
+
+struct EngineOptions {
+  /// Use indexes for selections/joins when available (file sources: no).
+  bool allow_index = true;
+  /// Sort rids by page before fetching after an index lookup (relational
+  /// behaviour); object databases chase references in key order instead.
+  bool sort_rids_before_fetch = false;
+  /// Inputs smaller than this use nested loops instead of sort-merge.
+  int nested_loop_threshold = 64;
+};
+
+/// A materialized intermediate result.
+struct Rel {
+  std::vector<std::string> columns;
+  std::vector<storage::Tuple> tuples;
+
+  /// Column index for `name`: exact, then case-insensitive, then by
+  /// unqualified suffix. NotFound if absent or ambiguous rules find none.
+  Result<int> ColumnIndex(const std::string& name) const;
+};
+
+/// What a source reports back for one executed subquery.
+struct ExecutionResult {
+  std::vector<std::string> columns;
+  std::vector<storage::Tuple> tuples;
+  double total_ms = 0;        ///< simulated wall time of the subquery
+  double first_tuple_ms = 0;  ///< time until the first result tuple
+  int64_t pages_read = 0;     ///< buffer-pool misses during execution
+  int64_t objects_produced = 0;
+};
+
+class SourceEngine {
+ public:
+  SourceEngine(storage::StorageEnv* env,
+               std::map<std::string, storage::Table*> tables,
+               EngineOptions options);
+
+  /// Executes `plan` (no submit nodes). Charges startup, then evaluates.
+  Result<ExecutionResult> Execute(const algebra::Operator& plan);
+
+ private:
+  Result<Rel> Eval(const algebra::Operator& op);
+  Result<Rel> EvalAccessPath(const storage::Table& table,
+                             std::vector<algebra::SelectPredicate> preds);
+  Result<Rel> EvalJoin(const algebra::Operator& op);
+  Result<Rel> SortRel(Rel rel, int column, bool ascending);
+  Result<storage::Table*> TableFor(const std::string& collection) const;
+
+  void ChargeOutput(int64_t n);
+  void NoteFirstTuple();
+  /// Blocking operators (sort, dedup, aggregate, merge) deliver their
+  /// first tuple only once the barrier completes: reset the first-tuple
+  /// mark to "now".
+  void MarkBlockingBarrier();
+
+  storage::StorageEnv* env_;
+  std::map<std::string, storage::Table*> tables_;
+  EngineOptions options_;
+  std::optional<double> first_tuple_at_;
+  int64_t objects_produced_ = 0;
+};
+
+}  // namespace sources
+}  // namespace disco
+
+#endif  // DISCO_SOURCES_SOURCE_ENGINE_H_

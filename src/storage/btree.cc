@@ -1,0 +1,199 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace disco {
+namespace storage {
+
+struct BTree::Node {
+  bool leaf = true;
+  uint32_t page_no = 0;
+  std::vector<Value> keys;
+  std::vector<std::unique_ptr<Node>> children;  // internal: keys.size()+1
+  std::vector<RID> rids;                        // leaf: parallel to keys
+  Node* next = nullptr;                         // leaf chain
+};
+
+BTree::BTree(BufferPool* pool, uint32_t file_id, int fanout)
+    : pool_(pool), file_id_(file_id), fanout_(fanout) {
+  DISCO_CHECK(fanout_ >= 4) << "fanout too small";
+  root_ = std::make_unique<Node>();
+  root_->page_no = next_page_no_++;
+  first_leaf_ = root_.get();
+}
+
+BTree::~BTree() = default;
+
+Result<int> BTree::Cmp(const Value& a, const Value& b) const {
+  Result<int> c = a.Compare(b);
+  if (!c.ok()) {
+    return Status::InvalidArgument("index key types are incomparable: " +
+                                   a.ToString() + " vs " + b.ToString());
+  }
+  return c;
+}
+
+void BTree::TouchNode(const Node& n) const {
+  pool_->Touch(BufferPool::Key(file_id_, n.page_no));
+}
+
+std::pair<Value, std::unique_ptr<BTree::Node>> BTree::Split(Node* node) {
+  auto right = std::make_unique<Node>();
+  right->leaf = node->leaf;
+  right->page_no = next_page_no_++;
+  ++num_nodes_;
+
+  const size_t mid = node->keys.size() / 2;
+  Value separator = node->keys[mid];
+
+  if (node->leaf) {
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + static_cast<long>(mid)),
+                       std::make_move_iterator(node->keys.end()));
+    right->rids.assign(node->rids.begin() + static_cast<long>(mid),
+                       node->rids.end());
+    node->keys.resize(mid);
+    node->rids.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    // Leaf split: the separator is the first key of the right node.
+    separator = right->keys.front();
+  } else {
+    // Internal split: the separator moves up and is removed here.
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + static_cast<long>(mid) + 1),
+                       std::make_move_iterator(node->keys.end()));
+    for (size_t i = mid + 1; i < node->children.size(); ++i) {
+      right->children.push_back(std::move(node->children[i]));
+    }
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+  }
+  return {std::move(separator), std::move(right)};
+}
+
+Status BTree::Insert(const Value& key, const RID& rid) {
+  // Iterative descent with a parent stack, splitting on the way back up.
+  struct PathEntry {
+    Node* node;
+    size_t child_idx;
+  };
+  std::vector<PathEntry> path;
+  Node* cur = root_.get();
+  while (!cur->leaf) {
+    TouchNode(*cur);
+    size_t i = 0;
+    while (i < cur->keys.size()) {
+      DISCO_ASSIGN_OR_RETURN(int c, Cmp(key, cur->keys[i]));
+      if (c < 0) break;
+      ++i;
+    }
+    path.push_back({cur, i});
+    cur = cur->children[i].get();
+  }
+  TouchNode(*cur);
+
+  // Insert into the leaf at the upper bound (duplicates append after).
+  size_t pos = 0;
+  while (pos < cur->keys.size()) {
+    DISCO_ASSIGN_OR_RETURN(int c, Cmp(key, cur->keys[pos]));
+    if (c < 0) break;
+    ++pos;
+  }
+  cur->keys.insert(cur->keys.begin() + static_cast<long>(pos), key);
+  cur->rids.insert(cur->rids.begin() + static_cast<long>(pos), rid);
+  ++num_entries_;
+
+  // Split upward while nodes overflow.
+  Node* node = cur;
+  while (node->keys.size() > static_cast<size_t>(fanout_)) {
+    auto [separator, right] = Split(node);
+    if (path.empty()) {
+      // Root split: grow the tree.
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      new_root->page_no = next_page_no_++;
+      ++num_nodes_;
+      new_root->keys.push_back(std::move(separator));
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(right));
+      root_ = std::move(new_root);
+      ++height_;
+      return Status::OK();
+    }
+    PathEntry parent = path.back();
+    path.pop_back();
+    parent.node->keys.insert(
+        parent.node->keys.begin() + static_cast<long>(parent.child_idx),
+        std::move(separator));
+    parent.node->children.insert(
+        parent.node->children.begin() + static_cast<long>(parent.child_idx) + 1,
+        std::move(right));
+    node = parent.node;
+  }
+  return Status::OK();
+}
+
+Result<BTree::Node*> BTree::FindLeaf(const Value& key) const {
+  // Searches descend LEFT on separator equality: duplicates of a key may
+  // straddle a split (both sides of the separator), and range scans walk
+  // the leaf chain rightward from the leftmost candidate.
+  Node* cur = root_.get();
+  while (!cur->leaf) {
+    TouchNode(*cur);
+    size_t i = 0;
+    while (i < cur->keys.size()) {
+      DISCO_ASSIGN_OR_RETURN(int c, Cmp(key, cur->keys[i]));
+      if (c <= 0) break;
+      ++i;
+    }
+    cur = cur->children[i].get();
+  }
+  TouchNode(*cur);
+  return cur;
+}
+
+Result<std::vector<RID>> BTree::SearchEq(const Value& key) const {
+  Bound b{key, true};
+  return SearchRange(b, b);
+}
+
+Result<std::vector<RID>> BTree::SearchRange(
+    const std::optional<Bound>& lo, const std::optional<Bound>& hi) const {
+  std::vector<RID> out;
+  Node* leaf;
+  if (lo.has_value()) {
+    DISCO_ASSIGN_OR_RETURN(leaf, FindLeaf(lo->value));
+  } else {
+    leaf = first_leaf_;
+    // Charge the descent to the leftmost leaf.
+    Node* cur = root_.get();
+    while (true) {
+      TouchNode(*cur);
+      if (cur->leaf) break;
+      cur = cur->children.front().get();
+    }
+  }
+  bool first_leaf_visit = true;
+  while (leaf != nullptr) {
+    if (!first_leaf_visit) TouchNode(*leaf);
+    first_leaf_visit = false;
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      const Value& k = leaf->keys[i];
+      if (lo.has_value()) {
+        DISCO_ASSIGN_OR_RETURN(int c, Cmp(k, lo->value));
+        if (c < 0 || (c == 0 && !lo->inclusive)) continue;
+      }
+      if (hi.has_value()) {
+        DISCO_ASSIGN_OR_RETURN(int c, Cmp(k, hi->value));
+        if (c > 0 || (c == 0 && !hi->inclusive)) return out;
+      }
+      out.push_back(leaf->rids[i]);
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+}  // namespace storage
+}  // namespace disco

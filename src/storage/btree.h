@@ -1,0 +1,77 @@
+// B+-tree index over a single attribute, mapping Values to record ids.
+//
+// Nodes are page-granular for simulated-I/O purposes: every node visited
+// during a descent or leaf-chain scan is touched through the buffer pool.
+// Duplicate keys are supported (secondary indexes).
+
+#ifndef DISCO_STORAGE_BTREE_H_
+#define DISCO_STORAGE_BTREE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace disco {
+namespace storage {
+
+class BTree {
+ public:
+  /// `fanout` is the max keys per node (split threshold). The default
+  /// approximates 4 KiB pages of ~16-byte entries.
+  BTree(BufferPool* pool, uint32_t file_id, int fanout = 128);
+  ~BTree();
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  Status Insert(const Value& key, const RID& rid);
+
+  /// All record ids with key == `key`.
+  Result<std::vector<RID>> SearchEq(const Value& key) const;
+
+  struct Bound {
+    Value value;
+    bool inclusive = true;
+  };
+
+  /// Record ids with keys in the given (possibly half-open) range, in key
+  /// order. Unset bounds are unbounded.
+  Result<std::vector<RID>> SearchRange(const std::optional<Bound>& lo,
+                                       const std::optional<Bound>& hi) const;
+
+  int64_t num_entries() const { return num_entries_; }
+  int height() const { return height_; }
+  int64_t num_nodes() const { return num_nodes_; }
+
+ private:
+  struct Node;
+
+  Result<int> Cmp(const Value& a, const Value& b) const;
+  void TouchNode(const Node& n) const;
+
+  /// Descends to the leaf that would contain `key`, touching nodes.
+  Result<Node*> FindLeaf(const Value& key) const;
+
+  /// Splits `node` (full) into two; returns the separator key and the
+  /// new right sibling.
+  std::pair<Value, std::unique_ptr<Node>> Split(Node* node);
+
+  BufferPool* pool_;
+  uint32_t file_id_;
+  int fanout_;
+  std::unique_ptr<Node> root_;
+  Node* first_leaf_ = nullptr;
+  int64_t num_entries_ = 0;
+  int height_ = 1;
+  int64_t num_nodes_ = 1;
+  uint32_t next_page_no_ = 0;
+};
+
+}  // namespace storage
+}  // namespace disco
+
+#endif  // DISCO_STORAGE_BTREE_H_

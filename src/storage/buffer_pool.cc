@@ -1,0 +1,37 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace disco {
+namespace storage {
+
+BufferPool::BufferPool(SimClock* clock, size_t capacity, double ms_per_read)
+    : clock_(clock), capacity_(capacity), ms_per_read_(ms_per_read) {
+  DISCO_CHECK(capacity_ > 0) << "buffer pool needs capacity";
+}
+
+void BufferPool::Touch(uint64_t page_key) {
+  auto it = map_.find(page_key);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++misses_;
+  clock_->Advance(ms_per_read_);
+  lru_.push_front(page_key);
+  map_[page_key] = lru_.begin();
+  if (map_.size() > capacity_) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace storage
+}  // namespace disco

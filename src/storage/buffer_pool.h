@@ -1,0 +1,58 @@
+// Buffer pool: an LRU cache of page *keys* that charges the simulated
+// clock for misses.
+//
+// Page contents stay memory-resident in their owning files; what the
+// pool simulates is the I/O timing and locality behaviour -- exactly the
+// effect Yao's formula models and the calibrated linear formula misses
+// (paper Section 5).
+
+#ifndef DISCO_STORAGE_BUFFER_POOL_H_
+#define DISCO_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/sim_clock.h"
+
+namespace disco {
+namespace storage {
+
+class BufferPool {
+ public:
+  /// `capacity` in pages; `ms_per_read` charged to `clock` per miss.
+  BufferPool(SimClock* clock, size_t capacity, double ms_per_read);
+
+  /// Declares an access to `page_key`. A miss charges one page read and
+  /// may evict the least recently used entry.
+  void Touch(uint64_t page_key);
+
+  /// Drops everything (e.g. between experiment runs).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  size_t resident() const { return map_.size(); }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+  /// Builds a page key from a file id and page number.
+  static uint64_t Key(uint32_t file_id, uint32_t page) {
+    return (static_cast<uint64_t>(file_id) << 32) | page;
+  }
+
+ private:
+  SimClock* clock_;
+  size_t capacity_;
+  double ms_per_read_;
+  std::list<uint64_t> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace storage
+}  // namespace disco
+
+#endif  // DISCO_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,51 @@
+#include "storage/heap_file.h"
+
+#include "common/logging.h"
+
+namespace disco {
+namespace storage {
+
+HeapFile::HeapFile(BufferPool* pool, uint32_t file_id, HeapFileOptions options)
+    : pool_(pool), file_id_(file_id), options_(options) {
+  DISCO_CHECK(options_.fill_factor > 0 && options_.fill_factor <= 1.0)
+      << "bad fill factor " << options_.fill_factor;
+}
+
+uint32_t HeapFile::usable_bytes() const {
+  return static_cast<uint32_t>(options_.page_size * options_.fill_factor);
+}
+
+Result<RID> HeapFile::Insert(std::span<const uint8_t> record) {
+  const uint32_t needed = Page::SpaceNeeded(static_cast<uint32_t>(record.size()));
+  bool new_page = pages_.empty();
+  if (!new_page) {
+    const Page& tail = pages_.back();
+    const uint32_t used = options_.page_size - tail.free_space();
+    if (used + needed > usable_bytes()) new_page = true;
+    if (options_.max_records_per_page > 0 &&
+        tail.num_records() >= options_.max_records_per_page) {
+      new_page = true;
+    }
+  }
+  if (new_page) pages_.emplace_back(options_.page_size);
+
+  const PageId pid = static_cast<PageId>(pages_.size() - 1);
+  pool_->Touch(BufferPool::Key(file_id_, pid));
+  DISCO_ASSIGN_OR_RETURN(uint16_t slot, pages_.back().Insert(record));
+  ++num_records_;
+  data_bytes_ += static_cast<int64_t>(record.size());
+  return RID{pid, slot};
+}
+
+Result<std::vector<uint8_t>> HeapFile::Get(const RID& rid) const {
+  if (rid.page >= pages_.size()) {
+    return Status::OutOfRange("page out of range");
+  }
+  pool_->Touch(BufferPool::Key(file_id_, rid.page));
+  DISCO_ASSIGN_OR_RETURN(std::span<const uint8_t> rec,
+                         pages_[rid.page].Get(rid.slot));
+  return std::vector<uint8_t>(rec.begin(), rec.end());
+}
+
+}  // namespace storage
+}  // namespace disco

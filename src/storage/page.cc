@@ -1,0 +1,70 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace disco {
+namespace storage {
+
+Page::Page(uint32_t page_size) : bytes_(page_size, 0) {
+  DISCO_CHECK(page_size >= kHeaderSize + kSlotSize)
+      << "page size " << page_size << " too small";
+  WriteU16(0, 0);            // num_slots
+  WriteU16(2, kHeaderSize);  // free_offset
+}
+
+uint16_t Page::ReadU16(uint32_t offset) const {
+  uint16_t v;
+  std::memcpy(&v, bytes_.data() + offset, 2);
+  return v;
+}
+
+void Page::WriteU16(uint32_t offset, uint16_t v) {
+  std::memcpy(bytes_.data() + offset, &v, 2);
+}
+
+int Page::num_records() const { return ReadU16(0); }
+
+uint32_t Page::free_space() const {
+  uint32_t slots_end =
+      page_size() - static_cast<uint32_t>(num_records()) * kSlotSize;
+  uint32_t data_end = ReadU16(2);
+  return slots_end > data_end ? slots_end - data_end : 0;
+}
+
+Result<uint16_t> Page::Insert(std::span<const uint8_t> record) {
+  const uint32_t len = static_cast<uint32_t>(record.size());
+  if (len > 0xFFFF) {
+    return Status::InvalidArgument("record larger than 64 KiB");
+  }
+  if (SpaceNeeded(len) > free_space()) {
+    return Status::OutOfRange("page full");
+  }
+  const uint16_t slot = static_cast<uint16_t>(num_records());
+  const uint16_t offset = ReadU16(2);
+  if (len > 0) std::memcpy(bytes_.data() + offset, record.data(), len);
+  // Slot directory entry, from the end of the page.
+  const uint32_t slot_pos = page_size() - (static_cast<uint32_t>(slot) + 1) * kSlotSize;
+  WriteU16(slot_pos, offset);
+  WriteU16(slot_pos + 2, static_cast<uint16_t>(len));
+  WriteU16(0, static_cast<uint16_t>(slot + 1));
+  WriteU16(2, static_cast<uint16_t>(offset + len));
+  return slot;
+}
+
+Result<std::span<const uint8_t>> Page::Get(uint16_t slot) const {
+  if (slot >= num_records()) {
+    return Status::OutOfRange(
+        StringPrintf("slot %u out of range (page has %d records)", slot,
+                     num_records()));
+  }
+  const uint32_t slot_pos = page_size() - (static_cast<uint32_t>(slot) + 1) * kSlotSize;
+  const uint16_t offset = ReadU16(slot_pos);
+  const uint16_t len = ReadU16(slot_pos + 2);
+  return std::span<const uint8_t>(bytes_.data() + offset, len);
+}
+
+}  // namespace storage
+}  // namespace disco

@@ -1,0 +1,68 @@
+// Slotted pages: the byte-level unit of the simulated storage engine.
+//
+// Layout (little-endian):
+//   [0..2)  uint16 num_slots
+//   [2..4)  uint16 free_offset (first free byte for record data)
+//   records grow upward from offset 4;
+//   the slot directory grows downward from the end of the page, one
+//   4-byte entry per slot: uint16 offset, uint16 length.
+
+#ifndef DISCO_STORAGE_PAGE_H_
+#define DISCO_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace disco {
+namespace storage {
+
+using PageId = uint32_t;
+
+/// Record identifier: page number within a heap file plus slot index.
+struct RID {
+  PageId page = 0;
+  uint16_t slot = 0;
+
+  bool operator==(const RID& o) const {
+    return page == o.page && slot == o.slot;
+  }
+  bool operator<(const RID& o) const {
+    if (page != o.page) return page < o.page;
+    return slot < o.slot;
+  }
+};
+
+class Page {
+ public:
+  static constexpr uint32_t kHeaderSize = 4;
+  static constexpr uint32_t kSlotSize = 4;
+
+  explicit Page(uint32_t page_size);
+
+  /// Bytes a record of length `len` consumes when inserted (data + slot).
+  static uint32_t SpaceNeeded(uint32_t len) { return len + kSlotSize; }
+
+  uint32_t free_space() const;
+  int num_records() const;
+  uint32_t page_size() const { return static_cast<uint32_t>(bytes_.size()); }
+
+  /// Appends a record; OutOfRange if it does not fit.
+  Result<uint16_t> Insert(std::span<const uint8_t> record);
+
+  /// Read-only view of a record; OutOfRange for bad slots.
+  Result<std::span<const uint8_t>> Get(uint16_t slot) const;
+
+ private:
+  uint16_t ReadU16(uint32_t offset) const;
+  void WriteU16(uint32_t offset, uint16_t v);
+
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace storage
+}  // namespace disco
+
+#endif  // DISCO_STORAGE_PAGE_H_

@@ -1,0 +1,111 @@
+// Tables: schema-typed collections over heap files with optional B+-tree
+// indexes, plus the statistics computation wrappers export at
+// registration.
+
+#ifndef DISCO_STORAGE_TABLE_H_
+#define DISCO_STORAGE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/statistics.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/sim_clock.h"
+
+namespace disco {
+namespace storage {
+
+/// A tuple is one Value per schema attribute, in schema order.
+using Tuple = std::vector<Value>;
+
+/// Shared simulation context of one data source: its clock, timing
+/// constants, and buffer pool.
+struct StorageEnv {
+  SimClock clock;
+  SourceCostParams params;
+  BufferPool pool;
+
+  explicit StorageEnv(size_t pool_pages = 4096,
+                      SourceCostParams p = SourceCostParams())
+      : params(p), pool(&clock, pool_pages, p.ms_per_page_read) {}
+
+  uint32_t NextFileId() { return next_file_id_++; }
+
+ private:
+  uint32_t next_file_id_ = 0;
+};
+
+struct TableOptions {
+  HeapFileOptions heap;
+};
+
+class Table {
+ public:
+  Table(CollectionSchema schema, StorageEnv* env, TableOptions options = {});
+
+  const std::string& name() const { return schema_.name(); }
+  const CollectionSchema& schema() const { return schema_; }
+  const HeapFile& heap() const { return heap_; }
+  StorageEnv* env() const { return env_; }
+
+  /// Appends a tuple (checked against the schema).
+  Status Insert(const Tuple& tuple);
+
+  /// Builds a B+-tree on `attribute` over the existing rows. `clustered`
+  /// declares (does not enforce) that the heap is ordered on the
+  /// attribute; it is exported in the statistics.
+  Status CreateIndex(const std::string& attribute, bool clustered = false);
+
+  bool HasIndex(const std::string& attribute) const;
+  /// The index on `attribute`; NotFound if absent.
+  Result<const BTree*> Index(const std::string& attribute) const;
+
+  /// Reads one tuple by rid (touches its page).
+  Result<Tuple> Fetch(const RID& rid) const;
+
+  /// Calls `fn(rid, tuple)` for each tuple in page order; `fn` returning
+  /// false stops.
+  template <typename Fn>
+  Status Scan(Fn&& fn) const {
+    Status inner = Status::OK();
+    DISCO_RETURN_NOT_OK(heap_.ForEach(
+        [&](const RID& rid, std::span<const uint8_t> rec) {
+          Result<Tuple> t = Deserialize(rec);
+          if (!t.ok()) {
+            inner = t.status();
+            return false;
+          }
+          return fn(rid, *t);
+        }));
+    return inner;
+  }
+
+  /// Computes the registration-time statistics (extent + per-attribute,
+  /// optionally with equi-depth histograms). Runs unmetered.
+  Result<CollectionStats> ComputeStats(int histogram_buckets = 0) const;
+
+  /// Serialized size in bytes of `tuple` under this schema.
+  Result<int64_t> SerializedSize(const Tuple& tuple) const;
+
+ private:
+  Result<std::vector<uint8_t>> Serialize(const Tuple& tuple) const;
+  Result<Tuple> Deserialize(std::span<const uint8_t> bytes) const;
+
+  CollectionSchema schema_;
+  StorageEnv* env_;
+  HeapFile heap_;
+  std::map<std::string, std::unique_ptr<BTree>> indexes_;
+  std::map<std::string, bool> clustered_;
+};
+
+}  // namespace storage
+}  // namespace disco
+
+#endif  // DISCO_STORAGE_TABLE_H_

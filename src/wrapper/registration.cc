@@ -1,0 +1,109 @@
+#include "wrapper/registration.h"
+
+#include "costlang/compiler.h"
+#include "idl/idl_parser.h"
+
+namespace disco {
+namespace wrapper {
+
+namespace {
+
+/// Runs the fallible registration body; the caller rolls back the
+/// catalog if it fails (the source was already declared there).
+Result<RegistrationReport> RegisterWrapperImpl(
+    Wrapper* w, const std::vector<idl::InterfaceDef>& interfaces,
+    Catalog* catalog, costmodel::RuleRegistry* registry,
+    optimizer::CapabilityTable* caps);
+
+}  // namespace
+
+Result<RegistrationReport> RegisterWrapper(Wrapper* w, Catalog* catalog,
+                                           costmodel::RuleRegistry* registry,
+                                           optimizer::CapabilityTable* caps) {
+  // Step 1a/2a: pull and parse the interface definitions.
+  DISCO_ASSIGN_OR_RETURN(
+      std::vector<idl::InterfaceDef> interfaces,
+      idl::ParseModule(w->ExportInterfaces()));
+  if (interfaces.empty()) {
+    return Status::InvalidArgument("wrapper '" + w->name() +
+                                   "' exports no interfaces");
+  }
+
+  DISCO_RETURN_NOT_OK(catalog->RegisterSource(w->name()));
+  Result<RegistrationReport> report =
+      RegisterWrapperImpl(w, interfaces, catalog, registry, caps);
+  if (!report.ok()) {
+    // A failed registration leaves no trace: the paper's mediator either
+    // has a usable wrapper or none.
+    (void)catalog->RemoveSource(w->name());
+    registry->RemoveWrapperRules(w->name());
+  }
+  return report;
+}
+
+namespace {
+
+Result<RegistrationReport> RegisterWrapperImpl(
+    Wrapper* w, const std::vector<idl::InterfaceDef>& interfaces,
+    Catalog* catalog, costmodel::RuleRegistry* registry,
+    optimizer::CapabilityTable* caps) {
+  RegistrationReport report;
+
+  costlang::CompileSchema compile_schema;
+  for (const idl::InterfaceDef& def : interfaces) {
+    CollectionStats stats;
+    if (def.declares_extent_stats || def.declares_attribute_stats) {
+      Result<CollectionStats> exported =
+          w->ExportStatistics(def.schema.name());
+      if (exported.ok()) {
+        stats = std::move(*exported);
+        report.statistics_exported = true;
+        if (!def.declares_attribute_stats) stats.attributes.clear();
+        if (!def.declares_extent_stats) stats.extent = ExtentStats{};
+      } else if (!exported.status().IsNotSupported()) {
+        return exported.status().WithContext("statistics of '" +
+                                             def.schema.name() + "'");
+      }
+    }
+    std::vector<std::string> attr_names;
+    for (const AttributeDef& a : def.schema.attributes()) {
+      attr_names.push_back(a.name);
+    }
+    compile_schema.AddCollection(def.schema.name(), attr_names);
+    DISCO_RETURN_NOT_OK(
+        catalog->RegisterCollection(w->name(), def.schema, std::move(stats)));
+    ++report.collections;
+  }
+
+  // Cost rules compile against the wrapper's own schema (names the
+  // schema knows are literals; everything else is a free variable).
+  const std::string rule_text = w->ExportCostRules();
+  if (!rule_text.empty()) {
+    DISCO_ASSIGN_OR_RETURN(
+        costlang::CompiledRuleSet rules,
+        costlang::CompileRuleText(rule_text, compile_schema));
+    report.cost_rules = static_cast<int>(rules.rules.size());
+    DISCO_RETURN_NOT_OK(
+        registry->AddWrapperRules(w->name(), std::move(rules)));
+  }
+
+  caps->Set(w->name(), w->ExportCapabilities());
+  return report;
+}
+
+}  // namespace
+
+Status RefreshStatistics(Wrapper* w, Catalog* catalog) {
+  for (const std::string& collection : catalog->CollectionsOf(w->name())) {
+    Result<CollectionStats> stats = w->ExportStatistics(collection);
+    if (!stats.ok()) {
+      if (stats.status().IsNotSupported()) continue;
+      return stats.status();
+    }
+    DISCO_RETURN_NOT_OK(catalog->UpdateStats(collection, std::move(*stats)));
+  }
+  return Status::OK();
+}
+
+}  // namespace wrapper
+}  // namespace disco

@@ -1,0 +1,40 @@
+// The registration phase (paper Section 2.1, Figure 1): the mediator
+// calls a wrapper, uploads its schema / capabilities / statistics / cost
+// rules, compiles the rules, and stores everything in the catalog and
+// the rule registry.
+
+#ifndef DISCO_WRAPPER_REGISTRATION_H_
+#define DISCO_WRAPPER_REGISTRATION_H_
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "costmodel/registry.h"
+#include "optimizer/capabilities.h"
+#include "wrapper/wrapper.h"
+
+namespace disco {
+namespace wrapper {
+
+struct RegistrationReport {
+  int collections = 0;
+  int cost_rules = 0;
+  bool statistics_exported = false;
+};
+
+/// Registers `w`: parses its IDL, pulls statistics for collections that
+/// declare cardinality methods, compiles its cost rules against its own
+/// schema, and installs everything. Collections without exported
+/// statistics get empty stats (the generic model then falls back to its
+/// standard values).
+Result<RegistrationReport> RegisterWrapper(Wrapper* w, Catalog* catalog,
+                                           costmodel::RuleRegistry* registry,
+                                           optimizer::CapabilityTable* caps);
+
+/// Re-registration (paper: "when ... the statistics become out of date"):
+/// refreshes the catalog statistics of all of `w`'s collections.
+Status RefreshStatistics(Wrapper* w, Catalog* catalog);
+
+}  // namespace wrapper
+}  // namespace disco
+
+#endif  // DISCO_WRAPPER_REGISTRATION_H_

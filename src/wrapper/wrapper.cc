@@ -1,0 +1,65 @@
+#include "wrapper/wrapper.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace wrapper {
+
+SimulatedWrapper::SimulatedWrapper(std::unique_ptr<sources::DataSource> source,
+                                   Options options)
+    : source_(std::move(source)), options_(std::move(options)) {}
+
+const std::string& SimulatedWrapper::name() const { return source_->name(); }
+
+std::string SimulatedWrapper::ExportInterfaces() const {
+  std::string out;
+  for (const storage::Table* table : source_->tables()) {
+    const CollectionSchema& schema = table->schema();
+    out += "interface " + schema.name() + " {\n";
+    for (const AttributeDef& a : schema.attributes()) {
+      out += StringPrintf("  attribute %s %s;\n", AttrTypeToString(a.type),
+                          a.name.c_str());
+    }
+    if (options_.export_statistics) {
+      out +=
+          "  cardinality extent(out long CountObject, out long TotalSize,\n"
+          "                     out long ObjectSize);\n"
+          "  cardinality attribute(in String AttributeName,\n"
+          "                        out Boolean Indexed,\n"
+          "                        out Long CountDistinct,\n"
+          "                        out Constant Min, out Constant Max);\n";
+    }
+    out += "}\n\n";
+  }
+  return out;
+}
+
+Result<CollectionStats> SimulatedWrapper::ExportStatistics(
+    const std::string& collection) const {
+  if (!options_.export_statistics) {
+    return Status::NotSupported("wrapper '" + name() +
+                                "' exports no statistics");
+  }
+  const storage::Table* table = source_->table(collection);
+  if (table == nullptr) {
+    return Status::NotFound("wrapper '" + name() + "' has no collection '" +
+                            collection + "'");
+  }
+  return table->ComputeStats(options_.histogram_buckets);
+}
+
+std::string SimulatedWrapper::ExportCostRules() const {
+  return options_.cost_rules;
+}
+
+optimizer::SourceCapabilities SimulatedWrapper::ExportCapabilities() const {
+  return options_.capabilities;
+}
+
+Result<sources::ExecutionResult> SimulatedWrapper::Execute(
+    const algebra::Operator& subplan) {
+  return source_->Execute(subplan);
+}
+
+}  // namespace wrapper
+}  // namespace disco

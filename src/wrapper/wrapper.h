@@ -1,0 +1,94 @@
+// The wrapper interface: what a data source exposes to the mediator at
+// registration (schema as extended IDL, statistics, cost rules,
+// capabilities) and at query time (Execute).
+//
+// This mirrors the paper's Figures 1 and 2: during registration the
+// mediator calls the wrapper and uploads "the schema of the wrapper,
+// capabilities of the wrapper, ... and cost information"; during query
+// processing it submits algebraic subqueries and receives subanswers.
+
+#ifndef DISCO_WRAPPER_WRAPPER_H_
+#define DISCO_WRAPPER_WRAPPER_H_
+
+#include <memory>
+#include <string>
+
+#include "algebra/operator.h"
+#include "catalog/statistics.h"
+#include "common/result.h"
+#include "optimizer/capabilities.h"
+#include "sources/data_source.h"
+
+namespace disco {
+namespace wrapper {
+
+class Wrapper {
+ public:
+  virtual ~Wrapper() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Extended-IDL text describing the wrapper's collections (Figures
+  /// 3-5), including the `cardinality` declarations for collections that
+  /// export statistics.
+  virtual std::string ExportInterfaces() const = 0;
+
+  /// The statistics behind a collection's cardinality methods.
+  virtual Result<CollectionStats> ExportStatistics(
+      const std::string& collection) const = 0;
+
+  /// Cost-rule text in the Figure 9 language; empty = the wrapper exports
+  /// no cost information (the mediator's generic model covers it).
+  virtual std::string ExportCostRules() const = 0;
+
+  virtual optimizer::SourceCapabilities ExportCapabilities() const = 0;
+
+  /// Executes a submitted subquery (no submit nodes inside).
+  virtual Result<sources::ExecutionResult> Execute(
+      const algebra::Operator& subplan) = 0;
+};
+
+/// A wrapper over a simulated DataSource. The IDL text is generated from
+/// the source's table schemas; statistics are computed from the data.
+/// What *cost* information it exports -- nothing, partial wrapper-scope
+/// rules, or detailed predicate-scope rules -- is configured per
+/// instance, which is exactly the spectrum the paper's framework covers.
+class SimulatedWrapper : public Wrapper {
+ public:
+  struct Options {
+    std::string cost_rules;  ///< exported rule text ("" = none)
+    optimizer::SourceCapabilities capabilities;
+    /// Equi-depth histogram buckets to export per attribute (0 = none).
+    int histogram_buckets = 0;
+    /// Export the `cardinality` sections at all? (false simulates a
+    /// source that reports no statistics.)
+    bool export_statistics = true;
+  };
+
+  SimulatedWrapper(std::unique_ptr<sources::DataSource> source,
+                   Options options);
+
+  const std::string& name() const override;
+  std::string ExportInterfaces() const override;
+  Result<CollectionStats> ExportStatistics(
+      const std::string& collection) const override;
+  std::string ExportCostRules() const override;
+  optimizer::SourceCapabilities ExportCapabilities() const override;
+  Result<sources::ExecutionResult> Execute(
+      const algebra::Operator& subplan) override;
+
+  sources::DataSource* source() { return source_.get(); }
+
+  /// Administrative access for re-registration scenarios (e.g. the
+  /// implementor improves the exported cost rules, paper §2.1).
+  Options* mutable_options() { return &options_; }
+
+ private:
+  std::unique_ptr<sources::DataSource> source_;
+  Options options_;
+};
+
+}  // namespace wrapper
+}  // namespace disco
+
+#endif  // DISCO_WRAPPER_WRAPPER_H_

@@ -1,0 +1,134 @@
+#include "algebra/operator.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/plan_printer.h"
+
+namespace disco {
+namespace algebra {
+namespace {
+
+std::unique_ptr<Operator> SamplePlan() {
+  return Join(Select(Scan("Employee"), "salary", CmpOp::kGt,
+                     Value(int64_t{100})),
+              Scan("Book"), JoinPredicate{"name", "author"});
+}
+
+TEST(AlgebraTest, ToStringMatchesPaperNotation) {
+  auto plan = Select(Scan("employee"), "salary", CmpOp::kEq,
+                     Value(int64_t{10}));
+  EXPECT_EQ(plan->ToString(), "select(scan(employee), salary = 10)");
+}
+
+TEST(AlgebraTest, CloneIsDeepAndEqual) {
+  auto plan = SamplePlan();
+  auto copy = plan->Clone();
+  EXPECT_TRUE(plan->Equals(*copy));
+  EXPECT_EQ(plan->Hash(), copy->Hash());
+  // Mutating the copy does not affect the original.
+  copy->children[1]->collection = "Changed";
+  EXPECT_FALSE(plan->Equals(*copy));
+  EXPECT_EQ(plan->child(1).collection, "Book");
+}
+
+TEST(AlgebraTest, EqualsDiscriminates) {
+  auto a = Select(Scan("T"), "x", CmpOp::kEq, Value(int64_t{1}));
+  auto b = Select(Scan("T"), "x", CmpOp::kEq, Value(int64_t{2}));
+  auto c = Select(Scan("T"), "x", CmpOp::kNe, Value(int64_t{1}));
+  auto d = Select(Scan("U"), "x", CmpOp::kEq, Value(int64_t{1}));
+  EXPECT_FALSE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_FALSE(a->Equals(*d));
+  EXPECT_TRUE(a->Equals(*a->Clone()));
+}
+
+TEST(AlgebraTest, HashDiscriminatesLikelyCases) {
+  auto a = Select(Scan("T"), "x", CmpOp::kEq, Value(int64_t{1}));
+  auto b = Select(Scan("T"), "x", CmpOp::kEq, Value(int64_t{2}));
+  EXPECT_NE(a->Hash(), b->Hash());
+}
+
+TEST(AlgebraTest, BaseCollections) {
+  auto plan = SamplePlan();
+  EXPECT_EQ(plan->BaseCollections(),
+            (std::vector<std::string>{"Employee", "Book"}));
+  EXPECT_EQ(plan->FirstBaseCollection(), "Employee");
+}
+
+TEST(AlgebraTest, WellFormedAcceptsValidShapes) {
+  EXPECT_TRUE(SamplePlan()->CheckWellFormed().ok());
+  EXPECT_TRUE(Submit("src", Scan("T"))->CheckWellFormed().ok());
+  EXPECT_TRUE(Aggregate(Scan("T"), AggFunc::kCount, "")
+                  ->CheckWellFormed()
+                  .ok());
+  EXPECT_TRUE(Sort(Dedup(Project(Scan("T"), {"a"})), "a")
+                  ->CheckWellFormed()
+                  .ok());
+  EXPECT_TRUE(Union(Scan("A"), Scan("B"))->CheckWellFormed().ok());
+}
+
+TEST(AlgebraTest, WellFormedRejectsBadShapes) {
+  Operator bad_scan(OpKind::kScan);
+  EXPECT_FALSE(bad_scan.CheckWellFormed().ok());  // no collection
+
+  Operator bad_select(OpKind::kSelect);
+  bad_select.children.push_back(Scan("T"));
+  EXPECT_FALSE(bad_select.CheckWellFormed().ok());  // no predicate
+
+  Operator bad_join(OpKind::kJoin);
+  bad_join.children.push_back(Scan("A"));
+  EXPECT_FALSE(bad_join.CheckWellFormed().ok());  // arity
+
+  // Nested submit is illegal.
+  auto nested = Submit("a", Scan("T"));
+  auto outer = Submit("b", std::move(nested));
+  EXPECT_FALSE(outer->CheckWellFormed().ok());
+
+  Operator bad_agg(OpKind::kAggregate);
+  bad_agg.children.push_back(Scan("T"));
+  bad_agg.agg_func = AggFunc::kSum;  // sum needs an attribute
+  EXPECT_FALSE(bad_agg.CheckWellFormed().ok());
+}
+
+TEST(AlgebraTest, OpKindNamesRoundTrip) {
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    OpKind kind = static_cast<OpKind>(k);
+    auto parsed = OpKindFromName(OpKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(OpKindFromName("nonsense").ok());
+}
+
+TEST(AlgebraTest, PlanPrinterIndents) {
+  auto plan = Submit("src", SamplePlan());
+  std::string printed = PrintPlan(*plan);
+  EXPECT_NE(printed.find("submit(@src)\n  join(name = author)\n"),
+            std::string::npos);
+  EXPECT_NE(printed.find("      scan(Employee)"), std::string::npos);
+}
+
+TEST(AlgebraTest, EvalCmpAllOperators) {
+  Value a(int64_t{1}), b(int64_t{2});
+  EXPECT_TRUE(*EvalCmp(a, CmpOp::kLt, b));
+  EXPECT_TRUE(*EvalCmp(a, CmpOp::kLe, b));
+  EXPECT_FALSE(*EvalCmp(a, CmpOp::kGt, b));
+  EXPECT_FALSE(*EvalCmp(a, CmpOp::kGe, b));
+  EXPECT_FALSE(*EvalCmp(a, CmpOp::kEq, b));
+  EXPECT_TRUE(*EvalCmp(a, CmpOp::kNe, b));
+  EXPECT_FALSE(EvalCmp(Value("x"), CmpOp::kLt, a).ok());
+}
+
+TEST(AlgebraTest, FlipCmpIsInvolutionOnPairs) {
+  EXPECT_EQ(FlipCmp(CmpOp::kLt), CmpOp::kGt);
+  EXPECT_EQ(FlipCmp(CmpOp::kGe), CmpOp::kLe);
+  EXPECT_EQ(FlipCmp(CmpOp::kEq), CmpOp::kEq);
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe,
+                   CmpOp::kGt, CmpOp::kGe}) {
+    EXPECT_EQ(FlipCmp(FlipCmp(op)), op);
+  }
+}
+
+}  // namespace
+}  // namespace algebra
+}  // namespace disco

@@ -1,0 +1,175 @@
+#include "query/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "query/sql_parser.h"
+
+namespace disco {
+namespace query {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.RegisterSource("s1").ok());
+    ASSERT_TRUE(catalog_.RegisterSource("s2").ok());
+    ASSERT_TRUE(
+        catalog_
+            .RegisterCollection(
+                "s1",
+                CollectionSchema("Employee", {{"id", AttrType::kLong},
+                                              {"salary", AttrType::kLong},
+                                              {"name", AttrType::kString},
+                                              {"deptId", AttrType::kLong}}),
+                {})
+            .ok());
+    ASSERT_TRUE(catalog_
+                    .RegisterCollection(
+                        "s2",
+                        CollectionSchema("Dept", {{"dno", AttrType::kLong},
+                                                  {"title", AttrType::kString}}),
+                        {})
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .RegisterCollection(
+                        "s2",
+                        CollectionSchema("Audit", {{"id", AttrType::kLong},
+                                                   {"score", AttrType::kDouble}}),
+                        {})
+                    .ok());
+  }
+
+  Result<BoundQuery> BindSql(const std::string& sql) {
+    auto parsed = ParseSql(sql);
+    if (!parsed.ok()) return parsed.status();
+    return Bind(*parsed, catalog_);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, ResolvesRelationsAndSources) {
+  auto q = BindSql("SELECT name FROM Employee WHERE salary > 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->relations.size(), 1u);
+  EXPECT_EQ(q->relations[0].collection, "Employee");
+  EXPECT_EQ(q->relations[0].source, "s1");
+  ASSERT_EQ(q->relations[0].predicates.size(), 1u);
+  EXPECT_EQ(q->relations[0].predicates[0].attribute, "salary");
+  EXPECT_EQ(q->projections, (std::vector<std::string>{"name"}));
+}
+
+TEST_F(BinderTest, CaseInsensitiveNames) {
+  auto q = BindSql("SELECT NAME from employee WHERE SALARY > 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->relations[0].collection, "Employee");
+  EXPECT_EQ(q->relations[0].predicates[0].attribute, "salary");
+}
+
+TEST_F(BinderTest, JoinsBindToRelationIndexes) {
+  auto q = BindSql(
+      "SELECT name, title FROM Employee, Dept WHERE deptId = dno");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->joins.size(), 1u);
+  EXPECT_EQ(q->joins[0].left_rel, 0);
+  EXPECT_EQ(q->joins[0].left_attr, "deptId");
+  EXPECT_EQ(q->joins[0].right_rel, 1);
+  EXPECT_EQ(q->joins[0].right_attr, "dno");
+}
+
+TEST_F(BinderTest, QualifiedAttributesDisambiguate) {
+  // Employee.id vs Audit.id: unqualified is ambiguous.
+  EXPECT_TRUE(BindSql("SELECT id FROM Employee, Audit "
+                      "WHERE Employee.id = Audit.id")
+                  .status()
+                  .IsInvalidArgument());
+  auto q = BindSql(
+      "SELECT Employee.id FROM Employee, Audit "
+      "WHERE Employee.id = Audit.id");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST_F(BinderTest, UnknownNamesRejected) {
+  EXPECT_TRUE(BindSql("SELECT x FROM Ghost").status().IsNotFound());
+  EXPECT_TRUE(
+      BindSql("SELECT ghost FROM Employee").status().IsNotFound());
+  EXPECT_TRUE(BindSql("SELECT name FROM Employee WHERE ghost = 1")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(BinderTest, TypeCoercion) {
+  // Double literal against a Long attribute is accepted (range compare).
+  auto q = BindSql("SELECT name FROM Employee WHERE salary > 10.5");
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  // Int literal against a Double attribute coerces to double.
+  q = BindSql("SELECT score FROM Audit WHERE score >= 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->relations[0].predicates[0].value.is_double());
+  // String against Long is rejected.
+  EXPECT_TRUE(BindSql("SELECT name FROM Employee WHERE salary = 'x'")
+                  .status()
+                  .IsInvalidArgument());
+  // Number against String is rejected.
+  EXPECT_TRUE(BindSql("SELECT name FROM Employee WHERE name = 3")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(BinderTest, JoinTypeMismatchRejected) {
+  EXPECT_TRUE(BindSql("SELECT name FROM Employee, Dept "
+                      "WHERE Employee.name = Dept.dno")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(BinderTest, CrossProductsRejected) {
+  EXPECT_TRUE(
+      BindSql("SELECT name FROM Employee, Dept").status().IsNotSupported());
+}
+
+TEST_F(BinderTest, SelfJoinRejected) {
+  EXPECT_TRUE(BindSql("SELECT name FROM Employee, Employee "
+                      "WHERE Employee.id = Employee.deptId")
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(BinderTest, AggregatesAndGrouping) {
+  auto q = BindSql(
+      "SELECT deptId, count(*) FROM Employee GROUP BY deptId");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->aggregate.has_value());
+  EXPECT_EQ(q->aggregate->func, algebra::AggFunc::kCount);
+  EXPECT_EQ(q->group_by, (std::vector<std::string>{"deptId"}));
+  EXPECT_EQ(q->projections, (std::vector<std::string>{"deptId"}));
+
+  // Ungrouped plain attribute next to an aggregate.
+  EXPECT_TRUE(BindSql("SELECT name, count(*) FROM Employee")
+                  .status()
+                  .IsInvalidArgument());
+  // GROUP BY without aggregate.
+  EXPECT_TRUE(BindSql("SELECT name FROM Employee GROUP BY name")
+                  .status()
+                  .IsInvalidArgument());
+  // Two aggregates unsupported.
+  EXPECT_TRUE(BindSql("SELECT count(*), sum(salary) FROM Employee")
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(BinderTest, OrderByBinds) {
+  auto q = BindSql("SELECT name FROM Employee ORDER BY Salary DESC");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->order_by, "salary");
+  EXPECT_FALSE(q->order_ascending);
+}
+
+TEST_F(BinderTest, EmptyFromRejected) {
+  ParsedQuery q;
+  EXPECT_TRUE(Bind(q, catalog_).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace disco

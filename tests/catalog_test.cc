@@ -1,0 +1,145 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "catalog/statistics.h"
+
+namespace disco {
+namespace {
+
+CollectionSchema EmployeeSchema() {
+  return CollectionSchema("Employee", {{"salary", AttrType::kLong},
+                                       {"name", AttrType::kString}});
+}
+
+TEST(SchemaTest, AttributeLookup) {
+  CollectionSchema schema = EmployeeSchema();
+  EXPECT_EQ(schema.num_attributes(), 2);
+  EXPECT_EQ(schema.AttributeIndex("salary"), 0);
+  EXPECT_EQ(schema.AttributeIndex("name"), 1);
+  EXPECT_FALSE(schema.AttributeIndex("missing").has_value());
+  EXPECT_TRUE(schema.HasAttribute("salary"));
+  auto attr = schema.Attribute("name");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, AttrType::kString);
+  EXPECT_TRUE(schema.Attribute("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, AttrTypeNames) {
+  EXPECT_EQ(*AttrTypeFromName("Long"), AttrType::kLong);
+  EXPECT_EQ(*AttrTypeFromName("short"), AttrType::kLong);
+  EXPECT_EQ(*AttrTypeFromName("DOUBLE"), AttrType::kDouble);
+  EXPECT_EQ(*AttrTypeFromName("Float"), AttrType::kDouble);
+  EXPECT_EQ(*AttrTypeFromName("string"), AttrType::kString);
+  EXPECT_EQ(*AttrTypeFromName("Boolean"), AttrType::kBool);
+  EXPECT_FALSE(AttrTypeFromName("blob").ok());
+}
+
+TEST(SchemaTest, AttrTypeToValueType) {
+  EXPECT_EQ(AttrTypeToValueType(AttrType::kLong), ValueType::kInt64);
+  EXPECT_EQ(AttrTypeToValueType(AttrType::kDouble), ValueType::kDouble);
+  EXPECT_EQ(AttrTypeToValueType(AttrType::kString), ValueType::kString);
+  EXPECT_EQ(AttrTypeToValueType(AttrType::kBool), ValueType::kBool);
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource("src").ok());
+  CollectionStats stats;
+  stats.extent = ExtentStats{10, 1000, 100};
+  ASSERT_TRUE(catalog.RegisterCollection("src", EmployeeSchema(), stats).ok());
+
+  EXPECT_TRUE(catalog.HasSource("src"));
+  EXPECT_FALSE(catalog.HasSource("other"));
+  EXPECT_TRUE(catalog.HasCollection("Employee"));
+
+  auto entry = catalog.Collection("Employee");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->source, "src");
+  EXPECT_EQ(entry->stats.extent.count_object, 10);
+  EXPECT_EQ(*catalog.SourceOf("Employee"), "src");
+}
+
+TEST(CatalogTest, DuplicateSourceRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource("src").ok());
+  EXPECT_TRUE(catalog.RegisterSource("src").IsAlreadyExists());
+}
+
+TEST(CatalogTest, DuplicateCollectionRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource("a").ok());
+  ASSERT_TRUE(catalog.RegisterSource("b").ok());
+  ASSERT_TRUE(
+      catalog.RegisterCollection("a", EmployeeSchema(), {}).ok());
+  EXPECT_TRUE(catalog.RegisterCollection("b", EmployeeSchema(), {})
+                  .IsAlreadyExists());
+}
+
+TEST(CatalogTest, UnknownSourceRejected) {
+  Catalog catalog;
+  EXPECT_TRUE(
+      catalog.RegisterCollection("ghost", EmployeeSchema(), {}).IsNotFound());
+}
+
+TEST(CatalogTest, UpdateStatsReplaces) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource("src").ok());
+  CollectionStats stats;
+  stats.extent = ExtentStats{10, 1000, 100};
+  ASSERT_TRUE(catalog.RegisterCollection("src", EmployeeSchema(), stats).ok());
+
+  CollectionStats fresh;
+  fresh.extent = ExtentStats{99, 9900, 100};
+  ASSERT_TRUE(catalog.UpdateStats("Employee", fresh).ok());
+  EXPECT_EQ(catalog.Collection("Employee")->stats.extent.count_object, 99);
+  EXPECT_TRUE(catalog.UpdateStats("Ghost", fresh).IsNotFound());
+}
+
+TEST(CatalogTest, CollectionsOfSource) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource("a").ok());
+  ASSERT_TRUE(catalog.RegisterSource("b").ok());
+  ASSERT_TRUE(catalog
+                  .RegisterCollection(
+                      "a", CollectionSchema("X", {{"i", AttrType::kLong}}), {})
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .RegisterCollection(
+                      "a", CollectionSchema("Y", {{"i", AttrType::kLong}}), {})
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .RegisterCollection(
+                      "b", CollectionSchema("Z", {{"i", AttrType::kLong}}), {})
+                  .ok());
+  EXPECT_EQ(catalog.CollectionsOf("a").size(), 2u);
+  EXPECT_EQ(catalog.CollectionsOf("b").size(), 1u);
+  EXPECT_EQ(catalog.Collections().size(), 3u);
+  EXPECT_EQ(catalog.Sources().size(), 2u);
+}
+
+TEST(StatisticsTest, CollectionStatsAttributeLookup) {
+  CollectionStats stats;
+  AttributeStats a;
+  a.indexed = true;
+  a.count_distinct = 5;
+  stats.attributes["salary"] = a;
+  EXPECT_TRUE(stats.HasAttribute("salary"));
+  EXPECT_FALSE(stats.HasAttribute("name"));
+  ASSERT_TRUE(stats.Attribute("salary").ok());
+  EXPECT_TRUE(stats.Attribute("name").status().IsNotFound());
+}
+
+TEST(StatisticsTest, ToStringMentionsFields) {
+  ExtentStats e{70000, 4096000, 56};
+  EXPECT_NE(e.ToString().find("70000"), std::string::npos);
+  AttributeStats a;
+  a.indexed = true;
+  a.min = Value(int64_t{0});
+  a.max = Value(int64_t{9});
+  EXPECT_NE(a.ToString().find("Indexed=true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,155 @@
+// Properties of the simulated cost accounting: measured times must
+// behave the way real systems do, because the whole evaluation rests on
+// them (monotonicity in data size and selectivity, cold-vs-warm buffers,
+// clustering locality, metering boundaries).
+
+#include <gtest/gtest.h>
+
+#include "algebra/operator.h"
+#include "bench007/oo7.h"
+#include "sources/data_source.h"
+
+namespace disco {
+namespace {
+
+using algebra::CmpOp;
+using algebra::Scan;
+using algebra::Select;
+
+std::unique_ptr<sources::DataSource> MakeSource(int rows) {
+  auto src = sources::MakeRelationalSource("s");
+  storage::Table* t = src->CreateTable(CollectionSchema(
+      "T", {{"k", AttrType::kLong}, {"v", AttrType::kLong}}));
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(t->Insert({Value(int64_t{i}), Value(int64_t{i * 3})}).ok());
+  }
+  EXPECT_TRUE(t->CreateIndex("k").ok());
+  src->env()->pool.Clear();
+  return src;
+}
+
+class ScanCostMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanCostMonotoneTest, BiggerTablesScanSlower) {
+  const int rows = GetParam();
+  auto small = MakeSource(rows);
+  auto big = MakeSource(rows * 4);
+  auto rs = small->Execute(*Scan("T"));
+  auto rb = big->Execute(*Scan("T"));
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_GT(rb->total_ms, rs->total_ms);
+  EXPECT_GT(rb->pages_read, rs->pages_read);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanCostMonotoneTest,
+                         ::testing::Values(100, 1000, 5000));
+
+TEST(CostAccountingTest, SelectivityMonotoneUnderIndexScan) {
+  auto src = MakeSource(20000);
+  double prev = -1;
+  for (int64_t cutoff : {100, 1000, 5000, 15000}) {
+    src->env()->pool.Clear();
+    auto r = src->Execute(
+        *Select(Scan("T"), "k", CmpOp::kLe, Value(cutoff)));
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r->total_ms, prev);
+    prev = r->total_ms;
+  }
+}
+
+TEST(CostAccountingTest, WarmBufferIsCheaper) {
+  auto src = MakeSource(20000);
+  auto plan = Select(Scan("T"), "k", CmpOp::kLe, Value(int64_t{5000}));
+  src->env()->pool.Clear();
+  auto cold = src->Execute(*plan);
+  ASSERT_TRUE(cold.ok());
+  auto warm = src->Execute(*plan);  // pages now resident
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LT(warm->total_ms, cold->total_ms);
+  EXPECT_LT(warm->pages_read, cold->pages_read);
+  EXPECT_EQ(warm->tuples.size(), cold->tuples.size());
+}
+
+TEST(CostAccountingTest, ClusteredRangeScanTouchesFewerPages) {
+  bench007::OO7Config clustered, unclustered;
+  clustered.num_atomic_parts = unclustered.num_atomic_parts = 14000;
+  clustered.clustered_ids = true;
+  auto cs = bench007::BuildOO7Source(clustered);
+  auto us = bench007::BuildOO7Source(unclustered);
+  ASSERT_TRUE(cs.ok());
+  ASSERT_TRUE(us.ok());
+  auto plan = Select(Scan("AtomicPart"), "id", CmpOp::kLe,
+                     Value(int64_t{699}));  // 5%
+  (*cs)->env()->pool.Clear();
+  (*us)->env()->pool.Clear();
+  auto rc = (*cs)->Execute(*plan);
+  auto ru = (*us)->Execute(*plan);
+  ASSERT_TRUE(rc.ok());
+  ASSERT_TRUE(ru.ok());
+  ASSERT_EQ(rc->tuples.size(), ru->tuples.size());
+  // 5% of a clustered collection lives on ~5% of the pages; unclustered
+  // it is spread over nearly all of them (Yao).
+  EXPECT_LT(rc->pages_read * 3, ru->pages_read);
+  EXPECT_LT(rc->total_ms, ru->total_ms);
+}
+
+TEST(CostAccountingTest, FirstTupleNeverAfterTotal) {
+  auto src = MakeSource(5000);
+  for (const auto& plan :
+       {Scan("T"), Select(Scan("T"), "k", CmpOp::kGt, Value(int64_t{100})),
+        algebra::Sort(Scan("T"), "v")}) {
+    src->env()->pool.Clear();
+    auto r = src->Execute(*plan);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(r->first_tuple_ms, 0);
+    EXPECT_LE(r->first_tuple_ms, r->total_ms);
+  }
+}
+
+TEST(CostAccountingTest, BlockingSortDelaysFirstTuple) {
+  auto src = MakeSource(20000);
+  src->env()->pool.Clear();
+  auto streaming = src->Execute(*Scan("T"));
+  ASSERT_TRUE(streaming.ok());
+  src->env()->pool.Clear();
+  auto blocking = src->Execute(*algebra::Sort(Scan("T"), "v"));
+  ASSERT_TRUE(blocking.ok());
+  // A scan's first tuple arrives almost immediately; a sort's only after
+  // consuming (most of) the input.
+  EXPECT_LT(streaming->first_tuple_ms, streaming->total_ms * 0.1);
+  EXPECT_GT(blocking->first_tuple_ms, blocking->total_ms * 0.5);
+}
+
+TEST(CostAccountingTest, MaintenanceIsUnmetered) {
+  auto src = sources::MakeRelationalSource("s");
+  storage::Table* t = src->CreateTable(CollectionSchema(
+      "T", {{"k", AttrType::kLong}}));
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(t->Insert({Value(int64_t{i})}).ok());
+  }
+  ASSERT_TRUE(t->CreateIndex("k").ok());
+  ASSERT_TRUE(t->ComputeStats(16).ok());
+  EXPECT_DOUBLE_EQ(src->env()->clock.now_ms(), 0.0);
+  // ...while queries are metered.
+  auto r = src->Execute(*Scan("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(src->env()->clock.now_ms(), 0.0);
+}
+
+TEST(CostAccountingTest, ExecutionIsDeterministic) {
+  auto a = MakeSource(10000);
+  auto b = MakeSource(10000);
+  auto plan = Select(Scan("T"), "k", CmpOp::kLe, Value(int64_t{2500}));
+  a->env()->pool.Clear();
+  b->env()->pool.Clear();
+  auto ra = a->Execute(*plan);
+  auto rb = b->Execute(*plan);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_DOUBLE_EQ(ra->total_ms, rb->total_ms);
+  EXPECT_EQ(ra->pages_read, rb->pages_read);
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,248 @@
+#include "costlang/compiler.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace costlang {
+namespace {
+
+CompileSchema EmployeeSchema() {
+  CompileSchema schema;
+  schema.AddCollection("Employee", {"salary", "name"});
+  schema.AddCollection("Book", {"id", "author"});
+  return schema;
+}
+
+TEST(CompilerTest, LiteralVsVariableResolution) {
+  auto rules = CompileRuleText(
+      "select(Employee, salary = V) { TotalTime = 1; }\n"
+      "select(C, A = V) { TotalTime = 2; }",
+      EmployeeSchema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->rules.size(), 2u);
+
+  const CompiledPattern& specific = rules->rules[0].pattern;
+  EXPECT_TRUE(specific.inputs[0].is_literal);
+  EXPECT_EQ(specific.inputs[0].name, "Employee");
+  EXPECT_TRUE(specific.sel_attr.is_literal);
+  EXPECT_EQ(specific.sel_attr.name, "salary");
+  EXPECT_FALSE(specific.sel_value.is_literal);
+  EXPECT_TRUE(specific.predicate_bound);
+  EXPECT_TRUE(specific.collection_bound);
+  EXPECT_EQ(specific.specificity, 2);
+
+  const CompiledPattern& generic = rules->rules[1].pattern;
+  EXPECT_FALSE(generic.inputs[0].is_literal);
+  EXPECT_FALSE(generic.sel_attr.is_literal);
+  EXPECT_EQ(generic.specificity, 0);
+}
+
+TEST(CompilerTest, CaseInsensitiveLiterals) {
+  // The paper writes `employee` in a head and `Employee` in the body.
+  auto rules = CompileRuleText(
+      "scan(employee) { TotalTime = Employee.TotalSize * 2; }",
+      EmployeeSchema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_TRUE(rules->rules[0].pattern.inputs[0].is_literal);
+  EXPECT_EQ(rules->rules[0].pattern.inputs[0].name, "Employee");
+}
+
+TEST(CompilerTest, SpecificityOrderingOfPaperExamples) {
+  // Section 4.2's matching-order example, expressed as specificity.
+  auto rules = CompileRuleText(
+      "select(Employee, salary = 77) { TotalTime = 1; }\n"
+      "select(Employee, salary = A) { TotalTime = 2; }\n"
+      "select(Employee, P) { TotalTime = 3; }\n"
+      "select(R, P) { TotalTime = 4; }\n"
+      "join(Employee, Book, x1.id = x2.id) { TotalTime = 5; }\n"
+      "join(Employee, Book, P) { TotalTime = 6; }\n"
+      "join(R1, R2, P) { TotalTime = 7; }",
+      EmployeeSchema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  std::vector<int> spec;
+  for (const CompiledRule& r : rules->rules) {
+    spec.push_back(r.pattern.specificity);
+  }
+  // Each select is strictly more specific than the next.
+  EXPECT_GT(spec[0], spec[1]);
+  EXPECT_GT(spec[1], spec[2]);
+  EXPECT_GT(spec[2], spec[3]);
+  EXPECT_GT(spec[4], spec[5]);
+  EXPECT_GT(spec[5], spec[6]);
+}
+
+TEST(CompilerTest, GlobalsEvaluateAtCompileTime) {
+  auto rules = CompileRuleText(
+      "define PageSize = 4000;\n"
+      "define TwoPages = PageSize * 2;\n"
+      "scan(C) { TotalTime = TwoPages; }",
+      CompileSchema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->global_values.size(), 2u);
+  EXPECT_DOUBLE_EQ(rules->global_values[1].AsDouble(), 8000);
+}
+
+TEST(CompilerTest, GlobalsMayUseBuiltins) {
+  auto rules = CompileRuleText(
+      "define E = exp(1);\nscan(C) { TotalTime = E; }", CompileSchema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_NEAR(rules->global_values[0].AsDouble(), 2.71828, 1e-4);
+}
+
+TEST(CompilerTest, GlobalsMayNotReferenceStatistics) {
+  EXPECT_FALSE(CompileRuleText(
+                   "define Bad = Employee.CountObject;\n"
+                   "scan(C) { TotalTime = Bad; }",
+                   EmployeeSchema())
+                   .ok());
+}
+
+TEST(CompilerTest, DuplicateGlobalRejected) {
+  EXPECT_TRUE(CompileRuleText("define A = 1;\ndefine A = 2;\n"
+                              "scan(C) { TotalTime = A; }",
+                              CompileSchema())
+                  .status()
+                  .IsParseError());
+}
+
+TEST(CompilerTest, RuleLocalsCompileInOrder) {
+  auto rules = CompileRuleText(
+      "select(C, A <= V) {\n"
+      "  CountPage = C.TotalSize / 4096;\n"
+      "  HalfPage = CountPage / 2;\n"
+      "  TotalTime = HalfPage * 25;\n"
+      "}",
+      CompileSchema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  const CompiledRule& rule = rules->rules[0];
+  ASSERT_EQ(rule.locals.size(), 2u);
+  EXPECT_EQ(rule.locals[0].name, "CountPage");
+  EXPECT_EQ(rule.locals[1].name, "HalfPage");
+  ASSERT_EQ(rule.formulas.size(), 1u);
+  EXPECT_EQ(rule.formulas[0].target, CostVarId::kTotalTime);
+}
+
+TEST(CompilerTest, LocalReferencedBeforeDefinitionRejected) {
+  EXPECT_FALSE(CompileRuleText(
+                   "scan(C) {\n"
+                   "  TotalTime = Later * 2;\n"
+                   "  Later = 5;\n"
+                   "}",
+                   CompileSchema())
+                   .ok());
+}
+
+TEST(CompilerTest, SelfVarAndInputRefsRecorded) {
+  auto rules = CompileRuleText(
+      "select(C, P) {\n"
+      "  CountObject = C.CountObject * selectivity();\n"
+      "  TotalTime = C.TotalTime + CountObject * 9;\n"
+      "}",
+      CompileSchema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  const CompiledRule& rule = rules->rules[0];
+  // Formula 0 (CountObject) reads input CountObject.
+  ASSERT_EQ(rule.formulas[0].program.input_var_refs.size(), 1u);
+  EXPECT_EQ(rule.formulas[0].program.input_var_refs[0].second,
+            CostVarId::kCountObject);
+  // Formula 1 (TotalTime) reads input TotalTime and self CountObject.
+  EXPECT_EQ(rule.formulas[1].program.self_var_refs.size(), 1u);
+  EXPECT_EQ(rule.formulas[1].program.self_var_refs[0],
+            CostVarId::kCountObject);
+}
+
+TEST(CompilerTest, DuplicateTargetInOneRuleRejected) {
+  EXPECT_TRUE(CompileRuleText(
+                  "scan(C) { TotalTime = 1; TotalTime = 2; }", CompileSchema())
+                  .status()
+                  .IsParseError());
+}
+
+TEST(CompilerTest, UnknownNamesRejected) {
+  EXPECT_FALSE(
+      CompileRuleText("scan(C) { TotalTime = Mystery; }", CompileSchema())
+          .ok());
+  EXPECT_FALSE(CompileRuleText("scan(C) { TotalTime = D.CountObject; }",
+                               CompileSchema())
+                   .ok());
+  EXPECT_FALSE(
+      CompileRuleText("scan(C) { TotalTime = nosuchfn(1); }", CompileSchema())
+          .ok());
+}
+
+TEST(CompilerTest, ArityChecked) {
+  EXPECT_FALSE(
+      CompileRuleText("scan(C) { TotalTime = exp(1, 2); }", CompileSchema())
+          .ok());
+  EXPECT_FALSE(
+      CompileRuleText("scan(C) { TotalTime = pow(2); }", CompileSchema())
+          .ok());
+}
+
+TEST(CompilerTest, BadHeadShapesRejected) {
+  CompileSchema schema = EmployeeSchema();
+  // join needs at least two inputs.
+  EXPECT_FALSE(CompileRuleText("join(C) { TotalTime = 1; }", schema).ok());
+  // scan takes no predicate.
+  EXPECT_FALSE(
+      CompileRuleText("scan(C, A = V) { TotalTime = 1; }", schema).ok());
+  // unknown operator.
+  EXPECT_FALSE(
+      CompileRuleText("frobnicate(C) { TotalTime = 1; }", schema).ok());
+  // join pattern must be an equi-join.
+  EXPECT_FALSE(
+      CompileRuleText("join(C1, C2, a < b) { TotalTime = 1; }", schema).ok());
+}
+
+TEST(CompilerTest, RepeatedVariableUnifiesToOneSlot) {
+  auto rules = CompileRuleText("join(C, C, A1 = A2) { TotalTime = 1; }",
+                               CompileSchema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  // Slots: C, A1, A2 (C interned once).
+  EXPECT_EQ(rules->rules[0].binding_slots.size(), 3u);
+}
+
+TEST(CompilerTest, AttrStatPathsCompile) {
+  auto rules = CompileRuleText(
+      "select(C, A = V) {\n"
+      "  TotalTime = C.A.CountDistinct + A.CountDistinct\n"
+      "            + C.salary.Min + CountDistinct;\n"
+      "}",
+      EmployeeSchema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+}
+
+TEST(CompilerTest, ProvidesReportsTargets) {
+  auto rules = CompileRuleText(
+      "scan(C) { TotalTime = 1; CountObject = 2; }", CompileSchema());
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->rules[0].Provides(CostVarId::kTotalTime));
+  EXPECT_TRUE(rules->rules[0].Provides(CostVarId::kCountObject));
+  EXPECT_FALSE(rules->rules[0].Provides(CostVarId::kTimeNext));
+}
+
+TEST(CompilerTest, Figure13RuleCompiles) {
+  CompileSchema schema;
+  schema.AddCollection("AtomicPart", {"id", "docId"});
+  auto rules = CompileRuleText(
+      "define IO = 25;\n"
+      "define Output = 9;\n"
+      "define PageSize = 4096;\n"
+      "select(C, id <= V) {\n"
+      "  CountPage = C.TotalSize / PageSize;\n"
+      "  CountObject = C.CountObject * (V - C.id.Min)\n"
+      "              / (C.id.Max - C.id.Min);\n"
+      "  TotalTime = IO * CountPage * (1 - exp(-1 * (CountObject/CountPage)))\n"
+      "            + CountObject * Output;\n"
+      "}",
+      schema);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  const CompiledPattern& pattern = rules->rules[0].pattern;
+  EXPECT_TRUE(pattern.sel_attr.is_literal);
+  EXPECT_EQ(pattern.sel_op, algebra::CmpOp::kLe);
+  EXPECT_TRUE(pattern.predicate_bound);
+}
+
+}  // namespace
+}  // namespace costlang
+}  // namespace disco

@@ -1,0 +1,88 @@
+#include "costlang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace costlang {
+namespace {
+
+std::vector<TokenType> Types(const std::string& input) {
+  auto tokens = Tokenize(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenType> out;
+  for (const Token& t : *tokens) out.push_back(t.type);
+  return out;
+}
+
+TEST(CostLangLexerTest, BasicTokens) {
+  EXPECT_EQ(Types("a + b"), (std::vector<TokenType>{TokenType::kIdentifier,
+                                                    TokenType::kPlus,
+                                                    TokenType::kIdentifier,
+                                                    TokenType::kEof}));
+  EXPECT_EQ(Types("( ) { } , ; ."),
+            (std::vector<TokenType>{
+                TokenType::kLParen, TokenType::kRParen, TokenType::kLBrace,
+                TokenType::kRBrace, TokenType::kComma, TokenType::kSemicolon,
+                TokenType::kDot, TokenType::kEof}));
+}
+
+TEST(CostLangLexerTest, Numbers) {
+  auto tokens = Tokenize("12 3.5 1e3 2.5e-2 0.7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 12);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 3.5);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 1000);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 0.025);
+  EXPECT_DOUBLE_EQ((*tokens)[4].number, 0.7);
+}
+
+TEST(CostLangLexerTest, Comparisons) {
+  EXPECT_EQ(Types("= == != <> < <= > >="),
+            (std::vector<TokenType>{TokenType::kEq, TokenType::kEq,
+                                    TokenType::kNe, TokenType::kNe,
+                                    TokenType::kLt, TokenType::kLe,
+                                    TokenType::kGt, TokenType::kGe,
+                                    TokenType::kEof}));
+}
+
+TEST(CostLangLexerTest, Strings) {
+  auto tokens = Tokenize("'single' \"double\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "single");
+  EXPECT_EQ((*tokens)[1].text, "double");
+}
+
+TEST(CostLangLexerTest, Comments) {
+  auto tokens = Tokenize("a // line comment\n# hash comment\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // a, b, eof
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[1].line, 3);
+}
+
+TEST(CostLangLexerTest, LineTracking) {
+  auto tokens = Tokenize("a\nb\n\nc");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 4);
+}
+
+TEST(CostLangLexerTest, Errors) {
+  EXPECT_TRUE(Tokenize("'unterminated").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a @ b").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a ! b").status().IsParseError());
+}
+
+TEST(CostLangLexerTest, IsIdentCaseInsensitive) {
+  auto tokens = Tokenize("TotalTime");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsIdent("totaltime"));
+  EXPECT_TRUE((*tokens)[0].IsIdent("TOTALTIME"));
+  EXPECT_FALSE((*tokens)[0].IsIdent("TimeFirst"));
+}
+
+}  // namespace
+}  // namespace costlang
+}  // namespace disco

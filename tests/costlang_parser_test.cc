@@ -1,0 +1,131 @@
+#include "costlang/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace costlang {
+namespace {
+
+TEST(CostLangParserTest, ExprPrecedence) {
+  auto e = ParseExpr("1 + 2 * 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "(1 + (2 * 3))");
+
+  e = ParseExpr("(1 + 2) * 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "((1 + 2) * 3)");
+
+  e = ParseExpr("1 - 2 - 3");  // left associative
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "((1 - 2) - 3)");
+
+  e = ParseExpr("-a * b");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "((-a) * b)");
+}
+
+TEST(CostLangParserTest, PathsAndCalls) {
+  auto e = ParseExpr("Employee.salary.Min + selectivity(A, V)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "(Employee.salary.Min + selectivity(A, V))");
+
+  e = ParseExpr("min(a, b, c)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->args.size(), 3u);
+}
+
+TEST(CostLangParserTest, Figure8ScanRule) {
+  auto r = ParseRuleSet(
+      "scan(employee) (\n"
+      "  TotalTime = 120 + Employee.TotalSize * 12\n"
+      "            + Employee.CountObject / Employee.CountDistinct\n"
+      ")");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rules.size(), 1u);
+  EXPECT_EQ(r->rules[0].head.op_name, "scan");
+  ASSERT_EQ(r->rules[0].formulas.size(), 1u);
+  EXPECT_EQ(r->rules[0].formulas[0].target, "TotalTime");
+}
+
+TEST(CostLangParserTest, Figure8SelectRule) {
+  auto r = ParseRuleSet(
+      "select(C, A = V) {\n"
+      "  CountObject = C.CountObject * selectivity(A, V);\n"
+      "  TotalSize = CountObject * C.ObjectSize;\n"
+      "  TotalTime = C.TotalTime + C.TotalSize * 25;\n"
+      "}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rules.size(), 1u);
+  const RuleAst& rule = r->rules[0];
+  ASSERT_EQ(rule.head.args.size(), 2u);
+  EXPECT_FALSE(rule.head.args[0].cmp.has_value());
+  ASSERT_TRUE(rule.head.args[1].cmp.has_value());
+  EXPECT_EQ(*rule.head.args[1].cmp, algebra::CmpOp::kEq);
+  EXPECT_EQ(rule.formulas.size(), 3u);
+}
+
+TEST(CostLangParserTest, RangePatternAndLiterals) {
+  auto r = ParseRuleSet(
+      "select(Employee, salary <= 100) { TotalTime = 1; }\n"
+      "select(Employee, name = 'Smith') { TotalTime = 2; }\n"
+      "select(Employee, salary = -5) { TotalTime = 3; }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rules.size(), 3u);
+  EXPECT_EQ(*r->rules[0].head.args[1].cmp, algebra::CmpOp::kLe);
+  EXPECT_EQ(r->rules[1].head.args[1].rhs->string_value, "Smith");
+  EXPECT_DOUBLE_EQ(r->rules[2].head.args[1].rhs->number, -5);
+}
+
+TEST(CostLangParserTest, Defines) {
+  auto r = ParseRuleSet(
+      "define PageSize = 4000;\n"
+      "define IO = 25;\n"
+      "scan(C) { TotalTime = IO * (C.TotalSize / PageSize); }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->defs.size(), 2u);
+  EXPECT_EQ(r->defs[0].name, "PageSize");
+}
+
+TEST(CostLangParserTest, QualifiedJoinPattern) {
+  auto r = ParseRuleSet(
+      "join(Employee, Book, x1.id = x2.id) { TotalTime = 9; }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const RuleHeadAst& head = r->rules[0].head;
+  ASSERT_EQ(head.args.size(), 3u);
+  EXPECT_EQ(head.args[2].lhs.path,
+            (std::vector<std::string>{"x1", "id"}));
+}
+
+TEST(CostLangParserTest, MultipleRulesKeepOrder) {
+  auto r = ParseRuleSet(
+      "select(A, P) { TotalTime = 1; }\n"
+      "select(B, P) { TotalTime = 2; }\n"
+      "scan(C) { TotalTime = 3; }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rules.size(), 3u);
+  EXPECT_EQ(r->rules[0].head.ToString(), "select(A, P)");
+  EXPECT_EQ(r->rules[2].head.op_name, "scan");
+}
+
+TEST(CostLangParserTest, Errors) {
+  EXPECT_TRUE(ParseRuleSet("scan(C) { }").status().IsParseError());  // empty
+  EXPECT_TRUE(ParseRuleSet("scan() { TotalTime = 1; }").status()
+                  .IsParseError());  // no args
+  EXPECT_TRUE(ParseRuleSet("scan(C { TotalTime = 1; }").status()
+                  .IsParseError());  // bad head
+  EXPECT_TRUE(ParseRuleSet("scan(C) TotalTime = 1;").status()
+                  .IsParseError());  // no body braces
+  EXPECT_TRUE(ParseRuleSet("scan(C) { TotalTime = ; }").status()
+                  .IsParseError());  // empty expr
+  EXPECT_TRUE(ParseExpr("1 +").status().IsParseError());
+  EXPECT_TRUE(ParseExpr("1 2").status().IsParseError());  // trailing input
+}
+
+TEST(CostLangParserTest, SemicolonsOptionalAtBodyEnd) {
+  auto r = ParseRuleSet("scan(C) { TotalTime = 1 }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+}  // namespace
+}  // namespace costlang
+}  // namespace disco

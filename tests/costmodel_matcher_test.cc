@@ -1,0 +1,189 @@
+#include "costmodel/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "costlang/compiler.h"
+
+namespace disco {
+namespace costmodel {
+namespace {
+
+using algebra::CmpOp;
+using algebra::Join;
+using algebra::JoinPredicate;
+using algebra::Scan;
+using algebra::Select;
+using algebra::Sort;
+
+costlang::CompiledRule CompileOne(const std::string& rule_text,
+                                  const costlang::CompileSchema& schema) {
+  auto rules = costlang::CompileRuleText(rule_text, schema);
+  EXPECT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(rules->rules.size(), 1u);
+  return std::move(rules->rules[0]);
+}
+
+costlang::CompileSchema EmployeeSchema() {
+  costlang::CompileSchema schema;
+  schema.AddCollection("Employee", {"salary", "name"});
+  schema.AddCollection("Book", {"id", "author"});
+  return schema;
+}
+
+std::optional<Bindings> Match(const costlang::CompiledRule& rule,
+                              const algebra::Operator& node) {
+  MatchContext ctx = MakeMatchContext(node);
+  return MatchPattern(rule.pattern,
+                      static_cast<int>(rule.binding_slots.size()), ctx);
+}
+
+TEST(MatcherTest, ScanLiteralMatchesByName) {
+  auto rule = CompileOne("scan(Employee) { TotalTime = 1; }",
+                         EmployeeSchema());
+  EXPECT_TRUE(Match(rule, *Scan("Employee")).has_value());
+  EXPECT_TRUE(Match(rule, *Scan("employee")).has_value());  // case-insensitive
+  EXPECT_FALSE(Match(rule, *Scan("Book")).has_value());
+}
+
+TEST(MatcherTest, ScanVariableBindsProvenance) {
+  auto rule = CompileOne("scan(C) { TotalTime = 1; }", EmployeeSchema());
+  auto m = Match(rule, *Scan("Book"));
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(m->size(), 1u);
+  EXPECT_EQ((*m)[0].AsString(), "Book");
+}
+
+TEST(MatcherTest, OperatorKindMustMatch) {
+  auto rule = CompileOne("scan(C) { TotalTime = 1; }", EmployeeSchema());
+  EXPECT_FALSE(Match(rule, *Select(Scan("Employee"), "salary", CmpOp::kEq,
+                                   Value(int64_t{1})))
+                   .has_value());
+}
+
+TEST(MatcherTest, SelectPredicateLevels) {
+  auto node_77 =
+      Select(Scan("Employee"), "salary", CmpOp::kEq, Value(int64_t{77}));
+  auto node_99 =
+      Select(Scan("Employee"), "salary", CmpOp::kEq, Value(int64_t{99}));
+  auto node_name = Select(Scan("Employee"), "name", CmpOp::kEq, Value("x"));
+
+  auto exact = CompileOne("select(Employee, salary = 77) { TotalTime = 1; }",
+                          EmployeeSchema());
+  EXPECT_TRUE(Match(exact, *node_77).has_value());
+  EXPECT_FALSE(Match(exact, *node_99).has_value());
+
+  auto attr_bound = CompileOne(
+      "select(Employee, salary = V) { TotalTime = 1; }", EmployeeSchema());
+  auto m = Match(attr_bound, *node_99);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_FALSE(Match(attr_bound, *node_name).has_value());
+
+  auto free_pred = CompileOne("select(Employee, P) { TotalTime = 1; }",
+                              EmployeeSchema());
+  EXPECT_TRUE(Match(free_pred, *node_77).has_value());
+  EXPECT_TRUE(Match(free_pred, *node_name).has_value());
+}
+
+TEST(MatcherTest, SelectOperatorMustMatchPatternOp) {
+  auto le_rule = CompileOne("select(Employee, salary <= V) { TotalTime = 1; }",
+                            EmployeeSchema());
+  EXPECT_TRUE(
+      Match(le_rule, *Select(Scan("Employee"), "salary", CmpOp::kLe,
+                             Value(int64_t{10})))
+          .has_value());
+  EXPECT_FALSE(
+      Match(le_rule, *Select(Scan("Employee"), "salary", CmpOp::kEq,
+                             Value(int64_t{10})))
+          .has_value());
+}
+
+TEST(MatcherTest, ValueBindingCarriesTheConstant) {
+  auto rule = CompileOne("select(Employee, salary = V) { TotalTime = V; }",
+                         EmployeeSchema());
+  auto m = Match(rule, *Select(Scan("Employee"), "salary", CmpOp::kEq,
+                               Value(int64_t{1234})));
+  ASSERT_TRUE(m.has_value());
+  // Slot 0 is V (Employee is literal and has no slot).
+  EXPECT_EQ((*m)[0], Value(int64_t{1234}));
+}
+
+TEST(MatcherTest, ProvenanceSeesThroughOperators) {
+  // A select whose input is select(scan(Employee)) still has provenance
+  // Employee (paper: select(employee, ...) matches "the result of the
+  // scan").
+  auto rule = CompileOne("select(Employee, P) { TotalTime = 1; }",
+                         EmployeeSchema());
+  auto inner =
+      Select(Scan("Employee"), "salary", CmpOp::kGt, Value(int64_t{5}));
+  auto outer = Select(std::move(inner), "name", CmpOp::kEq, Value("x"));
+  EXPECT_TRUE(Match(rule, *outer).has_value());
+}
+
+TEST(MatcherTest, JoinPatterns) {
+  auto node = Join(Scan("Employee"), Scan("Book"),
+                   JoinPredicate{"salary", "id"});
+
+  auto literal = CompileOne(
+      "join(Employee, Book, salary = id) { TotalTime = 1; }",
+      EmployeeSchema());
+  EXPECT_TRUE(Match(literal, *node).has_value());
+
+  auto swapped = Join(Scan("Book"), Scan("Employee"),
+                      JoinPredicate{"id", "salary"});
+  EXPECT_FALSE(Match(literal, *swapped).has_value());  // orientation strict
+
+  auto free = CompileOne("join(C1, C2, A1 = A2) { TotalTime = 1; }",
+                         EmployeeSchema());
+  auto m = Match(free, *node);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)[0].AsString(), "Employee");
+  EXPECT_EQ((*m)[1].AsString(), "Book");
+  EXPECT_EQ((*m)[2].AsString(), "salary");
+  EXPECT_EQ((*m)[3].AsString(), "id");
+}
+
+TEST(MatcherTest, QualifiedJoinAttrsMatchBySuffix) {
+  auto rule = CompileOne("join(C1, C2, id = id) { TotalTime = 1; }",
+                         EmployeeSchema());
+  auto node = Join(Scan("Book"), Scan("Book2"),
+                   JoinPredicate{"Book.id", "Book2.id"});
+  EXPECT_TRUE(Match(rule, *node).has_value());
+}
+
+TEST(MatcherTest, RepeatedVariableRequiresEqualBindings) {
+  auto rule = CompileOne("join(C, C, A1 = A2) { TotalTime = 1; }",
+                         EmployeeSchema());
+  auto same = Join(Scan("Book"), Scan("Book"), JoinPredicate{"id", "id"});
+  EXPECT_TRUE(Match(rule, *same).has_value());
+  auto different =
+      Join(Scan("Employee"), Scan("Book"), JoinPredicate{"salary", "id"});
+  EXPECT_FALSE(Match(rule, *different).has_value());
+}
+
+TEST(MatcherTest, FreePredicateBindsRendering) {
+  auto rule = CompileOne("select(C, P) { TotalTime = 1; }", EmployeeSchema());
+  auto m = Match(rule, *Select(Scan("Employee"), "salary", CmpOp::kGt,
+                               Value(int64_t{7})));
+  ASSERT_TRUE(m.has_value());
+  // Slot 0 = C, slot 1 = P.
+  EXPECT_EQ((*m)[1].AsString(), "salary > 7");
+}
+
+TEST(MatcherTest, SortAttributePattern) {
+  auto rule = CompileOne("sort(C, salary) { TotalTime = 1; }",
+                         EmployeeSchema());
+  EXPECT_TRUE(Match(rule, *Sort(Scan("Employee"), "salary")).has_value());
+  EXPECT_FALSE(Match(rule, *Sort(Scan("Employee"), "name")).has_value());
+}
+
+TEST(MatcherTest, ArityMismatchFails) {
+  auto rule = CompileOne("union(C1, C2) { TotalTime = 1; }",
+                         EmployeeSchema());
+  EXPECT_FALSE(Match(rule, *Scan("Employee")).has_value());
+  auto u = algebra::Union(Scan("Employee"), Scan("Book"));
+  EXPECT_TRUE(Match(rule, *u).has_value());
+}
+
+}  // namespace
+}  // namespace costmodel
+}  // namespace disco

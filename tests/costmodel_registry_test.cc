@@ -1,0 +1,182 @@
+#include "costmodel/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/operator.h"
+#include "costlang/compiler.h"
+#include "costmodel/generic_model.h"
+
+namespace disco {
+namespace costmodel {
+namespace {
+
+costlang::CompiledRuleSet CompileRules(const std::string& text) {
+  costlang::CompileSchema schema;
+  schema.AddCollection("Employee", {"salary", "name"});
+  auto rules = costlang::CompileRuleText(text, schema);
+  EXPECT_TRUE(rules.ok()) << rules.status().ToString();
+  return std::move(*rules);
+}
+
+TEST(ScopeTest, RankOrdering) {
+  EXPECT_GT(ScopeRank(Scope::kQuery), ScopeRank(Scope::kPredicate));
+  EXPECT_GT(ScopeRank(Scope::kPredicate), ScopeRank(Scope::kCollection));
+  EXPECT_GT(ScopeRank(Scope::kCollection), ScopeRank(Scope::kWrapper));
+  EXPECT_GT(ScopeRank(Scope::kWrapper), ScopeRank(Scope::kLocal));
+  EXPECT_GT(ScopeRank(Scope::kLocal), ScopeRank(Scope::kDefault));
+}
+
+TEST(ScopeTest, DeriveWrapperScopeFromPattern) {
+  costlang::CompiledRuleSet rules = CompileRules(
+      "select(C, P) { TotalTime = 1; }\n"
+      "select(Employee, P) { TotalTime = 2; }\n"
+      "select(Employee, salary = V) { TotalTime = 3; }\n"
+      "select(C, salary = 10) { TotalTime = 4; }");
+  EXPECT_EQ(DeriveWrapperScope(rules.rules[0].pattern), Scope::kWrapper);
+  EXPECT_EQ(DeriveWrapperScope(rules.rules[1].pattern), Scope::kCollection);
+  EXPECT_EQ(DeriveWrapperScope(rules.rules[2].pattern), Scope::kPredicate);
+  EXPECT_EQ(DeriveWrapperScope(rules.rules[3].pattern), Scope::kPredicate);
+}
+
+TEST(RegistryTest, CandidatesSortedByScopeThenSpecificityThenSeq) {
+  RuleRegistry registry;
+  ASSERT_TRUE(registry
+                  .AddDefaultRules(CompileRules(
+                      "select(C, P) { TotalTime = 0; }"))
+                  .ok());
+  ASSERT_TRUE(registry
+                  .AddWrapperRules(
+                      "src", CompileRules(
+                                 "select(C, P) { TotalTime = 1; }\n"
+                                 "select(Employee, salary = V) "
+                                 "{ TotalTime = 2; }\n"
+                                 "select(Employee, P) { TotalTime = 3; }"))
+                  .ok());
+
+  const auto& candidates =
+      registry.Candidates("src", algebra::OpKind::kSelect);
+  ASSERT_EQ(candidates.size(), 4u);
+  EXPECT_EQ(candidates[0].scope, Scope::kPredicate);
+  EXPECT_EQ(candidates[1].scope, Scope::kCollection);
+  EXPECT_EQ(candidates[2].scope, Scope::kWrapper);
+  EXPECT_EQ(candidates[3].scope, Scope::kDefault);
+}
+
+TEST(RegistryTest, WrapperRulesInvisibleToOtherSources) {
+  RuleRegistry registry;
+  ASSERT_TRUE(registry
+                  .AddDefaultRules(CompileRules("scan(C) { TotalTime = 0; }"))
+                  .ok());
+  ASSERT_TRUE(registry
+                  .AddWrapperRules("a", CompileRules(
+                                            "scan(C) { TotalTime = 1; }"))
+                  .ok());
+  EXPECT_EQ(registry.Candidates("a", algebra::OpKind::kScan).size(), 2u);
+  EXPECT_EQ(registry.Candidates("b", algebra::OpKind::kScan).size(), 1u);
+  EXPECT_EQ(registry.Candidates("", algebra::OpKind::kScan).size(), 1u);
+}
+
+TEST(RegistryTest, LocalRulesOnlyAtMediator) {
+  RuleRegistry registry;
+  ASSERT_TRUE(registry
+                  .AddDefaultRules(CompileRules("scan(C) { TotalTime = 0; }"))
+                  .ok());
+  ASSERT_TRUE(registry
+                  .AddLocalRules(CompileRules("scan(C) { TotalTime = 9; }"))
+                  .ok());
+  EXPECT_EQ(registry.Candidates("", algebra::OpKind::kScan).size(), 2u);
+  // A wrapper context sees only the default rule.
+  EXPECT_EQ(registry.Candidates("some_src", algebra::OpKind::kScan).size(),
+            1u);
+}
+
+TEST(RegistryTest, SourceNamesCaseInsensitive) {
+  RuleRegistry registry;
+  ASSERT_TRUE(registry
+                  .AddWrapperRules("MySrc", CompileRules(
+                                                "scan(C) { TotalTime = 1; }"))
+                  .ok());
+  EXPECT_EQ(registry.Candidates("mysrc", algebra::OpKind::kScan).size(), 1u);
+  EXPECT_EQ(registry.Candidates("MYSRC", algebra::OpKind::kScan).size(), 1u);
+}
+
+TEST(RegistryTest, EmptySourceNameRejectedForWrapperRules) {
+  RuleRegistry registry;
+  EXPECT_TRUE(registry
+                  .AddWrapperRules("", CompileRules(
+                                           "scan(C) { TotalTime = 1; }"))
+                  .IsInvalidArgument());
+}
+
+TEST(RegistryTest, QueryCostRoundTrip) {
+  RuleRegistry registry;
+  auto plan = algebra::Select(algebra::Scan("Employee"), "salary",
+                              algebra::CmpOp::kEq, Value(int64_t{7}));
+  EXPECT_EQ(registry.QueryCost("src", *plan), nullptr);
+
+  CostVector cost = CostVector::Full(10, 1000, 100, 5, 1, 42);
+  registry.AddQueryCost("src", *plan, cost);
+  const CostVector* found = registry.QueryCost("src", *plan);
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->total_time(), 42);
+  EXPECT_EQ(registry.num_query_entries(), 1);
+
+  // A structurally different plan misses.
+  auto other = algebra::Select(algebra::Scan("Employee"), "salary",
+                               algebra::CmpOp::kEq, Value(int64_t{8}));
+  EXPECT_EQ(registry.QueryCost("src", *other), nullptr);
+  // Different source misses.
+  EXPECT_EQ(registry.QueryCost("other", *plan), nullptr);
+}
+
+TEST(RegistryTest, GenericModelInstalls) {
+  RuleRegistry registry;
+  ASSERT_TRUE(InstallGenericModel(&registry, CalibrationParams()).ok());
+  // Every operator kind has at least one default-scope candidate.
+  for (int k = 0; k < algebra::kNumOpKinds; ++k) {
+    EXPECT_FALSE(
+        registry.Candidates("anywhere", static_cast<algebra::OpKind>(k))
+            .empty())
+        << algebra::OpKindToString(static_cast<algebra::OpKind>(k));
+  }
+  EXPECT_GT(registry.num_rules(), 15);
+}
+
+TEST(RegistryTest, DescribeListsRules) {
+  RuleRegistry registry;
+  ASSERT_TRUE(registry
+                  .AddWrapperRules("src", CompileRules(
+                                              "scan(C) { TotalTime = 1; }"))
+                  .ok());
+  std::string desc = registry.Describe();
+  EXPECT_NE(desc.find("wrapper"), std::string::npos);
+  EXPECT_NE(desc.find("scan"), std::string::npos);
+}
+
+TEST(CostVectorTest, SetGetAndMask) {
+  CostVector v;
+  EXPECT_FALSE(v.IsComputed(CostVarId::kTotalTime));
+  EXPECT_TRUE(v.Get(CostVarId::kTotalTime).status().IsExecutionError());
+  v.Set(CostVarId::kTotalTime, 12.5);
+  EXPECT_TRUE(v.IsComputed(CostVarId::kTotalTime));
+  EXPECT_DOUBLE_EQ(*v.Get(CostVarId::kTotalTime), 12.5);
+  EXPECT_DOUBLE_EQ(v.GetOrZero(CostVarId::kTimeNext), 0);
+  EXPECT_NE(v.ToString().find("TotalTime"), std::string::npos);
+}
+
+TEST(CostVectorTest, FullSetsEverything) {
+  CostVector v = CostVector::Full(1, 2, 3, 4, 5, 6);
+  for (int i = 0; i < kNumCostVars; ++i) {
+    EXPECT_TRUE(v.IsComputed(static_cast<CostVarId>(i)));
+  }
+  EXPECT_DOUBLE_EQ(v.count_object(), 1);
+  EXPECT_DOUBLE_EQ(v.total_size(), 2);
+  EXPECT_DOUBLE_EQ(v.object_size(), 3);
+  EXPECT_DOUBLE_EQ(v.time_first(), 4);
+  EXPECT_DOUBLE_EQ(v.time_next(), 5);
+  EXPECT_DOUBLE_EQ(v.total_time(), 6);
+}
+
+}  // namespace
+}  // namespace costmodel
+}  // namespace disco

@@ -1,0 +1,310 @@
+// Semantics of the Figure 11 cost evaluation algorithm: scope selection,
+// min-wins conflict resolution, graceful per-variable fallback, required
+// variable propagation, pruning, and the history extensions.
+
+#include "costmodel/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/operator.h"
+#include "costlang/compiler.h"
+#include "costmodel/generic_model.h"
+
+namespace disco {
+namespace costmodel {
+namespace {
+
+using algebra::CmpOp;
+using algebra::Scan;
+using algebra::Select;
+using algebra::Submit;
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallGenericModel(&registry_, params_).ok());
+    ASSERT_TRUE(catalog_.RegisterSource("src").ok());
+    CollectionSchema schema("Employee", {{"salary", AttrType::kLong},
+                                         {"name", AttrType::kString}});
+    CollectionStats stats;
+    stats.extent = ExtentStats{10000, 1000000, 100};
+    AttributeStats salary;
+    salary.indexed = true;
+    salary.count_distinct = 100;
+    salary.min = Value(int64_t{0});
+    salary.max = Value(int64_t{99});
+    stats.attributes["salary"] = salary;
+    ASSERT_TRUE(catalog_.RegisterCollection("src", schema, stats).ok());
+  }
+
+  void AddWrapperRules(const std::string& text) {
+    costlang::CompileSchema cs;
+    cs.AddCollection("Employee", {"salary", "name"});
+    auto rules = costlang::CompileRuleText(text, cs);
+    ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+    ASSERT_TRUE(registry_.AddWrapperRules("src", std::move(*rules)).ok());
+  }
+
+  Result<PlanEstimate> Estimate(const algebra::Operator& plan,
+                                const EstimateOptions& options = {}) {
+    CostEstimator est(&registry_, &catalog_, history_);
+    return est.EstimateAt(plan, "src", options);
+  }
+
+  CalibrationParams params_;
+  RuleRegistry registry_;
+  Catalog catalog_;
+  const HistoryManager* history_ = nullptr;
+};
+
+TEST_F(EstimatorTest, ScanLeafReadsCatalogStatistics) {
+  auto est = Estimate(*Scan("Employee"));
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_DOUBLE_EQ(est->root.count_object(), 10000);
+  EXPECT_DOUBLE_EQ(est->root.total_size(), 1000000);
+  EXPECT_DOUBLE_EQ(est->root.object_size(), 100);
+  EXPECT_GT(est->root.total_time(), 0);
+}
+
+TEST_F(EstimatorTest, UnknownCollectionFails) {
+  auto est = Estimate(*Scan("Ghost"));
+  EXPECT_FALSE(est.ok());
+}
+
+TEST_F(EstimatorTest, MostSpecificRuleWinsPerVariable) {
+  AddWrapperRules(
+      "select(C, P) { TotalTime = 100; }\n"
+      "select(Employee, P) { TotalTime = 50; }\n"
+      "select(Employee, salary = V) { TotalTime = 25; }\n"
+      "select(Employee, salary = 7) { TotalTime = 10; }\n");
+  auto make = [&](int64_t v) {
+    return Select(Scan("Employee"), "salary", CmpOp::kEq, Value(v));
+  };
+  // salary = 7 matches the most specific (value-bound) rule.
+  auto est = Estimate(*make(7));
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->root.total_time(), 10);
+  // salary = 8 falls back to the attribute-bound rule.
+  est = Estimate(*make(8));
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->root.total_time(), 25);
+  // name = 'x' falls to the collection-scope rule.
+  auto name_sel = Select(Scan("Employee"), "name", CmpOp::kEq, Value("x"));
+  est = Estimate(*name_sel);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->root.total_time(), 50);
+}
+
+TEST_F(EstimatorTest, MinWinsAcrossEqualLevelRules) {
+  AddWrapperRules(
+      "select(Employee, P) { TotalTime = 80; }\n"
+      "select(Employee, P) { TotalTime = 30; }\n");
+  auto est = Estimate(
+      *Select(Scan("Employee"), "salary", CmpOp::kEq, Value(int64_t{1})));
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->root.total_time(), 30);
+}
+
+TEST_F(EstimatorTest, TieBreakFirstOnlyOption) {
+  AddWrapperRules(
+      "select(Employee, P) { TotalTime = 80; }\n"
+      "select(Employee, P) { TotalTime = 30; }\n");
+  EstimateOptions options;
+  options.tie_break_first_only = true;
+  auto est = Estimate(
+      *Select(Scan("Employee"), "salary", CmpOp::kEq, Value(int64_t{1})),
+      options);
+  ASSERT_TRUE(est.ok());
+  // Registration order wins: the first rule (80).
+  EXPECT_DOUBLE_EQ(est->root.total_time(), 80);
+}
+
+TEST_F(EstimatorTest, MissingVariablesFallThroughScopes) {
+  // The wrapper rule computes only TotalTime; the generic model supplies
+  // CountObject etc. (paper: "Default formulas ... are used in this
+  // case").
+  AddWrapperRules("select(Employee, P) { TotalTime = 5; }\n");
+  auto est = Estimate(
+      *Select(Scan("Employee"), "salary", CmpOp::kEq, Value(int64_t{1})));
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->root.total_time(), 5);
+  // Generic: 10000 / CountDistinct(100) = 100.
+  EXPECT_DOUBLE_EQ(est->root.count_object(), 100);
+}
+
+TEST_F(EstimatorTest, SelfVariableDependenciesResolve) {
+  // TotalTime (wrapper rule) uses CountObject, which only the generic
+  // model computes -- the worklist must pull it in.
+  AddWrapperRules(
+      "select(Employee, P) { TotalTime = CountObject * 2; }\n");
+  auto est = Estimate(
+      *Select(Scan("Employee"), "salary", CmpOp::kEq, Value(int64_t{1})));
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->root.total_time(), 200);  // 100 * 2
+}
+
+TEST_F(EstimatorTest, RuleLocalsEvaluatePerNode) {
+  AddWrapperRules(
+      "select(Employee, salary <= V) {\n"
+      "  Fraction = (V - Employee.salary.Min)\n"
+      "           / (Employee.salary.Max - Employee.salary.Min);\n"
+      "  CountObject = Employee.CountObject * Fraction;\n"
+      "  TotalTime = CountObject * 2;\n"
+      "}\n");
+  auto est = Estimate(
+      *Select(Scan("Employee"), "salary", CmpOp::kLe, Value(int64_t{49})));
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_NEAR(est->root.count_object(), 10000 * 49.0 / 99.0, 0.5);
+  EXPECT_NEAR(est->root.total_time(), 2 * 10000 * 49.0 / 99.0, 1.0);
+}
+
+TEST_F(EstimatorTest, SubmitSwitchesScopeContext) {
+  AddWrapperRules("scan(C) { TotalTime = 7; }\n");
+  CostEstimator est(&registry_, &catalog_);
+  // Through submit, the wrapper rule applies and submit adds
+  // communication (latency 50 + 0.01 * 1000000 = 10050).
+  auto plan = Submit("src", Scan("Employee"));
+  auto r = est.Estimate(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->root.total_time(), 7 + 50 + 10000, 1e-6);
+}
+
+TEST_F(EstimatorTest, RequiredVariablePropagationSkipsWork) {
+  AddWrapperRules(
+      "select(Employee, P) {\n"
+      "  CountObject = 1; ObjectSize = 1; TotalSize = 1;\n"
+      "  TimeFirst = 1; TimeNext = 1; TotalTime = 1;\n"
+      "}\n");
+  auto plan =
+      Select(Scan("Employee"), "salary", CmpOp::kEq, Value(int64_t{1}));
+
+  EstimateOptions with;
+  with.propagate_required_vars = true;
+  auto r1 = Estimate(*plan, with);
+  ASSERT_TRUE(r1.ok());
+  // The constant rule needs nothing from the scan: recursion is cut.
+  EXPECT_EQ(r1->nodes_visited, 1);
+
+  EstimateOptions without;
+  without.propagate_required_vars = false;
+  auto r2 = Estimate(*plan, without);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->nodes_visited, 2);
+  EXPECT_GT(r2->formulas_evaluated, r1->formulas_evaluated);
+  // Same answer either way.
+  EXPECT_DOUBLE_EQ(r1->root.total_time(), r2->root.total_time());
+}
+
+TEST_F(EstimatorTest, PruningAbortsExpensivePlans) {
+  CostEstimator est(&registry_, &catalog_);
+  EstimateOptions options;
+  options.prune_bound = 1.0;  // everything is more expensive than 1 ms
+  auto r = est.Estimate(*Submit("src", Scan("Employee")), options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->pruned);
+
+  options.prune_bound = 1e12;
+  r = est.Estimate(*Submit("src", Scan("Employee")), options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->pruned);
+}
+
+TEST_F(EstimatorTest, PruningDoesNotFireInsideSourceContexts) {
+  // Inside a source, min-wins access paths can discount a child's cost
+  // (an index select bypasses its scan), so subcosts there never abort
+  // the estimate.
+  EstimateOptions options;
+  options.prune_bound = 1.0;
+  auto r = Estimate(*Scan("Employee"), options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->pruned);
+}
+
+TEST_F(EstimatorTest, PruningCutsSubtreeEstimation) {
+  // A deep chain of mediator-side selects over an expensive submitted
+  // subquery: the abort at the submit node skips the outer selects'
+  // formula evaluations.
+  std::unique_ptr<algebra::Operator> plan = Submit("src", Scan("Employee"));
+  for (int i = 0; i < 8; ++i) {
+    plan = Select(std::move(plan), "salary", CmpOp::kGt, Value(int64_t{i}));
+  }
+  CostEstimator est(&registry_, &catalog_);
+  auto unpruned = est.Estimate(*plan);
+  ASSERT_TRUE(unpruned.ok());
+
+  EstimateOptions options;
+  options.prune_bound = 1.0;
+  auto pruned = est.Estimate(*plan, options);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_TRUE(pruned->pruned);
+  EXPECT_LT(pruned->formulas_evaluated, unpruned->formulas_evaluated);
+}
+
+TEST_F(EstimatorTest, QueryScopeShortCircuits) {
+  auto plan =
+      Select(Scan("Employee"), "salary", CmpOp::kEq, Value(int64_t{3}));
+  registry_.AddQueryCost("src", *plan,
+                         CostVector::Full(9, 900, 100, 1, 0.5, 77));
+  auto est = Estimate(*plan);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->root.total_time(), 77);
+  EXPECT_DOUBLE_EQ(est->root.count_object(), 9);
+  EXPECT_EQ(est->nodes_visited, 1);  // no recursion below the recorded node
+
+  // With history disabled the recorded cost is ignored.
+  EstimateOptions no_history;
+  no_history.use_history = false;
+  est = Estimate(*plan, no_history);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NE(est->root.total_time(), 77);
+}
+
+TEST_F(EstimatorTest, HistoryAdjustmentScalesSubmit) {
+  HistoryManager history;
+  auto subquery = Scan("Employee");
+  // Observed runs cost 2x the estimate of 1000.
+  history.RecordExecution(&registry_, "src", *subquery, 1000,
+                          CostVector::Full(10, 100, 10, 1, 1, 2000));
+  EXPECT_DOUBLE_EQ(history.AdjustmentFactor("src", algebra::OpKind::kScan),
+                   2.0);
+  // The query-scope entry answers the exact subquery (2000 ms, 100 B);
+  // the adjustment factor then scales the submit node's total:
+  // (2000 + latency 50 + 0.01 * 100) * 2.
+  CostEstimator with_history(&registry_, &catalog_, &history);
+  auto adjusted = with_history.Estimate(*Submit("src", Scan("Employee")));
+  ASSERT_TRUE(adjusted.ok());
+  EXPECT_NEAR(adjusted->root.total_time(), (2000 + 50 + 1) * 2, 0.5);
+}
+
+TEST_F(EstimatorTest, GenericJoinCardinalityUsesPaperFormula) {
+  ASSERT_TRUE(catalog_.RegisterCollection(
+                     "src",
+                     CollectionSchema("Dept", {{"dno", AttrType::kLong}}),
+                     [] {
+                       CollectionStats s;
+                       s.extent = ExtentStats{50, 5000, 100};
+                       AttributeStats dno;
+                       dno.count_distinct = 50;
+                       dno.min = Value(int64_t{0});
+                       dno.max = Value(int64_t{49});
+                       s.attributes["dno"] = dno;
+                       return s;
+                     }())
+                  .ok());
+  auto join = algebra::Join(Scan("Employee"), Scan("Dept"),
+                            algebra::JoinPredicate{"salary", "dno"});
+  auto est = Estimate(*join);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  // |E| * |D| / min(distinct) = 10000 * 50 / 50.
+  EXPECT_DOUBLE_EQ(est->root.count_object(), 10000);
+}
+
+TEST_F(EstimatorTest, MatchAttemptsCounted) {
+  auto est = Estimate(*Scan("Employee"));
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->match_attempts, 0);
+}
+
+}  // namespace
+}  // namespace costmodel
+}  // namespace disco

@@ -1,0 +1,166 @@
+// EXPLAIN output and the re-registration path (§2.1's administrative
+// interface).
+
+#include <gtest/gtest.h>
+
+#include "mediator/mediator.h"
+
+namespace disco {
+namespace {
+
+using algebra::CmpOp;
+using algebra::Scan;
+using algebra::Select;
+using algebra::Submit;
+
+class ExplainReregisterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    med_ = std::make_unique<mediator::Mediator>();
+    auto src = sources::MakeRelationalSource("hr");
+    storage::Table* t = src->CreateTable(CollectionSchema(
+        "Employee", {{"id", AttrType::kLong}, {"salary", AttrType::kLong}}));
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(t->Insert({Value(int64_t{i}),
+                             Value(int64_t{30000 + i * 10})})
+                      .ok());
+    }
+    ASSERT_TRUE(t->CreateIndex("id").ok());
+    wrapper::SimulatedWrapper::Options options;
+    options.cost_rules = "scan(C) { TotalTime = 111; }";
+    auto w = std::make_unique<wrapper::SimulatedWrapper>(std::move(src),
+                                                         options);
+    wrapper_ = w.get();
+    ASSERT_TRUE(med_->RegisterWrapper(std::move(w)).ok());
+  }
+
+  std::unique_ptr<mediator::Mediator> med_;
+  wrapper::SimulatedWrapper* wrapper_ = nullptr;
+};
+
+TEST_F(ExplainReregisterTest, ExplainRecordsWinningRules) {
+  costmodel::CostEstimator est(med_->registry(), &med_->catalog());
+  costmodel::EstimateOptions options;
+  options.collect_explain = true;
+  auto plan = Submit(
+      "hr", Select(Scan("Employee"), "salary", CmpOp::kGe,
+                   Value(int64_t{35000})));
+  auto r = est.Estimate(*plan, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->explain.size(), 3u);  // submit, select, scan (pre-order)
+  EXPECT_EQ(r->explain[0].depth, 0);
+  EXPECT_NE(r->explain[0].label.find("submit"), std::string::npos);
+  EXPECT_EQ(r->explain[1].depth, 1);
+  EXPECT_NE(r->explain[1].label.find("select"), std::string::npos);
+  EXPECT_EQ(r->explain[1].source, "hr");
+  EXPECT_EQ(r->explain[2].depth, 2);
+
+  // The scan node's TotalTime came from the wrapper-scope rule.
+  bool found = false;
+  for (const costmodel::VarExplain& v : r->explain[2].vars) {
+    if (v.var == costlang::CostVarId::kTotalTime) {
+      EXPECT_EQ(v.scope, costmodel::Scope::kWrapper);
+      EXPECT_DOUBLE_EQ(v.value, 111);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  std::string text = costmodel::FormatExplain(*r);
+  EXPECT_NE(text.find("scan(Employee)"), std::string::npos);
+  EXPECT_NE(text.find("[wrapper]"), std::string::npos);
+  EXPECT_NE(text.find("TotalTime"), std::string::npos);
+}
+
+TEST_F(ExplainReregisterTest, ExplainMarksQueryScope) {
+  auto subplan = Scan("Employee");
+  med_->registry()->AddQueryCost(
+      "hr", *subplan, costmodel::CostVector::Full(1, 1, 1, 1, 1, 42));
+  costmodel::CostEstimator est(med_->registry(), &med_->catalog());
+  costmodel::EstimateOptions options;
+  options.collect_explain = true;
+  auto r = est.Estimate(*Submit("hr", Scan("Employee")), options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->explain.size(), 2u);
+  EXPECT_TRUE(r->explain[1].from_query_scope);
+  EXPECT_NE(costmodel::FormatExplain(*r).find("query scope"),
+            std::string::npos);
+}
+
+TEST_F(ExplainReregisterTest, ExplainOffByDefault) {
+  costmodel::CostEstimator est(med_->registry(), &med_->catalog());
+  auto r = est.Estimate(*Submit("hr", Scan("Employee")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->explain.empty());
+}
+
+TEST_F(ExplainReregisterTest, ReRegisterReplacesRules) {
+  costmodel::CostEstimator est(med_->registry(), &med_->catalog());
+  auto plan = Submit("hr", Scan("Employee"));
+  auto before = est.EstimateAt(*Scan("Employee"), "hr");
+  ASSERT_TRUE(before.ok());
+  EXPECT_DOUBLE_EQ(before->root.total_time(), 111);
+
+  // The implementor improves the rule and the administrator re-registers.
+  wrapper_->mutable_options()->cost_rules = "scan(C) { TotalTime = 222; }";
+  ASSERT_TRUE(med_->ReRegisterWrapper("hr").ok());
+
+  auto after = est.EstimateAt(*Scan("Employee"), "hr");
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(after->root.total_time(), 222);
+}
+
+TEST_F(ExplainReregisterTest, ReRegisterRefreshesStatistics) {
+  storage::Table* t = wrapper_->source()->table("Employee");
+  for (int i = 1000; i < 1500; ++i) {
+    ASSERT_TRUE(t->Insert({Value(int64_t{i}),
+                           Value(int64_t{30000 + i * 10})})
+                    .ok());
+  }
+  EXPECT_EQ(med_->catalog().Collection("Employee")->stats.extent.count_object,
+            1000);
+  ASSERT_TRUE(med_->ReRegisterWrapper("hr").ok());
+  EXPECT_EQ(med_->catalog().Collection("Employee")->stats.extent.count_object,
+            1500);
+}
+
+TEST_F(ExplainReregisterTest, ReRegisterDropsStaleQueryScope) {
+  auto subplan = Scan("Employee");
+  med_->registry()->AddQueryCost(
+      "hr", *subplan, costmodel::CostVector::Full(1, 1, 1, 1, 1, 42));
+  EXPECT_EQ(med_->registry()->num_query_entries(), 1);
+  ASSERT_TRUE(med_->ReRegisterWrapper("hr").ok());
+  EXPECT_EQ(med_->registry()->num_query_entries(), 0);
+}
+
+TEST_F(ExplainReregisterTest, ReRegisterUnknownWrapperFails) {
+  EXPECT_TRUE(med_->ReRegisterWrapper("ghost").IsNotFound());
+}
+
+TEST_F(ExplainReregisterTest, ReRegisterDroppingAllRulesFallsBack) {
+  wrapper_->mutable_options()->cost_rules = "";
+  ASSERT_TRUE(med_->ReRegisterWrapper("hr").ok());
+  costmodel::CostEstimator est(med_->registry(), &med_->catalog());
+  auto r = est.EstimateAt(*Scan("Employee"), "hr");
+  ASSERT_TRUE(r.ok());
+  // Back to the generic model: much more than the rule's constant.
+  EXPECT_GT(r->root.total_time(), 1000);
+}
+
+TEST(RegistryRemovalTest, RemoveWrapperRulesCounts) {
+  costmodel::RuleRegistry registry;
+  costlang::CompileSchema schema;
+  auto rules = costlang::CompileRuleText(
+      "scan(C) { TotalTime = 1; }\nselect(C, P) { TotalTime = 2; }", schema);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_TRUE(registry.AddWrapperRules("a", std::move(*rules)).ok());
+  EXPECT_EQ(registry.num_rules(), 2);
+  EXPECT_EQ(registry.RemoveWrapperRules("A"), 2);  // case-insensitive
+  EXPECT_EQ(registry.num_rules(), 0);
+  EXPECT_EQ(registry.RemoveWrapperRules("a"), 0);
+  EXPECT_TRUE(
+      registry.Candidates("a", algebra::OpKind::kScan).empty());
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,215 @@
+// Properties of the generic cost model (Section 2.3): estimates scale
+// sensibly with statistics, index paths win when selective, join
+// strategies pick a minimum, sizes propagate.
+
+#include "costmodel/generic_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algebra/operator.h"
+#include "catalog/catalog.h"
+#include "costmodel/estimator.h"
+
+namespace disco {
+namespace costmodel {
+namespace {
+
+using algebra::CmpOp;
+using algebra::Scan;
+using algebra::Select;
+
+class GenericModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallGenericModel(&registry_, params_).ok());
+    ASSERT_TRUE(catalog_.RegisterSource("src").ok());
+  }
+
+  void AddCollection(const std::string& name, int64_t count,
+                     int64_t object_size, bool indexed,
+                     int64_t count_distinct) {
+    CollectionSchema schema(name, {{"k", AttrType::kLong}});
+    CollectionStats stats;
+    stats.extent = ExtentStats{count, count * object_size, object_size};
+    AttributeStats k;
+    k.indexed = indexed;
+    k.count_distinct = count_distinct;
+    k.min = Value(int64_t{0});
+    k.max = Value(count_distinct - 1);
+    stats.attributes["k"] = k;
+    ASSERT_TRUE(catalog_.RegisterCollection("src", schema, stats).ok());
+  }
+
+  double TotalTime(const algebra::Operator& plan) {
+    CostEstimator est(&registry_, &catalog_);
+    auto r = est.EstimateAt(plan, "src");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->root.total_time();
+  }
+
+  CostVector Estimate(const algebra::Operator& plan) {
+    CostEstimator est(&registry_, &catalog_);
+    auto r = est.EstimateAt(plan, "src");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->root;
+  }
+
+  CalibrationParams params_;
+  RuleRegistry registry_;
+  Catalog catalog_;
+};
+
+TEST_F(GenericModelTest, ScanCostGrowsWithCollectionSize) {
+  AddCollection("Small", 100, 100, false, 10);
+  AddCollection("Big", 100000, 100, false, 10);
+  EXPECT_LT(TotalTime(*Scan("Small")), TotalTime(*Scan("Big")));
+}
+
+TEST_F(GenericModelTest, ScanSizesPassThrough) {
+  AddCollection("T", 5000, 80, false, 50);
+  CostVector v = Estimate(*Scan("T"));
+  EXPECT_DOUBLE_EQ(v.count_object(), 5000);
+  EXPECT_DOUBLE_EQ(v.object_size(), 80);
+  EXPECT_DOUBLE_EQ(v.total_size(), 400000);
+  EXPECT_GT(v.time_first(), 0);
+  EXPECT_LE(v.time_first(), v.total_time());
+}
+
+TEST_F(GenericModelTest, SelectReducesCardinalityBySelectivity) {
+  AddCollection("T", 10000, 100, false, 100);
+  auto plan = Select(Scan("T"), "k", CmpOp::kEq, Value(int64_t{5}));
+  CostVector v = Estimate(*plan);
+  EXPECT_DOUBLE_EQ(v.count_object(), 100);  // 10000 / 100 distinct
+  EXPECT_DOUBLE_EQ(v.total_size(), 100 * 100);
+}
+
+TEST_F(GenericModelTest, IndexBeatsSequentialForSelectivePredicate) {
+  AddCollection("Indexed", 100000, 100, true, 10000);
+  AddCollection("Plain", 100000, 100, false, 10000);
+  auto indexed_plan =
+      Select(Scan("Indexed"), "k", CmpOp::kEq, Value(int64_t{3}));
+  auto plain_plan =
+      Select(Scan("Plain"), "k", CmpOp::kEq, Value(int64_t{3}));
+  EXPECT_LT(TotalTime(*indexed_plan), TotalTime(*plain_plan) / 10);
+}
+
+TEST_F(GenericModelTest, IndexIrrelevantForUnselectivePredicate) {
+  AddCollection("T", 100000, 100, true, 10000);
+  // k >= 0 keeps everything; the sequential strategy should win or tie,
+  // and the cost must be at least the scan's.
+  auto plan = Select(Scan("T"), "k", CmpOp::kGe, Value(int64_t{0}));
+  EXPECT_GE(TotalTime(*plan), TotalTime(*Scan("T")));
+}
+
+TEST_F(GenericModelTest, SelectCostMonotoneInSelectivity) {
+  AddCollection("T", 50000, 100, true, 50000);
+  double prev = 0;
+  for (int64_t cutoff : {499, 4999, 24999, 49999}) {
+    auto plan = Select(Scan("T"), "k", CmpOp::kLe, Value(cutoff));
+    double t = TotalTime(*plan);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_F(GenericModelTest, JoinPicksMinimumStrategy) {
+  AddCollection("L", 1000, 100, false, 1000);
+  AddCollection("R", 1000, 100, true, 1000);
+  auto join = algebra::Join(Scan("L"), Scan("R"),
+                            algebra::JoinPredicate{"k", "k"});
+  double t = TotalTime(*join);
+  // Hand-compute the three strategies of the generic model and check
+  // min-wins picked their minimum.
+  double scan_l = TotalTime(*Scan("L"));
+  double scan_r = TotalTime(*Scan("R"));
+  const double out = 1000.0 * 1000 / 1000;  // |L||R|/min(distinct)
+  const double cmp = params_.ms_per_cmp, obj = params_.ms_per_object;
+  double nested = scan_l + scan_r + cmp * 1000 * 1000 + obj * out;
+  double log_n = std::log2(1000.0);
+  double sort_merge = scan_l + scan_r + cmp * 1000 * log_n * 2 +
+                      cmp * 2000 + obj * out;
+  double index_join = scan_l +
+                      1000 * (params_.ms_index_probe + params_.ms_per_io) +
+                      obj * out;
+  EXPECT_NEAR(t, std::min({nested, sort_merge, index_join}), 1.0);
+}
+
+TEST_F(GenericModelTest, JoinCardinalityAndWidth) {
+  AddCollection("L", 2000, 64, false, 100);
+  AddCollection("R", 500, 32, false, 50);
+  auto join = algebra::Join(Scan("L"), Scan("R"),
+                            algebra::JoinPredicate{"k", "k"});
+  CostVector v = Estimate(*join);
+  // |L|*|R| / min(100, 50).
+  EXPECT_DOUBLE_EQ(v.count_object(), 2000.0 * 500 / 50);
+  EXPECT_DOUBLE_EQ(v.object_size(), 96);
+}
+
+TEST_F(GenericModelTest, SortIsBlocking) {
+  AddCollection("T", 10000, 100, false, 100);
+  auto sorted = algebra::Sort(Scan("T"), "k");
+  CostVector v = Estimate(*sorted);
+  // TimeFirst of a sort includes the child's full time.
+  CostVector scan = Estimate(*Scan("T"));
+  EXPECT_GE(v.time_first(), scan.total_time());
+  EXPECT_GE(v.total_time(), v.time_first());
+}
+
+TEST_F(GenericModelTest, AggregateShrinksOutput) {
+  AddCollection("T", 10000, 100, false, 100);
+  auto agg = algebra::Aggregate(Scan("T"), algebra::AggFunc::kCount, "");
+  CostVector v = Estimate(*agg);
+  EXPECT_LT(v.count_object(), 10000);
+  EXPECT_GE(v.count_object(), 1);
+}
+
+TEST_F(GenericModelTest, UnionAddsSizes) {
+  AddCollection("A", 1000, 100, false, 10);
+  AddCollection("B", 2000, 100, false, 10);
+  auto u = algebra::Union(Scan("A"), Scan("B"));
+  CostVector v = Estimate(*u);
+  EXPECT_DOUBLE_EQ(v.count_object(), 3000);
+  EXPECT_DOUBLE_EQ(v.total_size(), 300000);
+}
+
+TEST_F(GenericModelTest, SubmitAddsCommunication) {
+  AddCollection("T", 1000, 100, false, 10);
+  CostEstimator est(&registry_, &catalog_);
+  auto inner = est.EstimateAt(*Scan("T"), "src");
+  auto submitted = est.Estimate(*algebra::Submit("src", Scan("T")));
+  ASSERT_TRUE(inner.ok());
+  ASSERT_TRUE(submitted.ok());
+  double comm = params_.ms_msg_latency +
+                params_.ms_per_net_byte * inner->root.total_size();
+  EXPECT_NEAR(submitted->root.total_time(),
+              inner->root.total_time() + comm, 1e-6);
+}
+
+TEST_F(GenericModelTest, LocalScopeCheaperThanSourceForMediatorOps) {
+  AddCollection("T", 10000, 100, false, 100);
+  // The same logical select estimated at the mediator (local rules, no
+  // I/O constants) vs at a source (default rules).
+  auto plan = algebra::Select(algebra::Submit("src", Scan("T")), "k",
+                              CmpOp::kEq, Value(int64_t{5}));
+  CostEstimator est(&registry_, &catalog_);
+  auto r = est.Estimate(*plan);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The mediator-side filter adds only MedCmpMs per object on top of the
+  // submitted scan.
+  auto scan_only = est.Estimate(*algebra::Submit("src", Scan("T")));
+  ASSERT_TRUE(scan_only.ok());
+  EXPECT_NEAR(r->root.total_time(),
+              scan_only->root.total_time() + params_.ms_med_cmp * 10000,
+              1e-6);
+}
+
+TEST_F(GenericModelTest, RuleTextsAreNonTrivial) {
+  EXPECT_GT(GenericModelRuleText(params_).size(), 1000u);
+  EXPECT_GT(LocalModelRuleText(params_).size(), 1000u);
+}
+
+}  // namespace
+}  // namespace costmodel
+}  // namespace disco

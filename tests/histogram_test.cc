@@ -1,0 +1,134 @@
+#include "catalog/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace disco {
+namespace {
+
+std::vector<Value> Ints(std::initializer_list<int64_t> xs) {
+  std::vector<Value> out;
+  for (int64_t x : xs) out.push_back(Value(x));
+  return out;
+}
+
+TEST(HistogramTest, EmptyInput) {
+  auto h = EquiDepthHistogram::Build({}, 4);
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->empty());
+  EXPECT_EQ(h->EstimateEq(Value(int64_t{1})), 0.0);
+  EXPECT_EQ(h->EstimateLt(Value(int64_t{1})), 0.0);
+}
+
+TEST(HistogramTest, RejectsNonPositiveBuckets) {
+  EXPECT_FALSE(EquiDepthHistogram::Build(Ints({1}), 0).ok());
+  EXPECT_FALSE(EquiDepthHistogram::Build(Ints({1}), -3).ok());
+}
+
+TEST(HistogramTest, RejectsMixedIncomparableTypes) {
+  std::vector<Value> mixed{Value(int64_t{1}), Value("x")};
+  EXPECT_FALSE(EquiDepthHistogram::Build(std::move(mixed), 2).ok());
+}
+
+TEST(HistogramTest, UniformEqEstimate) {
+  std::vector<Value> vals;
+  for (int64_t i = 0; i < 1000; ++i) vals.push_back(Value(i % 100));
+  auto h = EquiDepthHistogram::Build(std::move(vals), 10);
+  ASSERT_TRUE(h.ok());
+  // Each of the 100 distinct values holds 1% of rows.
+  EXPECT_NEAR(h->EstimateEq(Value(int64_t{42})), 0.01, 0.005);
+}
+
+TEST(HistogramTest, SkewedValueSpansBuckets) {
+  // 90% of rows are the value 7.
+  std::vector<Value> vals;
+  for (int i = 0; i < 900; ++i) vals.push_back(Value(int64_t{7}));
+  for (int64_t i = 0; i < 100; ++i) vals.push_back(Value(1000 + i));
+  auto h = EquiDepthHistogram::Build(std::move(vals), 16);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->EstimateEq(Value(int64_t{7})), 0.9, 0.07);
+  EXPECT_LT(h->EstimateEq(Value(int64_t{1050})), 0.05);
+}
+
+TEST(HistogramTest, SkewedStringValue) {
+  std::vector<Value> vals;
+  for (int i = 0; i < 950; ++i) vals.push_back(Value("paris"));
+  for (int i = 0; i < 50; ++i) {
+    vals.push_back(Value("city" + std::to_string(i)));
+  }
+  auto h = EquiDepthHistogram::Build(std::move(vals), 32);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->EstimateEq(Value("paris")), 0.95, 0.05);
+}
+
+TEST(HistogramTest, LtAtExtremes) {
+  std::vector<Value> vals;
+  for (int64_t i = 0; i < 100; ++i) vals.push_back(Value(i));
+  auto h = EquiDepthHistogram::Build(std::move(vals), 8);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->EstimateLt(Value(int64_t{0})), 0.0);
+  EXPECT_NEAR(h->EstimateLt(Value(int64_t{1000})), 1.0, 1e-9);
+  EXPECT_NEAR(h->EstimateLt(Value(int64_t{50})), 0.5, 0.05);
+}
+
+TEST(HistogramTest, RangeMatchesLtDifference) {
+  std::vector<Value> vals;
+  for (int64_t i = 0; i < 500; ++i) vals.push_back(Value(i));
+  auto h = EquiDepthHistogram::Build(std::move(vals), 10);
+  ASSERT_TRUE(h.ok());
+  double range = h->EstimateRange(Value(int64_t{100}), Value(int64_t{299}));
+  EXPECT_NEAR(range, 0.4, 0.05);
+}
+
+// Property sweep: for several distributions and bucket counts, the
+// estimates must be proper probabilities and EstimateLt must be monotone.
+struct HistCase {
+  int num_buckets;
+  int distribution;  // 0 uniform, 1 zipf-ish, 2 clustered
+};
+
+class HistogramPropertyTest : public ::testing::TestWithParam<HistCase> {};
+
+TEST_P(HistogramPropertyTest, BoundsAndMonotonicity) {
+  const HistCase& c = GetParam();
+  Rng rng(99 + static_cast<uint64_t>(c.distribution));
+  std::vector<Value> vals;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = 0;
+    switch (c.distribution) {
+      case 0:
+        v = rng.NextInt64(0, 9999);
+        break;
+      case 1:
+        v = static_cast<int64_t>(10000.0 / (1.0 + 99.0 * rng.NextDouble()));
+        break;
+      case 2:
+        v = (i % 3 == 0) ? 500 : rng.NextInt64(0, 999);
+        break;
+    }
+    vals.push_back(Value(v));
+  }
+  auto h = EquiDepthHistogram::Build(std::move(vals), c.num_buckets);
+  ASSERT_TRUE(h.ok());
+  double prev = -1;
+  for (int64_t probe = -100; probe <= 11000; probe += 500) {
+    double eq = h->EstimateEq(Value(probe));
+    double lt = h->EstimateLt(Value(probe));
+    EXPECT_GE(eq, 0.0);
+    EXPECT_LE(eq, 1.0);
+    EXPECT_GE(lt, 0.0);
+    EXPECT_LE(lt, 1.0);
+    EXPECT_GE(lt, prev - 1e-9) << "EstimateLt must be monotone";
+    prev = lt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramPropertyTest,
+    ::testing::Values(HistCase{1, 0}, HistCase{4, 0}, HistCase{32, 0},
+                      HistCase{4, 1}, HistCase{32, 1}, HistCase{4, 2},
+                      HistCase{32, 2}));
+
+}  // namespace
+}  // namespace disco

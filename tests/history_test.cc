@@ -1,0 +1,89 @@
+#include "costmodel/history.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/operator.h"
+
+namespace disco {
+namespace costmodel {
+namespace {
+
+TEST(HistoryTest, FactorDefaultsToOne) {
+  HistoryManager history;
+  EXPECT_DOUBLE_EQ(history.AdjustmentFactor("src", algebra::OpKind::kScan),
+                   1.0);
+  EXPECT_EQ(history.num_observations(), 0);
+}
+
+TEST(HistoryTest, FirstObservationSetsFactor) {
+  HistoryManager history;
+  RuleRegistry registry;
+  auto plan = algebra::Scan("T");
+  history.RecordExecution(&registry, "src", *plan, 100,
+                          CostVector::Full(1, 1, 1, 1, 1, 300));
+  EXPECT_DOUBLE_EQ(history.AdjustmentFactor("src", algebra::OpKind::kScan),
+                   3.0);
+  EXPECT_EQ(history.num_observations(), 1);
+  // The query-scope entry was installed too.
+  EXPECT_NE(registry.QueryCost("src", *plan), nullptr);
+}
+
+TEST(HistoryTest, EwmaConverges) {
+  HistoryManager history(/*alpha=*/0.5);
+  RuleRegistry registry;
+  auto plan = algebra::Scan("T");
+  // Estimates are consistently half the observed cost (ratio 2).
+  for (int i = 0; i < 12; ++i) {
+    history.RecordExecution(&registry, "src", *plan, 100,
+                            CostVector::Full(1, 1, 1, 1, 1, 200));
+  }
+  EXPECT_NEAR(history.AdjustmentFactor("src", algebra::OpKind::kScan), 2.0,
+              0.01);
+}
+
+TEST(HistoryTest, FactorsAreKeyedBySourceAndKind) {
+  HistoryManager history;
+  RuleRegistry registry;
+  auto scan = algebra::Scan("T");
+  auto select = algebra::Select(algebra::Scan("T"), "a",
+                                algebra::CmpOp::kEq, Value(int64_t{1}));
+  history.RecordExecution(&registry, "a", *scan, 100,
+                          CostVector::Full(1, 1, 1, 1, 1, 500));
+  EXPECT_DOUBLE_EQ(history.AdjustmentFactor("a", algebra::OpKind::kScan), 5);
+  EXPECT_DOUBLE_EQ(history.AdjustmentFactor("b", algebra::OpKind::kScan), 1);
+  EXPECT_DOUBLE_EQ(history.AdjustmentFactor("a", algebra::OpKind::kSelect),
+                   1);
+  history.RecordExecution(&registry, "a", *select, 100,
+                          CostVector::Full(1, 1, 1, 1, 1, 50));
+  EXPECT_DOUBLE_EQ(history.AdjustmentFactor("a", algebra::OpKind::kSelect),
+                   0.5);
+}
+
+TEST(HistoryTest, SourceNamesCaseInsensitive) {
+  HistoryManager history;
+  RuleRegistry registry;
+  auto plan = algebra::Scan("T");
+  history.RecordExecution(&registry, "SRC", *plan, 100,
+                          CostVector::Full(1, 1, 1, 1, 1, 200));
+  EXPECT_DOUBLE_EQ(history.AdjustmentFactor("src", algebra::OpKind::kScan),
+                   2.0);
+}
+
+TEST(HistoryTest, DegenerateObservationsIgnoredOrClamped) {
+  HistoryManager history;
+  RuleRegistry registry;
+  auto plan = algebra::Scan("T");
+  // Zero estimate: no factor update (cannot form a ratio).
+  history.RecordExecution(&registry, "src", *plan, 0,
+                          CostVector::Full(1, 1, 1, 1, 1, 200));
+  EXPECT_DOUBLE_EQ(history.AdjustmentFactor("src", algebra::OpKind::kScan),
+                   1.0);
+  // Absurd ratio clamps rather than exploding.
+  history.RecordExecution(&registry, "src", *plan, 1e-9,
+                          CostVector::Full(1, 1, 1, 1, 1, 1e9));
+  EXPECT_LE(history.AdjustmentFactor("src", algebra::OpKind::kScan), 1000.0);
+}
+
+}  // namespace
+}  // namespace costmodel
+}  // namespace disco

@@ -1,0 +1,113 @@
+// Interface inheritance -- the feature the paper marks as planned
+// ("Support of inheritance and aggregation of interfaces is planed",
+// §3.1), implemented here.
+
+#include <gtest/gtest.h>
+
+#include "idl/idl_parser.h"
+
+namespace disco {
+namespace idl {
+namespace {
+
+const InterfaceDef* Find(const std::vector<InterfaceDef>& defs,
+                         const std::string& name) {
+  for (const InterfaceDef& d : defs) {
+    if (d.schema.name() == name) return &d;
+  }
+  return nullptr;
+}
+
+TEST(IdlInheritanceTest, DerivedGetsBaseAttributesFirst) {
+  auto defs = ParseModule(
+      "interface Employee {\n"
+      "  attribute Long salary;\n"
+      "  attribute String name;\n"
+      "}\n"
+      "interface Manager : Employee {\n"
+      "  attribute Long teamSize;\n"
+      "}");
+  ASSERT_TRUE(defs.ok()) << defs.status().ToString();
+  const InterfaceDef* manager = Find(*defs, "Manager");
+  ASSERT_NE(manager, nullptr);
+  ASSERT_EQ(manager->schema.num_attributes(), 3);
+  EXPECT_EQ(manager->schema.attributes()[0].name, "salary");
+  EXPECT_EQ(manager->schema.attributes()[1].name, "name");
+  EXPECT_EQ(manager->schema.attributes()[2].name, "teamSize");
+  // The base is untouched.
+  EXPECT_EQ(Find(*defs, "Employee")->schema.num_attributes(), 2);
+}
+
+TEST(IdlInheritanceTest, DeclarationOrderDoesNotMatter) {
+  auto defs = ParseModule(
+      "interface Manager : Employee { attribute Long teamSize; }\n"
+      "interface Employee { attribute Long salary; }");
+  ASSERT_TRUE(defs.ok()) << defs.status().ToString();
+  EXPECT_EQ(Find(*defs, "Manager")->schema.num_attributes(), 2);
+}
+
+TEST(IdlInheritanceTest, TransitiveChains) {
+  auto defs = ParseModule(
+      "interface A { attribute Long a; }\n"
+      "interface B : A { attribute Long b; }\n"
+      "interface C : B { attribute Long c; }");
+  ASSERT_TRUE(defs.ok()) << defs.status().ToString();
+  const InterfaceDef* c = Find(*defs, "C");
+  ASSERT_EQ(c->schema.num_attributes(), 3);
+  EXPECT_EQ(c->schema.attributes()[0].name, "a");
+  EXPECT_EQ(c->schema.attributes()[2].name, "c");
+}
+
+TEST(IdlInheritanceTest, MultipleBases) {
+  auto defs = ParseModule(
+      "interface Named { attribute String name; }\n"
+      "interface Dated { attribute Long date; }\n"
+      "interface Doc : Named, Dated { attribute String body; }");
+  ASSERT_TRUE(defs.ok()) << defs.status().ToString();
+  const InterfaceDef* doc = Find(*defs, "Doc");
+  ASSERT_EQ(doc->schema.num_attributes(), 3);
+  EXPECT_EQ(doc->schema.attributes()[0].name, "name");
+  EXPECT_EQ(doc->schema.attributes()[1].name, "date");
+}
+
+TEST(IdlInheritanceTest, OperationsAndCardinalityInherit) {
+  auto defs = ParseModule(
+      "interface Base {\n"
+      "  attribute Long k;\n"
+      "  short age();\n"
+      "  cardinality extent(out long CountObject, out long TotalSize,\n"
+      "                     out long ObjectSize);\n"
+      "}\n"
+      "interface Derived : Base { attribute Long extra; }");
+  ASSERT_TRUE(defs.ok()) << defs.status().ToString();
+  const InterfaceDef* derived = Find(*defs, "Derived");
+  EXPECT_EQ(derived->schema.operations().size(), 1u);
+  EXPECT_TRUE(derived->declares_extent_stats);
+  EXPECT_FALSE(derived->declares_attribute_stats);
+}
+
+TEST(IdlInheritanceTest, UnknownBaseRejected) {
+  auto defs = ParseModule("interface X : Ghost { attribute Long a; }");
+  ASSERT_FALSE(defs.ok());
+  EXPECT_NE(defs.status().message().find("Ghost"), std::string::npos);
+}
+
+TEST(IdlInheritanceTest, CycleRejected) {
+  auto defs = ParseModule(
+      "interface A : B { attribute Long a; }\n"
+      "interface B : A { attribute Long b; }");
+  ASSERT_FALSE(defs.ok());
+  EXPECT_NE(defs.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(IdlInheritanceTest, AttributeRedefinitionRejected) {
+  auto defs = ParseModule(
+      "interface A { attribute Long x; }\n"
+      "interface B : A { attribute String x; }");
+  ASSERT_FALSE(defs.ok());
+  EXPECT_NE(defs.status().message().find("redefines"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idl
+}  // namespace disco

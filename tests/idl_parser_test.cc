@@ -1,0 +1,125 @@
+#include "idl/idl_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace idl {
+namespace {
+
+TEST(IdlParserTest, Figure3Interface) {
+  auto r = ParseInterface(
+      "interface Employee {\n"
+      "  attribute Long salary;\n"
+      "  attribute String Name;\n"
+      "  short age();\n"
+      "}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->schema.name(), "Employee");
+  ASSERT_EQ(r->schema.num_attributes(), 2);
+  EXPECT_EQ(r->schema.attributes()[0].name, "salary");
+  EXPECT_EQ(r->schema.attributes()[0].type, AttrType::kLong);
+  EXPECT_EQ(r->schema.attributes()[1].name, "Name");
+  EXPECT_EQ(r->schema.attributes()[1].type, AttrType::kString);
+  ASSERT_EQ(r->schema.operations().size(), 1u);
+  EXPECT_EQ(r->schema.operations()[0].name, "age");
+  EXPECT_EQ(r->schema.operations()[0].return_type, "short");
+  EXPECT_FALSE(r->declares_extent_stats);
+  EXPECT_FALSE(r->declares_attribute_stats);
+}
+
+TEST(IdlParserTest, Figure4CardinalityMethods) {
+  auto r = ParseInterface(
+      "interface Employee {\n"
+      "  attribute Long salary;\n"
+      "  cardinality extent(out long CountObject, out long TotalSize,\n"
+      "                     out long ObjectSize);\n"
+      "  cardinality attribute(in String AttributeName, out Boolean Indexed,\n"
+      "                        out Long CountDistinct, out Constant Min,\n"
+      "                        out Constant Max);\n"
+      "}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->declares_extent_stats);
+  EXPECT_TRUE(r->declares_attribute_stats);
+}
+
+TEST(IdlParserTest, OperationsWithParameters) {
+  auto r = ParseInterface(
+      "interface Account {\n"
+      "  attribute Double balance;\n"
+      "  Double withdraw(in Double amount, in String reason);\n"
+      "}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->schema.operations().size(), 1u);
+  EXPECT_EQ(r->schema.operations()[0].parameter_types.size(), 2u);
+}
+
+TEST(IdlParserTest, ModuleWithSeveralInterfaces) {
+  auto r = ParseModule(
+      "interface A { attribute Long x; };\n"
+      "interface B { attribute String y; }\n"
+      "interface C { attribute Boolean z; }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(IdlParserTest, CommentsAreSkipped) {
+  auto r = ParseInterface(
+      "// leading comment\n"
+      "interface T { /* inline */ attribute Long a; // trailing\n }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->schema.num_attributes(), 1);
+}
+
+TEST(IdlParserTest, ErrorsAreParseErrors) {
+  EXPECT_TRUE(ParseInterface("interface { }").status().IsParseError());
+  EXPECT_TRUE(ParseInterface("interface T { attribute Blob x; }")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseInterface("interface T { attribute Long x }")  // missing ;
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseInterface("interface T { attribute Long x;")  // missing }
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseInterface("").status().IsParseError());  // not exactly one
+}
+
+TEST(IdlParserTest, BadCardinalitySignatureRejected) {
+  EXPECT_TRUE(ParseInterface(
+                  "interface T {\n"
+                  "  cardinality extent(out long Wrong, out long TotalSize,\n"
+                  "                     out long ObjectSize);\n"
+                  "}")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseInterface(
+                  "interface T {\n"
+                  "  cardinality extent(out long CountObject);\n"  // too few
+                  "}")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseInterface("interface T { cardinality bogus(); }")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(IdlParserTest, UnterminatedCommentRejected) {
+  EXPECT_TRUE(
+      ParseInterface("interface T { /* attribute Long a; }").status()
+          .IsParseError());
+}
+
+TEST(IdlParserTest, ErrorsCarryLineNumbers) {
+  Status s = ParseInterface(
+                 "interface T {\n"
+                 "  attribute Long a;\n"
+                 "  attribute Nope b;\n"
+                 "}")
+                 .status();
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.message();
+}
+
+}  // namespace
+}  // namespace idl
+}  // namespace disco

@@ -1,0 +1,117 @@
+#include "costlang/lint.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace costlang {
+namespace {
+
+CompileSchema Schema() {
+  CompileSchema schema;
+  schema.AddCollection("Employee", {"salary", "name"});
+  return schema;
+}
+
+bool HasKind(const std::vector<LintWarning>& warnings, LintKind kind) {
+  for (const LintWarning& w : warnings) {
+    if (w.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(LintTest, CleanRulesProduceNoWarnings) {
+  auto w = LintRuleText(
+      "define IO = 25;\n"
+      "scan(C) { TotalTime = IO * (C.TotalSize / 4096); }\n"
+      "select(Employee, salary = V) {\n"
+      "  CountObject = Employee.CountObject\n"
+      "              / Employee.salary.CountDistinct;\n"
+      "  TotalTime = CountObject * 2;\n"
+      "}",
+      Schema());
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_TRUE(w->empty()) << (*w)[0].ToString();
+}
+
+TEST(LintTest, CompileErrorsPropagate) {
+  EXPECT_TRUE(LintRuleText("scan(C) {", Schema()).status().IsParseError());
+}
+
+TEST(LintTest, DuplicatePatternFlagged) {
+  auto w = LintRuleText(
+      "select(Employee, P) { TotalTime = 1; }\n"
+      "select(Employee, P) { TotalTime = 2; }",
+      Schema());
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(HasKind(*w, LintKind::kDuplicatePattern));
+  // Distinct patterns are not.
+  w = LintRuleText(
+      "select(Employee, P) { TotalTime = 1; }\n"
+      "select(C, P) { TotalTime = 2; }",
+      Schema());
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(HasKind(*w, LintKind::kDuplicatePattern));
+}
+
+TEST(LintTest, UnknownAttributeFlagged) {
+  auto w = LintRuleText(
+      "select(Employee, P) {\n"
+      "  TotalTime = Employee.sallary.CountDistinct;\n"  // typo
+      "}",
+      Schema());
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(HasKind(*w, LintKind::kUnknownAttribute));
+  // The message names the typo.
+  bool found = false;
+  for (const LintWarning& warn : *w) {
+    if (warn.message.find("sallary") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintTest, UnknownAttributeNotFlaggedForFreeCollections) {
+  // With a free collection variable, the linter cannot know the schema.
+  auto w = LintRuleText(
+      "select(C, P) { TotalTime = C.whatever.CountDistinct; }", Schema());
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(HasKind(*w, LintKind::kUnknownAttribute));
+}
+
+TEST(LintTest, SizeOnlyRuleFlagged) {
+  auto w = LintRuleText(
+      "select(Employee, P) { CountObject = Employee.CountObject / 2; }",
+      Schema());
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(HasKind(*w, LintKind::kSizeOnlyRule));
+}
+
+TEST(LintTest, UnusedDefineFlagged) {
+  auto w = LintRuleText(
+      "define Used = 1;\n"
+      "define Orphan = 2;\n"
+      "scan(C) { TotalTime = Used; }",
+      Schema());
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(HasKind(*w, LintKind::kUnusedDefine));
+  bool found = false;
+  for (const LintWarning& warn : *w) {
+    if (warn.message.find("Orphan") != std::string::npos) found = true;
+    EXPECT_EQ(warn.message.find("'Used'"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintTest, WarningsCarryLinesAndRender) {
+  auto w = LintRuleText(
+      "scan(C) { TotalTime = 1; }\n"
+      "scan(C) { TotalTime = 2; }",
+      Schema());
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->size(), 1u);
+  EXPECT_EQ((*w)[0].line, 2);
+  EXPECT_NE((*w)[0].ToString().find("duplicate-pattern"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace costlang
+}  // namespace disco

@@ -1,0 +1,174 @@
+// End-to-end tests: registration phase + query phase across simulated
+// heterogeneous sources, including the OO7 database.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench007/oo7.h"
+#include "mediator/mediator.h"
+
+namespace disco {
+namespace {
+
+using mediator::Mediator;
+using mediator::QueryResult;
+
+bench007::OO7Config SmallOO7() {
+  bench007::OO7Config config;
+  config.num_atomic_parts = 7000;
+  config.connections_per_atomic = 1;
+  config.num_composite_parts = 350;
+  config.num_documents = 350;
+  return config;
+}
+
+class MediatorIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    med_ = std::make_unique<Mediator>();
+
+    // OO7 object database exporting the Yao rule (full cost info).
+    auto oo7 = bench007::BuildOO7Source(SmallOO7());
+    ASSERT_TRUE(oo7.ok()) << oo7.status().ToString();
+    wrapper::SimulatedWrapper::Options oo7_opts;
+    oo7_opts.cost_rules = bench007::Oo7YaoRuleText();
+    ASSERT_TRUE(med_->RegisterWrapper(
+                        std::make_unique<wrapper::SimulatedWrapper>(
+                            std::move(*oo7), oo7_opts))
+                    .ok());
+
+    // A relational source holding suppliers (partial cost info: none).
+    auto rel = sources::MakeRelationalSource("erp");
+    storage::Table* suppliers = rel->CreateTable(CollectionSchema(
+        "Supplier", {{"sid", AttrType::kLong},
+                     {"partType", AttrType::kString},
+                     {"region", AttrType::kString}}));
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(suppliers
+                      ->Insert({Value(int64_t{i}),
+                                Value(std::string("t") +
+                                      std::to_string(i % 10)),
+                                Value(std::string(i % 2 ? "east" : "west"))})
+                      .ok());
+    }
+    ASSERT_TRUE(suppliers->CreateIndex("sid").ok());
+    wrapper::SimulatedWrapper::Options rel_opts;
+    ASSERT_TRUE(med_->RegisterWrapper(
+                        std::make_unique<wrapper::SimulatedWrapper>(
+                            std::move(rel), rel_opts))
+                    .ok());
+
+    // A file source (scan-only capabilities, no statistics beyond extent).
+    auto file = sources::MakeFileSource("weblog");
+    storage::Table* hits = file->CreateTable(CollectionSchema(
+        "Hit", {{"docId", AttrType::kLong}, {"count", AttrType::kLong}}));
+    for (int i = 0; i < 350; ++i) {
+      ASSERT_TRUE(
+          hits->Insert({Value(int64_t{i % 350}), Value(int64_t{i * 3})})
+              .ok());
+    }
+    wrapper::SimulatedWrapper::Options file_opts;
+    file_opts.capabilities = optimizer::SourceCapabilities::FilterOnly();
+    ASSERT_TRUE(med_->RegisterWrapper(
+                        std::make_unique<wrapper::SimulatedWrapper>(
+                            std::move(file), file_opts))
+                    .ok());
+  }
+
+  std::unique_ptr<Mediator> med_;
+};
+
+TEST_F(MediatorIntegrationTest, RegistrationPopulatesCatalog) {
+  EXPECT_TRUE(med_->catalog().HasSource("oo7"));
+  EXPECT_TRUE(med_->catalog().HasSource("erp"));
+  EXPECT_TRUE(med_->catalog().HasSource("weblog"));
+  EXPECT_TRUE(med_->catalog().HasCollection("AtomicPart"));
+  EXPECT_TRUE(med_->catalog().HasCollection("Supplier"));
+  EXPECT_TRUE(med_->catalog().HasCollection("Hit"));
+
+  auto entry = med_->catalog().Collection("AtomicPart");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->stats.extent.count_object, 7000);
+  auto id_stats = entry->stats.Attribute("id");
+  ASSERT_TRUE(id_stats.ok());
+  EXPECT_TRUE(id_stats->indexed);
+  EXPECT_EQ(id_stats->count_distinct, 7000);
+}
+
+TEST_F(MediatorIntegrationTest, SingleSourceSelection) {
+  auto r = med_->Query("SELECT id, x FROM AtomicPart WHERE id <= 99");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tuples.size(), 100u);
+  EXPECT_GT(r->measured_ms, 0);
+  EXPECT_GT(r->estimated_ms, 0);
+}
+
+TEST_F(MediatorIntegrationTest, CrossSourceJoin) {
+  auto r = med_->Query(
+      "SELECT id, sid FROM AtomicPart, Supplier "
+      "WHERE AtomicPart.type = Supplier.partType AND id <= 20 "
+      "AND region = 'east'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Every atomic part matches ~10 east suppliers of its type.
+  EXPECT_GT(r->tuples.size(), 0u);
+  // The plan must contain submits to both sources.
+  EXPECT_NE(r->plan_text.find("@oo7"), std::string::npos);
+  EXPECT_NE(r->plan_text.find("@erp"), std::string::npos);
+}
+
+TEST_F(MediatorIntegrationTest, FileSourceSelectionsStayLocal) {
+  // The weblog wrapper can filter; a join involving it must happen at
+  // the mediator (FilterOnly capabilities).
+  auto r = med_->Query(
+      "SELECT title, count FROM Document, Hit "
+      "WHERE Document.id = Hit.docId AND count > 100");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->tuples.size(), 0u);
+  EXPECT_NE(r->plan_text.find("@weblog"), std::string::npos);
+}
+
+TEST_F(MediatorIntegrationTest, AggregateQuery) {
+  auto r = med_->Query("SELECT count(*) FROM AtomicPart WHERE id <= 699");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->tuples.size(), 1u);
+  EXPECT_EQ(r->tuples[0][0], Value(int64_t{700}));
+}
+
+TEST_F(MediatorIntegrationTest, GroupByQuery) {
+  auto r = med_->Query(
+      "SELECT region, count(*) FROM Supplier GROUP BY region");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->tuples.size(), 2u);
+}
+
+TEST_F(MediatorIntegrationTest, OrderByQuery) {
+  auto r = med_->Query(
+      "SELECT id FROM AtomicPart WHERE id <= 9 ORDER BY id DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->tuples.size(), 10u);
+  EXPECT_EQ(r->tuples.front()[0], Value(int64_t{9}));
+  EXPECT_EQ(r->tuples.back()[0], Value(int64_t{0}));
+}
+
+TEST_F(MediatorIntegrationTest, HistoryImprovesRepeatedQueries) {
+  const char* sql = "SELECT id FROM AtomicPart WHERE id <= 499";
+  auto first = med_->Query(sql);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // The measured subquery cost is now a query-scope rule; a repeated
+  // identical query estimates to (nearly) the measured cost.
+  auto second = med_->Query(sql);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GT(med_->registry()->num_query_entries(), 0);
+}
+
+TEST_F(MediatorIntegrationTest, ErrorsSurfaceCleanly) {
+  EXPECT_TRUE(med_->Query("SELECT nothing FROM Nowhere").status().IsNotFound());
+  EXPECT_TRUE(med_->Query("SELEC id FROM AtomicPart").status().IsParseError());
+  EXPECT_TRUE(med_->Query("SELECT id FROM AtomicPart, Supplier")
+                  .status()
+                  .IsNotSupported());  // cross product
+}
+
+}  // namespace
+}  // namespace disco

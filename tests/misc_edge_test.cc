@@ -1,0 +1,189 @@
+// Assorted edge cases across modules: single-argument selectivity, Ne
+// predicates and index fallback, registry reindexing after query-scope
+// additions, qualified attributes through the engine, and estimator
+// behaviour on unions/projections.
+
+#include <gtest/gtest.h>
+
+#include "algebra/operator.h"
+#include "costlang/compiler.h"
+#include "costmodel/estimator.h"
+#include "costmodel/generic_model.h"
+#include "mediator/mediator.h"
+#include "sources/data_source.h"
+
+namespace disco {
+namespace {
+
+using algebra::CmpOp;
+using algebra::Scan;
+using algebra::Select;
+
+TEST(MiscEdgeTest, OneArgSelectivityUsesImpliedAttribute) {
+  costmodel::RuleRegistry registry;
+  ASSERT_TRUE(costmodel::InstallGenericModel(
+                  &registry, costmodel::CalibrationParams())
+                  .ok());
+  costlang::CompileSchema cs;
+  cs.AddCollection("T", {"k"});
+  auto rules = costlang::CompileRuleText(
+      // selectivity(V): implied attribute (the node's own), explicit
+      // value -- here a different constant than the node's.
+      "select(T, k <= V) { TotalTime = 1000 * selectivity(V + 10); }", cs);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_TRUE(registry.AddWrapperRules("s", std::move(*rules)).ok());
+
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource("s").ok());
+  CollectionStats stats;
+  stats.extent = ExtentStats{100, 10000, 100};
+  AttributeStats k;
+  k.count_distinct = 100;
+  k.min = Value(int64_t{0});
+  k.max = Value(int64_t{99});
+  stats.attributes["k"] = k;
+  ASSERT_TRUE(catalog
+                  .RegisterCollection(
+                      "s", CollectionSchema("T", {{"k", AttrType::kLong}}),
+                      stats)
+                  .ok());
+  costmodel::CostEstimator est(&registry, &catalog);
+  auto plan = Select(Scan("T"), "k", CmpOp::kLe, Value(int64_t{40}));
+  auto r = est.EstimateAt(*plan, "s");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // selectivity(k <= 50) on uniform [0,99] = 50/99.
+  EXPECT_NEAR(r->root.total_time(), 1000 * 50.0 / 99.0, 0.5);
+}
+
+TEST(MiscEdgeTest, NePredicateNeverUsesTheIndex) {
+  auto src = sources::MakeRelationalSource("s");
+  storage::Table* t = src->CreateTable(CollectionSchema(
+      "T", {{"k", AttrType::kLong}}));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t->Insert({Value(int64_t{i % 100})}).ok());
+  }
+  ASSERT_TRUE(t->CreateIndex("k").ok());
+  src->env()->pool.Clear();
+  auto r = src->Execute(
+      *Select(Scan("T"), "k", CmpOp::kNe, Value(int64_t{50})));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tuples.size(), 990u);
+  // A != scan reads every data page (sequential), not index probes.
+  EXPECT_GE(r->pages_read, t->heap().num_pages());
+}
+
+TEST(MiscEdgeTest, QueryScopeAdditionsVisibleAfterCandidateLookups) {
+  costmodel::RuleRegistry registry;
+  ASSERT_TRUE(costmodel::InstallGenericModel(
+                  &registry, costmodel::CalibrationParams())
+                  .ok());
+  // Force the index to build.
+  (void)registry.Candidates("s", algebra::OpKind::kScan);
+  auto plan = Scan("T");
+  registry.AddQueryCost("s", *plan,
+                        costmodel::CostVector::Full(1, 2, 3, 4, 5, 6));
+  const costmodel::CostVector* found = registry.QueryCost("s", *plan);
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->total_time(), 6);
+}
+
+TEST(MiscEdgeTest, QualifiedAttributesResolveThroughEngine) {
+  auto src = sources::MakeRelationalSource("s");
+  storage::Table* t = src->CreateTable(CollectionSchema(
+      "T", {{"k", AttrType::kLong}, {"v", AttrType::kLong}}));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t->Insert({Value(int64_t{i}), Value(int64_t{i})}).ok());
+  }
+  // Predicate attribute arrives qualified, as a binder may produce it.
+  auto r = src->Execute(
+      *Select(Scan("T"), "T.k", CmpOp::kLt, Value(int64_t{5})));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tuples.size(), 5u);
+}
+
+TEST(MiscEdgeTest, UnionEstimateAddsThroughSubmits) {
+  costmodel::RuleRegistry registry;
+  ASSERT_TRUE(costmodel::InstallGenericModel(
+                  &registry, costmodel::CalibrationParams())
+                  .ok());
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource("s").ok());
+  for (const char* name : {"A", "B"}) {
+    CollectionStats stats;
+    stats.extent = ExtentStats{1000, 100000, 100};
+    ASSERT_TRUE(catalog
+                    .RegisterCollection(
+                        "s",
+                        CollectionSchema(name, {{"k", AttrType::kLong}}),
+                        stats)
+                    .ok());
+  }
+  costmodel::CostEstimator est(&registry, &catalog);
+  auto u = algebra::Union(algebra::Submit("s", Scan("A")),
+                          algebra::Submit("s", Scan("B")));
+  auto r = est.Estimate(*u);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->root.count_object(), 2000);
+  auto single = est.Estimate(*algebra::Submit("s", Scan("A")));
+  ASSERT_TRUE(single.ok());
+  EXPECT_GT(r->root.total_time(), 2 * single->root.total_time() * 0.99);
+}
+
+TEST(MiscEdgeTest, ValueKeyedRulesDistinguishNumericTypes) {
+  // The exact-select hash index keys by Value::ToString: 77 and 77.0
+  // must land in the same bucket (they compare equal).
+  costmodel::RuleRegistry registry;
+  ASSERT_TRUE(costmodel::InstallGenericModel(
+                  &registry, costmodel::CalibrationParams())
+                  .ok());
+  costlang::CompileSchema cs;
+  cs.AddCollection("T", {"k"});
+  auto rules = costlang::CompileRuleText(
+      "select(T, k = 77) { TotalTime = 5; }", cs);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_TRUE(registry.AddWrapperRules("s", std::move(*rules)).ok());
+
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource("s").ok());
+  CollectionStats stats;
+  stats.extent = ExtentStats{100, 10000, 100};
+  ASSERT_TRUE(catalog
+                  .RegisterCollection(
+                      "s", CollectionSchema("T", {{"k", AttrType::kLong}}),
+                      stats)
+                  .ok());
+  costmodel::CostEstimator est(&registry, &catalog);
+  auto int_plan = Select(Scan("T"), "k", CmpOp::kEq, Value(int64_t{77}));
+  auto dbl_plan = Select(Scan("T"), "k", CmpOp::kEq, Value(77.0));
+  auto ri = est.EstimateAt(*int_plan, "s");
+  auto rd = est.EstimateAt(*dbl_plan, "s");
+  ASSERT_TRUE(ri.ok());
+  ASSERT_TRUE(rd.ok());
+  EXPECT_DOUBLE_EQ(ri->root.total_time(), 5);
+  EXPECT_DOUBLE_EQ(rd->root.total_time(), 5);
+}
+
+TEST(MiscEdgeTest, ProjectThenAggregateThroughMediatorQuery) {
+  mediator::Mediator med;
+  auto src = sources::MakeRelationalSource("s");
+  storage::Table* t = src->CreateTable(CollectionSchema(
+      "T", {{"k", AttrType::kLong}, {"grp", AttrType::kString}}));
+  for (int i = 0; i < 90; ++i) {
+    ASSERT_TRUE(t->Insert({Value(int64_t{i}),
+                           Value(std::string(1, char('a' + i % 3)))})
+                    .ok());
+  }
+  ASSERT_TRUE(med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                      std::move(src),
+                                      wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+  auto r = med.Query("SELECT grp, sum(k) FROM T GROUP BY grp ORDER BY grp");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->tuples.size(), 3u);
+  // Sum over k=0..89 where k%3==0: 0+3+...+87 = 1305.
+  EXPECT_EQ(r->tuples[0][0], Value("a"));
+  EXPECT_DOUBLE_EQ(r->tuples[0][1].AsDouble(), 1305);
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,87 @@
+// Optimization objectives: TotalTime (throughput) vs TimeFirst (first
+// answer). The paper's cost vectors carry TimeFirst/TimeNext exactly so
+// this choice can be made; here the two objectives pick different
+// placements for a blocking sort.
+
+#include <gtest/gtest.h>
+
+#include "algebra/plan_printer.h"
+#include "mediator/mediator.h"
+#include "optimizer/optimizer.h"
+
+namespace disco {
+namespace optimizer {
+namespace {
+
+std::unique_ptr<mediator::Mediator> BuildMediator() {
+  auto med = std::make_unique<mediator::Mediator>();
+  auto src = sources::MakeRelationalSource("s1");
+  storage::Table* r = src->CreateTable(CollectionSchema(
+      "R", {{"k", AttrType::kLong}, {"v", AttrType::kLong}}));
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(
+        r->Insert({Value(int64_t{(i * 7919) % 10000}), Value(int64_t{i})})
+            .ok());
+  }
+  EXPECT_TRUE(med->RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                       std::move(src),
+                                       wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+  return med;
+}
+
+/// Depth (root = 0) of the first node of `kind`, or -1.
+int DepthOf(const algebra::Operator& op, algebra::OpKind kind,
+            int depth = 0) {
+  if (op.kind == kind) return depth;
+  for (const auto& c : op.children) {
+    int d = DepthOf(*c, kind, depth + 1);
+    if (d >= 0) return d;
+  }
+  return -1;
+}
+
+TEST(ObjectiveTest, TimeFirstPushesBlockingSortIntoTheSource) {
+  auto med = BuildMediator();
+  auto bound = med->Analyze("SELECT k FROM R ORDER BY k");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  costmodel::CostEstimator est(med->registry(), &med->catalog());
+  Optimizer opt(&est, &med->capabilities());
+
+  OptimizerOptions total, first;
+  total.objective = Objective::kTotalTime;
+  first.objective = Objective::kTimeFirst;
+  auto p_total = opt.Optimize(*bound, total);
+  auto p_first = opt.Optimize(*bound, first);
+  ASSERT_TRUE(p_total.ok()) << p_total.status().ToString();
+  ASSERT_TRUE(p_first.ok()) << p_first.status().ToString();
+
+  // TotalTime: sorting at the mediator is cheaper (faster comparisons),
+  // so the sort sits above the submit. TimeFirst: the pushed sort
+  // overlaps with shipping -- the first tuple arrives one network
+  // latency after the source finishes sorting, instead of after the
+  // whole result has been shipped.
+  int sort_vs_submit_total = DepthOf(*p_total->plan, algebra::OpKind::kSort) -
+                             DepthOf(*p_total->plan, algebra::OpKind::kSubmit);
+  int sort_vs_submit_first = DepthOf(*p_first->plan, algebra::OpKind::kSort) -
+                             DepthOf(*p_first->plan, algebra::OpKind::kSubmit);
+  EXPECT_LT(sort_vs_submit_total, 0)
+      << algebra::PrintPlan(*p_total->plan);
+  EXPECT_GT(sort_vs_submit_first, 0)
+      << algebra::PrintPlan(*p_first->plan);
+
+  // Each plan wins on its own objective.
+  EXPECT_LE(p_total->final_estimate.root.total_time(),
+            p_first->final_estimate.root.total_time());
+  EXPECT_LT(p_first->final_estimate.root.time_first(),
+            p_total->final_estimate.root.time_first());
+}
+
+TEST(ObjectiveTest, DefaultObjectiveIsTotalTime) {
+  OptimizerOptions options;
+  EXPECT_EQ(options.objective, Objective::kTotalTime);
+}
+
+}  // namespace
+}  // namespace optimizer
+}  // namespace disco

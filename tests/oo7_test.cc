@@ -1,0 +1,132 @@
+#include "bench007/oo7.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace bench007 {
+namespace {
+
+OO7Config SmallConfig() {
+  OO7Config config;
+  config.num_atomic_parts = 7000;
+  config.num_composite_parts = 100;
+  config.connections_per_atomic = 2;
+  config.num_documents = 100;
+  return config;
+}
+
+TEST(OO7Test, TablesAndCounts) {
+  auto src = BuildOO7Source(SmallConfig());
+  ASSERT_TRUE(src.ok()) << src.status().ToString();
+  ASSERT_NE((*src)->table("AtomicPart"), nullptr);
+  ASSERT_NE((*src)->table("CompositePart"), nullptr);
+  ASSERT_NE((*src)->table("Connection"), nullptr);
+  ASSERT_NE((*src)->table("Document"), nullptr);
+  EXPECT_EQ((*src)->table("AtomicPart")->heap().num_records(), 7000);
+  EXPECT_EQ((*src)->table("CompositePart")->heap().num_records(), 100);
+  EXPECT_EQ((*src)->table("Connection")->heap().num_records(), 14000);
+  EXPECT_EQ((*src)->table("Document")->heap().num_records(), 100);
+}
+
+TEST(OO7Test, PaperPageLayout) {
+  // 70 objects per page: 7000 objects -> exactly 100 pages.
+  auto src = BuildOO7Source(SmallConfig());
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ((*src)->table("AtomicPart")->heap().num_pages(), 100);
+}
+
+TEST(OO7Test, IdsAreAPermutation) {
+  auto src = BuildOO7Source(SmallConfig());
+  ASSERT_TRUE(src.ok());
+  std::set<int64_t> seen;
+  ASSERT_TRUE((*src)
+                  ->table("AtomicPart")
+                  ->Scan([&](const storage::RID&, const storage::Tuple& t) {
+                    seen.insert(t[0].AsInt64());
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen.size(), 7000u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 6999);
+}
+
+TEST(OO7Test, UnclusteredVsClusteredLayout) {
+  OO7Config unclustered = SmallConfig();
+  OO7Config clustered = SmallConfig();
+  clustered.clustered_ids = true;
+
+  auto check_first_page_sorted = [](sources::DataSource* src) {
+    std::vector<int64_t> first_page;
+    EXPECT_TRUE(src->table("AtomicPart")
+                    ->Scan([&](const storage::RID& rid,
+                               const storage::Tuple& t) {
+                      if (rid.page > 0) return false;
+                      first_page.push_back(t[0].AsInt64());
+                      return true;
+                    })
+                    .ok());
+    return std::is_sorted(first_page.begin(), first_page.end());
+  };
+
+  auto u = BuildOO7Source(unclustered);
+  auto c = BuildOO7Source(clustered);
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(check_first_page_sorted(u->get()));
+  EXPECT_TRUE(check_first_page_sorted(c->get()));
+
+  auto stats = (*c)->table("AtomicPart")->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->Attribute("id")->clustered);
+  stats = (*u)->table("AtomicPart")->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->Attribute("id")->clustered);
+}
+
+TEST(OO7Test, IndexesExist) {
+  auto src = BuildOO7Source(SmallConfig());
+  ASSERT_TRUE(src.ok());
+  EXPECT_TRUE((*src)->table("AtomicPart")->HasIndex("id"));
+  EXPECT_TRUE((*src)->table("AtomicPart")->HasIndex("docId"));
+  EXPECT_TRUE((*src)->table("Connection")->HasIndex("fromId"));
+}
+
+TEST(OO7Test, GenerationIsDeterministic) {
+  auto a = BuildOO7Source(SmallConfig());
+  auto b = BuildOO7Source(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<int64_t> ids_a, ids_b;
+  auto collect = [](sources::DataSource* src, std::vector<int64_t>* out) {
+    EXPECT_TRUE(src->table("AtomicPart")
+                    ->Scan([&](const storage::RID&, const storage::Tuple& t) {
+                      out->push_back(t[0].AsInt64());
+                      return out->size() < 500;
+                    })
+                    .ok());
+  };
+  collect(a->get(), &ids_a);
+  collect(b->get(), &ids_b);
+  EXPECT_EQ(ids_a, ids_b);
+}
+
+TEST(OO7Test, CleanClockAndPoolAfterBuild) {
+  auto src = BuildOO7Source(SmallConfig());
+  ASSERT_TRUE(src.ok());
+  EXPECT_DOUBLE_EQ((*src)->env()->clock.now_ms(), 0);
+  EXPECT_EQ((*src)->env()->pool.resident(), 0u);
+}
+
+TEST(OO7Test, YaoRuleTextUsesPaperConstants) {
+  std::string text = Oo7YaoRuleText();
+  EXPECT_NE(text.find("define IO = 25"), std::string::npos);
+  EXPECT_NE(text.find("define Output = 9"), std::string::npos);
+  EXPECT_NE(text.find("exp("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bench007
+}  // namespace disco

@@ -1,0 +1,183 @@
+// The registration phase: IDL round trip, statistics flow, rule
+// compilation against the wrapper's own schema, capabilities.
+
+#include "wrapper/registration.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/generic_model.h"
+#include "idl/idl_parser.h"
+#include "sources/data_source.h"
+
+namespace disco {
+namespace wrapper {
+namespace {
+
+std::unique_ptr<sources::DataSource> MakeSource() {
+  auto src = sources::MakeRelationalSource("hr");
+  storage::Table* t = src->CreateTable(CollectionSchema(
+      "Employee", {{"id", AttrType::kLong},
+                   {"salary", AttrType::kLong},
+                   {"name", AttrType::kString}}));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(t->Insert({Value(int64_t{i}), Value(int64_t{1000 + i}),
+                           Value("n" + std::to_string(i))})
+                    .ok());
+  }
+  EXPECT_TRUE(t->CreateIndex("id").ok());
+  storage::Table* d = src->CreateTable(CollectionSchema(
+      "Dept", {{"dno", AttrType::kLong}}));
+  EXPECT_TRUE(d->Insert({Value(int64_t{1})}).ok());
+  return src;
+}
+
+struct Registered {
+  Catalog catalog;
+  costmodel::RuleRegistry registry;
+  optimizer::CapabilityTable caps;
+  RegistrationReport report;
+  std::unique_ptr<SimulatedWrapper> wrapper;
+};
+
+std::unique_ptr<Registered> Register(SimulatedWrapper::Options options) {
+  auto out = std::make_unique<Registered>();
+  out->wrapper =
+      std::make_unique<SimulatedWrapper>(MakeSource(), std::move(options));
+  auto report = RegisterWrapper(out->wrapper.get(), &out->catalog,
+                                &out->registry, &out->caps);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  out->report = *report;
+  return out;
+}
+
+TEST(RegistrationTest, SchemasAndStatisticsFlowToCatalog) {
+  auto reg = Register({});
+  EXPECT_EQ(reg->report.collections, 2);
+  EXPECT_TRUE(reg->report.statistics_exported);
+  EXPECT_TRUE(reg->catalog.HasCollection("Employee"));
+  EXPECT_TRUE(reg->catalog.HasCollection("Dept"));
+
+  auto entry = reg->catalog.Collection("Employee");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->source, "hr");
+  EXPECT_EQ(entry->stats.extent.count_object, 100);
+  auto id_stats = entry->stats.Attribute("id");
+  ASSERT_TRUE(id_stats.ok());
+  EXPECT_TRUE(id_stats->indexed);
+  EXPECT_EQ(id_stats->min, Value(int64_t{0}));
+  EXPECT_EQ(id_stats->max, Value(int64_t{99}));
+  auto name_stats = entry->stats.Attribute("name");
+  ASSERT_TRUE(name_stats.ok());
+  EXPECT_FALSE(name_stats->indexed);
+}
+
+TEST(RegistrationTest, GeneratedIdlParsesBack) {
+  SimulatedWrapper wrapper(MakeSource(), {});
+  std::string idl = wrapper.ExportInterfaces();
+  EXPECT_NE(idl.find("interface Employee"), std::string::npos);
+  EXPECT_NE(idl.find("cardinality extent"), std::string::npos);
+  auto parsed = idl::ParseModule(idl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(RegistrationTest, CostRulesCompileAgainstOwnSchema) {
+  SimulatedWrapper::Options options;
+  options.cost_rules =
+      "select(Employee, salary = V) { TotalTime = 1; }\n"
+      "scan(C) { TotalTime = 2; }";
+  auto reg = Register(options);
+  EXPECT_EQ(reg->report.cost_rules, 2);
+  // The salary rule landed at predicate scope (literal attribute).
+  const auto& candidates =
+      reg->registry.Candidates("hr", algebra::OpKind::kSelect);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].scope, costmodel::Scope::kPredicate);
+}
+
+TEST(RegistrationTest, BadRulesFailRegistration) {
+  SimulatedWrapper::Options options;
+  options.cost_rules = "select(Employee, { TotalTime = 1; }";
+  SimulatedWrapper wrapper(MakeSource(), options);
+  Catalog catalog;
+  costmodel::RuleRegistry registry;
+  optimizer::CapabilityTable caps;
+  EXPECT_TRUE(RegisterWrapper(&wrapper, &catalog, &registry, &caps)
+                  .status()
+                  .IsParseError());
+}
+
+TEST(RegistrationTest, NoStatisticsExportLeavesEmptyStats) {
+  SimulatedWrapper::Options options;
+  options.export_statistics = false;
+  auto reg = Register(options);
+  EXPECT_FALSE(reg->report.statistics_exported);
+  auto entry = reg->catalog.Collection("Employee");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->stats.extent.count_object, 0);
+  EXPECT_TRUE(entry->stats.attributes.empty());
+}
+
+TEST(RegistrationTest, HistogramsExportedWhenConfigured) {
+  SimulatedWrapper::Options options;
+  options.histogram_buckets = 8;
+  auto reg = Register(options);
+  auto entry = reg->catalog.Collection("Employee");
+  ASSERT_TRUE(entry.ok());
+  auto id_stats = entry->stats.Attribute("id");
+  ASSERT_TRUE(id_stats.ok());
+  EXPECT_TRUE(id_stats->histogram.has_value());
+}
+
+TEST(RegistrationTest, CapabilitiesRecorded) {
+  SimulatedWrapper::Options options;
+  options.capabilities = optimizer::SourceCapabilities::FilterOnly();
+  auto reg = Register(options);
+  EXPECT_FALSE(reg->caps.Get("hr").join);
+  EXPECT_TRUE(reg->caps.Get("hr").select);
+  // Unknown sources default to everything.
+  EXPECT_TRUE(reg->caps.Get("other").join);
+}
+
+TEST(RegistrationTest, DoubleRegistrationRejected) {
+  auto reg = Register({});
+  auto again = RegisterWrapper(reg->wrapper.get(), &reg->catalog,
+                               &reg->registry, &reg->caps);
+  EXPECT_TRUE(again.status().IsAlreadyExists());
+}
+
+TEST(RegistrationTest, RefreshStatisticsUpdatesCatalog) {
+  auto reg = Register({});
+  // New data arrives at the source after registration.
+  storage::Table* t = reg->wrapper->source()->table("Employee");
+  for (int i = 100; i < 150; ++i) {
+    ASSERT_TRUE(t->Insert({Value(int64_t{i}), Value(int64_t{1000 + i}),
+                           Value("n")})
+                    .ok());
+  }
+  EXPECT_EQ(reg->catalog.Collection("Employee")->stats.extent.count_object,
+            100);
+  ASSERT_TRUE(RefreshStatistics(reg->wrapper.get(), &reg->catalog).ok());
+  EXPECT_EQ(reg->catalog.Collection("Employee")->stats.extent.count_object,
+            150);
+}
+
+TEST(CapabilityTest, SupportsMapping) {
+  optimizer::SourceCapabilities all;
+  EXPECT_TRUE(all.Supports(algebra::OpKind::kScan));
+  EXPECT_TRUE(all.Supports(algebra::OpKind::kJoin));
+  EXPECT_FALSE(all.Supports(algebra::OpKind::kSubmit));
+
+  optimizer::SourceCapabilities filter =
+      optimizer::SourceCapabilities::FilterOnly();
+  EXPECT_TRUE(filter.Supports(algebra::OpKind::kScan));
+  EXPECT_TRUE(filter.Supports(algebra::OpKind::kSelect));
+  EXPECT_TRUE(filter.Supports(algebra::OpKind::kProject));
+  EXPECT_FALSE(filter.Supports(algebra::OpKind::kJoin));
+  EXPECT_FALSE(filter.Supports(algebra::OpKind::kAggregate));
+  EXPECT_FALSE(filter.Supports(algebra::OpKind::kSort));
+}
+
+}  // namespace
+}  // namespace wrapper
+}  // namespace disco

@@ -1,0 +1,110 @@
+// Round-trip properties: printed artifacts re-parse to equivalent
+// structures (rule heads, SQL, IDL), and Mediator::Explain produces a
+// coherent rendering.
+
+#include <gtest/gtest.h>
+
+#include "costlang/parser.h"
+#include "idl/idl_parser.h"
+#include "mediator/mediator.h"
+#include "query/sql_parser.h"
+
+namespace disco {
+namespace {
+
+class RuleHeadRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RuleHeadRoundTrip, ToStringReparses) {
+  std::string text = std::string(GetParam()) + " { TotalTime = 1; }";
+  auto first = costlang::ParseRuleSet(text);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string printed = first->rules[0].head.ToString();
+  auto second = costlang::ParseRuleSet(printed + " { TotalTime = 1; }");
+  ASSERT_TRUE(second.ok()) << printed << ": "
+                           << second.status().ToString();
+  EXPECT_EQ(second->rules[0].head.ToString(), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Heads, RuleHeadRoundTrip,
+    ::testing::Values("scan(C)", "select(Employee, salary = 77)",
+                      "select(C, A <= V)", "select(C, name = 'Smith')",
+                      "join(C1, C2, A1 = A2)", "join(Employee, Book, P)",
+                      "sort(C, salary)", "dedup(C)", "union(C1, C2)",
+                      "aggregate(C, F)", "submit(C)",
+                      "bindjoin(C1, C2, A1 = A2)"));
+
+class ExprRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExprRoundTrip, ToStringReparsesToSameRendering) {
+  auto first = costlang::ParseExpr(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string printed = (*first)->ToString();
+  auto second = costlang::ParseExpr(printed);
+  ASSERT_TRUE(second.ok()) << printed;
+  EXPECT_EQ((*second)->ToString(), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exprs, ExprRoundTrip,
+    ::testing::Values("1 + 2 * 3", "(1 + 2) * 3", "-a * b + c / d",
+                      "min(a, b, exp(c))", "C.TotalSize / PageSize",
+                      "C.id.Max - C.id.Min",
+                      "yao(selectivity(), C.CountObject, 1000)",
+                      "if(gt(a, b), a, b)"));
+
+class SqlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SqlRoundTrip, ToStringReparsesToSameRendering) {
+  auto first = query::ParseSql(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string printed = first->ToString();
+  auto second = query::ParseSql(printed);
+  ASSERT_TRUE(second.ok()) << printed;
+  EXPECT_EQ(second->ToString(), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, SqlRoundTrip,
+    ::testing::Values(
+        "SELECT * FROM T",
+        "SELECT a, b FROM T WHERE a > 1 AND b = 'x'",
+        "SELECT DISTINCT a FROM T ORDER BY a DESC",
+        "SELECT a, count(b) FROM T, U WHERE T.x = U.y GROUP BY a",
+        "SELECT count(*) FROM T WHERE a != 3"));
+
+TEST(IdlRoundTrip, SchemaToStringMentionsEverything) {
+  auto parsed = idl::ParseInterface(
+      "interface T { attribute Long a; attribute String b; }");
+  ASSERT_TRUE(parsed.ok());
+  std::string s = parsed->schema.ToString();
+  EXPECT_NE(s.find("interface T"), std::string::npos);
+  EXPECT_NE(s.find("Long a"), std::string::npos);
+  EXPECT_NE(s.find("String b"), std::string::npos);
+}
+
+TEST(MediatorExplainTest, ExplainSqlEndToEnd) {
+  mediator::Mediator med;
+  auto src = sources::MakeRelationalSource("s");
+  storage::Table* t = src->CreateTable(CollectionSchema(
+      "T", {{"k", AttrType::kLong}}));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t->Insert({Value(int64_t{i})}).ok());
+  }
+  ASSERT_TRUE(t->CreateIndex("k").ok());
+  ASSERT_TRUE(med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                      std::move(src),
+                                      wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+  auto text = med.Explain("SELECT k FROM T WHERE k <= 10");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("submit(@s)"), std::string::npos);
+  EXPECT_NE(text->find("scan(T)"), std::string::npos);
+  EXPECT_NE(text->find("TotalTime"), std::string::npos);
+  EXPECT_NE(text->find("[default]"), std::string::npos);
+
+  EXPECT_TRUE(med.Explain("SELECT nope FROM T").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace disco

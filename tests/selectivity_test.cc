@@ -1,0 +1,120 @@
+#include "costmodel/selectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace costmodel {
+namespace {
+
+using algebra::CmpOp;
+
+AttributeStats UniformStats() {
+  AttributeStats s;
+  s.count_distinct = 100;
+  s.min = Value(int64_t{0});
+  s.max = Value(int64_t{999});
+  return s;
+}
+
+TEST(SelectivityTest, EqualityUsesCountDistinct) {
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(UniformStats(), CmpOp::kEq, Value(int64_t{500})),
+      0.01);
+}
+
+TEST(SelectivityTest, EqualityOutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(UniformStats(), CmpOp::kEq, Value(int64_t{5000})),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(UniformStats(), CmpOp::kEq, Value(int64_t{-1})),
+      0.0);
+}
+
+TEST(SelectivityTest, NotEqualComplements) {
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(UniformStats(), CmpOp::kNe, Value(int64_t{5})),
+      0.99);
+}
+
+TEST(SelectivityTest, RangeInterpolates) {
+  AttributeStats s = UniformStats();
+  EXPECT_NEAR(EstimateSelectivity(s, CmpOp::kLt, Value(int64_t{500})),
+              500.0 / 999.0, 1e-9);
+  EXPECT_NEAR(EstimateSelectivity(s, CmpOp::kGe, Value(int64_t{500})),
+              1.0 - 500.0 / 999.0, 1e-9);
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(s, CmpOp::kLt, Value(int64_t{-5})), 0);
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(s, CmpOp::kGt, Value(int64_t{2000})),
+                   0);
+}
+
+TEST(SelectivityTest, MissingStatsFallBackToDefaults) {
+  AttributeStats empty;
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(empty, CmpOp::kEq, Value(int64_t{1})),
+                   DefaultSelectivity(CmpOp::kEq));
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(empty, CmpOp::kLt, Value(int64_t{1})),
+                   DefaultSelectivity(CmpOp::kLt));
+}
+
+TEST(SelectivityTest, StringRangeFallsBackToDefault) {
+  AttributeStats s;
+  s.count_distinct = 10;
+  s.min = Value("aaa");
+  s.max = Value("zzz");
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(s, CmpOp::kLt, Value("mmm")),
+                   DefaultSelectivity(CmpOp::kLt));
+  // Equality still works through CountDistinct.
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(s, CmpOp::kEq, Value("mmm")), 0.1);
+}
+
+TEST(SelectivityTest, HistogramPreferredWhenPresent) {
+  AttributeStats s = UniformStats();
+  // Histogram says everything is the value 7.
+  std::vector<Value> vals(100, Value(int64_t{7}));
+  auto h = EquiDepthHistogram::Build(std::move(vals), 4);
+  ASSERT_TRUE(h.ok());
+  s.histogram = std::move(*h);
+  EXPECT_NEAR(EstimateSelectivity(s, CmpOp::kEq, Value(int64_t{7})), 1.0,
+              1e-9);
+  EXPECT_NEAR(EstimateSelectivity(s, CmpOp::kEq, Value(int64_t{8})), 0.0,
+              1e-9);
+  EXPECT_NEAR(EstimateSelectivity(s, CmpOp::kLe, Value(int64_t{7})), 1.0,
+              1e-9);
+  EXPECT_NEAR(EstimateSelectivity(s, CmpOp::kGt, Value(int64_t{7})), 0.0,
+              1e-9);
+}
+
+TEST(SelectivityTest, DefaultsAreSane) {
+  EXPECT_GT(DefaultSelectivity(CmpOp::kEq), 0);
+  EXPECT_LT(DefaultSelectivity(CmpOp::kEq), 1);
+  EXPECT_NEAR(DefaultSelectivity(CmpOp::kNe) + DefaultSelectivity(CmpOp::kEq),
+              1.0, 1e-9);
+}
+
+TEST(SelectivityTest, JoinSelectivityPaperFormula) {
+  // 1 / Min(CountDistinct(A), CountDistinct(B)) -- Section 2.3.
+  EXPECT_DOUBLE_EQ(JoinSelectivity(100, 50), 1.0 / 50);
+  EXPECT_DOUBLE_EQ(JoinSelectivity(10, 1000), 1.0 / 10);
+  EXPECT_DOUBLE_EQ(JoinSelectivity(0, 10), 0.1);  // unknown -> default
+}
+
+class SelectivityRangeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SelectivityRangeSweep, AlwaysAProbability) {
+  auto [op_i, value] = GetParam();
+  CmpOp op = static_cast<CmpOp>(op_i);
+  double sel =
+      EstimateSelectivity(UniformStats(), op, Value(int64_t{value}));
+  EXPECT_GE(sel, 0.0);
+  EXPECT_LE(sel, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndValues, SelectivityRangeSweep,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(-100, 0, 1, 500, 999, 10000)));
+
+}  // namespace
+}  // namespace costmodel
+}  // namespace disco

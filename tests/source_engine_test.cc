@@ -1,0 +1,278 @@
+#include "sources/source_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/operator.h"
+#include "sources/data_source.h"
+
+namespace disco {
+namespace sources {
+namespace {
+
+using algebra::AggFunc;
+using algebra::CmpOp;
+using algebra::JoinPredicate;
+using algebra::Scan;
+using algebra::Select;
+using storage::Tuple;
+
+/// A small two-table source for engine tests.
+std::unique_ptr<DataSource> MakeTestSource(bool with_index,
+                                           bool allow_index = true) {
+  storage::SourceCostParams params;
+  params.ms_startup = 10;
+  params.ms_per_page_read = 5;
+  params.ms_per_object = 1;
+  params.ms_per_cmp = 0.01;
+  EngineOptions engine;
+  engine.allow_index = allow_index;
+  auto source = std::make_unique<DataSource>("test", 512, params, engine);
+
+  storage::Table* people = source->CreateTable(CollectionSchema(
+      "Person", {{"id", AttrType::kLong},
+                 {"dept", AttrType::kLong},
+                 {"name", AttrType::kString}}));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(people
+                    ->Insert({Value(int64_t{i}), Value(int64_t{i % 10}),
+                              Value("p" + std::to_string(i))})
+                    .ok());
+  }
+  if (with_index) {
+    EXPECT_TRUE(people->CreateIndex("id").ok());
+  }
+
+  storage::Table* depts = source->CreateTable(CollectionSchema(
+      "Dept", {{"dno", AttrType::kLong}, {"title", AttrType::kString}}));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(
+        depts->Insert({Value(int64_t{i}), Value("d" + std::to_string(i))})
+            .ok());
+  }
+  if (with_index) {
+    EXPECT_TRUE(depts->CreateIndex("dno").ok());
+  }
+  return source;
+}
+
+TEST(SourceEngineTest, ScanReturnsEverything) {
+  auto src = MakeTestSource(false);
+  auto r = src->Execute(*Scan("Person"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tuples.size(), 100u);
+  EXPECT_EQ(r->columns,
+            (std::vector<std::string>{"id", "dept", "name"}));
+  EXPECT_GT(r->total_ms, 0);
+  EXPECT_LE(r->first_tuple_ms, r->total_ms);
+  EXPECT_EQ(r->objects_produced, 100);
+}
+
+TEST(SourceEngineTest, UnknownCollectionFails) {
+  auto src = MakeTestSource(false);
+  EXPECT_TRUE(src->Execute(*Scan("Ghost")).status().IsNotFound());
+}
+
+TEST(SourceEngineTest, SelectEquivalenceIndexVsSequential) {
+  // The same query must return identical rows whether or not the engine
+  // may use an index.
+  auto pred_plan = [] {
+    return Select(Scan("Person"), "id", CmpOp::kLe, Value(int64_t{20}));
+  };
+  auto indexed = MakeTestSource(true);
+  auto plain = MakeTestSource(true, /*allow_index=*/false);
+  auto r1 = indexed->Execute(*pred_plan());
+  auto r2 = plain->Execute(*pred_plan());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->tuples.size(), 21u);
+  ASSERT_EQ(r1->tuples.size(), r2->tuples.size());
+  for (size_t i = 0; i < r1->tuples.size(); ++i) {
+    EXPECT_EQ(r1->tuples[i][0], r2->tuples[i][0]);
+  }
+}
+
+TEST(SourceEngineTest, SelectChainsBecomeOneAccessPath) {
+  auto src = MakeTestSource(true);
+  auto plan = Select(Select(Scan("Person"), "id", CmpOp::kLe,
+                            Value(int64_t{50})),
+                     "dept", CmpOp::kEq, Value(int64_t{3}));
+  auto r = src->Execute(*plan);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // ids 3, 13, 23, 33, 43.
+  EXPECT_EQ(r->tuples.size(), 5u);
+}
+
+TEST(SourceEngineTest, AllComparisonOpsWork) {
+  auto src = MakeTestSource(true);
+  struct Case {
+    CmpOp op;
+    size_t expected;
+  };
+  for (const auto& c :
+       {Case{CmpOp::kEq, 1}, Case{CmpOp::kNe, 99}, Case{CmpOp::kLt, 50},
+        Case{CmpOp::kLe, 51}, Case{CmpOp::kGt, 49}, Case{CmpOp::kGe, 50}}) {
+    auto plan = Select(Scan("Person"), "id", c.op, Value(int64_t{50}));
+    auto r = src->Execute(*plan);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->tuples.size(), c.expected)
+        << algebra::CmpOpToString(c.op);
+  }
+}
+
+TEST(SourceEngineTest, ProjectKeepsRequestedColumns) {
+  auto src = MakeTestSource(false);
+  auto plan = algebra::Project(Scan("Person"), {"name", "id"});
+  auto r = src->Execute(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->columns, (std::vector<std::string>{"name", "id"}));
+  EXPECT_EQ(r->tuples[0].size(), 2u);
+  EXPECT_TRUE(r->tuples[0][0].is_string());
+}
+
+TEST(SourceEngineTest, SortOrdersRows) {
+  auto src = MakeTestSource(false);
+  auto plan = algebra::Sort(Scan("Person"), "id", /*ascending=*/false);
+  auto r = src->Execute(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tuples.front()[0], Value(int64_t{99}));
+  EXPECT_EQ(r->tuples.back()[0], Value(int64_t{0}));
+}
+
+TEST(SourceEngineTest, DedupRemovesDuplicates) {
+  auto src = MakeTestSource(false);
+  auto plan = algebra::Dedup(algebra::Project(Scan("Person"), {"dept"}));
+  auto r = src->Execute(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tuples.size(), 10u);
+}
+
+TEST(SourceEngineTest, ScalarAggregates) {
+  auto src = MakeTestSource(false);
+  struct Case {
+    AggFunc func;
+    std::string attr;
+    Value expected;
+  };
+  for (const auto& c : {Case{AggFunc::kCount, "", Value(int64_t{100})},
+                        Case{AggFunc::kSum, "dept", Value(450.0)},
+                        Case{AggFunc::kAvg, "dept", Value(4.5)},
+                        Case{AggFunc::kMin, "id", Value(int64_t{0})},
+                        Case{AggFunc::kMax, "id", Value(int64_t{99})}}) {
+    auto plan = algebra::Aggregate(Scan("Person"), c.func, c.attr);
+    auto r = src->Execute(*plan);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->tuples.size(), 1u);
+    EXPECT_EQ(r->tuples[0][0], c.expected)
+        << algebra::AggFuncToString(c.func);
+  }
+}
+
+TEST(SourceEngineTest, GroupByAggregates) {
+  auto src = MakeTestSource(false);
+  auto plan =
+      algebra::Aggregate(Scan("Person"), AggFunc::kCount, "", {"dept"});
+  auto r = src->Execute(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tuples.size(), 10u);
+  for (const Tuple& t : r->tuples) {
+    EXPECT_EQ(t[1], Value(int64_t{10}));
+  }
+}
+
+TEST(SourceEngineTest, AggregateOverEmptyInput) {
+  auto src = MakeTestSource(false);
+  auto plan = algebra::Aggregate(
+      Select(Scan("Person"), "id", CmpOp::kGt, Value(int64_t{1000})),
+      AggFunc::kCount, "");
+  auto r = src->Execute(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->tuples.size(), 1u);
+  EXPECT_EQ(r->tuples[0][0], Value(int64_t{0}));
+}
+
+TEST(SourceEngineTest, JoinStrategiesAgree) {
+  // Index nested loop (right is an indexed scan), nested loops (small
+  // inputs) and sort-merge must produce the same multiset of rows.
+  auto run_join = [](bool with_index) {
+    auto src = MakeTestSource(with_index);
+    auto plan = algebra::Join(Scan("Person"), Scan("Dept"),
+                              JoinPredicate{"dept", "dno"});
+    auto r = src->Execute(*plan);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->tuples.size();
+  };
+  EXPECT_EQ(run_join(true), 100u);
+  EXPECT_EQ(run_join(false), 100u);
+}
+
+TEST(SourceEngineTest, JoinColumnsConcatenate) {
+  auto src = MakeTestSource(true);
+  auto plan = algebra::Join(Scan("Dept"), Scan("Person"),
+                            JoinPredicate{"dno", "dept"});
+  auto r = src->Execute(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->columns, (std::vector<std::string>{"dno", "title", "id",
+                                                  "dept", "name"}));
+}
+
+TEST(SourceEngineTest, UnionConcatenates) {
+  auto src = MakeTestSource(false);
+  auto plan = algebra::Union(algebra::Project(Scan("Person"), {"id"}),
+                             algebra::Project(Scan("Dept"), {"dno"}));
+  auto r = src->Execute(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tuples.size(), 110u);
+}
+
+TEST(SourceEngineTest, SubmitRejected) {
+  auto src = MakeTestSource(false);
+  auto plan = algebra::Submit("x", Scan("Person"));
+  EXPECT_TRUE(src->Execute(*plan).status().IsNotSupported());
+}
+
+TEST(SourceEngineTest, IndexPathIsCheaperForSelectivePredicates) {
+  // Needs a table big enough that a full scan dwarfs an index probe.
+  auto make_big = [](bool allow_index) {
+    storage::SourceCostParams params;
+    params.ms_startup = 10;
+    params.ms_per_page_read = 5;
+    params.ms_per_object = 1;
+    params.ms_per_cmp = 0.01;
+    EngineOptions engine;
+    engine.allow_index = allow_index;
+    auto src = std::make_unique<DataSource>("big", 512, params, engine);
+    storage::Table* t = src->CreateTable(CollectionSchema(
+        "Big", {{"id", AttrType::kLong}, {"v", AttrType::kLong}}));
+    for (int i = 0; i < 5000; ++i) {
+      EXPECT_TRUE(
+          t->Insert({Value(int64_t{i}), Value(int64_t{i * 3})}).ok());
+    }
+    EXPECT_TRUE(t->CreateIndex("id").ok());
+    src->env()->pool.Clear();
+    return src;
+  };
+  auto make_plan = [] {
+    return Select(Scan("Big"), "id", CmpOp::kEq, Value(int64_t{4242}));
+  };
+  auto r_idx = make_big(true)->Execute(*make_plan());
+  auto r_seq = make_big(false)->Execute(*make_plan());
+  ASSERT_TRUE(r_idx.ok());
+  ASSERT_TRUE(r_seq.ok());
+  EXPECT_EQ(r_idx->tuples.size(), 1u);
+  EXPECT_EQ(r_seq->tuples.size(), 1u);
+  EXPECT_LT(r_idx->total_ms, r_seq->total_ms / 2);
+}
+
+TEST(SourceEngineTest, RelColumnIndexResolution) {
+  Rel rel;
+  rel.columns = {"Person.id", "name"};
+  EXPECT_EQ(*rel.ColumnIndex("Person.id"), 0);
+  EXPECT_EQ(*rel.ColumnIndex("person.ID"), 0);  // case-insensitive
+  EXPECT_EQ(*rel.ColumnIndex("id"), 0);         // suffix
+  EXPECT_EQ(*rel.ColumnIndex("name"), 1);
+  EXPECT_TRUE(rel.ColumnIndex("ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace sources
+}  // namespace disco

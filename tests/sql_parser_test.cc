@@ -1,0 +1,124 @@
+#include "query/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace query {
+namespace {
+
+TEST(SqlParserTest, SelectStar) {
+  auto q = ParseSql("SELECT * FROM Employee");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->select_all);
+  EXPECT_EQ(q->tables, (std::vector<std::string>{"Employee"}));
+}
+
+TEST(SqlParserTest, SelectItemsAndPredicates) {
+  auto q = ParseSql(
+      "SELECT name, salary FROM Employee "
+      "WHERE salary > 100 AND name = 'Smith'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->items.size(), 2u);
+  EXPECT_EQ(q->items[0].attribute, "name");
+  ASSERT_EQ(q->selections.size(), 2u);
+  EXPECT_EQ(q->selections[0].attribute, "salary");
+  EXPECT_EQ(q->selections[0].op, algebra::CmpOp::kGt);
+  EXPECT_EQ(q->selections[0].value, Value(int64_t{100}));
+  EXPECT_EQ(q->selections[1].value, Value("Smith"));
+  EXPECT_TRUE(q->joins.empty());
+}
+
+TEST(SqlParserTest, JoinPredicates) {
+  auto q = ParseSql(
+      "SELECT * FROM A, B WHERE A.x = B.y AND A.z >= 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->joins.size(), 1u);
+  EXPECT_EQ(q->joins[0].left_attribute, "A.x");
+  EXPECT_EQ(q->joins[0].right_attribute, "B.y");
+  ASSERT_EQ(q->selections.size(), 1u);
+  EXPECT_EQ(q->selections[0].attribute, "A.z");
+}
+
+TEST(SqlParserTest, Aggregates) {
+  auto q = ParseSql("SELECT count(*) FROM T");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->items.size(), 1u);
+  EXPECT_EQ(q->items[0].agg, algebra::AggFunc::kCount);
+  EXPECT_TRUE(q->items[0].attribute.empty());
+
+  q = ParseSql("SELECT dept, avg(salary) FROM T GROUP BY dept");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->items[1].agg, algebra::AggFunc::kAvg);
+  EXPECT_EQ(q->items[1].attribute, "salary");
+  EXPECT_EQ(q->group_by, (std::vector<std::string>{"dept"}));
+}
+
+TEST(SqlParserTest, AggregateNamesMayBeAttributeNames) {
+  // `min` without parentheses is a plain attribute.
+  auto q = ParseSql("SELECT min FROM T WHERE min > 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_FALSE(q->items[0].agg.has_value());
+  EXPECT_EQ(q->items[0].attribute, "min");
+}
+
+TEST(SqlParserTest, OrderByAndDistinct) {
+  auto q = ParseSql("SELECT DISTINCT a FROM T ORDER BY a DESC");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->distinct);
+  EXPECT_EQ(q->order_by, "a");
+  EXPECT_FALSE(q->order_ascending);
+
+  q = ParseSql("SELECT a FROM T ORDER BY a ASC");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->order_ascending);
+}
+
+TEST(SqlParserTest, LiteralKinds) {
+  auto q = ParseSql(
+      "SELECT * FROM T WHERE a = 3 AND b = 3.5 AND c = -2 AND d = true "
+      "AND e = 'txt'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->selections.size(), 5u);
+  EXPECT_EQ(q->selections[0].value, Value(int64_t{3}));
+  EXPECT_EQ(q->selections[1].value, Value(3.5));
+  EXPECT_EQ(q->selections[2].value, Value(int64_t{-2}));
+  EXPECT_EQ(q->selections[3].value, Value(true));
+  EXPECT_EQ(q->selections[4].value, Value("txt"));
+}
+
+TEST(SqlParserTest, KeywordsCaseInsensitive) {
+  auto q = ParseSql("select a from T where a < 5 order by a");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->selections.size(), 1u);
+}
+
+TEST(SqlParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseSql("SELECT * FROM T;").ok());
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_TRUE(ParseSql("SELEC * FROM T").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT FROM T").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT * T").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT * FROM T WHERE").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT * FROM T WHERE a").status().IsParseError());
+  EXPECT_TRUE(
+      ParseSql("SELECT * FROM T WHERE a < b").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT * FROM T extra").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT sum(*) FROM T").status().IsParseError());
+}
+
+TEST(SqlParserTest, ToStringRoundTripsShape) {
+  auto q = ParseSql(
+      "SELECT a, count(b) FROM T, U "
+      "WHERE T.x = U.y AND a >= 5 GROUP BY a ORDER BY a");
+  ASSERT_TRUE(q.ok());
+  std::string s = q->ToString();
+  EXPECT_NE(s.find("count(b)"), std::string::npos);
+  EXPECT_NE(s.find("GROUP BY a"), std::string::npos);
+  EXPECT_NE(s.find("T.x = U.y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace disco

@@ -1,0 +1,111 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace disco {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::ExecutionError("x").IsExecutionError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("abc").ToString(), "NotFound: abc");
+  EXPECT_EQ(Status::ParseError("bad").ToString(), "ParseError: bad");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status original = Status::OutOfRange("boom");
+  Status copy = original;
+  EXPECT_TRUE(copy.IsOutOfRange());
+  EXPECT_EQ(copy.message(), "boom");
+  EXPECT_TRUE(original.IsOutOfRange());  // copy did not steal
+
+  Status moved = std::move(original);
+  EXPECT_TRUE(moved.IsOutOfRange());
+
+  Status assigned;
+  assigned = copy;
+  EXPECT_TRUE(assigned.IsOutOfRange());
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status s = Status::NotFound("attr 'x'").WithContext("binding query");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "binding query: attr 'x'");
+  EXPECT_TRUE(Status::OK().WithContext("nothing").ok());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    DISCO_RETURN_NOT_OK(Status::NotFound("inner"));
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(fails().IsNotFound());
+
+  auto succeeds = []() -> Status {
+    DISCO_RETURN_NOT_OK(Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(succeeds().ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnExtracts) {
+  auto f = [](bool fail) -> Result<int> {
+    auto inner = [&]() -> Result<int> {
+      if (fail) return Status::OutOfRange("bad");
+      return 7;
+    };
+    DISCO_ASSIGN_OR_RETURN(int v, inner());
+    return v * 2;
+  };
+  ASSERT_TRUE(f(false).ok());
+  EXPECT_EQ(*f(false), 14);
+  EXPECT_TRUE(f(true).status().IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).MoveValueUnsafe();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+}  // namespace
+}  // namespace disco

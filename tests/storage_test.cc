@@ -1,0 +1,225 @@
+// Storage substrate: slotted pages, buffer pool LRU/charging, heap files,
+// and the simulated clock semantics.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "storage/sim_clock.h"
+
+namespace disco {
+namespace storage {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(PageTest, InsertAndGet) {
+  Page page(256);
+  auto r1 = page.Insert(Bytes("hello"));
+  ASSERT_TRUE(r1.ok());
+  auto r2 = page.Insert(Bytes("world!"));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(page.num_records(), 2);
+
+  auto g = page.Get(*r1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(std::string(g->begin(), g->end()), "hello");
+  g = page.Get(*r2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(std::string(g->begin(), g->end()), "world!");
+}
+
+TEST(PageTest, EmptyRecordAllowed) {
+  Page page(64);
+  auto r = page.Insert({});
+  ASSERT_TRUE(r.ok());
+  auto g = page.Get(*r);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->empty());
+}
+
+TEST(PageTest, BadSlotRejected) {
+  Page page(64);
+  EXPECT_TRUE(page.Get(0).status().IsOutOfRange());
+  ASSERT_TRUE(page.Insert(Bytes("x")).ok());
+  EXPECT_TRUE(page.Get(1).status().IsOutOfRange());
+}
+
+TEST(PageTest, FullPageRejectsInsert) {
+  Page page(64);  // 60 usable bytes; each 10-byte record consumes 14.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(page.Insert(Bytes("0123456789")).ok()) << i;
+  }
+  EXPECT_TRUE(page.Insert(Bytes("0123456789")).status().IsOutOfRange());
+  EXPECT_EQ(page.num_records(), 4);
+  // A smaller record can still squeeze into the remaining 4 bytes.
+  EXPECT_TRUE(page.Insert(Bytes("")).ok());
+}
+
+TEST(PageTest, FreeSpaceDecreasesMonotonically) {
+  Page page(512);
+  uint32_t prev = page.free_space();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(page.Insert(Bytes("record")).ok());
+    EXPECT_LT(page.free_space(), prev);
+    prev = page.free_space();
+  }
+}
+
+TEST(BufferPoolTest, MissChargesHitDoesNot) {
+  SimClock clock;
+  BufferPool pool(&clock, 4, 25.0);
+  pool.Touch(1);
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 25.0);
+  pool.Touch(1);
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 25.0);  // hit: no charge
+  EXPECT_EQ(pool.hits(), 1);
+  EXPECT_EQ(pool.misses(), 1);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  SimClock clock;
+  BufferPool pool(&clock, 2, 1.0);
+  pool.Touch(1);
+  pool.Touch(2);
+  pool.Touch(1);   // 1 is now most recent
+  pool.Touch(3);   // evicts 2
+  pool.Touch(1);   // hit
+  EXPECT_EQ(pool.misses(), 3);
+  pool.Touch(2);   // miss again (was evicted)
+  EXPECT_EQ(pool.misses(), 4);
+  EXPECT_LE(pool.resident(), 2u);
+}
+
+TEST(BufferPoolTest, ClearDropsResidency) {
+  SimClock clock;
+  BufferPool pool(&clock, 8, 1.0);
+  pool.Touch(1);
+  pool.Touch(2);
+  pool.Clear();
+  EXPECT_EQ(pool.resident(), 0u);
+  pool.Touch(1);
+  EXPECT_EQ(pool.misses(), 3);
+}
+
+TEST(SimClockTest, PauseStopsCharging) {
+  SimClock clock;
+  clock.Advance(5);
+  {
+    MeteringPause pause(&clock);
+    clock.Advance(100);
+    EXPECT_DOUBLE_EQ(clock.now_ms(), 5);
+    {
+      MeteringPause nested(&clock);
+      clock.Advance(7);
+    }
+    EXPECT_TRUE(clock.paused());  // nested pause restores to paused
+  }
+  clock.Advance(5);
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 10);
+}
+
+TEST(HeapFileTest, InsertGetRoundTrip) {
+  SimClock clock;
+  BufferPool pool(&clock, 64, 1.0);
+  HeapFile heap(&pool, 0, HeapFileOptions{});
+  std::vector<RID> rids;
+  for (int i = 0; i < 100; ++i) {
+    auto rid = heap.Insert(Bytes("record-" + std::to_string(i)));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  EXPECT_EQ(heap.num_records(), 100);
+  for (int i = 0; i < 100; ++i) {
+    auto rec = heap.Get(rids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(std::string(rec->begin(), rec->end()),
+              "record-" + std::to_string(i));
+  }
+}
+
+TEST(HeapFileTest, FillFactorLimitsPageUse) {
+  SimClock clock;
+  BufferPool pool(&clock, 64, 1.0);
+  HeapFileOptions full, half;
+  full.page_size = 4096;
+  half.page_size = 4096;
+  half.fill_factor = 0.5;
+  HeapFile a(&pool, 0, full), b(&pool, 1, half);
+  std::vector<uint8_t> rec(100);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(a.Insert(rec).ok());
+    ASSERT_TRUE(b.Insert(rec).ok());
+  }
+  EXPECT_GT(b.num_pages(), a.num_pages());
+}
+
+TEST(HeapFileTest, MaxRecordsPerPageHonored) {
+  SimClock clock;
+  BufferPool pool(&clock, 64, 1.0);
+  HeapFileOptions options;
+  options.max_records_per_page = 7;
+  HeapFile heap(&pool, 0, options);
+  for (int i = 0; i < 70; ++i) {
+    ASSERT_TRUE(heap.Insert(Bytes("x")).ok());
+  }
+  EXPECT_EQ(heap.num_pages(), 10);
+}
+
+TEST(HeapFileTest, ForEachVisitsEverythingInOrder) {
+  SimClock clock;
+  BufferPool pool(&clock, 64, 1.0);
+  HeapFile heap(&pool, 0, HeapFileOptions{});
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(heap.Insert(Bytes(std::to_string(i))).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(heap.ForEach([&](const RID&, std::span<const uint8_t> rec) {
+                    EXPECT_EQ(std::string(rec.begin(), rec.end()),
+                              std::to_string(count));
+                    ++count;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 50);
+
+  // Early termination.
+  count = 0;
+  ASSERT_TRUE(heap.ForEach([&](const RID&, std::span<const uint8_t>) {
+                    return ++count < 10;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 10);
+}
+
+TEST(HeapFileTest, ScanChargesPerPage) {
+  SimClock clock;
+  BufferPool pool(&clock, 1024, 25.0);
+  HeapFileOptions options;
+  options.page_size = 4096;
+  HeapFile heap(&pool, 0, options);
+  std::vector<uint8_t> rec(400);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(heap.Insert(rec).ok());
+  pool.Clear();
+  clock.Reset();
+  ASSERT_TRUE(
+      heap.ForEach([](const RID&, std::span<const uint8_t>) { return true; })
+          .ok());
+  EXPECT_DOUBLE_EQ(clock.now_ms(),
+                   25.0 * static_cast<double>(heap.num_pages()));
+}
+
+TEST(HeapFileTest, OutOfRangeGetRejected) {
+  SimClock clock;
+  BufferPool pool(&clock, 8, 1.0);
+  HeapFile heap(&pool, 0, HeapFileOptions{});
+  EXPECT_TRUE(heap.Get(RID{5, 0}).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace disco

@@ -1,0 +1,63 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace {
+
+TEST(StrUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(JoinStrings({"only"}, "-"), "only");
+}
+
+TEST(StrUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLower("AbC123_x"), "abc123_x");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StrUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Employee", "employee"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StrUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("nospace"), "nospace");
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(StrUtilTest, StringPrintfFormats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+  // Long output forces the resize path.
+  std::string big = StringPrintf("%0200d", 1);
+  EXPECT_EQ(big.size(), 200u);
+}
+
+TEST(StrUtilTest, HashCombineSpreads) {
+  size_t a = HashCombine(1, 2);
+  size_t b = HashCombine(2, 1);
+  EXPECT_NE(a, b);  // order matters
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,211 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace storage {
+namespace {
+
+CollectionSchema FullSchema() {
+  return CollectionSchema("T", {{"i", AttrType::kLong},
+                                {"d", AttrType::kDouble},
+                                {"s", AttrType::kString},
+                                {"b", AttrType::kBool}});
+}
+
+TEST(TableTest, SerdeRoundTripAllTypes) {
+  StorageEnv env;
+  Table table(FullSchema(), &env);
+  Tuple t{Value(int64_t{-42}), Value(3.25), Value("héllo, wörld"),
+          Value(true)};
+  ASSERT_TRUE(table.Insert(t).ok());
+  Tuple empty_string{Value(int64_t{0}), Value(0.0), Value(""), Value(false)};
+  ASSERT_TRUE(table.Insert(empty_string).ok());
+
+  int row = 0;
+  ASSERT_TRUE(table
+                  .Scan([&](const RID&, const Tuple& got) {
+                    if (row == 0) {
+                      EXPECT_EQ(got[0], Value(int64_t{-42}));
+                      EXPECT_EQ(got[1], Value(3.25));
+                      EXPECT_EQ(got[2], Value("héllo, wörld"));
+                      EXPECT_EQ(got[3], Value(true));
+                    } else {
+                      EXPECT_EQ(got[2], Value(""));
+                      EXPECT_EQ(got[3], Value(false));
+                    }
+                    ++row;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(row, 2);
+}
+
+TEST(TableTest, NullsRoundTrip) {
+  StorageEnv env;
+  Table table(FullSchema(), &env);
+  Tuple t{Value::Null(), Value::Null(), Value::Null(), Value::Null()};
+  ASSERT_TRUE(table.Insert(t).ok());
+  ASSERT_TRUE(table
+                  .Scan([&](const RID&, const Tuple& got) {
+                    for (const Value& v : got) EXPECT_TRUE(v.is_null());
+                    return true;
+                  })
+                  .ok());
+}
+
+TEST(TableTest, SchemaMismatchRejected) {
+  StorageEnv env;
+  Table table(FullSchema(), &env);
+  // Wrong arity.
+  EXPECT_FALSE(table.Insert({Value(int64_t{1})}).ok());
+  // Wrong type in a field.
+  EXPECT_FALSE(table.Insert({Value("notlong"), Value(1.0), Value("x"),
+                             Value(true)})
+                   .ok());
+}
+
+TEST(TableTest, FetchByRid) {
+  StorageEnv env;
+  Table table(FullSchema(), &env);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.Insert({Value(int64_t{i}), Value(1.0 * i),
+                              Value(std::to_string(i)), Value(i % 2 == 0)})
+                    .ok());
+  }
+  std::vector<RID> rids;
+  ASSERT_TRUE(table.Scan([&](const RID& rid, const Tuple&) {
+                    rids.push_back(rid);
+                    return true;
+                  })
+                  .ok());
+  auto t = table.Fetch(rids[7]);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)[0], Value(int64_t{7}));
+}
+
+TEST(TableTest, IndexMaintainedOnInsert) {
+  StorageEnv env;
+  Table table(FullSchema(), &env);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table.Insert({Value(int64_t{i % 10}), Value(0.0), Value("x"),
+                              Value(false)})
+                    .ok());
+  }
+  ASSERT_TRUE(table.CreateIndex("i").ok());
+  // Inserts after index creation are reflected.
+  ASSERT_TRUE(table.Insert({Value(int64_t{3}), Value(0.0), Value("x"),
+                            Value(false)})
+                  .ok());
+  auto index = table.Index("i");
+  ASSERT_TRUE(index.ok());
+  auto rids = (*index)->SearchEq(Value(int64_t{3}));
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(rids->size(), 11u);  // 10 original + 1 late
+}
+
+TEST(TableTest, IndexErrors) {
+  StorageEnv env;
+  Table table(FullSchema(), &env);
+  EXPECT_TRUE(table.CreateIndex("missing").IsNotFound());
+  ASSERT_TRUE(table.CreateIndex("i").ok());
+  EXPECT_TRUE(table.CreateIndex("i").IsAlreadyExists());
+  EXPECT_FALSE(table.HasIndex("d"));
+  EXPECT_TRUE(table.Index("d").status().IsNotFound());
+}
+
+TEST(TableTest, ComputeStatsBasics) {
+  StorageEnv env;
+  Table table(FullSchema(), &env);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table.Insert({Value(int64_t{i}), Value(i * 0.5),
+                              Value("s" + std::to_string(i % 10)),
+                              Value(i % 2 == 0)})
+                    .ok());
+  }
+  ASSERT_TRUE(table.CreateIndex("i", /*clustered=*/true).ok());
+  auto stats = table.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->extent.count_object, 100);
+  EXPECT_EQ(stats->extent.total_size,
+            table.heap().num_pages() * table.heap().page_size());
+  EXPECT_GT(stats->extent.object_size, 0);
+
+  auto i_stats = stats->Attribute("i");
+  ASSERT_TRUE(i_stats.ok());
+  EXPECT_TRUE(i_stats->indexed);
+  EXPECT_TRUE(i_stats->clustered);
+  EXPECT_EQ(i_stats->count_distinct, 100);
+  EXPECT_EQ(i_stats->min, Value(int64_t{0}));
+  EXPECT_EQ(i_stats->max, Value(int64_t{99}));
+
+  auto s_stats = stats->Attribute("s");
+  ASSERT_TRUE(s_stats.ok());
+  EXPECT_FALSE(s_stats->indexed);
+  EXPECT_EQ(s_stats->count_distinct, 10);
+  EXPECT_EQ(s_stats->min, Value("s0"));
+  EXPECT_EQ(s_stats->max, Value("s9"));
+  EXPECT_FALSE(s_stats->histogram.has_value());
+}
+
+TEST(TableTest, ComputeStatsWithHistogram) {
+  StorageEnv env;
+  Table table(FullSchema(), &env);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(table.Insert({Value(int64_t{i % 4}), Value(0.0), Value("x"),
+                              Value(false)})
+                    .ok());
+  }
+  auto stats = table.ComputeStats(/*histogram_buckets=*/8);
+  ASSERT_TRUE(stats.ok());
+  auto i_stats = stats->Attribute("i");
+  ASSERT_TRUE(i_stats.ok());
+  ASSERT_TRUE(i_stats->histogram.has_value());
+  EXPECT_NEAR(i_stats->histogram->EstimateEq(Value(int64_t{2})), 0.25, 0.05);
+}
+
+TEST(TableTest, StatsIgnoreNullsForMinMax) {
+  StorageEnv env;
+  Table table(FullSchema(), &env);
+  ASSERT_TRUE(table.Insert({Value::Null(), Value(1.0), Value("b"),
+                            Value(false)})
+                  .ok());
+  ASSERT_TRUE(table.Insert({Value(int64_t{5}), Value(1.0), Value("a"),
+                            Value(false)})
+                  .ok());
+  auto stats = table.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  auto i_stats = stats->Attribute("i");
+  ASSERT_TRUE(i_stats.ok());
+  EXPECT_EQ(i_stats->min, Value(int64_t{5}));
+  EXPECT_EQ(i_stats->count_distinct, 1);
+}
+
+TEST(TableTest, InsertsAndStatsAreUnmetered) {
+  StorageEnv env;
+  Table table(FullSchema(), &env);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(table.Insert({Value(int64_t{i}), Value(0.0), Value("x"),
+                              Value(false)})
+                    .ok());
+  }
+  ASSERT_TRUE(table.CreateIndex("i").ok());
+  ASSERT_TRUE(table.ComputeStats().ok());
+  EXPECT_DOUBLE_EQ(env.clock.now_ms(), 0.0);
+}
+
+TEST(TableTest, SerializedSizeMatchesInsertAccounting) {
+  StorageEnv env;
+  Table table(FullSchema(), &env);
+  Tuple t{Value(int64_t{1}), Value(2.0), Value("abc"), Value(true)};
+  auto size = table.SerializedSize(t);
+  ASSERT_TRUE(size.ok());
+  // 4 tag bytes + 8 + 8 + (4 + 3) + 1.
+  EXPECT_EQ(*size, 4 + 8 + 8 + 7 + 1);
+  ASSERT_TRUE(table.Insert(t).ok());
+  EXPECT_EQ(table.heap().data_bytes(), *size);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace disco

@@ -1,0 +1,131 @@
+// The paper's headline result (Figure 12) as an executable assertion:
+// for an unclustered index scan, the wrapper-exported Yao-formula rule
+// estimates the measured cost far better than the mediator's calibrated
+// linear formula, across the selectivity range.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algebra/operator.h"
+#include "bench007/oo7.h"
+#include "costlang/builtin_functions.h"
+#include "costmodel/estimator.h"
+#include "costmodel/generic_model.h"
+#include "wrapper/registration.h"
+
+namespace disco {
+namespace {
+
+class YaoValidationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bench007::OO7Config config;
+    config.num_atomic_parts = 14000;  // 200 pages, fast enough for a test
+    auto source = bench007::BuildOO7Source(config);
+    ASSERT_TRUE(source.ok()) << source.status().ToString();
+
+    wrapper::SimulatedWrapper::Options options;
+    options.cost_rules = bench007::Oo7YaoRuleText();
+    wrapper_ = new wrapper::SimulatedWrapper(std::move(*source), options);
+
+    catalog_ = new Catalog();
+    blended_ = new costmodel::RuleRegistry();
+    calibrated_ = new costmodel::RuleRegistry();
+    costmodel::CalibrationParams params;
+    ASSERT_TRUE(costmodel::InstallGenericModel(blended_, params).ok());
+    ASSERT_TRUE(costmodel::InstallGenericModel(calibrated_, params).ok());
+    optimizer::CapabilityTable caps;
+    ASSERT_TRUE(
+        wrapper::RegisterWrapper(wrapper_, catalog_, blended_, &caps).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete wrapper_;
+    delete catalog_;
+    delete blended_;
+    delete calibrated_;
+    wrapper_ = nullptr;
+  }
+
+  static wrapper::SimulatedWrapper* wrapper_;
+  static Catalog* catalog_;
+  static costmodel::RuleRegistry* blended_;
+  static costmodel::RuleRegistry* calibrated_;
+};
+
+wrapper::SimulatedWrapper* YaoValidationTest::wrapper_ = nullptr;
+Catalog* YaoValidationTest::catalog_ = nullptr;
+costmodel::RuleRegistry* YaoValidationTest::blended_ = nullptr;
+costmodel::RuleRegistry* YaoValidationTest::calibrated_ = nullptr;
+
+class YaoSweep : public YaoValidationTest,
+                 public ::testing::WithParamInterface<double> {};
+
+TEST_P(YaoSweep, YaoRuleBeatsCalibration) {
+  const double sel = GetParam();
+  const int64_t n = 14000;
+  const int64_t cutoff = static_cast<int64_t>(sel * n) - 1;
+  auto plan = algebra::Select(algebra::Scan("AtomicPart"), "id",
+                              algebra::CmpOp::kLe, Value(cutoff));
+
+  wrapper_->source()->env()->pool.Clear();
+  auto measured = wrapper_->Execute(*plan);
+  ASSERT_TRUE(measured.ok()) << measured.status().ToString();
+
+  costmodel::CostEstimator calib_est(calibrated_, catalog_);
+  costmodel::CostEstimator yao_est(blended_, catalog_);
+  auto calib = calib_est.EstimateAt(*plan, "oo7");
+  auto yao = yao_est.EstimateAt(*plan, "oo7");
+  ASSERT_TRUE(calib.ok()) << calib.status().ToString();
+  ASSERT_TRUE(yao.ok()) << yao.status().ToString();
+
+  double calib_err =
+      std::abs(calib->root.total_time() - measured->total_ms);
+  double yao_err = std::abs(yao->root.total_time() - measured->total_ms);
+  // The Yao estimate tracks the measurement within 10%...
+  EXPECT_LT(yao_err / measured->total_ms, 0.10) << "sel=" << sel;
+  // ...and improves on the calibrated linear estimate.
+  EXPECT_LT(yao_err, calib_err) << "sel=" << sel;
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, YaoSweep,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.2, 0.3, 0.5,
+                                           0.7));
+
+TEST_F(YaoValidationTest, CalibrationUnderestimatesAtLowSelectivity) {
+  // The qualitative shape of Figure 12: at 1% selectivity the calibrated
+  // formula is several times too optimistic.
+  const int64_t cutoff = 139;  // 1%
+  auto plan = algebra::Select(algebra::Scan("AtomicPart"), "id",
+                              algebra::CmpOp::kLe, Value(cutoff));
+  wrapper_->source()->env()->pool.Clear();
+  auto measured = wrapper_->Execute(*plan);
+  ASSERT_TRUE(measured.ok());
+  costmodel::CostEstimator calib_est(calibrated_, catalog_);
+  auto calib = calib_est.EstimateAt(*plan, "oo7");
+  ASSERT_TRUE(calib.ok());
+  EXPECT_LT(calib->root.total_time(), measured->total_ms / 2);
+}
+
+TEST_F(YaoValidationTest, MeasuredPagesFollowYaoExpectation) {
+  // The physical grounding: distinct pages fetched by the unclustered
+  // index scan track Yao's expectation.
+  const double sel = 0.1;
+  const int64_t cutoff = static_cast<int64_t>(sel * 14000) - 1;
+  auto plan = algebra::Select(algebra::Scan("AtomicPart"), "id",
+                              algebra::CmpOp::kLe, Value(cutoff));
+  wrapper_->source()->env()->pool.Clear();
+  wrapper_->source()->env()->pool.ResetStats();
+  auto measured = wrapper_->Execute(*plan);
+  ASSERT_TRUE(measured.ok());
+  const double pages = 200.0;
+  double expected_fraction =
+      costlang::YaoFraction(sel, 14000, pages);
+  // pages_read includes index pages; allow 15% slack.
+  EXPECT_NEAR(static_cast<double>(measured->pages_read),
+              expected_fraction * pages, 0.15 * pages + 10);
+}
+
+}  // namespace
+}  // namespace disco
