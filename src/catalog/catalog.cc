@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/str_util.h"
+
 namespace disco {
 
 Status Catalog::RegisterSource(const std::string& source) {
@@ -46,6 +48,12 @@ Status Catalog::RemoveSource(const std::string& source) {
   sources_.erase(it);
   for (auto cit = collections_.begin(); cit != collections_.end();) {
     if (cit->second.source == source) {
+      auto eit = equiv_index_.find(cit->first);
+      if (eit != equiv_index_.end()) {
+        std::vector<std::string>& cls = equiv_classes_[eit->second];
+        cls.erase(std::remove(cls.begin(), cls.end(), cit->first), cls.end());
+        equiv_index_.erase(eit);
+      }
       cit = collections_.erase(cit);
     } else {
       ++cit;
@@ -90,6 +98,72 @@ std::vector<std::string> Catalog::Collections() const {
   std::vector<std::string> out;
   out.reserve(collections_.size());
   for (const auto& [name, entry] : collections_) out.push_back(name);
+  return out;
+}
+
+Status Catalog::DeclareEquivalent(const std::string& collection_a,
+                                  const std::string& collection_b) {
+  if (EqualsIgnoreCase(collection_a, collection_b)) {
+    return Status::InvalidArgument(
+        "a collection cannot be declared equivalent to itself");
+  }
+  DISCO_ASSIGN_OR_RETURN(CatalogEntry a, Collection(collection_a));
+  DISCO_ASSIGN_OR_RETURN(CatalogEntry b, Collection(collection_b));
+  const std::vector<AttributeDef>& attrs_a = a.schema.attributes();
+  const std::vector<AttributeDef>& attrs_b = b.schema.attributes();
+  if (attrs_a.size() != attrs_b.size()) {
+    return Status::InvalidArgument(
+        "collections '" + collection_a + "' and '" + collection_b +
+        "' have different arity; cannot be equivalent");
+  }
+  for (size_t i = 0; i < attrs_a.size(); ++i) {
+    if (!EqualsIgnoreCase(attrs_a[i].name, attrs_b[i].name) ||
+        attrs_a[i].type != attrs_b[i].type) {
+      return Status::InvalidArgument(
+          "collections '" + collection_a + "' and '" + collection_b +
+          "' disagree on attribute " + std::to_string(i) + " ('" +
+          attrs_a[i].name + "' vs '" + attrs_b[i].name +
+          "'); cannot be equivalent");
+    }
+  }
+
+  auto ia = equiv_index_.find(collection_a);
+  auto ib = equiv_index_.find(collection_b);
+  if (ia != equiv_index_.end() && ib != equiv_index_.end()) {
+    if (ia->second == ib->second) return Status::OK();  // already declared
+    // Merge b's class into a's.
+    const size_t from = ib->second, to = ia->second;
+    for (const std::string& name : equiv_classes_[from]) {
+      equiv_classes_[to].push_back(name);
+      equiv_index_[name] = to;
+    }
+    equiv_classes_[from].clear();
+    return Status::OK();
+  }
+  if (ia != equiv_index_.end()) {
+    equiv_classes_[ia->second].push_back(collection_b);
+    equiv_index_[collection_b] = ia->second;
+    return Status::OK();
+  }
+  if (ib != equiv_index_.end()) {
+    equiv_classes_[ib->second].push_back(collection_a);
+    equiv_index_[collection_a] = ib->second;
+    return Status::OK();
+  }
+  equiv_classes_.push_back({collection_a, collection_b});
+  equiv_index_[collection_a] = equiv_classes_.size() - 1;
+  equiv_index_[collection_b] = equiv_classes_.size() - 1;
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::EquivalentsOf(
+    const std::string& collection) const {
+  auto it = equiv_index_.find(collection);
+  if (it == equiv_index_.end()) return {};
+  std::vector<std::string> out;
+  for (const std::string& name : equiv_classes_[it->second]) {
+    if (name != collection) out.push_back(name);
+  }
   return out;
 }
 

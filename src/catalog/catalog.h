@@ -57,9 +57,27 @@ class Catalog {
   std::vector<std::string> Sources() const;
   std::vector<std::string> Collections() const;
 
+  /// Declares two registered collections equivalent (replicas of the
+  /// same logical data, typically at different sources): the optimizer
+  /// may answer a query against either one, e.g. to route around a
+  /// source whose circuit breaker is open. Requires identical schemas
+  /// (same attribute names, case-insensitive, and types, in order);
+  /// InvalidArgument otherwise. Equivalence is transitive: declaring
+  /// (a,b) and (b,c) puts all three in one class.
+  Status DeclareEquivalent(const std::string& collection_a,
+                           const std::string& collection_b);
+
+  /// The other members of `collection`'s equivalence class (empty when
+  /// none were declared). Order follows declaration order.
+  std::vector<std::string> EquivalentsOf(const std::string& collection) const;
+
  private:
   std::vector<std::string> sources_;
   std::map<std::string, CatalogEntry> collections_;
+  /// Equivalence classes of replica collections. equiv_index_ maps a
+  /// collection name to its class in equiv_classes_.
+  std::vector<std::vector<std::string>> equiv_classes_;
+  std::map<std::string, size_t> equiv_index_;
 };
 
 }  // namespace disco

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotSupported";
     case StatusCode::kExecutionError:
       return "ExecutionError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

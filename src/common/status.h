@@ -22,6 +22,7 @@ enum class StatusCode {
   kOutOfRange,        ///< index / value outside its domain
   kNotSupported,      ///< valid request outside implemented capabilities
   kExecutionError,    ///< runtime failure while evaluating a plan or formula
+  kUnavailable,       ///< a data source is (temporarily) unreachable
   kInternal,          ///< invariant violation (a bug in disco itself)
 };
 
@@ -70,6 +71,9 @@ class Status {
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -88,6 +92,7 @@ class Status {
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
   bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
 
   /// "OK" or "<CodeName>: <message>".

@@ -30,6 +30,14 @@ bool TupleLess(const Tuple& a, const Tuple& b) {
 
 }  // namespace
 
+std::string ExecWarning::ToString() const {
+  std::string out = "source '" + source + "': " + message;
+  if (attempts > 0) {
+    out += StringPrintf(" (%d attempt%s)", attempts, attempts == 1 ? "" : "s");
+  }
+  return out;
+}
+
 int64_t MediatorExecutor::TupleBytes(const storage::Tuple& t) {
   int64_t bytes = 0;
   for (const Value& v : t) {
@@ -53,9 +61,13 @@ int64_t MediatorExecutor::TupleBytes(const storage::Tuple& t) {
 }
 
 Result<ExecResult> MediatorExecutor::Execute(const Operator& plan) {
-  DISCO_RETURN_NOT_OK(plan.CheckWellFormed());
   elapsed_ms_ = 0;
   subqueries_.clear();
+  warnings_.clear();
+  failed_sources_.clear();
+  // Re-seed so repeated executions of the same plan are bit-identical.
+  rng_ = Rng(exec_options_.jitter_seed);
+  DISCO_RETURN_NOT_OK(plan.CheckWellFormed());
 
   DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(plan));
 
@@ -64,6 +76,7 @@ Result<ExecResult> MediatorExecutor::Execute(const Operator& plan) {
   out.tuples = std::move(rel.tuples);
   out.measured_ms = elapsed_ms_;
   out.subqueries = std::move(subqueries_);
+  out.warnings = std::move(warnings_);
   return out;
 }
 
@@ -79,8 +92,98 @@ Result<wrapper::Wrapper*> MediatorExecutor::WrapperFor(
   return wit->second;
 }
 
+void MediatorExecutor::NoteFailedSource(const std::string& source_lower) {
+  for (const std::string& s : failed_sources_) {
+    if (s == source_lower) return;
+  }
+  failed_sources_.push_back(source_lower);
+}
+
+Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
+    const std::string& source, const Operator& subplan) {
+  DISCO_ASSIGN_OR_RETURN(wrapper::Wrapper * w, WrapperFor(source));
+  const std::string key = ToLower(source);
+  const RetryPolicy& retry = exec_options_.retry;
+  const int max_attempts = std::max(1, retry.max_attempts);
+
+  Status last;
+  int attempts = 0;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (health_ != nullptr && !health_->AllowSubmit(key, Now())) {
+      if (last.ok()) {
+        last = Status::Unavailable("source '" + source +
+                                   "': circuit breaker open");
+      }
+      break;  // the breaker tripped: further retries are pointless
+    }
+    attempts = attempt;
+    Result<sources::ExecutionResult> result = w->Execute(subplan);
+    if (!result.ok() && !result.status().IsUnavailable() &&
+        !result.status().IsExecutionError()) {
+      // Not a source-availability failure (e.g. a malformed subplan):
+      // retrying cannot help and the breaker must not trip.
+      return result.status().WithContext("source '" + source + "'");
+    }
+    const bool timed_out = result.ok() && retry.attempt_timeout_ms > 0 &&
+                           result->total_ms > retry.attempt_timeout_ms;
+    if (result.ok() && !timed_out) {
+      // Communication: one round trip plus shipping the subanswer.
+      int64_t bytes = 0;
+      for (const Tuple& t : result->tuples) bytes += TupleBytes(t);
+      Charge(result->total_ms + params_.ms_msg_latency +
+             params_.ms_per_net_byte * static_cast<double>(bytes));
+      if (health_ != nullptr) health_->RecordSuccess(key, Now());
+
+      SubqueryRecord record;
+      record.source = source;
+      record.subplan = subplan.Clone();
+      record.source_ms = result->total_ms;
+      const auto n = static_cast<double>(result->tuples.size());
+      record.measured = costmodel::CostVector::Full(
+          n, static_cast<double>(bytes),
+          n > 0 ? static_cast<double>(bytes) / n : 0, result->first_tuple_ms,
+          n > 1 ? (result->total_ms - result->first_tuple_ms) / (n - 1) : 0,
+          result->total_ms);
+      subqueries_.push_back(std::move(record));
+
+      if (attempt > 1) {
+        warnings_.push_back(ExecWarning{
+            key,
+            StringPrintf("recovered after %d failed attempt%s", attempt - 1,
+                         attempt == 2 ? "" : "s"),
+            attempt});
+      }
+      return result;
+    }
+    // Failed attempt: a timeout charges the budget it burned; an error
+    // charges the round trip that discovered it.
+    if (timed_out) {
+      Charge(params_.ms_msg_latency + retry.attempt_timeout_ms);
+      last = Status::Unavailable(StringPrintf(
+          "source '%s': attempt timed out (%.1f ms > %.1f ms budget)",
+          source.c_str(), result->total_ms, retry.attempt_timeout_ms));
+    } else {
+      Charge(params_.ms_msg_latency);
+      last = result.status().WithContext("source '" + source + "'");
+    }
+    if (health_ != nullptr) health_->RecordFailure(key, Now());
+    if (attempt < max_attempts) {
+      Charge(retry.BackoffMs(attempt, &rng_));
+    }
+  }
+
+  NoteFailedSource(key);
+  std::string msg = last.message();
+  if (attempts > 1) {
+    msg += StringPrintf(" (gave up after %d attempts)", attempts);
+  }
+  last_failure_ = ExecWarning{key, msg, attempts};
+  return Status::Unavailable(msg);
+}
+
 Result<Rel> MediatorExecutor::EvalBindJoin(const Operator& op) {
-  DISCO_ASSIGN_OR_RETURN(wrapper::Wrapper * w, WrapperFor(op.source));
+  // Fail fast on an unknown wrapper before evaluating the outer side.
+  DISCO_RETURN_NOT_OK(WrapperFor(op.source).status());
   if (catalog_ == nullptr) {
     return Status::ExecutionError(
         "bind join needs a catalog for the probed collection's schema");
@@ -109,25 +212,10 @@ Result<Rel> MediatorExecutor::EvalBindJoin(const Operator& op) {
       std::unique_ptr<Operator> probe = algebra::Select(
           algebra::Scan(op.collection), op.join_pred->right_attribute,
           algebra::CmpOp::kEq, key);
+      // Probe failures abort the query even under allow_partial: a
+      // missing probe answer would silently change the join result.
       DISCO_ASSIGN_OR_RETURN(sources::ExecutionResult result,
-                             w->Execute(*probe));
-      int64_t bytes = 0;
-      for (const Tuple& t : result.tuples) bytes += TupleBytes(t);
-      Charge(result.total_ms + params_.ms_msg_latency +
-             params_.ms_per_net_byte * static_cast<double>(bytes));
-
-      SubqueryRecord record;
-      record.source = op.source;
-      record.subplan = probe->Clone();
-      record.source_ms = result.total_ms;
-      const auto n = static_cast<double>(result.tuples.size());
-      record.measured = costmodel::CostVector::Full(
-          n, static_cast<double>(bytes),
-          n > 0 ? static_cast<double>(bytes) / n : 0, result.first_tuple_ms,
-          n > 1 ? (result.total_ms - result.first_tuple_ms) / (n - 1) : 0,
-          result.total_ms);
-      subqueries_.push_back(std::move(record));
-
+                             SubmitToSource(op.source, *probe));
       it = cache.emplace(canon, std::move(result.tuples)).first;
     }
     for (const Tuple& rt : it->second) {
@@ -140,28 +228,8 @@ Result<Rel> MediatorExecutor::EvalBindJoin(const Operator& op) {
 }
 
 Result<Rel> MediatorExecutor::EvalSubmit(const Operator& op) {
-  DISCO_ASSIGN_OR_RETURN(wrapper::Wrapper * w, WrapperFor(op.source));
   DISCO_ASSIGN_OR_RETURN(sources::ExecutionResult result,
-                         w->Execute(op.child(0)));
-
-  // Communication: one round trip plus shipping the subanswer.
-  int64_t bytes = 0;
-  for (const Tuple& t : result.tuples) bytes += TupleBytes(t);
-  Charge(result.total_ms + params_.ms_msg_latency +
-         params_.ms_per_net_byte * static_cast<double>(bytes));
-
-  SubqueryRecord record;
-  record.source = op.source;
-  record.subplan = op.child(0).Clone();
-  record.source_ms = result.total_ms;
-  const auto n = static_cast<double>(result.tuples.size());
-  record.measured = costmodel::CostVector::Full(
-      n, static_cast<double>(bytes), n > 0 ? static_cast<double>(bytes) / n : 0,
-      result.first_tuple_ms,
-      n > 1 ? (result.total_ms - result.first_tuple_ms) / (n - 1) : 0,
-      result.total_ms);
-  subqueries_.push_back(std::move(record));
-
+                         SubmitToSource(op.source, op.child(0)));
   Rel rel;
   rel.columns = std::move(result.columns);
   rel.tuples = std::move(result.tuples);
@@ -384,14 +452,36 @@ Result<Rel> MediatorExecutor::Eval(const Operator& op) {
     }
 
     case OpKind::kUnion: {
-      DISCO_ASSIGN_OR_RETURN(Rel left, Eval(op.child(0)));
-      DISCO_ASSIGN_OR_RETURN(Rel right, Eval(op.child(1)));
-      if (left.columns.size() != right.columns.size()) {
+      // Graceful degradation: a union branch is the one place a source
+      // failure does not change the semantics of what remains -- the
+      // other branch is still a correct (partial) subanswer. Under
+      // allow_partial a branch whose source stayed unavailable is
+      // dropped with a warning; any other failure aborts as before.
+      auto tolerable = [&](const Status& s) {
+        return exec_options_.allow_partial && s.IsUnavailable();
+      };
+      Result<Rel> left = Eval(op.child(0));
+      if (!left.ok() && !tolerable(left.status())) return left.status();
+      Result<Rel> right = Eval(op.child(1));
+      if (!right.ok() && !tolerable(right.status())) return right.status();
+      if (!left.ok() && !right.ok()) {
+        return left.status();  // nothing to degrade to
+      }
+      if (!left.ok() || !right.ok()) {
+        const Status& dropped =
+            left.ok() ? right.status() : left.status();
+        warnings_.push_back(ExecWarning{
+            last_failure_.source,
+            "union branch dropped: " + dropped.message(),
+            last_failure_.attempts});
+        return left.ok() ? std::move(*left) : std::move(*right);
+      }
+      if (left->columns.size() != right->columns.size()) {
         return Status::ExecutionError("union inputs have different arity");
       }
-      Charge(static_cast<double>(right.tuples.size()) * params_.ms_med_cmp);
-      Rel out = std::move(left);
-      for (Tuple& t : right.tuples) out.tuples.push_back(std::move(t));
+      Charge(static_cast<double>(right->tuples.size()) * params_.ms_med_cmp);
+      Rel out = std::move(*left);
+      for (Tuple& t : right->tuples) out.tuples.push_back(std::move(t));
       return out;
     }
   }

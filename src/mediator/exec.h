@@ -2,6 +2,13 @@
 // subqueries to wrappers, combines subanswers with mediator-local
 // physical operators, and accounts simulated communication and mediator
 // CPU time.
+//
+// Fault tolerance (docs/ROBUSTNESS.md): each submit is gated by the
+// per-source circuit breaker, retried per the RetryPolicy (backoff
+// charged to the simulated clock), and -- in allow_partial mode --
+// a union branch whose source stayed unavailable is dropped with a
+// structured warning instead of failing the query. Failures that would
+// change answer semantics (join inputs, bind-join probes) still abort.
 
 #ifndef DISCO_MEDIATOR_EXEC_H_
 #define DISCO_MEDIATOR_EXEC_H_
@@ -14,7 +21,10 @@
 #include "algebra/operator.h"
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "costmodel/cost_vector.h"
+#include "mediator/retry_policy.h"
+#include "mediator/source_health.h"
 #include "sources/source_engine.h"
 #include "wrapper/wrapper.h"
 
@@ -27,6 +37,27 @@ struct MediatorCostParams {
   double ms_msg_latency = 50.0;
   double ms_per_net_byte = 0.01;
   double ms_med_cmp = 0.002;
+};
+
+/// Fault-tolerance knobs of the executor.
+struct ExecOptions {
+  RetryPolicy retry;
+  /// Degrade instead of abort where semantics allow it: a submit that
+  /// stays unavailable under a Union yields an empty subanswer plus a
+  /// warning. Join inputs and bind-join probes still abort.
+  bool allow_partial = false;
+  /// Seed for retry backoff jitter; fixed seed => bit-identical runs.
+  uint64_t jitter_seed = 0x5EED;
+};
+
+/// A structured per-query warning: something was degraded but the query
+/// still produced an answer.
+struct ExecWarning {
+  std::string source;   ///< lower-cased source name involved
+  std::string message;
+  int attempts = 0;     ///< submit attempts behind this warning (0 = n/a)
+
+  std::string ToString() const;
 };
 
 /// What one submitted subquery cost -- the raw material of the history
@@ -43,26 +74,56 @@ struct ExecResult {
   std::vector<storage::Tuple> tuples;
   double measured_ms = 0;  ///< total simulated time at the mediator
   std::vector<SubqueryRecord> subqueries;
+  std::vector<ExecWarning> warnings;  ///< degradations survived
 };
 
 class MediatorExecutor {
  public:
   /// `catalog` supplies collection schemas for bind-join probing; it may
-  /// be null if no plan contains bindjoin nodes.
+  /// be null if no plan contains bindjoin nodes. `health`, when given,
+  /// is consulted before each submit (circuit breaker) and fed every
+  /// submit outcome; `base_now_ms` anchors this execution on the
+  /// mediator's cumulative simulated clock so breaker cooldowns span
+  /// queries.
   MediatorExecutor(std::map<std::string, wrapper::Wrapper*> wrappers,
-                   MediatorCostParams params, const Catalog* catalog = nullptr)
-      : wrappers_(std::move(wrappers)), params_(params), catalog_(catalog) {}
+                   MediatorCostParams params, const Catalog* catalog = nullptr,
+                   ExecOptions exec_options = {},
+                   SourceHealthRegistry* health = nullptr,
+                   double base_now_ms = 0)
+      : wrappers_(std::move(wrappers)),
+        params_(params),
+        catalog_(catalog),
+        exec_options_(exec_options),
+        health_(health),
+        base_now_ms_(base_now_ms),
+        rng_(exec_options.jitter_seed) {}
 
   /// Executes a complete mediator plan. Every scan must sit under a
   /// submit to a registered wrapper.
   Result<ExecResult> Execute(const algebra::Operator& plan);
 
+  /// Simulated time charged so far -- valid after Execute() even when it
+  /// failed (honest accounting of work done before the failure).
+  double elapsed_ms() const { return elapsed_ms_; }
+
+  /// Sources whose submits exhausted all attempts during the last
+  /// Execute() (lower-cased, in first-failure order).
+  const std::vector<std::string>& failed_sources() const {
+    return failed_sources_;
+  }
+
  private:
   Result<sources::Rel> Eval(const algebra::Operator& op);
   Result<sources::Rel> EvalSubmit(const algebra::Operator& op);
   Result<sources::Rel> EvalBindJoin(const algebra::Operator& op);
+  /// Breaker gate + retry loop + communication charging + health
+  /// reporting + subquery record for one submitted subplan.
+  Result<sources::ExecutionResult> SubmitToSource(
+      const std::string& source, const algebra::Operator& subplan);
   Result<wrapper::Wrapper*> WrapperFor(const std::string& source) const;
   void Charge(double ms) { elapsed_ms_ += ms; }
+  double Now() const { return base_now_ms_ + elapsed_ms_; }
+  void NoteFailedSource(const std::string& source_lower);
 
   /// Approximate wire size of a tuple in bytes.
   static int64_t TupleBytes(const storage::Tuple& t);
@@ -70,8 +131,16 @@ class MediatorExecutor {
   std::map<std::string, wrapper::Wrapper*> wrappers_;
   MediatorCostParams params_;
   const Catalog* catalog_ = nullptr;
+  ExecOptions exec_options_;
+  SourceHealthRegistry* health_ = nullptr;
+  double base_now_ms_ = 0;
+  Rng rng_;
   double elapsed_ms_ = 0;
   std::vector<SubqueryRecord> subqueries_;
+  std::vector<ExecWarning> warnings_;
+  std::vector<std::string> failed_sources_;
+  /// Details of the most recent exhausted submit (for union warnings).
+  ExecWarning last_failure_;
 };
 
 }  // namespace mediator

@@ -12,7 +12,8 @@ Mediator::Mediator(MediatorOptions options)
       history_(options_.history_alpha),
       estimator_(&registry_, &catalog_,
                  options_.record_history ? &history_ : nullptr),
-      optimizer_(&estimator_, &caps_) {
+      optimizer_(&estimator_, &caps_),
+      health_(options_.breaker) {
   Status s = costmodel::InstallGenericModel(&registry_, options_.calibration);
   DISCO_CHECK(s.ok()) << "generic cost model failed to install: "
                       << s.ToString();
@@ -52,7 +53,15 @@ Status Mediator::ReRegisterWrapper(const std::string& name) {
     DISCO_RETURN_NOT_OK(registry_.AddWrapperRules(w->name(), std::move(rules)));
   }
   caps_.Set(w->name(), w->ExportCapabilities());
+  // An administrative refresh is a statement that the source is (again)
+  // trustworthy: forget its breaker state.
+  health_.Reset(w->name());
   return Status::OK();
+}
+
+Status Mediator::DeclareEquivalent(const std::string& collection_a,
+                                   const std::string& collection_b) {
+  return catalog_.DeclareEquivalent(collection_a, collection_b);
 }
 
 wrapper::Wrapper* Mediator::wrapper(const std::string& name) {
@@ -67,9 +76,20 @@ Result<query::BoundQuery> Mediator::Analyze(const std::string& sql) const {
   return query::Bind(parsed, catalog_);
 }
 
+optimizer::OptimizerOptions Mediator::PlanningOptions(
+    const std::vector<std::string>& extra_avoid) const {
+  optimizer::OptimizerOptions opts = options_.optimizer;
+  opts.catalog = &catalog_;
+  opts.avoid_sources = health_.OpenSources(sim_now_ms_);
+  for (const std::string& s : extra_avoid) {
+    opts.avoid_sources.push_back(s);
+  }
+  return opts;
+}
+
 Result<optimizer::OptimizedPlan> Mediator::Plan(const std::string& sql) const {
   DISCO_ASSIGN_OR_RETURN(query::BoundQuery bound, Analyze(sql));
-  return optimizer_.Optimize(bound, options_.optimizer);
+  return optimizer_.Optimize(bound, PlanningOptions({}));
 }
 
 Result<std::string> Mediator::Explain(const std::string& sql) const {
@@ -81,25 +101,102 @@ Result<std::string> Mediator::Explain(const std::string& sql) const {
   return costmodel::FormatExplain(estimate);
 }
 
+namespace {
+
+/// Does `op` (or any descendant) submit to one of `sources`?
+bool PlanUsesAnySource(const algebra::Operator& op,
+                       const std::vector<std::string>& sources) {
+  if (op.kind == algebra::OpKind::kSubmit ||
+      op.kind == algebra::OpKind::kBindJoin) {
+    for (const std::string& s : sources) {
+      if (EqualsIgnoreCase(s, op.source)) return true;
+    }
+  }
+  for (int i = 0; i < op.num_children(); ++i) {
+    if (PlanUsesAnySource(op.child(i), sources)) return true;
+  }
+  return false;
+}
+
+/// Surfaces replica rerouting decisions as structured warnings.
+void AddReplicaWarnings(const optimizer::OptimizedPlan& plan,
+                        const Catalog& catalog, QueryResult* out) {
+  for (const auto& [original, replica] : plan.replica_substitutions) {
+    Result<std::string> source = catalog.SourceOf(replica);
+    out->warnings.push_back(ExecWarning{
+        source.ok() ? ToLower(*source) : std::string(),
+        "rerouted '" + original + "' to replica '" + replica + "'", 0});
+  }
+}
+
+}  // namespace
+
 Result<QueryResult> Mediator::Query(const std::string& sql) {
-  DISCO_ASSIGN_OR_RETURN(optimizer::OptimizedPlan plan, Plan(sql));
-  DISCO_ASSIGN_OR_RETURN(QueryResult result, Execute(*plan.plan));
-  result.estimated_ms = plan.estimated_ms;
-  result.optimizer_stats = plan.stats;
-  return result;
+  DISCO_ASSIGN_OR_RETURN(query::BoundQuery bound, Analyze(sql));
+  DISCO_ASSIGN_OR_RETURN(optimizer::OptimizedPlan plan,
+                         optimizer_.Optimize(bound, PlanningOptions({})));
+  std::vector<std::string> failed;
+  double first_attempt_ms = 0;
+  Result<QueryResult> result =
+      ExecuteInternal(*plan.plan, &failed, &first_attempt_ms);
+  if (result.ok()) {
+    result->estimated_ms = plan.estimated_ms;
+    result->optimizer_stats = plan.stats;
+    AddReplicaWarnings(plan, catalog_, &*result);
+    return result;
+  }
+  if (!options_.replan_on_source_failure || failed.empty() ||
+      !result.status().IsUnavailable()) {
+    return result;
+  }
+  // A source died mid-execution: replan once around it. Only worth
+  // re-executing when the new plan actually avoids every dead source.
+  Result<optimizer::OptimizedPlan> replanned =
+      optimizer_.Optimize(bound, PlanningOptions(failed));
+  if (!replanned.ok() || PlanUsesAnySource(*replanned->plan, failed)) {
+    return result;
+  }
+  Result<QueryResult> second =
+      ExecuteInternal(*replanned->plan, nullptr, nullptr);
+  if (!second.ok()) return result;  // report the original failure
+  second->estimated_ms = replanned->estimated_ms;
+  second->optimizer_stats = replanned->stats;
+  // The failed first execution still happened: charge its time.
+  second->measured_ms += first_attempt_ms;
+  second->warnings.insert(
+      second->warnings.begin(),
+      ExecWarning{failed[0],
+                  "replanned around unavailable source(s): " +
+                      JoinStrings(failed, ", "),
+                  0});
+  AddReplicaWarnings(*replanned, catalog_, &*second);
+  return second;
 }
 
 Result<QueryResult> Mediator::Execute(const algebra::Operator& plan) {
+  return ExecuteInternal(plan, nullptr, nullptr);
+}
+
+Result<QueryResult> Mediator::ExecuteInternal(
+    const algebra::Operator& plan, std::vector<std::string>* failed_sources,
+    double* elapsed_ms) {
   std::map<std::string, wrapper::Wrapper*> by_name;
   for (auto& w : wrappers_) by_name[ToLower(w->name())] = w.get();
-  MediatorExecutor exec(std::move(by_name), options_.exec, &catalog_);
-  DISCO_ASSIGN_OR_RETURN(ExecResult raw, exec.Execute(plan));
+  MediatorExecutor exec(std::move(by_name), options_.exec, &catalog_,
+                        options_.fault_tolerance, &health_, sim_now_ms_);
+  Result<ExecResult> raw = exec.Execute(plan);
+  // Time passed even if the query failed: advance the mediator clock so
+  // breaker cooldowns keep running.
+  sim_now_ms_ += exec.elapsed_ms();
+  if (failed_sources != nullptr) *failed_sources = exec.failed_sources();
+  if (elapsed_ms != nullptr) *elapsed_ms = exec.elapsed_ms();
+  if (!raw.ok()) return raw.status();
 
   // Feed measured subquery costs back into the history mechanism: the
   // query scope records the exact cost; the adjustment factor tracks
   // observed/estimated per (source, operator kind).
   if (options_.record_history) {
-    for (const SubqueryRecord& record : raw.subqueries) {
+    for (const SubqueryRecord& record : raw->subqueries) {
       costmodel::EstimateOptions no_history;
       no_history.use_history = false;
       double estimated = 0;
@@ -112,10 +209,11 @@ Result<QueryResult> Mediator::Execute(const algebra::Operator& plan) {
   }
 
   QueryResult out;
-  out.columns = std::move(raw.columns);
-  out.tuples = std::move(raw.tuples);
+  out.columns = std::move(raw->columns);
+  out.tuples = std::move(raw->tuples);
   out.plan_text = algebra::PrintPlan(plan);
-  out.measured_ms = raw.measured_ms;
+  out.measured_ms = raw->measured_ms;
+  out.warnings = std::move(raw->warnings);
   return out;
 }
 

@@ -24,6 +24,7 @@
 #include "costmodel/history.h"
 #include "costmodel/registry.h"
 #include "mediator/exec.h"
+#include "mediator/source_health.h"
 #include "optimizer/optimizer.h"
 #include "query/binder.h"
 #include "query/sql_parser.h"
@@ -41,6 +42,14 @@ struct MediatorOptions {
   /// factors (§4.3.1).
   bool record_history = true;
   double history_alpha = 0.3;
+  /// Fault tolerance (docs/ROBUSTNESS.md): retry policy, partial-answer
+  /// mode, and jitter seed for the executor.
+  ExecOptions fault_tolerance;
+  /// Circuit-breaker thresholds of the per-source health registry.
+  SourceHealthOptions breaker;
+  /// When a source dies mid-execution, replan once around it (using
+  /// declared-equivalent collections) and re-execute before giving up.
+  bool replan_on_source_failure = true;
 };
 
 struct QueryResult {
@@ -50,6 +59,9 @@ struct QueryResult {
   double estimated_ms = 0; ///< optimizer's estimate of the chosen plan
   double measured_ms = 0;  ///< simulated execution time
   optimizer::EnumStats optimizer_stats;
+  /// Degradations survived while answering (retries that recovered,
+  /// dropped union branches, replica rerouting). Empty on a clean run.
+  std::vector<ExecWarning> warnings;
 };
 
 class Mediator {
@@ -78,11 +90,19 @@ class Mediator {
   /// each cost variable (rendered via costmodel::FormatExplain).
   Result<std::string> Explain(const std::string& sql) const;
 
-  /// Full query phase: returns the answer and updates history.
+  /// Full query phase: returns the answer and updates history. When a
+  /// source dies mid-execution, replans once around it (see
+  /// MediatorOptions::replan_on_source_failure).
   Result<QueryResult> Query(const std::string& sql);
 
   /// Executes an already-built mediator plan.
   Result<QueryResult> Execute(const algebra::Operator& plan);
+
+  /// Declares two registered collections to be replicas of the same
+  /// logical data (forwarded to Catalog::DeclareEquivalent): the
+  /// optimizer may then route around an unhealthy source.
+  Status DeclareEquivalent(const std::string& collection_a,
+                           const std::string& collection_b);
 
   // Component access (benches, tests, examples).
   const Catalog& catalog() const { return catalog_; }
@@ -92,8 +112,23 @@ class Mediator {
   const optimizer::CapabilityTable& capabilities() const { return caps_; }
   wrapper::Wrapper* wrapper(const std::string& name);
   const MediatorOptions& options() const { return options_; }
+  SourceHealthRegistry* health() { return &health_; }
+  const SourceHealthRegistry& health() const { return health_; }
+  /// Cumulative simulated execution time across all queries -- the
+  /// clock circuit-breaker cooldowns run on.
+  double sim_now_ms() const { return sim_now_ms_; }
 
  private:
+  /// Planning options with health-aware routing: avoid sources whose
+  /// breaker is open, plus `extra_avoid` (sources that just failed).
+  optimizer::OptimizerOptions PlanningOptions(
+      const std::vector<std::string>& extra_avoid) const;
+  /// Executes `plan`, advances the simulated clock (also on failure),
+  /// feeds history, and reports which sources exhausted their submits.
+  Result<QueryResult> ExecuteInternal(const algebra::Operator& plan,
+                                      std::vector<std::string>* failed_sources,
+                                      double* elapsed_ms);
+
   MediatorOptions options_;
   Catalog catalog_;
   costmodel::RuleRegistry registry_;
@@ -102,6 +137,8 @@ class Mediator {
   costmodel::CostEstimator estimator_;
   optimizer::Optimizer optimizer_;
   std::vector<std::unique_ptr<wrapper::Wrapper>> wrappers_;
+  SourceHealthRegistry health_;
+  double sim_now_ms_ = 0;
 };
 
 }  // namespace mediator

@@ -1,0 +1,21 @@
+#include "mediator/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disco {
+namespace mediator {
+
+double RetryPolicy::BackoffMs(int failures, Rng* rng) const {
+  if (failures < 1) failures = 1;
+  double nominal =
+      backoff_base_ms * std::pow(backoff_multiplier, failures - 1);
+  nominal = std::min(nominal, backoff_cap_ms);
+  if (jitter_fraction > 0 && rng != nullptr) {
+    nominal *= 1.0 + jitter_fraction * (2.0 * rng->NextDouble() - 1.0);
+  }
+  return std::max(nominal, 0.0);
+}
+
+}  // namespace mediator
+}  // namespace disco

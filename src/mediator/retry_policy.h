@@ -1,0 +1,48 @@
+// RetryPolicy: how the mediator re-submits a subquery after a source
+// failure. Backoff is exponential with (seeded, deterministic) jitter
+// and every failed attempt -- including the waiting time between
+// attempts -- is charged against the simulated clock, so a query that
+// survived a flaky source honestly shows the price in `measured_ms`.
+
+#ifndef DISCO_MEDIATOR_RETRY_POLICY_H_
+#define DISCO_MEDIATOR_RETRY_POLICY_H_
+
+#include "common/rng.h"
+
+namespace disco {
+namespace mediator {
+
+struct RetryPolicy {
+  /// Total submits per subquery, including the first one. 1 = no retry.
+  int max_attempts = 1;
+  /// Wait before the second attempt; doubles (see multiplier) per retry.
+  double backoff_base_ms = 100.0;
+  double backoff_multiplier = 2.0;
+  /// Ceiling on any single backoff interval (before jitter).
+  double backoff_cap_ms = 5000.0;
+  /// Uniform jitter of +/- this fraction around the nominal backoff.
+  /// Deterministic: drawn from the executor's seeded Rng.
+  double jitter_fraction = 0.1;
+  /// A submit whose simulated source time exceeds this budget counts as a
+  /// failed attempt (the budget, not the overrun, is charged). 0 = off.
+  double attempt_timeout_ms = 0.0;
+
+  /// No retries at all (the pre-fault-tolerance behaviour).
+  static RetryPolicy None() { return RetryPolicy{}; }
+
+  /// A sensible default for flaky sources.
+  static RetryPolicy Standard(int attempts = 3) {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    return p;
+  }
+
+  /// Backoff charged after the `failures`-th consecutive failure
+  /// (1-based) before the next attempt.
+  double BackoffMs(int failures, Rng* rng) const;
+};
+
+}  // namespace mediator
+}  // namespace disco
+
+#endif  // DISCO_MEDIATOR_RETRY_POLICY_H_

@@ -1,0 +1,96 @@
+#include "mediator/source_health.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace mediator {
+
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool SourceHealthRegistry::AllowSubmit(const std::string& source,
+                                       double now_ms) {
+  SourceHealth& h = health_[ToLower(source)];
+  switch (h.state) {
+    case BreakerState::kClosed:
+    case BreakerState::kHalfOpen:
+      return true;
+    case BreakerState::kOpen:
+      if (now_ms - h.opened_at_ms >= options_.cooldown_ms) {
+        h.state = BreakerState::kHalfOpen;
+        return true;  // the probe
+      }
+      ++h.rejected_submits;
+      return false;
+  }
+  return true;
+}
+
+void SourceHealthRegistry::RecordSuccess(const std::string& source,
+                                         double now_ms) {
+  (void)now_ms;
+  SourceHealth& h = health_[ToLower(source)];
+  h.consecutive_failures = 0;
+  ++h.total_successes;
+  h.state = BreakerState::kClosed;
+}
+
+void SourceHealthRegistry::RecordFailure(const std::string& source,
+                                         double now_ms) {
+  SourceHealth& h = health_[ToLower(source)];
+  ++h.consecutive_failures;
+  ++h.total_failures;
+  h.last_failure_ms = now_ms;
+  // A failed half-open probe re-opens immediately; a closed breaker
+  // opens once the threshold is reached.
+  if (h.state == BreakerState::kHalfOpen ||
+      (h.state == BreakerState::kClosed &&
+       h.consecutive_failures >= options_.failure_threshold)) {
+    h.state = BreakerState::kOpen;
+    h.opened_at_ms = now_ms;
+  }
+}
+
+BreakerState SourceHealthRegistry::StateAt(const std::string& source,
+                                           double now_ms) const {
+  auto it = health_.find(ToLower(source));
+  if (it == health_.end()) return BreakerState::kClosed;
+  const SourceHealth& h = it->second;
+  if (h.state == BreakerState::kOpen &&
+      now_ms - h.opened_at_ms >= options_.cooldown_ms) {
+    return BreakerState::kHalfOpen;
+  }
+  return h.state;
+}
+
+SourceHealth SourceHealthRegistry::Health(const std::string& source) const {
+  auto it = health_.find(ToLower(source));
+  if (it == health_.end()) return SourceHealth{};
+  return it->second;
+}
+
+std::vector<std::string> SourceHealthRegistry::OpenSources(
+    double now_ms) const {
+  std::vector<std::string> out;
+  for (const auto& [name, h] : health_) {
+    (void)h;
+    if (StateAt(name, now_ms) == BreakerState::kOpen) out.push_back(name);
+  }
+  return out;
+}
+
+void SourceHealthRegistry::Reset(const std::string& source) {
+  health_.erase(ToLower(source));
+}
+
+}  // namespace mediator
+}  // namespace disco

@@ -1,0 +1,96 @@
+// Per-source health tracking: a circuit breaker over the simulated
+// clock.
+//
+// Every submit outcome is reported here. After `failure_threshold`
+// consecutive failures a source's breaker opens: further submits are
+// rejected immediately (Status::Unavailable) instead of burning retries
+// against a dead source, and the optimizer routes around the source
+// when an equivalent collection exists elsewhere. After `cooldown_ms`
+// of simulated time the breaker moves to half-open and lets exactly the
+// next submit through as a probe: success re-closes the breaker,
+// failure re-opens it for another cooldown.
+//
+//        K consecutive failures          cooldown elapses
+//   closed ----------------------> open -----------------> half-open
+//     ^                             ^                          |
+//     |        probe succeeds       |      probe fails         |
+//     +-----------------------------+--------------------------+
+//
+// All timestamps are simulated milliseconds (the mediator's cumulative
+// execution clock), so breaker behaviour is deterministic and
+// reproducible bit-for-bit.
+
+#ifndef DISCO_MEDIATOR_SOURCE_HEALTH_H_
+#define DISCO_MEDIATOR_SOURCE_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace disco {
+namespace mediator {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateToString(BreakerState state);
+
+struct SourceHealthOptions {
+  /// Consecutive failures that open the breaker.
+  int failure_threshold = 3;
+  /// Simulated ms the breaker stays open before allowing a probe.
+  double cooldown_ms = 60000.0;
+};
+
+/// Everything tracked for one source.
+struct SourceHealth {
+  BreakerState state = BreakerState::kClosed;
+  int consecutive_failures = 0;
+  int64_t total_failures = 0;
+  int64_t total_successes = 0;
+  int64_t rejected_submits = 0;  ///< submits refused while open
+  double opened_at_ms = 0;
+  double last_failure_ms = 0;
+};
+
+class SourceHealthRegistry {
+ public:
+  explicit SourceHealthRegistry(SourceHealthOptions options = {})
+      : options_(options) {}
+
+  /// Gate consulted before each submit. Open breakers whose cooldown has
+  /// elapsed transition to half-open and admit the submit as a probe;
+  /// open breakers still cooling down reject it (and count the
+  /// rejection).
+  bool AllowSubmit(const std::string& source, double now_ms);
+
+  void RecordSuccess(const std::string& source, double now_ms);
+  void RecordFailure(const std::string& source, double now_ms);
+
+  /// Effective state at `now_ms` (an open breaker past its cooldown
+  /// reads as half-open). Unknown sources are closed.
+  BreakerState StateAt(const std::string& source, double now_ms) const;
+
+  /// Raw counters (state as last recorded, without the cooldown view).
+  SourceHealth Health(const std::string& source) const;
+
+  /// Sources whose breaker is effectively open at `now_ms` -- what the
+  /// optimizer should route around.
+  std::vector<std::string> OpenSources(double now_ms) const;
+
+  /// Forgets everything recorded about `source` (administrative reset,
+  /// e.g. after re-registration).
+  void Reset(const std::string& source);
+
+  const SourceHealthOptions& options() const { return options_; }
+
+ private:
+  SourceHealthOptions options_;
+  /// Keyed by lower-cased source name.
+  std::map<std::string, SourceHealth> health_;
+};
+
+}  // namespace mediator
+}  // namespace disco
+
+#endif  // DISCO_MEDIATOR_SOURCE_HEALTH_H_

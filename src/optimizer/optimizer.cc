@@ -1,7 +1,21 @@
 #include "optimizer/optimizer.h"
 
+#include "common/str_util.h"
+
 namespace disco {
 namespace optimizer {
+
+namespace {
+
+bool SourceAvoided(const std::vector<std::string>& avoid,
+                   const std::string& source) {
+  for (const std::string& a : avoid) {
+    if (EqualsIgnoreCase(a, source)) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Result<OptimizedPlan> Optimizer::Optimize(const query::BoundQuery& q,
                                           const OptimizerOptions& options) const {
@@ -12,10 +26,40 @@ Result<OptimizedPlan> Optimizer::Optimize(const query::BoundQuery& q,
   enum_options.estimate = options.estimate;
   enum_options.max_relations = options.max_relations;
 
+  // Health-aware routing: re-point relations bound to avoided sources
+  // at declared-equivalent collections on healthy sources. Attribute
+  // names are identical across an equivalence class (enforced by
+  // Catalog::DeclareEquivalent), so predicates, joins, and projections
+  // bind unchanged.
+  query::BoundQuery rerouted;
+  const query::BoundQuery* effective = &q;
+  std::vector<std::pair<std::string, std::string>> substitutions;
+  if (!options.avoid_sources.empty() && options.catalog != nullptr) {
+    for (size_t i = 0; i < q.relations.size(); ++i) {
+      const query::BoundRelation& rel = q.relations[i];
+      if (!SourceAvoided(options.avoid_sources, rel.source)) continue;
+      for (const std::string& alt :
+           options.catalog->EquivalentsOf(rel.collection)) {
+        Result<CatalogEntry> entry = options.catalog->Collection(alt);
+        if (!entry.ok() ||
+            SourceAvoided(options.avoid_sources, entry->source)) {
+          continue;
+        }
+        if (effective == &q) rerouted = q;
+        rerouted.relations[i].collection = alt;
+        rerouted.relations[i].source = entry->source;
+        substitutions.emplace_back(rel.collection, alt);
+        effective = &rerouted;
+        break;
+      }
+    }
+  }
+
   DISCO_ASSIGN_OR_RETURN(EnumResult result,
-                         enumerator_.Enumerate(q, enum_options));
+                         enumerator_.Enumerate(*effective, enum_options));
 
   OptimizedPlan out;
+  out.replica_substitutions = std::move(substitutions);
   // Re-estimate the winner without a bound for a complete cost vector.
   DISCO_ASSIGN_OR_RETURN(out.final_estimate,
                          estimator_->Estimate(*result.plan, options.estimate));

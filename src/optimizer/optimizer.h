@@ -4,7 +4,11 @@
 #define DISCO_OPTIMIZER_OPTIMIZER_H_
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "catalog/catalog.h"
 #include "costmodel/estimator.h"
 #include "optimizer/capabilities.h"
 #include "optimizer/join_enum.h"
@@ -19,6 +23,16 @@ struct OptimizerOptions {
   bool enable_bind_join = true;
   costmodel::EstimateOptions estimate;
   int max_relations = 12;
+  /// Runtime health input: sources to plan around (open circuit
+  /// breakers, sources that just died mid-execution). A relation bound
+  /// to an avoided source is re-pointed at an equivalent collection on
+  /// a healthy source when one is declared in `catalog`; without a
+  /// replica the relation keeps its original source (degraded planning
+  /// beats no plan).
+  std::vector<std::string> avoid_sources;
+  /// Catalog used to look up equivalent collections; may be null when
+  /// `avoid_sources` is empty.
+  const Catalog* catalog = nullptr;
 };
 
 struct OptimizedPlan {
@@ -26,6 +40,9 @@ struct OptimizedPlan {
   double estimated_ms = 0;
   costmodel::PlanEstimate final_estimate;  ///< full estimate of the winner
   EnumStats stats;
+  /// (original collection, replica used) for every relation re-routed
+  /// around an avoided source.
+  std::vector<std::pair<std::string, std::string>> replica_substitutions;
 };
 
 class Optimizer {

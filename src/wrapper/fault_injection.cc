@@ -1,0 +1,69 @@
+#include "wrapper/fault_injection.h"
+
+namespace disco {
+namespace wrapper {
+
+FaultInjectingWrapper::FaultInjectingWrapper(std::unique_ptr<Wrapper> inner,
+                                             FaultProfile profile)
+    : inner_(std::move(inner)),
+      profile_(std::move(profile)),
+      rng_(profile_.seed) {}
+
+const std::string& FaultInjectingWrapper::name() const {
+  return inner_->name();
+}
+
+std::string FaultInjectingWrapper::ExportInterfaces() const {
+  return inner_->ExportInterfaces();
+}
+
+Result<CollectionStats> FaultInjectingWrapper::ExportStatistics(
+    const std::string& collection) const {
+  return inner_->ExportStatistics(collection);
+}
+
+std::string FaultInjectingWrapper::ExportCostRules() const {
+  return inner_->ExportCostRules();
+}
+
+optimizer::SourceCapabilities FaultInjectingWrapper::ExportCapabilities()
+    const {
+  return inner_->ExportCapabilities();
+}
+
+void FaultInjectingWrapper::SetProfile(FaultProfile profile) {
+  profile_ = std::move(profile);
+  rng_ = Rng(profile_.seed);
+  calls_ = 0;
+  injected_failures_ = 0;
+}
+
+Result<sources::ExecutionResult> FaultInjectingWrapper::Execute(
+    const algebra::Operator& subplan) {
+  ++calls_;
+  bool fail = false;
+  if (profile_.fail_first_n > 0 && calls_ <= profile_.fail_first_n) {
+    fail = true;
+  }
+  if (profile_.fail_every_n > 0 && calls_ % profile_.fail_every_n == 0) {
+    fail = true;
+  }
+  // Always burn one coin flip when the clause is enabled so the fault
+  // sequence depends only on the call index, not on the other clauses.
+  if (profile_.fail_probability > 0 &&
+      rng_.NextDouble() < profile_.fail_probability) {
+    fail = true;
+  }
+  if (fail) {
+    ++injected_failures_;
+    return Status::Unavailable(profile_.failure_message);
+  }
+  DISCO_ASSIGN_OR_RETURN(sources::ExecutionResult result,
+                         inner_->Execute(subplan));
+  result.total_ms += profile_.added_latency_ms;
+  result.first_tuple_ms += profile_.added_latency_ms;
+  return result;
+}
+
+}  // namespace wrapper
+}  // namespace disco

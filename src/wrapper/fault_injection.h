@@ -1,0 +1,111 @@
+// FaultInjectingWrapper: a decorator that makes any wrapper misbehave
+// on demand -- the promoted, reusable form of the test-only
+// `FaultyWrapper`.
+//
+// Registration calls pass straight through to the decorated wrapper;
+// Execute() consults a FaultProfile to decide whether this submit
+// fails, succeeds late, or succeeds normally. All randomness comes from
+// a seeded common/rng.h generator, so a given (profile, call sequence)
+// produces the exact same faults every run -- robustness experiments
+// stay reproducible bit-for-bit.
+
+#ifndef DISCO_WRAPPER_FAULT_INJECTION_H_
+#define DISCO_WRAPPER_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "wrapper/wrapper.h"
+
+namespace disco {
+namespace wrapper {
+
+/// When and how Execute() fails. The clauses compose: a submit fails if
+/// ANY enabled clause fires on it.
+struct FaultProfile {
+  /// Each submit fails with this probability (seeded coin; 0 = off).
+  double fail_probability = 0.0;
+  /// Every Nth submit (N, 2N, 3N, ...) fails (0 = off).
+  int fail_every_n = 0;
+  /// Transient outage: the first N submits fail, then the source
+  /// recovers (0 = off).
+  int fail_first_n = 0;
+  /// Added to total_ms and first_tuple_ms of every successful submit
+  /// (a slow-but-alive source; interacts with RetryPolicy timeouts).
+  double added_latency_ms = 0.0;
+  /// Seed for the probability coin.
+  uint64_t seed = 0xD15C0;
+  /// Message of the injected failure status.
+  std::string failure_message = "connection lost";
+
+  /// Fails each submit independently with probability `p`.
+  static FaultProfile Flaky(double p, uint64_t seed = 0xD15C0) {
+    FaultProfile f;
+    f.fail_probability = p;
+    f.seed = seed;
+    return f;
+  }
+
+  /// Transient outage: first `n` submits fail, then recovery.
+  static FaultProfile Outage(int n) {
+    FaultProfile f;
+    f.fail_first_n = n;
+    return f;
+  }
+
+  /// Deterministic periodic failure: every `n`th submit fails.
+  static FaultProfile EveryNth(int n) {
+    FaultProfile f;
+    f.fail_every_n = n;
+    return f;
+  }
+
+  /// Permanently dead source.
+  static FaultProfile Dead() { return Flaky(0.0).WithAlwaysFail(); }
+
+  FaultProfile WithAlwaysFail() {
+    fail_every_n = 1;
+    return *this;
+  }
+  FaultProfile WithLatency(double ms) {
+    added_latency_ms = ms;
+    return *this;
+  }
+};
+
+class FaultInjectingWrapper : public Wrapper {
+ public:
+  FaultInjectingWrapper(std::unique_ptr<Wrapper> inner, FaultProfile profile);
+
+  const std::string& name() const override;
+  std::string ExportInterfaces() const override;
+  Result<CollectionStats> ExportStatistics(
+      const std::string& collection) const override;
+  std::string ExportCostRules() const override;
+  optimizer::SourceCapabilities ExportCapabilities() const override;
+  Result<sources::ExecutionResult> Execute(
+      const algebra::Operator& subplan) override;
+
+  Wrapper* inner() { return inner_.get(); }
+  const FaultProfile& profile() const { return profile_; }
+  /// Replaces the profile and rewinds the fault schedule (call counter
+  /// and RNG), e.g. to stage a fresh outage mid-experiment.
+  void SetProfile(FaultProfile profile);
+
+  int64_t calls() const { return calls_; }
+  int64_t injected_failures() const { return injected_failures_; }
+
+ private:
+  std::unique_ptr<Wrapper> inner_;
+  FaultProfile profile_;
+  Rng rng_;
+  int64_t calls_ = 0;
+  int64_t injected_failures_ = 0;
+};
+
+}  // namespace wrapper
+}  // namespace disco
+
+#endif  // DISCO_WRAPPER_FAULT_INJECTION_H_

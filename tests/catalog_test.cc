@@ -119,6 +119,57 @@ TEST(CatalogTest, CollectionsOfSource) {
   EXPECT_EQ(catalog.Sources().size(), 2u);
 }
 
+TEST(CatalogTest, DeclareEquivalentRequiresIdenticalSchemas) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource("a").ok());
+  ASSERT_TRUE(catalog.RegisterSource("b").ok());
+  ASSERT_TRUE(catalog
+                  .RegisterCollection(
+                      "a", CollectionSchema("X", {{"i", AttrType::kLong}}), {})
+                  .ok());
+  // Attribute name casing differs but matches; types match: accepted.
+  ASSERT_TRUE(catalog
+                  .RegisterCollection(
+                      "b", CollectionSchema("Y", {{"I", AttrType::kLong}}), {})
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .RegisterCollection(
+                      "b", CollectionSchema("Z", {{"i", AttrType::kString}}),
+                      {})
+                  .ok());
+  EXPECT_TRUE(catalog.DeclareEquivalent("X", "Y").ok());
+  EXPECT_EQ(catalog.EquivalentsOf("X"), std::vector<std::string>{"Y"});
+  EXPECT_EQ(catalog.EquivalentsOf("Y"), std::vector<std::string>{"X"});
+  // Type mismatch and unknown collections are rejected.
+  EXPECT_TRUE(catalog.DeclareEquivalent("X", "Z").IsInvalidArgument());
+  EXPECT_TRUE(catalog.DeclareEquivalent("X", "Ghost").IsNotFound());
+  EXPECT_TRUE(catalog.EquivalentsOf("Z").empty());
+}
+
+TEST(CatalogTest, EquivalenceIsTransitiveAndSurvivesSourceRemoval) {
+  Catalog catalog;
+  for (const char* s : {"a", "b", "c"}) {
+    ASSERT_TRUE(catalog.RegisterSource(s).ok());
+  }
+  const char* names[] = {"X", "Y", "Z"};
+  const char* sources[] = {"a", "b", "c"};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(catalog
+                    .RegisterCollection(sources[i],
+                                        CollectionSchema(
+                                            names[i], {{"i", AttrType::kLong}}),
+                                        {})
+                    .ok());
+  }
+  ASSERT_TRUE(catalog.DeclareEquivalent("X", "Y").ok());
+  ASSERT_TRUE(catalog.DeclareEquivalent("Y", "Z").ok());
+  EXPECT_EQ(catalog.EquivalentsOf("X").size(), 2u);
+  EXPECT_EQ(catalog.EquivalentsOf("Z").size(), 2u);
+  // Removing a source also removes its collections from their classes.
+  ASSERT_TRUE(catalog.RemoveSource("b").ok());
+  EXPECT_EQ(catalog.EquivalentsOf("X"), std::vector<std::string>{"Z"});
+}
+
 TEST(StatisticsTest, CollectionStatsAttributeLookup) {
   CollectionStats stats;
   AttributeStats a;

@@ -123,13 +123,18 @@ TEST(FailureInjectionTest, ExecutionErrorSurfacesThroughQuery) {
                   .ok());
   auto r = med.Query("SELECT k FROM T");
   ASSERT_FALSE(r.ok());
-  EXPECT_TRUE(r.status().IsExecutionError());
+  // An exhausted submit surfaces as Unavailable, with the source name
+  // prefixed via Status::WithContext.
+  EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("source 'faulty'"), std::string::npos)
+      << r.status().ToString();
   EXPECT_NE(r.status().message().find("connection lost"), std::string::npos);
 }
 
 TEST(FailureInjectionTest, MidPlanFailureAbortsExecution) {
   // The wrapper succeeds once (the first submit) then dies; the second
-  // submit of a two-source-shape plan must fail the whole query.
+  // submit of a two-source-shape plan must fail the whole query (no
+  // retries, no partial mode configured here).
   mediator::Mediator med;
   ASSERT_TRUE(med.RegisterWrapper(std::make_unique<FaultyWrapper>(
                                       FaultyWrapper::Mode::kExecuteAfterN, 1))
@@ -137,7 +142,21 @@ TEST(FailureInjectionTest, MidPlanFailureAbortsExecution) {
   auto plan = algebra::Union(Submit("faulty", Scan("T")),
                              Submit("faulty", Scan("T")));
   auto r = med.Execute(*plan);
-  EXPECT_TRUE(r.status().IsExecutionError());
+  EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+
+  // Honest cost accounting under failure: the simulated clock still
+  // charged the first (successful) submit. Re-run through a bare
+  // executor, where elapsed_ms() stays observable after the error.
+  FaultyWrapper faulty(FaultyWrapper::Mode::kExecuteAfterN, 1);
+  mediator::MediatorCostParams params;
+  mediator::MediatorExecutor exec({{"faulty", &faulty}}, params);
+  auto r2 = exec.Execute(*plan);
+  ASSERT_TRUE(r2.status().IsUnavailable()) << r2.status().ToString();
+  // First submit: 10 ms source time + 50 ms round trip + shipped bytes;
+  // second submit: the 50 ms round trip that discovered the failure.
+  EXPECT_GE(exec.elapsed_ms(), 10 + params.ms_msg_latency * 2);
+  ASSERT_EQ(exec.failed_sources().size(), 1u);
+  EXPECT_EQ(exec.failed_sources()[0], "faulty");
 }
 
 TEST(FailureInjectionTest, MalformedPlansRejectedBeforeExecution) {

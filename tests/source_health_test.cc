@@ -1,0 +1,107 @@
+// SourceHealthRegistry: the circuit breaker state machine over the
+// simulated clock -- closed, open, half-open probe, and back.
+
+#include "mediator/source_health.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace mediator {
+namespace {
+
+SourceHealthOptions FastBreaker() {
+  SourceHealthOptions o;
+  o.failure_threshold = 3;
+  o.cooldown_ms = 1000;
+  return o;
+}
+
+TEST(SourceHealthTest, UnknownSourcesStartClosed) {
+  SourceHealthRegistry reg;
+  EXPECT_EQ(reg.StateAt("s", 0), BreakerState::kClosed);
+  EXPECT_TRUE(reg.AllowSubmit("s", 0));
+  EXPECT_EQ(reg.Health("s").total_failures, 0);
+  EXPECT_TRUE(reg.OpenSources(0).empty());
+}
+
+TEST(SourceHealthTest, OpensAfterConsecutiveFailures) {
+  SourceHealthRegistry reg(FastBreaker());
+  reg.RecordFailure("s", 10);
+  reg.RecordFailure("s", 20);
+  EXPECT_EQ(reg.StateAt("s", 20), BreakerState::kClosed);
+  EXPECT_TRUE(reg.AllowSubmit("s", 20));
+  reg.RecordFailure("s", 30);  // third consecutive: trip
+  EXPECT_EQ(reg.StateAt("s", 30), BreakerState::kOpen);
+  EXPECT_FALSE(reg.AllowSubmit("s", 40));
+  EXPECT_EQ(reg.Health("s").rejected_submits, 1);
+  EXPECT_EQ(reg.OpenSources(40), std::vector<std::string>{"s"});
+}
+
+TEST(SourceHealthTest, SuccessResetsTheConsecutiveCount) {
+  SourceHealthRegistry reg(FastBreaker());
+  reg.RecordFailure("s", 10);
+  reg.RecordFailure("s", 20);
+  reg.RecordSuccess("s", 30);  // streak broken
+  reg.RecordFailure("s", 40);
+  reg.RecordFailure("s", 50);
+  EXPECT_EQ(reg.StateAt("s", 50), BreakerState::kClosed);
+  reg.RecordFailure("s", 60);
+  EXPECT_EQ(reg.StateAt("s", 60), BreakerState::kOpen);
+  SourceHealth h = reg.Health("s");
+  EXPECT_EQ(h.total_failures, 5);
+  EXPECT_EQ(h.total_successes, 1);
+  EXPECT_EQ(h.consecutive_failures, 3);
+  EXPECT_DOUBLE_EQ(h.opened_at_ms, 60);
+}
+
+TEST(SourceHealthTest, CooldownAdmitsOneProbeThatRecloses) {
+  SourceHealthRegistry reg(FastBreaker());
+  for (double t : {10.0, 20.0, 30.0}) reg.RecordFailure("s", t);
+  ASSERT_FALSE(reg.AllowSubmit("s", 500));  // still cooling down
+  // Cooldown elapsed (opened at 30, cooldown 1000): effective state is
+  // half-open and the next submit goes through as a probe.
+  EXPECT_EQ(reg.StateAt("s", 1030), BreakerState::kHalfOpen);
+  EXPECT_TRUE(reg.AllowSubmit("s", 1030));
+  EXPECT_TRUE(reg.OpenSources(1030).empty());  // probe-ready, not avoided
+  reg.RecordSuccess("s", 1040);
+  EXPECT_EQ(reg.StateAt("s", 1040), BreakerState::kClosed);
+  EXPECT_EQ(reg.Health("s").consecutive_failures, 0);
+}
+
+TEST(SourceHealthTest, FailedProbeReopensForAnotherCooldown) {
+  SourceHealthRegistry reg(FastBreaker());
+  for (double t : {10.0, 20.0, 30.0}) reg.RecordFailure("s", t);
+  ASSERT_TRUE(reg.AllowSubmit("s", 1500));  // probe admitted
+  reg.RecordFailure("s", 1510);             // probe failed: re-open at once
+  EXPECT_EQ(reg.StateAt("s", 1510), BreakerState::kOpen);
+  EXPECT_FALSE(reg.AllowSubmit("s", 2000));  // new cooldown from 1510
+  EXPECT_TRUE(reg.AllowSubmit("s", 2600));   // 1510 + 1000 elapsed
+}
+
+TEST(SourceHealthTest, SourceNamesAreCaseInsensitive) {
+  SourceHealthRegistry reg(FastBreaker());
+  for (double t : {10.0, 20.0, 30.0}) reg.RecordFailure("Oracle", t);
+  EXPECT_EQ(reg.StateAt("ORACLE", 30), BreakerState::kOpen);
+  EXPECT_FALSE(reg.AllowSubmit("oracle", 40));
+  EXPECT_EQ(reg.OpenSources(40), std::vector<std::string>{"oracle"});
+}
+
+TEST(SourceHealthTest, ResetForgetsEverything) {
+  SourceHealthRegistry reg(FastBreaker());
+  for (double t : {10.0, 20.0, 30.0}) reg.RecordFailure("s", t);
+  ASSERT_EQ(reg.StateAt("s", 30), BreakerState::kOpen);
+  reg.Reset("s");
+  EXPECT_EQ(reg.StateAt("s", 30), BreakerState::kClosed);
+  EXPECT_TRUE(reg.AllowSubmit("s", 30));
+  EXPECT_EQ(reg.Health("s").total_failures, 0);
+}
+
+TEST(SourceHealthTest, StateNamesRender) {
+  EXPECT_STREQ(BreakerStateToString(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateToString(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateToString(BreakerState::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace mediator
+}  // namespace disco

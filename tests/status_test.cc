@@ -23,8 +23,16 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
   EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::ExecutionError("x").IsExecutionError());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, UnavailableRendersAndChains) {
+  Status s = Status::Unavailable("connection lost")
+                 .WithContext("source 'faulty'");
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(s.ToString(), "Unavailable: source 'faulty': connection lost");
 }
 
 TEST(StatusTest, ToStringIncludesCodeName) {
