@@ -47,6 +47,7 @@ int Run() {
   std::printf("%-6s %8s %6s %8s %7s %8s %10s\n", "p", "queries", "full",
               "partial", "failed", "retries", "avg_ms");
 
+  std::string last_level_metrics;
   for (double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
     mediator::MediatorOptions options;
     options.fault_tolerance.allow_partial = true;
@@ -85,7 +86,13 @@ int Run() {
                 static_cast<long long>(lp->injected_failures() +
                                        rp->injected_failures()),
                 answered > 0 ? total_ms / answered : 0.0);
+    last_level_metrics = med.metrics()->ToText();
   }
+
+  // Metrics snapshot of the harshest level: retries, dropped branches,
+  // and breaker activity all leave counters behind (the name catalog is
+  // in docs/OBSERVABILITY.md).
+  std::printf("\n# metrics at p=0.50\n%s", last_level_metrics.c_str());
   return 0;
 }
 

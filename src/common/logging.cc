@@ -1,12 +1,16 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <strings.h>
 
 namespace disco {
 namespace internal {
 
 namespace {
+
 const char* SeverityName(LogSeverity s) {
   switch (s) {
     case LogSeverity::kInfo:
@@ -20,14 +24,49 @@ const char* SeverityName(LogSeverity s) {
   }
   return "?";
 }
+
+LogSeverity SeverityFromEnv() {
+  const char* env = std::getenv("DISCO_LOG_LEVEL");
+  if (env == nullptr) return LogSeverity::kWarning;
+  // Case-insensitive match on the usual spellings.
+  auto is = [env](const char* a, const char* b = nullptr) {
+    return strcasecmp(env, a) == 0 || (b != nullptr && strcasecmp(env, b) == 0);
+  };
+  if (is("info", "debug")) return LogSeverity::kInfo;
+  if (is("warning", "warn")) return LogSeverity::kWarning;
+  if (is("error")) return LogSeverity::kError;
+  return LogSeverity::kWarning;
+}
+
+std::atomic<int>& MinSeveritySlot() {
+  static std::atomic<int> slot{static_cast<int>(SeverityFromEnv())};
+  return slot;
+}
+
 }  // namespace
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(
+      MinSeveritySlot().load(std::memory_order_relaxed));
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  MinSeveritySlot().store(static_cast<int>(severity),
+                          std::memory_order_relaxed);
+}
+
+bool LogSeverityEnabled(LogSeverity severity) {
+  return severity == LogSeverity::kFatal || severity >= MinLogSeverity();
+}
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityName(severity_), file_,
-               line_, stream_.str().c_str());
+  if (LogSeverityEnabled(severity_)) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityName(severity_), file_,
+                 line_, stream_.str().c_str());
+  }
   if (severity_ == LogSeverity::kFatal) {
     std::fflush(stderr);
     std::abort();

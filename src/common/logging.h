@@ -3,6 +3,11 @@
 // DISCO_CHECK(cond) << "msg";   -- aborts with message if cond is false.
 // DISCO_DCHECK(cond) << "msg";  -- same, compiled out in NDEBUG builds.
 // DISCO_LOG(Info) << "msg";     -- line to stderr, used sparingly.
+//
+// Non-fatal messages are filtered by a runtime minimum severity:
+// default Warning, overridable via the DISCO_LOG_LEVEL environment
+// variable (info | warning | error) or SetMinLogSeverity(). Fatal
+// always emits and aborts.
 
 #ifndef DISCO_COMMON_LOGGING_H_
 #define DISCO_COMMON_LOGGING_H_
@@ -14,6 +19,13 @@ namespace disco {
 namespace internal {
 
 enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// The runtime log threshold. First use reads DISCO_LOG_LEVEL from the
+/// environment (default Warning); SetMinLogSeverity overrides it.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+/// True if a message at `severity` would be emitted.
+bool LogSeverityEnabled(LogSeverity severity);
 
 /// Accumulates a message via operator<< and emits it (aborting for kFatal)
 /// on destruction.

@@ -1,0 +1,196 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace metrics {
+
+namespace {
+
+/// Lock-free add on an atomic double (no std::atomic<double>::fetch_add
+/// before C++20 guarantees it is lock-free everywhere).
+void AtomicAdd(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* a, double value) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (value < cur &&
+         !a->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double value) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !a->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > kMinUpper)) return 0;  // also NaN and nonpositive
+  // Smallest i with value <= kMinUpper * 2^i.
+  int i = static_cast<int>(std::ceil(std::log2(value / kMinUpper)));
+  // log2 rounding can land one bucket low on exact powers of two.
+  if (value > kMinUpper * std::ldexp(1.0, i)) ++i;
+  if (i < 0) i = 0;
+  if (i >= kNumBuckets) i = kNumBuckets - 1;
+  return i;
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kMinUpper * std::ldexp(1.0, i);
+}
+
+void Histogram::Record(double value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  const int64_t prior = count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  if (prior == 0) {
+    // First observation seeds min/max; racing observers correct it below.
+    double zero = 0;
+    min_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+    zero = 0;
+    max_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::Snapshot::Quantile(double p) const {
+  if (count <= 0) return 0;
+  const double target = p * static_cast<double>(count);
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[static_cast<size_t>(i)];
+    if (static_cast<double>(seen) >= target) {
+      const double ub = BucketUpperBound(i);
+      return std::isinf(ub) ? max : ub;
+    }
+  }
+  return max;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+RegistrySnapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->TakeSnapshot();
+  }
+  return out;
+}
+
+std::string Registry::ToText() const {
+  RegistrySnapshot snap = TakeSnapshot();
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    out += StringPrintf("counter %s %lld\n", name.c_str(),
+                        static_cast<long long>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    out += StringPrintf("gauge %s %.3f\n", name.c_str(), v);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out += StringPrintf(
+        "histogram %s count=%lld sum=%.3f mean=%.3f min=%.3f p50=%.3f "
+        "p90=%.3f p99=%.3f max=%.3f\n",
+        name.c_str(), static_cast<long long>(h.count), h.sum, h.mean(), h.min,
+        h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.max);
+  }
+  return out;
+}
+
+std::string Registry::ToJson() const {
+  RegistrySnapshot snap = TakeSnapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out += StringPrintf("%s\"%s\":%lld", first ? "" : ",", name.c_str(),
+                        static_cast<long long>(v));
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out += StringPrintf("%s\"%s\":%.3f", first ? "" : ",", name.c_str(), v);
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out += StringPrintf(
+        "%s\"%s\":{\"count\":%lld,\"sum\":%.3f,\"min\":%.3f,\"max\":%.3f,"
+        "\"buckets\":[",
+        first ? "" : ",", name.c_str(), static_cast<long long>(h.count),
+        h.sum, h.min, h.max);
+    first = false;
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const int64_t n = h.buckets[static_cast<size_t>(i)];
+      if (n == 0) continue;
+      const double ub = Histogram::BucketUpperBound(i);
+      if (std::isinf(ub)) {
+        out += StringPrintf("%s{\"le\":\"inf\",\"n\":%lld}",
+                            first_bucket ? "" : ",",
+                            static_cast<long long>(n));
+      } else {
+        out += StringPrintf("%s{\"le\":%.6f,\"n\":%lld}",
+                            first_bucket ? "" : ",", ub,
+                            static_cast<long long>(n));
+      }
+      first_bucket = false;
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace disco

@@ -1,0 +1,131 @@
+// A small thread-safe metrics registry: counters, gauges, and
+// histograms with fixed log-scale buckets.
+//
+//   metrics::Registry reg;
+//   reg.counter("disco.exec.submits")->Increment();
+//   reg.histogram("disco.submit.ms")->Record(57.5);
+//   std::puts(reg.ToText().c_str());
+//
+// The registry is the first intentionally concurrent component of this
+// repo: instruments are lock-free atomics so they can be bumped from
+// any thread, and instrument creation/lookup is guarded by a mutex.
+// Returned instrument pointers stay valid for the registry's lifetime.
+// Exports iterate instruments in name order, so single-threaded runs
+// produce byte-identical text/JSON (see docs/OBSERVABILITY.md for the
+// metric name catalog).
+
+#ifndef DISCO_COMMON_METRICS_H_
+#define DISCO_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace disco {
+namespace metrics {
+
+/// Monotonically increasing integer.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A value that can move both ways (e.g. a breaker state, a queue depth).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Distribution of a nonnegative quantity (simulated ms, rows, bytes)
+/// over fixed log2-scale buckets: bucket 0 holds values <= kMinUpper,
+/// bucket i holds (kMinUpper * 2^(i-1), kMinUpper * 2^i]. With
+/// kMinUpper = 0.001 ms the 44 buckets span 1 us .. ~100 days.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 44;
+  static constexpr double kMinUpper = 0.001;
+
+  void Record(double value);
+
+  /// Bucket that `value` falls into.
+  static int BucketIndex(double value);
+  /// Inclusive upper bound of bucket `i` (infinity for the last).
+  static double BucketUpperBound(int i);
+
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0;
+    double min = 0;  ///< 0 when empty
+    double max = 0;
+    std::array<int64_t, kNumBuckets> buckets{};
+
+    double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0;
+    }
+    /// Upper bound of the bucket holding the p-quantile, p in [0, 1].
+    /// A coarse, deterministic estimate (no interpolation).
+    double Quantile(double p) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};
+  std::atomic<double> max_{0};
+};
+
+/// Named snapshot of a whole registry (plain values, no atomics).
+struct RegistrySnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+};
+
+class Registry {
+ public:
+  /// Find-or-create. The returned pointer is stable for the registry's
+  /// lifetime; each name denotes one instrument kind (creating a gauge
+  /// named like an existing counter is a distinct instrument).
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  RegistrySnapshot TakeSnapshot() const;
+
+  /// One instrument per line, in name order:
+  ///   counter disco.exec.submits 12
+  ///   gauge disco.health.oo7 1.000
+  ///   histogram disco.submit.ms count=12 sum=... p50=... p99=... max=...
+  std::string ToText() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with non-empty
+  /// buckets listed as [{"le":...,"n":...}].
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace metrics
+}  // namespace disco
+
+#endif  // DISCO_COMMON_METRICS_H_

@@ -1,0 +1,152 @@
+#include "common/tracing.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace disco {
+namespace tracing {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int Trace::BeginSpan(const std::string& name, const std::string& category) {
+  Span span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent = stack_.empty() ? -1 : stack_.back();
+  span.depth = static_cast<int>(stack_.size());
+  span.name = name;
+  span.category = category;
+  span.start_ms = now_ms_;
+  spans_.push_back(std::move(span));
+  stack_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Trace::EndSpan(int id) {
+  DISCO_CHECK(!stack_.empty() && stack_.back() == id)
+      << "spans must be closed innermost-first (ending " << id << ")";
+  stack_.pop_back();
+  Span& span = spans_[static_cast<size_t>(id)];
+  span.end_ms = now_ms_;
+  span.closed = true;
+}
+
+int Trace::Instant(const std::string& name, const std::string& category) {
+  Span span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent = stack_.empty() ? -1 : stack_.back();
+  span.depth = static_cast<int>(stack_.size());
+  span.name = name;
+  span.category = category;
+  span.start_ms = now_ms_;
+  span.end_ms = now_ms_;
+  span.closed = true;
+  span.instant = true;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Trace::AddArg(int id, const std::string& key, const std::string& value) {
+  DISCO_CHECK(id >= 0 && id < static_cast<int>(spans_.size()))
+      << "bad span id " << id;
+  spans_[static_cast<size_t>(id)].args.emplace_back(key, value);
+}
+
+void Trace::AddArg(int id, const std::string& key, int64_t value) {
+  AddArg(id, key, StringPrintf("%lld", static_cast<long long>(value)));
+}
+
+void Trace::AddArg(int id, const std::string& key, double value) {
+  AddArg(id, key, StringPrintf("%.3f", value));
+}
+
+std::string Trace::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans_) {
+    if (!first) out += ",";
+    first = false;
+    // Timestamps are microseconds in the trace-event format.
+    if (span.instant) {
+      out += StringPrintf(
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+          "\"ts\":%.3f,\"pid\":1,\"tid\":1",
+          JsonEscape(span.name).c_str(), JsonEscape(span.category).c_str(),
+          span.start_ms * 1000.0);
+    } else {
+      const double end_ms = span.closed ? span.end_ms : now_ms_;
+      out += StringPrintf(
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":1,\"tid\":1",
+          JsonEscape(span.name).c_str(), JsonEscape(span.category).c_str(),
+          span.start_ms * 1000.0, (end_ms - span.start_ms) * 1000.0);
+    }
+    if (!span.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : span.args) {
+        out += StringPrintf("%s\"%s\":\"%s\"", first_arg ? "" : ",",
+                            JsonEscape(key).c_str(),
+                            JsonEscape(value).c_str());
+        first_arg = false;
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string Trace::ToText() const {
+  std::string out;
+  for (const Span& span : spans_) {
+    out += std::string(static_cast<size_t>(span.depth) * 2, ' ');
+    out += span.name;
+    if (span.instant) {
+      out += StringPrintf("  [at %.3f ms]", span.start_ms);
+    } else {
+      const double end_ms = span.closed ? span.end_ms : now_ms_;
+      out += StringPrintf("  [%.3f ms .. %.3f ms]  dur=%.3f", span.start_ms,
+                          end_ms, end_ms - span.start_ms);
+    }
+    for (const auto& [key, value] : span.args) {
+      out += "  " + key + "=" + value;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tracing
+}  // namespace disco

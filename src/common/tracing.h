@@ -1,0 +1,136 @@
+// Deterministic query-lifecycle tracing.
+//
+// A Trace is a tree of spans stamped with *simulated* milliseconds: the
+// instrumented code advances the trace clock by exactly the simulated
+// time it charges (mediator/exec.cc) -- wall time never leaks in, so
+// two runs with the same seed produce byte-identical traces that can be
+// diffed or asserted on in tests.
+//
+//   tracing::Trace trace(/*start_ms=*/0);
+//   {
+//     tracing::ScopedSpan q(&trace, "query");
+//     {
+//       tracing::ScopedSpan s(&trace, "submit @erp", "submit");
+//       trace.Advance(57.5);                 // simulated work
+//       s.Arg("attempts", int64_t{1});
+//     }
+//   }
+//   WriteFile("trace.json", trace.ToChromeJson());
+//
+// ToChromeJson() emits the Chrome trace-event format (complete "X"
+// events plus instant "i" events), loadable in chrome://tracing or
+// https://ui.perfetto.dev. See docs/OBSERVABILITY.md for the schema.
+
+#ifndef DISCO_COMMON_TRACING_H_
+#define DISCO_COMMON_TRACING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace disco {
+namespace tracing {
+
+struct Span {
+  int id = 0;
+  int parent = -1;  ///< span id, -1 for roots
+  int depth = 0;
+  std::string name;
+  std::string category;
+  double start_ms = 0;
+  double end_ms = 0;
+  bool closed = false;
+  bool instant = false;  ///< zero-duration marker event
+  /// Ordered key/value annotations (insertion order is export order).
+  std::vector<std::pair<std::string, std::string>> args;
+
+  double duration_ms() const { return end_ms - start_ms; }
+};
+
+/// A single query's (or session's) span tree. Not thread-safe: traces
+/// belong to the single-threaded query path, like the SimClock they are
+/// driven by.
+class Trace {
+ public:
+  explicit Trace(double start_ms = 0) : now_ms_(start_ms) {}
+
+  /// The trace clock. Advance() is how instrumented code accounts
+  /// simulated work; AdvanceTo() clamps to monotonicity.
+  double now_ms() const { return now_ms_; }
+  void Advance(double ms) {
+    if (ms > 0) now_ms_ += ms;
+  }
+  void AdvanceTo(double ms) {
+    if (ms > now_ms_) now_ms_ = ms;
+  }
+
+  /// Opens a span at now_ms() under the innermost open span. Returns its
+  /// id. Spans must be closed in LIFO order.
+  int BeginSpan(const std::string& name, const std::string& category = "query");
+  void EndSpan(int id);
+
+  /// Zero-duration marker under the innermost open span (e.g. a breaker
+  /// state transition).
+  int Instant(const std::string& name, const std::string& category = "event");
+
+  /// Annotates an open or closed span.
+  void AddArg(int id, const std::string& key, const std::string& value);
+  void AddArg(int id, const std::string& key, int64_t value);
+  void AddArg(int id, const std::string& key, double value);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  /// Number of spans still open.
+  int open_spans() const { return static_cast<int>(stack_.size()); }
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), events in span
+  /// creation order, timestamps in microseconds.
+  std::string ToChromeJson() const;
+
+  /// Indented human-readable rendering, one span per line:
+  ///   query                    [0.000 ms .. 171.500 ms]  dur=171.500
+  ///     submit @erp  (submit)  ...  attempts=1
+  std::string ToText() const;
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<int> stack_;  ///< ids of open spans, innermost last
+  double now_ms_ = 0;
+};
+
+using TraceHandle = std::shared_ptr<Trace>;
+
+/// RAII span; tolerates a null trace (tracing disabled).
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, const std::string& name,
+             const std::string& category = "query")
+      : trace_(trace) {
+    if (trace_ != nullptr) id_ = trace_->BeginSpan(name, category);
+  }
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->EndSpan(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  int id() const { return id_; }
+
+  template <typename T>
+  void Arg(const std::string& key, T value) {
+    if (trace_ != nullptr) trace_->AddArg(id_, key, value);
+  }
+  void Arg(const std::string& key, const char* value) {
+    if (trace_ != nullptr) trace_->AddArg(id_, key, std::string(value));
+  }
+
+ private:
+  Trace* trace_ = nullptr;
+  int id_ = -1;
+};
+
+}  // namespace tracing
+}  // namespace disco
+
+#endif  // DISCO_COMMON_TRACING_H_

@@ -1,0 +1,58 @@
+#include "costmodel/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace costmodel {
+
+double AccuracyTracker::QError(double estimated, double measured) {
+  constexpr double kEps = 1e-6;  // ms; guards zero-cost corner cases
+  const double e = std::max(estimated, kEps);
+  const double m = std::max(measured, kEps);
+  return std::max(e / m, m / e);
+}
+
+double AccuracyTracker::Cell::geo_mean_q() const {
+  return count > 0 ? std::exp(sum_log_q / static_cast<double>(count)) : 1.0;
+}
+
+void AccuracyTracker::Record(const std::string& source, algebra::OpKind kind,
+                             Scope scope, double estimated_ms,
+                             double measured_ms) {
+  const double q = QError(estimated_ms, measured_ms);
+  Cell& cell = cells_[Key{ToLower(source), kind, scope}];
+  ++cell.count;
+  cell.sum_log_q += std::log(q);
+  cell.max_q = std::max(cell.max_q, q);
+  cell.sum_estimated_ms += estimated_ms;
+  cell.sum_measured_ms += measured_ms;
+  ++num_observations_;
+}
+
+std::string AccuracyTracker::FormatScoreboard() const {
+  std::string out =
+      "cost-model accuracy (per source x operator x winning scope):\n";
+  out += StringPrintf("  %-10s %-10s %-12s %5s %8s %8s %12s %12s\n", "source",
+                      "operator", "scope", "n", "geo-q", "max-q", "avg-est-ms",
+                      "avg-meas-ms");
+  if (cells_.empty()) {
+    out += "  (no executions recorded yet)\n";
+    return out;
+  }
+  for (const auto& [key, cell] : cells_) {
+    const double n = static_cast<double>(cell.count);
+    out += StringPrintf(
+        "  %-10s %-10s %-12s %5lld %8.2f %8.2f %12.1f %12.1f\n",
+        key.source.c_str(), algebra::OpKindToString(key.kind),
+        ScopeToString(key.scope), static_cast<long long>(cell.count),
+        cell.geo_mean_q(), cell.max_q, cell.sum_estimated_ms / n,
+        cell.sum_measured_ms / n);
+  }
+  return out;
+}
+
+}  // namespace costmodel
+}  // namespace disco

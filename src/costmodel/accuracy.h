@@ -1,0 +1,78 @@
+// Cost-model accuracy tracking: the evidence behind the paper's thesis.
+//
+// Every executed subquery yields an (estimated, measured) TotalTime
+// pair, plus the rule scope that produced the estimate (default /
+// wrapper / collection / predicate / query -- Figure 10's specificity
+// hierarchy). The tracker accumulates the q-error
+//
+//   q(e, m) = max(e/m, m/e)   (>= 1; 1 = perfect)
+//
+// per (source, root operator, scope) cell, so the scoreboard rendered
+// by Mediator::ExplainAnalyze quantifies how much each layer of cost
+// information is actually helping: wrapper-exported rules should beat
+// the calibrated default model, and query-scope history should drive
+// q toward 1 on repeated subqueries (paper §4.1-4.3).
+
+#ifndef DISCO_COSTMODEL_ACCURACY_H_
+#define DISCO_COSTMODEL_ACCURACY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "algebra/operator.h"
+#include "costmodel/rule.h"
+
+namespace disco {
+namespace costmodel {
+
+class AccuracyTracker {
+ public:
+  /// q-error of one estimate; >= 1, robust to zero/negative inputs
+  /// (clamped to a small epsilon).
+  static double QError(double estimated, double measured);
+
+  /// Records one executed subquery: rooted at `kind`, submitted to
+  /// `source`, whose TotalTime estimate (produced by a rule at `scope`)
+  /// was `estimated_ms` against `measured_ms` observed.
+  void Record(const std::string& source, algebra::OpKind kind, Scope scope,
+              double estimated_ms, double measured_ms);
+
+  struct Cell {
+    int64_t count = 0;
+    double sum_log_q = 0;  ///< geometric mean = exp(sum_log_q / count)
+    double max_q = 1;
+    double sum_estimated_ms = 0;
+    double sum_measured_ms = 0;
+
+    double geo_mean_q() const;
+  };
+
+  struct Key {
+    std::string source;  ///< lower-cased
+    algebra::OpKind kind;
+    Scope scope;
+    bool operator<(const Key& o) const {
+      if (source != o.source) return source < o.source;
+      if (kind != o.kind) return kind < o.kind;
+      return scope < o.scope;
+    }
+  };
+
+  const std::map<Key, Cell>& cells() const { return cells_; }
+  int64_t num_observations() const { return num_observations_; }
+
+  /// The scoreboard: one line per (source, operator, scope) cell in key
+  /// order, with observation count, geometric-mean and max q-error, and
+  /// mean estimated/measured ms. Empty tracker renders a placeholder.
+  std::string FormatScoreboard() const;
+
+ private:
+  std::map<Key, Cell> cells_;
+  int64_t num_observations_ = 0;
+};
+
+}  // namespace costmodel
+}  // namespace disco
+
+#endif  // DISCO_COSTMODEL_ACCURACY_H_

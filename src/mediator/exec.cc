@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "algebra/plan_printer.h"
 #include "common/str_util.h"
 
 namespace disco {
@@ -34,6 +35,9 @@ std::string ExecWarning::ToString() const {
   std::string out = "source '" + source + "': " + message;
   if (attempts > 0) {
     out += StringPrintf(" (%d attempt%s)", attempts, attempts == 1 ? "" : "s");
+  }
+  if (!breaker.empty()) {
+    out += " [breaker " + breaker + "]";
   }
   return out;
 }
@@ -99,6 +103,21 @@ void MediatorExecutor::NoteFailedSource(const std::string& source_lower) {
   failed_sources_.push_back(source_lower);
 }
 
+void MediatorExecutor::AddWarning(ExecWarning warning) {
+  BumpCounter("disco.exec.warnings");
+  warnings_.push_back(std::move(warning));
+}
+
+std::string MediatorExecutor::BreakerStateNow(
+    const std::string& source_lower) const {
+  if (health_ == nullptr) return "";
+  return BreakerStateToString(health_->StateAt(source_lower, Now()));
+}
+
+void MediatorExecutor::BumpCounter(const char* name, int64_t delta) {
+  if (metrics_ != nullptr) metrics_->counter(name)->Increment(delta);
+}
+
 Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
     const std::string& source, const Operator& subplan) {
   DISCO_ASSIGN_OR_RETURN(wrapper::Wrapper * w, WrapperFor(source));
@@ -106,10 +125,20 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
   const RetryPolicy& retry = exec_options_.retry;
   const int max_attempts = std::max(1, retry.max_attempts);
 
+  BumpCounter("disco.exec.submits");
+  tracing::ScopedSpan span(trace_, "submit @" + key, "submit");
+  const std::string breaker_before = BreakerStateNow(key);
+  if (!breaker_before.empty()) span.Arg("breaker_before", breaker_before);
+  const double submit_start_ms = elapsed_ms_;
+
   Status last;
   int attempts = 0;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (health_ != nullptr && !health_->AllowSubmit(key, Now())) {
+      BumpCounter("disco.exec.breaker_rejections");
+      if (trace_ != nullptr) {
+        trace_->Instant("breaker rejected submit @" + key, "breaker");
+      }
       if (last.ok()) {
         last = Status::Unavailable("source '" + source +
                                    "': circuit breaker open");
@@ -117,11 +146,14 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
       break;  // the breaker tripped: further retries are pointless
     }
     attempts = attempt;
+    BumpCounter("disco.exec.submit_attempts");
+    if (attempt > 1) BumpCounter("disco.exec.submit_retries");
     Result<sources::ExecutionResult> result = w->Execute(subplan);
     if (!result.ok() && !result.status().IsUnavailable() &&
         !result.status().IsExecutionError()) {
       // Not a source-availability failure (e.g. a malformed subplan):
       // retrying cannot help and the breaker must not trip.
+      span.Arg("outcome", "error");
       return result.status().WithContext("source '" + source + "'");
     }
     const bool timed_out = result.ok() && retry.attempt_timeout_ms > 0 &&
@@ -147,11 +179,26 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
       subqueries_.push_back(std::move(record));
 
       if (attempt > 1) {
-        warnings_.push_back(ExecWarning{
+        AddWarning(ExecWarning{
             key,
             StringPrintf("recovered after %d failed attempt%s", attempt - 1,
                          attempt == 2 ? "" : "s"),
-            attempt});
+            attempt, BreakerStateNow(key)});
+      }
+      last_submit_attempts_ = attempts;
+      span.Arg("attempts", int64_t{attempts});
+      span.Arg("rows", static_cast<int64_t>(result->tuples.size()));
+      span.Arg("source_ms", result->total_ms);
+      span.Arg("outcome", "ok");
+      const std::string breaker_after = BreakerStateNow(key);
+      if (!breaker_after.empty() && breaker_after != breaker_before) {
+        span.Arg("breaker_after", breaker_after);
+      }
+      if (metrics_ != nullptr) {
+        metrics_->histogram("disco.submit.ms")
+            ->Record(elapsed_ms_ - submit_start_ms);
+        metrics_->histogram("disco.submit.rows")
+            ->Record(static_cast<double>(result->tuples.size()));
       }
       return result;
     }
@@ -167,17 +214,30 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
       last = result.status().WithContext("source '" + source + "'");
     }
     if (health_ != nullptr) health_->RecordFailure(key, Now());
+    if (trace_ != nullptr) {
+      int mark = trace_->Instant(
+          timed_out ? "attempt timed out" : "attempt failed", "submit");
+      trace_->AddArg(mark, "attempt", int64_t{attempt});
+    }
     if (attempt < max_attempts) {
       Charge(retry.BackoffMs(attempt, &rng_));
     }
   }
 
+  BumpCounter("disco.exec.submit_failures");
   NoteFailedSource(key);
   std::string msg = last.message();
   if (attempts > 1) {
     msg += StringPrintf(" (gave up after %d attempts)", attempts);
   }
-  last_failure_ = ExecWarning{key, msg, attempts};
+  last_submit_attempts_ = attempts;
+  last_failure_ = ExecWarning{key, msg, attempts, BreakerStateNow(key)};
+  span.Arg("attempts", int64_t{attempts});
+  span.Arg("outcome", "unavailable");
+  const std::string breaker_after = BreakerStateNow(key);
+  if (!breaker_after.empty() && breaker_after != breaker_before) {
+    span.Arg("breaker_after", breaker_after);
+  }
   return Status::Unavailable(msg);
 }
 
@@ -228,15 +288,42 @@ Result<Rel> MediatorExecutor::EvalBindJoin(const Operator& op) {
 }
 
 Result<Rel> MediatorExecutor::EvalSubmit(const Operator& op) {
-  DISCO_ASSIGN_OR_RETURN(sources::ExecutionResult result,
-                         SubmitToSource(op.source, op.child(0)));
+  Result<sources::ExecutionResult> result =
+      SubmitToSource(op.source, op.child(0));
+  if (node_measures_ != nullptr) {
+    NodeMeasure& m = (*node_measures_)[&op];
+    m.attempts = last_submit_attempts_;
+    if (result.ok()) m.source_ms = result->total_ms;
+  }
+  DISCO_RETURN_NOT_OK(result.status());
   Rel rel;
-  rel.columns = std::move(result.columns);
-  rel.tuples = std::move(result.tuples);
+  rel.columns = std::move(result->columns);
+  rel.tuples = std::move(result->tuples);
   return rel;
 }
 
 Result<Rel> MediatorExecutor::Eval(const Operator& op) {
+  // Instrumentation wrapper: one span per plan node, plus the node's
+  // measured inclusive time and output cardinality.
+  if (trace_ == nullptr && node_measures_ == nullptr) return EvalNode(op);
+  const double start_ms = elapsed_ms_;
+  tracing::ScopedSpan span(trace_, algebra::NodeLabel(op), "plan");
+  Result<Rel> result = EvalNode(op);
+  if (result.ok()) {
+    span.Arg("rows", static_cast<int64_t>(result->tuples.size()));
+  } else {
+    span.Arg("outcome", "failed");
+  }
+  if (node_measures_ != nullptr) {
+    NodeMeasure& m = (*node_measures_)[&op];
+    m.inclusive_ms = elapsed_ms_ - start_ms;
+    m.ok = result.ok();
+    m.rows = result.ok() ? static_cast<int64_t>(result->tuples.size()) : -1;
+  }
+  return result;
+}
+
+Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
   switch (op.kind) {
     case OpKind::kSubmit:
       return EvalSubmit(op);
@@ -470,10 +557,10 @@ Result<Rel> MediatorExecutor::Eval(const Operator& op) {
       if (!left.ok() || !right.ok()) {
         const Status& dropped =
             left.ok() ? right.status() : left.status();
-        warnings_.push_back(ExecWarning{
-            last_failure_.source,
-            "union branch dropped: " + dropped.message(),
-            last_failure_.attempts});
+        AddWarning(ExecWarning{last_failure_.source,
+                               "union branch dropped: " + dropped.message(),
+                               last_failure_.attempts,
+                               last_failure_.breaker});
         return left.ok() ? std::move(*left) : std::move(*right);
       }
       if (left->columns.size() != right->columns.size()) {

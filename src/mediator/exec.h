@@ -20,8 +20,10 @@
 
 #include "algebra/operator.h"
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/tracing.h"
 #include "costmodel/cost_vector.h"
 #include "mediator/retry_policy.h"
 #include "mediator/source_health.h"
@@ -56,9 +58,23 @@ struct ExecWarning {
   std::string source;   ///< lower-cased source name involved
   std::string message;
   int attempts = 0;     ///< submit attempts behind this warning (0 = n/a)
+  /// Circuit-breaker state of `source` at warning time ("" = unknown).
+  std::string breaker;
 
   std::string ToString() const;
 };
+
+/// What actually happened at one plan node during execution -- the
+/// measured side of EXPLAIN ANALYZE. Keyed by node identity (the
+/// `algebra::Operator*` of the executed plan tree).
+struct NodeMeasure {
+  double inclusive_ms = 0;  ///< simulated time charged in this subtree
+  int64_t rows = -1;        ///< output cardinality; -1 = never produced
+  bool ok = false;          ///< false: failed or dropped branch
+  int attempts = 0;         ///< submit/bind-join nodes: submit attempts
+  double source_ms = 0;     ///< submit nodes: time at the source (excl. comm)
+};
+using NodeMeasureMap = std::map<const algebra::Operator*, NodeMeasure>;
 
 /// What one submitted subquery cost -- the raw material of the history
 /// mechanism (§4.3.1): first-answer time, all-answers time, cardinality.
@@ -98,6 +114,18 @@ class MediatorExecutor {
         base_now_ms_(base_now_ms),
         rng_(exec_options.jitter_seed) {}
 
+  // Observability hooks (all optional; null = disabled).
+  /// Span per plan node and per submit, timestamps driven by the charged
+  /// simulated time. The trace's clock is advanced alongside Charge().
+  void set_trace(tracing::Trace* trace) { trace_ = trace; }
+  /// Counters/histograms for submits, retries, warnings (see
+  /// docs/OBSERVABILITY.md for the name catalog).
+  void set_metrics(metrics::Registry* metrics) { metrics_ = metrics; }
+  /// Per-node measured time/cardinality, filled during Execute().
+  void set_node_measures(NodeMeasureMap* measures) {
+    node_measures_ = measures;
+  }
+
   /// Executes a complete mediator plan. Every scan must sit under a
   /// submit to a registered wrapper.
   Result<ExecResult> Execute(const algebra::Operator& plan);
@@ -113,7 +141,10 @@ class MediatorExecutor {
   }
 
  private:
+  /// Instrumented node dispatch: opens a span, runs EvalNode, records
+  /// the node's measured time/cardinality.
   Result<sources::Rel> Eval(const algebra::Operator& op);
+  Result<sources::Rel> EvalNode(const algebra::Operator& op);
   Result<sources::Rel> EvalSubmit(const algebra::Operator& op);
   Result<sources::Rel> EvalBindJoin(const algebra::Operator& op);
   /// Breaker gate + retry loop + communication charging + health
@@ -121,9 +152,17 @@ class MediatorExecutor {
   Result<sources::ExecutionResult> SubmitToSource(
       const std::string& source, const algebra::Operator& subplan);
   Result<wrapper::Wrapper*> WrapperFor(const std::string& source) const;
-  void Charge(double ms) { elapsed_ms_ += ms; }
+  void Charge(double ms) {
+    elapsed_ms_ += ms;
+    if (trace_ != nullptr) trace_->Advance(ms);
+  }
   double Now() const { return base_now_ms_ + elapsed_ms_; }
   void NoteFailedSource(const std::string& source_lower);
+  /// Appends a warning, mirroring it to the disco.exec.warnings counter.
+  void AddWarning(ExecWarning warning);
+  /// Breaker state of `source_lower` right now, "" without a registry.
+  std::string BreakerStateNow(const std::string& source_lower) const;
+  void BumpCounter(const char* name, int64_t delta = 1);
 
   /// Approximate wire size of a tuple in bytes.
   static int64_t TupleBytes(const storage::Tuple& t);
@@ -135,12 +174,17 @@ class MediatorExecutor {
   SourceHealthRegistry* health_ = nullptr;
   double base_now_ms_ = 0;
   Rng rng_;
+  tracing::Trace* trace_ = nullptr;
+  metrics::Registry* metrics_ = nullptr;
+  NodeMeasureMap* node_measures_ = nullptr;
   double elapsed_ms_ = 0;
   std::vector<SubqueryRecord> subqueries_;
   std::vector<ExecWarning> warnings_;
   std::vector<std::string> failed_sources_;
   /// Details of the most recent exhausted submit (for union warnings).
   ExecWarning last_failure_;
+  /// Attempts of the most recent submit (for per-node measures).
+  int last_submit_attempts_ = 0;
 };
 
 }  // namespace mediator

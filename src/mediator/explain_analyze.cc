@@ -1,0 +1,133 @@
+#include "mediator/explain_analyze.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "algebra/plan_printer.h"
+#include "common/str_util.h"
+#include "costmodel/accuracy.h"
+
+namespace disco {
+namespace mediator {
+
+namespace {
+
+using algebra::Operator;
+using costmodel::CostVarId;
+using costmodel::NodeExplain;
+
+/// Widest indented node label in the tree (for column alignment).
+int LabelWidth(const Operator& op, int depth) {
+  int w = depth * 2 + static_cast<int>(algebra::NodeLabel(op).size());
+  for (int i = 0; i < op.num_children(); ++i) {
+    w = std::max(w, LabelWidth(op.child(i), depth + 1));
+  }
+  return w;
+}
+
+std::string Cell(const char* fmt, double v) { return StringPrintf(fmt, v); }
+
+}  // namespace
+
+std::string RenderExplainAnalyze(const ExplainAnalyzeReport& report) {
+  const int label_w = std::max(24, LabelWidth(*report.plan, 0) + 2);
+  std::string out = "EXPLAIN ANALYZE\n";
+  out += StringPrintf("%-*s %10s %12s | %10s %12s %8s\n", label_w, "plan",
+                      "est rows", "est ms", "act rows", "act ms", "q-err");
+
+  // Pre-order walk in lockstep with the estimate's explain records.
+  // `consume` mirrors the estimator: a query-scope hit recorded no
+  // records for its children, so their estimate columns render as "-".
+  size_t idx = 0;
+  const std::vector<NodeExplain>& explain = report.estimate->explain;
+  std::function<void(const Operator&, int, bool, bool)> walk =
+      [&](const Operator& op, int depth, bool consume, bool under_submit) {
+        const NodeExplain* ne = nullptr;
+        if (consume && idx < explain.size()) {
+          ne = &explain[idx];
+          ++idx;
+        }
+
+        std::string est_rows = "-";
+        std::string est_ms = "-";
+        double est_tt = -1;
+        if (ne != nullptr) {
+          if (ne->cost.IsComputed(CostVarId::kCountObject)) {
+            est_rows = Cell("%.0f", ne->cost.count_object());
+          }
+          if (ne->cost.IsComputed(CostVarId::kTotalTime)) {
+            est_tt = ne->cost.total_time();
+            est_ms = Cell("%.1f", est_tt);
+          }
+        }
+
+        std::string act_rows = under_submit ? "@source" : "-";
+        std::string act_ms = under_submit ? "@source" : "-";
+        std::string qerr = "-";
+        std::string notes;
+        const NodeMeasure* m = nullptr;
+        if (report.measures != nullptr) {
+          auto it = report.measures->find(&op);
+          if (it != report.measures->end()) m = &it->second;
+        }
+        if (m != nullptr) {
+          if (m->ok) {
+            act_rows = StringPrintf("%lld", static_cast<long long>(m->rows));
+            act_ms = Cell("%.1f", m->inclusive_ms);
+            if (est_tt >= 0) {
+              qerr = Cell("%.2f", costmodel::AccuracyTracker::QError(
+                                      est_tt, m->inclusive_ms));
+            }
+          } else {
+            act_rows = "-";
+            act_ms = "-";
+            notes += "  !dropped";
+          }
+          if (m->attempts > 1) {
+            notes += StringPrintf("  attempts=%d", m->attempts);
+          }
+          if (op.kind == algebra::OpKind::kSubmit && m->ok) {
+            notes += StringPrintf("  source_ms=%.1f", m->source_ms);
+          }
+        }
+        if (ne != nullptr && ne->from_query_scope) {
+          notes += "  [query-scope record]";
+        }
+
+        out += StringPrintf(
+            "%-*s %10s %12s | %10s %12s %8s%s\n", label_w,
+            (std::string(static_cast<size_t>(depth) * 2, ' ') +
+             algebra::NodeLabel(op))
+                .c_str(),
+            est_rows.c_str(), est_ms.c_str(), act_rows.c_str(),
+            act_ms.c_str(), qerr.c_str(), notes.c_str());
+
+        const bool child_consume =
+            consume && (ne == nullptr || !ne->from_query_scope);
+        const bool child_under_submit =
+            under_submit || op.kind == algebra::OpKind::kSubmit;
+        for (int i = 0; i < op.num_children(); ++i) {
+          walk(op.child(i), depth + 1, child_consume, child_under_submit);
+        }
+      };
+  walk(*report.plan, 0, true, false);
+
+  out += StringPrintf(
+      "\ntotal: estimated %.1f ms, measured %.1f ms, q-error %.2f\n",
+      report.estimated_total_ms, report.measured_total_ms,
+      costmodel::AccuracyTracker::QError(report.estimated_total_ms,
+                                         report.measured_total_ms));
+
+  if (report.warnings != nullptr && !report.warnings->empty()) {
+    out += "warnings:\n";
+    for (const ExecWarning& w : *report.warnings) {
+      out += "  " + w.ToString() + "\n";
+    }
+  }
+
+  out += "\n" + report.scoreboard;
+  return out;
+}
+
+}  // namespace mediator
+}  // namespace disco

@@ -1,0 +1,44 @@
+// Rendering of EXPLAIN ANALYZE: the chosen plan, per node, with the
+// optimizer's estimated cost next to what execution actually measured,
+// and the q-error between them -- the per-query view of how well the
+// blended cost model (paper §4.1-4.3) is predicting reality.
+//
+// Estimates come from a full-tree CostEstimator pass (collect_explain
+// on, required-variable propagation off so every node is visited);
+// measurements come from the executor's NodeMeasureMap. Nodes inside a
+// submit execute at the source, which reports only the whole
+// subquery's cost -- their measured columns render as "@source".
+
+#ifndef DISCO_MEDIATOR_EXPLAIN_ANALYZE_H_
+#define DISCO_MEDIATOR_EXPLAIN_ANALYZE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "costmodel/estimator.h"
+#include "mediator/exec.h"
+
+namespace disco {
+namespace mediator {
+
+struct ExplainAnalyzeReport {
+  const algebra::Operator* plan = nullptr;
+  /// Full-tree estimate of `plan` taken *before* execution (explain
+  /// records in pre-order; a query-scope hit ends its subtree's
+  /// records, mirroring the estimator's short-circuit).
+  const costmodel::PlanEstimate* estimate = nullptr;
+  const NodeMeasureMap* measures = nullptr;
+  double estimated_total_ms = 0;
+  double measured_total_ms = 0;
+  const std::vector<ExecWarning>* warnings = nullptr;  ///< may be null
+  /// Cumulative AccuracyTracker::FormatScoreboard() output.
+  std::string scoreboard;
+};
+
+std::string RenderExplainAnalyze(const ExplainAnalyzeReport& report);
+
+}  // namespace mediator
+}  // namespace disco
+
+#endif  // DISCO_MEDIATOR_EXPLAIN_ANALYZE_H_

@@ -1,8 +1,11 @@
 #include "mediator/mediator.h"
 
+#include <limits>
+
 #include "algebra/plan_printer.h"
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "mediator/explain_analyze.h"
 
 namespace disco {
 namespace mediator {
@@ -17,6 +20,32 @@ Mediator::Mediator(MediatorOptions options)
   Status s = costmodel::InstallGenericModel(&registry_, options_.calibration);
   DISCO_CHECK(s.ok()) << "generic cost model failed to install: "
                       << s.ToString();
+  // Observability: breaker state changes become counters and, during an
+  // execution, instant trace events.
+  health_.SetTransitionListener([this](const std::string& source,
+                                       BreakerState from, BreakerState to,
+                                       double now_ms) {
+    metrics_.counter("disco.breaker.transitions")->Increment();
+    if (to == BreakerState::kOpen) {
+      metrics_.counter("disco.breaker.opens")->Increment();
+      DISCO_LOG(Warning) << "circuit breaker for source '" << source
+                         << "' opened at " << now_ms << " ms";
+    }
+    metrics_.gauge("disco.breaker.state." + source)
+        ->Set(static_cast<double>(to));
+    if (active_trace_ != nullptr) {
+      int mark = active_trace_->Instant(
+          StringPrintf("breaker %s: %s -> %s", source.c_str(),
+                       BreakerStateToString(from), BreakerStateToString(to)),
+          "breaker");
+      active_trace_->AddArg(mark, "source", source);
+    }
+  });
+}
+
+tracing::TraceHandle Mediator::NewTrace() const {
+  if (!options_.collect_traces) return nullptr;
+  return std::make_shared<tracing::Trace>(sim_now_ms_);
 }
 
 Status Mediator::RegisterWrapper(std::unique_ptr<wrapper::Wrapper> w) {
@@ -77,9 +106,11 @@ Result<query::BoundQuery> Mediator::Analyze(const std::string& sql) const {
 }
 
 optimizer::OptimizerOptions Mediator::PlanningOptions(
-    const std::vector<std::string>& extra_avoid) const {
+    const std::vector<std::string>& extra_avoid,
+    tracing::Trace* trace) const {
   optimizer::OptimizerOptions opts = options_.optimizer;
   opts.catalog = &catalog_;
+  opts.trace = trace;
   opts.avoid_sources = health_.OpenSources(sim_now_ms_);
   for (const std::string& s : extra_avoid) {
     opts.avoid_sources.push_back(s);
@@ -101,6 +132,47 @@ Result<std::string> Mediator::Explain(const std::string& sql) const {
   return costmodel::FormatExplain(estimate);
 }
 
+Result<std::string> Mediator::ExplainAnalyze(const std::string& sql) {
+  metrics_.counter("disco.explain_analyze.count")->Increment();
+  tracing::TraceHandle trace = NewTrace();
+  tracing::ScopedSpan ea_span(trace.get(), "explain-analyze");
+  ea_span.Arg("sql", sql);
+
+  DISCO_ASSIGN_OR_RETURN(query::BoundQuery bound, Analyze(sql));
+  optimizer::OptimizedPlan plan;
+  {
+    tracing::ScopedSpan span(trace.get(), "optimize");
+    DISCO_ASSIGN_OR_RETURN(
+        plan, optimizer_.Optimize(bound, PlanningOptions({}, trace.get())));
+  }
+
+  // Snapshot the estimate the optimizer believed, per node, BEFORE
+  // executing: execution feeds history, which would contaminate a
+  // post-hoc estimate. Visit every node so the rendering can pair each
+  // plan node with its explain record.
+  costmodel::EstimateOptions full = options_.optimizer.estimate;
+  full.collect_explain = true;
+  full.propagate_required_vars = false;
+  full.prune_bound = std::numeric_limits<double>::infinity();
+  DISCO_ASSIGN_OR_RETURN(costmodel::PlanEstimate estimate,
+                         estimator_.Estimate(*plan.plan, full));
+
+  NodeMeasureMap measures;
+  DISCO_ASSIGN_OR_RETURN(
+      QueryResult executed,
+      ExecuteInternal(*plan.plan, nullptr, nullptr, trace.get(), &measures));
+
+  ExplainAnalyzeReport report;
+  report.plan = plan.plan.get();
+  report.estimate = &estimate;
+  report.measures = &measures;
+  report.estimated_total_ms = plan.estimated_ms;
+  report.measured_total_ms = executed.measured_ms;
+  report.warnings = &executed.warnings;
+  report.scoreboard = accuracy_.FormatScoreboard();
+  return RenderExplainAnalyze(report);
+}
+
 namespace {
 
 /// Does `op` (or any descendant) submit to one of `sources`?
@@ -120,29 +192,84 @@ bool PlanUsesAnySource(const algebra::Operator& op,
 
 /// Surfaces replica rerouting decisions as structured warnings.
 void AddReplicaWarnings(const optimizer::OptimizedPlan& plan,
-                        const Catalog& catalog, QueryResult* out) {
+                        const Catalog& catalog,
+                        const SourceHealthRegistry& health, double now_ms,
+                        metrics::Registry* metrics, QueryResult* out) {
   for (const auto& [original, replica] : plan.replica_substitutions) {
     Result<std::string> source = catalog.SourceOf(replica);
+    const std::string source_lower =
+        source.ok() ? ToLower(*source) : std::string();
+    metrics->counter("disco.exec.warnings")->Increment();
     out->warnings.push_back(ExecWarning{
-        source.ok() ? ToLower(*source) : std::string(),
-        "rerouted '" + original + "' to replica '" + replica + "'", 0});
+        source_lower,
+        "rerouted '" + original + "' to replica '" + replica + "'", 0,
+        source_lower.empty()
+            ? std::string()
+            : BreakerStateToString(health.StateAt(source_lower, now_ms))});
   }
 }
 
 }  // namespace
 
 Result<QueryResult> Mediator::Query(const std::string& sql) {
-  DISCO_ASSIGN_OR_RETURN(query::BoundQuery bound, Analyze(sql));
-  DISCO_ASSIGN_OR_RETURN(optimizer::OptimizedPlan plan,
-                         optimizer_.Optimize(bound, PlanningOptions({})));
+  metrics_.counter("disco.query.count")->Increment();
+  tracing::TraceHandle trace = NewTrace();
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    tracing::ScopedSpan query_span(trace.get(), "query");
+    query_span.Arg("sql", sql);
+    Result<QueryResult> r = QueryWithTrace(sql, trace.get());
+    if (!r.ok()) query_span.Arg("error", r.status().ToString());
+    return r;
+  }();
+  if (result.ok()) {
+    result->trace = trace;
+    metrics_.histogram("disco.query.ms")->Record(result->measured_ms);
+  } else {
+    metrics_.counter("disco.query.errors")->Increment();
+  }
+  return result;
+}
+
+Result<QueryResult> Mediator::QueryWithTrace(const std::string& sql,
+                                             tracing::Trace* trace) {
+  query::ParsedQuery parsed;
+  {
+    tracing::ScopedSpan span(trace, "parse");
+    DISCO_ASSIGN_OR_RETURN(parsed, query::ParseSql(sql));
+  }
+  query::BoundQuery bound;
+  {
+    tracing::ScopedSpan span(trace, "bind");
+    DISCO_ASSIGN_OR_RETURN(bound, query::Bind(parsed, catalog_));
+    span.Arg("relations", static_cast<int64_t>(bound.relations.size()));
+  }
+  optimizer::OptimizedPlan plan;
+  {
+    // The optimizer nests rewrite/enumerate spans below this one.
+    tracing::ScopedSpan span(trace, "optimize");
+    DISCO_ASSIGN_OR_RETURN(
+        plan, optimizer_.Optimize(bound, PlanningOptions({}, trace)));
+    span.Arg("estimated_ms", plan.estimated_ms);
+    metrics_.counter("disco.optimizer.plans_costed")
+        ->Increment(plan.stats.plans_costed);
+    metrics_.counter("disco.optimizer.plans_pruned")
+        ->Increment(plan.stats.plans_pruned);
+    metrics_.counter("disco.optimizer.formulas_evaluated")
+        ->Increment(plan.stats.formulas_evaluated);
+    metrics_.counter("disco.optimizer.nodes_visited")
+        ->Increment(plan.stats.nodes_visited);
+    metrics_.counter("disco.optimizer.match_attempts")
+        ->Increment(plan.stats.match_attempts);
+  }
   std::vector<std::string> failed;
   double first_attempt_ms = 0;
   Result<QueryResult> result =
-      ExecuteInternal(*plan.plan, &failed, &first_attempt_ms);
+      ExecuteInternal(*plan.plan, &failed, &first_attempt_ms, trace);
   if (result.ok()) {
     result->estimated_ms = plan.estimated_ms;
     result->optimizer_stats = plan.stats;
-    AddReplicaWarnings(plan, catalog_, &*result);
+    AddReplicaWarnings(plan, catalog_, health_, sim_now_ms_, &metrics_,
+                       &*result);
     return result;
   }
   if (!options_.replan_on_source_failure || failed.empty() ||
@@ -151,40 +278,66 @@ Result<QueryResult> Mediator::Query(const std::string& sql) {
   }
   // A source died mid-execution: replan once around it. Only worth
   // re-executing when the new plan actually avoids every dead source.
-  Result<optimizer::OptimizedPlan> replanned =
-      optimizer_.Optimize(bound, PlanningOptions(failed));
+  metrics_.counter("disco.query.replans")->Increment();
+  DISCO_LOG(Info) << "replanning around unavailable source(s): "
+                  << JoinStrings(failed, ", ");
+  Result<optimizer::OptimizedPlan> replanned = [&] {
+    tracing::ScopedSpan span(trace, "replan-optimize");
+    return optimizer_.Optimize(bound, PlanningOptions(failed, trace));
+  }();
   if (!replanned.ok() || PlanUsesAnySource(*replanned->plan, failed)) {
     return result;
   }
   Result<QueryResult> second =
-      ExecuteInternal(*replanned->plan, nullptr, nullptr);
+      ExecuteInternal(*replanned->plan, nullptr, nullptr, trace);
   if (!second.ok()) return result;  // report the original failure
   second->estimated_ms = replanned->estimated_ms;
   second->optimizer_stats = replanned->stats;
   // The failed first execution still happened: charge its time.
   second->measured_ms += first_attempt_ms;
+  metrics_.counter("disco.exec.warnings")->Increment();
   second->warnings.insert(
       second->warnings.begin(),
       ExecWarning{failed[0],
                   "replanned around unavailable source(s): " +
                       JoinStrings(failed, ", "),
-                  0});
-  AddReplicaWarnings(*replanned, catalog_, &*second);
+                  0,
+                  BreakerStateToString(
+                      health_.StateAt(failed[0], sim_now_ms_))});
+  AddReplicaWarnings(*replanned, catalog_, health_, sim_now_ms_, &metrics_,
+                     &*second);
   return second;
 }
 
 Result<QueryResult> Mediator::Execute(const algebra::Operator& plan) {
-  return ExecuteInternal(plan, nullptr, nullptr);
+  tracing::TraceHandle trace = NewTrace();
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    tracing::ScopedSpan span(trace.get(), "execute-plan");
+    return ExecuteInternal(plan, nullptr, nullptr, trace.get());
+  }();
+  if (result.ok()) result->trace = trace;
+  return result;
 }
 
 Result<QueryResult> Mediator::ExecuteInternal(
     const algebra::Operator& plan, std::vector<std::string>* failed_sources,
-    double* elapsed_ms) {
+    double* elapsed_ms, tracing::Trace* trace,
+    NodeMeasureMap* node_measures) {
   std::map<std::string, wrapper::Wrapper*> by_name;
   for (auto& w : wrappers_) by_name[ToLower(w->name())] = w.get();
   MediatorExecutor exec(std::move(by_name), options_.exec, &catalog_,
                         options_.fault_tolerance, &health_, sim_now_ms_);
-  Result<ExecResult> raw = exec.Execute(plan);
+  exec.set_trace(trace);
+  exec.set_metrics(&metrics_);
+  exec.set_node_measures(node_measures);
+  Result<ExecResult> raw = [&]() -> Result<ExecResult> {
+    tracing::ScopedSpan span(trace, "execute");
+    active_trace_ = trace;  // breaker transitions land as instant events
+    Result<ExecResult> r = exec.Execute(plan);
+    active_trace_ = nullptr;
+    if (!r.ok()) span.Arg("error", r.status().ToString());
+    return r;
+  }();
   // Time passed even if the query failed: advance the mediator clock so
   // breaker cooldowns keep running.
   sim_now_ms_ += exec.elapsed_ms();
@@ -192,11 +345,36 @@ Result<QueryResult> Mediator::ExecuteInternal(
   if (elapsed_ms != nullptr) *elapsed_ms = exec.elapsed_ms();
   if (!raw.ok()) return raw.status();
 
-  // Feed measured subquery costs back into the history mechanism: the
+  // Feed measured subquery costs back into the history mechanism (the
   // query scope records the exact cost; the adjustment factor tracks
-  // observed/estimated per (source, operator kind).
+  // observed/estimated per source x operator kind) and score the
+  // estimate each subquery ran under against what was measured.
   if (options_.record_history) {
+    tracing::ScopedSpan span(trace, "history-feedback");
     for (const SubqueryRecord& record : raw->subqueries) {
+      // Score first: the estimate the optimizer believed (history and
+      // all), attributed to the rule scope that produced its TotalTime.
+      // Recording the execution below would make this subquery's own
+      // measurement win the lookup and trivialize the comparison.
+      costmodel::EstimateOptions scored = options_.optimizer.estimate;
+      scored.collect_explain = true;
+      Result<costmodel::PlanEstimate> believed =
+          estimator_.EstimateAt(*record.subplan, record.source, scored);
+      if (believed.ok() && !believed->explain.empty()) {
+        const costmodel::NodeExplain& root = believed->explain.front();
+        costmodel::Scope scope = costmodel::Scope::kDefault;
+        if (root.from_query_scope) {
+          scope = costmodel::Scope::kQuery;
+        } else {
+          for (const costmodel::VarExplain& v : root.vars) {
+            if (v.var == costmodel::CostVarId::kTotalTime) scope = v.scope;
+          }
+        }
+        accuracy_.Record(record.source, record.subplan->kind, scope,
+                         believed->root.total_time(),
+                         record.measured.total_time());
+      }
+
       costmodel::EstimateOptions no_history;
       no_history.use_history = false;
       double estimated = 0;
@@ -205,7 +383,9 @@ Result<QueryResult> Mediator::ExecuteInternal(
       if (est.ok()) estimated = est->root.total_time();
       history_.RecordExecution(&registry_, record.source, *record.subplan,
                                estimated, record.measured);
+      metrics_.counter("disco.history.observations")->Increment();
     }
+    span.Arg("subqueries", static_cast<int64_t>(raw->subqueries.size()));
   }
 
   QueryResult out;

@@ -18,7 +18,10 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/tracing.h"
+#include "costmodel/accuracy.h"
 #include "costmodel/estimator.h"
 #include "costmodel/generic_model.h"
 #include "costmodel/history.h"
@@ -50,6 +53,10 @@ struct MediatorOptions {
   /// When a source dies mid-execution, replan once around it (using
   /// declared-equivalent collections) and re-execute before giving up.
   bool replan_on_source_failure = true;
+  /// Collect a per-query span tree (QueryResult::trace). Driven entirely
+  /// by the simulated clock, so traces are bit-identical across runs;
+  /// see docs/OBSERVABILITY.md.
+  bool collect_traces = true;
 };
 
 struct QueryResult {
@@ -62,6 +69,9 @@ struct QueryResult {
   /// Degradations survived while answering (retries that recovered,
   /// dropped union branches, replica rerouting). Empty on a clean run.
   std::vector<ExecWarning> warnings;
+  /// The query's span tree (null when MediatorOptions::collect_traces is
+  /// off). Export with trace->ToChromeJson() for chrome://tracing.
+  tracing::TraceHandle trace;
 };
 
 class Mediator {
@@ -90,6 +100,14 @@ class Mediator {
   /// each cost variable (rendered via costmodel::FormatExplain).
   Result<std::string> Explain(const std::string& sql) const;
 
+  /// EXPLAIN ANALYZE: optimizes AND executes, then renders the chosen
+  /// plan with estimated vs. measured TotalTime / CountObject and the
+  /// q-error per node, followed by the cumulative cost-model accuracy
+  /// scoreboard (which rule scope produced each estimate, and how far
+  /// off it was). Execution side effects (history feedback, breaker
+  /// updates, clock advance) happen exactly as in Query().
+  Result<std::string> ExplainAnalyze(const std::string& sql);
+
   /// Full query phase: returns the answer and updates history. When a
   /// source dies mid-execution, replans once around it (see
   /// MediatorOptions::replan_on_source_failure).
@@ -114,6 +132,13 @@ class Mediator {
   const MediatorOptions& options() const { return options_; }
   SourceHealthRegistry* health() { return &health_; }
   const SourceHealthRegistry& health() const { return health_; }
+  /// Process-lifetime metrics of this mediator (counters, histograms);
+  /// the name catalog is in docs/OBSERVABILITY.md.
+  metrics::Registry* metrics() { return &metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+  /// Cumulative estimated-vs-measured scoreboard per (source, operator,
+  /// winning rule scope).
+  const costmodel::AccuracyTracker& accuracy() const { return accuracy_; }
   /// Cumulative simulated execution time across all queries -- the
   /// clock circuit-breaker cooldowns run on.
   double sim_now_ms() const { return sim_now_ms_; }
@@ -121,13 +146,25 @@ class Mediator {
  private:
   /// Planning options with health-aware routing: avoid sources whose
   /// breaker is open, plus `extra_avoid` (sources that just failed).
+  /// `trace` (may be null) receives the optimizer's rewrite/enumerate
+  /// spans.
   optimizer::OptimizerOptions PlanningOptions(
-      const std::vector<std::string>& extra_avoid) const;
+      const std::vector<std::string>& extra_avoid,
+      tracing::Trace* trace = nullptr) const;
+  /// Query() body with phase spans emitted into `trace` (may be null).
+  Result<QueryResult> QueryWithTrace(const std::string& sql,
+                                     tracing::Trace* trace);
   /// Executes `plan`, advances the simulated clock (also on failure),
-  /// feeds history, and reports which sources exhausted their submits.
+  /// feeds history + the accuracy tracker, and reports which sources
+  /// exhausted their submits. `trace` and `node_measures` (both
+  /// optional) receive per-node spans / measured costs.
   Result<QueryResult> ExecuteInternal(const algebra::Operator& plan,
                                       std::vector<std::string>* failed_sources,
-                                      double* elapsed_ms);
+                                      double* elapsed_ms,
+                                      tracing::Trace* trace = nullptr,
+                                      NodeMeasureMap* node_measures = nullptr);
+  /// New trace anchored at the mediator clock, or null when disabled.
+  tracing::TraceHandle NewTrace() const;
 
   MediatorOptions options_;
   Catalog catalog_;
@@ -139,6 +176,11 @@ class Mediator {
   std::vector<std::unique_ptr<wrapper::Wrapper>> wrappers_;
   SourceHealthRegistry health_;
   double sim_now_ms_ = 0;
+  metrics::Registry metrics_;
+  costmodel::AccuracyTracker accuracy_;
+  /// Trace of the execution currently in flight (breaker transitions
+  /// reported by the health registry land here as instant events).
+  tracing::Trace* active_trace_ = nullptr;
 };
 
 }  // namespace mediator

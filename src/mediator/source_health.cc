@@ -17,16 +17,27 @@ const char* BreakerStateToString(BreakerState state) {
   return "unknown";
 }
 
+void SourceHealthRegistry::Transition(const std::string& source_lower,
+                                      SourceHealth* h, BreakerState to,
+                                      double now_ms) {
+  const BreakerState from = h->state;
+  if (from == to) return;
+  h->state = to;
+  if (to == BreakerState::kOpen) h->opened_at_ms = now_ms;
+  if (listener_) listener_(source_lower, from, to, now_ms);
+}
+
 bool SourceHealthRegistry::AllowSubmit(const std::string& source,
                                        double now_ms) {
-  SourceHealth& h = health_[ToLower(source)];
+  const std::string key = ToLower(source);
+  SourceHealth& h = health_[key];
   switch (h.state) {
     case BreakerState::kClosed:
     case BreakerState::kHalfOpen:
       return true;
     case BreakerState::kOpen:
       if (now_ms - h.opened_at_ms >= options_.cooldown_ms) {
-        h.state = BreakerState::kHalfOpen;
+        Transition(key, &h, BreakerState::kHalfOpen, now_ms);
         return true;  // the probe
       }
       ++h.rejected_submits;
@@ -37,16 +48,17 @@ bool SourceHealthRegistry::AllowSubmit(const std::string& source,
 
 void SourceHealthRegistry::RecordSuccess(const std::string& source,
                                          double now_ms) {
-  (void)now_ms;
-  SourceHealth& h = health_[ToLower(source)];
+  const std::string key = ToLower(source);
+  SourceHealth& h = health_[key];
   h.consecutive_failures = 0;
   ++h.total_successes;
-  h.state = BreakerState::kClosed;
+  Transition(key, &h, BreakerState::kClosed, now_ms);
 }
 
 void SourceHealthRegistry::RecordFailure(const std::string& source,
                                          double now_ms) {
-  SourceHealth& h = health_[ToLower(source)];
+  const std::string key = ToLower(source);
+  SourceHealth& h = health_[key];
   ++h.consecutive_failures;
   ++h.total_failures;
   h.last_failure_ms = now_ms;
@@ -55,8 +67,7 @@ void SourceHealthRegistry::RecordFailure(const std::string& source,
   if (h.state == BreakerState::kHalfOpen ||
       (h.state == BreakerState::kClosed &&
        h.consecutive_failures >= options_.failure_threshold)) {
-    h.state = BreakerState::kOpen;
-    h.opened_at_ms = now_ms;
+    Transition(key, &h, BreakerState::kOpen, now_ms);
   }
 }
 

@@ -24,6 +24,7 @@
 #define DISCO_MEDIATOR_SOURCE_HEALTH_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -84,10 +85,27 @@ class SourceHealthRegistry {
 
   const SourceHealthOptions& options() const { return options_; }
 
+  /// Observer invoked on every breaker state change (closed -> open,
+  /// open -> half-open probe, half-open -> closed/open), with the
+  /// lower-cased source name and the simulated timestamp of the change.
+  /// The observability layer hooks metrics counters and trace events
+  /// here; pass nullptr to detach.
+  using TransitionListener = std::function<void(
+      const std::string& source, BreakerState from, BreakerState to,
+      double now_ms)>;
+  void SetTransitionListener(TransitionListener listener) {
+    listener_ = std::move(listener);
+  }
+
  private:
+  /// Applies a state change and notifies the listener if it is a change.
+  void Transition(const std::string& source_lower, SourceHealth* h,
+                  BreakerState to, double now_ms);
+
   SourceHealthOptions options_;
   /// Keyed by lower-cased source name.
   std::map<std::string, SourceHealth> health_;
+  TransitionListener listener_;
 };
 
 }  // namespace mediator

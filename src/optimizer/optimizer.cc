@@ -34,29 +34,45 @@ Result<OptimizedPlan> Optimizer::Optimize(const query::BoundQuery& q,
   query::BoundQuery rerouted;
   const query::BoundQuery* effective = &q;
   std::vector<std::pair<std::string, std::string>> substitutions;
-  if (!options.avoid_sources.empty() && options.catalog != nullptr) {
-    for (size_t i = 0; i < q.relations.size(); ++i) {
-      const query::BoundRelation& rel = q.relations[i];
-      if (!SourceAvoided(options.avoid_sources, rel.source)) continue;
-      for (const std::string& alt :
-           options.catalog->EquivalentsOf(rel.collection)) {
-        Result<CatalogEntry> entry = options.catalog->Collection(alt);
-        if (!entry.ok() ||
-            SourceAvoided(options.avoid_sources, entry->source)) {
-          continue;
+  {
+    tracing::ScopedSpan rewrite_span(options.trace, "rewrite", "plan");
+    if (!options.avoid_sources.empty() && options.catalog != nullptr) {
+      for (size_t i = 0; i < q.relations.size(); ++i) {
+        const query::BoundRelation& rel = q.relations[i];
+        if (!SourceAvoided(options.avoid_sources, rel.source)) continue;
+        for (const std::string& alt :
+             options.catalog->EquivalentsOf(rel.collection)) {
+          Result<CatalogEntry> entry = options.catalog->Collection(alt);
+          if (!entry.ok() ||
+              SourceAvoided(options.avoid_sources, entry->source)) {
+            continue;
+          }
+          if (effective == &q) rerouted = q;
+          rerouted.relations[i].collection = alt;
+          rerouted.relations[i].source = entry->source;
+          substitutions.emplace_back(rel.collection, alt);
+          effective = &rerouted;
+          break;
         }
-        if (effective == &q) rerouted = q;
-        rerouted.relations[i].collection = alt;
-        rerouted.relations[i].source = entry->source;
-        substitutions.emplace_back(rel.collection, alt);
-        effective = &rerouted;
-        break;
       }
     }
+    rewrite_span.Arg("relations", static_cast<int64_t>(q.relations.size()));
+    rewrite_span.Arg("replica_substitutions",
+                     static_cast<int64_t>(substitutions.size()));
   }
 
-  DISCO_ASSIGN_OR_RETURN(EnumResult result,
-                         enumerator_.Enumerate(*effective, enum_options));
+  EnumResult result;
+  {
+    tracing::ScopedSpan enum_span(options.trace, "enumerate", "plan");
+    Result<EnumResult> enumerated =
+        enumerator_.Enumerate(*effective, enum_options);
+    DISCO_RETURN_NOT_OK(enumerated.status());
+    result = std::move(*enumerated);
+    enum_span.Arg("plans_costed", int64_t{result.stats.plans_costed});
+    enum_span.Arg("plans_pruned", int64_t{result.stats.plans_pruned});
+    enum_span.Arg("formulas_evaluated",
+                  int64_t{result.stats.formulas_evaluated});
+  }
 
   OptimizedPlan out;
   out.replica_substitutions = std::move(substitutions);

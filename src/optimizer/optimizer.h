@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/tracing.h"
 #include "costmodel/estimator.h"
 #include "optimizer/capabilities.h"
 #include "optimizer/join_enum.h"
@@ -33,6 +34,9 @@ struct OptimizerOptions {
   /// Catalog used to look up equivalent collections; may be null when
   /// `avoid_sources` is empty.
   const Catalog* catalog = nullptr;
+  /// Observability: when set, Optimize() emits rewrite/enumerate spans
+  /// (annotated with EnumStats counters) into this trace.
+  tracing::Trace* trace = nullptr;
 };
 
 struct OptimizedPlan {

@@ -1,0 +1,159 @@
+// EXPLAIN ANALYZE: per-node estimated vs measured costs with q-error,
+// and the cumulative cost-model accuracy scoreboard.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench007/oo7.h"
+#include "costmodel/accuracy.h"
+#include "mediator/mediator.h"
+
+namespace disco {
+namespace {
+
+using costmodel::AccuracyTracker;
+using mediator::Mediator;
+
+TEST(QErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(AccuracyTracker::QError(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(AccuracyTracker::QError(5.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(AccuracyTracker::QError(10.0, 5.0), 2.0);
+  // Degenerate inputs clamp instead of dividing by zero.
+  EXPECT_GE(AccuracyTracker::QError(0.0, 10.0), 1.0);
+  EXPECT_GE(AccuracyTracker::QError(10.0, 0.0), 1.0);
+}
+
+TEST(AccuracyTrackerTest, CellsAccumulatePerScope) {
+  AccuracyTracker tracker;
+  tracker.Record("oo7", algebra::OpKind::kSubmit,
+                 costmodel::Scope::kWrapper, 10.0, 20.0);
+  tracker.Record("OO7", algebra::OpKind::kSubmit,
+                 costmodel::Scope::kWrapper, 40.0, 20.0);
+  tracker.Record("erp", algebra::OpKind::kSubmit,
+                 costmodel::Scope::kDefault, 5.0, 5.0);
+  EXPECT_EQ(tracker.num_observations(), 3);
+  ASSERT_EQ(tracker.cells().size(), 2u);  // source names are folded
+  const auto it = tracker.cells().find(AccuracyTracker::Key{
+      "oo7", algebra::OpKind::kSubmit, costmodel::Scope::kWrapper});
+  ASSERT_NE(it, tracker.cells().end());
+  const auto& oo7 = it->second;
+  EXPECT_EQ(oo7.count, 2);
+  EXPECT_DOUBLE_EQ(oo7.geo_mean_q(), 2.0);  // both observations have q=2
+  EXPECT_DOUBLE_EQ(oo7.max_q, 2.0);
+
+  const std::string board = tracker.FormatScoreboard();
+  EXPECT_NE(board.find("oo7"), std::string::npos) << board;
+  EXPECT_NE(board.find("wrapper"), std::string::npos) << board;
+  EXPECT_NE(board.find("geo-q"), std::string::npos) << board;
+}
+
+TEST(AccuracyTrackerTest, EmptyScoreboardHasPlaceholder) {
+  AccuracyTracker tracker;
+  EXPECT_NE(tracker.FormatScoreboard().find("no executions"),
+            std::string::npos);
+}
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    med_ = std::make_unique<Mediator>();
+
+    bench007::OO7Config config;
+    config.num_atomic_parts = 2000;
+    config.connections_per_atomic = 1;
+    config.num_composite_parts = 100;
+    config.num_documents = 100;
+    auto oo7 = bench007::BuildOO7Source(config);
+    ASSERT_TRUE(oo7.ok()) << oo7.status().ToString();
+    wrapper::SimulatedWrapper::Options oo7_opts;
+    oo7_opts.cost_rules = bench007::Oo7YaoRuleText();
+    ASSERT_TRUE(med_->RegisterWrapper(
+                        std::make_unique<wrapper::SimulatedWrapper>(
+                            std::move(*oo7), oo7_opts))
+                    .ok());
+
+    auto rel = sources::MakeRelationalSource("erp");
+    storage::Table* suppliers = rel->CreateTable(CollectionSchema(
+        "Supplier", {{"sid", AttrType::kLong},
+                     {"partType", AttrType::kString},
+                     {"region", AttrType::kString}}));
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(suppliers
+                      ->Insert({Value(int64_t{i}),
+                                Value(std::string("t") +
+                                      std::to_string(i % 10)),
+                                Value(std::string(i % 2 ? "east" : "west"))})
+                      .ok());
+    }
+    ASSERT_TRUE(suppliers->CreateIndex("sid").ok());
+    ASSERT_TRUE(med_->RegisterWrapper(
+                        std::make_unique<wrapper::SimulatedWrapper>(
+                            std::move(rel),
+                            wrapper::SimulatedWrapper::Options()))
+                    .ok());
+  }
+
+  std::unique_ptr<Mediator> med_;
+};
+
+TEST_F(ExplainAnalyzeTest, TwoSourceJoinShowsPerNodeQError) {
+  auto report = med_->ExplainAnalyze(
+      "SELECT id, sid FROM AtomicPart, Supplier "
+      "WHERE AtomicPart.type = Supplier.partType AND id <= 20 "
+      "AND region = 'east'");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string& text = *report;
+
+  // The column header and the plan, with submits to both sources.
+  EXPECT_NE(text.find("EXPLAIN ANALYZE"), std::string::npos) << text;
+  for (const char* col : {"est rows", "est ms", "act rows", "act ms",
+                          "q-err"}) {
+    EXPECT_NE(text.find(col), std::string::npos) << col << "\n" << text;
+  }
+  EXPECT_NE(text.find("@oo7"), std::string::npos) << text;
+  EXPECT_NE(text.find("@erp"), std::string::npos) << text;
+  // Nodes executed inside a source report no mediator-side measurement.
+  EXPECT_NE(text.find("@source"), std::string::npos) << text;
+  // Totals line with overall q-error.
+  EXPECT_NE(text.find("total: estimated"), std::string::npos) << text;
+  EXPECT_NE(text.find("q-error"), std::string::npos) << text;
+
+  // Executing fed the accuracy tracker: one observation per submitted
+  // subquery, and the scoreboard renders real cells.
+  EXPECT_GE(med_->accuracy().num_observations(), 2);
+  EXPECT_NE(text.find("source"), std::string::npos) << text;
+  EXPECT_NE(text.find("geo-q"), std::string::npos) << text;
+  EXPECT_EQ(text.find("no executions"), std::string::npos) << text;
+}
+
+TEST_F(ExplainAnalyzeTest, ExecutionSideEffectsMatchQuery) {
+  // EXPLAIN ANALYZE really executes: history feedback happens and the
+  // metrics registry sees the submits.
+  auto report = med_->ExplainAnalyze(
+      "SELECT id FROM AtomicPart WHERE id <= 499");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(med_->registry()->num_query_entries(), 0);
+  EXPECT_GE(med_->metrics()->counter("disco.exec.submits")->value(), 1);
+  EXPECT_EQ(med_->metrics()->counter("disco.explain_analyze.count")->value(),
+            1);
+}
+
+TEST_F(ExplainAnalyzeTest, RepeatedQueryDrivesQErrorDown) {
+  const char* sql = "SELECT id FROM AtomicPart WHERE id <= 499";
+  ASSERT_TRUE(med_->Query(sql).ok());
+  // The second run estimates from query-scope history: its scoreboard
+  // cell must be nearly perfect.
+  ASSERT_TRUE(med_->Query(sql).ok());
+  bool saw_query_scope = false;
+  for (const auto& [key, cell] : med_->accuracy().cells()) {
+    if (key.scope == costmodel::Scope::kQuery) {
+      saw_query_scope = true;
+      EXPECT_LT(cell.geo_mean_q(), 1.1) << med_->accuracy().FormatScoreboard();
+    }
+  }
+  EXPECT_TRUE(saw_query_scope) << med_->accuracy().FormatScoreboard();
+}
+
+}  // namespace
+}  // namespace disco

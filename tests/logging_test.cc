@@ -1,0 +1,45 @@
+// Runtime log-level filtering.
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace internal {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetMinLogSeverity(saved_); }
+  LogSeverity saved_ = MinLogSeverity();
+};
+
+TEST_F(LoggingTest, ThresholdFiltersBelowMin) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  EXPECT_FALSE(LogSeverityEnabled(LogSeverity::kInfo));
+  EXPECT_TRUE(LogSeverityEnabled(LogSeverity::kWarning));
+  EXPECT_TRUE(LogSeverityEnabled(LogSeverity::kError));
+
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_FALSE(LogSeverityEnabled(LogSeverity::kWarning));
+  EXPECT_TRUE(LogSeverityEnabled(LogSeverity::kError));
+
+  SetMinLogSeverity(LogSeverity::kInfo);
+  EXPECT_TRUE(LogSeverityEnabled(LogSeverity::kInfo));
+}
+
+TEST_F(LoggingTest, FatalAlwaysEnabled) {
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_TRUE(LogSeverityEnabled(LogSeverity::kFatal));
+}
+
+TEST_F(LoggingTest, SuppressedMessagesAreCheap) {
+  SetMinLogSeverity(LogSeverity::kError);
+  // Streams into a disabled severity must not crash or emit.
+  DISCO_LOG(Info) << "suppressed " << 42;
+  DISCO_LOG(Warning) << "also suppressed";
+}
+
+}  // namespace
+}  // namespace internal
+}  // namespace disco

@@ -1,0 +1,157 @@
+// Metrics registry: instrument semantics, log-bucket math, exports,
+// and -- the registry's reason to exist -- safety under concurrent
+// updates from many threads.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace disco {
+namespace metrics {
+namespace {
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(GaugeTest, SetsBothWays) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  // Bucket 0 holds values <= kMinUpper; bucket i holds
+  // (kMinUpper * 2^(i-1), kMinUpper * 2^i].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMinUpper), 0);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMinUpper * 1.5), 1);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMinUpper * 2), 1);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMinUpper * 2.01), 2);
+  for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+    const double upper = Histogram::BucketUpperBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(upper), i) << "upper bound of " << i;
+    EXPECT_EQ(Histogram::BucketIndex(std::nextafter(upper, 1e300)), i + 1)
+        << "just above upper bound of " << i;
+  }
+  // Enormous values land in the last (unbounded) bucket.
+  EXPECT_EQ(Histogram::BucketIndex(1e30), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, SnapshotStats) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(4.0);
+  h.Record(16.0);
+  Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.sum, 21.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 16.0);
+  // Quantiles report the holding bucket's upper bound.
+  EXPECT_GE(s.Quantile(0.99), 16.0);
+  EXPECT_LE(s.Quantile(0.0), Histogram::BucketUpperBound(
+                                 Histogram::BucketIndex(1.0)));
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram h;
+  Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0);
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStablePointers) {
+  Registry reg;
+  Counter* a = reg.counter("x");
+  Counter* b = reg.counter("x");
+  EXPECT_EQ(a, b);
+  // Same name, different kind: a distinct instrument.
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(reg.gauge("x")));
+}
+
+TEST(RegistryTest, TextExportIsNameOrdered) {
+  Registry reg;
+  reg.counter("z.count")->Increment(2);
+  reg.counter("a.count")->Increment();
+  reg.gauge("m.level")->Set(1.5);
+  reg.histogram("q.ms")->Record(10.0);
+  const std::string text = reg.ToText();
+  EXPECT_NE(text.find("counter a.count 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("counter z.count 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("gauge m.level 1.500"), std::string::npos) << text;
+  EXPECT_NE(text.find("histogram q.ms"), std::string::npos) << text;
+  EXPECT_LT(text.find("a.count"), text.find("z.count"));
+}
+
+TEST(RegistryTest, JsonExportContainsAllSections) {
+  Registry reg;
+  reg.counter("c")->Increment(7);
+  reg.gauge("g")->Set(2.0);
+  reg.histogram("h")->Record(1.0);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+}
+
+TEST(RegistryTest, SnapshotMatchesInstruments) {
+  Registry reg;
+  reg.counter("c")->Increment(3);
+  reg.histogram("h")->Record(5.0);
+  RegistrySnapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("c"), 3);
+  EXPECT_EQ(snap.histograms.at("h").count, 1);
+}
+
+// The concurrency contract: N threads hammering the same instruments
+// (and racing find-or-create) lose no updates.
+TEST(RegistryTest, ConcurrentIncrementsLoseNothing) {
+  for (int num_threads : {2, 4, 8}) {
+    Registry reg;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&reg, t]() {
+        for (int i = 0; i < kPerThread; ++i) {
+          reg.counter("shared.count")->Increment();
+          reg.histogram("shared.ms")->Record(static_cast<double>(i % 100) +
+                                             0.5);
+          reg.gauge("per.thread." + std::to_string(t))
+              ->Set(static_cast<double>(i));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    const int64_t expected =
+        static_cast<int64_t>(num_threads) * kPerThread;
+    EXPECT_EQ(reg.counter("shared.count")->value(), expected)
+        << num_threads << " threads";
+    Histogram::Snapshot s = reg.histogram("shared.ms")->TakeSnapshot();
+    EXPECT_EQ(s.count, expected) << num_threads << " threads";
+    int64_t bucketed = 0;
+    for (int64_t b : s.buckets) bucketed += b;
+    EXPECT_EQ(bucketed, expected);
+    EXPECT_DOUBLE_EQ(s.min, 0.5);
+    EXPECT_DOUBLE_EQ(s.max, 99.5);
+  }
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace disco

@@ -1,0 +1,154 @@
+// Tracing: span-tree structure, Chrome trace-event export, and the
+// determinism contract -- identical runs yield byte-identical JSON.
+
+#include "common/tracing.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "bench007/oo7.h"
+#include "mediator/mediator.h"
+
+namespace disco {
+namespace tracing {
+namespace {
+
+TEST(TraceTest, SpanTreeStructure) {
+  Trace trace(100.0);
+  int root = trace.BeginSpan("query");
+  trace.Advance(5.0);
+  int child = trace.BeginSpan("submit @erp", "submit");
+  trace.Advance(20.0);
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+
+  ASSERT_EQ(trace.spans().size(), 2u);
+  const Span& q = trace.spans()[0];
+  const Span& s = trace.spans()[1];
+  EXPECT_EQ(q.parent, -1);
+  EXPECT_EQ(q.depth, 0);
+  EXPECT_DOUBLE_EQ(q.start_ms, 100.0);
+  EXPECT_DOUBLE_EQ(q.end_ms, 125.0);
+  EXPECT_EQ(s.parent, root);
+  EXPECT_EQ(s.depth, 1);
+  EXPECT_DOUBLE_EQ(s.start_ms, 105.0);
+  EXPECT_DOUBLE_EQ(s.duration_ms(), 20.0);
+  EXPECT_EQ(s.category, "submit");
+  EXPECT_EQ(trace.open_spans(), 0);
+}
+
+TEST(TraceTest, InstantEventsAndArgs) {
+  Trace trace;
+  int root = trace.BeginSpan("query");
+  trace.Advance(1.0);
+  int marker = trace.Instant("breaker oo7 closed->open");
+  trace.AddArg(marker, "source", std::string("oo7"));
+  trace.AddArg(root, "attempts", int64_t{3});
+  trace.AddArg(root, "elapsed", 2.5);
+  trace.EndSpan(root);
+
+  const Span& m = trace.spans()[1];
+  EXPECT_TRUE(m.instant);
+  EXPECT_EQ(m.parent, root);
+  EXPECT_DOUBLE_EQ(m.start_ms, 1.0);
+  ASSERT_EQ(trace.spans()[0].args.size(), 2u);
+  EXPECT_EQ(trace.spans()[0].args[0].first, "attempts");
+  EXPECT_EQ(trace.spans()[0].args[0].second, "3");
+  EXPECT_EQ(trace.spans()[0].args[1].second, "2.500");
+}
+
+TEST(TraceTest, ScopedSpanToleratesNullTrace) {
+  ScopedSpan span(nullptr, "noop");
+  span.Arg("ignored", int64_t{1});  // must not crash
+}
+
+TEST(TraceTest, ChromeJsonShape) {
+  Trace trace;
+  {
+    ScopedSpan q(&trace, "query");
+    trace.Advance(3.0);
+    q.Arg("sql", "SELECT \"quoted\"");
+  }
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":3000.000"), std::string::npos) << json;
+  // Quotes inside args are escaped.
+  EXPECT_NE(json.find("SELECT \\\"quoted\\\""), std::string::npos) << json;
+}
+
+TEST(TraceTest, IdenticalRunsAreByteIdentical) {
+  auto run = []() {
+    Trace trace(42.0);
+    ScopedSpan q(&trace, "query");
+    q.Arg("sql", "SELECT 1");
+    trace.Advance(17.25);
+    { ScopedSpan s(&trace, "submit @oo7", "submit"); trace.Advance(3.5); }
+    trace.Instant("breaker erp open->half-open");
+    return trace.ToChromeJson();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// End-to-end determinism: two freshly built mediators over identical
+// data, same query, must export byte-identical trace JSON (the trace
+// clock is the simulated clock; wall time never leaks in).
+std::string TraceJsonOfOneQuery() {
+  bench007::OO7Config config;
+  config.num_atomic_parts = 500;
+  config.connections_per_atomic = 1;
+  config.num_composite_parts = 25;
+  config.num_documents = 25;
+  auto source = bench007::BuildOO7Source(config);
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  wrapper::SimulatedWrapper::Options opts;
+  opts.cost_rules = bench007::Oo7YaoRuleText();
+  mediator::Mediator med;
+  EXPECT_TRUE(med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                      std::move(*source), opts))
+                  .ok());
+  auto r = med.Query("SELECT id, x FROM AtomicPart WHERE id <= 99");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok() || r->trace == nullptr) return std::string();
+  EXPECT_EQ(r->trace->open_spans(), 0);
+  return r->trace->ToChromeJson();
+}
+
+TEST(TraceDeterminismTest, MediatorTracesAreByteIdentical) {
+  const std::string first = TraceJsonOfOneQuery();
+  const std::string second = TraceJsonOfOneQuery();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The trace records the full lifecycle.
+  for (const char* phase :
+       {"\"parse\"", "\"bind\"", "\"optimize\"", "\"execute\"",
+        "\"history-feedback\"", "submit @oo7"}) {
+    EXPECT_NE(first.find(phase), std::string::npos) << phase;
+  }
+}
+
+TEST(TraceDeterminismTest, TracingCanBeDisabled) {
+  mediator::MediatorOptions options;
+  options.collect_traces = false;
+  mediator::Mediator med(options);
+  bench007::OO7Config config;
+  config.num_atomic_parts = 200;
+  config.connections_per_atomic = 1;
+  config.num_composite_parts = 10;
+  config.num_documents = 10;
+  auto source = bench007::BuildOO7Source(config);
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                      std::move(*source),
+                                      wrapper::SimulatedWrapper::Options()))
+                  .ok());
+  auto r = med.Query("SELECT id FROM AtomicPart WHERE id <= 9");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->trace, nullptr);
+}
+
+}  // namespace
+}  // namespace tracing
+}  // namespace disco
