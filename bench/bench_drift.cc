@@ -1,0 +1,197 @@
+// Observability overhead and closed-loop drift benchmark.
+//
+// Two halves, both deterministic (simulated clock, no RNG):
+//
+//   1. Micro: ns/op of the streaming primitives the monitor is built
+//      from -- P2Quantile::Add, SlidingWindowQuantile::Add, and a full
+//      DriftMonitor::Observe (the per-submit cost every query pays).
+//   2. Closed loop: the ISSUE acceptance scenario. A healthy workload
+//      freezes a baseline, the source's latency shifts 50s, and we
+//      count queries-to-detect (first DriftEvent) and queries-to-
+//      recover (latch released by history recalibration).
+//
+// Results go to stdout AND to BENCH_observability.json in the current
+// directory, so CI has a perf trajectory to track. Wall-clock timings
+// use std::chrono (bench-only; library code never reads a real clock).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/sketch.h"
+#include "costmodel/drift.h"
+#include "mediator/mediator.h"
+#include "wrapper/fault_injection.h"
+
+namespace disco {
+namespace {
+
+double NsPerOp(int64_t iters, std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start);
+  return iters > 0 ? static_cast<double>(ns.count()) / iters : 0.0;
+}
+
+/// Deterministic value stream with spread (no RNG: a Weyl sequence).
+double Sample(int64_t i) {
+  const double frac = i * 0.6180339887498949;  // golden-ratio rotation
+  return 1.0 + 99.0 * (frac - static_cast<int64_t>(frac));
+}
+
+double BenchP2Add(int64_t iters) {
+  P2Quantile sketch(0.9);
+  const auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < iters; ++i) sketch.Add(Sample(i));
+  const auto end = std::chrono::steady_clock::now();
+  // Keep the result observable so the loop cannot be elided.
+  std::printf("#   p2 P90 after %lld adds: %.3f\n",
+              static_cast<long long>(iters), sketch.Value());
+  return NsPerOp(iters, start, end);
+}
+
+double BenchWindowAdd(int64_t iters) {
+  SlidingWindowQuantile window(0.9, /*window_ms=*/60000, /*num_buckets=*/6);
+  const auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < iters; ++i) {
+    window.Add(/*now_ms=*/static_cast<double>(i), Sample(i));
+  }
+  const auto end = std::chrono::steady_clock::now();
+  std::printf("#   windowed P90 after %lld adds: %.3f\n",
+              static_cast<long long>(iters),
+              window.Value(static_cast<double>(iters)));
+  return NsPerOp(iters, start, end);
+}
+
+double BenchObserve(int64_t iters) {
+  costmodel::DriftMonitor monitor;
+  const auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < iters; ++i) {
+    monitor.Observe("src", algebra::OpKind::kScan, costmodel::Scope::kQuery,
+                    /*estimated_ms=*/100.0,
+                    /*measured_ms=*/100.0 + Sample(i),
+                    /*now_ms=*/static_cast<double>(i));
+  }
+  const auto end = std::chrono::steady_clock::now();
+  std::printf("#   drift events after %lld observes: %zu\n",
+              static_cast<long long>(iters), monitor.events().size());
+  return NsPerOp(iters, start, end);
+}
+
+struct LoopResult {
+  int healthy_queries = 0;
+  int queries_to_detect = -1;   ///< post-shift queries before the event
+  int queries_to_recover = -1;  ///< post-shift queries until un-latched
+  int drift_events = 0;
+  double window_q_at_breach = 0;
+};
+
+std::unique_ptr<wrapper::FaultInjectingWrapper> MakeSource(int rows) {
+  auto src = sources::MakeRelationalSource("src");
+  storage::Table* t =
+      src->CreateTable(CollectionSchema("T", {{"k", AttrType::kLong}}));
+  for (int i = 0; i < rows; ++i) {
+    Status s = t->Insert({Value(int64_t{i})});
+    DISCO_CHECK(s.ok()) << s.ToString();
+  }
+  auto inner = std::make_unique<wrapper::SimulatedWrapper>(
+      std::move(src), wrapper::SimulatedWrapper::Options{});
+  return std::make_unique<wrapper::FaultInjectingWrapper>(
+      std::move(inner), wrapper::FaultProfile{});
+}
+
+LoopResult RunClosedLoop() {
+  LoopResult out;
+  mediator::MediatorOptions opts;
+  opts.drift.quantile = 0.9;
+  opts.drift.window_ms = 120000;
+  opts.drift.window_buckets = 6;
+  opts.drift.baseline_observations = 6;
+  opts.drift.min_window_observations = 3;
+  opts.drift.degrade_ratio = 2.0;
+  mediator::Mediator med(opts);
+  auto src = MakeSource(/*rows=*/400);
+  wrapper::FaultInjectingWrapper* faults = src.get();
+  DISCO_CHECK(med.RegisterWrapper(std::move(src)).ok());
+
+  out.healthy_queries = 10;
+  for (int i = 0; i < out.healthy_queries; ++i) {
+    DISCO_CHECK(med.Query("SELECT k FROM T").ok());
+  }
+
+  faults->SetProfile(wrapper::FaultProfile{}.WithLatency(50000));
+  for (int i = 1; i <= 12; ++i) {
+    DISCO_CHECK(med.Query("SELECT k FROM T").ok());
+    if (out.queries_to_detect < 0 && !med.drift()->events().empty()) {
+      out.queries_to_detect = i;
+      out.window_q_at_breach = med.drift()->events().front().window_q;
+    }
+    if (out.queries_to_detect >= 0 && out.queries_to_recover < 0) {
+      bool breached = false;
+      for (const auto& cell : med.drift()->Cells(med.sim_now_ms())) {
+        breached = breached || cell.breached;
+      }
+      if (!breached) out.queries_to_recover = i;
+    }
+  }
+  out.drift_events = static_cast<int>(med.drift()->events().size());
+  return out;
+}
+
+int Run() {
+  constexpr int64_t kIters = 200000;
+  std::printf("# observability primitives, %lld iterations each\n",
+              static_cast<long long>(kIters));
+  const double p2_ns = BenchP2Add(kIters);
+  const double window_ns = BenchWindowAdd(kIters);
+  const double observe_ns = BenchObserve(kIters);
+  std::printf("%-28s %10.1f ns/op\n", "P2Quantile::Add", p2_ns);
+  std::printf("%-28s %10.1f ns/op\n", "SlidingWindowQuantile::Add", window_ns);
+  std::printf("%-28s %10.1f ns/op\n", "DriftMonitor::Observe", observe_ns);
+
+  std::printf("\n# closed loop: 10 healthy queries, then a 50s latency "
+              "shift\n");
+  const LoopResult loop = RunClosedLoop();
+  std::printf("%-28s %10d\n", "queries_to_detect", loop.queries_to_detect);
+  std::printf("%-28s %10d\n", "queries_to_recover", loop.queries_to_recover);
+  std::printf("%-28s %10d\n", "drift_events", loop.drift_events);
+  std::printf("%-28s %10.2f\n", "window_q_at_breach",
+              loop.window_q_at_breach);
+
+  // Machine-readable output for CI trend tracking. The ns/op numbers
+  // are hardware-dependent; the loop numbers are exact and must not
+  // regress.
+  FILE* f = std::fopen("BENCH_observability.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write BENCH_observability.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"observability\",\n"
+               "  \"iterations\": %lld,\n"
+               "  \"p2_add_ns\": %.1f,\n"
+               "  \"window_add_ns\": %.1f,\n"
+               "  \"drift_observe_ns\": %.1f,\n"
+               "  \"loop\": {\n"
+               "    \"healthy_queries\": %d,\n"
+               "    \"queries_to_detect\": %d,\n"
+               "    \"queries_to_recover\": %d,\n"
+               "    \"drift_events\": %d,\n"
+               "    \"window_q_at_breach\": %.2f\n"
+               "  }\n"
+               "}\n",
+               static_cast<long long>(kIters), p2_ns, window_ns, observe_ns,
+               loop.healthy_queries, loop.queries_to_detect,
+               loop.queries_to_recover, loop.drift_events,
+               loop.window_q_at_breach);
+  std::fclose(f);
+  std::printf("\n# wrote BENCH_observability.json\n");
+  return loop.queries_to_detect == 1 && loop.drift_events == 1 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace disco
+
+int main() { return disco::Run(); }

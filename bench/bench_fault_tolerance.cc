@@ -48,6 +48,7 @@ int Run() {
               "partial", "failed", "retries", "avg_ms");
 
   std::string last_level_metrics;
+  std::string summary_rows;
   for (double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
     mediator::MediatorOptions options;
     options.fault_tolerance.allow_partial = true;
@@ -87,12 +88,36 @@ int Run() {
                                        rp->injected_failures()),
                 answered > 0 ? total_ms / answered : 0.0);
     last_level_metrics = med.metrics()->ToText();
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"p\": %.2f, \"queries\": %d, \"full\": %d, "
+                  "\"partial\": %d, \"failed\": %d, \"retries\": %lld, "
+                  "\"avg_ms\": %.1f}",
+                  summary_rows.empty() ? "" : ",\n    ", p, kRuns, full,
+                  partial, failed,
+                  static_cast<long long>(lp->injected_failures() +
+                                         rp->injected_failures()),
+                  answered > 0 ? total_ms / answered : 0.0);
+    summary_rows += row;
   }
 
   // Metrics snapshot of the harshest level: retries, dropped branches,
   // and breaker activity all leave counters behind (the name catalog is
   // in docs/OBSERVABILITY.md).
   std::printf("\n# metrics at p=0.50\n%s", last_level_metrics.c_str());
+
+  // Machine-readable summary block (one JSON document between BEGIN/END
+  // markers) so CI can extract a perf trajectory without parsing the
+  // human table above. Fully seeded, so the block is byte-stable.
+  std::printf("\n# BENCH_SUMMARY_BEGIN\n"
+              "{\n"
+              "  \"bench\": \"fault_tolerance\",\n"
+              "  \"runs_per_level\": %d,\n"
+              "  \"rows_per_source\": %d,\n"
+              "  \"levels\": [\n    %s\n  ]\n"
+              "}\n"
+              "# BENCH_SUMMARY_END\n",
+              kRuns, kRows, summary_rows.c_str());
   return 0;
 }
 

@@ -9,11 +9,16 @@
 //   2. EXPLAIN ANALYZE: per plan node, the optimizer's estimate next
 //      to what execution measured, with the q-error between them and
 //      the cumulative cost-model accuracy scoreboard,
-//   3. the metrics registry (counters / gauges / histograms).
+//   3. the metrics registry (counters / gauges / histograms),
+//   4. the query-log flight recorder (JSONL export, replayable with
+//      ./build/tools/replay_querylog),
+//   5. Mediator::MonitorReport() -- the operational dashboard.
 //
 // Build & run:  ./build/examples/observability
-// It also writes trace.json next to the working directory -- load that
-// file in a trace viewer to see the query timeline.
+// It also writes trace.json and query_log.jsonl to the working
+// directory: load trace.json in a trace viewer to see the query
+// timeline, and replay the log with
+//   ./build/tools/replay_querylog query_log.jsonl --monitor
 
 #include <cstdio>
 #include <fstream>
@@ -96,5 +101,14 @@ int main() {
 
   std::printf("== 3. The metrics registry\n\n");
   std::printf("%s", med.metrics()->ToText().c_str());
+
+  std::printf("\n== 4. The query-log flight recorder\n\n");
+  std::ofstream("query_log.jsonl") << med.query_log()->ToJsonl();
+  std::printf("(wrote query_log.jsonl -- %lld entries; replay it with\n"
+              " ./build/tools/replay_querylog query_log.jsonl --monitor)\n",
+              static_cast<long long>(med.query_log()->size()));
+
+  std::printf("\n== 5. MonitorReport: the operational dashboard\n\n");
+  std::printf("%s", med.MonitorReport().ToText().c_str());
   return 0;
 }

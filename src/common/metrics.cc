@@ -147,18 +147,22 @@ std::string Registry::ToText() const {
 }
 
 std::string Registry::ToJson() const {
+  // Names may embed user-controlled label values (e.g. the source name
+  // in disco.breaker.state.<source>): escape them, or a quote in a
+  // source name corrupts the whole export.
   RegistrySnapshot snap = TakeSnapshot();
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, v] : snap.counters) {
-    out += StringPrintf("%s\"%s\":%lld", first ? "" : ",", name.c_str(),
-                        static_cast<long long>(v));
+    out += StringPrintf("%s\"%s\":%lld", first ? "" : ",",
+                        JsonEscape(name).c_str(), static_cast<long long>(v));
     first = false;
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, v] : snap.gauges) {
-    out += StringPrintf("%s\"%s\":%.3f", first ? "" : ",", name.c_str(), v);
+    out += StringPrintf("%s\"%s\":%.3f", first ? "" : ",",
+                        JsonEscape(name).c_str(), v);
     first = false;
   }
   out += "},\"histograms\":{";
@@ -167,8 +171,8 @@ std::string Registry::ToJson() const {
     out += StringPrintf(
         "%s\"%s\":{\"count\":%lld,\"sum\":%.3f,\"min\":%.3f,\"max\":%.3f,"
         "\"buckets\":[",
-        first ? "" : ",", name.c_str(), static_cast<long long>(h.count),
-        h.sum, h.min, h.max);
+        first ? "" : ",", JsonEscape(name).c_str(),
+        static_cast<long long>(h.count), h.sum, h.min, h.max);
     first = false;
     bool first_bucket = true;
     for (int i = 0; i < Histogram::kNumBuckets; ++i) {

@@ -1,0 +1,131 @@
+#include "common/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disco {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  if (p_ <= 0) p_ = 0.01;
+  if (p_ >= 1) p_ = 0.99;
+  desired_ = {1, 1 + 2 * p_, 1 + 4 * p_, 3 + 2 * p_, 5};
+  increments_ = {0, p_ / 2, p_, (1 + p_) / 2, 1};
+}
+
+void P2Quantile::Add(double x) {
+  if (n_ < 5) {
+    heights_[static_cast<size_t>(n_)] = x;
+    ++n_;
+    if (n_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      positions_ = {1, 2, 3, 4, 5};
+    }
+    return;
+  }
+
+  // Which cell does x fall into? Adjust the extreme markers on the way.
+  size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (size_t i = k + 1; i < 5; ++i) positions_[i] += 1;
+  ++n_;
+  for (size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Nudge the three interior markers toward their desired positions.
+  for (size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1 && right_gap > 1) || (d <= -1 && left_gap < -1)) {
+      const double sign = d >= 1 ? 1 : -1;
+      // Piecewise-parabolic (P^2) prediction of the new height.
+      const double np1 = positions_[i + 1];
+      const double nm1 = positions_[i - 1];
+      const double ni = positions_[i];
+      const double qp1 = heights_[i + 1];
+      const double qm1 = heights_[i - 1];
+      const double qi = heights_[i];
+      double candidate =
+          qi + sign / (np1 - nm1) *
+                   ((ni - nm1 + sign) * (qp1 - qi) / (np1 - ni) +
+                    (np1 - ni - sign) * (qi - qm1) / (ni - nm1));
+      if (qm1 < candidate && candidate < qp1) {
+        heights_[i] = candidate;
+      } else {
+        // Parabolic step would break monotonicity: fall back to linear.
+        const size_t j = static_cast<size_t>(static_cast<double>(i) + sign);
+        heights_[i] = qi + sign * (heights_[j] - qi) /
+                               (positions_[j] - ni);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (n_ == 0) return 0;
+  if (n_ < 5) {
+    // Exact nearest-rank on the (unsorted) buffer.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + n_);
+    const auto rank = static_cast<int64_t>(
+        std::ceil(p_ * static_cast<double>(n_)));
+    return sorted[static_cast<size_t>(std::clamp<int64_t>(rank, 1, n_) - 1)];
+  }
+  return heights_[2];
+}
+
+SlidingWindowQuantile::SlidingWindowQuantile(double p, double window_ms,
+                                             int num_buckets)
+    : p_(p), num_buckets_(std::max(1, num_buckets)) {
+  if (window_ms <= 0) window_ms = 1;
+  bucket_ms_ = window_ms / num_buckets_;
+  buckets_.resize(static_cast<size_t>(num_buckets_));
+}
+
+int64_t SlidingWindowQuantile::SliceOf(double now_ms) const {
+  if (now_ms < 0) return 0;
+  return static_cast<int64_t>(std::floor(now_ms / bucket_ms_));
+}
+
+void SlidingWindowQuantile::Add(double now_ms, double x) {
+  const int64_t slice = SliceOf(now_ms);
+  Bucket& b = buckets_[static_cast<size_t>(slice % num_buckets_)];
+  if (b.index != slice) {
+    if (b.index > slice) return;  // stale timestamp: drop
+    b.index = slice;
+    b.sketch = P2Quantile(p_);
+  }
+  b.sketch.Add(x);
+}
+
+double SlidingWindowQuantile::Value(double now_ms) const {
+  const int64_t now_slice = SliceOf(now_ms);
+  double weighted = 0;
+  int64_t total = 0;
+  for (const Bucket& b : buckets_) {
+    if (!Live(b, now_slice)) continue;
+    weighted += static_cast<double>(b.sketch.count()) * b.sketch.Value();
+    total += b.sketch.count();
+  }
+  return total > 0 ? weighted / static_cast<double>(total) : 0;
+}
+
+int64_t SlidingWindowQuantile::count(double now_ms) const {
+  const int64_t now_slice = SliceOf(now_ms);
+  int64_t total = 0;
+  for (const Bucket& b : buckets_) {
+    if (Live(b, now_slice)) total += b.sketch.count();
+  }
+  return total;
+}
+
+}  // namespace disco

@@ -1,0 +1,95 @@
+// Deterministic streaming quantile estimation (workload profiling).
+//
+// Two pieces, both fixed-memory and RNG-free so that same-seed runs of
+// the whole system stay byte-identical (docs/OBSERVABILITY.md):
+//
+// 1. P2Quantile -- the P^2 algorithm (Jain & Chlamtac, CACM 1985): a
+//    single quantile tracked with five markers whose heights are nudged
+//    by a piecewise-parabolic fit as observations stream in. O(1) per
+//    Add(), exact until the fifth observation.
+//
+// 2. SlidingWindowQuantile -- a ring of P2Quantile sub-sketches, each
+//    covering one fixed slice of *simulated* time. Old slices expire as
+//    the clock advances, so the estimate tracks the recent workload
+//    instead of the whole process lifetime -- the primitive behind the
+//    cost-model drift monitor (costmodel/drift.h).
+
+#ifndef DISCO_COMMON_SKETCH_H_
+#define DISCO_COMMON_SKETCH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace disco {
+
+/// Streaming estimate of the p-quantile of everything Add()ed.
+class P2Quantile {
+ public:
+  /// `p` in (0, 1); e.g. 0.9 tracks the P90.
+  explicit P2Quantile(double p = 0.5);
+
+  void Add(double x);
+
+  /// Current estimate: exact (nearest-rank on the sorted buffer) until
+  /// five observations exist, the P^2 marker height afterwards. 0 when
+  /// empty.
+  double Value() const;
+
+  int64_t count() const { return n_; }
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  int64_t n_ = 0;
+  std::array<double, 5> heights_{};    ///< marker heights q_i
+  std::array<double, 5> positions_{};  ///< actual marker positions n_i
+  std::array<double, 5> desired_{};    ///< desired positions n'_i
+  std::array<double, 5> increments_{}; ///< dn'_i per observation
+};
+
+/// The p-quantile of the last `window_ms` of simulated time, estimated
+/// from `num_buckets` tumbling sub-sketches: Add(now_ms, x) lands in the
+/// bucket covering now_ms, Value(now_ms) combines the still-live buckets
+/// (count-weighted mean of their P^2 estimates -- a coarse but
+/// deterministic approximation of the true window quantile). Timestamps
+/// must be nonnegative simulated milliseconds; they may arrive out of
+/// order within a bucket but the clock should not move backwards across
+/// buckets (stale Adds are dropped).
+class SlidingWindowQuantile {
+ public:
+  SlidingWindowQuantile(double p, double window_ms, int num_buckets = 6);
+
+  void Add(double now_ms, double x);
+
+  /// Combined estimate over buckets still inside the window at
+  /// `now_ms`; 0 when the window is empty.
+  double Value(double now_ms) const;
+
+  /// Observations still inside the window at `now_ms`.
+  int64_t count(double now_ms) const;
+
+  double p() const { return p_; }
+  double window_ms() const { return bucket_ms_ * num_buckets_; }
+
+ private:
+  struct Bucket {
+    int64_t index = -1;  ///< absolute slice number; -1 = never used
+    P2Quantile sketch{0.5};
+  };
+
+  int64_t SliceOf(double now_ms) const;
+  bool Live(const Bucket& b, int64_t now_slice) const {
+    return b.index >= 0 && b.index > now_slice - num_buckets_ &&
+           b.index <= now_slice;
+  }
+
+  double p_;
+  double bucket_ms_;
+  int num_buckets_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace disco
+
+#endif  // DISCO_COMMON_SKETCH_H_

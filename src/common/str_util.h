@@ -32,6 +32,11 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 std::string StringPrintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Escapes `s` for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters (\n, \t, \r, \uXXXX for the
+/// rest). Does not add the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
 /// Combines two hash values (boost::hash_combine recipe).
 inline size_t HashCombine(size_t seed, size_t h) {
   return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));

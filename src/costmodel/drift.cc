@@ -1,0 +1,215 @@
+#include "costmodel/drift.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "costmodel/accuracy.h"
+
+namespace disco {
+namespace costmodel {
+
+namespace {
+
+/// Maps a cell's scope to the administrative action that refreshes the
+/// cost information that scope came from.
+std::string RecommendationFor(const std::string& source, Scope scope) {
+  switch (scope) {
+    case Scope::kWrapper:
+    case Scope::kCollection:
+    case Scope::kPredicate:
+      return StringPrintf(
+          "re-register wrapper '%s' to refresh its %s-scope cost rules",
+          source.c_str(), ScopeToString(scope));
+    case Scope::kQuery:
+      return StringPrintf(
+          "re-register wrapper '%s' to drop stale query-scope records",
+          source.c_str());
+    case Scope::kDefault:
+    case Scope::kLocal:
+      return StringPrintf(
+          "recalibrate the generic model for '%s' (history adjustment "
+          "will re-converge as executions accumulate)",
+          source.c_str());
+  }
+  return "recalibrate '" + source + "'";
+}
+
+}  // namespace
+
+std::string DriftEvent::ToString() const {
+  return StringPrintf(
+      "drift #%lld at %.1f ms: (%s, %s, %s) windowed q %.2f vs baseline "
+      "%.2f -- %s",
+      static_cast<long long>(seq), at_ms, source.c_str(),
+      algebra::OpKindToString(kind), ScopeToString(scope), window_q,
+      baseline_q, recommendation.c_str());
+}
+
+DriftMonitor::DriftMonitor(DriftOptions options) : options_(options) {
+  options_.baseline_observations = std::max(1, options_.baseline_observations);
+  options_.min_window_observations =
+      std::max(1, options_.min_window_observations);
+}
+
+double DriftMonitor::ThresholdOf(const Cell& cell) const {
+  if (!cell.frozen || cell.frozen_baseline_q <= 0) return 0;
+  return options_.degrade_ratio * cell.frozen_baseline_q;
+}
+
+void DriftMonitor::Observe(const std::string& source, algebra::OpKind kind,
+                           Scope scope, double estimated_ms,
+                           double measured_ms, double now_ms) {
+  if (!options_.enabled) return;
+  const double q = AccuracyTracker::QError(estimated_ms, measured_ms);
+  Key key{ToLower(source), kind, scope};
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    it = cells_
+             .emplace(key, Cell(options_.quantile, options_.window_ms,
+                                options_.window_buckets))
+             .first;
+  }
+  Cell& cell = it->second;
+  ++cell.total;
+  ++num_observations_;
+
+  if (!cell.frozen) {
+    cell.baseline.Add(q);
+    if (cell.baseline.count() >= options_.baseline_observations) {
+      cell.frozen = true;
+      cell.frozen_baseline_q = cell.baseline.Value();
+    }
+  }
+  cell.window.Add(now_ms, q);
+
+  const double threshold = ThresholdOf(cell);
+  if (threshold <= 0) return;
+  const double window_q = cell.window.Value(now_ms);
+  const bool over =
+      cell.window.count(now_ms) >= options_.min_window_observations &&
+      window_q > threshold;
+  if (over && !cell.breached) {
+    // Latch and fire exactly once per breach.
+    cell.breached = true;
+    DriftEvent event;
+    event.seq = static_cast<int64_t>(events_.size()) + 1;
+    event.source = key.source;
+    event.kind = kind;
+    event.scope = scope;
+    event.at_ms = now_ms;
+    event.window_q = window_q;
+    event.baseline_q = cell.frozen_baseline_q;
+    event.recommendation = RecommendationFor(key.source, scope);
+    events_.push_back(event);
+    if (listener_) listener_(event);
+  } else if (!over && cell.breached && window_q <= threshold) {
+    // Recovered: re-arm so a future degradation alerts again.
+    cell.breached = false;
+  }
+}
+
+DriftMonitor::CellStatus DriftMonitor::StatusOf(const Key& key,
+                                                const Cell& cell,
+                                                double now_ms) const {
+  CellStatus s;
+  s.key = key;
+  s.total_observations = cell.total;
+  s.window_count = cell.window.count(now_ms);
+  s.window_q = cell.window.Value(now_ms);
+  s.baseline_q = cell.frozen ? cell.frozen_baseline_q : cell.baseline.Value();
+  s.baseline_frozen = cell.frozen;
+  s.breached = cell.breached;
+  return s;
+}
+
+std::vector<DriftMonitor::CellStatus> DriftMonitor::Cells(
+    double now_ms) const {
+  std::vector<CellStatus> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) {
+    out.push_back(StatusOf(key, cell, now_ms));
+  }
+  return out;
+}
+
+std::vector<DriftMonitor::CellStatus> DriftMonitor::RecommendRecalibration(
+    double now_ms) const {
+  std::vector<CellStatus> out;
+  for (const auto& [key, cell] : cells_) {
+    const double threshold = ThresholdOf(cell);
+    if (threshold <= 0) continue;
+    CellStatus s = StatusOf(key, cell, now_ms);
+    if (s.window_count >= options_.min_window_observations &&
+        s.window_q > threshold) {
+      out.push_back(std::move(s));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CellStatus& a, const CellStatus& b) {
+                     const double ra =
+                         a.baseline_q > 0 ? a.window_q / a.baseline_q : 0;
+                     const double rb =
+                         b.baseline_q > 0 ? b.window_q / b.baseline_q : 0;
+                     return ra > rb;
+                   });
+  return out;
+}
+
+void DriftMonitor::ResetBaseline(const std::string& source) {
+  const std::string lower = ToLower(source);
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    if (it->first.source == lower) {
+      it = cells_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int DriftMonitor::Refresh(double now_ms) {
+  int unlatched = 0;
+  for (auto& [key, cell] : cells_) {
+    if (!cell.breached) continue;
+    const double threshold = ThresholdOf(cell);
+    if (threshold <= 0 || cell.window.Value(now_ms) <= threshold) {
+      cell.breached = false;
+      ++unlatched;
+    }
+  }
+  return unlatched;
+}
+
+std::string DriftMonitor::FormatReport(double now_ms, int top_k) const {
+  std::vector<CellStatus> cells = Cells(now_ms);
+  std::stable_sort(cells.begin(), cells.end(),
+                   [](const CellStatus& a, const CellStatus& b) {
+                     return a.window_q > b.window_q;
+                   });
+  if (top_k > 0 && static_cast<int>(cells.size()) > top_k) {
+    cells.resize(static_cast<size_t>(top_k));
+  }
+  std::string out = StringPrintf(
+      "drift monitor: %lld observations, %lld event%s\n",
+      static_cast<long long>(num_observations_),
+      static_cast<long long>(events_.size()),
+      events_.size() == 1 ? "" : "s");
+  if (cells.empty()) {
+    out += "  (no cells tracked)\n";
+    return out;
+  }
+  out += StringPrintf("  %-12s %-10s %-10s %8s %10s %10s %s\n", "source",
+                      "operator", "scope", "window_n", "window_q",
+                      "baseline_q", "state");
+  for (const CellStatus& s : cells) {
+    out += StringPrintf(
+        "  %-12s %-10s %-10s %8lld %10.2f %10.2f %s\n", s.key.source.c_str(),
+        algebra::OpKindToString(s.key.kind), ScopeToString(s.key.scope),
+        static_cast<long long>(s.window_count), s.window_q, s.baseline_q,
+        s.breached ? "BREACHED"
+                   : (s.baseline_frozen ? "ok" : "baselining"));
+  }
+  return out;
+}
+
+}  // namespace costmodel
+}  // namespace disco

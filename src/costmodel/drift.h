@@ -1,0 +1,171 @@
+// Cost-model drift monitoring (the workload-over-time counterpart of
+// accuracy.h).
+//
+// The paper's dynamic extensions (§4.3) assume that per-source cost
+// knowledge goes stale: sources change load, data grows, wrappers get
+// rewritten. AccuracyTracker answers "how good has each layer of cost
+// information been since process start"; the DriftMonitor answers the
+// operational question "has the blended model *recently* stopped
+// tracking reality, and which rule scope should be recalibrated".
+//
+// Per (source, root operator, winning rule scope) cell it keeps
+//   - a *frozen baseline*: the q-error quantile over the first
+//     `baseline_observations` measurements (what "healthy" looked like
+//     when the cell first produced estimates), and
+//   - a *sliding window* of recent q-errors keyed on the simulated
+//     clock (common/sketch.h).
+// When the windowed quantile degrades beyond `degrade_ratio` times the
+// frozen baseline, the cell is *breached*: exactly one DriftEvent fires
+// (no alert storms) and the cell stays latched until the windowed
+// quantile comes back under the threshold -- which happens when
+// HistoryManager's adjustment factors re-converge, or after an
+// administrative re-registration (ResetBaseline).
+
+#ifndef DISCO_COSTMODEL_DRIFT_H_
+#define DISCO_COSTMODEL_DRIFT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "common/sketch.h"
+#include "costmodel/rule.h"
+
+namespace disco {
+namespace costmodel {
+
+struct DriftOptions {
+  /// Master switch; Observe() is a no-op when false.
+  bool enabled = true;
+  /// Quantile of the q-error distribution that is compared (0.9 = P90).
+  double quantile = 0.9;
+  /// Width of the sliding window, in simulated milliseconds.
+  double window_ms = 60000.0;
+  /// Sub-sketches the window is built from (granularity of expiry).
+  int window_buckets = 6;
+  /// Observations that freeze a cell's baseline.
+  int baseline_observations = 20;
+  /// Minimum observations inside the window before a breach can fire
+  /// (suppresses single-outlier alerts).
+  int min_window_observations = 5;
+  /// Breach threshold: windowed quantile > degrade_ratio * baseline.
+  double degrade_ratio = 2.0;
+};
+
+/// One raised drift alarm: the windowed q-error quantile of a cell
+/// degraded past the configured ratio of its frozen baseline.
+struct DriftEvent {
+  int64_t seq = 0;  ///< 1-based event number, monotonically increasing
+  std::string source;
+  algebra::OpKind kind = algebra::OpKind::kScan;
+  Scope scope = Scope::kDefault;
+  double at_ms = 0;       ///< simulated timestamp of the breach
+  double window_q = 0;    ///< windowed quantile at breach time
+  double baseline_q = 0;  ///< frozen baseline quantile
+  /// What to recalibrate, derived from the cell's scope: re-register
+  /// the wrapper (wrapper-provided scopes) or let history re-converge
+  /// (default/query scopes).
+  std::string recommendation;
+
+  std::string ToString() const;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftOptions options = {});
+
+  /// Feeds one measured execution: the estimate `estimated_ms`
+  /// (produced by a rule at `scope`) for a subquery rooted at `kind` on
+  /// `source`, against the `measured_ms` observed, at simulated time
+  /// `now_ms`. Same measurement path as HistoryManager::RecordExecution
+  /// and AccuracyTracker::Record -- the mediator calls all three.
+  void Observe(const std::string& source, algebra::OpKind kind, Scope scope,
+               double estimated_ms, double measured_ms, double now_ms);
+
+  /// Invoked synchronously from Observe() for each breach. The mediator
+  /// hooks DISCO_LOG + the disco.costmodel.drift_events counter + a
+  /// trace instant event here.
+  using Listener = std::function<void(const DriftEvent&)>;
+  void SetListener(Listener listener) { listener_ = std::move(listener); }
+
+  /// Every event raised so far, in order.
+  const std::vector<DriftEvent>& events() const { return events_; }
+
+  struct Key {
+    std::string source;  ///< lower-cased
+    algebra::OpKind kind = algebra::OpKind::kScan;
+    Scope scope = Scope::kDefault;
+    bool operator<(const Key& o) const {
+      if (source != o.source) return source < o.source;
+      if (kind != o.kind) return kind < o.kind;
+      return scope < o.scope;
+    }
+  };
+
+  /// Point-in-time view of one cell (for MonitorReport and tests).
+  struct CellStatus {
+    Key key;
+    int64_t total_observations = 0;
+    int64_t window_count = 0;  ///< observations still inside the window
+    double window_q = 0;       ///< windowed q-error quantile
+    double baseline_q = 0;     ///< frozen (or still-accumulating) baseline
+    bool baseline_frozen = false;
+    bool breached = false;     ///< currently latched past the threshold
+  };
+
+  /// All cells in key order, with window state evaluated at `now_ms`.
+  std::vector<CellStatus> Cells(double now_ms) const;
+
+  /// Cells currently past the threshold, worst (highest
+  /// window_q / baseline_q ratio) first: what to recalibrate next.
+  std::vector<CellStatus> RecommendRecalibration(double now_ms) const;
+
+  /// Forgets baselines, windows, and latches for `source` (case-
+  /// insensitive) -- an administrative statement that the source was
+  /// recalibrated (e.g. Mediator::ReRegisterWrapper). Fresh baselines
+  /// re-freeze from subsequent observations. Raised events are kept.
+  void ResetBaseline(const std::string& source);
+
+  /// Re-evaluates latches at `now_ms` without adding an observation:
+  /// cells whose windowed quantile fell back under the threshold
+  /// (because old samples expired) un-latch. Returns cells un-latched.
+  int Refresh(double now_ms);
+
+  const DriftOptions& options() const { return options_; }
+  int64_t num_observations() const { return num_observations_; }
+
+  /// Human-readable table of Cells(now_ms), worst window_q first,
+  /// capped at `top_k` rows (<= 0 = all).
+  std::string FormatReport(double now_ms, int top_k = 0) const;
+
+ private:
+  struct Cell {
+    P2Quantile baseline;
+    double frozen_baseline_q = 0;
+    bool frozen = false;
+    bool breached = false;
+    int64_t total = 0;
+    SlidingWindowQuantile window;
+    Cell(double quantile, double window_ms, int buckets)
+        : baseline(quantile), window(quantile, window_ms, buckets) {}
+  };
+
+  /// Threshold the windowed quantile is compared against; 0 while the
+  /// baseline is still accumulating (no breach possible).
+  double ThresholdOf(const Cell& cell) const;
+  CellStatus StatusOf(const Key& key, const Cell& cell, double now_ms) const;
+
+  DriftOptions options_;
+  std::map<Key, Cell> cells_;
+  std::vector<DriftEvent> events_;
+  Listener listener_;
+  int64_t num_observations_ = 0;
+};
+
+}  // namespace costmodel
+}  // namespace disco
+
+#endif  // DISCO_COSTMODEL_DRIFT_H_

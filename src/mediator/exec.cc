@@ -170,6 +170,7 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
       record.source = source;
       record.subplan = subplan.Clone();
       record.source_ms = result->total_ms;
+      record.attempts = attempt;
       const auto n = static_cast<double>(result->tuples.size());
       record.measured = costmodel::CostVector::Full(
           n, static_cast<double>(bytes),

@@ -83,6 +83,7 @@ struct SubqueryRecord {
   std::unique_ptr<algebra::Operator> subplan;
   costmodel::CostVector measured;
   double source_ms = 0;  ///< execution time at the source (excl. comm)
+  int attempts = 1;      ///< submit attempts this record took (retries incl.)
 };
 
 struct ExecResult {

@@ -1,5 +1,6 @@
 #include "mediator/mediator.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "algebra/plan_printer.h"
@@ -10,13 +11,25 @@
 namespace disco {
 namespace mediator {
 
+namespace {
+
+/// 16-hex structural hash identifying a plan shape in the query log.
+std::string PlanFingerprint(const algebra::Operator& plan) {
+  return StringPrintf("%016llx",
+                      static_cast<unsigned long long>(plan.Hash()));
+}
+
+}  // namespace
+
 Mediator::Mediator(MediatorOptions options)
     : options_(std::move(options)),
       history_(options_.history_alpha),
       estimator_(&registry_, &catalog_,
                  options_.record_history ? &history_ : nullptr),
       optimizer_(&estimator_, &caps_),
-      health_(options_.breaker) {
+      health_(options_.breaker),
+      drift_(options_.drift),
+      query_log_(options_.query_log_capacity) {
   Status s = costmodel::InstallGenericModel(&registry_, options_.calibration);
   DISCO_CHECK(s.ok()) << "generic cost model failed to install: "
                       << s.ToString();
@@ -26,6 +39,9 @@ Mediator::Mediator(MediatorOptions options)
                                        BreakerState from, BreakerState to,
                                        double now_ms) {
     metrics_.counter("disco.breaker.transitions")->Increment();
+    FlapCount& flaps = breaker_flaps_[source];
+    ++flaps.transitions;
+    if (to == BreakerState::kOpen) ++flaps.opens;
     if (to == BreakerState::kOpen) {
       metrics_.counter("disco.breaker.opens")->Increment();
       DISCO_LOG(Warning) << "circuit breaker for source '" << source
@@ -39,6 +55,19 @@ Mediator::Mediator(MediatorOptions options)
                        BreakerStateToString(from), BreakerStateToString(to)),
           "breaker");
       active_trace_->AddArg(mark, "source", source);
+    }
+  });
+  // Drift breaches become a counter, a warning log line, and -- during
+  // an execution -- an instant trace event carrying the recommendation.
+  drift_.SetListener([this](const costmodel::DriftEvent& event) {
+    metrics_.counter("disco.costmodel.drift_events")->Increment();
+    DISCO_LOG(Warning) << "cost-model drift: " << event.ToString();
+    if (active_trace_ != nullptr) {
+      int mark = active_trace_->Instant(
+          StringPrintf("cost-model drift @%s", event.source.c_str()),
+          "drift");
+      active_trace_->AddArg(mark, "source", event.source);
+      active_trace_->AddArg(mark, "recommendation", event.recommendation);
     }
   });
 }
@@ -83,8 +112,10 @@ Status Mediator::ReRegisterWrapper(const std::string& name) {
   }
   caps_.Set(w->name(), w->ExportCapabilities());
   // An administrative refresh is a statement that the source is (again)
-  // trustworthy: forget its breaker state.
+  // trustworthy: forget its breaker state, and let the drift monitor
+  // re-freeze its baselines against the refreshed cost knowledge.
   health_.Reset(w->name());
+  drift_.ResetBaseline(w->name());
   return Status::OK();
 }
 
@@ -158,9 +189,13 @@ Result<std::string> Mediator::ExplainAnalyze(const std::string& sql) {
                          estimator_.Estimate(*plan.plan, full));
 
   NodeMeasureMap measures;
+  const double start_ms = sim_now_ms_;
   DISCO_ASSIGN_OR_RETURN(
       QueryResult executed,
       ExecuteInternal(*plan.plan, nullptr, nullptr, trace.get(), &measures));
+  executed.estimated_ms = plan.estimated_ms;
+  executed.plan_fingerprint = PlanFingerprint(*plan.plan);
+  RecordQueryLog(sql, start_ms, executed);
 
   ExplainAnalyzeReport report;
   report.plan = plan.plan.get();
@@ -213,10 +248,16 @@ void AddReplicaWarnings(const optimizer::OptimizedPlan& plan,
 
 Result<QueryResult> Mediator::Query(const std::string& sql) {
   metrics_.counter("disco.query.count")->Increment();
+  const double start_ms = sim_now_ms_;
   tracing::TraceHandle trace = NewTrace();
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     tracing::ScopedSpan query_span(trace.get(), "query");
     query_span.Arg("sql", sql);
+    // The flight-recorder seq doubles as the trace id: stamping it on
+    // the root span ties a trace file back to its JSONL log line.
+    if (query_log_.enabled()) {
+      query_span.Arg("trace_id", query_log_.next_seq());
+    }
     Result<QueryResult> r = QueryWithTrace(sql, trace.get());
     if (!r.ok()) query_span.Arg("error", r.status().ToString());
     return r;
@@ -227,7 +268,32 @@ Result<QueryResult> Mediator::Query(const std::string& sql) {
   } else {
     metrics_.counter("disco.query.errors")->Increment();
   }
+  RecordQueryLog(sql, start_ms, result);
   return result;
+}
+
+void Mediator::RecordQueryLog(const std::string& sql, double start_ms,
+                              const Result<QueryResult>& result) {
+  std::vector<QueryLogSubmit> submits = std::move(last_submits_);
+  last_submits_.clear();
+  if (!query_log_.enabled()) return;
+  QueryLogEntry entry;
+  entry.sql = sql;
+  entry.start_ms = start_ms;
+  if (result.ok()) {
+    entry.plan_fingerprint = result->plan_fingerprint;
+    entry.estimated_ms = result->estimated_ms;
+    entry.measured_ms = result->measured_ms;
+    entry.replans = result->replans;
+    for (const ExecWarning& w : result->warnings) {
+      entry.warnings.push_back(w.ToString());
+    }
+  } else {
+    entry.ok = false;
+    entry.error = result.status().ToString();
+  }
+  entry.submits = std::move(submits);
+  query_log_.Record(std::move(entry));
 }
 
 Result<QueryResult> Mediator::QueryWithTrace(const std::string& sql,
@@ -268,6 +334,7 @@ Result<QueryResult> Mediator::QueryWithTrace(const std::string& sql,
   if (result.ok()) {
     result->estimated_ms = plan.estimated_ms;
     result->optimizer_stats = plan.stats;
+    result->plan_fingerprint = PlanFingerprint(*plan.plan);
     AddReplicaWarnings(plan, catalog_, health_, sim_now_ms_, &metrics_,
                        &*result);
     return result;
@@ -278,21 +345,32 @@ Result<QueryResult> Mediator::QueryWithTrace(const std::string& sql,
   }
   // A source died mid-execution: replan once around it. Only worth
   // re-executing when the new plan actually avoids every dead source.
-  metrics_.counter("disco.query.replans")->Increment();
+  // The whole recovery (re-optimize + re-execute) gets its own span so
+  // the replan's cost is visible in the timeline.
+  metrics_.counter("disco.mediator.replans")->Increment();
   DISCO_LOG(Info) << "replanning around unavailable source(s): "
                   << JoinStrings(failed, ", ");
+  tracing::ScopedSpan replan_span(trace, "replan");
+  replan_span.Arg("failed_sources", JoinStrings(failed, ","));
   Result<optimizer::OptimizedPlan> replanned = [&] {
     tracing::ScopedSpan span(trace, "replan-optimize");
     return optimizer_.Optimize(bound, PlanningOptions(failed, trace));
   }();
   if (!replanned.ok() || PlanUsesAnySource(*replanned->plan, failed)) {
+    replan_span.Arg("outcome", "no-alternative-plan");
     return result;
   }
   Result<QueryResult> second =
       ExecuteInternal(*replanned->plan, nullptr, nullptr, trace);
-  if (!second.ok()) return result;  // report the original failure
+  if (!second.ok()) {
+    replan_span.Arg("outcome", "re-execution-failed");
+    return result;  // report the original failure
+  }
+  replan_span.Arg("outcome", "recovered");
   second->estimated_ms = replanned->estimated_ms;
   second->optimizer_stats = replanned->stats;
+  second->plan_fingerprint = PlanFingerprint(*replanned->plan);
+  second->replans = 1;
   // The failed first execution still happened: charge its time.
   second->measured_ms += first_attempt_ms;
   metrics_.counter("disco.exec.warnings")->Increment();
@@ -310,12 +388,19 @@ Result<QueryResult> Mediator::QueryWithTrace(const std::string& sql,
 }
 
 Result<QueryResult> Mediator::Execute(const algebra::Operator& plan) {
+  const double start_ms = sim_now_ms_;
   tracing::TraceHandle trace = NewTrace();
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     tracing::ScopedSpan span(trace.get(), "execute-plan");
     return ExecuteInternal(plan, nullptr, nullptr, trace.get());
   }();
-  if (result.ok()) result->trace = trace;
+  if (result.ok()) {
+    result->trace = trace;
+    result->plan_fingerprint = PlanFingerprint(plan);
+  }
+  // Plan-level executions leave a fingerprint-only entry (empty SQL):
+  // replay skips them, but the flight recorder stays complete.
+  RecordQueryLog("", start_ms, result);
   return result;
 }
 
@@ -330,11 +415,14 @@ Result<QueryResult> Mediator::ExecuteInternal(
   exec.set_trace(trace);
   exec.set_metrics(&metrics_);
   exec.set_node_measures(node_measures);
+  // Breaker transitions and drift breaches land as instant events on
+  // the active trace; drift fires from the feedback loop below, so the
+  // trace stays active through it.
+  active_trace_ = trace;
+  last_submits_.clear();
   Result<ExecResult> raw = [&]() -> Result<ExecResult> {
     tracing::ScopedSpan span(trace, "execute");
-    active_trace_ = trace;  // breaker transitions land as instant events
     Result<ExecResult> r = exec.Execute(plan);
-    active_trace_ = nullptr;
     if (!r.ok()) span.Arg("error", r.status().ToString());
     return r;
   }();
@@ -343,7 +431,10 @@ Result<QueryResult> Mediator::ExecuteInternal(
   sim_now_ms_ += exec.elapsed_ms();
   if (failed_sources != nullptr) *failed_sources = exec.failed_sources();
   if (elapsed_ms != nullptr) *elapsed_ms = exec.elapsed_ms();
-  if (!raw.ok()) return raw.status();
+  if (!raw.ok()) {
+    active_trace_ = nullptr;
+    return raw.status();
+  }
 
   // Feed measured subquery costs back into the history mechanism (the
   // query scope records the exact cost; the adjustment factor tracks
@@ -360,9 +451,9 @@ Result<QueryResult> Mediator::ExecuteInternal(
       scored.collect_explain = true;
       Result<costmodel::PlanEstimate> believed =
           estimator_.EstimateAt(*record.subplan, record.source, scored);
+      costmodel::Scope scope = costmodel::Scope::kDefault;
       if (believed.ok() && !believed->explain.empty()) {
         const costmodel::NodeExplain& root = believed->explain.front();
-        costmodel::Scope scope = costmodel::Scope::kDefault;
         if (root.from_query_scope) {
           scope = costmodel::Scope::kQuery;
         } else {
@@ -373,6 +464,22 @@ Result<QueryResult> Mediator::ExecuteInternal(
         accuracy_.Record(record.source, record.subplan->kind, scope,
                          believed->root.total_time(),
                          record.measured.total_time());
+        // Same (estimate, measurement, scope) triple goes to the drift
+        // monitor, stamped with the post-execution simulated clock.
+        drift_.Observe(record.source, record.subplan->kind, scope,
+                       believed->root.total_time(),
+                       record.measured.total_time(), sim_now_ms_);
+      }
+
+      if (query_log_.enabled()) {
+        QueryLogSubmit submit;
+        submit.source = ToLower(record.source);
+        submit.subplan = record.subplan->ToString();
+        submit.scope = costmodel::ScopeToString(scope);
+        submit.attempts = record.attempts;
+        if (believed.ok()) submit.estimated = believed->root;
+        submit.measured = record.measured;
+        last_submits_.push_back(std::move(submit));
       }
 
       costmodel::EstimateOptions no_history;
@@ -387,6 +494,7 @@ Result<QueryResult> Mediator::ExecuteInternal(
     }
     span.Arg("subqueries", static_cast<int64_t>(raw->subqueries.size()));
   }
+  active_trace_ = nullptr;
 
   QueryResult out;
   out.columns = std::move(raw->columns);
@@ -395,6 +503,86 @@ Result<QueryResult> Mediator::ExecuteInternal(
   out.measured_ms = raw->measured_ms;
   out.warnings = std::move(raw->warnings);
   return out;
+}
+
+MonitorSnapshot Mediator::MonitorReport(int top_k) const {
+  MonitorSnapshot snap;
+  snap.now_ms = sim_now_ms_;
+
+  const metrics::RegistrySnapshot m = metrics_.TakeSnapshot();
+  auto counter = [&m](const char* name) -> int64_t {
+    auto it = m.counters.find(name);
+    return it == m.counters.end() ? 0 : it->second;
+  };
+  snap.queries = counter("disco.query.count");
+  snap.query_errors = counter("disco.query.errors");
+  snap.replans = counter("disco.mediator.replans");
+  snap.explain_analyzes = counter("disco.explain_analyze.count");
+  snap.submits = counter("disco.exec.submits");
+  snap.submit_retries = counter("disco.exec.submit_retries");
+  snap.submit_failures = counter("disco.exec.submit_failures");
+  snap.breaker_rejections = counter("disco.exec.breaker_rejections");
+  snap.drift_events = counter("disco.costmodel.drift_events");
+  snap.retry_max_attempts = options_.fault_tolerance.retry.max_attempts;
+
+  snap.log_size = query_log_.size();
+  snap.log_capacity = query_log_.capacity();
+  snap.log_dropped = query_log_.dropped();
+  snap.log_total = query_log_.total_recorded();
+
+  // Worst drift cells first: highest windowed q-error, breached cells
+  // breaking ties ahead of healthy ones (key order breaks the rest, so
+  // the ranking is deterministic).
+  std::vector<costmodel::DriftMonitor::CellStatus> cells =
+      drift_.Cells(sim_now_ms_);
+  std::stable_sort(cells.begin(), cells.end(),
+                   [](const costmodel::DriftMonitor::CellStatus& a,
+                      const costmodel::DriftMonitor::CellStatus& b) {
+                     if (a.breached != b.breached) return a.breached;
+                     return a.window_q > b.window_q;
+                   });
+  if (top_k > 0 && cells.size() > static_cast<size_t>(top_k)) {
+    cells.resize(top_k);
+  }
+  for (const costmodel::DriftMonitor::CellStatus& c : cells) {
+    MonitorDriftRow row;
+    row.source = c.key.source;
+    row.op = algebra::OpKindToString(c.key.kind);
+    row.scope = costmodel::ScopeToString(c.key.scope);
+    row.window_count = c.window_count;
+    row.window_q = c.window_q;
+    row.baseline_q = c.baseline_frozen ? c.baseline_q : 0;
+    row.breached = c.breached;
+    snap.worst_cells.push_back(std::move(row));
+  }
+  const std::vector<costmodel::DriftEvent>& events = drift_.events();
+  const size_t first =
+      top_k > 0 && events.size() > static_cast<size_t>(top_k)
+          ? events.size() - static_cast<size_t>(top_k)
+          : 0;
+  for (size_t i = first; i < events.size(); ++i) {
+    snap.recent_events.push_back(events[i].ToString());
+  }
+
+  std::vector<std::string> sources;
+  for (const auto& w : wrappers_) sources.push_back(ToLower(w->name()));
+  std::sort(sources.begin(), sources.end());
+  for (const std::string& source : sources) {
+    const SourceHealth h = health_.Health(source);
+    MonitorBreakerRow row;
+    row.source = source;
+    row.state = BreakerStateToString(health_.StateAt(source, sim_now_ms_));
+    auto it = breaker_flaps_.find(source);
+    if (it != breaker_flaps_.end()) {
+      row.transitions = it->second.transitions;
+      row.opens = it->second.opens;
+    }
+    row.rejected_submits = h.rejected_submits;
+    row.failures = h.total_failures;
+    row.successes = h.total_successes;
+    snap.breakers.push_back(std::move(row));
+  }
+  return snap;
 }
 
 }  // namespace mediator

@@ -22,11 +22,14 @@
 #include "common/result.h"
 #include "common/tracing.h"
 #include "costmodel/accuracy.h"
+#include "costmodel/drift.h"
 #include "costmodel/estimator.h"
 #include "costmodel/generic_model.h"
 #include "costmodel/history.h"
 #include "costmodel/registry.h"
 #include "mediator/exec.h"
+#include "mediator/monitor_report.h"
+#include "mediator/query_log.h"
 #include "mediator/source_health.h"
 #include "optimizer/optimizer.h"
 #include "query/binder.h"
@@ -57,14 +60,23 @@ struct MediatorOptions {
   /// by the simulated clock, so traces are bit-identical across runs;
   /// see docs/OBSERVABILITY.md.
   bool collect_traces = true;
+  /// Cost-model drift monitoring thresholds (costmodel/drift.h); set
+  /// drift.enabled = false to turn the monitor off.
+  costmodel::DriftOptions drift;
+  /// Entries retained by the query-log flight recorder (0 disables it).
+  size_t query_log_capacity = 256;
 };
 
 struct QueryResult {
   std::vector<std::string> columns;
   std::vector<storage::Tuple> tuples;
   std::string plan_text;   ///< pretty-printed chosen plan
+  /// 16-hex structural hash of the executed plan (the replanned one if a
+  /// mid-query replan happened); also the query log's fingerprint.
+  std::string plan_fingerprint;
   double estimated_ms = 0; ///< optimizer's estimate of the chosen plan
   double measured_ms = 0;  ///< simulated execution time
+  int replans = 0;         ///< mid-query replans that happened (0 or 1)
   optimizer::EnumStats optimizer_stats;
   /// Degradations survived while answering (retries that recovered,
   /// dropped union branches, replica rerouting). Empty on a clean run.
@@ -139,6 +151,19 @@ class Mediator {
   /// Cumulative estimated-vs-measured scoreboard per (source, operator,
   /// winning rule scope).
   const costmodel::AccuracyTracker& accuracy() const { return accuracy_; }
+  /// Windowed q-error drift monitor fed by the same measurement path as
+  /// the history mechanism (docs/OBSERVABILITY.md).
+  costmodel::DriftMonitor* drift() { return &drift_; }
+  const costmodel::DriftMonitor& drift() const { return drift_; }
+  /// Bounded flight recorder of executed queries (JSONL exportable,
+  /// replayable via mediator/replay.h).
+  QueryLog* query_log() { return &query_log_; }
+  const QueryLog& query_log() const { return query_log_; }
+  /// Dashboard-style operational snapshot: query volume, retry-budget
+  /// consumption, breaker flaps, query-log occupancy, and the `top_k`
+  /// worst drift cells by windowed q-error. Deterministic: two same-seed
+  /// runs render byte-identical reports.
+  MonitorSnapshot MonitorReport(int top_k = 5) const;
   /// Cumulative simulated execution time across all queries -- the
   /// clock circuit-breaker cooldowns run on.
   double sim_now_ms() const { return sim_now_ms_; }
@@ -165,6 +190,10 @@ class Mediator {
                                       NodeMeasureMap* node_measures = nullptr);
   /// New trace anchored at the mediator clock, or null when disabled.
   tracing::TraceHandle NewTrace() const;
+  /// Files one flight-recorder entry for `result` (consumes the submits
+  /// collected by the last ExecuteInternal). No-op when the log is off.
+  void RecordQueryLog(const std::string& sql, double start_ms,
+                      const Result<QueryResult>& result);
 
   MediatorOptions options_;
   Catalog catalog_;
@@ -178,8 +207,20 @@ class Mediator {
   double sim_now_ms_ = 0;
   metrics::Registry metrics_;
   costmodel::AccuracyTracker accuracy_;
+  costmodel::DriftMonitor drift_;
+  QueryLog query_log_;
+  /// Per-submit estimate-vs-measurement details of the most recent
+  /// ExecuteInternal, consumed by RecordQueryLog.
+  std::vector<QueryLogSubmit> last_submits_;
+  /// Lifetime breaker flap counts per lower-cased source (MonitorReport).
+  struct FlapCount {
+    int64_t transitions = 0;
+    int64_t opens = 0;
+  };
+  std::map<std::string, FlapCount> breaker_flaps_;
   /// Trace of the execution currently in flight (breaker transitions
-  /// reported by the health registry land here as instant events).
+  /// reported by the health registry and drift events land here as
+  /// instant events).
   tracing::Trace* active_trace_ = nullptr;
 };
 

@@ -1,0 +1,110 @@
+#include "mediator/monitor_report.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace mediator {
+
+std::string MonitorSnapshot::ToText() const {
+  std::string out = StringPrintf("== mediator monitor @ %.1f ms\n", now_ms);
+  out += StringPrintf(
+      "queries: %lld (%lld errors, %lld replans, %lld explain-analyze)\n",
+      static_cast<long long>(queries), static_cast<long long>(query_errors),
+      static_cast<long long>(replans),
+      static_cast<long long>(explain_analyzes));
+  out += StringPrintf(
+      "submits: %lld (%lld retries, %lld exhausted, %lld breaker-rejected; "
+      "budget %d attempts/submit)\n",
+      static_cast<long long>(submits), static_cast<long long>(submit_retries),
+      static_cast<long long>(submit_failures),
+      static_cast<long long>(breaker_rejections), retry_max_attempts);
+  out += StringPrintf(
+      "query log: %zu/%zu entries (%lld recorded, %lld dropped)\n", log_size,
+      log_capacity, static_cast<long long>(log_total),
+      static_cast<long long>(log_dropped));
+
+  out += StringPrintf("breakers (%zu sources):\n", breakers.size());
+  for (const MonitorBreakerRow& b : breakers) {
+    out += StringPrintf(
+        "  %-12s %-9s flaps=%lld opens=%lld rejected=%lld ok=%lld fail=%lld\n",
+        b.source.c_str(), b.state.c_str(),
+        static_cast<long long>(b.transitions), static_cast<long long>(b.opens),
+        static_cast<long long>(b.rejected_submits),
+        static_cast<long long>(b.successes),
+        static_cast<long long>(b.failures));
+  }
+
+  out += StringPrintf("drift: %lld event%s raised\n",
+                      static_cast<long long>(drift_events),
+                      drift_events == 1 ? "" : "s");
+  if (!worst_cells.empty()) {
+    out += StringPrintf("  %-12s %-10s %-10s %8s %10s %10s  %s\n", "source",
+                        "operator", "scope", "n(win)", "window_q",
+                        "baseline_q", "status");
+    for (const MonitorDriftRow& c : worst_cells) {
+      out += StringPrintf("  %-12s %-10s %-10s %8lld %10.3f %10.3f  %s\n",
+                          c.source.c_str(), c.op.c_str(), c.scope.c_str(),
+                          static_cast<long long>(c.window_count), c.window_q,
+                          c.baseline_q,
+                          c.breached ? "BREACHED" : "ok");
+    }
+  }
+  for (const std::string& e : recent_events) {
+    out += "  event: " + e + "\n";
+  }
+  return out;
+}
+
+std::string MonitorSnapshot::ToJson() const {
+  std::string out = StringPrintf(
+      "{\"now_ms\":%.3f,\"queries\":%lld,\"query_errors\":%lld,"
+      "\"replans\":%lld,\"explain_analyzes\":%lld,"
+      "\"submits\":%lld,\"submit_retries\":%lld,\"submit_failures\":%lld,"
+      "\"breaker_rejections\":%lld,\"retry_max_attempts\":%d,"
+      "\"query_log\":{\"size\":%zu,\"capacity\":%zu,\"recorded\":%lld,"
+      "\"dropped\":%lld},\"drift_events\":%lld,\"worst_cells\":[",
+      now_ms, static_cast<long long>(queries),
+      static_cast<long long>(query_errors), static_cast<long long>(replans),
+      static_cast<long long>(explain_analyzes),
+      static_cast<long long>(submits), static_cast<long long>(submit_retries),
+      static_cast<long long>(submit_failures),
+      static_cast<long long>(breaker_rejections), retry_max_attempts,
+      log_size, log_capacity, static_cast<long long>(log_total),
+      static_cast<long long>(log_dropped),
+      static_cast<long long>(drift_events));
+  for (size_t i = 0; i < worst_cells.size(); ++i) {
+    const MonitorDriftRow& c = worst_cells[i];
+    out += StringPrintf(
+        "%s{\"source\":\"%s\",\"op\":\"%s\",\"scope\":\"%s\","
+        "\"window_count\":%lld,\"window_q\":%.3f,\"baseline_q\":%.3f,"
+        "\"breached\":%s}",
+        i == 0 ? "" : ",", JsonEscape(c.source).c_str(),
+        JsonEscape(c.op).c_str(), JsonEscape(c.scope).c_str(),
+        static_cast<long long>(c.window_count), c.window_q, c.baseline_q,
+        c.breached ? "true" : "false");
+  }
+  out += "],\"recent_events\":[";
+  for (size_t i = 0; i < recent_events.size(); ++i) {
+    out += StringPrintf("%s\"%s\"", i == 0 ? "" : ",",
+                        JsonEscape(recent_events[i]).c_str());
+  }
+  out += "],\"breakers\":[";
+  for (size_t i = 0; i < breakers.size(); ++i) {
+    const MonitorBreakerRow& b = breakers[i];
+    out += StringPrintf(
+        "%s{\"source\":\"%s\",\"state\":\"%s\",\"transitions\":%lld,"
+        "\"opens\":%lld,\"rejected_submits\":%lld,\"failures\":%lld,"
+        "\"successes\":%lld}",
+        i == 0 ? "" : ",", JsonEscape(b.source).c_str(),
+        JsonEscape(b.state).c_str(), static_cast<long long>(b.transitions),
+        static_cast<long long>(b.opens),
+        static_cast<long long>(b.rejected_submits),
+        static_cast<long long>(b.failures),
+        static_cast<long long>(b.successes));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mediator
+}  // namespace disco

@@ -1,0 +1,82 @@
+// MonitorSnapshot: the dashboard-style operational report behind
+// Mediator::MonitorReport() -- one deterministic picture of query
+// volume, retry-budget consumption, breaker flapping, query-log
+// occupancy, and the worst cost-model drift cells, renderable as text
+// or JSON (field catalog in docs/OBSERVABILITY.md).
+//
+// Everything in the snapshot derives from simulated-clock state, so two
+// same-seed runs render byte-identical reports.
+
+#ifndef DISCO_MEDIATOR_MONITOR_REPORT_H_
+#define DISCO_MEDIATOR_MONITOR_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace disco {
+namespace mediator {
+
+/// One registered source's breaker line.
+struct MonitorBreakerRow {
+  std::string source;       ///< lower-cased
+  std::string state;        ///< effective state at snapshot time
+  int64_t transitions = 0;  ///< lifetime state changes ("flaps")
+  int64_t opens = 0;        ///< transitions into open
+  int64_t rejected_submits = 0;
+  int64_t failures = 0;
+  int64_t successes = 0;
+};
+
+/// One (source, operator, rule scope) drift cell, worst first.
+struct MonitorDriftRow {
+  std::string source;
+  std::string op;     ///< root operator kind of the subquery
+  std::string scope;  ///< winning rule scope behind the estimates
+  int64_t window_count = 0;
+  double window_q = 0;    ///< windowed q-error quantile
+  double baseline_q = 0;  ///< frozen baseline quantile (0 = not frozen)
+  bool breached = false;  ///< currently latched past the drift threshold
+};
+
+struct MonitorSnapshot {
+  double now_ms = 0;  ///< simulated clock at snapshot time
+
+  // Query volume.
+  int64_t queries = 0;
+  int64_t query_errors = 0;
+  int64_t replans = 0;
+  int64_t explain_analyzes = 0;
+
+  // Retry-budget consumption across all submits.
+  int retry_max_attempts = 0;  ///< configured per-submit budget
+  int64_t submits = 0;
+  int64_t submit_retries = 0;
+  int64_t submit_failures = 0;  ///< submits that exhausted the budget
+  int64_t breaker_rejections = 0;
+
+  // Flight-recorder occupancy.
+  size_t log_size = 0;
+  size_t log_capacity = 0;
+  int64_t log_dropped = 0;
+  int64_t log_total = 0;
+
+  // Cost-model drift.
+  int64_t drift_events = 0;
+  /// Top-K cells by windowed q-error (worst first).
+  std::vector<MonitorDriftRow> worst_cells;
+  /// ToString() of the most recent drift events (each names the cell
+  /// and carries a recalibration recommendation), oldest first.
+  std::vector<std::string> recent_events;
+
+  /// One row per registered source, name order.
+  std::vector<MonitorBreakerRow> breakers;
+
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+}  // namespace mediator
+}  // namespace disco
+
+#endif  // DISCO_MEDIATOR_MONITOR_REPORT_H_

@@ -1,0 +1,201 @@
+#include "mediator/query_log.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace mediator {
+
+namespace {
+
+/// Compact JSON rendering of the six cost variables.
+std::string CostVectorJson(const costmodel::CostVector& v) {
+  return StringPrintf(
+      "{\"total_ms\":%.3f,\"first_ms\":%.3f,\"next_ms\":%.3f,"
+      "\"rows\":%.1f,\"bytes\":%.1f,\"obj_bytes\":%.1f}",
+      v.total_time(), v.time_first(), v.time_next(), v.count_object(),
+      v.total_size(), v.object_size());
+}
+
+}  // namespace
+
+std::string QueryLogEntry::ToJson() const {
+  // Field order matters for the tolerant parser in ParseJsonLine: the
+  // replay-critical numeric fields and "sql" come before any
+  // free-form string content (error text, warnings), so a hostile
+  // query string cannot shadow them.
+  std::string out = StringPrintf(
+      "{\"seq\":%lld,\"trace_id\":%lld,\"start_ms\":%.3f,"
+      "\"estimated_ms\":%.3f,\"measured_ms\":%.3f,\"ok\":%s,\"replans\":%d,"
+      "\"sql\":\"%s\",\"plan_fingerprint\":\"%s\",\"error\":\"%s\","
+      "\"warnings\":[",
+      static_cast<long long>(seq), static_cast<long long>(seq), start_ms,
+      estimated_ms, measured_ms, ok ? "true" : "false", replans,
+      JsonEscape(sql).c_str(), JsonEscape(plan_fingerprint).c_str(),
+      JsonEscape(error).c_str());
+  for (size_t i = 0; i < warnings.size(); ++i) {
+    out += StringPrintf("%s\"%s\"", i == 0 ? "" : ",",
+                        JsonEscape(warnings[i]).c_str());
+  }
+  out += "],\"submits\":[";
+  for (size_t i = 0; i < submits.size(); ++i) {
+    const QueryLogSubmit& s = submits[i];
+    out += StringPrintf(
+        "%s{\"source\":\"%s\",\"subplan\":\"%s\",\"scope\":\"%s\","
+        "\"attempts\":%d,\"estimated\":%s,\"measured\":%s}",
+        i == 0 ? "" : ",", JsonEscape(s.source).c_str(),
+        JsonEscape(s.subplan).c_str(), JsonEscape(s.scope).c_str(),
+        s.attempts, CostVectorJson(s.estimated).c_str(),
+        CostVectorJson(s.measured).c_str());
+  }
+  out += "]}";
+  return out;
+}
+
+QueryLog::QueryLog(size_t capacity) : capacity_(capacity) {
+  if (capacity_ > 0) entries_.reserve(capacity_);
+}
+
+int64_t QueryLog::Record(QueryLogEntry entry) {
+  if (capacity_ == 0) return 0;
+  entry.seq = ++total_recorded_;
+  const int64_t seq = entry.seq;
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(entry));
+  } else {
+    // Overwrite the oldest slot; head_ chases the ring.
+    entries_[head_] = std::move(entry);
+    head_ = (head_ + 1) % capacity_;
+  }
+  return seq;
+}
+
+std::vector<QueryLogEntry> QueryLog::Entries() const {
+  std::vector<QueryLogEntry> out;
+  out.reserve(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out.push_back(entries_[(head_ + i) % entries_.size()]);
+  }
+  return out;
+}
+
+const QueryLogEntry* QueryLog::Last() const {
+  if (entries_.empty()) return nullptr;
+  const size_t newest =
+      (head_ + entries_.size() - 1) % entries_.size();
+  return &entries_[newest];
+}
+
+std::string QueryLog::ToJsonl() const {
+  std::string out;
+  for (const QueryLogEntry& e : Entries()) {
+    out += e.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+void QueryLog::Clear() {
+  entries_.clear();
+  head_ = 0;
+}
+
+namespace internal {
+
+namespace {
+
+/// Position just past `"key":`, or npos.
+size_t FindKey(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+}  // namespace
+
+std::optional<std::string> JsonStringField(const std::string& line,
+                                           const std::string& key) {
+  size_t at = FindKey(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') {
+    return std::nullopt;
+  }
+  ++at;
+  std::string out;
+  while (at < line.size()) {
+    const char c = line[at];
+    if (c == '"') return out;
+    if (c == '\\' && at + 1 < line.size()) {
+      const char esc = line[at + 1];
+      switch (esc) {
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (at + 5 < line.size()) {
+            const std::string hex = line.substr(at + 2, 4);
+            const long cp = std::strtol(hex.c_str(), nullptr, 16);
+            if (cp > 0 && cp < 0x80) out += static_cast<char>(cp);
+            at += 4;
+          }
+          break;
+        }
+        default:
+          out += esc;  // \" \\ \/ and anything else: literal
+      }
+      at += 2;
+    } else {
+      out += c;
+      ++at;
+    }
+  }
+  return std::nullopt;  // unterminated string
+}
+
+std::optional<double> JsonNumberField(const std::string& line,
+                                      const std::string& key) {
+  const size_t at = FindKey(line, key);
+  if (at == std::string::npos) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(line.c_str() + at, &end);
+  if (end == line.c_str() + at) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> JsonBoolField(const std::string& line,
+                                  const std::string& key) {
+  const size_t at = FindKey(line, key);
+  if (at == std::string::npos) return std::nullopt;
+  if (line.compare(at, 4, "true") == 0) return true;
+  if (line.compare(at, 5, "false") == 0) return false;
+  return std::nullopt;
+}
+
+}  // namespace internal
+
+std::optional<ParsedLogEntry> QueryLog::ParseJsonLine(
+    const std::string& line) {
+  const std::string_view stripped = StripWhitespace(line);
+  if (stripped.empty() || stripped[0] == '#') return std::nullopt;
+  std::optional<std::string> sql = internal::JsonStringField(line, "sql");
+  if (!sql.has_value()) return std::nullopt;
+  ParsedLogEntry out;
+  out.sql = std::move(*sql);
+  out.seq = static_cast<int64_t>(
+      internal::JsonNumberField(line, "seq").value_or(0));
+  out.estimated_ms =
+      internal::JsonNumberField(line, "estimated_ms").value_or(0);
+  out.measured_ms =
+      internal::JsonNumberField(line, "measured_ms").value_or(0);
+  out.ok = internal::JsonBoolField(line, "ok").value_or(true);
+  return out;
+}
+
+}  // namespace mediator
+}  // namespace disco

@@ -1,0 +1,124 @@
+// QueryLog: a bounded flight recorder of executed queries.
+//
+// Every Query() / ExplainAnalyze() / Execute() leaves one entry: the
+// SQL text, the chosen plan's fingerprint, per-submit estimated vs.
+// measured cost vectors (with the winning rule scope and retry count),
+// the structured warnings, and the trace id. The buffer is a fixed-size
+// ring -- old entries fall off, `dropped()` counts them -- so the log
+// is safe to leave on in production-style runs.
+//
+// The log exports as JSONL (one JSON object per line, schema in
+// docs/OBSERVABILITY.md) and parses back just enough of a line to
+// *replay* it: mediator/replay.h re-runs a JSONL log against the
+// current catalog to regression-check calibration.
+
+#ifndef DISCO_MEDIATOR_QUERY_LOG_H_
+#define DISCO_MEDIATOR_QUERY_LOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_vector.h"
+
+namespace disco {
+namespace mediator {
+
+/// One submitted subquery inside a logged query: what the optimizer
+/// believed it would cost vs. what the wrapper measured.
+struct QueryLogSubmit {
+  std::string source;      ///< lower-cased
+  std::string subplan;     ///< canonical Operator::ToString rendering
+  std::string scope;       ///< rule scope behind the TotalTime estimate
+  int attempts = 0;        ///< submit attempts (retries included)
+  costmodel::CostVector estimated;
+  costmodel::CostVector measured;
+};
+
+struct QueryLogEntry {
+  int64_t seq = 0;       ///< assigned by QueryLog::Record; doubles as
+                         ///< the trace id of the query's span tree
+  double start_ms = 0;   ///< simulated clock when the query began
+  std::string sql;       ///< "" for plan-level Execute()
+  std::string plan_fingerprint;  ///< 16-hex structural hash of the plan
+  double estimated_ms = 0;
+  double measured_ms = 0;
+  bool ok = true;
+  std::string error;     ///< status string when !ok
+  int replans = 0;       ///< mid-query replans (0 or 1)
+  /// Rendered ExecWarning lines: retry recoveries, dropped branches,
+  /// replica rerouting, breaker states.
+  std::vector<std::string> warnings;
+  std::vector<QueryLogSubmit> submits;
+
+  /// One JSONL line (no trailing newline).
+  std::string ToJson() const;
+};
+
+/// What replay needs back out of a JSONL line.
+struct ParsedLogEntry {
+  int64_t seq = 0;
+  std::string sql;
+  double estimated_ms = 0;
+  double measured_ms = 0;
+  bool ok = true;
+};
+
+class QueryLog {
+ public:
+  /// `capacity` = 0 disables recording entirely.
+  explicit QueryLog(size_t capacity = 256);
+
+  /// Appends `entry`, assigning its `seq` (1-based, monotonically
+  /// increasing across drops). Returns the assigned seq (0 when the log
+  /// is disabled).
+  int64_t Record(QueryLogEntry entry);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+  /// Entries evicted by the ring so far.
+  int64_t dropped() const { return total_recorded_ - static_cast<int64_t>(entries_.size()); }
+  int64_t total_recorded() const { return total_recorded_; }
+  /// The seq the next Record() will assign (0 when disabled) -- lets the
+  /// caller stamp the trace id before the entry is complete.
+  int64_t next_seq() const { return enabled() ? total_recorded_ + 1 : 0; }
+
+  /// Retained entries, oldest first.
+  std::vector<QueryLogEntry> Entries() const;
+  /// Newest retained entry, or nullptr when empty.
+  const QueryLogEntry* Last() const;
+
+  /// JSONL export of Entries() (one line per entry, trailing newline).
+  std::string ToJsonl() const;
+
+  /// Extracts the replayable fields from one JSONL line. Returns
+  /// nullopt for lines that are blank, comments (#), or missing "sql".
+  static std::optional<ParsedLogEntry> ParseJsonLine(const std::string& line);
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  ///< index of the oldest entry once the ring wrapped
+  std::vector<QueryLogEntry> entries_;
+  int64_t total_recorded_ = 0;
+};
+
+namespace internal {
+/// Minimal field extraction from a flat JSON object line (no nested
+/// lookup): the value of `"key":"..."` with escapes decoded, or the
+/// number after `"key":`. Shared by ParseJsonLine and its tests.
+std::optional<std::string> JsonStringField(const std::string& line,
+                                           const std::string& key);
+std::optional<double> JsonNumberField(const std::string& line,
+                                      const std::string& key);
+std::optional<bool> JsonBoolField(const std::string& line,
+                                  const std::string& key);
+}  // namespace internal
+
+}  // namespace mediator
+}  // namespace disco
+
+#endif  // DISCO_MEDIATOR_QUERY_LOG_H_

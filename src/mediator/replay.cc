@@ -1,0 +1,84 @@
+#include "mediator/replay.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+#include "costmodel/accuracy.h"
+#include "mediator/query_log.h"
+
+namespace disco {
+namespace mediator {
+
+std::string ReplayReport::ToText() const {
+  std::string out = StringPrintf(
+      "# replay: %lld line%s, %lld replayed, %lld skipped, %lld failed\n",
+      static_cast<long long>(lines), lines == 1 ? "" : "s",
+      static_cast<long long>(queries.size()),
+      static_cast<long long>(skipped), static_cast<long long>(failed));
+  out += StringPrintf("%6s %10s %10s %10s %8s %8s  %s\n", "seq", "est_ms",
+                      "meas_ms", "logged_ms", "q", "vs_log", "outcome");
+  for (const ReplayedQuery& q : queries) {
+    if (q.ok) {
+      out += StringPrintf("%6lld %10.1f %10.1f %10.1f %8.2f %8.2f  ok\n",
+                          static_cast<long long>(q.logged_seq),
+                          q.estimated_ms, q.measured_ms, q.logged_measured_ms,
+                          q.q_error, q.vs_logged_ratio);
+    } else {
+      out += StringPrintf("%6lld %10s %10s %10.1f %8s %8s  error: %s\n",
+                          static_cast<long long>(q.logged_seq), "-", "-",
+                          q.logged_measured_ms, "-", "-", q.error.c_str());
+    }
+  }
+  out += StringPrintf("# calibration: geo-mean q %.3f, max q %.3f\n",
+                      geo_mean_q, max_q);
+  return out;
+}
+
+Result<ReplayReport> ReplayQueryLog(Mediator* med, const std::string& jsonl,
+                                    ReplayOptions options) {
+  if (med == nullptr) return Status::InvalidArgument("null mediator");
+  ReplayReport report;
+  double sum_log_q = 0;
+  int64_t q_count = 0;
+  for (const std::string& line : SplitString(jsonl, '\n')) {
+    if (StripWhitespace(line).empty()) continue;
+    ++report.lines;
+    std::optional<ParsedLogEntry> parsed = QueryLog::ParseJsonLine(line);
+    if (!parsed.has_value() || parsed->sql.empty()) {
+      ++report.skipped;
+      continue;
+    }
+    ReplayedQuery out;
+    out.logged_seq = parsed->seq;
+    out.sql = parsed->sql;
+    out.logged_measured_ms = parsed->measured_ms;
+    Result<QueryResult> r = med->Query(parsed->sql);
+    if (!r.ok()) {
+      out.ok = false;
+      out.error = r.status().ToString();
+      ++report.failed;
+      report.queries.push_back(std::move(out));
+      if (options.stop_on_error) return r.status();
+      continue;
+    }
+    out.ok = true;
+    out.estimated_ms = r->estimated_ms;
+    out.measured_ms = r->measured_ms;
+    out.q_error =
+        costmodel::AccuracyTracker::QError(r->estimated_ms, r->measured_ms);
+    out.vs_logged_ratio = parsed->measured_ms > 0
+                              ? r->measured_ms / parsed->measured_ms
+                              : 0;
+    sum_log_q += std::log(out.q_error);
+    ++q_count;
+    if (out.q_error > report.max_q) report.max_q = out.q_error;
+    report.queries.push_back(std::move(out));
+  }
+  if (q_count > 0) {
+    report.geo_mean_q = std::exp(sum_log_q / static_cast<double>(q_count));
+  }
+  return report;
+}
+
+}  // namespace mediator
+}  // namespace disco

@@ -1,0 +1,65 @@
+// Query-log replay: re-run a JSONL flight-recorder log (query_log.h)
+// against the *current* catalog and cost model, and compare what the
+// optimizer estimates now with what execution measures now -- a
+// regression check for calibration. Everything is driven by the
+// simulated clock, so a replay against a same-seed federation is
+// byte-identical run to run (tools/replay.cc is the CLI entry).
+
+#ifndef DISCO_MEDIATOR_REPLAY_H_
+#define DISCO_MEDIATOR_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mediator/mediator.h"
+
+namespace disco {
+namespace mediator {
+
+struct ReplayOptions {
+  /// Abort the replay on the first query that errors (default: keep
+  /// going and report it).
+  bool stop_on_error = false;
+};
+
+/// Outcome of re-running one logged query.
+struct ReplayedQuery {
+  int64_t logged_seq = 0;
+  std::string sql;
+  bool ok = false;
+  std::string error;              ///< when !ok
+  double logged_measured_ms = 0;  ///< what the log recorded back then
+  double estimated_ms = 0;        ///< the optimizer's estimate now
+  double measured_ms = 0;         ///< what execution measured now
+  /// q-error of the current estimate vs. the current measurement: how
+  /// well-calibrated the model is *today* on this query.
+  double q_error = 1;
+  /// measured-now / measured-then (1 = the source behaves as it did
+  /// when the log was recorded); 0 when the log had no measurement.
+  double vs_logged_ratio = 0;
+};
+
+struct ReplayReport {
+  std::vector<ReplayedQuery> queries;
+  int64_t lines = 0;    ///< input lines seen
+  int64_t skipped = 0;  ///< blank/comment/unparseable/plan-only lines
+  int64_t failed = 0;   ///< replayed queries that errored
+  double geo_mean_q = 1;  ///< over successful replays
+  double max_q = 1;
+
+  /// Deterministic table: one line per replayed query plus a summary.
+  std::string ToText() const;
+};
+
+/// Replays every parseable line of `jsonl` through `med->Query()`.
+/// Mutates the mediator exactly like live traffic (history feedback,
+/// breaker state, simulated clock).
+Result<ReplayReport> ReplayQueryLog(Mediator* med, const std::string& jsonl,
+                                    ReplayOptions options = {});
+
+}  // namespace mediator
+}  // namespace disco
+
+#endif  // DISCO_MEDIATOR_REPLAY_H_

@@ -1,0 +1,185 @@
+// DriftMonitor unit semantics: baseline freezing, single-fire breach
+// latching (no alert storms), recovery re-arming, and recalibration
+// recommendations. The end-to-end closed loop through the mediator is
+// tests/observability_loop_test.cc.
+
+#include "costmodel/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace disco {
+namespace costmodel {
+namespace {
+
+using algebra::OpKind;
+
+DriftOptions SmallOptions() {
+  DriftOptions o;
+  o.quantile = 0.9;
+  o.window_ms = 1000.0;
+  o.window_buckets = 4;
+  o.baseline_observations = 8;
+  o.min_window_observations = 3;
+  o.degrade_ratio = 2.0;
+  return o;
+}
+
+/// Feeds `n` observations with measured = q * estimated, advancing the
+/// clock by `step_ms` each.
+double FeedRatio(DriftMonitor* m, double* now_ms, int n, double q,
+                 double step_ms = 50.0, const std::string& source = "erp") {
+  for (int i = 0; i < n; ++i) {
+    *now_ms += step_ms;
+    m->Observe(source, OpKind::kSelect, Scope::kDefault, 100.0, 100.0 * q,
+               *now_ms);
+  }
+  return *now_ms;
+}
+
+TEST(DriftTest, NoEventWhileBaselineAccumulates) {
+  DriftMonitor m(SmallOptions());
+  double now = 0;
+  FeedRatio(&m, &now, 7, /*q=*/50.0);  // absurd q, but baseline not frozen
+  EXPECT_TRUE(m.events().empty());
+  ASSERT_EQ(m.Cells(now).size(), 1u);
+  EXPECT_FALSE(m.Cells(now)[0].baseline_frozen);
+}
+
+TEST(DriftTest, FiresExactlyOncePerBreach) {
+  DriftMonitor m(SmallOptions());
+  int fired = 0;
+  m.SetListener([&](const DriftEvent&) { ++fired; });
+  double now = 0;
+  FeedRatio(&m, &now, 8, /*q=*/1.2);  // healthy baseline, frozen at 8
+  ASSERT_EQ(m.Cells(now).size(), 1u);
+  EXPECT_TRUE(m.Cells(now)[0].baseline_frozen);
+  EXPECT_TRUE(m.events().empty());
+
+  // Sustained degradation: q jumps to 10x. Many observations past the
+  // threshold, but exactly ONE event.
+  FeedRatio(&m, &now, 30, /*q=*/12.0);
+  EXPECT_EQ(fired, 1);
+  ASSERT_EQ(m.events().size(), 1u);
+  const DriftEvent& e = m.events()[0];
+  EXPECT_EQ(e.source, "erp");
+  EXPECT_EQ(e.kind, OpKind::kSelect);
+  EXPECT_EQ(e.scope, Scope::kDefault);
+  EXPECT_GT(e.window_q, 2.0 * e.baseline_q);
+  EXPECT_FALSE(e.recommendation.empty());
+  EXPECT_TRUE(m.Cells(now)[0].breached);
+}
+
+TEST(DriftTest, RecoversAndReArms) {
+  DriftMonitor m(SmallOptions());
+  double now = 0;
+  FeedRatio(&m, &now, 8, 1.2);
+  FeedRatio(&m, &now, 20, 12.0);
+  ASSERT_EQ(m.events().size(), 1u);
+
+  // The model re-converges (q back to ~1); the bad samples expire from
+  // the 1-second window and the cell un-latches...
+  FeedRatio(&m, &now, 40, 1.1);
+  EXPECT_EQ(m.events().size(), 1u);
+  EXPECT_FALSE(m.Cells(now)[0].breached);
+
+  // ...so a NEW degradation alerts again.
+  FeedRatio(&m, &now, 30, 15.0);
+  EXPECT_EQ(m.events().size(), 2u);
+}
+
+TEST(DriftTest, RefreshUnlatchesWhenWindowDrains) {
+  DriftMonitor m(SmallOptions());
+  double now = 0;
+  FeedRatio(&m, &now, 8, 1.2);
+  FeedRatio(&m, &now, 20, 12.0);
+  ASSERT_EQ(m.events().size(), 1u);
+  ASSERT_TRUE(m.Cells(now)[0].breached);
+  // Simulated time passes with no observations at all: the bad window
+  // empties, and Refresh() clears the latch without new samples.
+  now += 10000.0;
+  EXPECT_EQ(m.Refresh(now), 1);
+  EXPECT_FALSE(m.Cells(now)[0].breached);
+}
+
+TEST(DriftTest, RecommendationNamesScopeAction) {
+  DriftOptions opts = SmallOptions();
+  DriftMonitor m(opts);
+  double now = 0;
+  // Wrapper-scope cell drifting -> recommend re-registration.
+  for (int i = 0; i < 8; ++i) {
+    now += 50;
+    m.Observe("oo7", OpKind::kScan, Scope::kWrapper, 100, 110, now);
+  }
+  for (int i = 0; i < 10; ++i) {
+    now += 50;
+    m.Observe("oo7", OpKind::kScan, Scope::kWrapper, 100, 2000, now);
+  }
+  auto recs = m.RecommendRecalibration(now);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].key.source, "oo7");
+  ASSERT_EQ(m.events().size(), 1u);
+  EXPECT_NE(m.events()[0].recommendation.find("re-register wrapper 'oo7'"),
+            std::string::npos)
+      << m.events()[0].recommendation;
+}
+
+TEST(DriftTest, RecommendationsSortedWorstFirst) {
+  DriftMonitor m(SmallOptions());
+  double now = 0;
+  FeedRatio(&m, &now, 8, 1.0, 50.0, "mild");
+  FeedRatio(&m, &now, 8, 1.0, 50.0, "severe");
+  FeedRatio(&m, &now, 10, 3.0, 50.0, "mild");
+  FeedRatio(&m, &now, 10, 30.0, 50.0, "severe");
+  auto recs = m.RecommendRecalibration(now);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].key.source, "severe");
+  EXPECT_EQ(recs[1].key.source, "mild");
+}
+
+TEST(DriftTest, ResetBaselineForgetsSourceAndRefreezes) {
+  DriftMonitor m(SmallOptions());
+  double now = 0;
+  FeedRatio(&m, &now, 8, 1.2);
+  FeedRatio(&m, &now, 20, 12.0);
+  ASSERT_EQ(m.events().size(), 1u);
+
+  // Administrative recalibration: the new regime (q ~ 12 worth of
+  // latency) becomes the fresh baseline, so it no longer alarms.
+  m.ResetBaseline("ERP");  // case-insensitive
+  EXPECT_TRUE(m.Cells(now).empty());
+  FeedRatio(&m, &now, 20, 12.0);
+  EXPECT_EQ(m.events().size(), 1u);  // no new event: 12 is the new normal
+  ASSERT_EQ(m.Cells(now).size(), 1u);
+  EXPECT_TRUE(m.Cells(now)[0].baseline_frozen);
+  EXPECT_FALSE(m.Cells(now)[0].breached);
+}
+
+TEST(DriftTest, DisabledMonitorObservesNothing) {
+  DriftOptions opts = SmallOptions();
+  opts.enabled = false;
+  DriftMonitor m(opts);
+  double now = 0;
+  FeedRatio(&m, &now, 50, 100.0);
+  EXPECT_EQ(m.num_observations(), 0);
+  EXPECT_TRUE(m.Cells(now).empty());
+  EXPECT_TRUE(m.events().empty());
+}
+
+TEST(DriftTest, FormatReportListsWorstCellsFirst) {
+  DriftMonitor m(SmallOptions());
+  double now = 0;
+  FeedRatio(&m, &now, 8, 1.0, 50.0, "calm");
+  FeedRatio(&m, &now, 8, 1.0, 50.0, "noisy");
+  FeedRatio(&m, &now, 10, 20.0, 50.0, "noisy");
+  const std::string report = m.FormatReport(now, /*top_k=*/1);
+  EXPECT_NE(report.find("noisy"), std::string::npos) << report;
+  EXPECT_EQ(report.find("calm"), std::string::npos) << report;
+  EXPECT_NE(report.find("BREACHED"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace costmodel
+}  // namespace disco

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "algebra/operator.h"
 
 namespace disco {
@@ -57,6 +59,45 @@ TEST(HistoryTest, FactorsAreKeyedBySourceAndKind) {
                           CostVector::Full(1, 1, 1, 1, 1, 50));
   EXPECT_DOUBLE_EQ(history.AdjustmentFactor("a", algebra::OpKind::kSelect),
                    0.5);
+}
+
+TEST(HistoryTest, EwmaReconvergesUnderSustainedDrift) {
+  // The full correction loop the mediator runs: the estimator applies
+  // the learned factor on top of the raw model, the source's true cost
+  // shifts 8x, and sustained feedback drives the *corrected* estimate's
+  // q-error back toward 1 at the EWMA rate.
+  HistoryManager history(/*alpha=*/0.3);
+  RuleRegistry registry;
+  auto plan = algebra::Scan("T");
+  const double model_ms = 100;  // raw (uncorrected) model estimate
+  double true_ms = 100;
+  auto observe = [&]() -> double {
+    const double corrected =
+        model_ms * history.AdjustmentFactor("src", algebra::OpKind::kScan);
+    // RecordExecution receives the raw estimate, as the mediator feeds
+    // it (use_history = false), so the factor tracks true/model.
+    history.RecordExecution(&registry, "src", *plan, model_ms,
+                            CostVector::Full(1, 1, 1, 1, 1, true_ms));
+    return std::max(corrected / true_ms, true_ms / corrected);  // q-error
+  };
+  for (int i = 0; i < 5; ++i) observe();
+  EXPECT_NEAR(history.AdjustmentFactor("src", algebra::OpKind::kScan), 1.0,
+              0.01);
+
+  true_ms = 800;  // sustained drift: the source is now 8x slower
+  const double q_at_shift = observe();
+  EXPECT_GT(q_at_shift, 7.5);  // the stale correction is caught out
+  double q = q_at_shift;
+  for (int i = 0; i < 14; ++i) {
+    const double q_next = observe();
+    EXPECT_LT(q_next, q + 1e-9) << "q-error must fall monotonically";
+    q = q_next;
+  }
+  // (1 - alpha)^15 ~ 0.005: the factor has all but converged to 8 and
+  // corrected estimates are within a few percent of reality.
+  EXPECT_LT(q, 1.05);
+  EXPECT_NEAR(history.AdjustmentFactor("src", algebra::OpKind::kScan), 8.0,
+              0.3);
 }
 
 TEST(HistoryTest, SourceNamesCaseInsensitive) {

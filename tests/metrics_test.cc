@@ -108,6 +108,24 @@ TEST(RegistryTest, JsonExportContainsAllSections) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
 }
 
+TEST(RegistryTest, JsonExportEscapesNames) {
+  // Metric names embed label values (e.g. disco.breaker.state.<source>);
+  // a source name carrying quotes or backslashes must not corrupt the
+  // JSON document.
+  Registry reg;
+  reg.counter("weird.\"quoted\".count")->Increment();
+  reg.gauge("path.c:\\temp")->Set(1.0);
+  reg.histogram("multi\nline")->Record(2.0);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"weird.\\\"quoted\\\".count\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"path.c:\\\\temp\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"multi\\nline\""), std::string::npos) << json;
+  // No raw (unescaped) quote or newline survives inside a name.
+  EXPECT_EQ(json.find("weird.\"quoted\""), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << json;
+}
+
 TEST(RegistryTest, SnapshotMatchesInstruments) {
   Registry reg;
   reg.counter("c")->Increment(3);

@@ -1,0 +1,213 @@
+// The closed observability loop, end to end (ISSUE acceptance
+// scenario): a FaultInjectingWrapper latency shift makes the cost
+// model stale; the DriftMonitor fires exactly one event naming the
+// offending (source, operator, rule scope); history recalibration
+// brings the windowed q-error back under the threshold; and the
+// MonitorReport plus the replayed query log are byte-identical across
+// two same-seed runs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "costmodel/drift.h"
+#include "mediator/mediator.h"
+#include "mediator/replay.h"
+#include "wrapper/fault_injection.h"
+
+namespace disco {
+namespace {
+
+using costmodel::DriftMonitor;
+using costmodel::Scope;
+using mediator::Mediator;
+using mediator::MediatorOptions;
+using wrapper::FaultInjectingWrapper;
+using wrapper::FaultProfile;
+
+constexpr int kHealthyQueries = 10;
+constexpr int kShiftedQueries = 8;
+constexpr double kLatencyShiftMs = 50000;
+
+std::unique_ptr<FaultInjectingWrapper> MakeSource(const std::string& source,
+                                                  const std::string& collection,
+                                                  int rows,
+                                                  FaultProfile profile) {
+  auto src = sources::MakeRelationalSource(source);
+  storage::Table* t = src->CreateTable(
+      CollectionSchema(collection, {{"k", AttrType::kLong}}));
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(t->Insert({Value(int64_t{i})}).ok());
+  }
+  auto inner = std::make_unique<wrapper::SimulatedWrapper>(
+      std::move(src), wrapper::SimulatedWrapper::Options{});
+  return std::make_unique<FaultInjectingWrapper>(std::move(inner), profile);
+}
+
+MediatorOptions LoopOptions() {
+  MediatorOptions opts;
+  opts.drift.quantile = 0.9;
+  opts.drift.window_ms = 120000;   // several shifted queries stay in view
+  opts.drift.window_buckets = 6;
+  opts.drift.baseline_observations = 6;
+  opts.drift.min_window_observations = 3;
+  opts.drift.degrade_ratio = 2.0;
+  return opts;
+}
+
+/// Everything one scenario run produces that the determinism check
+/// compares byte for byte.
+struct LoopOutputs {
+  size_t events_after_baseline = 0;
+  size_t events_after_first_shift = 0;
+  size_t events_at_end = 0;
+  costmodel::DriftEvent event;        // the single raised event
+  std::string detection_trace;        // span tree of the breach query
+  DriftMonitor::CellStatus final_cell;  // the query-scope cell at the end
+  bool found_final_cell = false;
+  double adjustment_factor = 1;
+  std::string monitor_text;
+  std::string monitor_json;
+  std::string jsonl;
+  std::string replay_text;
+  int64_t replayed = 0;
+  int64_t replay_failed = 0;
+};
+
+LoopOutputs RunScenario() {
+  LoopOutputs out;
+  Mediator med(LoopOptions());
+  auto src = MakeSource("src", "T", 400, FaultProfile{});
+  FaultInjectingWrapper* faults = src.get();
+  EXPECT_TRUE(med.RegisterWrapper(std::move(src)).ok());
+
+  const std::string sql = "SELECT k FROM T";
+  auto run = [&]() -> std::string {
+    auto r = med.Query(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && r->trace != nullptr ? r->trace->ToText() : "";
+  };
+
+  // Phase 1: healthy traffic freezes a baseline (q-error ~1: the
+  // query-scope history makes repeat estimates exact).
+  for (int i = 0; i < kHealthyQueries; ++i) run();
+  out.events_after_baseline = med.drift()->events().size();
+
+  // Phase 2: the source's behaviour shifts under the model's feet.
+  faults->SetProfile(FaultProfile{}.WithLatency(kLatencyShiftMs));
+  out.detection_trace = run();
+  out.events_after_first_shift = med.drift()->events().size();
+  if (!med.drift()->events().empty()) out.event = med.drift()->events().front();
+
+  // Phase 3: keep running. History recalibrates (the stale record is
+  // replaced), stale samples age out of the window, and the latch must
+  // release WITHOUT a second alert.
+  for (int i = 1; i < kShiftedQueries; ++i) run();
+  out.events_at_end = med.drift()->events().size();
+  for (const DriftMonitor::CellStatus& c :
+       med.drift()->Cells(med.sim_now_ms())) {
+    if (c.key.scope == Scope::kQuery) {
+      out.final_cell = c;
+      out.found_final_cell = true;
+    }
+  }
+  out.adjustment_factor =
+      med.history()->AdjustmentFactor("src", out.event.kind);
+
+  out.monitor_text = med.MonitorReport().ToText();
+  out.monitor_json = med.MonitorReport().ToJson();
+  out.jsonl = med.query_log()->ToJsonl();
+
+  // Replay the flight-recorder log against a fresh, healthy same-seed
+  // federation: the calibration regression check.
+  Mediator fresh(LoopOptions());
+  EXPECT_TRUE(
+      fresh.RegisterWrapper(MakeSource("src", "T", 400, FaultProfile{})).ok());
+  auto replay = mediator::ReplayQueryLog(&fresh, out.jsonl);
+  EXPECT_TRUE(replay.ok()) << replay.status().ToString();
+  if (replay.ok()) {
+    out.replay_text = replay->ToText();
+    out.replayed = static_cast<int64_t>(replay->queries.size());
+    out.replay_failed = replay->failed;
+  }
+  return out;
+}
+
+TEST(ObservabilityLoopTest, DriftFiresOnceAndRecalibrationRecovers) {
+  LoopOutputs run = RunScenario();
+
+  // Healthy traffic raises nothing.
+  EXPECT_EQ(run.events_after_baseline, 0u);
+
+  // The very first post-shift measurement breaches: exactly one event,
+  // naming the offending source, operator, and rule scope.
+  ASSERT_EQ(run.events_after_first_shift, 1u);
+  EXPECT_EQ(run.event.source, "src");
+  EXPECT_EQ(run.event.scope, Scope::kQuery);
+  EXPECT_GT(run.event.window_q, 2.0 * run.event.baseline_q);
+  EXPECT_NEAR(run.event.baseline_q, 1.0, 0.05);
+  EXPECT_NE(run.event.recommendation.find("query-scope"), std::string::npos)
+      << run.event.recommendation;
+  // The breach query's span tree carries the drift instant event.
+  EXPECT_NE(run.detection_trace.find("cost-model drift @src"),
+            std::string::npos)
+      << run.detection_trace;
+
+  // Seven more degraded-then-recovering queries: still exactly one
+  // event (latched -- no alert storm).
+  EXPECT_EQ(run.events_at_end, 1u);
+
+  // Closed loop closed: history recalibrated (the query-scope record
+  // now reflects the shifted cost), the stale samples aged out, and the
+  // windowed quantile is back under the breach threshold.
+  ASSERT_TRUE(run.found_final_cell);
+  EXPECT_FALSE(run.final_cell.breached);
+  EXPECT_LE(run.final_cell.window_q,
+            2.0 * run.final_cell.baseline_q);
+  // The EWMA side of recalibration moved too: estimates for this
+  // (source, operator) are now scaled up toward the shifted reality.
+  EXPECT_GT(run.adjustment_factor, 1.5);
+
+  // The monitor report reflects the loop.
+  EXPECT_NE(run.monitor_text.find("drift: 1 event raised"),
+            std::string::npos)
+      << run.monitor_text;
+  EXPECT_NE(run.monitor_json.find("\"drift_events\":1"), std::string::npos);
+
+  // The flight recorder captured every query and replays cleanly.
+  EXPECT_EQ(run.replayed, kHealthyQueries + kShiftedQueries);
+  EXPECT_EQ(run.replay_failed, 0);
+  EXPECT_NE(run.jsonl.find("\"sql\":\"SELECT k FROM T\""),
+            std::string::npos);
+  EXPECT_NE(run.jsonl.find("\"scope\":\"query\""), std::string::npos);
+}
+
+TEST(ObservabilityLoopTest, ReportsAndReplayAreByteIdenticalAcrossRuns) {
+  LoopOutputs a = RunScenario();
+  LoopOutputs b = RunScenario();
+  EXPECT_EQ(a.monitor_text, b.monitor_text);
+  EXPECT_EQ(a.monitor_json, b.monitor_json);
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_EQ(a.replay_text, b.replay_text);
+  EXPECT_EQ(a.detection_trace, b.detection_trace);
+}
+
+TEST(ObservabilityLoopTest, ReRegisterWrapperResetsDriftBaselines) {
+  Mediator med(LoopOptions());
+  auto src = MakeSource("src", "T", 50, FaultProfile{});
+  ASSERT_TRUE(med.RegisterWrapper(std::move(src)).ok());
+  for (int i = 0; i < kHealthyQueries; ++i) {
+    ASSERT_TRUE(med.Query("SELECT k FROM T").ok());
+  }
+  ASSERT_FALSE(med.drift()->Cells(med.sim_now_ms()).empty());
+  ASSERT_TRUE(med.ReRegisterWrapper("src").ok());
+  // An administrative refresh forgets the frozen baselines: the monitor
+  // re-learns what "healthy" means from post-refresh traffic.
+  EXPECT_TRUE(med.drift()->Cells(med.sim_now_ms()).empty());
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,148 @@
+// QueryLog flight recorder: ring-buffer bounds, JSONL schema + escaping,
+// and the tolerant line parser behind replay.
+
+#include "mediator/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace disco {
+namespace mediator {
+namespace {
+
+QueryLogEntry MakeEntry(const std::string& sql, double measured = 10.0) {
+  QueryLogEntry e;
+  e.sql = sql;
+  e.plan_fingerprint = "00c0ffee00c0ffee";
+  e.estimated_ms = 12.5;
+  e.measured_ms = measured;
+  e.start_ms = 1.25;
+  return e;
+}
+
+TEST(QueryLogTest, AssignsMonotonicSeqAndKeepsOrder) {
+  QueryLog log(8);
+  EXPECT_EQ(log.Record(MakeEntry("q1")), 1);
+  EXPECT_EQ(log.Record(MakeEntry("q2")), 2);
+  EXPECT_EQ(log.Record(MakeEntry("q3")), 3);
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].sql, "q1");
+  EXPECT_EQ(entries[2].sql, "q3");
+  EXPECT_EQ(log.Last()->sql, "q3");
+  EXPECT_EQ(log.dropped(), 0);
+}
+
+TEST(QueryLogTest, RingEvictsOldestAndCountsDrops) {
+  QueryLog log(3);
+  for (int i = 1; i <= 7; ++i) {
+    log.Record(MakeEntry("q" + std::to_string(i)));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 4);
+  EXPECT_EQ(log.total_recorded(), 7);
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].sql, "q5");  // oldest retained
+  EXPECT_EQ(entries[1].sql, "q6");
+  EXPECT_EQ(entries[2].sql, "q7");
+  EXPECT_EQ(entries[0].seq, 5);
+  EXPECT_EQ(log.Last()->sql, "q7");
+}
+
+TEST(QueryLogTest, ZeroCapacityDisablesRecording) {
+  QueryLog log(0);
+  EXPECT_FALSE(log.enabled());
+  EXPECT_EQ(log.Record(MakeEntry("q")), 0);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.ToJsonl(), "");
+  EXPECT_EQ(log.Last(), nullptr);
+}
+
+TEST(QueryLogTest, JsonlEscapesSqlAndWarnings) {
+  QueryLog log(4);
+  QueryLogEntry e = MakeEntry("SELECT name FROM T WHERE name = 'a\"b\\c'");
+  e.warnings.push_back("source 'x': line1\nline2");
+  log.Record(e);
+  const std::string jsonl = log.ToJsonl();
+  // Exactly one line, with the quote/backslash/newline escaped.
+  EXPECT_EQ(jsonl.back(), '\n');
+  EXPECT_EQ(jsonl.find('\n'), jsonl.size() - 1) << jsonl;
+  EXPECT_NE(jsonl.find("a\\\"b\\\\c"), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("line1\\nline2"), std::string::npos) << jsonl;
+}
+
+TEST(QueryLogTest, JsonlCarriesSubmitCostVectors) {
+  QueryLog log(4);
+  QueryLogEntry e = MakeEntry("SELECT k FROM R");
+  QueryLogSubmit s;
+  s.source = "erp";
+  s.subplan = "scan(R)";
+  s.scope = "default";
+  s.attempts = 2;
+  s.estimated = costmodel::CostVector::Full(100, 900, 9, 120, 1, 450);
+  s.measured = costmodel::CostVector::Full(100, 900, 9, 130, 1, 500);
+  e.submits.push_back(s);
+  log.Record(e);
+  const std::string jsonl = log.ToJsonl();
+  EXPECT_NE(jsonl.find("\"source\":\"erp\""), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"subplan\":\"scan(R)\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"scope\":\"default\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"attempts\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"estimated\":{\"total_ms\":450.000"),
+            std::string::npos)
+      << jsonl;
+  EXPECT_NE(jsonl.find("\"measured\":{\"total_ms\":500.000"),
+            std::string::npos);
+}
+
+TEST(QueryLogTest, ParseRoundTripsSqlWithEscapes) {
+  QueryLog log(4);
+  const std::string sql = "SELECT k FROM R WHERE s = 'a\"b\\c'";
+  QueryLogEntry e = MakeEntry(sql, /*measured=*/77.5);
+  log.Record(e);
+  const std::string line = log.Entries()[0].ToJson();
+  auto parsed = QueryLog::ParseJsonLine(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sql, sql);
+  EXPECT_EQ(parsed->seq, 1);
+  EXPECT_DOUBLE_EQ(parsed->estimated_ms, 12.5);
+  EXPECT_DOUBLE_EQ(parsed->measured_ms, 77.5);
+  EXPECT_TRUE(parsed->ok);
+}
+
+TEST(QueryLogTest, ParseSkipsBlankCommentsAndPlanOnlyEntries) {
+  EXPECT_FALSE(QueryLog::ParseJsonLine("").has_value());
+  EXPECT_FALSE(QueryLog::ParseJsonLine("   ").has_value());
+  EXPECT_FALSE(QueryLog::ParseJsonLine("# header comment").has_value());
+  EXPECT_FALSE(QueryLog::ParseJsonLine("{\"seq\":1}").has_value());
+}
+
+TEST(QueryLogTest, ParseReadsFailedQueries) {
+  QueryLogEntry e = MakeEntry("SELECT k FROM Missing");
+  e.ok = false;
+  e.error = "NotFound: no collection";
+  auto parsed = QueryLog::ParseJsonLine(e.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->ok);
+}
+
+TEST(QueryLogTest, FieldHelpersDecodeEscapes) {
+  using mediator::internal::JsonNumberField;
+  using mediator::internal::JsonStringField;
+  const std::string line =
+      "{\"a\":\"x\\\\y\\\"z\\n\\u0007w\",\"n\":-12.75}";
+  auto s = JsonStringField(line, "a");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, "x\\y\"z\n\aw");
+  auto n = JsonNumberField(line, "n");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_DOUBLE_EQ(*n, -12.75);
+  EXPECT_FALSE(JsonStringField(line, "missing").has_value());
+  EXPECT_FALSE(JsonStringField("{\"a\":\"unterminated", "a").has_value());
+}
+
+}  // namespace
+}  // namespace mediator
+}  // namespace disco

@@ -1,0 +1,112 @@
+#include "common/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace disco {
+namespace {
+
+/// Deterministic pseudo-shuffled stream (no RNG: fixed LCG).
+std::vector<double> ScrambledStream(int n) {
+  std::vector<double> values;
+  uint64_t state = 0x5EEDu;
+  for (int i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    values.push_back(static_cast<double>(state % 10000) / 10.0);
+  }
+  return values;
+}
+
+double ExactQuantile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(values.size())));
+  return values[std::max<size_t>(rank, 1) - 1];
+}
+
+TEST(SketchTest, EmptyAndSmallCountsAreExact) {
+  P2Quantile q(0.5);
+  EXPECT_EQ(q.Value(), 0);
+  q.Add(10);
+  EXPECT_DOUBLE_EQ(q.Value(), 10);
+  q.Add(30);
+  q.Add(20);
+  // Median of {10, 20, 30}, nearest rank.
+  EXPECT_DOUBLE_EQ(q.Value(), 20);
+  EXPECT_EQ(q.count(), 3);
+}
+
+TEST(SketchTest, MedianTracksUniformStream) {
+  P2Quantile q(0.5);
+  std::vector<double> stream = ScrambledStream(2000);
+  for (double v : stream) q.Add(v);
+  const double exact = ExactQuantile(stream, 0.5);
+  // P^2 is approximate; on a uniform-ish stream it lands close.
+  EXPECT_NEAR(q.Value(), exact, 0.05 * 1000.0);
+}
+
+TEST(SketchTest, P90TracksSkewedStream) {
+  P2Quantile q(0.9);
+  std::vector<double> stream;
+  for (double v : ScrambledStream(3000)) {
+    stream.push_back(v * v / 250.0);  // skew toward small values
+    q.Add(stream.back());
+  }
+  const double exact = ExactQuantile(stream, 0.9);
+  EXPECT_NEAR(q.Value(), exact, 0.1 * exact + 1.0);
+}
+
+TEST(SketchTest, DeterministicAcrossRuns) {
+  P2Quantile a(0.9), b(0.9);
+  for (double v : ScrambledStream(500)) a.Add(v);
+  for (double v : ScrambledStream(500)) b.Add(v);
+  EXPECT_EQ(a.Value(), b.Value());  // bitwise, not approximate
+  EXPECT_EQ(a.count(), b.count());
+}
+
+TEST(SketchTest, MonotoneShiftMovesEstimate) {
+  P2Quantile q(0.9);
+  for (int i = 0; i < 200; ++i) q.Add(1.0);
+  EXPECT_NEAR(q.Value(), 1.0, 1e-9);
+  for (int i = 0; i < 2000; ++i) q.Add(100.0);
+  EXPECT_GT(q.Value(), 50.0);
+}
+
+TEST(SketchTest, WindowForgetsOldSamples) {
+  // 4 buckets x 250 ms = 1 s window.
+  SlidingWindowQuantile w(0.9, 1000.0, 4);
+  for (int i = 0; i < 40; ++i) w.Add(/*now_ms=*/i * 10.0, /*x=*/100.0);
+  EXPECT_NEAR(w.Value(400.0), 100.0, 1e-9);
+  EXPECT_EQ(w.count(400.0), 40);
+
+  // The workload changes; within one window the old samples expire.
+  for (int i = 0; i < 40; ++i) w.Add(1500.0 + i * 10.0, 5.0);
+  EXPECT_NEAR(w.Value(1900.0), 5.0, 1e-9);
+  // Far in the future the window is empty again.
+  EXPECT_EQ(w.count(10000.0), 0);
+  EXPECT_EQ(w.Value(10000.0), 0);
+}
+
+TEST(SketchTest, WindowBlendsLiveBuckets) {
+  SlidingWindowQuantile w(0.5, 1000.0, 4);
+  for (int i = 0; i < 10; ++i) w.Add(50.0, 10.0);    // bucket 0
+  for (int i = 0; i < 10; ++i) w.Add(300.0, 30.0);   // bucket 1
+  const double blended = w.Value(300.0);
+  EXPECT_GT(blended, 10.0);
+  EXPECT_LT(blended, 30.0);
+  EXPECT_EQ(w.count(300.0), 20);
+}
+
+TEST(SketchTest, StaleTimestampsAreDropped) {
+  SlidingWindowQuantile w(0.5, 1000.0, 4);
+  w.Add(5000.0, 1.0);
+  w.Add(100.0, 999.0);  // clock ran backwards: ignored
+  EXPECT_EQ(w.count(5000.0), 1);
+  EXPECT_NEAR(w.Value(5000.0), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,103 @@
+// replay_querylog: re-run a flight-recorder JSONL query log (written by
+// QueryLog::ToJsonl, e.g. the query_log.jsonl that examples/observability
+// produces) against a freshly built demo federation, and report how
+// today's estimates track today's measurements -- a calibration
+// regression check. Deterministic: the federation is seeded and the
+// clock is simulated, so the same log replays byte-identically.
+//
+//   ./build/tools/replay_querylog query_log.jsonl
+//   ./build/tools/replay_querylog query_log.jsonl --monitor   # + MonitorReport
+//
+// The demo federation matches examples/observability: an OO7 object
+// database (exporting the Yao cost rule) plus a relational "erp" source
+// with a Supplier table. Logs recorded against other schemas will
+// report per-query binder errors instead of crashing.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "bench007/oo7.h"
+#include "mediator/mediator.h"
+#include "mediator/replay.h"
+
+namespace {
+
+void Fail(const disco::Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  std::exit(1);
+}
+
+void BuildDemoFederation(disco::mediator::Mediator& med) {
+  using namespace disco;  // NOLINT: tool brevity
+
+  bench007::OO7Config config;
+  config.num_atomic_parts = 2000;
+  config.connections_per_atomic = 1;
+  config.num_composite_parts = 100;
+  config.num_documents = 100;
+  auto oo7 = bench007::BuildOO7Source(config);
+  if (!oo7.ok()) Fail(oo7.status());
+  wrapper::SimulatedWrapper::Options oo7_opts;
+  oo7_opts.cost_rules = bench007::Oo7YaoRuleText();
+  if (auto s = med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+          std::move(*oo7), oo7_opts));
+      !s.ok()) {
+    Fail(s);
+  }
+
+  auto rel = sources::MakeRelationalSource("erp");
+  storage::Table* suppliers = rel->CreateTable(CollectionSchema(
+      "Supplier", {{"sid", AttrType::kLong},
+                   {"partType", AttrType::kString},
+                   {"region", AttrType::kString}}));
+  for (int i = 0; i < 200; ++i) {
+    if (auto s = suppliers->Insert({Value(int64_t{i}),
+                                    Value(std::string("t") +
+                                          std::to_string(i % 10)),
+                                    Value(std::string(i % 2 ? "east"
+                                                            : "west"))});
+        !s.ok()) {
+      Fail(s);
+    }
+  }
+  if (auto s = suppliers->CreateIndex("sid"); !s.ok()) Fail(s);
+  if (auto s = med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+          std::move(rel), wrapper::SimulatedWrapper::Options()));
+      !s.ok()) {
+    Fail(s);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <query_log.jsonl> [--monitor]\n"
+                 "  replays the JSONL query log against the built-in demo "
+                 "federation\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  disco::mediator::Mediator med;
+  BuildDemoFederation(med);
+  auto report = disco::mediator::ReplayQueryLog(&med, buf.str());
+  if (!report.ok()) Fail(report.status());
+  std::printf("%s", report->ToText().c_str());
+
+  if (argc > 2 && std::string(argv[2]) == "--monitor") {
+    std::printf("\n%s", med.MonitorReport().ToText().c_str());
+  }
+  return report->failed == 0 ? 0 : 1;
+}
