@@ -1,0 +1,269 @@
+// The fast planning path (docs/PERFORMANCE.md), measured end to end:
+//
+//   1. parameterized plan cache -- warm template hits vs. cold
+//      optimization of the same query shape (acceptance: >= 5x);
+//   2. subplan cost memoization -- rule-matching and formula work with
+//      the memo on vs. off on a 9-relation star (acceptance: >= 30%
+//      reduction in both formulas evaluated and match attempts);
+//   3. deterministic parallel candidate pricing -- wall time at pool
+//      sizes {1, 2, 4, 8} with the invariant that every pool size
+//      chooses the identical plan at the identical estimated cost.
+//
+// Results also land in BENCH_planning.json (cwd) for CI trending.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "mediator/mediator.h"
+
+namespace disco {
+namespace {
+
+constexpr int kNumDims = 8;  // 9 relations: planning dominates execution
+
+/// A planning-heavy star: many relations, tiny tables. Wall time is
+/// almost entirely join enumeration, which is what this bench measures.
+std::unique_ptr<mediator::Mediator> BuildFederation(
+    mediator::MediatorOptions moptions) {
+  moptions.record_history = false;  // keep per-query work identical
+  auto med = std::make_unique<mediator::Mediator>(moptions);
+
+  auto facts_src = sources::MakeRelationalSource("facts");
+  std::vector<AttributeDef> fact_attrs{{"fid", AttrType::kLong}};
+  for (int d = 0; d < kNumDims; ++d) {
+    fact_attrs.push_back({StringPrintf("d%d", d), AttrType::kLong});
+  }
+  storage::Table* fact =
+      facts_src->CreateTable(CollectionSchema("Fact", fact_attrs));
+  for (int i = 0; i < 200; ++i) {
+    storage::Tuple t{Value(int64_t{i})};
+    for (int d = 0; d < kNumDims; ++d) {
+      t.push_back(Value(int64_t{i % (5 + d)}));
+    }
+    DISCO_CHECK(fact->Insert(t).ok());
+  }
+  DISCO_CHECK(med->RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                       std::move(facts_src),
+                                       wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+
+  auto dims_src = sources::MakeRelationalSource("dims");
+  for (int d = 0; d < kNumDims; ++d) {
+    storage::Table* dim = dims_src->CreateTable(CollectionSchema(
+        StringPrintf("Dim%d", d),
+        {{StringPrintf("k%d", d), AttrType::kLong},
+         {StringPrintf("v%d", d), AttrType::kLong}}));
+    for (int64_t i = 0; i < 10 + 5 * d; ++i) {
+      DISCO_CHECK(dim->Insert({Value(i), Value(i * 3)}).ok());
+    }
+  }
+  DISCO_CHECK(med->RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                       std::move(dims_src),
+                                       wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+  return med;
+}
+
+std::string StarQuery() {
+  std::string sql = "SELECT fid FROM Fact";
+  for (int d = 0; d < kNumDims; ++d) sql += StringPrintf(", Dim%d", d);
+  sql += " WHERE ";
+  for (int d = 0; d < kNumDims; ++d) {
+    if (d > 0) sql += " AND ";
+    sql += StringPrintf("Fact.d%d = Dim%d.k%d", d, d, d);
+  }
+  return sql;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct CacheNumbers {
+  double cold_ms = 0;
+  double warm_ms = 0;
+  double speedup = 0;
+};
+
+/// Section 1: identical queries against a cache-disabled and a
+/// cache-enabled mediator. The warm path re-prices the cached template
+/// instead of enumerating, so per-query wall time collapses.
+CacheNumbers RunPlanCache(const std::string& sql) {
+  constexpr int kQueries = 10;
+  CacheNumbers out;
+
+  mediator::MediatorOptions cold_opts;
+  cold_opts.plan_cache_capacity = 0;
+  auto cold = BuildFederation(cold_opts);
+  DISCO_CHECK(cold->Query(sql).ok());  // ignore first-touch effects
+  double t0 = NowMs();
+  for (int i = 0; i < kQueries; ++i) {
+    auto r = cold->Query(sql);
+    DISCO_CHECK(r.ok() && !r->plan_cache_hit);
+  }
+  out.cold_ms = (NowMs() - t0) / kQueries;
+
+  auto warm = BuildFederation(mediator::MediatorOptions{});
+  DISCO_CHECK(warm->Query(sql).ok());  // populates the template
+  t0 = NowMs();
+  for (int i = 0; i < kQueries; ++i) {
+    auto r = warm->Query(sql);
+    DISCO_CHECK(r.ok() && r->plan_cache_hit);
+  }
+  out.warm_ms = (NowMs() - t0) / kQueries;
+
+  out.speedup = out.cold_ms / out.warm_ms;
+  std::printf("%-22s %12.3f %12.3f %10.1fx\n", "plan cache (per query)",
+              out.cold_ms, out.warm_ms, out.speedup);
+  DISCO_CHECK(out.speedup >= 5.0)
+      << "warm plan-cache path below the 5x acceptance bar: "
+      << out.speedup;
+  return out;
+}
+
+struct MemoNumbers {
+  int64_t formulas_off = 0, formulas_on = 0;
+  int64_t matches_off = 0, matches_on = 0;
+  double formula_reduction = 0, match_reduction = 0;
+};
+
+/// Section 2: one enumeration of the 9-relation star with the memo off
+/// and on. Shared subtrees across candidate orders are priced once.
+MemoNumbers RunCostMemo(mediator::Mediator* med, const std::string& sql) {
+  costmodel::CostEstimator estimator(med->registry(), &med->catalog());
+  optimizer::Optimizer optimizer(&estimator, &med->capabilities());
+  auto bound = med->Analyze(sql);
+  DISCO_CHECK(bound.ok()) << bound.status().ToString();
+
+  optimizer::OptimizerOptions off;
+  off.use_memo = false;
+  auto plain = optimizer.Optimize(*bound, off);
+  DISCO_CHECK(plain.ok()) << plain.status().ToString();
+
+  auto memoized = optimizer.Optimize(*bound, optimizer::OptimizerOptions{});
+  DISCO_CHECK(memoized.ok());
+  DISCO_CHECK(memoized->plan->ToString() == plain->plan->ToString());
+  DISCO_CHECK(memoized->estimated_ms == plain->estimated_ms);
+
+  MemoNumbers out;
+  out.formulas_off = plain->stats.formulas_evaluated;
+  out.formulas_on = memoized->stats.formulas_evaluated;
+  out.matches_off = plain->stats.match_attempts;
+  out.matches_on = memoized->stats.match_attempts;
+  out.formula_reduction =
+      1.0 - static_cast<double>(out.formulas_on) /
+                static_cast<double>(out.formulas_off);
+  out.match_reduction = 1.0 - static_cast<double>(out.matches_on) /
+                                  static_cast<double>(out.matches_off);
+  std::printf("%-22s %12lld %12lld %9.0f%%\n", "memo: formulas",
+              static_cast<long long>(out.formulas_off),
+              static_cast<long long>(out.formulas_on),
+              out.formula_reduction * 100);
+  std::printf("%-22s %12lld %12lld %9.0f%%\n", "memo: match attempts",
+              static_cast<long long>(out.matches_off),
+              static_cast<long long>(out.matches_on),
+              out.match_reduction * 100);
+  DISCO_CHECK(out.formula_reduction >= 0.30 && out.match_reduction >= 0.30)
+      << "memo below the 30% work-reduction acceptance bar";
+  return out;
+}
+
+struct ScalePoint {
+  int threads = 0;
+  double wall_ms = 0;
+};
+
+/// Section 3: the same enumeration priced by pools of growing size.
+/// Speed may vary; the chosen plan and its cost may not.
+std::vector<ScalePoint> RunThreadScaling(mediator::Mediator* med,
+                                         const std::string& sql) {
+  constexpr int kRounds = 5;
+  costmodel::CostEstimator estimator(med->registry(), &med->catalog());
+  optimizer::Optimizer optimizer(&estimator, &med->capabilities());
+  auto bound = med->Analyze(sql);
+  DISCO_CHECK(bound.ok());
+
+  std::vector<ScalePoint> points;
+  std::string baseline_plan;
+  double baseline_cost = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    double t0 = NowMs();
+    for (int round = 0; round < kRounds; ++round) {
+      costmodel::CostMemo memo;  // fresh memo: every round does full work
+      optimizer::OptimizerOptions opts;
+      opts.memo = &memo;
+      opts.pool = &pool;
+      auto result = optimizer.Optimize(*bound, opts);
+      DISCO_CHECK(result.ok());
+      if (baseline_plan.empty()) {
+        baseline_plan = result->plan->ToString();
+        baseline_cost = result->estimated_ms;
+      }
+      DISCO_CHECK(result->plan->ToString() == baseline_plan &&
+                  result->estimated_ms == baseline_cost)
+          << "pool size " << threads << " changed the planning outcome";
+    }
+    double wall = (NowMs() - t0) / kRounds;
+    points.push_back({threads, wall});
+    std::printf("%-22s %12d %12.3f\n", "parallel pricing", threads, wall);
+  }
+  return points;
+}
+
+void WriteJson(const CacheNumbers& cache, const MemoNumbers& memo,
+               const std::vector<ScalePoint>& scale) {
+  std::FILE* f = std::fopen("BENCH_planning.json", "w");
+  DISCO_CHECK(f != nullptr) << "cannot write BENCH_planning.json";
+  std::fprintf(f,
+               "{\"plan_cache\":{\"cold_ms_per_query\":%.4f,"
+               "\"warm_ms_per_query\":%.4f,\"speedup\":%.2f},",
+               cache.cold_ms, cache.warm_ms, cache.speedup);
+  std::fprintf(f,
+               "\"cost_memo\":{\"formulas_off\":%lld,\"formulas_on\":%lld,"
+               "\"formula_reduction\":%.3f,\"match_attempts_off\":%lld,"
+               "\"match_attempts_on\":%lld,\"match_reduction\":%.3f},",
+               static_cast<long long>(memo.formulas_off),
+               static_cast<long long>(memo.formulas_on),
+               memo.formula_reduction,
+               static_cast<long long>(memo.matches_off),
+               static_cast<long long>(memo.matches_on), memo.match_reduction);
+  std::fprintf(f, "\"thread_scaling\":[");
+  for (size_t i = 0; i < scale.size(); ++i) {
+    std::fprintf(f, "%s{\"threads\":%d,\"wall_ms\":%.3f}", i ? "," : "",
+                 scale[i].threads, scale[i].wall_ms);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+}
+
+int Run() {
+  const std::string sql = StarQuery();
+  std::printf("# Fast planning path: %d-relation star\n", kNumDims + 1);
+  std::printf("%-22s %12s %12s %10s\n", "section", "off/cold_ms",
+              "on/warm_ms", "delta");
+  CacheNumbers cache = RunPlanCache(sql);
+
+  auto med = BuildFederation(mediator::MediatorOptions{});
+  MemoNumbers memo = RunCostMemo(med.get(), sql);
+
+  std::printf("%-22s %12s %12s\n", "section", "threads", "wall_ms");
+  std::vector<ScalePoint> scale = RunThreadScaling(med.get(), sql);
+
+  WriteJson(cache, memo, scale);
+  std::printf("# wrote BENCH_planning.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace disco
+
+int main() { return disco::Run(); }

@@ -27,6 +27,7 @@ Status Catalog::RegisterCollection(const std::string& source,
   }
   collections_[name] =
       CatalogEntry{source, std::move(schema), std::move(stats)};
+  ++version_;
   return Status::OK();
 }
 
@@ -37,6 +38,7 @@ Status Catalog::UpdateStats(const std::string& collection,
     return Status::NotFound("collection '" + collection + "' is not registered");
   }
   it->second.stats = std::move(stats);
+  ++version_;
   return Status::OK();
 }
 
@@ -59,6 +61,7 @@ Status Catalog::RemoveSource(const std::string& source) {
       ++cit;
     }
   }
+  ++version_;
   return Status::OK();
 }
 
@@ -138,21 +141,25 @@ Status Catalog::DeclareEquivalent(const std::string& collection_a,
       equiv_index_[name] = to;
     }
     equiv_classes_[from].clear();
+    ++version_;
     return Status::OK();
   }
   if (ia != equiv_index_.end()) {
     equiv_classes_[ia->second].push_back(collection_b);
     equiv_index_[collection_b] = ia->second;
+    ++version_;
     return Status::OK();
   }
   if (ib != equiv_index_.end()) {
     equiv_classes_[ib->second].push_back(collection_a);
     equiv_index_[collection_a] = ib->second;
+    ++version_;
     return Status::OK();
   }
   equiv_classes_.push_back({collection_a, collection_b});
   equiv_index_[collection_a] = equiv_classes_.size() - 1;
   equiv_index_[collection_b] = equiv_classes_.size() - 1;
+  ++version_;
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #ifndef DISCO_CATALOG_CATALOG_H_
 #define DISCO_CATALOG_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -71,7 +72,15 @@ class Catalog {
   /// none were declared). Order follows declaration order.
   std::vector<std::string> EquivalentsOf(const std::string& collection) const;
 
+  /// Monotonic version of the catalog's planning inputs: bumped by every
+  /// successful RegisterCollection / UpdateStats / RemoveSource /
+  /// DeclareEquivalent. The mediator's parameterized plan cache keys on
+  /// it so cached plans go stale exactly when the inputs they were
+  /// planned against change (docs/PERFORMANCE.md).
+  int64_t version() const { return version_; }
+
  private:
+  int64_t version_ = 0;
   std::vector<std::string> sources_;
   std::map<std::string, CatalogEntry> collections_;
   /// Equivalence classes of replica collections. equiv_index_ maps a

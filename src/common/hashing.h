@@ -1,0 +1,44 @@
+// Hashing helpers for the planning fast path: a stable 64-bit string
+// hash and transparent functors enabling heterogeneous (allocation-free)
+// unordered_map lookup by std::string_view.
+
+#ifndef DISCO_COMMON_HASHING_H_
+#define DISCO_COMMON_HASHING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace disco {
+
+/// FNV-1a over the bytes of `s`. Stable across platforms and runs (unlike
+/// std::hash), so values derived from it may appear in persisted output.
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Transparent hash functor: lets unordered containers look up
+/// std::string keys by string_view without materializing a std::string.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return static_cast<size_t>(Fnv1a64(s));
+  }
+};
+
+/// Transparent equality partner of StringHash.
+struct StringEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
+}  // namespace disco
+
+#endif  // DISCO_COMMON_HASHING_H_

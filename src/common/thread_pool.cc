@@ -1,0 +1,106 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace disco {
+
+namespace {
+/// claim_ layout: batch sequence (low 32 bits of batch_seq_) in the high
+/// word, next unclaimed index in the low word. Packing both into one
+/// atomic makes a claim valid only for the batch it was issued against: a
+/// straggler from batch k can never claim an index of batch k+1 (which
+/// would both skip that index and invoke a dead std::function).
+constexpr int kIndexBits = 32;
+constexpr uint64_t kIndexMask = (uint64_t{1} << kIndexBits) - 1;
+
+uint64_t PackBatch(int64_t seq) {
+  return (static_cast<uint64_t>(seq) & kIndexMask) << kIndexBits;
+}
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::DrainBatch(int64_t seq, const std::function<void(int)>* fn,
+                            int n) {
+  const uint64_t batch_tag = PackBatch(seq);
+  uint64_t cur = claim_.load(std::memory_order_acquire);
+  for (;;) {
+    if ((cur & ~kIndexMask) != batch_tag) return;  // a newer batch took over
+    const int i = static_cast<int>(cur & kIndexMask);
+    if (i >= n) return;  // batch fully claimed
+    if (!claim_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      continue;  // cur was reloaded by the failed CAS
+    }
+    (*fn)(i);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last index of the batch: wake the caller. The lock pairs with
+      // the caller's wait so the notification cannot be lost.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+    cur = claim_.load(std::memory_order_acquire);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  int64_t seen_seq = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    int n = 0;
+    int64_t seq = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || batch_seq_ != seen_seq; });
+      if (shutdown_) return;
+      // Snapshot the batch under the lock: fn_ points at the caller's
+      // stack and must never be dereferenced against a different batch.
+      seen_seq = seq = batch_seq_;
+      fn = fn_;
+      n = batch_size_;
+    }
+    if (fn != nullptr) DrainBatch(seq, fn, n);
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (num_threads_ == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  int64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = ++batch_seq_;
+    fn_ = &fn;
+    batch_size_ = n;
+    remaining_.store(n, std::memory_order_relaxed);
+    claim_.store(PackBatch(seq), std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  DrainBatch(seq, &fn, n);  // the caller participates
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock,
+                [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+  fn_ = nullptr;
+  batch_size_ = 0;
+}
+
+}  // namespace disco

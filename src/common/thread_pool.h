@@ -1,0 +1,71 @@
+// A small fixed-size worker pool for deterministic fan-out/fan-in
+// parallelism (docs/PERFORMANCE.md).
+//
+// The only primitive is ParallelFor(n, fn): run fn(0..n-1), blocking the
+// caller until every index completed. Work is distributed by an atomic
+// index counter, so *which thread* runs an index is nondeterministic --
+// the determinism contract is therefore structural: tasks may only write
+// to state owned by their own index (slot arrays), and the caller reduces
+// the slots in index order afterwards. Under that discipline a pool of
+// size 1 (which runs everything inline on the caller thread, spawning no
+// workers) and a pool of size N produce bit-identical results.
+//
+// Tasks must not throw; errors travel through per-slot Result/Status
+// values, matching the rest of the codebase.
+
+#ifndef DISCO_COMMON_THREAD_POOL_H_
+#define DISCO_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace disco {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller thread participates in
+  /// every ParallelFor, so size 1 means fully inline execution). Values
+  /// below 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured parallelism (including the caller thread).
+  int size() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, n) and blocks until all completed.
+  /// fn is invoked concurrently from up to size() threads; it must only
+  /// touch per-index state. Not reentrant (one ParallelFor at a time).
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims indices of batch `seq` until it is drained or superseded.
+  void DrainBatch(int64_t seq, const std::function<void(int)>* fn, int n);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait here for a batch
+  std::condition_variable done_cv_;   ///< the caller waits here for fan-in
+  const std::function<void(int)>* fn_ = nullptr;  ///< guarded by mu_
+  int batch_size_ = 0;                ///< guarded by mu_
+  int64_t batch_seq_ = 0;             ///< bumped per ParallelFor (wakeup token)
+  /// Batch tag + next unclaimed index in one word (see thread_pool.cc);
+  /// the pairing stops stragglers from claiming into a newer batch.
+  std::atomic<uint64_t> claim_{0};
+  std::atomic<int> remaining_{0};
+  bool shutdown_ = false;
+};
+
+}  // namespace disco
+
+#endif  // DISCO_COMMON_THREAD_POOL_H_

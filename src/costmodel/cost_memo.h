@@ -1,0 +1,133 @@
+// Subplan cost memoization (docs/PERFORMANCE.md).
+//
+// The DP join enumerator prices hundreds of candidate plans that share
+// subtrees (every best-so-far table entry reappears, submit-wrapped or
+// joined, in many larger candidates). CostMemo caches per-node CostVector
+// results keyed by (structural subplan hash, executing source context,
+// required-variable set, estimate-option bits) so shared subtrees are
+// priced once per enumeration instead of once per candidate.
+//
+// Staleness: entries are only valid for one RuleRegistry::epoch() -- the
+// registry bumps it on every rule-hierarchy or query-scope change (which
+// also covers HistoryManager adjustment-factor updates, recorded in the
+// same RecordExecution call). SyncEpoch() drops everything when the epoch
+// moved.
+//
+// Concurrency contract (the thread-pool determinism contract): during a
+// parallel pricing batch the base CostMemo is strictly read-only; each
+// concurrent estimate writes its discoveries (and hit/miss tallies) into
+// a private MemoDelta. After the batch joins, the caller absorbs the
+// deltas *in slot order*. Memo content, hit counts, and therefore every
+// downstream statistic are bit-identical for any pool size.
+
+#ifndef DISCO_COSTMODEL_COST_MEMO_H_
+#define DISCO_COSTMODEL_COST_MEMO_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hashing.h"
+#include "common/str_util.h"
+#include "costmodel/cost_vector.h"
+
+namespace disco {
+namespace costmodel {
+
+/// Identity of one memoized estimation result.
+struct MemoKey {
+  uint64_t plan_hash = 0;    ///< algebra::Operator::Hash() of the subtree
+  std::string source_ctx;    ///< executing wrapper ("" = mediator), lowercase
+  uint32_t required_bits = 0;  ///< VarSet the node was asked to compute
+  uint32_t option_bits = 0;    ///< estimate-option fingerprint
+
+  bool operator==(const MemoKey& o) const {
+    return plan_hash == o.plan_hash && required_bits == o.required_bits &&
+           option_bits == o.option_bits && source_ctx == o.source_ctx;
+  }
+};
+
+struct MemoKeyHash {
+  size_t operator()(const MemoKey& k) const {
+    size_t h = static_cast<size_t>(k.plan_hash);
+    h = HashCombine(h, static_cast<size_t>(Fnv1a64(k.source_ctx)));
+    h = HashCombine(h, (static_cast<size_t>(k.required_bits) << 8) ^
+                           static_cast<size_t>(k.option_bits));
+    return h;
+  }
+};
+
+/// One estimate's private memo overlay: new entries plus hit/miss
+/// tallies, merged into the shared CostMemo after the pricing batch.
+class MemoDelta {
+ public:
+  const CostVector* Find(const MemoKey& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  void Insert(const MemoKey& key, const CostVector& cost) {
+    entries_.emplace(key, cost);
+  }
+  bool empty() const { return entries_.empty() && hits == 0 && misses == 0; }
+
+  int64_t hits = 0;
+  int64_t misses = 0;
+
+ private:
+  friend class CostMemo;
+  std::unordered_map<MemoKey, CostVector, MemoKeyHash> entries_;
+};
+
+class CostMemo {
+ public:
+  /// Validates the memo against the registry epoch: when it moved, every
+  /// entry is dropped (counted as one invalidation). Call before a batch
+  /// of estimates; never during one.
+  void SyncEpoch(int64_t registry_epoch) {
+    if (epoch_ == registry_epoch) return;
+    if (initialized_ && !entries_.empty()) ++invalidations_;
+    entries_.clear();
+    epoch_ = registry_epoch;
+    initialized_ = true;
+  }
+
+  /// Read-only lookup; safe from concurrent estimates.
+  const CostVector* Find(const MemoKey& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Merges one estimate's overlay (first insertion of a key wins, so
+  /// absorbing deltas in slot order is deterministic). Caller thread
+  /// only, between batches.
+  void Absorb(MemoDelta&& delta) {
+    hits_ += delta.hits;
+    misses_ += delta.misses;
+    for (auto& [key, cost] : delta.entries_) {
+      entries_.emplace(std::move(key), cost);
+    }
+    delta.entries_.clear();
+    delta.hits = 0;
+    delta.misses = 0;
+  }
+
+  size_t size() const { return entries_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t invalidations() const { return invalidations_; }
+  int64_t epoch() const { return epoch_; }
+
+ private:
+  std::unordered_map<MemoKey, CostVector, MemoKeyHash> entries_;
+  int64_t epoch_ = 0;
+  bool initialized_ = false;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t invalidations_ = 0;
+};
+
+}  // namespace costmodel
+}  // namespace disco
+
+#endif  // DISCO_COSTMODEL_COST_MEMO_H_

@@ -49,6 +49,16 @@ std::unique_ptr<NodeState> BuildStateTree(const Operator& node,
   return st;
 }
 
+/// Fingerprint of the options that change what an estimate computes.
+/// prune_bound is deliberately excluded: a *completed* node estimate is
+/// bound-independent (pruning only aborts traversals early, it never
+/// alters computed values), so complete results are shareable across
+/// bounds. collect_explain disables memoization entirely.
+uint32_t MemoOptionBits(const EstimateOptions& o) {
+  return (o.propagate_required_vars ? 1u : 0u) | (o.use_history ? 2u : 0u) |
+         (o.tie_break_first_only ? 4u : 0u);
+}
+
 /// Default attribute statistics when a wrapper exported none -- the
 /// "standard values ... as usual" of paper Section 6.
 AttributeStats DefaultAttrStats(const ExtentStats& extent) {
@@ -96,6 +106,35 @@ class NodeEstimator : public costlang::EvalContext {
       required.set(static_cast<size_t>(CostVarId::kTotalTime));
     }
 
+    // Memo lookup: a previously completed estimate of this exact subtree
+    // in this context replaces the whole traversal. A result computed for
+    // AllVars is a valid superset answer for any smaller required set, so
+    // we probe that key too -- it is how subplans priced standalone (root
+    // asks for everything) are reused when embedded under a join.
+    memo_enabled_ = options_.memo != nullptr && options_.memo_delta != nullptr &&
+                    !options_.collect_explain;
+    if (memo_enabled_) {
+      memo_key_.plan_hash = st_->node->Hash();
+      memo_key_.source_ctx = st_->source_ctx;
+      memo_key_.required_bits = static_cast<uint32_t>(required.to_ulong());
+      memo_key_.option_bits = MemoOptionBits(options_);
+      const CostVector* found = options_.memo_delta->Find(memo_key_);
+      if (found == nullptr) found = options_.memo->Find(memo_key_);
+      const uint32_t all_bits = static_cast<uint32_t>(AllVars().to_ulong());
+      if (found == nullptr && memo_key_.required_bits != all_bits) {
+        MemoKey all = memo_key_;
+        all.required_bits = all_bits;
+        found = options_.memo_delta->Find(all);
+        if (found == nullptr) found = options_.memo->Find(all);
+      }
+      if (found != nullptr) {
+        ++options_.memo_delta->hits;
+        st_->cost = *found;
+        return CheckPrune();
+      }
+      ++options_.memo_delta->misses;
+    }
+
     // Query scope: an exactly recorded subquery short-circuits everything
     // (most specific level of the Figure 10 hierarchy).
     if (options_.use_history && !st_->source_ctx.empty()) {
@@ -107,6 +146,7 @@ class NodeEstimator : public costlang::EvalContext {
           out_->explain[explain_idx].cost = st_->cost;
           out_->explain[explain_idx].from_query_scope = true;
         }
+        if (memo_enabled_) options_.memo_delta->Insert(memo_key_, st_->cost);
         return CheckPrune();
       }
     }
@@ -174,6 +214,11 @@ class NodeEstimator : public costlang::EvalContext {
                       st_->cost.total_time() * factor);
       }
     }
+    // Insert after the history adjustment so a memo hit replays the
+    // adjusted value. Reached only for complete results: a pruned child
+    // returned early above, and this node's own prune check (below) does
+    // not invalidate the vector just computed.
+    if (memo_enabled_) options_.memo_delta->Insert(memo_key_, st_->cost);
     return CheckPrune();
   }
 
@@ -526,6 +571,8 @@ class NodeEstimator : public costlang::EvalContext {
   const Bindings* current_bindings_ = nullptr;
   int depth_ = 0;
   std::vector<VarExplain> explain_vars_;
+  bool memo_enabled_ = false;
+  MemoKey memo_key_;
 };
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "algebra/operator.h"
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "costmodel/cost_memo.h"
 #include "costmodel/cost_vector.h"
 #include "costmodel/history.h"
 #include "costmodel/registry.h"
@@ -50,6 +51,18 @@ struct EstimateOptions {
 
   /// Record which rule won each variable at each node (EXPLAIN).
   bool collect_explain = false;
+
+  /// Subplan cost memoization (docs/PERFORMANCE.md). When both are set,
+  /// every completed node estimate is looked up in / recorded into the
+  /// memo keyed by (subtree hash, source context, required vars, option
+  /// bits). `memo` is the shared base and stays read-only during the
+  /// estimate; discoveries and hit/miss tallies go into the private
+  /// `memo_delta`, which the caller absorbs afterwards (in slot order
+  /// when estimates ran in parallel). The caller must have synced the
+  /// memo against RuleRegistry::epoch(). collect_explain disables
+  /// memoization (a hit would skip the per-node records).
+  const CostMemo* memo = nullptr;
+  MemoDelta* memo_delta = nullptr;
 };
 
 /// Which rule produced a variable's (minimum) value at one node.
@@ -107,6 +120,8 @@ class CostEstimator {
   /// Convenience: TotalTime of the whole plan.
   Result<double> EstimateTotalTime(const algebra::Operator& plan,
                                    const EstimateOptions& options = {}) const;
+
+  const RuleRegistry* registry() const { return registry_; }
 
  private:
   const RuleRegistry* registry_;

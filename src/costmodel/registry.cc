@@ -1,11 +1,26 @@
 #include "costmodel/registry.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/str_util.h"
 
 namespace disco {
 namespace costmodel {
+
+namespace {
+
+/// True when `s` contains no ASCII upper-case letter -- the common case
+/// for source names on the estimation hot path, which then needs no
+/// lowercasing allocation at all.
+bool IsLowerAscii(std::string_view s) {
+  for (char c : s) {
+    if (c >= 'A' && c <= 'Z') return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Status RuleRegistry::AddDefaultRules(costlang::CompiledRuleSet rules) {
   return AddRuleSet("", Scope::kDefault, /*derive_scope=*/false,
@@ -30,18 +45,22 @@ Status RuleRegistry::AddRuleSet(const std::string& source, Scope fixed_scope,
                                 bool derive_scope,
                                 costlang::CompiledRuleSet rules) {
   auto owned = std::make_unique<costlang::CompiledRuleSet>(std::move(rules));
+  // Interned once here; every RegisteredRule copy shares the SSO buffer
+  // or the lowercased spelling, and lookups never re-lower it.
+  const std::string lowered = ToLower(source);
   for (const costlang::CompiledRule& rule : owned->rules) {
     RegisteredRule reg;
     reg.rule = &rule;
     reg.globals = &owned->global_values;
     reg.scope = derive_scope ? DeriveWrapperScope(rule.pattern) : fixed_scope;
-    reg.source = ToLower(source);
+    reg.source = lowered;
     reg.seq = next_seq_++;
     rules_.push_back(std::move(reg));
     ++total_rules_;
   }
   rule_sets_.push_back(std::move(owned));
-  index_valid_ = false;
+  index_valid_.store(false, std::memory_order_release);
+  ++epoch_;
   return Status::OK();
 }
 
@@ -62,7 +81,8 @@ int RuleRegistry::RemoveWrapperRules(const std::string& source) {
   // The owned rule sets stay allocated (cheap, and keeps remaining
   // pointers stable); only the registration entries go away.
   query_costs_.erase(key);
-  index_valid_ = false;
+  index_valid_.store(false, std::memory_order_release);
+  ++epoch_;
   return removed;
 }
 
@@ -70,11 +90,16 @@ void RuleRegistry::AddQueryCost(const std::string& source,
                                 const algebra::Operator& subplan,
                                 const CostVector& cost) {
   query_costs_[ToLower(source)][subplan.ToString()] = cost;
+  // Epoch moves (memoized estimates that consulted the query scope are
+  // stale) but the candidate index stays valid: query-scope entries live
+  // in their own map, so no Reindex is needed.
+  ++epoch_;
 }
 
 const CostVector* RuleRegistry::QueryCost(
     const std::string& source, const algebra::Operator& subplan) const {
-  auto sit = query_costs_.find(ToLower(source));
+  auto sit = IsLowerAscii(source) ? query_costs_.find(std::string_view(source))
+                                  : query_costs_.find(ToLower(source));
   if (sit == query_costs_.end()) return nullptr;
   auto qit = sit->second.find(subplan.ToString());
   if (qit == sit->second.end()) return nullptr;
@@ -121,9 +146,17 @@ bool IsExactSelectRule(const RegisteredRule& r) {
 
 }  // namespace
 
+void RuleRegistry::EnsureIndex() const {
+  if (index_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(reindex_mu_);
+  if (!index_valid_.load(std::memory_order_relaxed)) {
+    const_cast<RuleRegistry*>(this)->Reindex();
+  }
+}
+
 void RuleRegistry::Reindex() {
   index_.clear();
-  exact_select_index_.clear();
+  for (auto& list : fallback_by_kind_) list.clear();
   // Collect the set of sources seen among wrapper rules, plus "".
   std::vector<std::string> sources{""};
   for (const RegisteredRule& r : rules_) {
@@ -137,9 +170,10 @@ void RuleRegistry::Reindex() {
     const costlang::CompiledPattern& p = r.rule->pattern;
     std::string key = ExactSelectKey(p.inputs[0].name, p.sel_attr.name,
                                      p.sel_op, p.sel_value.value);
-    exact_select_index_[r.source][key].push_back(r);
+    index_[r.source].exact_select[key].push_back(r);
   }
   for (const std::string& source : sources) {
+    PerSourceIndex& slice = index_[source];
     for (int k = 0; k < algebra::kNumOpKinds; ++k) {
       std::vector<RegisteredRule> list;
       for (const RegisteredRule& r : rules_) {
@@ -155,61 +189,66 @@ void RuleRegistry::Reindex() {
                 [](const RegisteredRule& a, const RegisteredRule& b) {
                   return a.OrderedBefore(b);
                 });
-      if (!list.empty()) index_[{source, k}] = std::move(list);
+      slice.by_kind[static_cast<size_t>(k)] = std::move(list);
     }
   }
-  index_valid_ = true;
+  // Sources with no rules of their own see the default scope only
+  // (local-scope rules do not apply at a wrapper). Precomputing this
+  // keeps Candidates() from ever mutating the index under const -- the
+  // property the parallel estimation path relies on.
+  for (int k = 0; k < algebra::kNumOpKinds; ++k) {
+    std::vector<RegisteredRule> list;
+    for (const RegisteredRule& r : rules_) {
+      if (static_cast<int>(r.rule->pattern.op) != k) continue;
+      if (IsExactSelectRule(r)) continue;
+      if (r.scope == Scope::kDefault) list.push_back(r);
+    }
+    std::sort(list.begin(), list.end(),
+              [](const RegisteredRule& a, const RegisteredRule& b) {
+                return a.OrderedBefore(b);
+              });
+    fallback_by_kind_[static_cast<size_t>(k)] = std::move(list);
+  }
+  index_valid_.store(true, std::memory_order_release);
+}
+
+const RuleRegistry::PerSourceIndex* RuleRegistry::FindSource(
+    std::string_view source) const {
+  auto it = IsLowerAscii(source) ? index_.find(source)
+                                 : index_.find(ToLower(source));
+  return it == index_.end() ? nullptr : &it->second;
 }
 
 const std::vector<RegisteredRule>* RuleRegistry::ExactSelectBucket(
-    const std::string& source, const algebra::Operator& node) const {
+    std::string_view source, const algebra::Operator& node) const {
   if (node.kind != algebra::OpKind::kSelect || !node.select_pred.has_value()) {
     return nullptr;
   }
-  if (!index_valid_) const_cast<RuleRegistry*>(this)->Reindex();
-  auto sit = exact_select_index_.find(ToLower(source));
-  if (sit == exact_select_index_.end()) return nullptr;
+  EnsureIndex();
+  const PerSourceIndex* slice = FindSource(source);
+  if (slice == nullptr || slice->exact_select.empty()) return nullptr;
   std::string key =
       ExactSelectKey(node.FirstBaseCollection(), node.select_pred->attribute,
                      node.select_pred->op, node.select_pred->value);
-  auto bit = sit->second.find(key);
-  if (bit == sit->second.end()) return nullptr;
+  auto bit = slice->exact_select.find(key);
+  if (bit == slice->exact_select.end()) return nullptr;
   return &bit->second;
 }
 
 const std::vector<RegisteredRule>& RuleRegistry::Candidates(
-    const std::string& source, algebra::OpKind kind) const {
-  static const std::vector<RegisteredRule> kEmpty;
-  if (!index_valid_) const_cast<RuleRegistry*>(this)->Reindex();
-  auto it = index_.find({ToLower(source), static_cast<int>(kind)});
+    std::string_view source, algebra::OpKind kind) const {
+  EnsureIndex();
+  const PerSourceIndex* slice = FindSource(source);
   // A source with no wrapper rules at all still sees the default scope.
-  if (it == index_.end()) {
-    it = index_.find({std::string(), static_cast<int>(kind)});
-    if (it == index_.end()) return kEmpty;
-    // The mediator-context list may contain local-scope rules which do
-    // not apply at a wrapper; filter lazily only if any are present.
-    bool has_local = false;
-    for (const RegisteredRule& r : it->second) {
-      if (r.scope == Scope::kLocal) {
-        has_local = true;
-        break;
-      }
-    }
-    if (!has_local || source.empty()) return it->second;
-    auto key = std::make_pair(ToLower(source), static_cast<int>(kind));
-    std::vector<RegisteredRule> filtered;
-    for (const RegisteredRule& r : it->second) {
-      if (r.scope != Scope::kLocal) filtered.push_back(r);
-    }
-    index_[key] = std::move(filtered);
-    return index_[key];
+  if (slice == nullptr) {
+    return fallback_by_kind_[static_cast<size_t>(kind)];
   }
-  return it->second;
+  return slice->by_kind[static_cast<size_t>(kind)];
 }
 
 std::string RuleRegistry::Describe() const {
   std::string out;
-  if (!index_valid_) const_cast<RuleRegistry*>(this)->Reindex();
+  EnsureIndex();
   std::vector<RegisteredRule> all = rules_;
   std::sort(all.begin(), all.end(),
             [](const RegisteredRule& a, const RegisteredRule& b) {
@@ -221,10 +260,17 @@ std::string RuleRegistry::Describe() const {
                         r.source.empty() ? "(mediator)" : r.source.c_str(),
                         r.rule->ToString().c_str());
   }
+  // query_costs_ is unordered; render sorted so dumps stay deterministic.
+  std::map<std::string, std::map<std::string, const CostVector*>> sorted;
   for (const auto& [source, entries] : query_costs_) {
     for (const auto& [key, cost] : entries) {
+      sorted[source][key] = &cost;
+    }
+  }
+  for (const auto& [source, entries] : sorted) {
+    for (const auto& [key, cost] : entries) {
       out += StringPrintf("[%-10s] %-12s %s -> %s\n", "query", source.c_str(),
-                          key.c_str(), cost.ToString().c_str());
+                          key.c_str(), cost->ToString().c_str());
     }
   }
   return out;

@@ -5,17 +5,27 @@
 // Wrapper rules land here at registration time; default- and local-scope
 // rules are installed at mediator startup; query-scope entries are added
 // by the history manager after executions.
+//
+// Concurrency: mutations (Add*/Remove*) happen on the mediator control
+// thread only. The read side (Candidates / ExactSelectBucket / QueryCost)
+// is safe to call from parallel plan-pricing workers: the lazy reindex is
+// guarded by a mutex + atomic valid flag, and no read path mutates the
+// index afterwards.
 
 #ifndef DISCO_COSTMODEL_REGISTRY_H_
 #define DISCO_COSTMODEL_REGISTRY_H_
 
-#include <map>
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "algebra/operator.h"
+#include "common/hashing.h"
 #include "common/status.h"
 #include "costlang/compiler.h"
 #include "costmodel/cost_vector.h"
@@ -49,7 +59,9 @@ class RuleRegistry {
   int RemoveWrapperRules(const std::string& source);
 
   /// Records a query-scope entry: the exact measured cost of a subquery
-  /// previously submitted to `source` (paper Section 4.3.1).
+  /// previously submitted to `source` (paper Section 4.3.1). Bumps the
+  /// epoch but does NOT invalidate the candidate index (query-scope
+  /// entries live in their own map).
   void AddQueryCost(const std::string& source,
                     const algebra::Operator& subplan, const CostVector& cost);
 
@@ -62,8 +74,10 @@ class RuleRegistry {
   /// precedence: scope desc, specificity desc, registration order asc.
   /// Includes the source's own rules plus default-scope rules (and
   /// local-scope rules when source is the mediator). Fully-bound select
-  /// rules live in the hash index below, not here.
-  const std::vector<RegisteredRule>& Candidates(const std::string& source,
+  /// rules live in the hash index below, not here. Lookup is
+  /// allocation-free when `source` is already lower-cased (the
+  /// estimator's hot path always is).
+  const std::vector<RegisteredRule>& Candidates(std::string_view source,
                                                 algebra::OpKind kind) const;
 
   /// The paper's "virtual tables" (Section 3.3.2): selection rules whose
@@ -73,19 +87,45 @@ class RuleRegistry {
   /// bucket matching `node` exactly (highest select specificity), or
   /// nullptr. These rules are excluded from Candidates().
   const std::vector<RegisteredRule>* ExactSelectBucket(
-      const std::string& source, const algebra::Operator& node) const;
+      std::string_view source, const algebra::Operator& node) const;
 
   int num_rules() const { return total_rules_; }
   int num_query_entries() const;
+
+  /// Monotonic version of the cost-rule hierarchy: bumped by every
+  /// AddDefaultRules / AddLocalRules / AddWrapperRules /
+  /// RemoveWrapperRules / AddQueryCost. Subplan cost memos key their
+  /// entries on this value so they invalidate exactly when the rule
+  /// hierarchy (or the query scope / history state updated alongside it)
+  /// changes (docs/PERFORMANCE.md).
+  int64_t epoch() const { return epoch_; }
+
+  /// Builds the candidate index now if it is stale. Optional: the read
+  /// side does this lazily under a lock; calling it before fanning out
+  /// parallel estimation avoids serializing the first lookups.
+  void EnsureIndex() const;
 
   /// Human-readable dump of the scope hierarchy (for debugging and the
   /// examples).
   std::string Describe() const;
 
  private:
+  /// Per-source slice of the candidate index. The mediator context is
+  /// source "".
+  struct PerSourceIndex {
+    /// op kind -> sorted candidate list.
+    std::array<std::vector<RegisteredRule>, algebra::kNumOpKinds> by_kind;
+    /// Exact-select hash index: "coll\x1f attr\x1f op\x1f value" -> rules,
+    /// ordered by registration.
+    std::unordered_map<std::string, std::vector<RegisteredRule>, StringHash,
+                       StringEq>
+        exact_select;
+  };
+
   Status AddRuleSet(const std::string& source, Scope fixed_scope,
                     bool derive_scope, costlang::CompiledRuleSet rules);
   void Reindex();
+  const PerSourceIndex* FindSource(std::string_view source) const;
 
   /// Owned storage for compiled rule sets (stable addresses).
   std::vector<std::unique_ptr<costlang::CompiledRuleSet>> rule_sets_;
@@ -93,20 +133,25 @@ class RuleRegistry {
   std::vector<RegisteredRule> rules_;
   int total_rules_ = 0;
   int next_seq_ = 0;
+  int64_t epoch_ = 0;
 
-  /// Index: (lowercased source, op kind) -> sorted candidate list. The
-  /// mediator context is source "".
-  mutable std::map<std::pair<std::string, int>, std::vector<RegisteredRule>>
+  /// Index: lowercased source -> per-source candidate slices.
+  mutable std::unordered_map<std::string, PerSourceIndex, StringHash, StringEq>
       index_;
-  /// Exact-select hash index: source -> "coll\x1f attr\x1f op\x1f value"
-  /// -> rules, ordered by registration.
-  mutable std::map<std::string,
-                   std::unordered_map<std::string, std::vector<RegisteredRule>>>
-      exact_select_index_;
-  mutable bool index_valid_ = false;
+  /// Candidate lists served to sources that exported no rules at all:
+  /// default-scope rules only (local-scope rules never apply at a
+  /// wrapper). Precomputed so Candidates() never mutates under const.
+  mutable std::array<std::vector<RegisteredRule>, algebra::kNumOpKinds>
+      fallback_by_kind_;
+  mutable std::atomic<bool> index_valid_{false};
+  mutable std::mutex reindex_mu_;
 
-  /// Query scope: source -> canonical subplan string -> measured cost.
-  std::map<std::string, std::unordered_map<std::string, CostVector>>
+  /// Query scope: lowercased source -> canonical subplan string ->
+  /// measured cost. Separate from the candidate index on purpose:
+  /// AddQueryCost must not force a Reindex.
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, CostVector>, StringHash,
+                     StringEq>
       query_costs_;
 };
 

@@ -29,7 +29,12 @@ Mediator::Mediator(MediatorOptions options)
       optimizer_(&estimator_, &caps_),
       health_(options_.breaker),
       drift_(options_.drift),
-      query_log_(options_.query_log_capacity) {
+      query_log_(options_.query_log_capacity),
+      planning_pool_(options_.planning_threads > 1
+                         ? std::make_unique<ThreadPool>(
+                               options_.planning_threads)
+                         : nullptr),
+      plan_cache_(options_.plan_cache_capacity) {
   Status s = costmodel::InstallGenericModel(&registry_, options_.calibration);
   DISCO_CHECK(s.ok()) << "generic cost model failed to install: "
                       << s.ToString();
@@ -38,6 +43,11 @@ Mediator::Mediator(MediatorOptions options)
   health_.SetTransitionListener([this](const std::string& source,
                                        BreakerState from, BreakerState to,
                                        double now_ms) {
+    // A breaker transition changes which sources planning may use:
+    // templates touching the source are stale in both directions
+    // (open: the plan submits to a dead source; close: a degraded
+    // workaround plan is no longer the best choice).
+    InvalidateCachedPlansFor(source);
     metrics_.counter("disco.breaker.transitions")->Increment();
     FlapCount& flaps = breaker_flaps_[source];
     ++flaps.transitions;
@@ -60,6 +70,9 @@ Mediator::Mediator(MediatorOptions options)
   // Drift breaches become a counter, a warning log line, and -- during
   // an execution -- an instant trace event carrying the recommendation.
   drift_.SetListener([this](const costmodel::DriftEvent& event) {
+    // The cost knowledge the cached template was chosen under has
+    // drifted past its threshold: replan this source's shapes fresh.
+    InvalidateCachedPlansFor(event.source);
     metrics_.counter("disco.costmodel.drift_events")->Increment();
     DISCO_LOG(Warning) << "cost-model drift: " << event.ToString();
     if (active_trace_ != nullptr) {
@@ -75,6 +88,15 @@ Mediator::Mediator(MediatorOptions options)
 tracing::TraceHandle Mediator::NewTrace() const {
   if (!options_.collect_traces) return nullptr;
   return std::make_shared<tracing::Trace>(sim_now_ms_);
+}
+
+void Mediator::InvalidateCachedPlansFor(const std::string& source) {
+  const int64_t before = plan_cache_.stats().invalidations;
+  plan_cache_.InvalidateSource(source);
+  const int64_t dropped = plan_cache_.stats().invalidations - before;
+  if (dropped > 0) {
+    metrics_.counter("disco.plancache.invalidations")->Increment(dropped);
+  }
 }
 
 Status Mediator::RegisterWrapper(std::unique_ptr<wrapper::Wrapper> w) {
@@ -116,12 +138,22 @@ Status Mediator::ReRegisterWrapper(const std::string& name) {
   // re-freeze its baselines against the refreshed cost knowledge.
   health_.Reset(w->name());
   drift_.ResetBaseline(w->name());
+  // Plans chosen under the old rules/statistics must not be replayed.
+  InvalidateCachedPlansFor(w->name());
   return Status::OK();
 }
 
 Status Mediator::DeclareEquivalent(const std::string& collection_a,
                                    const std::string& collection_b) {
-  return catalog_.DeclareEquivalent(collection_a, collection_b);
+  DISCO_RETURN_NOT_OK(catalog_.DeclareEquivalent(collection_a, collection_b));
+  // A new equivalence changes the plan space for every shape touching
+  // the class (replica routing becomes possible), so drop everything.
+  const int64_t dropped = static_cast<int64_t>(plan_cache_.size());
+  plan_cache_.InvalidateAll();
+  if (dropped > 0) {
+    metrics_.counter("disco.plancache.invalidations")->Increment(dropped);
+  }
+  return Status::OK();
 }
 
 wrapper::Wrapper* Mediator::wrapper(const std::string& name) {
@@ -129,6 +161,18 @@ wrapper::Wrapper* Mediator::wrapper(const std::string& name) {
     if (EqualsIgnoreCase(w->name(), name)) return w.get();
   }
   return nullptr;
+}
+
+Mediator::PlanCacheKeyParts Mediator::MakePlanCacheKey(
+    const query::BoundQuery& bound) const {
+  PlanCacheKeyParts parts;
+  parts.canon = Canonicalize(bound);
+  std::vector<std::string> avoid = health_.OpenSources(sim_now_ms_);
+  for (std::string& s : avoid) s = ToLower(s);
+  std::sort(avoid.begin(), avoid.end());
+  avoid.erase(std::unique(avoid.begin(), avoid.end()), avoid.end());
+  parts.avoid_key = JoinStrings(avoid, ",");
+  return parts;
 }
 
 Result<query::BoundQuery> Mediator::Analyze(const std::string& sql) const {
@@ -142,6 +186,10 @@ optimizer::OptimizerOptions Mediator::PlanningOptions(
   optimizer::OptimizerOptions opts = options_.optimizer;
   opts.catalog = &catalog_;
   opts.trace = trace;
+  // Fast planning path: the cross-query subplan memo and (when
+  // configured) the deterministic planning pool.
+  opts.memo = &cost_memo_;
+  opts.pool = planning_pool_.get();
   opts.avoid_sources = health_.OpenSources(sim_now_ms_);
   for (const std::string& s : extra_avoid) {
     opts.avoid_sources.push_back(s);
@@ -309,8 +357,35 @@ Result<QueryResult> Mediator::QueryWithTrace(const std::string& sql,
     DISCO_ASSIGN_OR_RETURN(bound, query::Bind(parsed, catalog_));
     span.Arg("relations", static_cast<int64_t>(bound.relations.size()));
   }
+  // Parameterized plan cache: canonicalize the bound query (constants
+  // lifted into slots) and try to replay a cached winning plan under the
+  // same catalog version and avoid-set (docs/PERFORMANCE.md).
   optimizer::OptimizedPlan plan;
-  {
+  bool cache_hit = false;
+  PlanCacheKeyParts cache_key;
+  if (plan_cache_.enabled()) {
+    tracing::ScopedSpan span(trace, "plan-cache", "plan");
+    cache_key = MakePlanCacheKey(bound);
+    std::unique_ptr<algebra::Operator> cached = plan_cache_.Lookup(
+        cache_key.canon, catalog_.version(), cache_key.avoid_key);
+    span.Arg("hit", int64_t{cached != nullptr ? 1 : 0});
+    span.Arg("entries", static_cast<int64_t>(plan_cache_.size()));
+    if (cached != nullptr) {
+      metrics_.counter("disco.plancache.hits")->Increment();
+      // Re-estimate the instantiated plan so estimated_ms reflects the
+      // *current* constants and cost knowledge, not the cached run's.
+      DISCO_ASSIGN_OR_RETURN(
+          plan.final_estimate,
+          estimator_.Estimate(*cached, options_.optimizer.estimate));
+      plan.plan = std::move(cached);
+      plan.estimated_ms = plan.final_estimate.root.total_time();
+      span.Arg("estimated_ms", plan.estimated_ms);
+      cache_hit = true;
+    } else {
+      metrics_.counter("disco.plancache.misses")->Increment();
+    }
+  }
+  if (!cache_hit) {
     // The optimizer nests rewrite/enumerate spans below this one.
     tracing::ScopedSpan span(trace, "optimize");
     DISCO_ASSIGN_OR_RETURN(
@@ -326,6 +401,20 @@ Result<QueryResult> Mediator::QueryWithTrace(const std::string& sql,
         ->Increment(plan.stats.nodes_visited);
     metrics_.counter("disco.optimizer.match_attempts")
         ->Increment(plan.stats.match_attempts);
+    metrics_.counter("disco.costmemo.hits")->Increment(plan.stats.memo_hits);
+    metrics_.counter("disco.costmemo.misses")
+        ->Increment(plan.stats.memo_misses);
+    // Cache the winner for the next query of this shape. Plans that were
+    // rerouted to replicas are not cached: their warnings describe a
+    // routing decision a replay would silently repeat.
+    if (plan_cache_.enabled() && plan.replica_substitutions.empty()) {
+      const int64_t before = plan_cache_.stats().insertions;
+      plan_cache_.Insert(cache_key.canon, catalog_.version(),
+                         cache_key.avoid_key, *plan.plan);
+      if (plan_cache_.stats().insertions > before) {
+        metrics_.counter("disco.plancache.insertions")->Increment();
+      }
+    }
   }
   std::vector<std::string> failed;
   double first_attempt_ms = 0;
@@ -335,6 +424,7 @@ Result<QueryResult> Mediator::QueryWithTrace(const std::string& sql,
     result->estimated_ms = plan.estimated_ms;
     result->optimizer_stats = plan.stats;
     result->plan_fingerprint = PlanFingerprint(*plan.plan);
+    result->plan_cache_hit = cache_hit;
     AddReplicaWarnings(plan, catalog_, health_, sim_now_ms_, &metrics_,
                        &*result);
     return result;
@@ -494,6 +584,12 @@ Result<QueryResult> Mediator::ExecuteInternal(
     }
     span.Arg("subqueries", static_cast<int64_t>(raw->subqueries.size()));
   }
+  // Re-evaluate drift latches against the post-execution clock: a cell
+  // whose plan shape stopped executing (e.g. the plan cache pinned a
+  // different winner after a drift-triggered invalidation) receives no
+  // further observations, so its stale samples must age out of the
+  // window here rather than at the next Observe().
+  drift_.Refresh(sim_now_ms_);
   active_trace_ = nullptr;
 
   QueryResult out;
@@ -529,6 +625,18 @@ MonitorSnapshot Mediator::MonitorReport(int top_k) const {
   snap.log_capacity = query_log_.capacity();
   snap.log_dropped = query_log_.dropped();
   snap.log_total = query_log_.total_recorded();
+
+  snap.plan_cache_size = plan_cache_.size();
+  snap.plan_cache_capacity = options_.plan_cache_capacity;
+  snap.plan_cache_hits = plan_cache_.stats().hits;
+  snap.plan_cache_misses = plan_cache_.stats().misses;
+  snap.plan_cache_insertions = plan_cache_.stats().insertions;
+  snap.plan_cache_invalidations = plan_cache_.stats().invalidations;
+  snap.plan_cache_evictions = plan_cache_.stats().evictions;
+  snap.cost_memo_entries = cost_memo_.size();
+  snap.cost_memo_hits = cost_memo_.hits();
+  snap.cost_memo_misses = cost_memo_.misses();
+  snap.cost_memo_invalidations = cost_memo_.invalidations();
 
   // Worst drift cells first: highest windowed q-error, breached cells
   // breaking ties ahead of healthy ones (key order breaks the rest, so

@@ -20,8 +20,10 @@
 #include "catalog/catalog.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "common/tracing.h"
 #include "costmodel/accuracy.h"
+#include "costmodel/cost_memo.h"
 #include "costmodel/drift.h"
 #include "costmodel/estimator.h"
 #include "costmodel/generic_model.h"
@@ -29,6 +31,7 @@
 #include "costmodel/registry.h"
 #include "mediator/exec.h"
 #include "mediator/monitor_report.h"
+#include "mediator/plan_cache.h"
 #include "mediator/query_log.h"
 #include "mediator/source_health.h"
 #include "optimizer/optimizer.h"
@@ -65,6 +68,14 @@ struct MediatorOptions {
   costmodel::DriftOptions drift;
   /// Entries retained by the query-log flight recorder (0 disables it).
   size_t query_log_capacity = 256;
+  /// Fast planning path (docs/PERFORMANCE.md): parameterized plan cache
+  /// capacity (0 disables caching)...
+  size_t plan_cache_capacity = 64;
+  /// ...and the planning thread-pool size. 1 plans inline; N > 1 prices
+  /// independent join-enumeration candidates on N threads with a
+  /// deterministic reduction, so answers, traces, and metrics stay
+  /// byte-identical across pool sizes.
+  int planning_threads = 1;
 };
 
 struct QueryResult {
@@ -77,6 +88,9 @@ struct QueryResult {
   double estimated_ms = 0; ///< optimizer's estimate of the chosen plan
   double measured_ms = 0;  ///< simulated execution time
   int replans = 0;         ///< mid-query replans that happened (0 or 1)
+  /// The plan came from the parameterized plan cache (join enumeration
+  /// was skipped; optimizer_stats is empty in that case).
+  bool plan_cache_hit = false;
   optimizer::EnumStats optimizer_stats;
   /// Degradations survived while answering (retries that recovered,
   /// dropped union branches, replica rerouting). Empty on a clean run.
@@ -159,6 +173,13 @@ class Mediator {
   /// replayable via mediator/replay.h).
   QueryLog* query_log() { return &query_log_; }
   const QueryLog& query_log() const { return query_log_; }
+  /// Parameterized plan cache consulted by Query()
+  /// (docs/PERFORMANCE.md); empty when plan_cache_capacity is 0.
+  PlanCache* plan_cache() { return &plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  /// Cross-query subplan cost memo handed to the optimizer; invalidated
+  /// automatically against RuleRegistry::epoch().
+  const costmodel::CostMemo& cost_memo() const { return cost_memo_; }
   /// Dashboard-style operational snapshot: query volume, retry-budget
   /// consumption, breaker flaps, query-log occupancy, and the `top_k`
   /// worst drift cells by windowed q-error. Deterministic: two same-seed
@@ -190,6 +211,16 @@ class Mediator {
                                       NodeMeasureMap* node_measures = nullptr);
   /// New trace anchored at the mediator clock, or null when disabled.
   tracing::TraceHandle NewTrace() const;
+  /// Drops cached plan templates touching `source` and counts the drop
+  /// in disco.plancache.invalidations.
+  void InvalidateCachedPlansFor(const std::string& source);
+  /// The plan-cache key of a bound query under the current health state:
+  /// canonical shape plus the canonical avoid-set rendering.
+  struct PlanCacheKeyParts {
+    CanonicalQuery canon;
+    std::string avoid_key;
+  };
+  PlanCacheKeyParts MakePlanCacheKey(const query::BoundQuery& bound) const;
   /// Files one flight-recorder entry for `result` (consumes the submits
   /// collected by the last ExecuteInternal). No-op when the log is off.
   void RecordQueryLog(const std::string& sql, double start_ms,
@@ -206,6 +237,12 @@ class Mediator {
   SourceHealthRegistry health_;
   double sim_now_ms_ = 0;
   metrics::Registry metrics_;
+  /// Fast planning path (docs/PERFORMANCE.md). The memo and pool are
+  /// mutable because const planning entry points (Plan, Explain) still
+  /// warm the memo -- a cache, not observable state.
+  mutable costmodel::CostMemo cost_memo_;
+  std::unique_ptr<ThreadPool> planning_pool_;
+  PlanCache plan_cache_;
   costmodel::AccuracyTracker accuracy_;
   costmodel::DriftMonitor drift_;
   QueryLog query_log_;

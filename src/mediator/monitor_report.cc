@@ -22,6 +22,20 @@ std::string MonitorSnapshot::ToText() const {
       "query log: %zu/%zu entries (%lld recorded, %lld dropped)\n", log_size,
       log_capacity, static_cast<long long>(log_total),
       static_cast<long long>(log_dropped));
+  out += StringPrintf(
+      "plan cache: %zu/%zu entries (%lld hits, %lld misses, %lld inserted, "
+      "%lld invalidated, %lld evicted)\n",
+      plan_cache_size, plan_cache_capacity,
+      static_cast<long long>(plan_cache_hits),
+      static_cast<long long>(plan_cache_misses),
+      static_cast<long long>(plan_cache_insertions),
+      static_cast<long long>(plan_cache_invalidations),
+      static_cast<long long>(plan_cache_evictions));
+  out += StringPrintf(
+      "cost memo: %zu entries (%lld hits, %lld misses, %lld invalidations)\n",
+      cost_memo_entries, static_cast<long long>(cost_memo_hits),
+      static_cast<long long>(cost_memo_misses),
+      static_cast<long long>(cost_memo_invalidations));
 
   out += StringPrintf("breakers (%zu sources):\n", breakers.size());
   for (const MonitorBreakerRow& b : breakers) {
@@ -62,7 +76,13 @@ std::string MonitorSnapshot::ToJson() const {
       "\"submits\":%lld,\"submit_retries\":%lld,\"submit_failures\":%lld,"
       "\"breaker_rejections\":%lld,\"retry_max_attempts\":%d,"
       "\"query_log\":{\"size\":%zu,\"capacity\":%zu,\"recorded\":%lld,"
-      "\"dropped\":%lld},\"drift_events\":%lld,\"worst_cells\":[",
+      "\"dropped\":%lld},"
+      "\"plan_cache\":{\"size\":%zu,\"capacity\":%zu,\"hits\":%lld,"
+      "\"misses\":%lld,\"insertions\":%lld,\"invalidations\":%lld,"
+      "\"evictions\":%lld},"
+      "\"cost_memo\":{\"entries\":%zu,\"hits\":%lld,\"misses\":%lld,"
+      "\"invalidations\":%lld},"
+      "\"drift_events\":%lld,\"worst_cells\":[",
       now_ms, static_cast<long long>(queries),
       static_cast<long long>(query_errors), static_cast<long long>(replans),
       static_cast<long long>(explain_analyzes),
@@ -70,7 +90,15 @@ std::string MonitorSnapshot::ToJson() const {
       static_cast<long long>(submit_failures),
       static_cast<long long>(breaker_rejections), retry_max_attempts,
       log_size, log_capacity, static_cast<long long>(log_total),
-      static_cast<long long>(log_dropped),
+      static_cast<long long>(log_dropped), plan_cache_size,
+      plan_cache_capacity, static_cast<long long>(plan_cache_hits),
+      static_cast<long long>(plan_cache_misses),
+      static_cast<long long>(plan_cache_insertions),
+      static_cast<long long>(plan_cache_invalidations),
+      static_cast<long long>(plan_cache_evictions), cost_memo_entries,
+      static_cast<long long>(cost_memo_hits),
+      static_cast<long long>(cost_memo_misses),
+      static_cast<long long>(cost_memo_invalidations),
       static_cast<long long>(drift_events));
   for (size_t i = 0; i < worst_cells.size(); ++i) {
     const MonitorDriftRow& c = worst_cells[i];

@@ -61,6 +61,19 @@ struct MonitorSnapshot {
   int64_t log_dropped = 0;
   int64_t log_total = 0;
 
+  // Fast planning path (docs/PERFORMANCE.md).
+  size_t plan_cache_size = 0;
+  size_t plan_cache_capacity = 0;
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t plan_cache_insertions = 0;
+  int64_t plan_cache_invalidations = 0;
+  int64_t plan_cache_evictions = 0;
+  size_t cost_memo_entries = 0;
+  int64_t cost_memo_hits = 0;
+  int64_t cost_memo_misses = 0;
+  int64_t cost_memo_invalidations = 0;
+
   // Cost-model drift.
   int64_t drift_events = 0;
   /// Top-K cells by windowed q-error (worst first).

@@ -1,0 +1,211 @@
+#include "mediator/plan_cache.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace mediator {
+
+namespace {
+
+using algebra::Operator;
+
+/// Unqualified attribute name ("e.salary" -> "salary").
+std::string AttrSuffix(const std::string& attr) {
+  size_t pos = attr.rfind('.');
+  return pos == std::string::npos ? attr : attr.substr(pos + 1);
+}
+
+bool SameAttr(const std::string& a, const std::string& b) {
+  return EqualsIgnoreCase(AttrSuffix(a), AttrSuffix(b));
+}
+
+/// Pre-order search for the first unclaimed select node carrying the
+/// slot's (collection, attribute, op, value). `path` accumulates child
+/// indices from the root.
+bool FindSlotNode(const Operator& node, const CanonicalQuery::Slot& slot,
+                  const Value& constant,
+                  const std::vector<const Operator*>& claimed,
+                  std::vector<int>* path, const Operator** found) {
+  if (node.kind == algebra::OpKind::kSelect && node.select_pred.has_value() &&
+      SameAttr(node.select_pred->attribute, slot.attribute) &&
+      node.select_pred->op == slot.op && node.select_pred->value == constant &&
+      EqualsIgnoreCase(node.FirstBaseCollection(), slot.collection) &&
+      std::find(claimed.begin(), claimed.end(), &node) == claimed.end()) {
+    *found = &node;
+    return true;
+  }
+  for (int i = 0; i < node.num_children(); ++i) {
+    path->push_back(i);
+    if (FindSlotNode(node.child(i), slot, constant, claimed, path, found)) {
+      return true;
+    }
+    path->pop_back();
+  }
+  return false;
+}
+
+void CollectSources(const Operator& node, std::vector<std::string>* out) {
+  if (node.kind == algebra::OpKind::kSubmit ||
+      node.kind == algebra::OpKind::kBindJoin) {
+    std::string lower = ToLower(node.source);
+    if (std::find(out->begin(), out->end(), lower) == out->end()) {
+      out->push_back(std::move(lower));
+    }
+  }
+  for (int i = 0; i < node.num_children(); ++i) {
+    CollectSources(node.child(i), out);
+  }
+}
+
+Operator* Navigate(Operator* node, const std::vector<int>& path) {
+  for (int step : path) {
+    if (step < 0 || step >= node->num_children()) return nullptr;
+    node = node->children[static_cast<size_t>(step)].get();
+  }
+  return node;
+}
+
+}  // namespace
+
+CanonicalQuery Canonicalize(const query::BoundQuery& q) {
+  CanonicalQuery canon;
+  std::string& text = canon.text;
+  for (const query::BoundRelation& rel : q.relations) {
+    text += "rel " + ToLower(rel.collection) + "@" + ToLower(rel.source);
+    for (const algebra::SelectPredicate& p : rel.predicates) {
+      const int slot = static_cast<int>(canon.constants.size());
+      text += StringPrintf(" [%s %s ?%d]", ToLower(p.attribute).c_str(),
+                           algebra::CmpOpToString(p.op), slot);
+      canon.constants.push_back(p.value);
+      canon.slots.push_back(
+          CanonicalQuery::Slot{rel.collection, p.attribute, p.op});
+    }
+    text += ";";
+  }
+  for (const query::BoundJoin& j : q.joins) {
+    text += StringPrintf("join %d.%s=%d.%s;", j.left_rel,
+                         ToLower(j.left_attr).c_str(), j.right_rel,
+                         ToLower(j.right_attr).c_str());
+  }
+  if (q.aggregate.has_value()) {
+    text += StringPrintf("agg %s(%s);",
+                         algebra::AggFuncToString(q.aggregate->func),
+                         ToLower(q.aggregate->attribute).c_str());
+  }
+  if (!q.group_by.empty()) {
+    text += "group";
+    for (const std::string& g : q.group_by) text += " " + ToLower(g);
+    text += ";";
+  }
+  if (!q.projections.empty()) {
+    text += "proj";
+    for (const std::string& p : q.projections) text += " " + ToLower(p);
+    text += ";";
+  }
+  if (q.distinct) text += "distinct;";
+  if (q.order_by.has_value()) {
+    text += StringPrintf("order %s %s;", ToLower(*q.order_by).c_str(),
+                         q.order_ascending ? "asc" : "desc");
+  }
+  return canon;
+}
+
+std::string PlanCache::MakeKey(const std::string& text,
+                               int64_t catalog_version,
+                               const std::string& avoid_key) {
+  return StringPrintf("v%lld|%s|", static_cast<long long>(catalog_version),
+                      avoid_key.c_str()) +
+         text;
+}
+
+std::unique_ptr<Operator> PlanCache::Lookup(const CanonicalQuery& canon,
+                                            int64_t catalog_version,
+                                            const std::string& avoid_key) {
+  if (!enabled()) return nullptr;
+  const std::string key = MakeKey(canon.text, catalog_version, avoid_key);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  Entry& entry = *it->second;
+  std::unique_ptr<Operator> plan = entry.plan->Clone();
+  // Substitute the current constants into the template's select nodes.
+  for (size_t i = 0; i < canon.slots.size(); ++i) {
+    Operator* node = Navigate(plan.get(), entry.slot_paths[i]);
+    if (node == nullptr || node->kind != algebra::OpKind::kSelect ||
+        !node->select_pred.has_value()) {
+      // The template no longer matches its own slot map (should not
+      // happen); treat as a miss and drop the entry defensively.
+      lru_.erase(it->second);
+      index_.erase(it);
+      stats_.size = index_.size();
+      ++stats_.misses;
+      return nullptr;
+    }
+    node->select_pred->value = canon.constants[i];
+  }
+  // Freshen LRU position.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return plan;
+}
+
+void PlanCache::Insert(const CanonicalQuery& canon, int64_t catalog_version,
+                       const std::string& avoid_key, const Operator& plan) {
+  if (!enabled()) return;
+  Entry entry;
+  entry.key = MakeKey(canon.text, catalog_version, avoid_key);
+  if (index_.find(entry.key) != index_.end()) return;  // already cached
+  // Locate every slot's select node now; a template that cannot be
+  // re-parameterized is not cached.
+  std::vector<const Operator*> claimed;
+  for (size_t i = 0; i < canon.slots.size(); ++i) {
+    std::vector<int> path;
+    const Operator* found = nullptr;
+    if (!FindSlotNode(plan, canon.slots[i], canon.constants[i], claimed,
+                      &path, &found)) {
+      return;
+    }
+    claimed.push_back(found);
+    entry.slot_paths.push_back(std::move(path));
+  }
+  entry.plan = plan.Clone();
+  CollectSources(plan, &entry.sources);
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().key] = lru_.begin();
+  ++stats_.insertions;
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.size = index_.size();
+}
+
+void PlanCache::InvalidateSource(const std::string& source) {
+  const std::string lower = ToLower(source);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (std::find(it->sources.begin(), it->sources.end(), lower) !=
+        it->sources.end()) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+  stats_.size = index_.size();
+}
+
+void PlanCache::InvalidateAll() {
+  stats_.invalidations += static_cast<int64_t>(index_.size());
+  index_.clear();
+  lru_.clear();
+  stats_.size = 0;
+}
+
+}  // namespace mediator
+}  // namespace disco

@@ -1,0 +1,132 @@
+// Parameterized plan cache (docs/PERFORMANCE.md).
+//
+// Most workloads re-issue the same query shapes with different constants
+// ("SELECT ... WHERE salary = ?"). The cache canonicalizes a bound query
+// by lifting every selection constant into a numbered slot, and keys the
+// winning plan on (canonical form, catalog version, avoid-set). A hit
+// clones the cached template, substitutes the current constants back
+// into the corresponding select nodes, and skips join enumeration
+// entirely -- the mediator re-estimates only the one instantiated plan.
+//
+// What a hit does NOT redo is the constant-sensitive plan *choice*:
+// selectivities may differ between parameter values, so a cached shape
+// can be mildly suboptimal for outlier constants. This is the standard
+// parameterized-plan trade-off; the invalidation hooks (re-registration,
+// equivalence declarations, breaker transitions, latched drift events)
+// plus the catalog-version key bound how stale a template can get.
+// Deliberately NOT keyed on RuleRegistry::epoch(): history feedback
+// bumps the epoch after every execution, which would make the cache
+// useless by design.
+
+#ifndef DISCO_MEDIATOR_PLAN_CACHE_H_
+#define DISCO_MEDIATOR_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "common/hashing.h"
+#include "common/value.h"
+#include "query/binder.h"
+
+namespace disco {
+namespace mediator {
+
+/// A bound query with its selection constants lifted out.
+struct CanonicalQuery {
+  /// Shape text: relations, predicates with `?N` placeholders, joins,
+  /// and the query tail. Identical for queries differing only in
+  /// constants.
+  std::string text;
+  /// The lifted constants, in slot order.
+  std::vector<Value> constants;
+  /// Slot identities used to locate the select node carrying each
+  /// constant inside a plan (collection, attribute, comparison op).
+  struct Slot {
+    std::string collection;
+    std::string attribute;
+    algebra::CmpOp op = algebra::CmpOp::kEq;
+  };
+  std::vector<Slot> slots;
+};
+
+/// Lifts the constants out of `q`. Deterministic: slot order follows
+/// relation order, then predicate order.
+CanonicalQuery Canonicalize(const query::BoundQuery& q);
+
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t invalidations = 0;  ///< entries dropped by invalidation hooks
+  int64_t evictions = 0;      ///< entries dropped by LRU capacity
+  size_t size = 0;
+};
+
+/// LRU cache of winning plan templates. Single-threaded (mediator
+/// control path); all iteration orders are deterministic.
+class PlanCache {
+ public:
+  /// capacity 0 disables the cache (every call is a miss, nothing is
+  /// stored).
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Looks up the template for (canon.text, catalog_version, avoid_key)
+  /// and instantiates it with canon.constants. Returns null on miss.
+  /// `avoid_key` is the caller's canonical rendering of the avoided
+  /// source set (sorted, lower-cased, comma-joined).
+  std::unique_ptr<algebra::Operator> Lookup(const CanonicalQuery& canon,
+                                            int64_t catalog_version,
+                                            const std::string& avoid_key);
+
+  /// Stores `plan` as the template for the key. The plan must be the
+  /// winner for exactly `canon` (same constants); each slot's constant
+  /// is located in the plan now so a later Lookup can substitute new
+  /// values. Silently refuses when a slot cannot be located (never
+  /// caches a template it could not re-parameterize).
+  void Insert(const CanonicalQuery& canon, int64_t catalog_version,
+              const std::string& avoid_key, const algebra::Operator& plan);
+
+  /// Drops every template whose plan touches `source` (submit or bind
+  /// join). Hook for re-registration, breaker transitions, and latched
+  /// drift events.
+  void InvalidateSource(const std::string& source);
+
+  /// Drops everything (equivalence declarations change the shape of the
+  /// answerable plan space).
+  void InvalidateAll();
+
+  const PlanCacheStats& stats() const { return stats_; }
+  size_t size() const { return index_.size(); }
+  bool enabled() const { return capacity_ > 0; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::unique_ptr<algebra::Operator> plan;
+    /// Child-index path from the root to the select node of each slot.
+    std::vector<std::vector<int>> slot_paths;
+    /// Lower-cased sources the plan submits to (for InvalidateSource).
+    std::vector<std::string> sources;
+  };
+
+  static std::string MakeKey(const std::string& text, int64_t catalog_version,
+                             const std::string& avoid_key);
+
+  /// LRU list, most recent first; the map points into it.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator, StringHash,
+                     StringEq>
+      index_;
+  size_t capacity_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace mediator
+}  // namespace disco
+
+#endif  // DISCO_MEDIATOR_PLAN_CACHE_H_

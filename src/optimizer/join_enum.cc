@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/str_util.h"
@@ -26,6 +28,23 @@ struct Entry {
   double completion_cost = kInf;  ///< estimated cost once submitted/run
 };
 
+/// One candidate of a pricing batch. Generation (single-threaded) fills
+/// the identity fields; PriceOne (possibly concurrent) fills the
+/// outputs; the slot-order reduction consumes them.
+struct Candidate {
+  uint32_t subset = 0;
+  std::string location;
+  std::unique_ptr<Operator> plan;    ///< form stored in the DP table
+  std::unique_ptr<Operator> priced;  ///< completed form estimated (null:
+                                     ///< `plan` is already complete)
+  double frozen_bound = kInf;        ///< prune bound at batch start
+
+  Status status = Status::OK();
+  costmodel::PlanEstimate est;
+  double cost = kInf;
+  costmodel::MemoDelta delta;
+};
+
 class Enumeration {
  public:
   Enumeration(const BoundQuery& q, const costmodel::CostEstimator* estimator,
@@ -43,12 +62,26 @@ class Enumeration {
     best_.clear();
     best_.resize(static_cast<size_t>(full) + 1);
 
-    // Base relations.
-    for (int i = 0; i < n; ++i) {
-      DISCO_RETURN_NOT_OK(SeedRelation(i));
+    if (options_.use_memo) {
+      memo_ = options_.memo != nullptr ? options_.memo : &local_memo_;
+      memo_->SyncEpoch(estimator_->registry()->epoch());
     }
+    // Build the candidate index up front so concurrent first lookups do
+    // not serialize on the lazy-reindex lock.
+    estimator_->registry()->EnsureIndex();
 
-    // Connected-subset DP, by subset size.
+    std::vector<Candidate> batch;
+
+    // Base relations: one batch for all seeds.
+    for (int i = 0; i < n; ++i) {
+      DISCO_RETURN_NOT_OK(SeedRelation(i, &batch));
+    }
+    DISCO_RETURN_NOT_OK(FlushBatch(&batch));
+
+    // Connected-subset DP, by subset size. Each valid split prices its
+    // candidates as one batch, so later splits of the same subset see
+    // the incumbents established by earlier ones (keeps §4.3.2 pruning
+    // effective while staying deterministic).
     for (uint32_t s = 1; s <= full; ++s) {
       if (__builtin_popcount(s) < 2) continue;
       // Split into (s1, s2); fix the lowest bit into s1 to halve the
@@ -58,7 +91,8 @@ class Enumeration {
         if ((s1 & low) == 0) continue;
         const uint32_t s2 = s & ~s1;
         if (best_[s1].empty() || best_[s2].empty()) continue;
-        DISCO_RETURN_NOT_OK(Combine(s, s1, s2));
+        DISCO_RETURN_NOT_OK(Combine(s, s1, s2, &batch));
+        DISCO_RETURN_NOT_OK(FlushBatch(&batch));
       }
     }
 
@@ -69,77 +103,38 @@ class Enumeration {
 
     // Finish: append the query tail, trying both "inside the submit"
     // (single-source queries, capabilities permitting) and "at the
-    // mediator".
-    std::unique_ptr<Operator> best_plan;
-    double best_cost = kInf;
+    // mediator". One final batch, reduced into the overall winner.
     for (const auto& [loc, entry] : best_[full]) {
       if (loc.empty()) {
-        std::unique_ptr<Operator> plan =
-            AppendQueryTail(entry.plan->Clone(), q_);
-        DISCO_RETURN_NOT_OK(Consider(std::move(plan), &best_plan, &best_cost));
+        AddFinal(&batch, AppendQueryTail(entry.plan->Clone(), q_));
       } else {
         // (a) tail inside the submitted subquery.
-        std::unique_ptr<Operator> inside = AppendQueryTail(entry.plan->Clone(), q_);
+        std::unique_ptr<Operator> inside =
+            AppendQueryTail(entry.plan->Clone(), q_);
         if (SubplanSupported(*inside, caps_->Get(loc))) {
-          DISCO_RETURN_NOT_OK(Consider(EnsureSubmitted(loc, std::move(inside)),
-                                       &best_plan, &best_cost));
+          AddFinal(&batch, EnsureSubmitted(loc, std::move(inside)));
         }
         // (b) tail at the mediator.
-        std::unique_ptr<Operator> outside = AppendQueryTail(
-            EnsureSubmitted(loc, entry.plan->Clone()), q_);
-        DISCO_RETURN_NOT_OK(
-            Consider(std::move(outside), &best_plan, &best_cost));
+        AddFinal(&batch,
+                 AppendQueryTail(EnsureSubmitted(loc, entry.plan->Clone()), q_));
       }
     }
-    if (best_plan == nullptr) {
+    DISCO_RETURN_NOT_OK(FlushFinalBatch(&batch));
+
+    if (final_plan_ == nullptr) {
       return Status::NotSupported("no executable complete plan found");
     }
     EnumResult out;
-    out.plan = std::move(best_plan);
-    out.cost_ms = best_cost;
+    out.plan = std::move(final_plan_);
+    out.cost_ms = final_cost_;
     out.stats = *stats_;
     return out;
   }
 
  private:
-  /// Estimates `plan` (a complete mediator plan), with branch-and-bound
-  /// against `bound` when enabled. Returns +inf when pruned.
-  Result<double> Cost(const Operator& plan, double bound) {
-    costmodel::EstimateOptions opts = options_.estimate;
-    // Branch-and-bound cuts on TotalTime, so it only applies to the
-    // TotalTime objective (a plan with a large TotalTime may still have
-    // the best TimeFirst).
-    if (options_.use_pruning &&
-        options_.objective == Objective::kTotalTime &&
-        std::isfinite(bound)) {
-      opts.prune_bound = bound;
-    }
-    DISCO_ASSIGN_OR_RETURN(costmodel::PlanEstimate est,
-                           estimator_->Estimate(plan, opts));
-    ++stats_->plans_costed;
-    stats_->nodes_visited += est.nodes_visited;
-    stats_->formulas_evaluated += est.formulas_evaluated;
-    stats_->match_attempts += est.match_attempts;
-    if (est.pruned) {
-      ++stats_->plans_pruned;
-      return kInf;
-    }
-    return options_.objective == Objective::kTimeFirst
-               ? est.root.time_first()
-               : est.root.total_time();
-  }
+  // ---- candidate generation ------------------------------------------
 
-  Status Consider(std::unique_ptr<Operator> plan,
-                  std::unique_ptr<Operator>* best_plan, double* best_cost) {
-    DISCO_ASSIGN_OR_RETURN(double cost, Cost(*plan, *best_cost));
-    if (cost < *best_cost) {
-      *best_cost = cost;
-      *best_plan = std::move(plan);
-    }
-    return Status::OK();
-  }
-
-  Status SeedRelation(int i) {
+  Status SeedRelation(int i, std::vector<Candidate>* batch) {
     const query::BoundRelation& rel = q_.relations[static_cast<size_t>(i)];
     const std::string source = ToLower(rel.source);
     const SourceCapabilities caps = caps_->Get(source);
@@ -149,9 +144,8 @@ class Enumeration {
     const bool pushable = SubplanSupported(*local, caps);
     if (pushable) {
       // Submitted form of the pushed-down selections.
-      DISCO_RETURN_NOT_OK(
-          Store(mask, "", EnsureSubmitted(source, local->Clone())));
-      DISCO_RETURN_NOT_OK(Store(mask, source, std::move(local)));
+      Add(batch, mask, "", EnsureSubmitted(source, local->Clone()));
+      Add(batch, mask, source, std::move(local));
     }
     // The alternative of filtering at the mediator is always considered:
     // it is mandatory when the source cannot evaluate selections, and it
@@ -163,7 +157,7 @@ class Enumeration {
       for (const algebra::SelectPredicate& p : rel.predicates) {
         plan = algebra::Select(std::move(plan), p);
       }
-      DISCO_RETURN_NOT_OK(Store(mask, "", std::move(plan)));
+      Add(batch, mask, "", std::move(plan));
     }
     return Status::OK();
   }
@@ -185,7 +179,8 @@ class Enumeration {
     return Status::NotFound("no crossing edge");
   }
 
-  Status Combine(uint32_t s, uint32_t s1, uint32_t s2) {
+  Status Combine(uint32_t s, uint32_t s1, uint32_t s2,
+                 std::vector<Candidate>* batch) {
     Result<algebra::JoinPredicate> edge = CrossingEdge(s1, s2);
     if (!edge.ok()) return Status::OK();  // not a valid (connected) split
     const algebra::JoinPredicate flipped{edge->right_attribute,
@@ -194,30 +189,26 @@ class Enumeration {
     // Bind-join candidates: probe a single predicate-free relation per
     // distinct key of the other side's result.
     if (options_.enable_bind_join) {
-      DISCO_RETURN_NOT_OK(TryBindJoin(s, s1, s2, *edge));
-      DISCO_RETURN_NOT_OK(TryBindJoin(s, s2, s1, flipped));
+      TryBindJoin(s, s1, s2, *edge, batch);
+      TryBindJoin(s, s2, s1, flipped, batch);
     }
 
     for (const auto& [loc1, e1] : best_[s1]) {
       for (const auto& [loc2, e2] : best_[s2]) {
         // Same-source join pushed into the source.
         if (!loc1.empty() && loc1 == loc2 && caps_->Get(loc1).join) {
-          DISCO_RETURN_NOT_OK(Store(
-              s, loc1,
-              algebra::Join(e1.plan->Clone(), e2.plan->Clone(), *edge)));
-          DISCO_RETURN_NOT_OK(Store(
-              s, loc1,
-              algebra::Join(e2.plan->Clone(), e1.plan->Clone(), flipped)));
+          Add(batch, s, loc1,
+              algebra::Join(e1.plan->Clone(), e2.plan->Clone(), *edge));
+          Add(batch, s, loc1,
+              algebra::Join(e2.plan->Clone(), e1.plan->Clone(), flipped));
         }
         // Mediator join of the submitted sides.
-        std::unique_ptr<Operator> l = FinishClone(loc1, e1);
-        std::unique_ptr<Operator> r = FinishClone(loc2, e2);
-        DISCO_RETURN_NOT_OK(
-            Store(s, "", algebra::Join(std::move(l), std::move(r), *edge)));
-        l = FinishClone(loc2, e2);
-        r = FinishClone(loc1, e1);
-        DISCO_RETURN_NOT_OK(
-            Store(s, "", algebra::Join(std::move(l), std::move(r), flipped)));
+        Add(batch, s, "",
+            algebra::Join(FinishClone(loc1, e1), FinishClone(loc2, e2),
+                          *edge));
+        Add(batch, s, "",
+            algebra::Join(FinishClone(loc2, e2), FinishClone(loc1, e1),
+                          flipped));
       }
     }
     return Status::OK();
@@ -226,50 +217,166 @@ class Enumeration {
   /// Adds bindjoin(outer, probed) candidates where `probed_set` is a
   /// single relation with no local predicates whose source can answer
   /// point selections.
-  Status TryBindJoin(uint32_t s, uint32_t outer_set, uint32_t probed_set,
-                     const algebra::JoinPredicate& edge) {
-    if (__builtin_popcount(probed_set) != 1) return Status::OK();
+  void TryBindJoin(uint32_t s, uint32_t outer_set, uint32_t probed_set,
+                   const algebra::JoinPredicate& edge,
+                   std::vector<Candidate>* batch) {
+    if (__builtin_popcount(probed_set) != 1) return;
     const int idx = __builtin_ctz(probed_set);
     const query::BoundRelation& rel = q_.relations[static_cast<size_t>(idx)];
-    if (!rel.predicates.empty()) return Status::OK();
-    if (!caps_->Get(rel.source).select) return Status::OK();
+    if (!rel.predicates.empty()) return;
+    if (!caps_->Get(rel.source).select) return;
     for (const auto& [loc, e] : best_[outer_set]) {
-      DISCO_RETURN_NOT_OK(Store(
-          s, "",
+      Add(batch, s, "",
           algebra::BindJoin(FinishClone(loc, e), ToLower(rel.source),
-                            rel.collection, edge)));
+                            rel.collection, edge));
     }
-    return Status::OK();
   }
 
   std::unique_ptr<Operator> FinishClone(const std::string& loc,
                                         const Entry& e) const {
     std::unique_ptr<Operator> plan = e.plan->Clone();
-    return loc.empty() ? std::move(plan) : EnsureSubmitted(loc, std::move(plan));
+    return loc.empty() ? std::move(plan)
+                       : EnsureSubmitted(loc, std::move(plan));
   }
 
-  /// Prices `plan` as a candidate for (subset, location) and keeps it if
-  /// it beats the incumbent. Local plans are priced by their submitted
-  /// completion.
-  Status Store(uint32_t subset, const std::string& location,
-               std::unique_ptr<Operator> plan) {
-    auto& entries = best_[subset];
-    double bound = kInf;
-    auto it = entries.find(location);
-    if (it != entries.end()) bound = it->second.completion_cost;
-
-    double cost;
-    if (location.empty()) {
-      DISCO_ASSIGN_OR_RETURN(cost, Cost(*plan, bound));
-    } else {
-      std::unique_ptr<Operator> completed =
-          EnsureSubmitted(location, plan->Clone());
-      DISCO_ASSIGN_OR_RETURN(cost, Cost(*completed, bound));
+  /// Queues a DP-table candidate. Local plans are priced by their
+  /// submitted completion.
+  void Add(std::vector<Candidate>* batch, uint32_t subset,
+           const std::string& location, std::unique_ptr<Operator> plan) {
+    Candidate c;
+    c.subset = subset;
+    c.location = location;
+    if (!location.empty()) {
+      c.priced = EnsureSubmitted(location, plan->Clone());
     }
-    if (cost < bound) {
-      entries[location] = Entry{std::move(plan), cost};
+    c.plan = std::move(plan);
+    batch->push_back(std::move(c));
+  }
+
+  /// Queues a complete-plan candidate for the finish phase.
+  void AddFinal(std::vector<Candidate>* batch,
+                std::unique_ptr<Operator> plan) {
+    Candidate c;
+    c.plan = std::move(plan);
+    batch->push_back(std::move(c));
+  }
+
+  // ---- batched pricing -----------------------------------------------
+
+  /// Estimates one candidate. Runs on a pool worker: touches only the
+  /// candidate's own fields plus shared *read-only* state (registry
+  /// index, catalog, history, the base memo).
+  void PriceOne(Candidate* c) const {
+    costmodel::EstimateOptions opts = options_.estimate;
+    if (memo_ != nullptr) {
+      opts.memo = memo_;
+      opts.memo_delta = &c->delta;
+    }
+    // Branch-and-bound cuts on TotalTime, so it only applies to the
+    // TotalTime objective (a plan with a large TotalTime may still have
+    // the best TimeFirst).
+    if (options_.use_pruning && options_.objective == Objective::kTotalTime &&
+        std::isfinite(c->frozen_bound)) {
+      opts.prune_bound = c->frozen_bound;
+    }
+    const Operator& target = c->priced != nullptr ? *c->priced : *c->plan;
+    Result<costmodel::PlanEstimate> est = estimator_->Estimate(target, opts);
+    if (!est.ok()) {
+      c->status = est.status();
+      return;
+    }
+    c->est = std::move(est).MoveValueUnsafe();
+    c->cost = c->est.pruned ? kInf
+              : options_.objective == Objective::kTimeFirst
+                  ? c->est.root.time_first()
+                  : c->est.root.total_time();
+  }
+
+  /// Prices every queued candidate (concurrently when a pool is set)
+  /// against bounds frozen now, then reduces in slot order: absorb the
+  /// memo delta, accumulate stats, update the DP table. Deterministic
+  /// for any pool size by construction.
+  Status FlushBatch(std::vector<Candidate>* batch) {
+    DISCO_RETURN_NOT_OK(PriceBatch(batch));
+    for (Candidate& c : *batch) {
+      DISCO_RETURN_NOT_OK(Reduce(&c));
+      auto& entries = best_[c.subset];
+      auto it = entries.find(c.location);
+      const double incumbent =
+          it != entries.end() ? it->second.completion_cost : kInf;
+      if (Wins(c.cost, *c.plan, incumbent,
+               it != entries.end() ? it->second.plan.get() : nullptr)) {
+        entries[c.location] = Entry{std::move(c.plan), c.cost};
+      }
+    }
+    batch->clear();
+    return Status::OK();
+  }
+
+  /// Finish-phase variant of FlushBatch: reduces into the single overall
+  /// winner instead of the DP table.
+  Status FlushFinalBatch(std::vector<Candidate>* batch) {
+    DISCO_RETURN_NOT_OK(PriceBatch(batch));
+    for (Candidate& c : *batch) {
+      DISCO_RETURN_NOT_OK(Reduce(&c));
+      if (Wins(c.cost, *c.plan, final_cost_, final_plan_.get())) {
+        final_cost_ = c.cost;
+        final_plan_ = std::move(c.plan);
+      }
+    }
+    batch->clear();
+    return Status::OK();
+  }
+
+  Status PriceBatch(std::vector<Candidate>* batch) {
+    if (batch->empty()) return Status::OK();
+    // Freeze prune bounds before any pricing: every candidate of the
+    // batch sees the incumbents as of now, regardless of pool size or
+    // scheduling. (A complete estimate is bound-independent; freezing
+    // only costs a little pruning *within* the batch.)
+    for (Candidate& c : *batch) {
+      const auto& entries = best_[c.subset];
+      auto it = entries.find(c.location);
+      c.frozen_bound = it != entries.end() && c.plan != nullptr
+                           ? it->second.completion_cost
+                           : kInf;
+    }
+    if (options_.pool != nullptr && batch->size() > 1) {
+      std::vector<Candidate>& b = *batch;
+      options_.pool->ParallelFor(static_cast<int>(b.size()),
+                                 [&](int i) { PriceOne(&b[static_cast<size_t>(i)]); });
+    } else {
+      for (Candidate& c : *batch) PriceOne(&c);
     }
     return Status::OK();
+  }
+
+  /// Slot-order bookkeeping for one priced candidate: memo-delta
+  /// absorption, statistics, error propagation.
+  Status Reduce(Candidate* c) {
+    stats_->memo_hits += c->delta.hits;
+    stats_->memo_misses += c->delta.misses;
+    if (memo_ != nullptr) memo_->Absorb(std::move(c->delta));
+    DISCO_RETURN_NOT_OK(c->status);
+    ++stats_->plans_costed;
+    stats_->nodes_visited += c->est.nodes_visited;
+    stats_->formulas_evaluated += c->est.formulas_evaluated;
+    stats_->match_attempts += c->est.match_attempts;
+    if (c->est.pruned) ++stats_->plans_pruned;
+    return Status::OK();
+  }
+
+  /// The deterministic reduction order: strictly cheaper wins; an exact
+  /// cost tie breaks on the canonical plan string so the winner does not
+  /// depend on generation order.
+  static bool Wins(double cost, const Operator& plan, double incumbent_cost,
+                   const Operator* incumbent) {
+    if (cost < incumbent_cost) return true;
+    if (cost == incumbent_cost && incumbent != nullptr &&
+        std::isfinite(cost)) {
+      return plan.ToString() < incumbent->ToString();
+    }
+    return false;
   }
 
   const BoundQuery& q_;
@@ -278,8 +385,15 @@ class Enumeration {
   const EnumOptions& options_;
   EnumStats* stats_;
 
-  /// best_[subset][location] -> Entry.
+  costmodel::CostMemo* memo_ = nullptr;  ///< null when memoization is off
+  costmodel::CostMemo local_memo_;       ///< used when no shared memo given
+
+  /// best_[subset][location] -> Entry. std::map keeps candidate
+  /// generation (and therefore slot order) deterministic.
   std::vector<std::map<std::string, Entry>> best_;
+
+  std::unique_ptr<Operator> final_plan_;
+  double final_cost_ = kInf;
 };
 
 }  // namespace

@@ -8,12 +8,23 @@
 // (all source work wrapped in submits). Capabilities gate what can be
 // pushed; the cost estimator prices every candidate, optionally with the
 // branch-and-bound cutoff of Section 4.3.2.
+//
+// Fast planning path (docs/PERFORMANCE.md): candidates generated for one
+// DP step are priced as a batch -- in parallel when a ThreadPool is
+// supplied -- against bounds frozen at batch start, then reduced in slot
+// order (min cost; exact ties break on the canonical plan string). A
+// shared CostMemo lets candidates reuse the CostVectors of subtrees
+// priced in earlier batches. Both are exactly deterministic: the chosen
+// plan, every statistic, and every trace byte are identical for any pool
+// size, including no pool at all.
 
 #ifndef DISCO_OPTIMIZER_JOIN_ENUM_H_
 #define DISCO_OPTIMIZER_JOIN_ENUM_H_
 
 #include <memory>
 
+#include "common/thread_pool.h"
+#include "costmodel/cost_memo.h"
 #include "costmodel/estimator.h"
 #include "optimizer/capabilities.h"
 #include "query/binder.h"
@@ -40,6 +51,17 @@ struct EnumOptions {
   bool enable_bind_join = true;
   costmodel::EstimateOptions estimate;
   int max_relations = 12;
+
+  /// Memoize subplan cost vectors across candidates. When `memo` is null
+  /// a run-local memo is used (reuse within this enumeration only); pass
+  /// a long-lived CostMemo to also reuse across queries. The enumerator
+  /// syncs it against RuleRegistry::epoch() before pricing anything.
+  bool use_memo = true;
+  costmodel::CostMemo* memo = nullptr;
+
+  /// Prices each batch's candidates concurrently when set (borrowed, not
+  /// owned). Null prices inline -- bit-identical results either way.
+  ThreadPool* pool = nullptr;
 };
 
 /// Work counters accumulated across all candidate estimations.
@@ -49,6 +71,8 @@ struct EnumStats {
   int64_t nodes_visited = 0;
   int64_t formulas_evaluated = 0;
   int64_t match_attempts = 0;
+  int64_t memo_hits = 0;    ///< subtree estimates answered from the memo
+  int64_t memo_misses = 0;  ///< subtree estimates computed from rules
 };
 
 struct EnumResult {

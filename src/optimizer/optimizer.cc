@@ -25,6 +25,9 @@ Result<OptimizedPlan> Optimizer::Optimize(const query::BoundQuery& q,
   enum_options.enable_bind_join = options.enable_bind_join;
   enum_options.estimate = options.estimate;
   enum_options.max_relations = options.max_relations;
+  enum_options.use_memo = options.use_memo;
+  enum_options.memo = options.memo;
+  enum_options.pool = options.pool;
 
   // Health-aware routing: re-point relations bound to avoided sources
   // at declared-equivalent collections on healthy sources. Attribute
@@ -72,6 +75,8 @@ Result<OptimizedPlan> Optimizer::Optimize(const query::BoundQuery& q,
     enum_span.Arg("plans_pruned", int64_t{result.stats.plans_pruned});
     enum_span.Arg("formulas_evaluated",
                   int64_t{result.stats.formulas_evaluated});
+    enum_span.Arg("memo_hits", int64_t{result.stats.memo_hits});
+    enum_span.Arg("memo_misses", int64_t{result.stats.memo_misses});
   }
 
   OptimizedPlan out;

@@ -24,6 +24,13 @@ struct OptimizerOptions {
   bool enable_bind_join = true;
   costmodel::EstimateOptions estimate;
   int max_relations = 12;
+  /// Fast planning path (docs/PERFORMANCE.md): subplan cost memoization
+  /// and deterministic parallel candidate pricing, forwarded to the join
+  /// enumerator. `memo` and `pool` are borrowed and may be null (null
+  /// memo = run-local memo; null pool = price inline).
+  bool use_memo = true;
+  costmodel::CostMemo* memo = nullptr;
+  ThreadPool* pool = nullptr;
   /// Runtime health input: sources to plan around (open circuit
   /// breakers, sources that just died mid-execution). A relation bound
   /// to an avoided source is re-pointed at an equivalent collection on

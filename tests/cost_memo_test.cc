@@ -1,0 +1,260 @@
+// Subplan cost memoization (docs/PERFORMANCE.md): the CostMemo /
+// MemoDelta layering, epoch-driven invalidation against the rule
+// registry, the work reduction it buys the join enumerator, and the
+// guarantee that memoization never changes the chosen plan.
+
+#include "costmodel/cost_memo.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/str_util.h"
+#include "costlang/compiler.h"
+#include "mediator/mediator.h"
+
+namespace disco {
+namespace {
+
+using costmodel::CostMemo;
+using costmodel::CostVector;
+using costmodel::CostVarId;
+using costmodel::MemoDelta;
+using costmodel::MemoKey;
+using mediator::Mediator;
+using mediator::MediatorOptions;
+
+CostVector Cost(double total_ms) {
+  CostVector c;
+  c.Set(CostVarId::kTotalTime, total_ms);
+  return c;
+}
+
+MemoKey Key(uint64_t hash, const std::string& src = "") {
+  MemoKey k;
+  k.plan_hash = hash;
+  k.source_ctx = src;
+  k.required_bits = 0x7;
+  return k;
+}
+
+/// A 3-dimension star federation: enough relations that the enumerator
+/// prices many candidates sharing subtrees.
+std::unique_ptr<Mediator> BuildStar(MediatorOptions opts = {}) {
+  auto med = std::make_unique<Mediator>(opts);
+  auto facts = sources::MakeRelationalSource("facts");
+  storage::Table* fact = facts->CreateTable(CollectionSchema(
+      "Fact", {{"fid", AttrType::kLong},
+               {"d0", AttrType::kLong},
+               {"d1", AttrType::kLong},
+               {"d2", AttrType::kLong}}));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(fact->Insert({Value(int64_t{i}), Value(int64_t{i % 7}),
+                              Value(int64_t{i % 11}), Value(int64_t{i % 13})})
+                    .ok());
+  }
+  EXPECT_TRUE(med->RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                       std::move(facts),
+                                       wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+  auto dims = sources::MakeRelationalSource("dims");
+  for (int d = 0; d < 3; ++d) {
+    storage::Table* dim = dims->CreateTable(CollectionSchema(
+        StringPrintf("Dim%d", d), {{StringPrintf("k%d", d), AttrType::kLong},
+                                   {StringPrintf("v%d", d), AttrType::kLong}}));
+    for (int64_t i = 0; i < 40 + 30 * d; ++i) {
+      EXPECT_TRUE(dim->Insert({Value(i), Value(i * 3)}).ok());
+    }
+  }
+  EXPECT_TRUE(med->RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                       std::move(dims),
+                                       wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+  return med;
+}
+
+constexpr char kStarQuery[] =
+    "SELECT fid FROM Fact, Dim0, Dim1, Dim2 "
+    "WHERE Fact.d0 = Dim0.k0 AND Fact.d1 = Dim1.k1 AND Fact.d2 = Dim2.k2";
+
+TEST(CostMemoTest, DeltaFindsOwnEntriesAndTallies) {
+  MemoDelta delta;
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.Find(Key(1)), nullptr);
+  delta.Insert(Key(1), Cost(10));
+  ASSERT_NE(delta.Find(Key(1)), nullptr);
+  EXPECT_DOUBLE_EQ(delta.Find(Key(1))->total_time(), 10);
+  // Keys differ on every component.
+  EXPECT_EQ(delta.Find(Key(2)), nullptr);
+  EXPECT_EQ(delta.Find(Key(1, "src")), nullptr);
+  MemoKey other_bits = Key(1);
+  other_bits.required_bits = 0x1;
+  EXPECT_EQ(delta.Find(other_bits), nullptr);
+}
+
+TEST(CostMemoTest, AbsorbMergesFirstWinsAndAccumulatesTallies) {
+  CostMemo memo;
+  memo.SyncEpoch(1);
+  MemoDelta a;
+  a.Insert(Key(1), Cost(10));
+  a.hits = 2;
+  a.misses = 3;
+  MemoDelta b;
+  b.Insert(Key(1), Cost(99));  // same key, later slot: must lose
+  b.Insert(Key(2), Cost(20));
+  b.hits = 1;
+  b.misses = 1;
+  memo.Absorb(std::move(a));
+  memo.Absorb(std::move(b));
+  EXPECT_EQ(memo.size(), 2u);
+  EXPECT_DOUBLE_EQ(memo.Find(Key(1))->total_time(), 10);  // first wins
+  EXPECT_DOUBLE_EQ(memo.Find(Key(2))->total_time(), 20);
+  EXPECT_EQ(memo.hits(), 3);
+  EXPECT_EQ(memo.misses(), 4);
+  // Absorb consumed the deltas.
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(CostMemoTest, SyncEpochDropsEntriesAndCountsInvalidations) {
+  CostMemo memo;
+  memo.SyncEpoch(1);  // first sync of an empty memo: not an invalidation
+  EXPECT_EQ(memo.invalidations(), 0);
+  MemoDelta d;
+  d.Insert(Key(1), Cost(10));
+  memo.Absorb(std::move(d));
+  memo.SyncEpoch(1);  // same epoch: nothing happens
+  EXPECT_EQ(memo.size(), 1u);
+  memo.SyncEpoch(2);  // epoch moved: drop everything, count once
+  EXPECT_EQ(memo.size(), 0u);
+  EXPECT_EQ(memo.invalidations(), 1);
+  EXPECT_EQ(memo.epoch(), 2);
+  memo.SyncEpoch(3);  // moved again but memo was empty: no invalidation
+  EXPECT_EQ(memo.invalidations(), 1);
+}
+
+TEST(CostMemoTest, RegistryEpochMovesOnEveryRuleOrQueryScopeChange) {
+  auto med = BuildStar();
+  costmodel::RuleRegistry* reg = med->registry();
+  const int64_t before = reg->epoch();
+  auto plan = algebra::Scan("Fact");
+  reg->AddQueryCost("facts", *plan, Cost(42));
+  EXPECT_GT(reg->epoch(), before);
+  const int64_t after_query_cost = reg->epoch();
+
+  costlang::CompileSchema schema;
+  schema.AddCollection("Fact", {"fid"});
+  auto rules =
+      costlang::CompileRuleText("scan(C) { TotalTime = 1; }", schema);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_TRUE(reg->AddWrapperRules("facts", std::move(*rules)).ok());
+  const int64_t after_add = reg->epoch();
+  EXPECT_GT(after_add, after_query_cost);
+  EXPECT_GT(reg->RemoveWrapperRules("facts"), 0);
+  EXPECT_GT(reg->epoch(), after_add);
+}
+
+TEST(CostMemoTest, AddQueryCostDoesNotRebuildTheCandidateIndex) {
+  // Satellite guarantee: query-scope entries live in their own map, so
+  // recording one must not invalidate (and later rebuild) the candidate
+  // index. Observable as address stability of the served lists.
+  auto med = BuildStar();
+  costmodel::RuleRegistry* reg = med->registry();
+  const auto& before = reg->Candidates("facts", algebra::OpKind::kScan);
+  auto plan = algebra::Scan("Fact");
+  reg->AddQueryCost("facts", *plan, Cost(42));
+  const auto& after = reg->Candidates("facts", algebra::OpKind::kScan);
+  EXPECT_EQ(&before, &after);
+  ASSERT_NE(reg->QueryCost("facts", *plan), nullptr);
+  EXPECT_DOUBLE_EQ(reg->QueryCost("facts", *plan)->total_time(), 42);
+}
+
+TEST(CostMemoTest, MemoReducesEnumerationWorkWithoutChangingTheWinner) {
+  auto med = BuildStar();
+  costmodel::CostEstimator estimator(med->registry(), &med->catalog());
+  optimizer::Optimizer optimizer(&estimator, &med->capabilities());
+  auto bound = med->Analyze(kStarQuery);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+  optimizer::OptimizerOptions off;
+  off.use_memo = false;
+  auto plain = optimizer.Optimize(*bound, off);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->stats.memo_hits, 0);
+  EXPECT_EQ(plain->stats.memo_misses, 0);
+
+  optimizer::OptimizerOptions on;  // run-local memo by default
+  auto memoized = optimizer.Optimize(*bound, on);
+  ASSERT_TRUE(memoized.ok());
+  // Shared subtrees hit, shrinking the formula/match workload.
+  EXPECT_GT(memoized->stats.memo_hits, 0);
+  EXPECT_LT(memoized->stats.formulas_evaluated,
+            plain->stats.formulas_evaluated);
+  EXPECT_LT(memoized->stats.match_attempts, plain->stats.match_attempts);
+  // Never at the price of a different answer.
+  EXPECT_EQ(memoized->plan->ToString(), plain->plan->ToString());
+  EXPECT_DOUBLE_EQ(memoized->estimated_ms, plain->estimated_ms);
+}
+
+TEST(CostMemoTest, SharedMemoCarriesAcrossQueriesUntilTheEpochMoves) {
+  auto med = BuildStar();
+  costmodel::CostEstimator estimator(med->registry(), &med->catalog());
+  optimizer::Optimizer optimizer(&estimator, &med->capabilities());
+  auto bound = med->Analyze(kStarQuery);
+  ASSERT_TRUE(bound.ok());
+
+  CostMemo memo;
+  optimizer::OptimizerOptions opts;
+  opts.memo = &memo;
+  auto first = optimizer.Optimize(*bound, opts);
+  ASSERT_TRUE(first.ok());
+  const int64_t warm_size = static_cast<int64_t>(memo.size());
+  EXPECT_GT(warm_size, 0);
+
+  // Same epoch: the second enumeration answers candidates straight from
+  // the warm entries and does strictly less rule work.
+  auto second = optimizer.Optimize(*bound, opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->stats.memo_hits, 0);
+  EXPECT_LT(second->stats.formulas_evaluated,
+            first->stats.formulas_evaluated);
+  EXPECT_EQ(second->plan->ToString(), first->plan->ToString());
+
+  // A query-scope record moves the epoch: the next enumeration starts
+  // from an empty memo (counted as one invalidation).
+  auto subplan = algebra::Scan("Fact");
+  med->registry()->AddQueryCost(
+      "facts", *subplan,
+      costmodel::CostVector::Full(500, 500 * 32, 32, 1, 0.01, 42));
+  auto third = optimizer.Optimize(*bound, opts);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(memo.invalidations(), 1);
+  EXPECT_EQ(memo.epoch(), med->registry()->epoch());
+}
+
+TEST(CostMemoTest, MediatorSurfacesMemoCounters) {
+  MediatorOptions opts;
+  opts.plan_cache_capacity = 0;  // force enumeration on every query
+  auto med = BuildStar(opts);
+  ASSERT_TRUE(med->Query(kStarQuery).ok());
+  EXPECT_GT(med->cost_memo().misses(), 0);
+  EXPECT_GT(med->cost_memo().hits(), 0);
+
+  // History feedback bumps the registry epoch after the first query, so
+  // the second enumeration invalidates the memo rather than reusing
+  // stale costs.
+  ASSERT_TRUE(med->Query(kStarQuery).ok());
+  EXPECT_GE(med->cost_memo().invalidations(), 1);
+
+  const mediator::MonitorSnapshot snap = med->MonitorReport();
+  EXPECT_EQ(snap.cost_memo_hits, med->cost_memo().hits());
+  EXPECT_EQ(snap.cost_memo_misses, med->cost_memo().misses());
+  EXPECT_NE(snap.ToText().find("cost memo:"), std::string::npos);
+  const metrics::RegistrySnapshot m = med->metrics()->TakeSnapshot();
+  EXPECT_EQ(m.counters.at("disco.costmemo.hits"), med->cost_memo().hits());
+  EXPECT_EQ(m.counters.at("disco.costmemo.misses"),
+            med->cost_memo().misses());
+}
+
+}  // namespace
+}  // namespace disco

@@ -69,6 +69,7 @@ struct LoopOutputs {
   DriftMonitor::CellStatus final_cell;  // the query-scope cell at the end
   bool found_final_cell = false;
   double adjustment_factor = 1;
+  int64_t plan_cache_invalidations = 0;
   std::string monitor_text;
   std::string monitor_json;
   std::string jsonl;
@@ -119,6 +120,7 @@ LoopOutputs RunScenario() {
 
   out.monitor_text = med.MonitorReport().ToText();
   out.monitor_json = med.MonitorReport().ToJson();
+  out.plan_cache_invalidations = med.MonitorReport().plan_cache_invalidations;
   out.jsonl = med.query_log()->ToJsonl();
 
   // Replay the flight-recorder log against a fresh, healthy same-seed
@@ -160,6 +162,10 @@ TEST(ObservabilityLoopTest, DriftFiresOnceAndRecalibrationRecovers) {
   // event (latched -- no alert storm).
   EXPECT_EQ(run.events_at_end, 1u);
 
+  // The latched drift event is a plan-cache invalidation hook: the
+  // source's cached plan template was dropped (docs/PERFORMANCE.md).
+  EXPECT_GE(run.plan_cache_invalidations, 1);
+
   // Closed loop closed: history recalibrated (the query-scope record
   // now reflects the shifted cost), the stale samples aged out, and the
   // windowed quantile is back under the breach threshold.
@@ -193,6 +199,101 @@ TEST(ObservabilityLoopTest, ReportsAndReplayAreByteIdenticalAcrossRuns) {
   EXPECT_EQ(a.jsonl, b.jsonl);
   EXPECT_EQ(a.replay_text, b.replay_text);
   EXPECT_EQ(a.detection_trace, b.detection_trace);
+}
+
+/// The fast-planning determinism contract (docs/PERFORMANCE.md): a
+/// planning pool of any size must leave no observable residue -- same
+/// chosen plans, same fingerprints, byte-identical traces and reports.
+struct PoolRunOutputs {
+  std::vector<std::string> plan_texts;
+  std::vector<std::string> fingerprints;
+  std::vector<std::string> chrome_traces;
+  std::vector<size_t> tuple_counts;
+  std::string monitor_text;
+  std::string monitor_json;
+};
+
+PoolRunOutputs RunJoinWorkload(int planning_threads) {
+  MediatorOptions opts;
+  opts.planning_threads = planning_threads;
+  Mediator med(opts);
+
+  auto facts = sources::MakeRelationalSource("facts");
+  storage::Table* fact = facts->CreateTable(CollectionSchema(
+      "Fact", {{"fid", AttrType::kLong},
+               {"d0", AttrType::kLong},
+               {"d1", AttrType::kLong},
+               {"d2", AttrType::kLong}}));
+  for (int i = 0; i < 400; ++i) {
+    EXPECT_TRUE(fact->Insert({Value(int64_t{i}), Value(int64_t{i % 5}),
+                              Value(int64_t{i % 9}), Value(int64_t{i % 4})})
+                    .ok());
+  }
+  EXPECT_TRUE(med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                      std::move(facts),
+                                      wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+  auto dims = sources::MakeRelationalSource("dims");
+  for (int d = 0; d < 3; ++d) {
+    storage::Table* dim = dims->CreateTable(CollectionSchema(
+        StringPrintf("Dim%d", d), {{StringPrintf("k%d", d), AttrType::kLong},
+                                   {StringPrintf("v%d", d), AttrType::kLong}}));
+    for (int64_t i = 0; i < 20 + 15 * d; ++i) {
+      EXPECT_TRUE(dim->Insert({Value(i), Value(i * 2)}).ok());
+    }
+  }
+  EXPECT_TRUE(med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                      std::move(dims),
+                                      wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+
+  // Join shapes exercise parallel candidate pricing; the repeats land in
+  // the plan cache, covering the fast path end to end.
+  const std::vector<std::string> workload = {
+      "SELECT fid FROM Fact, Dim0 WHERE Fact.d0 = Dim0.k0 AND fid <= 50",
+      "SELECT fid FROM Fact, Dim0, Dim1 "
+      "WHERE Fact.d0 = Dim0.k0 AND Fact.d1 = Dim1.k1 AND fid <= 30",
+      "SELECT fid FROM Fact, Dim0, Dim1, Dim2 "
+      "WHERE Fact.d0 = Dim0.k0 AND Fact.d1 = Dim1.k1 AND Fact.d2 = Dim2.k2",
+      "SELECT fid FROM Fact, Dim0 WHERE Fact.d0 = Dim0.k0 AND fid <= 20",
+      "SELECT fid FROM Fact, Dim0, Dim1, Dim2 "
+      "WHERE Fact.d0 = Dim0.k0 AND Fact.d1 = Dim1.k1 AND Fact.d2 = Dim2.k2",
+  };
+  PoolRunOutputs out;
+  for (const std::string& sql : workload) {
+    auto r = med.Query(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) continue;
+    out.plan_texts.push_back(r->plan_text);
+    out.fingerprints.push_back(r->plan_fingerprint);
+    out.tuple_counts.push_back(r->tuples.size());
+    out.chrome_traces.push_back(r->trace != nullptr
+                                    ? r->trace->ToChromeJson()
+                                    : "");
+  }
+  out.monitor_text = med.MonitorReport().ToText();
+  out.monitor_json = med.MonitorReport().ToJson();
+  return out;
+}
+
+TEST(ObservabilityLoopTest, PlanningIsByteIdenticalAcrossPoolSizes) {
+  const PoolRunOutputs serial = RunJoinWorkload(1);
+  for (int threads : {2, 4}) {
+    const PoolRunOutputs pooled = RunJoinWorkload(threads);
+    EXPECT_EQ(pooled.plan_texts, serial.plan_texts) << "threads=" << threads;
+    EXPECT_EQ(pooled.fingerprints, serial.fingerprints)
+        << "threads=" << threads;
+    EXPECT_EQ(pooled.tuple_counts, serial.tuple_counts)
+        << "threads=" << threads;
+    // Byte-identical span trees: parallel pricing may not leave a trace
+    // (pun intended) -- counters, timings, and span order all match.
+    EXPECT_EQ(pooled.chrome_traces, serial.chrome_traces)
+        << "threads=" << threads;
+    EXPECT_EQ(pooled.monitor_text, serial.monitor_text)
+        << "threads=" << threads;
+    EXPECT_EQ(pooled.monitor_json, serial.monitor_json)
+        << "threads=" << threads;
+  }
 }
 
 TEST(ObservabilityLoopTest, ReRegisterWrapperResetsDriftBaselines) {

@@ -1,0 +1,253 @@
+// The parameterized plan cache (docs/PERFORMANCE.md): canonicalization,
+// hit/miss behaviour, constant substitution, every invalidation hook,
+// LRU eviction, and the capacity-0 off switch.
+
+#include "mediator/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "mediator/mediator.h"
+
+namespace disco {
+namespace {
+
+using mediator::Canonicalize;
+using mediator::CanonicalQuery;
+using mediator::Mediator;
+using mediator::MediatorOptions;
+
+std::unique_ptr<Mediator> BuildFederation(MediatorOptions opts = {}) {
+  auto med = std::make_unique<Mediator>(opts);
+
+  auto hr = sources::MakeRelationalSource("hr");
+  storage::Table* emp = hr->CreateTable(CollectionSchema(
+      "Emp", {{"eid", AttrType::kLong},
+              {"salary", AttrType::kLong},
+              {"dept", AttrType::kLong}}));
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(emp->Insert({Value(int64_t{i}), Value(int64_t{i % 200}),
+                             Value(int64_t{i % 10})})
+                    .ok());
+  }
+  EXPECT_TRUE(emp->CreateIndex("eid").ok());
+  EXPECT_TRUE(med->RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                       std::move(hr),
+                                       wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+
+  auto fin = sources::MakeRelationalSource("fin");
+  storage::Table* dept = fin->CreateTable(CollectionSchema(
+      "Dept", {{"did", AttrType::kLong}, {"budget", AttrType::kLong}}));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(dept->Insert({Value(int64_t{i}), Value(int64_t{i * 1000})})
+                    .ok());
+  }
+  // A same-schema copy of Emp, so equivalence declarations are legal.
+  storage::Table* mirror = fin->CreateTable(CollectionSchema(
+      "EmpMirror", {{"eid", AttrType::kLong},
+                    {"salary", AttrType::kLong},
+                    {"dept", AttrType::kLong}}));
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(mirror->Insert({Value(int64_t{i}), Value(int64_t{i % 200}),
+                                Value(int64_t{i % 10})})
+                    .ok());
+  }
+  EXPECT_TRUE(med->RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+                                       std::move(fin),
+                                       wrapper::SimulatedWrapper::Options{}))
+                  .ok());
+  return med;
+}
+
+constexpr char kPointQuery[] = "SELECT eid FROM Emp WHERE salary = 5";
+constexpr char kJoinQuery[] =
+    "SELECT eid, budget FROM Emp, Dept "
+    "WHERE Emp.dept = Dept.did AND salary = 10";
+
+TEST(CanonicalizeTest, ConstantsLiftIntoSlots) {
+  auto med = BuildFederation();
+  auto a = med->Analyze("SELECT eid FROM Emp WHERE salary = 5");
+  auto b = med->Analyze("SELECT eid FROM Emp WHERE salary = 199");
+  ASSERT_TRUE(a.ok() && b.ok());
+  const CanonicalQuery ca = Canonicalize(*a);
+  const CanonicalQuery cb = Canonicalize(*b);
+  // Same shape, different constants: identical canonical text.
+  EXPECT_EQ(ca.text, cb.text);
+  ASSERT_EQ(ca.constants.size(), 1u);
+  ASSERT_EQ(cb.constants.size(), 1u);
+  EXPECT_EQ(ca.constants[0], Value(int64_t{5}));
+  EXPECT_EQ(cb.constants[0], Value(int64_t{199}));
+  ASSERT_EQ(ca.slots.size(), 1u);
+  EXPECT_EQ(ca.slots[0].op, algebra::CmpOp::kEq);
+}
+
+TEST(CanonicalizeTest, ShapeChangesChangeTheText) {
+  auto med = BuildFederation();
+  auto eq = med->Analyze("SELECT eid FROM Emp WHERE salary = 5");
+  auto le = med->Analyze("SELECT eid FROM Emp WHERE salary <= 5");
+  auto join = med->Analyze(kJoinQuery);
+  ASSERT_TRUE(eq.ok() && le.ok() && join.ok());
+  EXPECT_NE(Canonicalize(*eq).text, Canonicalize(*le).text);
+  EXPECT_NE(Canonicalize(*eq).text, Canonicalize(*join).text);
+}
+
+TEST(PlanCacheTest, SecondIdenticalQueryHits) {
+  auto med = BuildFederation();
+  auto first = med->Query(kPointQuery);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->plan_cache_hit);
+  EXPECT_EQ(med->plan_cache()->stats().insertions, 1);
+
+  auto second = med->Query(kPointQuery);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->plan_cache_hit);
+  EXPECT_EQ(med->plan_cache()->stats().hits, 1);
+  // The replayed template is the same winning plan.
+  EXPECT_EQ(second->plan_text, first->plan_text);
+  EXPECT_EQ(second->plan_fingerprint, first->plan_fingerprint);
+  EXPECT_EQ(second->tuples.size(), first->tuples.size());
+}
+
+TEST(PlanCacheTest, HitSubstitutesNewConstants) {
+  auto med = BuildFederation();
+  ASSERT_TRUE(med->Query(kPointQuery).ok());
+
+  // Same shape, different constant: a hit that must answer the *new*
+  // query, not replay the old constant.
+  auto hit = med->Query("SELECT eid FROM Emp WHERE salary = 150");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->plan_cache_hit);
+  EXPECT_NE(hit->plan_text.find("150"), std::string::npos) << hit->plan_text;
+
+  // Reference answer from a cache-less mediator.
+  MediatorOptions off;
+  off.plan_cache_capacity = 0;
+  auto reference = BuildFederation(off)->Query(
+      "SELECT eid FROM Emp WHERE salary = 150");
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(hit->tuples, reference->tuples);
+}
+
+TEST(PlanCacheTest, DifferentShapeMisses) {
+  auto med = BuildFederation();
+  ASSERT_TRUE(med->Query(kPointQuery).ok());
+  auto other = med->Query("SELECT eid FROM Emp WHERE salary <= 5");
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->plan_cache_hit);
+  EXPECT_EQ(med->plan_cache()->stats().hits, 0);
+  EXPECT_EQ(med->plan_cache()->stats().insertions, 2);
+}
+
+TEST(PlanCacheTest, ReRegisterWrapperInvalidatesItsTemplates) {
+  auto med = BuildFederation();
+  ASSERT_TRUE(med->Query(kPointQuery).ok());  // touches hr only
+  ASSERT_TRUE(med->Query(kJoinQuery).ok());   // touches hr and fin
+  EXPECT_EQ(med->plan_cache()->size(), 2u);
+
+  ASSERT_TRUE(med->ReRegisterWrapper("fin").ok());
+  // The join template submitted to fin and is dropped eagerly. The
+  // hr-only template stays resident, but the refresh moved the catalog
+  // version (statistics were re-pulled), so the next point query plans
+  // fresh against the new statistics rather than replaying it.
+  EXPECT_EQ(med->plan_cache()->size(), 1u);
+  EXPECT_EQ(med->plan_cache()->stats().invalidations, 1);
+  auto again = med->Query(kPointQuery);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->plan_cache_hit);
+  // ...and the freshly planned template is cached under the new version.
+  auto once_more = med->Query(kPointQuery);
+  ASSERT_TRUE(once_more.ok());
+  EXPECT_TRUE(once_more->plan_cache_hit);
+}
+
+TEST(PlanCacheTest, DeclareEquivalentDropsEverything) {
+  auto med = BuildFederation();
+  ASSERT_TRUE(med->Query(kPointQuery).ok());
+  ASSERT_TRUE(med->Query(kJoinQuery).ok());
+  EXPECT_EQ(med->plan_cache()->size(), 2u);
+
+  // EmpMirror (same schema as Emp, registered on fin) is a legal
+  // replica; declaring the equivalence reshapes the answerable plan
+  // space, so every template is dropped.
+  ASSERT_TRUE(med->DeclareEquivalent("Emp", "EmpMirror").ok());
+  EXPECT_EQ(med->plan_cache()->size(), 0u);
+  EXPECT_EQ(med->plan_cache()->stats().invalidations, 2);
+}
+
+TEST(PlanCacheTest, BreakerTransitionInvalidatesTheSourcesTemplates) {
+  auto med = BuildFederation();
+  ASSERT_TRUE(med->Query(kPointQuery).ok());
+  EXPECT_EQ(med->plan_cache()->size(), 1u);
+
+  // Trip hr's breaker directly: the closed -> open transition must drop
+  // every cached template that submits to hr.
+  const int threshold = med->options().breaker.failure_threshold;
+  for (int i = 0; i < threshold; ++i) {
+    med->health()->RecordFailure("hr", med->sim_now_ms());
+  }
+  EXPECT_EQ(med->plan_cache()->size(), 0u);
+  EXPECT_GE(med->plan_cache()->stats().invalidations, 1);
+}
+
+TEST(PlanCacheTest, LruEvictsTheColdestTemplate) {
+  MediatorOptions opts;
+  opts.plan_cache_capacity = 2;
+  auto med = BuildFederation(opts);
+  ASSERT_TRUE(med->Query("SELECT eid FROM Emp WHERE salary = 1").ok());
+  ASSERT_TRUE(med->Query("SELECT eid FROM Emp WHERE salary <= 2").ok());
+  // Touch the first shape so the second becomes coldest.
+  ASSERT_TRUE(med->Query("SELECT eid FROM Emp WHERE salary = 3").ok());
+  // A third shape evicts the <= template.
+  ASSERT_TRUE(med->Query(kJoinQuery).ok());
+  EXPECT_EQ(med->plan_cache()->size(), 2u);
+  EXPECT_EQ(med->plan_cache()->stats().evictions, 1);
+
+  auto eq = med->Query("SELECT eid FROM Emp WHERE salary = 4");
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq->plan_cache_hit);  // survived
+  auto le = med->Query("SELECT eid FROM Emp WHERE salary <= 9");
+  ASSERT_TRUE(le.ok());
+  EXPECT_FALSE(le->plan_cache_hit);  // evicted
+}
+
+TEST(PlanCacheTest, CapacityZeroDisablesCaching) {
+  MediatorOptions opts;
+  opts.plan_cache_capacity = 0;
+  auto med = BuildFederation(opts);
+  EXPECT_FALSE(med->plan_cache()->enabled());
+  for (int i = 0; i < 3; ++i) {
+    auto r = med->Query(kPointQuery);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->plan_cache_hit);
+  }
+  EXPECT_EQ(med->plan_cache()->stats().hits, 0);
+  EXPECT_EQ(med->plan_cache()->stats().insertions, 0);
+  EXPECT_EQ(med->plan_cache()->size(), 0u);
+}
+
+TEST(PlanCacheTest, CountersSurfaceInTheMonitorReport) {
+  auto med = BuildFederation();
+  ASSERT_TRUE(med->Query(kPointQuery).ok());
+  ASSERT_TRUE(med->Query(kPointQuery).ok());
+  const mediator::MonitorSnapshot snap = med->MonitorReport();
+  EXPECT_EQ(snap.plan_cache_size, 1u);
+  EXPECT_EQ(snap.plan_cache_hits, 1);
+  EXPECT_EQ(snap.plan_cache_insertions, 1);
+  EXPECT_NE(snap.ToText().find("plan cache: 1/64 entries"),
+            std::string::npos)
+      << snap.ToText();
+  EXPECT_NE(snap.ToJson().find("\"plan_cache\":{\"size\":1"),
+            std::string::npos)
+      << snap.ToJson();
+  // Metrics registry mirrors the same counters.
+  const metrics::RegistrySnapshot m = med->metrics()->TakeSnapshot();
+  EXPECT_EQ(m.counters.at("disco.plancache.hits"), 1);
+  EXPECT_EQ(m.counters.at("disco.plancache.misses"), 1);
+  EXPECT_EQ(m.counters.at("disco.plancache.insertions"), 1);
+}
+
+}  // namespace
+}  // namespace disco

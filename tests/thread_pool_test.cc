@@ -1,0 +1,82 @@
+// common/thread_pool.h: the deterministic fan-out/fan-in primitive
+// behind parallel candidate pricing (docs/PERFORMANCE.md).
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace disco {
+namespace {
+
+TEST(ThreadPoolTest, ClampsSizeToAtLeastOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.size(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.size(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4);
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(257);
+  for (auto& c : counts) c = 0;
+  pool.ParallelFor(257, [&](int i) { counts[static_cast<size_t>(i)]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInlineOnTheCallerThread) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.ParallelFor(8,
+                   [&](int i) { seen[static_cast<size_t>(i)] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, HandlesEmptyAndSmallBatches) {
+  ThreadPool pool(8);
+  int ran = 0;
+  pool.ParallelFor(0, [&](int) { ++ran; });
+  EXPECT_EQ(ran, 0);
+  std::atomic<int> ran2{0};
+  pool.ParallelFor(2, [&](int) { ran2++; });  // fewer tasks than threads
+  EXPECT_EQ(ran2.load(), 2);
+}
+
+TEST(ThreadPoolTest, SlotWritesReduceDeterministically) {
+  // The determinism contract: each task writes only its own slot; the
+  // caller reduces in slot order. The reduced value must match a serial
+  // run regardless of pool size.
+  auto run = [](int pool_size) {
+    ThreadPool pool(pool_size);
+    std::vector<int64_t> slots(100);
+    pool.ParallelFor(100, [&](int i) {
+      slots[static_cast<size_t>(i)] = int64_t{1} * i * i - 3 * i + 7;
+    });
+    return std::accumulate(slots.begin(), slots.end(), int64_t{0});
+  };
+  const int64_t serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+  EXPECT_EQ(run(7), serial);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    pool.ParallelFor(batch % 9, [&](int) { total++; });
+  }
+  int64_t expected = 0;
+  for (int batch = 0; batch < 200; ++batch) expected += batch % 9;
+  EXPECT_EQ(total.load(), expected);
+}
+
+}  // namespace
+}  // namespace disco
