@@ -76,6 +76,23 @@ int Trace::Instant(const std::string& name, const std::string& category) {
   return spans_.back().id;
 }
 
+int Trace::AddCompleteSpan(const std::string& name,
+                           const std::string& category, double start_ms,
+                           double end_ms, int lane) {
+  Span span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent = stack_.empty() ? -1 : stack_.back();
+  span.depth = static_cast<int>(stack_.size());
+  span.name = name;
+  span.category = category;
+  span.start_ms = start_ms;
+  span.end_ms = end_ms < start_ms ? start_ms : end_ms;
+  span.closed = true;
+  span.lane = lane;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
 void Trace::AddArg(int id, const std::string& key, const std::string& value) {
   DISCO_CHECK(id >= 0 && id < static_cast<int>(spans_.size()))
       << "bad span id " << id;
@@ -100,16 +117,17 @@ std::string Trace::ToChromeJson() const {
     if (span.instant) {
       out += StringPrintf(
           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
-          "\"ts\":%.3f,\"pid\":1,\"tid\":1",
+          "\"ts\":%.3f,\"pid\":1,\"tid\":%d",
           JsonEscape(span.name).c_str(), JsonEscape(span.category).c_str(),
-          span.start_ms * 1000.0);
+          span.start_ms * 1000.0, 1 + span.lane);
     } else {
       const double end_ms = span.closed ? span.end_ms : now_ms_;
       out += StringPrintf(
           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-          "\"dur\":%.3f,\"pid\":1,\"tid\":1",
+          "\"dur\":%.3f,\"pid\":1,\"tid\":%d",
           JsonEscape(span.name).c_str(), JsonEscape(span.category).c_str(),
-          span.start_ms * 1000.0, (end_ms - span.start_ms) * 1000.0);
+          span.start_ms * 1000.0, (end_ms - span.start_ms) * 1000.0,
+          1 + span.lane);
     }
     if (!span.args.empty()) {
       out += ",\"args\":{";
@@ -140,6 +158,7 @@ std::string Trace::ToText() const {
       out += StringPrintf("  [%.3f ms .. %.3f ms]  dur=%.3f", span.start_ms,
                           end_ms, end_ms - span.start_ms);
     }
+    if (span.lane > 0) out += StringPrintf("  lane=%d", span.lane);
     for (const auto& [key, value] : span.args) {
       out += "  " + key + "=" + value;
     }

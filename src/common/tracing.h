@@ -43,6 +43,10 @@ struct Span {
   double end_ms = 0;
   bool closed = false;
   bool instant = false;  ///< zero-duration marker event
+  /// Concurrency lane: 0 is the main (serial) timeline; scatter-gather
+  /// execution stamps each source group's submits with its own lane so
+  /// overlapping spans render side by side (Chrome export: tid = 1+lane).
+  int lane = 0;
   /// Ordered key/value annotations (insertion order is export order).
   std::vector<std::pair<std::string, std::string>> args;
 
@@ -74,6 +78,14 @@ class Trace {
   /// Zero-duration marker under the innermost open span (e.g. a breaker
   /// state transition).
   int Instant(const std::string& name, const std::string& category = "event");
+
+  /// Records an already-finished span with explicit timestamps under the
+  /// innermost open span -- how concurrent (scatter-gather) work whose
+  /// intervals overlap is attached retroactively to the single-threaded
+  /// trace. Does not move the trace clock. `lane` picks the concurrency
+  /// lane (see Span::lane). Returns the span id.
+  int AddCompleteSpan(const std::string& name, const std::string& category,
+                      double start_ms, double end_ms, int lane = 0);
 
   /// Annotates an open or closed span.
   void AddArg(int id, const std::string& key, const std::string& value);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "algebra/plan_printer.h"
 #include "common/str_util.h"
@@ -29,20 +30,9 @@ bool TupleLess(const Tuple& a, const Tuple& b) {
   return a.size() < b.size();
 }
 
-}  // namespace
-
-std::string ExecWarning::ToString() const {
-  std::string out = "source '" + source + "': " + message;
-  if (attempts > 0) {
-    out += StringPrintf(" (%d attempt%s)", attempts, attempts == 1 ? "" : "s");
-  }
-  if (!breaker.empty()) {
-    out += " [breaker " + breaker + "]";
-  }
-  return out;
-}
-
-int64_t MediatorExecutor::TupleBytes(const storage::Tuple& t) {
+/// Approximate wire size of a tuple in bytes (shared by the serial
+/// submit loop and the scatter tasks).
+int64_t TupleWireBytes(const Tuple& t) {
   int64_t bytes = 0;
   for (const Value& v : t) {
     switch (v.type()) {
@@ -64,16 +54,44 @@ int64_t MediatorExecutor::TupleBytes(const storage::Tuple& t) {
   return bytes;
 }
 
+}  // namespace
+
+std::string ExecWarning::ToString() const {
+  std::string out = "source '" + source + "': " + message;
+  if (attempts > 0) {
+    out += StringPrintf(" (%d attempt%s)", attempts, attempts == 1 ? "" : "s");
+  }
+  if (!breaker.empty()) {
+    out += " [breaker " + breaker + "]";
+  }
+  return out;
+}
+
+int64_t MediatorExecutor::TupleBytes(const storage::Tuple& t) {
+  return TupleWireBytes(t);
+}
+
 Result<ExecResult> MediatorExecutor::Execute(const Operator& plan) {
   elapsed_ms_ = 0;
   subqueries_.clear();
   warnings_.clear();
   failed_sources_.clear();
+  precomputed_.clear();
+  retries_used_ = 0;
+  precomputed_bonus_ms_ = 0;
   // Re-seed so repeated executions of the same plan are bit-identical.
   rng_ = Rng(exec_options_.jitter_seed);
   DISCO_RETURN_NOT_OK(plan.CheckWellFormed());
 
-  DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(plan));
+  // Scatter phase: when the federation layer is active, every
+  // statically-known submit runs (conceptually) concurrently here, and
+  // Eval below consumes the gathered outcomes instead of re-submitting.
+  if (exec_options_.federation.active()) ScatterGather(plan);
+
+  Result<Rel> eval = Eval(plan);
+  precomputed_.clear();  // drop outcomes an aborted eval never consumed
+  DISCO_RETURN_NOT_OK(eval.status());
+  Rel rel = std::move(*eval);
 
   ExecResult out;
   out.columns = std::move(rel.columns);
@@ -201,6 +219,9 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
         metrics_->histogram("disco.submit.rows")
             ->Record(static_cast<double>(result->tuples.size()));
       }
+      if (profile_ != nullptr) {
+        profile_->Observe(key, elapsed_ms_ - submit_start_ms);
+      }
       return result;
     }
     // Failed attempt: a timeout charges the budget it burned; an error
@@ -221,6 +242,17 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
       trace_->AddArg(mark, "attempt", int64_t{attempt});
     }
     if (attempt < max_attempts) {
+      // The per-query retry budget is shared across every submit (and
+      // hedge) of this execution: once spent, no source gets another
+      // attempt, so a multi-source flap cannot multiply into a storm.
+      if (retry.query_retry_budget > 0 &&
+          retries_used_ >= retry.query_retry_budget) {
+        BumpCounter("disco.mediator.retry_budget.exhausted");
+        last = Status::Unavailable(last.message() +
+                                   " (query retry budget exhausted)");
+        break;
+      }
+      ++retries_used_;
       Charge(retry.BackoffMs(attempt, &rng_));
     }
   }
@@ -289,6 +321,29 @@ Result<Rel> MediatorExecutor::EvalBindJoin(const Operator& op) {
 }
 
 Result<Rel> MediatorExecutor::EvalSubmit(const Operator& op) {
+  // Scatter-gather: this submit already ran during the scatter phase --
+  // surface its gathered outcome (time was charged max-not-sum there,
+  // so nothing is charged here).
+  auto pre = precomputed_.find(&op);
+  if (pre != precomputed_.end()) {
+    PrecomputedSubmit pc = std::move(pre->second);
+    precomputed_.erase(pre);
+    for (ExecWarning& w : pc.warnings) AddWarning(std::move(w));
+    last_submit_attempts_ = pc.attempts;
+    precomputed_bonus_ms_ = pc.duration_ms;
+    if (node_measures_ != nullptr) {
+      NodeMeasure& m = (*node_measures_)[&op];
+      m.attempts = pc.attempts;
+      m.source_ms = pc.source_ms;
+    }
+    if (!pc.status.ok()) {
+      if (pc.note_failed_source) NoteFailedSource(pc.failure.source);
+      last_failure_ = std::move(pc.failure);
+      return pc.status;
+    }
+    return std::move(pc.rel);
+  }
+
   Result<sources::ExecutionResult> result =
       SubmitToSource(op.source, op.child(0));
   if (node_measures_ != nullptr) {
@@ -317,10 +372,13 @@ Result<Rel> MediatorExecutor::Eval(const Operator& op) {
   }
   if (node_measures_ != nullptr) {
     NodeMeasure& m = (*node_measures_)[&op];
-    m.inclusive_ms = elapsed_ms_ - start_ms;
+    // A precomputed submit charged nothing during eval; its scatter-phase
+    // response time is folded back in so EXPLAIN ANALYZE stays honest.
+    m.inclusive_ms = elapsed_ms_ - start_ms + precomputed_bonus_ms_;
     m.ok = result.ok();
     m.rows = result.ok() ? static_cast<int64_t>(result->tuples.size()) : -1;
   }
+  precomputed_bonus_ms_ = 0;
   return result;
 }
 
@@ -561,7 +619,8 @@ Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
         AddWarning(ExecWarning{last_failure_.source,
                                "union branch dropped: " + dropped.message(),
                                last_failure_.attempts,
-                               last_failure_.breaker});
+                               last_failure_.breaker,
+                               last_failure_.subplan_index});
         return left.ok() ? std::move(*left) : std::move(*right);
       }
       if (left->columns.size() != right->columns.size()) {
@@ -574,6 +633,768 @@ Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
     }
   }
   return Status::Internal("bad operator kind");
+}
+
+namespace {
+
+/// One breaker-relevant outcome observed inside a scatter task, replayed
+/// into the shared registry at gather time in global timestamp order.
+struct HealthEvent {
+  enum Kind { kSuccess, kFailure, kRejected };
+  Kind kind = kSuccess;
+  double at_rel_ms = 0;  ///< relative to scatter start
+};
+
+/// Everything one scatter (or hedge) task produced for one submit.
+/// Written only by the owning task (the slot discipline of
+/// common/thread_pool); read at gather on the main thread.
+struct TaskOutcome {
+  Status status;
+  sources::ExecutionResult exec;  ///< valid when status is ok
+  int64_t bytes = 0;              ///< wire size of the subanswer
+  double start_rel_ms = 0;        ///< relative to scatter start
+  double end_rel_ms = 0;
+  int attempts = 0;
+  int retries = 0;
+  int rejections = 0;
+  bool budget_exhausted = false;
+  /// Genuine source-availability exhaustion (replan/breaker relevant);
+  /// false for hard errors, which retrying cannot help.
+  bool availability_failure = false;
+  std::vector<ExecWarning> warnings;  ///< recovery warnings, task order
+  ExecWarning failure;                ///< filled when status is not ok
+  std::vector<HealthEvent> events;
+};
+
+/// The serial submit loop (MediatorExecutor::SubmitToSource) transplanted
+/// onto task-local state: same breaker gate, retry policy, timeout
+/// handling, charging rules, and message text, but clocked by the task's
+/// relative clock and gated against a private health registry (null =
+/// no gating, like a serial run without a registry).
+TaskOutcome RunScatterSubmit(wrapper::Wrapper* w, const std::string& source,
+                             const std::string& key,
+                             const Operator& subplan,
+                             const MediatorCostParams& params,
+                             const RetryPolicy& retry,
+                             SourceHealthRegistry* health, Rng* rng,
+                             double* clock_rel_ms, double scatter_abs_ms,
+                             int* budget_remaining,
+                             int max_attempts_override) {
+  TaskOutcome out;
+  out.start_rel_ms = *clock_rel_ms;
+  const int max_attempts = max_attempts_override > 0
+                               ? max_attempts_override
+                               : std::max(1, retry.max_attempts);
+  auto breaker_str = [&]() {
+    return health != nullptr
+               ? std::string(BreakerStateToString(
+                     health->StateAt(key, scatter_abs_ms + *clock_rel_ms)))
+               : std::string();
+  };
+
+  Status last;
+  int attempts = 0;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (health != nullptr &&
+        !health->AllowSubmit(key, scatter_abs_ms + *clock_rel_ms)) {
+      ++out.rejections;
+      out.events.push_back({HealthEvent::kRejected, *clock_rel_ms});
+      if (last.ok()) {
+        last = Status::Unavailable("source '" + source +
+                                   "': circuit breaker open");
+      }
+      break;  // the breaker tripped: further retries are pointless
+    }
+    attempts = attempt;
+    Result<sources::ExecutionResult> result = w->Execute(subplan);
+    if (!result.ok() && !result.status().IsUnavailable() &&
+        !result.status().IsExecutionError()) {
+      // Hard error (e.g. malformed subplan): no charge, no health
+      // report, not replan-eligible -- mirror the serial early return.
+      out.status = result.status().WithContext("source '" + source + "'");
+      out.attempts = attempts;
+      out.retries = attempts - 1;
+      out.end_rel_ms = *clock_rel_ms;
+      out.failure = ExecWarning{key, out.status.message(), attempts, ""};
+      return out;
+    }
+    const bool timed_out = result.ok() && retry.attempt_timeout_ms > 0 &&
+                           result->total_ms > retry.attempt_timeout_ms;
+    if (result.ok() && !timed_out) {
+      int64_t bytes = 0;
+      for (const Tuple& t : result->tuples) bytes += TupleWireBytes(t);
+      *clock_rel_ms += result->total_ms + params.ms_msg_latency +
+                       params.ms_per_net_byte * static_cast<double>(bytes);
+      if (health != nullptr) {
+        health->RecordSuccess(key, scatter_abs_ms + *clock_rel_ms);
+      }
+      out.events.push_back({HealthEvent::kSuccess, *clock_rel_ms});
+      if (attempt > 1) {
+        out.warnings.push_back(ExecWarning{
+            key,
+            StringPrintf("recovered after %d failed attempt%s", attempt - 1,
+                         attempt == 2 ? "" : "s"),
+            attempt, breaker_str()});
+      }
+      out.exec = std::move(*result);
+      out.bytes = bytes;
+      out.attempts = attempt;
+      out.retries = attempt - 1;
+      out.end_rel_ms = *clock_rel_ms;
+      return out;
+    }
+    if (timed_out) {
+      *clock_rel_ms += params.ms_msg_latency + retry.attempt_timeout_ms;
+      last = Status::Unavailable(StringPrintf(
+          "source '%s': attempt timed out (%.1f ms > %.1f ms budget)",
+          source.c_str(), result->total_ms, retry.attempt_timeout_ms));
+    } else {
+      *clock_rel_ms += params.ms_msg_latency;
+      last = result.status().WithContext("source '" + source + "'");
+    }
+    if (health != nullptr) {
+      health->RecordFailure(key, scatter_abs_ms + *clock_rel_ms);
+    }
+    out.events.push_back({HealthEvent::kFailure, *clock_rel_ms});
+    if (attempt < max_attempts) {
+      if (retry.query_retry_budget > 0 && *budget_remaining <= 0) {
+        out.budget_exhausted = true;
+        last = Status::Unavailable(last.message() +
+                                   " (query retry budget exhausted)");
+        break;
+      }
+      --*budget_remaining;
+      ++out.retries;
+      *clock_rel_ms += retry.BackoffMs(attempt, rng);
+    }
+  }
+
+  out.availability_failure = true;
+  std::string msg = last.message();
+  if (attempts > 1) {
+    msg += StringPrintf(" (gave up after %d attempts)", attempts);
+  }
+  out.status = Status::Unavailable(msg);
+  out.attempts = attempts;
+  out.end_rel_ms = *clock_rel_ms;
+  out.failure = ExecWarning{key, msg, attempts, breaker_str()};
+  return out;
+}
+
+}  // namespace
+
+void MediatorExecutor::ScatterGather(const Operator& plan) {
+  const FederationOptions& fed = exec_options_.federation;
+  const RetryPolicy& retry = exec_options_.retry;
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<ScatterSubmit> submits =
+      CollectScatterSubmits(plan, exec_options_.allow_partial);
+  if (submits.empty()) return;
+
+  // ---- group submits by wrapper, first-appearance order ---------------
+  // Submits to the same wrapper stay serial within one group (preserving
+  // the wrapper's internal call order and fault-injection RNG stream);
+  // distinct groups run concurrently.
+  struct Group {
+    std::string source;  ///< as written in the plan (for messages)
+    std::string key;     ///< lower-cased wrapper key
+    wrapper::Wrapper* w = nullptr;
+    std::vector<size_t> slots;  ///< indices into submits/outcomes
+  };
+  std::vector<Group> groups;
+  std::map<std::string, size_t> group_index;
+  std::vector<int> group_of_slot(submits.size(), -1);
+  for (size_t i = 0; i < submits.size(); ++i) {
+    Result<wrapper::Wrapper*> w = WrapperFor(submits[i].op->source);
+    if (!w.ok()) continue;  // EvalSubmit will surface the NotFound serially
+    const std::string key = ToLower(submits[i].op->source);
+    auto it = group_index.find(key);
+    if (it == group_index.end()) {
+      it = group_index.emplace(key, groups.size()).first;
+      Group g;
+      g.source = submits[i].op->source;
+      g.key = key;
+      g.w = *w;
+      groups.push_back(std::move(g));
+    }
+    groups[it->second].slots.push_back(i);
+    group_of_slot[i] = static_cast<int>(it->second);
+  }
+  if (groups.empty()) return;
+
+  const double scatter_abs_ms = Now();
+  const double trace_start_ms = trace_ != nullptr ? trace_->now_ms() : 0;
+
+  // Private per-group breaker registries seeded from the shared one:
+  // tasks gate and record against their own copy, and the shared
+  // registry sees a deterministic timestamp-ordered replay at gather.
+  std::vector<std::unique_ptr<SourceHealthRegistry>> private_health(
+      groups.size());
+  if (health_ != nullptr) {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      private_health[g] =
+          std::make_unique<SourceHealthRegistry>(health_->options());
+      private_health[g]->Adopt(groups[g].key, health_->Health(groups[g].key));
+    }
+  }
+
+  // Optimistic budget split: each group sees the budget remaining at
+  // scatter start; consumption is reconciled below.
+  const bool budgeted = retry.query_retry_budget > 0;
+  const int budget_at_start =
+      budgeted ? std::max(0, retry.query_retry_budget - retries_used_)
+               : std::numeric_limits<int>::max();
+
+  std::vector<TaskOutcome> outcomes(submits.size());
+  auto run_group = [&](int gi) {
+    Group& g = groups[static_cast<size_t>(gi)];
+    SourceHealthRegistry* ph = private_health[static_cast<size_t>(gi)].get();
+    // Per-group RNG: seeded from the jitter seed and the group's position
+    // so backoff jitter is deterministic for any pool size.
+    Rng rng(exec_options_.jitter_seed ^
+            (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(gi + 1)));
+    double clock_rel = 0;
+    int budget_remaining = budget_at_start;
+    for (size_t slot : g.slots) {
+      outcomes[slot] = RunScatterSubmit(
+          g.w, g.source, g.key, submits[slot].op->child(0), params_, retry,
+          ph, &rng, &clock_rel, scatter_abs_ms, &budget_remaining,
+          /*max_attempts_override=*/0);
+    }
+  };
+  const bool concurrent = federation_pool_ != nullptr && fed.threads > 1 &&
+                          groups.size() > 1;
+  if (concurrent) {
+    federation_pool_->ParallelFor(static_cast<int>(groups.size()), run_group);
+  } else {
+    for (int gi = 0; gi < static_cast<int>(groups.size()); ++gi) {
+      run_group(gi);
+    }
+  }
+
+  int phase_a_retries = 0;
+  for (const TaskOutcome& o : outcomes) phase_a_retries += o.retries;
+
+  // ---- hedge decisions (main thread, subplan-index order) -------------
+  // A primary that ran longer than the adaptive threshold gets a backup
+  // submit to a DeclareEquivalent replica; the earlier answer wins and
+  // the loser is cancelled. Decisions are taken here, deterministically,
+  // from the completed primary timeline.
+  struct HedgeTask {
+    size_t slot = 0;          ///< primary submit slot
+    std::string source;       ///< replica source (lower-cased)
+    wrapper::Wrapper* w = nullptr;
+    std::unique_ptr<algebra::Operator> subplan;
+    double nominal_start_rel = 0;  ///< primary start + threshold
+    double threshold_ms = 0;
+  };
+  std::vector<HedgeTask> hedges;
+  int hedge_budget = budgeted
+                         ? std::max(0, budget_at_start - phase_a_retries)
+                         : std::numeric_limits<int>::max();
+  if (fed.hedge && profile_ != nullptr && catalog_ != nullptr) {
+    for (size_t i = 0; i < submits.size(); ++i) {
+      if (group_of_slot[i] < 0) continue;
+      const Group& g = groups[static_cast<size_t>(group_of_slot[i])];
+      const TaskOutcome& prim = outcomes[i];
+      // Hard errors are about semantics, not latency: never hedge them.
+      if (!prim.status.ok() && !prim.availability_failure) continue;
+      if (profile_->count(g.key) < fed.hedge_min_samples) continue;
+      const double threshold =
+          std::max(profile_->QuantileMs(g.key), fed.hedge_min_ms);
+      if (threshold <= 0) continue;
+      if (prim.end_rel_ms - prim.start_rel_ms <= threshold) continue;
+      if (hedge_budget <= 0) {
+        BumpCounter("disco.mediator.retry_budget.exhausted");
+        continue;  // hedges share the per-query retry budget
+      }
+      HedgePlan hp = MakeHedgePlan(
+          submits[i].op->child(0), *catalog_, g.key,
+          [&](const std::string& candidate) {
+            if (wrappers_.find(candidate) == wrappers_.end()) return false;
+            return health_ == nullptr ||
+                   health_->StateAt(candidate, scatter_abs_ms) !=
+                       BreakerState::kOpen;
+          });
+      if (!hp.viable()) continue;
+      --hedge_budget;
+      HedgeTask task;
+      task.slot = i;
+      task.source = hp.source;
+      task.w = wrappers_.find(hp.source)->second;
+      task.subplan = std::move(hp.subplan);
+      task.nominal_start_rel = prim.start_rel_ms + threshold;
+      task.threshold_ms = threshold;
+      hedges.push_back(std::move(task));
+    }
+  }
+
+  // ---- hedge phase: backup submits, grouped by replica wrapper --------
+  std::vector<TaskOutcome> hedge_outcomes(hedges.size());
+  std::vector<std::vector<size_t>> hedge_groups;
+  {
+    std::map<std::string, size_t> hg_index;
+    for (size_t h = 0; h < hedges.size(); ++h) {
+      auto it = hg_index.find(hedges[h].source);
+      if (it == hg_index.end()) {
+        it = hg_index.emplace(hedges[h].source, hedge_groups.size()).first;
+        hedge_groups.emplace_back();
+      }
+      hedge_groups[it->second].push_back(h);
+    }
+  }
+  if (!hedges.empty()) {
+    std::vector<std::unique_ptr<SourceHealthRegistry>> hedge_health(
+        hedge_groups.size());
+    if (health_ != nullptr) {
+      for (size_t g = 0; g < hedge_groups.size(); ++g) {
+        const std::string& key = hedges[hedge_groups[g][0]].source;
+        hedge_health[g] =
+            std::make_unique<SourceHealthRegistry>(health_->options());
+        hedge_health[g]->Adopt(key, health_->Health(key));
+      }
+    }
+    auto run_hedge_group = [&](int gi) {
+      // Seed domain offset by the primary group count so hedge jitter
+      // never collides with a primary group's stream.
+      Rng rng(exec_options_.jitter_seed ^
+              (0x9E3779B97F4A7C15ULL *
+               static_cast<uint64_t>(groups.size() + 1 +
+                                     static_cast<size_t>(gi))));
+      double clock_rel = 0;
+      int unlimited = std::numeric_limits<int>::max();  // pre-paid at launch
+      for (size_t h : hedge_groups[static_cast<size_t>(gi)]) {
+        HedgeTask& t = hedges[h];
+        if (clock_rel < t.nominal_start_rel) clock_rel = t.nominal_start_rel;
+        hedge_outcomes[h] = RunScatterSubmit(
+            t.w, t.source, t.source, *t.subplan, params_, retry,
+            hedge_health[static_cast<size_t>(gi)].get(), &rng, &clock_rel,
+            scatter_abs_ms, &unlimited, /*max_attempts_override=*/1);
+      }
+    };
+    if (concurrent && hedge_groups.size() > 1) {
+      federation_pool_->ParallelFor(static_cast<int>(hedge_groups.size()),
+                                    run_hedge_group);
+    } else {
+      for (int gi = 0; gi < static_cast<int>(hedge_groups.size()); ++gi) {
+        run_hedge_group(gi);
+      }
+    }
+  }
+
+  // ---- gather: combine, clip to the deadline, propagate cancellation --
+  std::vector<int> hedge_for_slot(submits.size(), -1);
+  for (size_t h = 0; h < hedges.size(); ++h) {
+    hedge_for_slot[hedges[h].slot] = static_cast<int>(h);
+  }
+
+  /// The per-submit effective outcome after hedging/deadline/cancellation.
+  struct Eff {
+    bool ran = false;
+    Status status;
+    TaskOutcome* answer = nullptr;  ///< whose tuples to keep when ok
+    double start_rel = 0, end_rel = 0;
+    int attempts = 0;
+    double source_ms = 0;
+    int64_t bytes = 0;
+    std::string answer_key;  ///< source that produced the kept answer
+    const algebra::Operator* record_plan = nullptr;  ///< for SubqueryRecord
+    std::vector<ExecWarning> warnings;
+    ExecWarning failure;
+    bool note_failed = false;
+    bool expired = false;
+    bool cancelled = false;
+    bool hedge_won = false;
+  };
+  std::vector<Eff> eff(submits.size());
+  // Replay cutoffs: health events after a submit was cancelled/expired
+  // never happened as far as the shared registry is concerned.
+  std::vector<double> prim_cut(submits.size(), kInf);
+  std::vector<double> hedge_cut(submits.size(), kInf);
+  int64_t hedges_won = 0, hedges_cancelled = 0;
+
+  for (size_t i = 0; i < submits.size(); ++i) {
+    if (group_of_slot[i] < 0) continue;
+    const Group& g = groups[static_cast<size_t>(group_of_slot[i])];
+    TaskOutcome& prim = outcomes[i];
+    Eff& e = eff[i];
+    e.ran = true;
+    e.status = prim.status;
+    e.answer = &prim;
+    e.answer_key = g.key;
+    e.start_rel = prim.start_rel_ms;
+    e.end_rel = prim.end_rel_ms;
+    e.attempts = prim.attempts;
+    e.bytes = prim.bytes;
+    e.record_plan = &submits[i].op->child(0);
+    e.warnings = std::move(prim.warnings);
+    e.failure = prim.failure;
+    e.note_failed = prim.availability_failure;
+    if (prim.status.ok()) e.source_ms = prim.exec.total_ms;
+
+    const int h = hedge_for_slot[i];
+    if (h < 0) continue;
+    TaskOutcome& ho = hedge_outcomes[static_cast<size_t>(h)];
+    const HedgeTask& task = hedges[static_cast<size_t>(h)];
+    const bool prim_ok = prim.status.ok();
+    const bool hedge_ok = ho.status.ok();
+    if (prim_ok && (!hedge_ok || prim.end_rel_ms <= ho.end_rel_ms)) {
+      // Primary answered first: cancel the hedge if it is still in
+      // flight (its late answer -- and health events -- are discarded).
+      if (ho.end_rel_ms > prim.end_rel_ms) {
+        ++hedges_cancelled;
+        hedge_cut[i] = prim.end_rel_ms;
+      }
+      e.warnings.push_back(ExecWarning{
+          g.key,
+          StringPrintf("hedged to replica '%s' after %.1f ms; "
+                       "primary answered first",
+                       task.source.c_str(), task.threshold_ms),
+          0, ""});
+    } else if (hedge_ok) {
+      ++hedges_won;
+      if (!prim_ok || prim.end_rel_ms > ho.end_rel_ms) {
+        // The slower (or failed) primary is the cancelled loser.
+        if (prim_ok) ++hedges_cancelled;
+        prim_cut[i] = std::min(prim_cut[i], ho.end_rel_ms);
+      }
+      e.hedge_won = true;
+      e.status = Status::OK();
+      e.answer = &ho;
+      e.answer_key = task.source;
+      e.end_rel = ho.end_rel_ms;
+      e.attempts = prim.attempts + ho.attempts;
+      e.bytes = ho.bytes;
+      e.source_ms = ho.exec.total_ms;
+      e.record_plan = task.subplan.get();
+      e.note_failed = false;
+      e.warnings.push_back(ExecWarning{
+          g.key,
+          StringPrintf("hedged to replica '%s' after %.1f ms; replica "
+                       "answered first (%.1f ms vs %.1f ms)",
+                       task.source.c_str(), task.threshold_ms,
+                       ho.end_rel_ms - prim.start_rel_ms,
+                       prim.end_rel_ms - prim.start_rel_ms),
+          0, ""});
+    } else {
+      // Both failed: the submit is over when the later of the two gave
+      // up; the primary's failure is the one reported.
+      e.end_rel = std::max(prim.end_rel_ms, ho.end_rel_ms);
+      e.warnings.push_back(ExecWarning{task.source,
+                                       "hedge submit failed: " +
+                                           ho.status.message(),
+                                       ho.attempts, ""});
+    }
+  }
+
+  // Deadline pass: submits still unfinished when the per-query budget
+  // expires are abandoned. Deadline expiry is the mediator's decision,
+  // not the source's fault -- it records no breaker failure and does not
+  // make the source replan-eligible.
+  int64_t expired_submits = 0;
+  if (fed.deadline_ms > 0) {
+    for (size_t i = 0; i < submits.size(); ++i) {
+      Eff& e = eff[i];
+      if (!e.ran || e.end_rel <= fed.deadline_ms) continue;
+      ++expired_submits;
+      const bool started = e.start_rel < fed.deadline_ms;
+      const std::string key =
+          groups[static_cast<size_t>(group_of_slot[i])].key;
+      const std::string msg = StringPrintf(
+          "query deadline (%.1f ms) expired %s", fed.deadline_ms,
+          started ? "with the submit in flight"
+                  : "before the submit started");
+      e.expired = true;
+      e.status = Status::Unavailable("source '" + key + "': " + msg);
+      e.failure = ExecWarning{key, msg, e.attempts, ""};
+      e.answer = nullptr;  // a partial subanswer is discarded, not kept
+      e.note_failed = false;
+      e.start_rel = std::min(e.start_rel, fed.deadline_ms);
+      e.end_rel = fed.deadline_ms;
+      prim_cut[i] = std::min(prim_cut[i], fed.deadline_ms);
+      hedge_cut[i] = std::min(hedge_cut[i], fed.deadline_ms);
+    }
+  }
+
+  // Cancellation pass: the earliest non-droppable failure is fatal to
+  // the whole query, so every submit still in flight at that moment is
+  // cancelled -- no point finishing work the query can never use.
+  double fatal_rel = kInf;
+  size_t fatal_slot = submits.size();
+  for (size_t i = 0; i < submits.size(); ++i) {
+    if (!eff[i].ran || eff[i].status.ok()) continue;
+    if (submits[i].droppable) continue;
+    if (eff[i].end_rel < fatal_rel) {
+      fatal_rel = eff[i].end_rel;
+      fatal_slot = i;
+    }
+  }
+  int64_t cancellations = 0;
+  if (fatal_slot < submits.size()) {
+    const std::string& fatal_key =
+        groups[static_cast<size_t>(group_of_slot[fatal_slot])].key;
+    // Make sure the true culprit reaches failed_sources_ even if eval
+    // aborts on a cancelled sibling before consuming the fatal submit.
+    if (eff[fatal_slot].note_failed) NoteFailedSource(fatal_key);
+    for (size_t i = 0; i < submits.size(); ++i) {
+      Eff& e = eff[i];
+      if (!e.ran || i == fatal_slot || e.end_rel <= fatal_rel) continue;
+      ++cancellations;
+      const std::string key =
+          groups[static_cast<size_t>(group_of_slot[i])].key;
+      const std::string msg = StringPrintf(
+          "cancelled at %.1f ms: submit to '%s' failed", fatal_rel,
+          fatal_key.c_str());
+      e.cancelled = true;
+      e.expired = false;
+      e.status = Status::Unavailable("source '" + key + "': " + msg);
+      e.failure = ExecWarning{key, msg, e.attempts, ""};
+      e.answer = nullptr;
+      e.note_failed = false;
+      e.start_rel = std::min(e.start_rel, fatal_rel);
+      e.end_rel = fatal_rel;
+      prim_cut[i] = std::min(prim_cut[i], fatal_rel);
+      hedge_cut[i] = std::min(hedge_cut[i], fatal_rel);
+    }
+  }
+
+  // ---- commit: trace, metrics, history, precomputed outcomes ----------
+  // Satellite guarantee: everything below iterates submits in
+  // subplan-index order, so gathered warnings, spans, and subquery
+  // records come out in the same deterministic order for any pool size.
+  std::vector<size_t> order(submits.size());
+  for (size_t i = 0; i < submits.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return submits[a].index < submits[b].index;
+  });
+
+  double total_rel = 0;
+  for (const Eff& e : eff) {
+    if (e.ran) total_rel = std::max(total_rel, e.end_rel);
+  }
+
+  tracing::ScopedSpan scatter_span(trace_, "scatter", "federation");
+  int64_t scattered = 0, total_attempts = 0, total_retries = 0;
+  int64_t total_rejections = 0, failures = 0, budget_exhaustions = 0;
+  for (size_t i : order) {
+    if (group_of_slot[i] < 0) continue;
+    ++scattered;
+    Eff& e = eff[i];
+    const int gi = group_of_slot[i];
+    const int h = hedge_for_slot[i];
+    const TaskOutcome& prim = outcomes[i];
+    total_attempts += prim.attempts;
+    total_retries += prim.retries;
+    total_rejections += prim.rejections;
+    if (prim.budget_exhausted) ++budget_exhaustions;
+    if (h >= 0) {
+      const TaskOutcome& ho = hedge_outcomes[static_cast<size_t>(h)];
+      total_attempts += ho.attempts;
+      total_rejections += ho.rejections;
+    }
+    if (!e.status.ok() && e.note_failed) ++failures;
+
+    if (trace_ != nullptr) {
+      const Group& g = groups[static_cast<size_t>(gi)];
+      int sid = trace_->AddCompleteSpan(
+          "submit @" + g.key, "submit", trace_start_ms + e.start_rel,
+          trace_start_ms + e.end_rel, /*lane=*/1 + gi);
+      trace_->AddArg(sid, "subplan_index", int64_t{submits[i].index});
+      trace_->AddArg(sid, "attempts", int64_t{e.attempts});
+      const char* outcome = e.status.ok()
+                                ? (e.hedge_won ? "hedge-won" : "ok")
+                                : e.cancelled
+                                      ? "cancelled"
+                                      : e.expired ? "deadline-expired"
+                                                  : e.note_failed
+                                                        ? "unavailable"
+                                                        : "error";
+      trace_->AddArg(sid, "outcome", outcome);
+      if (e.status.ok() && e.answer != nullptr) {
+        trace_->AddArg(
+            sid, "rows",
+            static_cast<int64_t>(e.answer->exec.tuples.size()));
+        trace_->AddArg(sid, "source_ms", e.source_ms);
+      }
+      if (h >= 0) {
+        const TaskOutcome& ho = hedge_outcomes[static_cast<size_t>(h)];
+        const HedgeTask& task = hedges[static_cast<size_t>(h)];
+        const double hedge_end =
+            std::min(ho.end_rel_ms, hedge_cut[i]);
+        int hid = trace_->AddCompleteSpan(
+            "hedge @" + task.source, "hedge",
+            trace_start_ms + std::min(ho.start_rel_ms, hedge_end),
+            trace_start_ms + hedge_end,
+            /*lane=*/1 + static_cast<int>(groups.size()) +
+                [&] {
+                  for (size_t hg = 0; hg < hedge_groups.size(); ++hg) {
+                    for (size_t hh : hedge_groups[hg]) {
+                      if (hh == static_cast<size_t>(h)) {
+                        return static_cast<int>(hg);
+                      }
+                    }
+                  }
+                  return 0;
+                }());
+        trace_->AddArg(hid, "subplan_index", int64_t{submits[i].index});
+        trace_->AddArg(hid, "threshold_ms", task.threshold_ms);
+        trace_->AddArg(hid, "outcome",
+                       e.hedge_won ? "won"
+                                   : ho.status.ok()
+                                         ? "lost"
+                                         : ho.end_rel_ms > hedge_cut[i]
+                                               ? "cancelled"
+                                               : "failed");
+      }
+    }
+
+    // Winners feed the latency profile, the per-submit histograms, and
+    // the history mechanism -- in subplan-index order, like everything
+    // here, so the profile-driven hedge thresholds stay deterministic.
+    if (e.status.ok() && e.answer != nullptr) {
+      TaskOutcome& win = *e.answer;
+      if (metrics_ != nullptr) {
+        metrics_->histogram("disco.submit.ms")
+            ->Record(e.end_rel - e.start_rel);
+        metrics_->histogram("disco.submit.rows")
+            ->Record(static_cast<double>(win.exec.tuples.size()));
+      }
+      if (profile_ != nullptr) {
+        profile_->Observe(e.answer_key,
+                          win.end_rel_ms - win.start_rel_ms);
+      }
+      SubqueryRecord record;
+      record.source = e.answer_key;
+      record.subplan = e.record_plan->Clone();
+      record.source_ms = win.exec.total_ms;
+      record.attempts = e.attempts;
+      const auto n = static_cast<double>(win.exec.tuples.size());
+      record.measured = costmodel::CostVector::Full(
+          n, static_cast<double>(e.bytes),
+          n > 0 ? static_cast<double>(e.bytes) / n : 0,
+          win.exec.first_tuple_ms,
+          n > 1 ? (win.exec.total_ms - win.exec.first_tuple_ms) / (n - 1)
+                : 0,
+          win.exec.total_ms);
+      subqueries_.push_back(std::move(record));
+    }
+
+    PrecomputedSubmit pc;
+    pc.status = e.status;
+    pc.duration_ms = e.end_rel - e.start_rel;
+    pc.source_ms = e.source_ms;
+    pc.attempts = e.attempts;
+    pc.note_failed_source = e.note_failed;
+    for (ExecWarning& w : e.warnings) {
+      w.subplan_index = submits[i].index;
+    }
+    pc.warnings = std::move(e.warnings);
+    e.failure.subplan_index = submits[i].index;
+    pc.failure = std::move(e.failure);
+    if (e.status.ok() && e.answer != nullptr) {
+      pc.rel.columns = std::move(e.answer->exec.columns);
+      pc.rel.tuples = std::move(e.answer->exec.tuples);
+    }
+    precomputed_[submits[i].op] = std::move(pc);
+  }
+
+  // The scatter phase charges max-not-sum: the whole concurrent phase
+  // costs what its slowest surviving lane cost.
+  Charge(total_rel);
+
+  // Replay health events into the shared registry in global timestamp
+  // order (stable on ties: subplan-index order), so breaker transitions
+  // and their listeners fire identically for any pool size.
+  if (health_ != nullptr) {
+    struct Replay {
+      double at_rel;
+      HealthEvent::Kind kind;
+      const std::string* key;
+    };
+    std::vector<Replay> replays;
+    for (size_t i : order) {
+      if (group_of_slot[i] < 0) continue;
+      const std::string& key =
+          groups[static_cast<size_t>(group_of_slot[i])].key;
+      for (const HealthEvent& ev : outcomes[i].events) {
+        if (ev.at_rel_ms <= prim_cut[i]) {
+          replays.push_back({ev.at_rel_ms, ev.kind, &key});
+        }
+      }
+      const int h = hedge_for_slot[i];
+      if (h >= 0) {
+        for (const HealthEvent& ev :
+             hedge_outcomes[static_cast<size_t>(h)].events) {
+          if (ev.at_rel_ms <= hedge_cut[i]) {
+            replays.push_back(
+                {ev.at_rel_ms, ev.kind, &hedges[static_cast<size_t>(h)].source});
+          }
+        }
+      }
+    }
+    std::stable_sort(replays.begin(), replays.end(),
+                     [](const Replay& a, const Replay& b) {
+                       return a.at_rel < b.at_rel;
+                     });
+    for (const Replay& r : replays) {
+      const double at = scatter_abs_ms + r.at_rel;
+      switch (r.kind) {
+        case HealthEvent::kSuccess:
+          health_->RecordSuccess(*r.key, at);
+          break;
+        case HealthEvent::kFailure:
+          health_->RecordFailure(*r.key, at);
+          break;
+        case HealthEvent::kRejected:
+          (void)health_->AllowSubmit(*r.key, at);
+          break;
+      }
+    }
+  }
+
+  // Reconcile the shared budget: phase-A retries plus one unit per
+  // launched hedge.
+  retries_used_ += phase_a_retries + static_cast<int>(hedges.size());
+
+  // Metrics (see docs/OBSERVABILITY.md for the catalog).
+  BumpCounter("disco.mediator.scatter.queries");
+  BumpCounter("disco.mediator.scatter.groups",
+              static_cast<int64_t>(groups.size()));
+  BumpCounter("disco.mediator.scatter.submits", scattered);
+  BumpCounter("disco.exec.submits", scattered);
+  BumpCounter("disco.exec.submit_attempts", total_attempts);
+  if (total_retries > 0) {
+    BumpCounter("disco.exec.submit_retries", total_retries);
+  }
+  if (total_rejections > 0) {
+    BumpCounter("disco.exec.breaker_rejections", total_rejections);
+  }
+  if (failures > 0) BumpCounter("disco.exec.submit_failures", failures);
+  if (budget_exhaustions > 0) {
+    BumpCounter("disco.mediator.retry_budget.exhausted", budget_exhaustions);
+  }
+  if (!hedges.empty()) {
+    BumpCounter("disco.mediator.hedges.launched",
+                static_cast<int64_t>(hedges.size()));
+  }
+  if (hedges_won > 0) BumpCounter("disco.mediator.hedges.won", hedges_won);
+  if (hedges_cancelled > 0) {
+    BumpCounter("disco.mediator.hedges.cancelled", hedges_cancelled);
+  }
+  if (expired_submits > 0) {
+    BumpCounter("disco.mediator.deadline.expired_submits", expired_submits);
+    BumpCounter("disco.mediator.deadline.expired_queries");
+  }
+  if (cancellations > 0) {
+    BumpCounter("disco.mediator.cancellations", cancellations);
+  }
+
+  scatter_span.Arg("groups", static_cast<int64_t>(groups.size()));
+  scatter_span.Arg("submits", scattered);
+  scatter_span.Arg("charged_ms", total_rel);
+  if (!hedges.empty()) {
+    scatter_span.Arg("hedges", static_cast<int64_t>(hedges.size()));
+  }
 }
 
 }  // namespace mediator

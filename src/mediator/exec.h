@@ -23,8 +23,10 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/tracing.h"
 #include "costmodel/cost_vector.h"
+#include "mediator/federation.h"
 #include "mediator/retry_policy.h"
 #include "mediator/source_health.h"
 #include "sources/source_engine.h"
@@ -50,6 +52,10 @@ struct ExecOptions {
   bool allow_partial = false;
   /// Seed for retry backoff jitter; fixed seed => bit-identical runs.
   uint64_t jitter_seed = 0x5EED;
+  /// Scatter-gather federation (docs/ROBUSTNESS.md): concurrent submits
+  /// charged max-not-sum, per-query deadline, hedged requests. With the
+  /// default (inactive) options the serial submit loop runs unchanged.
+  FederationOptions federation;
 };
 
 /// A structured per-query warning: something was degraded but the query
@@ -60,6 +66,11 @@ struct ExecWarning {
   int attempts = 0;     ///< submit attempts behind this warning (0 = n/a)
   /// Circuit-breaker state of `source` at warning time ("" = unknown).
   std::string breaker;
+  /// Pre-order index of the submit this warning belongs to (-1 = not
+  /// tied to a specific submit). Scatter-gather sorts gathered warnings
+  /// by this key so concurrent execution cannot reorder them; not part
+  /// of ToString().
+  int subplan_index = -1;
 
   std::string ToString() const;
 };
@@ -126,6 +137,15 @@ class MediatorExecutor {
   void set_node_measures(NodeMeasureMap* measures) {
     node_measures_ = measures;
   }
+  /// Pool the scatter phase fans source groups onto. Null (or
+  /// federation.threads == 1) runs the groups inline -- byte-identical
+  /// results either way (the determinism contract of common/thread_pool).
+  void set_federation_pool(ThreadPool* pool) { federation_pool_ = pool; }
+  /// Per-source latency quantiles feeding the hedge threshold. Also fed
+  /// by this executor with every successful submit's charged duration.
+  void set_latency_profile(SubmitLatencyProfile* profile) {
+    profile_ = profile;
+  }
 
   /// Executes a complete mediator plan. Every scan must sit under a
   /// submit to a registered wrapper.
@@ -142,6 +162,26 @@ class MediatorExecutor {
   }
 
  private:
+  /// What the scatter phase decided for one kSubmit node; consumed by
+  /// EvalSubmit instead of re-submitting. `duration_ms` is the submit's
+  /// effective response time on the concurrent timeline (already part of
+  /// the single max-not-sum scatter charge, so consumption charges 0).
+  struct PrecomputedSubmit {
+    Status status = Status::OK();
+    sources::Rel rel;            ///< subanswer (valid when status is ok)
+    double duration_ms = 0;
+    double source_ms = 0;
+    int attempts = 0;
+    /// Genuine submit exhaustion (replan-eligible); false for deadline
+    /// expiry and cancellation, which are the mediator's doing.
+    bool note_failed_source = false;
+    /// Warnings surfaced when this submit is consumed (recoveries, hedge
+    /// outcomes), in deterministic order.
+    std::vector<ExecWarning> warnings;
+    /// last_failure_ payload when status is not ok.
+    ExecWarning failure;
+  };
+
   /// Instrumented node dispatch: opens a span, runs EvalNode, records
   /// the node's measured time/cardinality.
   Result<sources::Rel> Eval(const algebra::Operator& op);
@@ -153,6 +193,12 @@ class MediatorExecutor {
   Result<sources::ExecutionResult> SubmitToSource(
       const std::string& source, const algebra::Operator& subplan);
   Result<wrapper::Wrapper*> WrapperFor(const std::string& source) const;
+  /// The scatter phase: runs every statically-known submit concurrently
+  /// (grouped by wrapper, serial within a group), applies hedging,
+  /// deadline clipping and cancellation, charges the clock max-not-sum,
+  /// and stashes per-submit outcomes in precomputed_ for Eval to
+  /// consume. No-op when the plan holds no submits.
+  void ScatterGather(const algebra::Operator& plan);
   void Charge(double ms) {
     elapsed_ms_ += ms;
     if (trace_ != nullptr) trace_->Advance(ms);
@@ -178,6 +224,8 @@ class MediatorExecutor {
   tracing::Trace* trace_ = nullptr;
   metrics::Registry* metrics_ = nullptr;
   NodeMeasureMap* node_measures_ = nullptr;
+  ThreadPool* federation_pool_ = nullptr;
+  SubmitLatencyProfile* profile_ = nullptr;
   double elapsed_ms_ = 0;
   std::vector<SubqueryRecord> subqueries_;
   std::vector<ExecWarning> warnings_;
@@ -186,6 +234,15 @@ class MediatorExecutor {
   ExecWarning last_failure_;
   /// Attempts of the most recent submit (for per-node measures).
   int last_submit_attempts_ = 0;
+  /// Retry-budget units consumed this query (retries + hedge launches);
+  /// see RetryPolicy::query_retry_budget.
+  int retries_used_ = 0;
+  /// Scatter-phase outcomes keyed by submit node, consumed by EvalSubmit.
+  std::map<const algebra::Operator*, PrecomputedSubmit> precomputed_;
+  /// Response time of the precomputed submit just consumed; folded into
+  /// that node's NodeMeasure::inclusive_ms by Eval (the scatter phase
+  /// charged the time globally, so the node itself charges 0).
+  double precomputed_bonus_ms_ = 0;
 };
 
 }  // namespace mediator

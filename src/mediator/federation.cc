@@ -1,0 +1,127 @@
+#include "mediator/federation.h"
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace mediator {
+
+void SubmitLatencyProfile::Observe(const std::string& source_lower,
+                                   double duration_ms) {
+  auto it = sketches_.find(source_lower);
+  if (it == sketches_.end()) {
+    it = sketches_.emplace(source_lower, P2Quantile(quantile_)).first;
+  }
+  it->second.Add(duration_ms);
+}
+
+int64_t SubmitLatencyProfile::count(const std::string& source_lower) const {
+  auto it = sketches_.find(source_lower);
+  return it == sketches_.end() ? 0 : it->second.count();
+}
+
+double SubmitLatencyProfile::QuantileMs(
+    const std::string& source_lower) const {
+  auto it = sketches_.find(source_lower);
+  return it == sketches_.end() ? 0 : it->second.Value();
+}
+
+namespace {
+
+/// Rewrites every scan in `op` per `replacement` (old collection ->
+/// equivalent collection, keys lower-cased).
+void RewriteScans(algebra::Operator* op,
+                  const std::map<std::string, std::string>& replacement) {
+  if (op->kind == algebra::OpKind::kScan) {
+    auto it = replacement.find(ToLower(op->collection));
+    if (it != replacement.end()) op->collection = it->second;
+  }
+  for (auto& child : op->children) RewriteScans(child.get(), replacement);
+}
+
+}  // namespace
+
+HedgePlan MakeHedgePlan(
+    const algebra::Operator& subplan, const Catalog& catalog,
+    const std::string& primary_source_lower,
+    const std::function<bool(const std::string&)>& source_ok) {
+  HedgePlan none;
+  const std::vector<std::string> collections = subplan.BaseCollections();
+  if (collections.empty()) return none;
+
+  // Candidate replica sources, in the declaration order of the first
+  // collection's equivalence class (deterministic).
+  std::vector<std::string> candidates;
+  for (const std::string& equiv : catalog.EquivalentsOf(collections[0])) {
+    Result<std::string> src = catalog.SourceOf(equiv);
+    if (!src.ok()) continue;
+    const std::string src_lower = ToLower(*src);
+    if (src_lower == primary_source_lower) continue;
+    bool seen = false;
+    for (const std::string& c : candidates) seen = seen || c == src_lower;
+    if (!seen) candidates.push_back(src_lower);
+  }
+
+  for (const std::string& candidate : candidates) {
+    if (!source_ok(candidate)) continue;
+    // The candidate must carry an equivalent of EVERY scanned collection.
+    std::map<std::string, std::string> replacement;
+    bool complete = true;
+    for (const std::string& coll : collections) {
+      std::string found;
+      for (const std::string& equiv : catalog.EquivalentsOf(coll)) {
+        Result<std::string> src = catalog.SourceOf(equiv);
+        if (src.ok() && ToLower(*src) == candidate) {
+          found = equiv;
+          break;
+        }
+      }
+      if (found.empty()) {
+        complete = false;
+        break;
+      }
+      replacement[ToLower(coll)] = found;
+    }
+    if (!complete) continue;
+    HedgePlan out;
+    out.source = candidate;
+    out.subplan = subplan.Clone();
+    RewriteScans(out.subplan.get(), replacement);
+    return out;
+  }
+  return none;
+}
+
+namespace {
+
+void CollectSubmits(const algebra::Operator& op, bool allow_partial,
+                    bool under_union, int* next_index,
+                    std::vector<ScatterSubmit>* out) {
+  if (op.kind == algebra::OpKind::kSubmit) {
+    ScatterSubmit s;
+    s.op = &op;
+    s.index = (*next_index)++;
+    s.droppable = allow_partial && under_union;
+    out->push_back(s);
+    return;  // submit subplans run at the source; nothing to collect below
+  }
+  const bool child_under_union =
+      under_union || op.kind == algebra::OpKind::kUnion;
+  for (int i = 0; i < op.num_children(); ++i) {
+    CollectSubmits(op.child(i), allow_partial, child_under_union, next_index,
+                   out);
+  }
+}
+
+}  // namespace
+
+std::vector<ScatterSubmit> CollectScatterSubmits(
+    const algebra::Operator& plan, bool allow_partial) {
+  std::vector<ScatterSubmit> out;
+  int next_index = 0;
+  CollectSubmits(plan, allow_partial, /*under_union=*/false, &next_index,
+                 &out);
+  return out;
+}
+
+}  // namespace mediator
+}  // namespace disco

@@ -34,6 +34,11 @@ Mediator::Mediator(MediatorOptions options)
                          ? std::make_unique<ThreadPool>(
                                options_.planning_threads)
                          : nullptr),
+      federation_pool_(options_.fault_tolerance.federation.threads > 1
+                           ? std::make_unique<ThreadPool>(
+                                 options_.fault_tolerance.federation.threads)
+                           : nullptr),
+      latency_profile_(options_.fault_tolerance.federation.hedge_quantile),
       plan_cache_(options_.plan_cache_capacity) {
   Status s = costmodel::InstallGenericModel(&registry_, options_.calibration);
   DISCO_CHECK(s.ok()) << "generic cost model failed to install: "
@@ -505,6 +510,8 @@ Result<QueryResult> Mediator::ExecuteInternal(
   exec.set_trace(trace);
   exec.set_metrics(&metrics_);
   exec.set_node_measures(node_measures);
+  exec.set_federation_pool(federation_pool_.get());
+  exec.set_latency_profile(&latency_profile_);
   // Breaker transitions and drift breaches land as instant events on
   // the active trace; drift fires from the feedback loop below, so the
   // trace stays active through it.
@@ -620,6 +627,24 @@ MonitorSnapshot Mediator::MonitorReport(int top_k) const {
   snap.breaker_rejections = counter("disco.exec.breaker_rejections");
   snap.drift_events = counter("disco.costmodel.drift_events");
   snap.retry_max_attempts = options_.fault_tolerance.retry.max_attempts;
+
+  const FederationOptions& fed = options_.fault_tolerance.federation;
+  snap.federation_threads = fed.threads;
+  snap.deadline_ms = fed.deadline_ms;
+  snap.hedging = fed.hedge;
+  snap.query_retry_budget = options_.fault_tolerance.retry.query_retry_budget;
+  snap.scatter_queries = counter("disco.mediator.scatter.queries");
+  snap.scatter_submits = counter("disco.mediator.scatter.submits");
+  snap.hedges_launched = counter("disco.mediator.hedges.launched");
+  snap.hedges_won = counter("disco.mediator.hedges.won");
+  snap.hedges_cancelled = counter("disco.mediator.hedges.cancelled");
+  snap.deadline_expired_submits =
+      counter("disco.mediator.deadline.expired_submits");
+  snap.deadline_expired_queries =
+      counter("disco.mediator.deadline.expired_queries");
+  snap.cancellations = counter("disco.mediator.cancellations");
+  snap.retry_budget_exhaustions =
+      counter("disco.mediator.retry_budget.exhausted");
 
   snap.log_size = query_log_.size();
   snap.log_capacity = query_log_.capacity();

@@ -76,6 +76,8 @@ struct MediatorOptions {
   /// deterministic reduction, so answers, traces, and metrics stay
   /// byte-identical across pool sizes.
   int planning_threads = 1;
+  // Scatter-gather federation (docs/ROBUSTNESS.md) is configured via
+  // fault_tolerance.federation: threads, per-query deadline, hedging.
 };
 
 struct QueryResult {
@@ -180,6 +182,12 @@ class Mediator {
   /// Cross-query subplan cost memo handed to the optimizer; invalidated
   /// automatically against RuleRegistry::epoch().
   const costmodel::CostMemo& cost_memo() const { return cost_memo_; }
+  /// Streaming per-source submit-latency quantiles feeding the hedge
+  /// threshold (docs/ROBUSTNESS.md); spans queries.
+  SubmitLatencyProfile* latency_profile() { return &latency_profile_; }
+  const SubmitLatencyProfile& latency_profile() const {
+    return latency_profile_;
+  }
   /// Dashboard-style operational snapshot: query volume, retry-budget
   /// consumption, breaker flaps, query-log occupancy, and the `top_k`
   /// worst drift cells by windowed q-error. Deterministic: two same-seed
@@ -242,6 +250,12 @@ class Mediator {
   /// warm the memo -- a cache, not observable state.
   mutable costmodel::CostMemo cost_memo_;
   std::unique_ptr<ThreadPool> planning_pool_;
+  /// Scatter-gather pool (docs/ROBUSTNESS.md); null when
+  /// fault_tolerance.federation.threads == 1 (groups run inline).
+  std::unique_ptr<ThreadPool> federation_pool_;
+  /// Per-source submit-latency quantile sketches driving hedge
+  /// thresholds; fed by every successful submit across queries.
+  SubmitLatencyProfile latency_profile_;
   PlanCache plan_cache_;
   costmodel::AccuracyTracker accuracy_;
   costmodel::DriftMonitor drift_;

@@ -19,6 +19,28 @@ std::string MonitorSnapshot::ToText() const {
       static_cast<long long>(submit_failures),
       static_cast<long long>(breaker_rejections), retry_max_attempts);
   out += StringPrintf(
+      "federation: %d thread%s, deadline %s, hedging %s, retry budget %s\n",
+      federation_threads, federation_threads == 1 ? "" : "s",
+      deadline_ms > 0 ? StringPrintf("%.1f ms", deadline_ms).c_str() : "off",
+      hedging ? "on" : "off",
+      query_retry_budget > 0
+          ? StringPrintf("%d/query", query_retry_budget).c_str()
+          : "unlimited");
+  out += StringPrintf(
+      "  scatter: %lld quer%s, %lld submits; hedges %lld launched / %lld "
+      "won / %lld cancelled; deadline expiries %lld submits / %lld queries; "
+      "%lld cancellations, %lld budget exhaustions\n",
+      static_cast<long long>(scatter_queries),
+      scatter_queries == 1 ? "y" : "ies",
+      static_cast<long long>(scatter_submits),
+      static_cast<long long>(hedges_launched),
+      static_cast<long long>(hedges_won),
+      static_cast<long long>(hedges_cancelled),
+      static_cast<long long>(deadline_expired_submits),
+      static_cast<long long>(deadline_expired_queries),
+      static_cast<long long>(cancellations),
+      static_cast<long long>(retry_budget_exhaustions));
+  out += StringPrintf(
       "query log: %zu/%zu entries (%lld recorded, %lld dropped)\n", log_size,
       log_capacity, static_cast<long long>(log_total),
       static_cast<long long>(log_dropped));
@@ -75,6 +97,13 @@ std::string MonitorSnapshot::ToJson() const {
       "\"replans\":%lld,\"explain_analyzes\":%lld,"
       "\"submits\":%lld,\"submit_retries\":%lld,\"submit_failures\":%lld,"
       "\"breaker_rejections\":%lld,\"retry_max_attempts\":%d,"
+      "\"federation\":{\"threads\":%d,\"deadline_ms\":%.3f,"
+      "\"hedging\":%s,\"query_retry_budget\":%d,"
+      "\"scatter_queries\":%lld,\"scatter_submits\":%lld,"
+      "\"hedges_launched\":%lld,\"hedges_won\":%lld,"
+      "\"hedges_cancelled\":%lld,\"deadline_expired_submits\":%lld,"
+      "\"deadline_expired_queries\":%lld,\"cancellations\":%lld,"
+      "\"retry_budget_exhaustions\":%lld},"
       "\"query_log\":{\"size\":%zu,\"capacity\":%zu,\"recorded\":%lld,"
       "\"dropped\":%lld},"
       "\"plan_cache\":{\"size\":%zu,\"capacity\":%zu,\"hits\":%lld,"
@@ -89,6 +118,16 @@ std::string MonitorSnapshot::ToJson() const {
       static_cast<long long>(submits), static_cast<long long>(submit_retries),
       static_cast<long long>(submit_failures),
       static_cast<long long>(breaker_rejections), retry_max_attempts,
+      federation_threads, deadline_ms, hedging ? "true" : "false",
+      query_retry_budget, static_cast<long long>(scatter_queries),
+      static_cast<long long>(scatter_submits),
+      static_cast<long long>(hedges_launched),
+      static_cast<long long>(hedges_won),
+      static_cast<long long>(hedges_cancelled),
+      static_cast<long long>(deadline_expired_submits),
+      static_cast<long long>(deadline_expired_queries),
+      static_cast<long long>(cancellations),
+      static_cast<long long>(retry_budget_exhaustions),
       log_size, log_capacity, static_cast<long long>(log_total),
       static_cast<long long>(log_dropped), plan_cache_size,
       plan_cache_capacity, static_cast<long long>(plan_cache_hits),

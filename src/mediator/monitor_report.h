@@ -55,6 +55,21 @@ struct MonitorSnapshot {
   int64_t submit_failures = 0;  ///< submits that exhausted the budget
   int64_t breaker_rejections = 0;
 
+  // Scatter-gather federation (docs/ROBUSTNESS.md).
+  int federation_threads = 1;   ///< configured scatter pool size
+  double deadline_ms = 0;       ///< configured per-query deadline (0 = off)
+  bool hedging = false;         ///< hedged requests enabled
+  int query_retry_budget = 0;   ///< per-query retry budget (0 = unlimited)
+  int64_t scatter_queries = 0;  ///< queries that took the scatter path
+  int64_t scatter_submits = 0;  ///< submits executed by the scatter phase
+  int64_t hedges_launched = 0;
+  int64_t hedges_won = 0;
+  int64_t hedges_cancelled = 0;
+  int64_t deadline_expired_submits = 0;
+  int64_t deadline_expired_queries = 0;
+  int64_t cancellations = 0;  ///< sibling submits aborted after a fatality
+  int64_t retry_budget_exhaustions = 0;
+
   // Flight-recorder occupancy.
   size_t log_size = 0;
   size_t log_capacity = 0;

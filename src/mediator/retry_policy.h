@@ -26,6 +26,14 @@ struct RetryPolicy {
   /// A submit whose simulated source time exceeds this budget counts as a
   /// failed attempt (the budget, not the overrun, is charged). 0 = off.
   double attempt_timeout_ms = 0.0;
+  /// Per-QUERY cap on extra attempts: retries and hedge launches across
+  /// all submits of one query share this budget, so a flap that touches
+  /// several sources cannot multiply into a retry storm. 0 = unlimited.
+  /// Under scatter-gather the budget is split optimistically: every
+  /// concurrent source group sees the budget remaining when the scatter
+  /// started, and consumption is reconciled at gather (the cap may be
+  /// overshot by at most one in-flight retry per group).
+  int query_retry_budget = 0;
 
   /// No retries at all (the pre-fault-tolerance behaviour).
   static RetryPolicy None() { return RetryPolicy{}; }

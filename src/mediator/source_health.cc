@@ -103,5 +103,10 @@ void SourceHealthRegistry::Reset(const std::string& source) {
   health_.erase(ToLower(source));
 }
 
+void SourceHealthRegistry::Adopt(const std::string& source,
+                                 const SourceHealth& health) {
+  health_[ToLower(source)] = health;
+}
+
 }  // namespace mediator
 }  // namespace disco

@@ -83,6 +83,14 @@ class SourceHealthRegistry {
   /// e.g. after re-registration).
   void Reset(const std::string& source);
 
+  /// Installs `health` as the state of `source` verbatim (no listener
+  /// notification). Scatter-gather execution seeds a private, per-task
+  /// registry from a snapshot of the shared one with this, gates the
+  /// task's submits against the private copy, and replays the recorded
+  /// outcomes into the shared registry at gather time -- so breaker
+  /// behaviour stays deterministic for any federation pool size.
+  void Adopt(const std::string& source, const SourceHealth& health);
+
   const SourceHealthOptions& options() const { return options_; }
 
   /// Observer invoked on every breaker state change (closed -> open,

@@ -1,5 +1,6 @@
 #include "optimizer/join_enum.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -44,6 +45,43 @@ struct Candidate {
   double cost = kInf;
   costmodel::MemoDelta delta;
 };
+
+void CollectSubmitNodes(const Operator& op,
+                        std::vector<const Operator*>* out) {
+  if (op.kind == algebra::OpKind::kSubmit) {
+    out->push_back(&op);
+    return;  // the subtree below runs inside this submit
+  }
+  for (int i = 0; i < op.num_children(); ++i) {
+    CollectSubmitNodes(op.child(i), out);
+  }
+}
+
+/// kResponseTime adjustment: `plan_total` minus the serial sum of the
+/// plan's submit subtree times plus their max -- the price when the
+/// scatter phase overlaps every submit. Identity for plans with fewer
+/// than two submits. Bind-join probes stay serial in the executor, so
+/// their time is untouched (they are not kSubmit nodes).
+Result<double> AdjustForConcurrentSubmits(
+    const Operator& plan, double plan_total,
+    const costmodel::CostEstimator& estimator,
+    costmodel::EstimateOptions opts) {
+  std::vector<const Operator*> submits;
+  CollectSubmitNodes(plan, &submits);
+  if (submits.size() < 2) return plan_total;
+  // Subtree estimates must complete: the bound applies to the full plan.
+  opts.prune_bound = kInf;
+  double sum = 0, slowest = 0;
+  for (const Operator* s : submits) {
+    DISCO_ASSIGN_OR_RETURN(costmodel::PlanEstimate est,
+                           estimator.Estimate(*s, opts));
+    const double t = est.root.total_time();
+    sum += t;
+    slowest = std::max(slowest, t);
+  }
+  // Numerical guard: mediator-side work is never negative.
+  return std::max(plan_total - sum + slowest, slowest);
+}
 
 class Enumeration {
  public:
@@ -286,10 +324,28 @@ class Enumeration {
       return;
     }
     c->est = std::move(est).MoveValueUnsafe();
-    c->cost = c->est.pruned ? kInf
-              : options_.objective == Objective::kTimeFirst
-                  ? c->est.root.time_first()
-                  : c->est.root.total_time();
+    if (c->est.pruned) {
+      c->cost = kInf;
+      return;
+    }
+    switch (options_.objective) {
+      case Objective::kTimeFirst:
+        c->cost = c->est.root.time_first();
+        break;
+      case Objective::kResponseTime: {
+        Result<double> adjusted = AdjustForConcurrentSubmits(
+            target, c->est.root.total_time(), *estimator_, opts);
+        if (!adjusted.ok()) {
+          c->status = adjusted.status();
+          return;
+        }
+        c->cost = *adjusted;
+        break;
+      }
+      case Objective::kTotalTime:
+        c->cost = c->est.root.total_time();
+        break;
+    }
   }
 
   /// Prices every queued candidate (concurrently when a pool is set)
@@ -414,6 +470,17 @@ Result<EnumResult> JoinEnumerator::Enumerate(const BoundQuery& q,
   EnumStats stats;
   Enumeration e(q, estimator_, capabilities_, options, &stats);
   return e.Run();
+}
+
+Result<double> ResponseTimeCost(const algebra::Operator& plan,
+                                const costmodel::CostEstimator& estimator,
+                                const costmodel::EstimateOptions& options) {
+  costmodel::EstimateOptions opts = options;
+  opts.prune_bound = kInf;
+  DISCO_ASSIGN_OR_RETURN(costmodel::PlanEstimate est,
+                         estimator.Estimate(plan, opts));
+  return AdjustForConcurrentSubmits(plan, est.root.total_time(), estimator,
+                                    opts);
 }
 
 }  // namespace optimizer

@@ -35,10 +35,16 @@ namespace optimizer {
 /// What the optimizer minimizes. The paper's cost vectors carry
 /// TimeFirst/TimeNext precisely so a mediator can optimize either for
 /// throughput (TotalTime) or for response time to the first answer
-/// (TimeFirst) -- interactive clients want the latter.
+/// (TimeFirst) -- interactive clients want the latter. kResponseTime
+/// prices plans for the scatter-gather federation layer
+/// (docs/ROBUSTNESS.md): independent submits run concurrently, so the
+/// serial sum of submit subtree times is replaced by their max (plus the
+/// mediator-side merge work), matching the executor's max-not-sum
+/// charging.
 enum class Objective {
   kTotalTime = 0,
   kTimeFirst,
+  kResponseTime,
 };
 
 struct EnumOptions {
@@ -80,6 +86,16 @@ struct EnumResult {
   double cost_ms = 0;
   EnumStats stats;
 };
+
+/// The kResponseTime price of `plan`: its estimated TotalTime with the
+/// serial sum of top-level submit subtree times replaced by their max --
+/// what the plan costs when the scatter phase runs every submit
+/// concurrently. Plans without (or with one) submit price identically
+/// to TotalTime. Also used directly by benches/tests to compare serial
+/// vs concurrent plan prices.
+Result<double> ResponseTimeCost(const algebra::Operator& plan,
+                                const costmodel::CostEstimator& estimator,
+                                const costmodel::EstimateOptions& options);
 
 class JoinEnumerator {
  public:

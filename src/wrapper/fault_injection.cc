@@ -54,14 +54,29 @@ Result<sources::ExecutionResult> FaultInjectingWrapper::Execute(
       rng_.NextDouble() < profile_.fail_probability) {
     fail = true;
   }
+  // Same discipline for the slow-mode draw: burn it whenever the clause
+  // could draw, even on calls that end up failing, so the delay of call
+  // k never depends on the outcomes of calls before it.
+  double slow_ms = 0;
+  if (profile_.slow_mean_ms > 0) {
+    double u = 0.5;
+    if (profile_.slow_jitter > 0) u = rng_.NextDouble();
+    slow_ms = profile_.slow_mean_ms *
+              (1.0 + profile_.slow_jitter * (2.0 * u - 1.0));
+  }
   if (fail) {
     ++injected_failures_;
     return Status::Unavailable(profile_.failure_message);
   }
   DISCO_ASSIGN_OR_RETURN(sources::ExecutionResult result,
                          inner_->Execute(subplan));
-  result.total_ms += profile_.added_latency_ms;
-  result.first_tuple_ms += profile_.added_latency_ms;
+  result.total_ms += profile_.added_latency_ms + slow_ms;
+  result.first_tuple_ms += profile_.added_latency_ms + slow_ms;
+  if (profile_.stall_every_n > 0 && calls_ % profile_.stall_every_n == 0) {
+    // The stream sticks after the first tuple: all-answers time grows,
+    // first-answer time stays put.
+    result.total_ms += profile_.stall_ms;
+  }
   return result;
 }
 

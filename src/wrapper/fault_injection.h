@@ -35,6 +35,24 @@ struct FaultProfile {
   /// Added to total_ms and first_tuple_ms of every successful submit
   /// (a slow-but-alive source; interacts with RetryPolicy timeouts).
   double added_latency_ms = 0.0;
+  /// Seeded slow-source mode: each successful submit is delayed by a
+  /// latency drawn uniformly from
+  ///   slow_mean_ms * [1 - slow_jitter, 1 + slow_jitter]
+  /// (0 = off). The draw comes from the same seeded Rng as the failure
+  /// coin, keyed purely by call index, so a given (profile, call
+  /// sequence) produces the exact same delays every run -- the
+  /// deterministic tail-latency generator behind hedging and deadline
+  /// experiments.
+  double slow_mean_ms = 0.0;
+  /// Half-width of the slow-mode latency band as a fraction of
+  /// slow_mean_ms, in [0, 1]. 0 draws nothing and delays by exactly
+  /// slow_mean_ms.
+  double slow_jitter = 0.0;
+  /// Stuck-stream stalls: every Nth successful submit (N, 2N, ...)
+  /// delivers its first tuple on time but stalls for stall_ms before the
+  /// last one (added to total_ms only). 0 = off.
+  int stall_every_n = 0;
+  double stall_ms = 0.0;
   /// Seed for the probability coin.
   uint64_t seed = 0xD15C0;
   /// Message of the injected failure status.
@@ -64,6 +82,26 @@ struct FaultProfile {
 
   /// Permanently dead source.
   static FaultProfile Dead() { return Flaky(0.0).WithAlwaysFail(); }
+
+  /// Seeded slow source: successful submits are delayed by
+  /// mean_ms * [1 - jitter, 1 + jitter], drawn deterministically.
+  static FaultProfile Slow(double mean_ms, double jitter = 0.5,
+                           uint64_t seed = 0xD15C0) {
+    FaultProfile f;
+    f.slow_mean_ms = mean_ms;
+    f.slow_jitter = jitter;
+    f.seed = seed;
+    return f;
+  }
+
+  /// Stuck stream: every `n`th submit stalls for `stall_ms` after the
+  /// first tuple (total_ms grows; first_tuple_ms does not).
+  static FaultProfile StuckStream(int n, double stall_ms) {
+    FaultProfile f;
+    f.stall_every_n = n;
+    f.stall_ms = stall_ms;
+    return f;
+  }
 
   FaultProfile WithAlwaysFail() {
     fail_every_n = 1;
