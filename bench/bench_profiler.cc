@@ -1,0 +1,112 @@
+// Profiling-overhead bench: how much wall time does the execution
+// profiler add to the query path? The simulated clock is unaffected by
+// construction (profiling never calls Charge), so the interesting
+// number is the host-side overhead of collecting NodeMeasures and
+// building/aggregating PlanProfiles.
+//
+// A two-source union federation runs the same query kRuns times with
+// profiling off and on; both passes are seeded and produce identical
+// simulated timings. Results land in BENCH_profiler.json (cwd).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "mediator/mediator.h"
+#include "wrapper/fault_injection.h"
+
+namespace disco {
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::unique_ptr<wrapper::FaultInjectingWrapper> MakeSource(
+    const std::string& source, const std::string& collection, int rows) {
+  auto src = sources::MakeRelationalSource(source);
+  storage::Table* t = src->CreateTable(
+      CollectionSchema(collection, {{"k", AttrType::kLong}}));
+  for (int i = 0; i < rows; ++i) {
+    Status s = t->Insert({Value(int64_t{i})});
+    DISCO_CHECK(s.ok()) << s.ToString();
+  }
+  auto inner = std::make_unique<wrapper::SimulatedWrapper>(
+      std::move(src), wrapper::SimulatedWrapper::Options{});
+  return std::make_unique<wrapper::FaultInjectingWrapper>(
+      std::move(inner), wrapper::FaultProfile{});
+}
+
+struct PassResult {
+  double wall_ms_per_query = 0;
+  double simulated_ms = 0;  ///< one query's simulated time (byte-stable)
+};
+
+PassResult RunPass(bool profile, int runs) {
+  mediator::MediatorOptions options;
+  options.profile_execution = profile;
+  options.record_history = false;
+  options.collect_traces = false;
+  mediator::Mediator med(options);
+  DISCO_CHECK(med.RegisterWrapper(MakeSource("left", "L", 500)).ok());
+  DISCO_CHECK(med.RegisterWrapper(MakeSource("right", "R", 500)).ok());
+  auto plan = algebra::Union(algebra::Submit("left", algebra::Scan("L")),
+                             algebra::Submit("right", algebra::Scan("R")));
+
+  PassResult out;
+  const double t0 = NowMs();
+  for (int i = 0; i < runs; ++i) {
+    Result<mediator::QueryResult> r = med.Execute(*plan);
+    DISCO_CHECK(r.ok()) << r.status().ToString();
+    out.simulated_ms = r->measured_ms;
+  }
+  out.wall_ms_per_query = (NowMs() - t0) / runs;
+  return out;
+}
+
+int Run() {
+  constexpr int kRuns = 2000;
+  std::printf("# execution-profiler overhead: 2-source union, %d runs\n",
+              kRuns);
+  std::printf("%-14s %16s %14s\n", "profiling", "wall_ms/query",
+              "simulated_ms");
+
+  const PassResult off = RunPass(false, kRuns);
+  std::printf("%-14s %16.4f %14.3f\n", "off", off.wall_ms_per_query,
+              off.simulated_ms);
+  const PassResult on = RunPass(true, kRuns);
+  std::printf("%-14s %16.4f %14.3f\n", "on", on.wall_ms_per_query,
+              on.simulated_ms);
+
+  // Profiling must never change simulated time -- it observes charges,
+  // it does not make them.
+  DISCO_CHECK(off.simulated_ms == on.simulated_ms)
+      << "profiling changed simulated time: " << off.simulated_ms << " vs "
+      << on.simulated_ms;
+
+  const double overhead =
+      off.wall_ms_per_query > 0
+          ? on.wall_ms_per_query / off.wall_ms_per_query
+          : 0;
+  std::printf("# overhead: %.2fx wall per query\n", overhead);
+
+  std::FILE* f = std::fopen("BENCH_profiler.json", "w");
+  DISCO_CHECK(f != nullptr) << "cannot write BENCH_profiler.json";
+  std::fprintf(f,
+               "{\"profiler\":{\"off_ms_per_query\":%.4f,"
+               "\"on_ms_per_query\":%.4f,\"overhead\":%.3f,"
+               "\"simulated_ms\":%.3f}}\n",
+               off.wall_ms_per_query, on.wall_ms_per_query, overhead,
+               on.simulated_ms);
+  std::fclose(f);
+  std::printf("# wrote BENCH_profiler.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace disco
+
+int main() { return disco::Run(); }

@@ -12,12 +12,17 @@
 //   3. the metrics registry (counters / gauges / histograms),
 //   4. the query-log flight recorder (JSONL export, replayable with
 //      ./build/tools/replay_querylog),
-//   5. Mediator::MonitorReport() -- the operational dashboard.
+//   5. Mediator::MonitorReport() -- the operational dashboard (now
+//      including the profiler's hottest-operators panels),
+//   6. the execution profiler: per-operator CPU/wait attribution as a
+//      folded-stack flame graph, plus the Prometheus/OpenMetrics text
+//      exposition of the metrics registry.
 //
 // Build & run:  ./build/examples/observability
-// It also writes trace.json and query_log.jsonl to the working
-// directory: load trace.json in a trace viewer to see the query
-// timeline, and replay the log with
+// It also writes trace.json, query_log.jsonl, profile.folded, and
+// metrics.prom to the working directory: load trace.json in a trace
+// viewer to see the query timeline, profile.folded in
+// https://www.speedscope.app, and replay the log with
 //   ./build/tools/replay_querylog query_log.jsonl --monitor
 
 #include <cstdio>
@@ -110,5 +115,15 @@ int main() {
 
   std::printf("\n== 5. MonitorReport: the operational dashboard\n\n");
   std::printf("%s", med.MonitorReport().ToText().c_str());
+
+  std::printf("\n== 6. The execution profiler\n\n");
+  // Every EXPLAIN ANALYZE above already ended with the cardinality
+  // waterfall; here is the process-wide flame graph (folded stacks
+  // merged across every profiled query, values in microseconds).
+  std::printf("%s", med.profiles().ToFolded().c_str());
+  std::ofstream("profile.folded") << med.profiles().ToFolded();
+  std::ofstream("metrics.prom") << med.metrics()->ToOpenMetrics();
+  std::printf("(wrote profile.folded -- load it in speedscope.app --\n"
+              " and metrics.prom, the OpenMetrics exposition)\n");
   return 0;
 }

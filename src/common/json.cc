@@ -1,0 +1,284 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace json {
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return v.get();
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::GetPath(const std::string& dotted) const {
+  const JsonValue* cur = this;
+  size_t start = 0;
+  while (start <= dotted.size()) {
+    const size_t dot = dotted.find('.', start);
+    const std::string part =
+        dotted.substr(start, dot == std::string::npos ? std::string::npos
+                                                      : dot - start);
+    if (cur->is_array()) {
+      char* end = nullptr;
+      const long idx = std::strtol(part.c_str(), &end, 10);
+      if (end == part.c_str() || *end != '\0' || idx < 0 ||
+          static_cast<size_t>(idx) >= cur->items.size()) {
+        return nullptr;
+      }
+      cur = cur->items[static_cast<size_t>(idx)].get();
+    } else {
+      cur = cur->Get(part);
+      if (cur == nullptr) return nullptr;
+    }
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  return cur;
+}
+
+namespace {
+
+/// Recursive-descent parser over a complete in-memory document.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValuePtr> Parse() {
+    DISCO_ASSIGN_OR_RETURN(JsonValuePtr value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StringPrintf("json: %s at offset %zu", msg.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValuePtr> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        if (ConsumeWord("null")) return std::make_shared<JsonValue>();
+        return Error("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValuePtr> ParseObject() {
+    ++pos_;  // '{'
+    auto out = std::make_shared<JsonValue>();
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return out;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      DISCO_ASSIGN_OR_RETURN(JsonValuePtr key, ParseString());
+      if (!Consume(':')) return Error("expected ':'");
+      DISCO_ASSIGN_OR_RETURN(JsonValuePtr value, ParseValue());
+      out->members.emplace_back(key->string_value, std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return out;
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValuePtr> ParseArray() {
+    ++pos_;  // '['
+    auto out = std::make_shared<JsonValue>();
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return out;
+    while (true) {
+      DISCO_ASSIGN_OR_RETURN(JsonValuePtr value, ParseValue());
+      out->items.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return out;
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValuePtr> ParseString() {
+    ++pos_;  // '"'
+    auto out = std::make_shared<JsonValue>();
+    out->kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out->string_value += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->string_value += esc;
+          break;
+        case 'n':
+          out->string_value += '\n';
+          break;
+        case 't':
+          out->string_value += '\t';
+          break;
+        case 'r':
+          out->string_value += '\r';
+          break;
+        case 'b':
+          out->string_value += '\b';
+          break;
+        case 'f':
+          out->string_value += '\f';
+          break;
+        case 'u': {
+          // Decode \uXXXX below U+0080 (all this repo emits); anything
+          // higher comes through as '?' rather than mangled UTF-8.
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) return Error("bad \\u escape");
+          out->string_value += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValuePtr> ParseBool() {
+    auto out = std::make_shared<JsonValue>();
+    out->kind = JsonValue::Kind::kBool;
+    if (ConsumeWord("true")) {
+      out->bool_value = true;
+      return out;
+    }
+    if (ConsumeWord("false")) return out;
+    return Error("bad literal");
+  }
+
+  Result<JsonValuePtr> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      return Error("bad number");
+    }
+    auto out = std::make_shared<JsonValue>();
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = value;
+    return out;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void FlattenInto(const JsonValue& value, const std::string& prefix,
+                 std::map<std::string, double>* out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNumber:
+      (*out)[prefix] = value.number_value;
+      break;
+    case JsonValue::Kind::kBool:
+      (*out)[prefix] = value.bool_value ? 1 : 0;
+      break;
+    case JsonValue::Kind::kArray:
+      for (size_t i = 0; i < value.items.size(); ++i) {
+        FlattenInto(*value.items[i],
+                    prefix.empty() ? StringPrintf("%zu", i)
+                                   : prefix + StringPrintf(".%zu", i),
+                    out);
+      }
+      break;
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, member] : value.members) {
+        FlattenInto(*member, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case JsonValue::Kind::kString:
+    case JsonValue::Kind::kNull:
+      break;
+  }
+}
+
+}  // namespace
+
+Result<JsonValuePtr> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+std::map<std::string, double> FlattenNumbers(const JsonValue& value) {
+  std::map<std::string, double> out;
+  FlattenInto(value, "", &out);
+  return out;
+}
+
+}  // namespace json
+}  // namespace disco

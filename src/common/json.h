@@ -1,0 +1,64 @@
+// A minimal recursive-descent JSON parser for the repo's own tooling
+// (bench_summary merges BENCH_*.json files; perf_gate reads a metric
+// out of one; tests round-trip metrics::Registry::ToJson against
+// ToOpenMetrics). It parses the JSON this repo emits -- objects,
+// arrays, strings with the common escapes, numbers, booleans, null --
+// and nothing more exotic (no \uXXXX surrogate pairs, no comments).
+//
+// Not a general-purpose library: error positions are byte offsets, the
+// whole document lives in memory, and numbers are doubles.
+
+#ifndef DISCO_COMMON_JSON_H_
+#define DISCO_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace disco {
+namespace json {
+
+class JsonValue;
+using JsonValuePtr = std::shared_ptr<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValuePtr> items;  ///< arrays
+  /// Object members in document order (JSON allows duplicate keys; the
+  /// repo never emits them, and Get() returns the first).
+  std::vector<std::pair<std::string, JsonValuePtr>> members;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First member named `key`, or nullptr.
+  const JsonValue* Get(const std::string& key) const;
+  /// Walks a dotted path ("plan_cache.speedup"), or nullptr.
+  const JsonValue* GetPath(const std::string& dotted) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+Result<JsonValuePtr> ParseJson(const std::string& text);
+
+/// Flattens every numeric leaf of `value` into dotted-path -> number,
+/// arrays indexed numerically ("results.0.value"). Booleans count as
+/// 0/1; strings and nulls are skipped.
+std::map<std::string, double> FlattenNumbers(const JsonValue& value);
+
+}  // namespace json
+}  // namespace disco
+
+#endif  // DISCO_COMMON_JSON_H_

@@ -196,5 +196,70 @@ std::string Registry::ToJson() const {
   return out;
 }
 
+namespace {
+
+/// OpenMetrics metric names allow [a-zA-Z0-9_:] only; anything else
+/// (the '.' and '-' in our catalog, label-ish source names) maps to '_'.
+/// Distinct registry names that collide after sanitization would emit
+/// duplicate families -- the catalog avoids that by construction.
+std::string OpenMetricsName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out = "_" + out;
+  return out;
+}
+
+/// Shortest %.17g-style rendering that is still deterministic: %g drops
+/// trailing zeros, so bucket bounds read "0.001" / "16.384" / "1024".
+std::string OpenMetricsDouble(double v) { return StringPrintf("%.9g", v); }
+
+}  // namespace
+
+std::string Registry::ToOpenMetrics() const {
+  RegistrySnapshot snap = TakeSnapshot();
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = OpenMetricsName(name);
+    out += StringPrintf("# TYPE %s counter\n", n.c_str());
+    out += StringPrintf("%s_total %lld\n", n.c_str(),
+                        static_cast<long long>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string n = OpenMetricsName(name);
+    out += StringPrintf("# TYPE %s gauge\n", n.c_str());
+    out += StringPrintf("%s %s\n", n.c_str(), OpenMetricsDouble(v).c_str());
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = OpenMetricsName(name);
+    out += StringPrintf("# TYPE %s histogram\n", n.c_str());
+    // Cumulative buckets; empty buckets are elided (legal in the
+    // exposition format -- cumulative counts stay monotone), +Inf is
+    // always present and equals _count.
+    int64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const int64_t b = h.buckets[static_cast<size_t>(i)];
+      if (b == 0) continue;
+      cumulative += b;
+      const double ub = Histogram::BucketUpperBound(i);
+      if (std::isinf(ub)) continue;  // folded into +Inf below
+      out += StringPrintf("%s_bucket{le=\"%s\"} %lld\n", n.c_str(),
+                          OpenMetricsDouble(ub).c_str(),
+                          static_cast<long long>(cumulative));
+    }
+    out += StringPrintf("%s_bucket{le=\"+Inf\"} %lld\n", n.c_str(),
+                        static_cast<long long>(h.count));
+    out += StringPrintf("%s_sum %.3f\n", n.c_str(), h.sum);
+    out += StringPrintf("%s_count %lld\n", n.c_str(),
+                        static_cast<long long>(h.count));
+  }
+  out += "# EOF\n";
+  return out;
+}
+
 }  // namespace metrics
 }  // namespace disco

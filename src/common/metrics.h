@@ -118,6 +118,15 @@ class Registry {
   /// buckets listed as [{"le":...,"n":...}].
   std::string ToJson() const;
 
+  /// OpenMetrics / Prometheus text exposition, ending in "# EOF".
+  /// Naming rule: every character outside [a-zA-Z0-9_:] becomes '_'
+  /// (so disco.submit.ms scrapes as disco_submit_ms); a leading digit
+  /// gains a '_' prefix. Counters expose <name>_total; histograms
+  /// expose cumulative <name>_bucket{le="..."} samples (non-empty
+  /// buckets plus le="+Inf") and <name>_sum / <name>_count.
+  /// See docs/OBSERVABILITY.md ("OpenMetrics exposition").
+  std::string ToOpenMetrics() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

@@ -76,6 +76,23 @@ int Trace::Instant(const std::string& name, const std::string& category) {
   return spans_.back().id;
 }
 
+int Trace::CounterEvent(const std::string& name, double value,
+                        const std::string& category) {
+  Span span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent = stack_.empty() ? -1 : stack_.back();
+  span.depth = static_cast<int>(stack_.size());
+  span.name = name;
+  span.category = category;
+  span.start_ms = now_ms_;
+  span.end_ms = now_ms_;
+  span.closed = true;
+  span.counter = true;
+  span.counter_value = value;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
 int Trace::AddCompleteSpan(const std::string& name,
                            const std::string& category, double start_ms,
                            double end_ms, int lane) {
@@ -110,10 +127,36 @@ void Trace::AddArg(int id, const std::string& key, double value) {
 std::string Trace::ToChromeJson() const {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
+  // Metadata ("M") events first: process and lane (thread) names, so
+  // Perfetto labels the scatter/hedge lanes with their source groups.
+  if (!process_name_.empty()) {
+    out += StringPrintf(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"%s\"}}",
+        JsonEscape(process_name_).c_str());
+    first = false;
+  }
+  for (const auto& [lane, name] : lane_names_) {
+    if (!first) out += ",";
+    first = false;
+    out += StringPrintf(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        1 + lane, JsonEscape(name).c_str());
+  }
   for (const Span& span : spans_) {
     if (!first) out += ",";
     first = false;
     // Timestamps are microseconds in the trace-event format.
+    if (span.counter) {
+      // Counter values must be numbers (not strings) to form a track.
+      out += StringPrintf(
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,"
+          "\"pid\":1,\"args\":{\"value\":%.3f}}",
+          JsonEscape(span.name).c_str(), JsonEscape(span.category).c_str(),
+          span.start_ms * 1000.0, span.counter_value);
+      continue;
+    }
     if (span.instant) {
       out += StringPrintf(
           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
@@ -151,7 +194,10 @@ std::string Trace::ToText() const {
   for (const Span& span : spans_) {
     out += std::string(static_cast<size_t>(span.depth) * 2, ' ');
     out += span.name;
-    if (span.instant) {
+    if (span.counter) {
+      out += StringPrintf("  [counter %.3f at %.3f ms]", span.counter_value,
+                          span.start_ms);
+    } else if (span.instant) {
       out += StringPrintf("  [at %.3f ms]", span.start_ms);
     } else {
       const double end_ms = span.closed ? span.end_ms : now_ms_;

@@ -25,6 +25,7 @@
 #define DISCO_COMMON_TRACING_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -43,6 +44,10 @@ struct Span {
   double end_ms = 0;
   bool closed = false;
   bool instant = false;  ///< zero-duration marker event
+  /// Counter sample ("C" event in the Chrome export): `counter_value` at
+  /// start_ms. Perfetto renders same-named samples as a counter track.
+  bool counter = false;
+  double counter_value = 0;
   /// Concurrency lane: 0 is the main (serial) timeline; scatter-gather
   /// execution stamps each source group's submits with its own lane so
   /// overlapping spans render side by side (Chrome export: tid = 1+lane).
@@ -79,6 +84,21 @@ class Trace {
   /// state transition).
   int Instant(const std::string& name, const std::string& category = "event");
 
+  /// Samples a named counter at now_ms() (cumulative CPU ms, rows, ...).
+  /// Exported as a Chrome "C" event; same-named samples form one track.
+  int CounterEvent(const std::string& name, double value,
+                   const std::string& category = "counter");
+
+  /// Process/lane naming for the Chrome export ("M" metadata events):
+  /// the process name heads the trace, lane names label the tids
+  /// (tid = 1 + lane) so scatter lanes render with source-group names.
+  void SetProcessName(const std::string& name) { process_name_ = name; }
+  void SetLaneName(int lane, const std::string& name) {
+    lane_names_[lane] = name;
+  }
+  const std::string& process_name() const { return process_name_; }
+  const std::map<int, std::string>& lane_names() const { return lane_names_; }
+
   /// Records an already-finished span with explicit timestamps under the
   /// innermost open span -- how concurrent (scatter-gather) work whose
   /// intervals overlap is attached retroactively to the single-threaded
@@ -109,6 +129,8 @@ class Trace {
   std::vector<Span> spans_;
   std::vector<int> stack_;  ///< ids of open spans, innermost last
   double now_ms_ = 0;
+  std::string process_name_;
+  std::map<int, std::string> lane_names_;
 };
 
 using TraceHandle = std::shared_ptr<Trace>;

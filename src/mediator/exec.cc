@@ -73,12 +73,17 @@ int64_t MediatorExecutor::TupleBytes(const storage::Tuple& t) {
 
 Result<ExecResult> MediatorExecutor::Execute(const Operator& plan) {
   elapsed_ms_ = 0;
+  cpu_ms_ = 0;
+  wait_ms_ = 0;
+  scatter_charged_ms_ = 0;
+  rows_emitted_ = 0;
   subqueries_.clear();
   warnings_.clear();
   failed_sources_.clear();
   precomputed_.clear();
   retries_used_ = 0;
   precomputed_bonus_ms_ = 0;
+  precomputed_concurrent_ = false;
   // Re-seed so repeated executions of the same plan are bit-identical.
   rng_ = Rng(exec_options_.jitter_seed);
   DISCO_RETURN_NOT_OK(plan.CheckWellFormed());
@@ -180,8 +185,8 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
       // Communication: one round trip plus shipping the subanswer.
       int64_t bytes = 0;
       for (const Tuple& t : result->tuples) bytes += TupleBytes(t);
-      Charge(result->total_ms + params_.ms_msg_latency +
-             params_.ms_per_net_byte * static_cast<double>(bytes));
+      ChargeWait(result->total_ms + params_.ms_msg_latency +
+                 params_.ms_per_net_byte * static_cast<double>(bytes));
       if (health_ != nullptr) health_->RecordSuccess(key, Now());
 
       SubqueryRecord record;
@@ -227,12 +232,12 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
     // Failed attempt: a timeout charges the budget it burned; an error
     // charges the round trip that discovered it.
     if (timed_out) {
-      Charge(params_.ms_msg_latency + retry.attempt_timeout_ms);
+      ChargeWait(params_.ms_msg_latency + retry.attempt_timeout_ms);
       last = Status::Unavailable(StringPrintf(
           "source '%s': attempt timed out (%.1f ms > %.1f ms budget)",
           source.c_str(), result->total_ms, retry.attempt_timeout_ms));
     } else {
-      Charge(params_.ms_msg_latency);
+      ChargeWait(params_.ms_msg_latency);
       last = result.status().WithContext("source '" + source + "'");
     }
     if (health_ != nullptr) health_->RecordFailure(key, Now());
@@ -253,7 +258,7 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
         break;
       }
       ++retries_used_;
-      Charge(retry.BackoffMs(attempt, &rng_));
+      ChargeWait(retry.BackoffMs(attempt, &rng_));
     }
   }
 
@@ -296,7 +301,7 @@ Result<Rel> MediatorExecutor::EvalBindJoin(const Operator& op) {
 
   // One probe per distinct outer key; results cached for reuse.
   std::map<std::string, std::vector<Tuple>> cache;
-  Charge(static_cast<double>(left.tuples.size()) * params_.ms_med_cmp);
+  ChargeCpu(static_cast<double>(left.tuples.size()) * params_.ms_med_cmp);
   for (const Tuple& lt : left.tuples) {
     const Value& key = lt[static_cast<size_t>(lcol)];
     std::string canon = key.ToString();
@@ -331,10 +336,12 @@ Result<Rel> MediatorExecutor::EvalSubmit(const Operator& op) {
     for (ExecWarning& w : pc.warnings) AddWarning(std::move(w));
     last_submit_attempts_ = pc.attempts;
     precomputed_bonus_ms_ = pc.duration_ms;
+    precomputed_concurrent_ = true;
     if (node_measures_ != nullptr) {
       NodeMeasure& m = (*node_measures_)[&op];
       m.attempts = pc.attempts;
       m.source_ms = pc.source_ms;
+      m.first_row_ms = pc.first_tuple_ms;
     }
     if (!pc.status.ok()) {
       if (pc.note_failed_source) NoteFailedSource(pc.failure.source);
@@ -349,7 +356,10 @@ Result<Rel> MediatorExecutor::EvalSubmit(const Operator& op) {
   if (node_measures_ != nullptr) {
     NodeMeasure& m = (*node_measures_)[&op];
     m.attempts = last_submit_attempts_;
-    if (result.ok()) m.source_ms = result->total_ms;
+    if (result.ok()) {
+      m.source_ms = result->total_ms;
+      m.first_row_ms = result->first_tuple_ms;
+    }
   }
   DISCO_RETURN_NOT_OK(result.status());
   Rel rel;
@@ -361,8 +371,13 @@ Result<Rel> MediatorExecutor::EvalSubmit(const Operator& op) {
 Result<Rel> MediatorExecutor::Eval(const Operator& op) {
   // Instrumentation wrapper: one span per plan node, plus the node's
   // measured inclusive time and output cardinality.
-  if (trace_ == nullptr && node_measures_ == nullptr) return EvalNode(op);
+  if (trace_ == nullptr && node_measures_ == nullptr &&
+      metrics_ == nullptr) {
+    return EvalNode(op);
+  }
   const double start_ms = elapsed_ms_;
+  const double start_cpu_ms = cpu_ms_;
+  const double start_wait_ms = wait_ms_;
   tracing::ScopedSpan span(trace_, algebra::NodeLabel(op), "plan");
   Result<Rel> result = EvalNode(op);
   if (result.ok()) {
@@ -370,15 +385,41 @@ Result<Rel> MediatorExecutor::Eval(const Operator& op) {
   } else {
     span.Arg("outcome", "failed");
   }
+  if (metrics_ != nullptr) {
+    const std::string family = std::string("disco.exec.operator.") +
+                               algebra::OpKindToString(op.kind);
+    metrics_->counter(family + ".evals")->Increment();
+    if (result.ok()) {
+      metrics_->histogram(family + ".rows")
+          ->Record(static_cast<double>(result->tuples.size()));
+    }
+  }
   if (node_measures_ != nullptr) {
     NodeMeasure& m = (*node_measures_)[&op];
     // A precomputed submit charged nothing during eval; its scatter-phase
     // response time is folded back in so EXPLAIN ANALYZE stays honest.
     m.inclusive_ms = elapsed_ms_ - start_ms + precomputed_bonus_ms_;
+    m.cpu_ms = cpu_ms_ - start_cpu_ms;
+    m.wait_ms = wait_ms_ - start_wait_ms;
+    m.scatter_wait_ms = precomputed_bonus_ms_;
+    m.concurrent = precomputed_concurrent_;
     m.ok = result.ok();
     m.rows = result.ok() ? static_cast<int64_t>(result->tuples.size()) : -1;
   }
+  if (trace_ != nullptr) {
+    // Counter-event tracks: cumulative CPU/wait split and rows produced,
+    // sampled at every node completion (Perfetto renders "C" events as
+    // counter tracks alongside the span lanes).
+    trace_->CounterEvent("disco.exec.cpu_ms", cpu_ms_);
+    trace_->CounterEvent("disco.exec.wait_ms", wait_ms_);
+    if (result.ok()) {
+      rows_emitted_ += static_cast<int64_t>(result->tuples.size());
+      trace_->CounterEvent("disco.exec.rows",
+                           static_cast<double>(rows_emitted_));
+    }
+  }
   precomputed_bonus_ms_ = 0;
+  precomputed_concurrent_ = false;
   return result;
 }
 
@@ -399,7 +440,7 @@ Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
       DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
       DISCO_ASSIGN_OR_RETURN(int col,
                              rel.ColumnIndex(op.select_pred->attribute));
-      Charge(static_cast<double>(rel.tuples.size()) * params_.ms_med_cmp);
+      ChargeCpu(static_cast<double>(rel.tuples.size()) * params_.ms_med_cmp);
       Rel out;
       out.columns = rel.columns;
       for (Tuple& t : rel.tuples) {
@@ -419,7 +460,7 @@ Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
         DISCO_ASSIGN_OR_RETURN(int c, rel.ColumnIndex(a));
         cols.push_back(c);
       }
-      Charge(static_cast<double>(rel.tuples.size()) * params_.ms_med_cmp);
+      ChargeCpu(static_cast<double>(rel.tuples.size()) * params_.ms_med_cmp);
       Rel out;
       out.columns = op.project_attrs;
       for (const Tuple& t : rel.tuples) {
@@ -433,8 +474,8 @@ Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
     case OpKind::kSort: {
       DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
       DISCO_ASSIGN_OR_RETURN(int col, rel.ColumnIndex(op.sort_attr));
-      Charge(static_cast<double>(rel.tuples.size()) *
-             Log2N(rel.tuples.size()) * params_.ms_med_cmp);
+      ChargeCpu(static_cast<double>(rel.tuples.size()) *
+                Log2N(rel.tuples.size()) * params_.ms_med_cmp);
       Status status = Status::OK();
       std::stable_sort(rel.tuples.begin(), rel.tuples.end(),
                        [&](const Tuple& a, const Tuple& b) {
@@ -452,8 +493,8 @@ Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
 
     case OpKind::kDedup: {
       DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
-      Charge(static_cast<double>(rel.tuples.size()) *
-             Log2N(rel.tuples.size()) * params_.ms_med_cmp);
+      ChargeCpu(static_cast<double>(rel.tuples.size()) *
+                Log2N(rel.tuples.size()) * params_.ms_med_cmp);
       std::stable_sort(rel.tuples.begin(), rel.tuples.end(), TupleLess);
       Rel out;
       out.columns = rel.columns;
@@ -467,7 +508,7 @@ Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
 
     case OpKind::kAggregate: {
       DISCO_ASSIGN_OR_RETURN(Rel rel, Eval(op.child(0)));
-      Charge(static_cast<double>(rel.tuples.size()) * params_.ms_med_cmp);
+      ChargeCpu(static_cast<double>(rel.tuples.size()) * params_.ms_med_cmp);
       int agg_col = -1;
       if (!op.agg_attr.empty()) {
         DISCO_ASSIGN_OR_RETURN(agg_col, rel.ColumnIndex(op.agg_attr));
@@ -556,10 +597,10 @@ Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
       out.columns.insert(out.columns.end(), right.columns.begin(),
                          right.columns.end());
       // Sort-merge (charging both sorts and the merge).
-      Charge(static_cast<double>(left.tuples.size()) *
-                 Log2N(left.tuples.size()) * params_.ms_med_cmp +
-             static_cast<double>(right.tuples.size()) *
-                 Log2N(right.tuples.size()) * params_.ms_med_cmp);
+      ChargeCpu(static_cast<double>(left.tuples.size()) *
+                    Log2N(left.tuples.size()) * params_.ms_med_cmp +
+                static_cast<double>(right.tuples.size()) *
+                    Log2N(right.tuples.size()) * params_.ms_med_cmp);
       auto sort_by = [&](Rel* rel, int col) {
         std::stable_sort(rel->tuples.begin(), rel->tuples.end(),
                          [col](const Tuple& a, const Tuple& b) {
@@ -572,7 +613,7 @@ Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
       sort_by(&right, rcol);
       size_t i = 0, j = 0;
       while (i < left.tuples.size() && j < right.tuples.size()) {
-        Charge(params_.ms_med_cmp);
+        ChargeCpu(params_.ms_med_cmp);
         DISCO_ASSIGN_OR_RETURN(
             int c, left.tuples[i][static_cast<size_t>(lcol)].Compare(
                        right.tuples[j][static_cast<size_t>(rcol)]));
@@ -626,7 +667,8 @@ Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
       if (left->columns.size() != right->columns.size()) {
         return Status::ExecutionError("union inputs have different arity");
       }
-      Charge(static_cast<double>(right->tuples.size()) * params_.ms_med_cmp);
+      ChargeCpu(static_cast<double>(right->tuples.size()) *
+                params_.ms_med_cmp);
       Rel out = std::move(*left);
       for (Tuple& t : right->tuples) out.tuples.push_back(std::move(t));
       return out;
@@ -824,6 +866,14 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
 
   const double scatter_abs_ms = Now();
   const double trace_start_ms = trace_ != nullptr ? trace_->now_ms() : 0;
+  if (trace_ != nullptr) {
+    // Name the concurrency lanes so Perfetto renders source groups
+    // instead of bare tids (Chrome metadata events, tid = 1 + lane).
+    for (size_t g = 0; g < groups.size(); ++g) {
+      trace_->SetLaneName(1 + static_cast<int>(g),
+                          "scatter @" + groups[g].key);
+    }
+  }
 
   // Private per-group breaker registries seeded from the shared one:
   // tasks gate and record against their own copy, and the shared
@@ -941,6 +991,13 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
         hedge_groups.emplace_back();
       }
       hedge_groups[it->second].push_back(h);
+    }
+  }
+  if (trace_ != nullptr) {
+    for (size_t hg = 0; hg < hedge_groups.size(); ++hg) {
+      trace_->SetLaneName(
+          1 + static_cast<int>(groups.size()) + static_cast<int>(hg),
+          "hedge @" + hedges[hedge_groups[hg][0]].source);
     }
   }
   if (!hedges.empty()) {
@@ -1283,6 +1340,9 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
     pc.status = e.status;
     pc.duration_ms = e.end_rel - e.start_rel;
     pc.source_ms = e.source_ms;
+    if (e.status.ok() && e.answer != nullptr) {
+      pc.first_tuple_ms = e.answer->exec.first_tuple_ms;
+    }
     pc.attempts = e.attempts;
     pc.note_failed_source = e.note_failed;
     for (ExecWarning& w : e.warnings) {
@@ -1299,8 +1359,11 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
   }
 
   // The scatter phase charges max-not-sum: the whole concurrent phase
-  // costs what its slowest surviving lane cost.
-  Charge(total_rel);
+  // costs what its slowest surviving lane cost. It is communication
+  // wait, but attributed to the phase rather than to any single submit
+  // (PlanProfile::scatter_charged_ms keeps the accounting honest).
+  ChargeWait(total_rel);
+  scatter_charged_ms_ += total_rel;
 
   // Replay health events into the shared registry in global timestamp
   // order (stable on ties: subplan-index order), so breaker transitions

@@ -84,6 +84,21 @@ struct NodeMeasure {
   bool ok = false;          ///< false: failed or dropped branch
   int attempts = 0;         ///< submit/bind-join nodes: submit attempts
   double source_ms = 0;     ///< submit nodes: time at the source (excl. comm)
+  /// Inclusive mediator-CPU ms charged in this subtree (per-row compare,
+  /// sort, merge work) -- the ChargeCpu() side of the simulated clock.
+  double cpu_ms = 0;
+  /// Inclusive communication/wait ms charged *serially* in this subtree
+  /// (source time, message latency, byte shipping, retry backoff,
+  /// timeout stall -- the ChargeWait() side). Excludes scatter_wait_ms.
+  double wait_ms = 0;
+  /// Submits resolved by the concurrent scatter phase: the submit's
+  /// response time on its scatter lane. That time was charged to the
+  /// query once, max-not-sum, so it is kept apart from wait_ms.
+  double scatter_wait_ms = 0;
+  /// True when scatter_wait_ms is the relevant wait (concurrent lane).
+  bool concurrent = false;
+  /// Submit nodes: the source's time to its first result row.
+  double first_row_ms = 0;
 };
 using NodeMeasureMap = std::map<const algebra::Operator*, NodeMeasure>;
 
@@ -155,6 +170,15 @@ class MediatorExecutor {
   /// failed (honest accounting of work done before the failure).
   double elapsed_ms() const { return elapsed_ms_; }
 
+  /// CPU/wait split of elapsed_ms(): mediator compare/sort/merge work
+  /// vs. communication (source time, latency, backoff, stalls).
+  double cpu_ms() const { return cpu_ms_; }
+  double wait_ms() const { return wait_ms_; }
+  /// The scatter phase's single max-not-sum charge during the last
+  /// Execute() (0 when the federation layer was inactive). Included in
+  /// wait_ms().
+  double scatter_charged_ms() const { return scatter_charged_ms_; }
+
   /// Sources whose submits exhausted all attempts during the last
   /// Execute() (lower-cased, in first-failure order).
   const std::vector<std::string>& failed_sources() const {
@@ -171,6 +195,7 @@ class MediatorExecutor {
     sources::Rel rel;            ///< subanswer (valid when status is ok)
     double duration_ms = 0;
     double source_ms = 0;
+    double first_tuple_ms = 0;   ///< source's time-to-first-row (ok only)
     int attempts = 0;
     /// Genuine submit exhaustion (replan-eligible); false for deadline
     /// expiry and cancellation, which are the mediator's doing.
@@ -203,6 +228,17 @@ class MediatorExecutor {
     elapsed_ms_ += ms;
     if (trace_ != nullptr) trace_->Advance(ms);
   }
+  /// Charge-site taxonomy behind the profiler's CPU/wait attribution:
+  /// per-row mediator work charges CPU, everything a submit spends
+  /// (source time, latency, bytes, backoff, stalls) charges wait.
+  void ChargeCpu(double ms) {
+    cpu_ms_ += ms;
+    Charge(ms);
+  }
+  void ChargeWait(double ms) {
+    wait_ms_ += ms;
+    Charge(ms);
+  }
   double Now() const { return base_now_ms_ + elapsed_ms_; }
   void NoteFailedSource(const std::string& source_lower);
   /// Appends a warning, mirroring it to the disco.exec.warnings counter.
@@ -227,6 +263,11 @@ class MediatorExecutor {
   ThreadPool* federation_pool_ = nullptr;
   SubmitLatencyProfile* profile_ = nullptr;
   double elapsed_ms_ = 0;
+  double cpu_ms_ = 0;
+  double wait_ms_ = 0;
+  double scatter_charged_ms_ = 0;
+  /// Cumulative rows produced by mediator-side nodes (trace counters).
+  int64_t rows_emitted_ = 0;
   std::vector<SubqueryRecord> subqueries_;
   std::vector<ExecWarning> warnings_;
   std::vector<std::string> failed_sources_;
@@ -243,6 +284,9 @@ class MediatorExecutor {
   /// that node's NodeMeasure::inclusive_ms by Eval (the scatter phase
   /// charged the time globally, so the node itself charges 0).
   double precomputed_bonus_ms_ = 0;
+  /// True while precomputed_bonus_ms_ refers to a scatter-phase submit
+  /// (marks the node's NodeMeasure as concurrent).
+  bool precomputed_concurrent_ = false;
 };
 
 }  // namespace mediator

@@ -125,6 +125,10 @@ std::string RenderExplainAnalyze(const ExplainAnalyzeReport& report) {
     }
   }
 
+  if (report.profile != nullptr) {
+    out += "\n" + report.profile->WaterfallText();
+  }
+
   out += "\n" + report.scoreboard;
   return out;
 }

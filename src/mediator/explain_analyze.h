@@ -18,6 +18,7 @@
 #include "algebra/operator.h"
 #include "costmodel/estimator.h"
 #include "mediator/exec.h"
+#include "mediator/profiler.h"
 
 namespace disco {
 namespace mediator {
@@ -32,6 +33,9 @@ struct ExplainAnalyzeReport {
   double estimated_total_ms = 0;
   double measured_total_ms = 0;
   const std::vector<ExecWarning>* warnings = nullptr;  ///< may be null
+  /// Execution profile of the run (may be null when profiling is off);
+  /// appends the cardinality-waterfall block to the rendering.
+  const PlanProfile* profile = nullptr;
   /// Cumulative AccuracyTracker::FormatScoreboard() output.
   std::string scoreboard;
 };

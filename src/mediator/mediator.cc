@@ -43,6 +43,9 @@ Mediator::Mediator(MediatorOptions options)
   Status s = costmodel::InstallGenericModel(&registry_, options_.calibration);
   DISCO_CHECK(s.ok()) << "generic cost model failed to install: "
                       << s.ToString();
+  // Pre-create the per-operator execution metrics family so metric
+  // expositions list the whole catalog before the first query runs.
+  RegisterOperatorMetrics(&metrics_);
   // Observability: breaker state changes become counters and, during an
   // execution, instant trace events.
   health_.SetTransitionListener([this](const std::string& source,
@@ -92,7 +95,12 @@ Mediator::Mediator(MediatorOptions options)
 
 tracing::TraceHandle Mediator::NewTrace() const {
   if (!options_.collect_traces) return nullptr;
-  return std::make_shared<tracing::Trace>(sim_now_ms_);
+  auto trace = std::make_shared<tracing::Trace>(sim_now_ms_);
+  // Perfetto renders these "M" metadata names on the process header and
+  // the serial lane; the scatter phase names its own lanes per group.
+  trace->SetProcessName("disco mediator");
+  trace->SetLaneName(0, "mediator");
+  return trace;
 }
 
 void Mediator::InvalidateCachedPlansFor(const std::string& source) {
@@ -257,6 +265,7 @@ Result<std::string> Mediator::ExplainAnalyze(const std::string& sql) {
   report.estimated_total_ms = plan.estimated_ms;
   report.measured_total_ms = executed.measured_ms;
   report.warnings = &executed.warnings;
+  report.profile = executed.profile.get();
   report.scoreboard = accuracy_.FormatScoreboard();
   return RenderExplainAnalyze(report);
 }
@@ -338,6 +347,12 @@ void Mediator::RecordQueryLog(const std::string& sql, double start_ms,
     entry.estimated_ms = result->estimated_ms;
     entry.measured_ms = result->measured_ms;
     entry.replans = result->replans;
+    if (result->profile != nullptr) {
+      entry.profile_nodes =
+          static_cast<int>(result->profile->nodes.size());
+      entry.profile_cpu_ms = result->profile->total_cpu_ms();
+      entry.profile_wait_ms = result->profile->total_wait_ms();
+    }
     for (const ExecWarning& w : result->warnings) {
       entry.warnings.push_back(w.ToString());
     }
@@ -505,6 +520,12 @@ Result<QueryResult> Mediator::ExecuteInternal(
     NodeMeasureMap* node_measures) {
   std::map<std::string, wrapper::Wrapper*> by_name;
   for (auto& w : wrappers_) by_name[ToLower(w->name())] = w.get();
+  // Profiling rides on the same per-node measures EXPLAIN ANALYZE uses;
+  // when the caller did not ask for them, collect into a local map.
+  NodeMeasureMap profile_measures;
+  if (options_.profile_execution && node_measures == nullptr) {
+    node_measures = &profile_measures;
+  }
   MediatorExecutor exec(std::move(by_name), options_.exec, &catalog_,
                         options_.fault_tolerance, &health_, sim_now_ms_);
   exec.set_trace(trace);
@@ -605,6 +626,13 @@ Result<QueryResult> Mediator::ExecuteInternal(
   out.plan_text = algebra::PrintPlan(plan);
   out.measured_ms = raw->measured_ms;
   out.warnings = std::move(raw->warnings);
+  if (options_.profile_execution && node_measures != nullptr) {
+    auto profile = std::make_shared<PlanProfile>(
+        BuildPlanProfile(plan, *node_measures, raw->measured_ms,
+                         exec.scatter_charged_ms(), PlanFingerprint(plan)));
+    profiles_.Record(*profile);
+    out.profile = std::move(profile);
+  }
   return out;
 }
 
@@ -662,6 +690,33 @@ MonitorSnapshot Mediator::MonitorReport(int top_k) const {
   snap.cost_memo_hits = cost_memo_.hits();
   snap.cost_memo_misses = cost_memo_.misses();
   snap.cost_memo_invalidations = cost_memo_.invalidations();
+
+  // Execution-profile panels: hottest operators and worst cardinality
+  // drops, aggregated across every profiled query by plan fingerprint.
+  snap.profiled_queries = profiles_.total_queries();
+  snap.profiled_plans = profiles_.plan_count();
+  auto operator_row = [](const ProfileRegistry::OperatorStat& s) {
+    MonitorOperatorRow row;
+    row.fingerprint = s.fingerprint;
+    row.node_id = s.node_id;
+    row.label = s.label;
+    row.op = algebra::OpKindToString(s.kind);
+    row.execs = s.execs;
+    row.cpu_ms = s.cpu_ms;
+    row.wait_ms = s.wait_ms;
+    row.rows_in = s.rows_in;
+    row.rows_out = s.rows_out;
+    row.drop_fraction = s.drop_fraction();
+    return row;
+  };
+  const size_t k = top_k > 0 ? static_cast<size_t>(top_k) : 0;
+  for (const ProfileRegistry::OperatorStat& s :
+       profiles_.HottestOperators(k)) {
+    snap.hottest_operators.push_back(operator_row(s));
+  }
+  for (const ProfileRegistry::OperatorStat& s : profiles_.WorstDrops(k)) {
+    snap.worst_drops.push_back(operator_row(s));
+  }
 
   // Worst drift cells first: highest windowed q-error, breached cells
   // breaking ties ahead of healthy ones (key order breaks the rest, so

@@ -32,6 +32,7 @@
 #include "mediator/exec.h"
 #include "mediator/monitor_report.h"
 #include "mediator/plan_cache.h"
+#include "mediator/profiler.h"
 #include "mediator/query_log.h"
 #include "mediator/source_health.h"
 #include "optimizer/optimizer.h"
@@ -68,6 +69,11 @@ struct MediatorOptions {
   costmodel::DriftOptions drift;
   /// Entries retained by the query-log flight recorder (0 disables it).
   size_t query_log_capacity = 256;
+  /// Collect a per-query operator profile (QueryResult::profile) and
+  /// aggregate it in the process-wide ProfileRegistry. Simulated-clock
+  /// driven like traces, so profiles are byte-identical across runs and
+  /// federation pool sizes (docs/OBSERVABILITY.md).
+  bool profile_execution = true;
   /// Fast planning path (docs/PERFORMANCE.md): parameterized plan cache
   /// capacity (0 disables caching)...
   size_t plan_cache_capacity = 64;
@@ -100,6 +106,9 @@ struct QueryResult {
   /// The query's span tree (null when MediatorOptions::collect_traces is
   /// off). Export with trace->ToChromeJson() for chrome://tracing.
   tracing::TraceHandle trace;
+  /// Per-operator CPU/wait profile of the executed plan (null when
+  /// MediatorOptions::profile_execution is off or execution failed).
+  std::shared_ptr<const PlanProfile> profile;
 };
 
 class Mediator {
@@ -175,6 +184,9 @@ class Mediator {
   /// replayable via mediator/replay.h).
   QueryLog* query_log() { return &query_log_; }
   const QueryLog& query_log() const { return query_log_; }
+  /// Per-operator execution profiles aggregated across queries, keyed
+  /// by plan fingerprint (docs/OBSERVABILITY.md, "Execution profiling").
+  const ProfileRegistry& profiles() const { return profiles_; }
   /// Parameterized plan cache consulted by Query()
   /// (docs/PERFORMANCE.md); empty when plan_cache_capacity is 0.
   PlanCache* plan_cache() { return &plan_cache_; }
@@ -260,6 +272,7 @@ class Mediator {
   costmodel::AccuracyTracker accuracy_;
   costmodel::DriftMonitor drift_;
   QueryLog query_log_;
+  ProfileRegistry profiles_;
   /// Per-submit estimate-vs-measurement details of the most recent
   /// ExecuteInternal, consumed by RecordQueryLog.
   std::vector<QueryLogSubmit> last_submits_;

@@ -70,6 +70,34 @@ std::string MonitorSnapshot::ToText() const {
         static_cast<long long>(b.failures));
   }
 
+  out += StringPrintf("profiles: %lld quer%s over %zu plan shape%s\n",
+                      static_cast<long long>(profiled_queries),
+                      profiled_queries == 1 ? "y" : "ies", profiled_plans,
+                      profiled_plans == 1 ? "" : "s");
+  if (!hottest_operators.empty()) {
+    out += "  hottest operators (summed self time):\n";
+    out += StringPrintf("  %-28s %-10s %6s %10s %10s %10s\n", "operator",
+                        "plan", "execs", "cpu ms", "wait ms", "rows out");
+    for (const MonitorOperatorRow& r : hottest_operators) {
+      out += StringPrintf(
+          "  %-28s %-10.10s %6lld %10.3f %10.3f %10lld\n", r.label.c_str(),
+          r.fingerprint.c_str(), static_cast<long long>(r.execs), r.cpu_ms,
+          r.wait_ms, static_cast<long long>(r.rows_out));
+    }
+  }
+  if (!worst_drops.empty()) {
+    out += "  worst waterfall drops (rows in -> out):\n";
+    out += StringPrintf("  %-28s %-10s %10s %10s %7s\n", "operator", "plan",
+                        "rows in", "rows out", "drop");
+    for (const MonitorOperatorRow& r : worst_drops) {
+      out += StringPrintf("  %-28s %-10.10s %10lld %10lld %6.1f%%\n",
+                          r.label.c_str(), r.fingerprint.c_str(),
+                          static_cast<long long>(r.rows_in),
+                          static_cast<long long>(r.rows_out),
+                          100.0 * r.drop_fraction);
+    }
+  }
+
   out += StringPrintf("drift: %lld event%s raised\n",
                       static_cast<long long>(drift_events),
                       drift_events == 1 ? "" : "s");
@@ -110,8 +138,7 @@ std::string MonitorSnapshot::ToJson() const {
       "\"misses\":%lld,\"insertions\":%lld,\"invalidations\":%lld,"
       "\"evictions\":%lld},"
       "\"cost_memo\":{\"entries\":%zu,\"hits\":%lld,\"misses\":%lld,"
-      "\"invalidations\":%lld},"
-      "\"drift_events\":%lld,\"worst_cells\":[",
+      "\"invalidations\":%lld},",
       now_ms, static_cast<long long>(queries),
       static_cast<long long>(query_errors), static_cast<long long>(replans),
       static_cast<long long>(explain_analyzes),
@@ -137,8 +164,31 @@ std::string MonitorSnapshot::ToJson() const {
       static_cast<long long>(plan_cache_evictions), cost_memo_entries,
       static_cast<long long>(cost_memo_hits),
       static_cast<long long>(cost_memo_misses),
-      static_cast<long long>(cost_memo_invalidations),
-      static_cast<long long>(drift_events));
+      static_cast<long long>(cost_memo_invalidations));
+  auto operator_row = [](const MonitorOperatorRow& r) {
+    return StringPrintf(
+        "{\"fingerprint\":\"%s\",\"node_id\":%d,\"label\":\"%s\","
+        "\"op\":\"%s\",\"execs\":%lld,\"cpu_ms\":%.3f,\"wait_ms\":%.3f,"
+        "\"rows_in\":%lld,\"rows_out\":%lld,\"drop_fraction\":%.4f}",
+        JsonEscape(r.fingerprint).c_str(), r.node_id,
+        JsonEscape(r.label).c_str(), JsonEscape(r.op).c_str(),
+        static_cast<long long>(r.execs), r.cpu_ms, r.wait_ms,
+        static_cast<long long>(r.rows_in),
+        static_cast<long long>(r.rows_out), r.drop_fraction);
+  };
+  out += StringPrintf(
+      "\"profiles\":{\"queries\":%lld,\"plans\":%zu,\"hottest_operators\":[",
+      static_cast<long long>(profiled_queries), profiled_plans);
+  for (size_t i = 0; i < hottest_operators.size(); ++i) {
+    out += (i == 0 ? "" : ",") + operator_row(hottest_operators[i]);
+  }
+  out += "],\"worst_drops\":[";
+  for (size_t i = 0; i < worst_drops.size(); ++i) {
+    out += (i == 0 ? "" : ",") + operator_row(worst_drops[i]);
+  }
+  out += "]},";
+  out += StringPrintf("\"drift_events\":%lld,\"worst_cells\":[",
+                      static_cast<long long>(drift_events));
   for (size_t i = 0; i < worst_cells.size(); ++i) {
     const MonitorDriftRow& c = worst_cells[i];
     out += StringPrintf(

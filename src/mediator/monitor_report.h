@@ -28,6 +28,22 @@ struct MonitorBreakerRow {
   int64_t successes = 0;
 };
 
+/// One aggregated plan operator from the execution-profile registry:
+/// either a "hottest operator" (by summed self CPU + wait) or a "worst
+/// waterfall drop" (by rows_in - rows_out) row.
+struct MonitorOperatorRow {
+  std::string fingerprint;  ///< query-log plan fingerprint
+  int node_id = 0;          ///< pre-order node index within the plan
+  std::string label;        ///< algebra::NodeLabel of the node
+  std::string op;           ///< operator kind
+  int64_t execs = 0;        ///< queries that measured this node
+  double cpu_ms = 0;        ///< summed self mediator-CPU ms
+  double wait_ms = 0;       ///< summed self communication/wait ms
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  double drop_fraction = 0;  ///< (rows_in - rows_out) / rows_in
+};
+
 /// One (source, operator, rule scope) drift cell, worst first.
 struct MonitorDriftRow {
   std::string source;
@@ -88,6 +104,14 @@ struct MonitorSnapshot {
   int64_t cost_memo_hits = 0;
   int64_t cost_memo_misses = 0;
   int64_t cost_memo_invalidations = 0;
+
+  // Execution profiling (docs/OBSERVABILITY.md, "Execution profiling").
+  int64_t profiled_queries = 0;  ///< queries that recorded a PlanProfile
+  size_t profiled_plans = 0;     ///< distinct plan fingerprints profiled
+  /// Top-K operators by summed self time (CPU + wait), hottest first.
+  std::vector<MonitorOperatorRow> hottest_operators;
+  /// Top-K operators by rows dropped (rows_in - rows_out), worst first.
+  std::vector<MonitorOperatorRow> worst_drops;
 
   // Cost-model drift.
   int64_t drift_events = 0;

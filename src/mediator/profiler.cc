@@ -1,0 +1,280 @@
+#include "mediator/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algebra/plan_printer.h"
+#include "common/str_util.h"
+
+namespace disco {
+namespace mediator {
+
+namespace {
+
+/// Folded-stack frames are ';'-separated, so labels must not contain
+/// the separator (predicate values could); newlines would break the
+/// one-line-per-stack format.
+std::string FoldedFrame(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (c == ';') c = ',';
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+int64_t MsToUs(double ms) { return std::llround(ms * 1000.0); }
+
+/// One folded line per nonzero self value, pre-order.
+void CollectFolded(const PlanProfile& profile,
+                   std::vector<std::pair<std::string, int64_t>>* out) {
+  // Frame path of each node, built from the parent chain.
+  std::vector<std::string> paths(profile.nodes.size());
+  for (const NodeProfile& n : profile.nodes) {
+    const std::string frame = FoldedFrame(n.label);
+    paths[static_cast<size_t>(n.id)] =
+        n.parent < 0 ? frame
+                     : paths[static_cast<size_t>(n.parent)] + ";" + frame;
+  }
+  for (const NodeProfile& n : profile.nodes) {
+    if (!n.measured) continue;
+    const std::string& path = paths[static_cast<size_t>(n.id)];
+    const int64_t cpu_us = MsToUs(n.cpu_ms);
+    const int64_t wait_us = MsToUs(n.wait_ms);
+    if (cpu_us > 0) out->emplace_back(path + ";[cpu]", cpu_us);
+    if (wait_us > 0) {
+      out->emplace_back(
+          path + (n.concurrent ? ";[scatter-wait]" : ";[wait]"), wait_us);
+    }
+  }
+}
+
+}  // namespace
+
+double PlanProfile::total_cpu_ms() const {
+  double total = 0;
+  for (const NodeProfile& n : nodes) total += n.cpu_ms;
+  return total;
+}
+
+double PlanProfile::total_wait_ms() const {
+  double total = 0;
+  for (const NodeProfile& n : nodes) {
+    if (!n.concurrent) total += n.wait_ms;
+  }
+  return total;
+}
+
+std::string PlanProfile::ToFolded() const {
+  std::vector<std::pair<std::string, int64_t>> lines;
+  CollectFolded(*this, &lines);
+  std::string out;
+  for (const auto& [stack, us] : lines) {
+    out += StringPrintf("%s %lld\n", stack.c_str(),
+                        static_cast<long long>(us));
+  }
+  return out;
+}
+
+void PlanProfile::AccumulateFolded(std::map<std::string, int64_t>* acc) const {
+  std::vector<std::pair<std::string, int64_t>> lines;
+  CollectFolded(*this, &lines);
+  for (const auto& [stack, us] : lines) (*acc)[stack] += us;
+}
+
+std::string PlanProfile::WaterfallText() const {
+  std::string out = StringPrintf(
+      "cardinality waterfall (fingerprint %s)\n", fingerprint.c_str());
+  out += StringPrintf("%-38s %9s %9s %7s %10s %10s %10s\n", "node", "in",
+                      "out", "drop", "ttfr ms", "cpu ms", "wait ms");
+  for (const NodeProfile& n : nodes) {
+    if (!n.measured) continue;  // subtrees under a submit run at the source
+    std::string label(static_cast<size_t>(n.depth) * 2, ' ');
+    label += n.label;
+    const std::string in = StringPrintf("%lld",
+                                        static_cast<long long>(n.rows_in));
+    const std::string rows =
+        n.rows_out >= 0
+            ? StringPrintf("%lld", static_cast<long long>(n.rows_out))
+            : std::string("-");
+    const std::string drop =
+        n.drop_fraction() > 0
+            ? StringPrintf("%.1f%%", n.drop_fraction() * 100.0)
+            : std::string("-");
+    const std::string ttfr =
+        n.kind == algebra::OpKind::kSubmit && n.ok
+            ? StringPrintf("%.3f", n.first_row_ms)
+            : std::string("-");
+    out += StringPrintf("%-38s %9s %9s %7s %10s %10.3f %10.3f%s\n",
+                        label.c_str(), in.c_str(), rows.c_str(), drop.c_str(),
+                        ttfr.c_str(), n.cpu_ms, n.wait_ms,
+                        n.concurrent ? " *" : "");
+  }
+  if (scatter_charged_ms > 0) {
+    out += StringPrintf(
+        "scatter phase: %.3f ms charged max-not-sum "
+        "(* = concurrent lane, overlaps not additive)\n",
+        scatter_charged_ms);
+  }
+  out += StringPrintf(
+      "totals: cpu %.3f ms + wait %.3f ms + scatter %.3f ms "
+      "= measured %.3f ms\n",
+      total_cpu_ms(), total_wait_ms(), scatter_charged_ms, measured_ms);
+  return out;
+}
+
+PlanProfile BuildPlanProfile(const algebra::Operator& plan,
+                             const NodeMeasureMap& measures,
+                             double measured_ms, double scatter_charged_ms,
+                             const std::string& fingerprint) {
+  PlanProfile profile;
+  profile.fingerprint = fingerprint;
+  profile.measured_ms = measured_ms;
+  profile.scatter_charged_ms = scatter_charged_ms;
+
+  // Pre-order walk. NodeMeasure's cpu_ms/wait_ms are *inclusive* over
+  // the subtree (running-counter deltas), so a node's self values are
+  // its inclusive values minus its direct children's.
+  struct Walk {
+    const NodeMeasureMap& measures;
+    std::vector<NodeProfile>* nodes;
+
+    void Visit(const algebra::Operator& op, int parent, int depth) {
+      const int id = static_cast<int>(nodes->size());
+      {
+        NodeProfile n;
+        n.id = id;
+        n.parent = parent;
+        n.depth = depth;
+        n.kind = op.kind;
+        n.label = algebra::NodeLabel(op);
+        nodes->push_back(std::move(n));
+      }
+      double child_cpu = 0, child_wait = 0;
+      int64_t child_rows = 0;
+      bool any_measured_child = false;
+      for (const auto& child : op.children) {
+        Visit(*child, id, depth + 1);
+        auto cit = measures.find(child.get());
+        if (cit == measures.end()) continue;
+        any_measured_child = true;
+        child_cpu += cit->second.cpu_ms;
+        child_wait += cit->second.wait_ms;
+        if (cit->second.rows >= 0) child_rows += cit->second.rows;
+      }
+      auto it = measures.find(&op);
+      if (it == measures.end()) return;
+      const NodeMeasure& m = it->second;
+      NodeProfile& n = (*nodes)[static_cast<size_t>(id)];
+      n.measured = true;
+      n.ok = m.ok;
+      n.rows_out = m.rows;
+      n.attempts = m.attempts;
+      n.inclusive_ms = m.inclusive_ms;
+      n.first_row_ms = m.first_row_ms;
+      n.source_ms = m.source_ms;
+      n.concurrent = m.concurrent;
+      n.cpu_ms = m.cpu_ms - child_cpu;
+      // Serial self wait plus (for scattered submits) the concurrent
+      // timeline duration the scatter phase attributed to this node.
+      n.wait_ms = (m.wait_ms - child_wait) + m.scatter_wait_ms;
+      n.rows_in = any_measured_child ? child_rows
+                                     : (n.rows_out > 0 ? n.rows_out : 0);
+    }
+  };
+  Walk walk{measures, &profile.nodes};
+  walk.Visit(plan, -1, 0);
+  return profile;
+}
+
+void ProfileRegistry::Record(const PlanProfile& profile) {
+  ++total_queries_;
+  PlanAgg& agg = plans_[profile.fingerprint];
+  ++agg.queries;
+  if (agg.nodes.size() < profile.nodes.size()) {
+    agg.nodes.resize(profile.nodes.size());
+  }
+  for (const NodeProfile& n : profile.nodes) {
+    OperatorStat& stat = agg.nodes[static_cast<size_t>(n.id)];
+    if (stat.execs == 0) {
+      stat.fingerprint = profile.fingerprint;
+      stat.node_id = n.id;
+      stat.label = n.label;
+      stat.kind = n.kind;
+    }
+    if (!n.measured) continue;
+    ++stat.execs;
+    stat.cpu_ms += n.cpu_ms;
+    stat.wait_ms += n.wait_ms;
+    stat.rows_in += n.rows_in;
+    if (n.rows_out > 0) stat.rows_out += n.rows_out;
+  }
+  profile.AccumulateFolded(&folded_us_);
+}
+
+std::vector<ProfileRegistry::OperatorStat> ProfileRegistry::HottestOperators(
+    size_t top_k) const {
+  std::vector<OperatorStat> all;
+  for (const auto& [fp, agg] : plans_) {
+    for (const OperatorStat& stat : agg.nodes) {
+      if (stat.execs > 0) all.push_back(stat);
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const OperatorStat& a, const OperatorStat& b) {
+                     if (a.total_ms() != b.total_ms()) {
+                       return a.total_ms() > b.total_ms();
+                     }
+                     if (a.fingerprint != b.fingerprint) {
+                       return a.fingerprint < b.fingerprint;
+                     }
+                     return a.node_id < b.node_id;
+                   });
+  if (all.size() > top_k) all.resize(top_k);
+  return all;
+}
+
+std::vector<ProfileRegistry::OperatorStat> ProfileRegistry::WorstDrops(
+    size_t top_k) const {
+  std::vector<OperatorStat> all;
+  for (const auto& [fp, agg] : plans_) {
+    for (const OperatorStat& stat : agg.nodes) {
+      if (stat.execs > 0 && stat.rows_dropped() > 0) all.push_back(stat);
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const OperatorStat& a, const OperatorStat& b) {
+                     if (a.rows_dropped() != b.rows_dropped()) {
+                       return a.rows_dropped() > b.rows_dropped();
+                     }
+                     if (a.fingerprint != b.fingerprint) {
+                       return a.fingerprint < b.fingerprint;
+                     }
+                     return a.node_id < b.node_id;
+                   });
+  if (all.size() > top_k) all.resize(top_k);
+  return all;
+}
+
+std::string ProfileRegistry::ToFolded() const {
+  std::string out;
+  for (const auto& [stack, us] : folded_us_) {
+    out += StringPrintf("%s %lld\n", stack.c_str(),
+                        static_cast<long long>(us));
+  }
+  return out;
+}
+
+void RegisterOperatorMetrics(metrics::Registry* registry) {
+  if (registry == nullptr) return;
+  for (int k = 0; k < algebra::kNumOpKinds; ++k) {
+    const std::string family =
+        std::string("disco.exec.operator.") +
+        algebra::OpKindToString(static_cast<algebra::OpKind>(k));
+    registry->counter(family + ".evals");
+    registry->histogram(family + ".rows");
+  }
+}
+
+}  // namespace mediator
+}  // namespace disco

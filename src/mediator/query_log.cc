@@ -27,11 +27,17 @@ std::string QueryLogEntry::ToJson() const {
   // query string cannot shadow them.
   std::string out = StringPrintf(
       "{\"seq\":%lld,\"trace_id\":%lld,\"start_ms\":%.3f,"
-      "\"estimated_ms\":%.3f,\"measured_ms\":%.3f,\"ok\":%s,\"replans\":%d,"
+      "\"estimated_ms\":%.3f,\"measured_ms\":%.3f,\"ok\":%s,\"replans\":%d,",
+      static_cast<long long>(seq), static_cast<long long>(seq), start_ms,
+      estimated_ms, measured_ms, ok ? "true" : "false", replans);
+  if (profile_nodes > 0) {
+    out += StringPrintf(
+        "\"profile\":{\"nodes\":%d,\"cpu_ms\":%.3f,\"wait_ms\":%.3f},",
+        profile_nodes, profile_cpu_ms, profile_wait_ms);
+  }
+  out += StringPrintf(
       "\"sql\":\"%s\",\"plan_fingerprint\":\"%s\",\"error\":\"%s\","
       "\"warnings\":[",
-      static_cast<long long>(seq), static_cast<long long>(seq), start_ms,
-      estimated_ms, measured_ms, ok ? "true" : "false", replans,
       JsonEscape(sql).c_str(), JsonEscape(plan_fingerprint).c_str(),
       JsonEscape(error).c_str());
   for (size_t i = 0; i < warnings.size(); ++i) {

@@ -47,6 +47,12 @@ struct QueryLogEntry {
   bool ok = true;
   std::string error;     ///< status string when !ok
   int replans = 0;       ///< mid-query replans (0 or 1)
+  /// Execution-profile roll-up (0s when profiling was off): plan node
+  /// count and the query's serial CPU/wait split. The full per-node
+  /// breakdown lives in QueryResult::profile, not the log.
+  int profile_nodes = 0;
+  double profile_cpu_ms = 0;
+  double profile_wait_ms = 0;
   /// Rendered ExecWarning lines: retry recoveries, dropped branches,
   /// replica rerouting, breaker states.
   std::vector<std::string> warnings;

@@ -1,0 +1,73 @@
+// The minimal JSON parser behind the repo's bench/metric tooling
+// (common/json.h): documents this repo emits must parse, path lookup
+// and numeric flattening must be exact, and malformed input must error
+// rather than crash.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+
+namespace disco {
+namespace json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE((*ParseJson("null"))->is_null());
+  EXPECT_TRUE((*ParseJson("true"))->bool_value);
+  EXPECT_FALSE((*ParseJson("false"))->bool_value);
+  EXPECT_DOUBLE_EQ((*ParseJson("-12.5e2"))->number_value, -1250.0);
+  EXPECT_EQ((*ParseJson("\"a\\nb\\\"c\""))->string_value, "a\nb\"c");
+  EXPECT_EQ((*ParseJson("\"\\u0041\""))->string_value, "A");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  auto r = ParseJson(
+      "{\"plan_cache\":{\"cold_ms_per_query\":3.1,\"speedup\":31.4},"
+      "\"thread_scaling\":[{\"threads\":1,\"wall_ms\":9.5},"
+      "{\"threads\":4,\"wall_ms\":3.2}],\"note\":\"text\"}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const JsonValue& v = **r;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.GetPath("plan_cache.speedup")->number_value, 31.4);
+  EXPECT_DOUBLE_EQ(v.GetPath("thread_scaling.1.wall_ms")->number_value, 3.2);
+  EXPECT_EQ(v.GetPath("note")->string_value, "text");
+  EXPECT_EQ(v.GetPath("plan_cache.missing"), nullptr);
+  EXPECT_EQ(v.GetPath("thread_scaling.7.wall_ms"), nullptr);
+}
+
+TEST(JsonTest, FlattenNumbersUsesDottedPaths) {
+  auto r = ParseJson(
+      "{\"a\":{\"b\":1.5},\"list\":[2,{\"c\":3}],\"flag\":true,"
+      "\"skip\":\"string\",\"gone\":null}");
+  ASSERT_TRUE(r.ok());
+  const auto flat = FlattenNumbers(**r);
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_DOUBLE_EQ(flat.at("a.b"), 1.5);
+  EXPECT_DOUBLE_EQ(flat.at("list.0"), 2.0);
+  EXPECT_DOUBLE_EQ(flat.at("list.1.c"), 3.0);
+  EXPECT_DOUBLE_EQ(flat.at("flag"), 1.0);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("[1,2").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+}
+
+TEST(JsonTest, ObjectKeysPreserveDocumentOrder) {
+  auto r = ParseJson("{\"z\":1,\"a\":2}");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->members.size(), 2u);
+  EXPECT_EQ((*r)->members[0].first, "z");
+  EXPECT_EQ((*r)->members[1].first, "a");
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace disco

@@ -1,0 +1,86 @@
+// End-to-end test of the tools/replay_querylog CLI: writes a query-log
+// JSONL file, invokes the real binary (path injected by CMake as
+// DISCO_REPLAY_BIN), and asserts the calibration-regression exit
+// status: 0 when every line replays, 1 when a replayed query fails,
+// 2 on usage errors.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace disco {
+namespace {
+
+#ifndef DISCO_REPLAY_BIN
+#define DISCO_REPLAY_BIN ""
+#endif
+
+/// Runs the CLI with `args`, stdout/stderr silenced, and returns its
+/// exit code (-1 if it did not exit normally).
+int RunReplay(const std::string& args) {
+  const std::string bin = DISCO_REPLAY_BIN;
+  if (bin.empty()) return -1;
+  const int raw =
+      std::system((bin + " " + args + " > /dev/null 2>&1").c_str());
+  if (raw == -1 || !WIFEXITED(raw)) return -1;
+  return WEXITSTATUS(raw);
+}
+
+std::string WriteLog(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream(path) << content;
+  return path;
+}
+
+/// One JSONL line the replay path accepts: replays need "sql",
+/// "estimated_ms", "measured_ms", and "ok".
+std::string LogLine(const std::string& sql) {
+  return "{\"seq\":1,\"start_ms\":0.0,\"estimated_ms\":10.0,"
+         "\"measured_ms\":12.0,\"ok\":true,\"sql\":\"" +
+         sql + "\"}\n";
+}
+
+TEST(ReplayCliTest, BinaryAvailable) {
+  if (std::string(DISCO_REPLAY_BIN).empty()) {
+    GTEST_SKIP() << "DISCO_REPLAY_BIN not provided by the build";
+  }
+  ASSERT_TRUE(std::ifstream(DISCO_REPLAY_BIN).good())
+      << "replay binary missing: " << DISCO_REPLAY_BIN;
+}
+
+TEST(ReplayCliTest, UsageErrorExitsTwo) {
+  if (std::string(DISCO_REPLAY_BIN).empty()) GTEST_SKIP();
+  EXPECT_EQ(RunReplay(""), 2);
+  EXPECT_EQ(RunReplay("/nonexistent/query_log.jsonl"), 2);
+}
+
+TEST(ReplayCliTest, CleanLogReplaysWithExitZero) {
+  if (std::string(DISCO_REPLAY_BIN).empty()) GTEST_SKIP();
+  // Valid queries against the CLI's demo federation (an OO7 source and
+  // an "erp" Supplier table); comments and blank lines are skipped.
+  const std::string path = WriteLog(
+      "replay_clean.jsonl",
+      "# flight recorder export\n\n" +
+          LogLine("SELECT id FROM AtomicPart WHERE id <= 20") +
+          LogLine("SELECT sid FROM Supplier WHERE region = 'east'"));
+  EXPECT_EQ(RunReplay(path), 0);
+  EXPECT_EQ(RunReplay(path + " --monitor"), 0);
+}
+
+TEST(ReplayCliTest, FailingQueryExitsOne) {
+  if (std::string(DISCO_REPLAY_BIN).empty()) GTEST_SKIP();
+  // The second line binds against a collection the demo federation does
+  // not export, so its replay errors and the CLI reports regression.
+  const std::string path = WriteLog(
+      "replay_failing.jsonl",
+      LogLine("SELECT id FROM AtomicPart WHERE id <= 20") +
+          LogLine("SELECT x FROM NoSuchCollection"));
+  EXPECT_EQ(RunReplay(path), 1);
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,123 @@
+// bench_summary: merge every BENCH_*.json a bench run produced into one
+// BENCH_summary.json with a shared flat schema so CI can upload (and
+// diff) a single artifact:
+//
+//   {"results":[
+//     {"name":"planning","metric":"plan_cache.speedup","value":31.42,
+//      "unit":"x"},
+//     ...
+//   ]}
+//
+//   ./build/tools/bench_summary --out BENCH_summary.json \
+//       BENCH_planning.json BENCH_federation.json ...
+//
+// `name` is the input file's basename with the BENCH_ prefix and .json
+// suffix stripped; `metric` is the dotted path of each numeric leaf.
+// Unparseable files fail the merge (exit 1) -- a truncated bench
+// artifact should fail CI, not vanish silently.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/str_util.h"
+
+namespace {
+
+/// "path/BENCH_planning.json" -> "planning".
+std::string BenchName(const std::string& path) {
+  std::string name = path;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.rfind("BENCH_", 0) == 0) name = name.substr(6);
+  const size_t dot = name.rfind(".json");
+  if (dot != std::string::npos && dot == name.size() - 5) {
+    name = name.substr(0, dot);
+  }
+  return name;
+}
+
+/// Best-effort unit from the metric's trailing path component.
+std::string UnitOf(const std::string& metric) {
+  const size_t dot = metric.find_last_of('.');
+  const std::string leaf =
+      dot == std::string::npos ? metric : metric.substr(dot + 1);
+  if (leaf == "speedup" || leaf.rfind("reduction") != std::string::npos) {
+    return "x";
+  }
+  if (leaf.size() >= 2 && leaf.compare(leaf.size() - 2, 2, "ms") == 0) {
+    return "ms";
+  }
+  if (leaf.rfind("ms_", 0) == 0 || leaf.find("_ms_") != std::string::npos) {
+    return "ms";
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_summary.json";
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --out needs a path\n");
+        return 2;
+      }
+      out_path = argv[++i];
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--out BENCH_summary.json] BENCH_a.json ...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::string out = "{\"results\":[";
+  bool first = true;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = disco::json::ParseJson(buf.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    const std::string name = BenchName(path);
+    for (const auto& [metric, value] :
+         disco::json::FlattenNumbers(**parsed)) {
+      out += disco::StringPrintf(
+          "%s\n  {\"name\":\"%s\",\"metric\":\"%s\",\"value\":%.6g,"
+          "\"unit\":\"%s\"}",
+          first ? "" : ",", disco::JsonEscape(name).c_str(),
+          disco::JsonEscape(metric).c_str(), value,
+          UnitOf(metric).c_str());
+      first = false;
+    }
+  }
+  out += "\n]}\n";
+
+  std::ofstream of(out_path);
+  if (!of) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  of << out;
+  std::printf("wrote %s (%zu input file%s)\n", out_path.c_str(),
+              inputs.size(), inputs.size() == 1 ? "" : "s");
+  return 0;
+}

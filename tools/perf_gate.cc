@@ -1,0 +1,61 @@
+// perf_gate: assert a numeric metric inside a bench JSON file stays at
+// or above a checked-in floor. CI runs it against BENCH_planning.json
+// so a regression in (say) the warm plan-cache speedup fails the build
+// instead of silently trending down.
+//
+//   ./build/tools/perf_gate BENCH_planning.json plan_cache.speedup 5.0
+//
+// Exit codes: 0 = at/above the floor, 1 = below the floor,
+// 2 = file unreadable / unparseable / metric missing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: %s <bench.json> <dotted.metric> <min>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::string metric = argv[2];
+  char* end = nullptr;
+  const double floor = std::strtod(argv[3], &end);
+  if (end == argv[3] || *end != '\0') {
+    std::fprintf(stderr, "error: bad floor '%s'\n", argv[3]);
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = disco::json::ParseJson(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  const disco::json::JsonValue* value = (*parsed)->GetPath(metric);
+  if (value == nullptr || !value->is_number()) {
+    std::fprintf(stderr, "error: no numeric metric '%s' in %s\n",
+                 metric.c_str(), path.c_str());
+    return 2;
+  }
+  if (value->number_value < floor) {
+    std::fprintf(stderr, "FAIL: %s %s = %.4f below floor %.4f\n",
+                 path.c_str(), metric.c_str(), value->number_value, floor);
+    return 1;
+  }
+  std::printf("OK: %s %s = %.4f >= %.4f\n", path.c_str(), metric.c_str(),
+              value->number_value, floor);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// profile_dump: run a small deterministic workload against the demo
+// federation (the same one examples/observability and replay_querylog
+// build) and dump the execution-profiling surfaces:
+//
+//   profile.folded   merged folded-stack flame graph across the
+//                    workload (speedscope / flamegraph.pl format)
+//   waterfall.txt    the last query's cardinality waterfall
+//   metrics.prom     OpenMetrics text exposition of the registry
+//   trace.json       Chrome trace of the last query (counter tracks
+//                    and named scatter lanes included)
+//
+//   ./build/tools/profile_dump [out_dir]
+//
+// Everything is simulated-clock driven, so repeated runs write
+// byte-identical files -- CI uploads them as build artifacts.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench007/oo7.h"
+#include "mediator/mediator.h"
+
+namespace {
+
+void Fail(const disco::Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  std::exit(1);
+}
+
+void BuildDemoFederation(disco::mediator::Mediator& med) {
+  using namespace disco;  // NOLINT: tool brevity
+
+  bench007::OO7Config config;
+  config.num_atomic_parts = 2000;
+  config.connections_per_atomic = 1;
+  config.num_composite_parts = 100;
+  config.num_documents = 100;
+  auto oo7 = bench007::BuildOO7Source(config);
+  if (!oo7.ok()) Fail(oo7.status());
+  wrapper::SimulatedWrapper::Options oo7_opts;
+  oo7_opts.cost_rules = bench007::Oo7YaoRuleText();
+  if (auto s = med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+          std::move(*oo7), oo7_opts));
+      !s.ok()) {
+    Fail(s);
+  }
+
+  auto rel = sources::MakeRelationalSource("erp");
+  storage::Table* suppliers = rel->CreateTable(CollectionSchema(
+      "Supplier", {{"sid", AttrType::kLong},
+                   {"partType", AttrType::kString},
+                   {"region", AttrType::kString}}));
+  for (int i = 0; i < 200; ++i) {
+    if (auto s = suppliers->Insert({Value(int64_t{i}),
+                                    Value(std::string("t") +
+                                          std::to_string(i % 10)),
+                                    Value(std::string(i % 2 ? "east"
+                                                            : "west"))});
+        !s.ok()) {
+      Fail(s);
+    }
+  }
+  if (auto s = suppliers->CreateIndex("sid"); !s.ok()) Fail(s);
+  if (auto s = med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+          std::move(rel), wrapper::SimulatedWrapper::Options()));
+      !s.ok()) {
+    Fail(s);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? std::string(argv[1]) + "/" : "";
+
+  disco::mediator::Mediator med;
+  BuildDemoFederation(med);
+
+  const std::vector<std::string> workload = {
+      "SELECT id, sid FROM AtomicPart, Supplier "
+      "WHERE AtomicPart.type = Supplier.partType AND id <= 20 "
+      "AND region = 'east'",
+      "SELECT id FROM AtomicPart WHERE id <= 100",
+      "SELECT sid FROM Supplier WHERE region = 'west'",
+  };
+  std::shared_ptr<const disco::mediator::PlanProfile> last_profile;
+  disco::tracing::TraceHandle last_trace;
+  for (const std::string& sql : workload) {
+    auto r = med.Query(sql);
+    if (!r.ok()) Fail(r.status());
+    if (r->profile != nullptr) last_profile = r->profile;
+    last_trace = r->trace;
+  }
+
+  std::ofstream(out_dir + "profile.folded") << med.profiles().ToFolded();
+  if (last_profile != nullptr) {
+    std::ofstream(out_dir + "waterfall.txt") << last_profile->WaterfallText();
+  }
+  std::ofstream(out_dir + "metrics.prom") << med.metrics()->ToOpenMetrics();
+  if (last_trace != nullptr) {
+    std::ofstream(out_dir + "trace.json") << last_trace->ToChromeJson();
+  }
+
+  std::printf("profiled %lld queries over %zu plan shapes\n",
+              static_cast<long long>(med.profiles().total_queries()),
+              med.profiles().plan_count());
+  std::printf("wrote %sprofile.folded, %swaterfall.txt, %smetrics.prom, "
+              "%strace.json\n",
+              out_dir.c_str(), out_dir.c_str(), out_dir.c_str(),
+              out_dir.c_str());
+  return 0;
+}
