@@ -44,6 +44,25 @@ const JsonValue* JsonValue::GetPath(const std::string& dotted) const {
 
 namespace {
 
+/// Appends the UTF-8 encoding of `cp` (a valid scalar value).
+void AppendUtf8(long cp, std::string* out) {
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (cp >> 18));
+    *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
 /// Recursive-descent parser over a complete in-memory document.
 class Parser {
  public:
@@ -183,15 +202,26 @@ class Parser {
           out->string_value += '\f';
           break;
         case 'u': {
-          // Decode \uXXXX below U+0080 (all this repo emits); anything
-          // higher comes through as '?' rather than mangled UTF-8.
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
-          const std::string hex = text_.substr(pos_, 4);
-          pos_ += 4;
-          char* end = nullptr;
-          const long code = std::strtol(hex.c_str(), &end, 16);
-          if (end != hex.c_str() + 4) return Error("bad \\u escape");
-          out->string_value += code < 0x80 ? static_cast<char>(code) : '?';
+          // Full \uXXXX decoding to UTF-8, surrogate pairs included: a
+          // high surrogate must be followed by a `\uXXXX` low surrogate
+          // and the pair combines into one supplementary code point.
+          DISCO_ASSIGN_OR_RETURN(long code, ParseHex4());
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate");
+            }
+            pos_ += 2;
+            DISCO_ASSIGN_OR_RETURN(long low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("bad low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          AppendUtf8(code, &out->string_value);
           break;
         }
         default:
@@ -199,6 +229,28 @@ class Parser {
       }
     }
     return Error("unterminated string");
+  }
+
+  /// The four hex digits of a \u escape (cursor already past the 'u').
+  Result<long> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    long code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        return Error("bad \\u escape");
+      }
+      code = (code << 4) | digit;
+    }
+    pos_ += 4;
+    return code;
   }
 
   Result<JsonValuePtr> ParseBool() {

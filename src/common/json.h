@@ -2,8 +2,9 @@
 // (bench_summary merges BENCH_*.json files; perf_gate reads a metric
 // out of one; tests round-trip metrics::Registry::ToJson against
 // ToOpenMetrics). It parses the JSON this repo emits -- objects,
-// arrays, strings with the common escapes, numbers, booleans, null --
-// and nothing more exotic (no \uXXXX surrogate pairs, no comments).
+// arrays, strings with the standard escapes (\uXXXX decodes to UTF-8,
+// surrogate pairs included), numbers, booleans, null -- and nothing
+// more exotic (no comments, no trailing commas).
 //
 // Not a general-purpose library: error positions are byte offsets, the
 // whole document lives in memory, and numbers are doubles.

@@ -1,0 +1,642 @@
+#include "mediator/critical_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace disco {
+namespace mediator {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// "Submit(@erp)" / "submit @erp" / "BindJoin(@parts, ...)" -> "erp".
+std::string SourceFromLabel(const std::string& label) {
+  const size_t at = label.find('@');
+  if (at == std::string::npos) return "";
+  size_t end = at + 1;
+  while (end < label.size() && label[end] != ')' && label[end] != ',' &&
+         label[end] != ' ') {
+    ++end;
+  }
+  return label.substr(at + 1, end - at - 1);
+}
+
+CriticalSegment MakeSegment(int node_id, std::string label, std::string kind,
+                            std::string source, double ms,
+                            int subplan_index) {
+  CriticalSegment s;
+  s.node_id = node_id;
+  s.label = std::move(label);
+  s.kind = std::move(kind);
+  s.source = std::move(source);
+  s.ms = ms;
+  s.subplan_index = subplan_index;
+  return s;
+}
+
+/// Events per lane in chronological (= subplan-index) order.
+std::map<int, std::vector<const ScatterTimelineEvent*>> LaneEvents(
+    const ScatterTimeline& timeline) {
+  std::map<int, std::vector<const ScatterTimelineEvent*>> lanes;
+  for (const ScatterTimelineEvent& e : timeline.events) {
+    lanes[e.lane].push_back(&e);
+  }
+  return lanes;
+}
+
+/// The event on `e`'s lane immediately before it, nullptr for the first.
+const ScatterTimelineEvent* LanePredecessor(
+    const std::map<int, std::vector<const ScatterTimelineEvent*>>& lanes,
+    const ScatterTimelineEvent* e) {
+  const auto it = lanes.find(e->lane);
+  if (it == lanes.end()) return nullptr;
+  const auto& lane = it->second;
+  for (size_t j = 0; j < lane.size(); ++j) {
+    if (lane[j] == e) return j > 0 ? lane[j - 1] : nullptr;
+  }
+  return nullptr;
+}
+
+/// Walks the slowest-lane chain backward from charged_ms to 0 and tiles
+/// it with segments. Emits chronologically (earliest first).
+void AppendScatterSegments(const ScatterTimeline& timeline,
+                           std::vector<CriticalSegment>* out) {
+  if (!timeline.active() || timeline.charged_ms <= kEps) return;
+  const auto lanes = LaneEvents(timeline);
+
+  // Terminal: the event whose effective end is the phase's charge
+  // (strict > keeps the lowest subplan_index on ties -- events arrive
+  // in subplan-index order).
+  const ScatterTimelineEvent* cur = nullptr;
+  for (const ScatterTimelineEvent& e : timeline.events) {
+    if (cur == nullptr || e.eff_end_rel > cur->eff_end_rel + kEps) cur = &e;
+  }
+
+  std::vector<CriticalSegment> rev;  // built back-to-front
+  double cursor = timeline.charged_ms;
+  while (cursor > kEps) {
+    if (cur == nullptr) {
+      // Nothing left on the chain: account the remainder as a stall so
+      // the tiling stays exact (never hit by today's executor).
+      rev.push_back(
+          MakeSegment(-1, "scatter stall", "stall", "", cursor, -1));
+      cursor = 0;
+      break;
+    }
+    const double seg_start = std::max(0.0, std::min(cur->eff_start_rel, cursor));
+    const double seg_end = cursor;
+    if (cur->hedge_won) {
+      // [seg_start, hs]: waiting out the hedge threshold on the primary;
+      // [hs, seg_end]: the winning replica submit.
+      const double hs =
+          std::min(std::max(cur->hedge_start_rel, seg_start), seg_end);
+      if (seg_end - hs > kEps) {
+        rev.push_back(MakeSegment(-1, "hedge @" + cur->hedge_source,
+                                  "scatter-wait", cur->hedge_source,
+                                  seg_end - hs, cur->subplan_index));
+      }
+      if (hs - seg_start > kEps) {
+        rev.push_back(MakeSegment(-1, "hedge threshold @" + cur->source,
+                                  "hedge-wait", cur->source, hs - seg_start,
+                                  cur->subplan_index));
+      }
+    } else if (seg_end - seg_start > kEps) {
+      rev.push_back(MakeSegment(-1, "submit @" + cur->source, "scatter-wait",
+                                cur->source, seg_end - seg_start,
+                                cur->subplan_index));
+    }
+    cursor = seg_start;
+    const ScatterTimelineEvent* pred = LanePredecessor(lanes, cur);
+    if (pred == nullptr && cursor > kEps) {
+      rev.push_back(MakeSegment(-1, "scatter stall", "stall", "", cursor,
+                                cur->subplan_index));
+      cursor = 0;
+    }
+    cur = pred;
+  }
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    out->push_back(std::move(*it));
+  }
+}
+
+/// Ids of the concurrent submit nodes in plan pre-order -- the j-th one
+/// corresponds to the j-th ScatterTimeline event (both are the plan's
+/// submit pre-order).
+std::vector<int> ConcurrentNodeIds(const PlanProfile& profile) {
+  std::vector<int> ids;
+  for (const NodeProfile& n : profile.nodes) {
+    if (n.measured && n.concurrent) ids.push_back(n.id);
+  }
+  return ids;
+}
+
+/// The per-query deadline clamp of the re-solved schedule.
+double ClampDeadline(double end, double deadline_ms) {
+  return deadline_ms > 0 ? std::min(end, deadline_ms) : end;
+}
+
+/// Re-solves the scatter phase's lane schedule under `scenario` and
+/// returns the phase's max-not-sum charge. Each lane replays its events
+/// serially with scenario-adjusted durations; the per-query deadline
+/// still clips every submit.
+double ResolveScatter(const ScatterTimeline& timeline,
+                      const PlanProfile& profile,
+                      const WhatIfScenario& sc) {
+  if (!timeline.active()) return 0;
+
+  int free_subplan = -1;
+  if (sc.kind == WhatIfScenario::Kind::kOperatorFree) {
+    const std::vector<int> ids = ConcurrentNodeIds(profile);
+    for (size_t j = 0; j < ids.size() && j < timeline.events.size(); ++j) {
+      if (ids[j] == sc.node_id) {
+        free_subplan = timeline.events[j].subplan_index;
+      }
+    }
+  }
+
+  double max_end = 0;
+  for (const auto& [lane, evs] : LaneEvents(timeline)) {
+    (void)lane;
+    double clock = evs.empty() ? 0 : std::max(0.0, evs.front()->eff_start_rel);
+    for (const ScatterTimelineEvent* e : evs) {
+      const double eff_dur = std::max(0.0, e->eff_end_rel - e->eff_start_rel);
+      double dur = eff_dur;
+      switch (sc.kind) {
+        case WhatIfScenario::Kind::kSourceSpeedup: {
+          if (e->hedge_won) {
+            // Threshold wait is unchanged; the winning replica's source
+            // share scales. A faster *primary* could win back instead:
+            // model that as the primary's whole interval scaled.
+            const double threshold =
+                std::max(0.0, e->hedge_start_rel - e->eff_start_rel);
+            double hedge_dur = std::max(0.0, eff_dur - threshold);
+            if (EqualsIgnoreCase(e->hedge_source, sc.source)) {
+              hedge_dur = std::max(
+                  0.0, hedge_dur - e->source_ms + e->source_ms / sc.factor);
+            }
+            dur = threshold + hedge_dur;
+            if (EqualsIgnoreCase(e->source, sc.source)) {
+              const double prim_dur =
+                  std::max(0.0, e->end_rel - e->start_rel) / sc.factor;
+              dur = std::min(dur, prim_dur);
+            }
+          } else if (EqualsIgnoreCase(e->source, sc.source) &&
+                     e->source_ms > 0) {
+            // Only the source-execution share speeds up; latency, byte
+            // shipping, and backoff stay.
+            dur = std::max(0.0,
+                           eff_dur - e->source_ms + e->source_ms / sc.factor);
+          }
+          break;
+        }
+        case WhatIfScenario::Kind::kDisableHedges:
+          if (e->hedge_won) {
+            // The primary would have run to its natural completion.
+            dur = std::max(0.0, e->end_rel - e->start_rel);
+          }
+          break;
+        case WhatIfScenario::Kind::kOperatorFree:
+          if (e->subplan_index == free_subplan) dur = 0;
+          break;
+      }
+      const double end = ClampDeadline(clock + dur, timeline.deadline_ms);
+      clock = end;
+      max_end = std::max(max_end, end);
+    }
+  }
+  return max_end;
+}
+
+/// Serial (non-scatter) share of the response time under `scenario`.
+double ResolveSerial(const PlanProfile& profile, const WhatIfScenario& sc) {
+  double serial = 0;
+  for (const NodeProfile& n : profile.nodes) {
+    if (!n.measured) continue;
+    double cpu = n.cpu_ms;
+    double wait = n.concurrent ? 0 : n.wait_ms;
+    switch (sc.kind) {
+      case WhatIfScenario::Kind::kSourceSpeedup:
+        if (wait > 0 &&
+            EqualsIgnoreCase(SourceFromLabel(n.label), sc.source) &&
+            n.source_ms > 0) {
+          wait = std::max(0.0, wait - n.source_ms + n.source_ms / sc.factor);
+        }
+        break;
+      case WhatIfScenario::Kind::kOperatorFree:
+        if (n.id == sc.node_id) {
+          cpu = 0;
+          wait = 0;
+        }
+        break;
+      case WhatIfScenario::Kind::kDisableHedges:
+        break;
+    }
+    serial += cpu + wait;
+  }
+  return serial;
+}
+
+}  // namespace
+
+std::string WhatIfScenario::ToString() const {
+  switch (kind) {
+    case Kind::kSourceSpeedup:
+      return StringPrintf("source '%s' %.3gx faster", source.c_str(), factor);
+    case Kind::kDisableHedges:
+      return "hedging disabled";
+    case Kind::kOperatorFree:
+      return StringPrintf("operator %s (node %d) free", node_label.c_str(),
+                          node_id);
+  }
+  return "?";
+}
+
+double CriticalPath::total_ms() const {
+  double sum = 0;
+  for (const CriticalSegment& s : segments) sum += s.ms;
+  return sum;
+}
+
+double CriticalPath::kind_ms(const std::string& kind) const {
+  double sum = 0;
+  for (const CriticalSegment& s : segments) {
+    if (s.kind == kind) sum += s.ms;
+  }
+  return sum;
+}
+
+const CriticalSegment* CriticalPath::dominant() const {
+  const CriticalSegment* best = nullptr;
+  for (const CriticalSegment& s : segments) {
+    if (best == nullptr || s.ms > best->ms + kEps) best = &s;
+  }
+  return best;
+}
+
+std::string CriticalPath::ToText() const {
+  std::string out = StringPrintf(
+      "critical path: %zu segment%s, %.3f ms (measured %.3f ms)\n",
+      segments.size(), segments.size() == 1 ? "" : "s", total_ms(),
+      measured_ms);
+  const double denom = measured_ms > kEps ? measured_ms : 1.0;
+  for (const CriticalSegment& s : segments) {
+    const std::string kind = "[" + s.kind + "]";
+    out += StringPrintf("  %-15s %12.3f ms  %5.1f%%  %s\n", kind.c_str(),
+                        s.ms, 100.0 * s.ms / denom, s.label.c_str());
+  }
+  if (!what_ifs.empty()) {
+    out += "what-if (predicted response time):\n";
+    for (const WhatIfResult& w : what_ifs) {
+      out += StringPrintf("  %-38s %12.3f ms  (%+.1f%%)\n",
+                          w.scenario.ToString().c_str(), w.predicted_ms,
+                          100.0 * (w.predicted_ms - w.baseline_ms) /
+                              (w.baseline_ms > kEps ? w.baseline_ms : 1.0));
+    }
+  }
+  return out;
+}
+
+std::string CriticalPath::ToJson() const {
+  std::string out = StringPrintf(
+      "{\"fingerprint\":\"%s\",\"measured_ms\":%.3f,\"scatter_ms\":%.3f,"
+      "\"segments\":[",
+      JsonEscape(fingerprint).c_str(), measured_ms, scatter_ms);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const CriticalSegment& s = segments[i];
+    out += StringPrintf(
+        "%s{\"node\":%d,\"label\":\"%s\",\"kind\":\"%s\",\"source\":\"%s\","
+        "\"ms\":%.3f,\"subplan\":%d}",
+        i == 0 ? "" : ",", s.node_id, JsonEscape(s.label).c_str(),
+        JsonEscape(s.kind).c_str(), JsonEscape(s.source).c_str(), s.ms,
+        s.subplan_index);
+  }
+  out += "],\"what_ifs\":[";
+  for (size_t i = 0; i < what_ifs.size(); ++i) {
+    const WhatIfResult& w = what_ifs[i];
+    out += StringPrintf(
+        "%s{\"scenario\":\"%s\",\"baseline_ms\":%.3f,\"predicted_ms\":%.3f,"
+        "\"delta_ms\":%.3f}",
+        i == 0 ? "" : ",", JsonEscape(w.scenario.ToString()).c_str(),
+        w.baseline_ms, w.predicted_ms, w.delta_ms());
+  }
+  out += "]}";
+  return out;
+}
+
+CriticalPath BuildCriticalPath(const PlanProfile& profile,
+                               const ScatterTimeline& timeline) {
+  CriticalPath cp;
+  cp.fingerprint = profile.fingerprint;
+  cp.measured_ms = profile.measured_ms;
+  cp.scatter_ms = profile.scatter_charged_ms;
+
+  // The concurrent phase first (chronological), ...
+  AppendScatterSegments(timeline, &cp.segments);
+
+  // ... then the serial decomposition in plan pre-order. Serial
+  // execution has no overlap, so every charge is on the critical path
+  // by definition; with the scatter tiling above this reproduces the
+  // profiler's accounting identity exactly.
+  for (const NodeProfile& n : profile.nodes) {
+    if (!n.measured) continue;
+    if (std::abs(n.cpu_ms) > kEps) {
+      cp.segments.push_back(
+          MakeSegment(n.id, n.label, "cpu", "", n.cpu_ms, -1));
+    }
+    if (!n.concurrent && std::abs(n.wait_ms) > kEps) {
+      cp.segments.push_back(MakeSegment(n.id, n.label, "wait",
+                                        SourceFromLabel(n.label), n.wait_ms,
+                                        -1));
+    }
+  }
+  return cp;
+}
+
+WhatIfResult EvaluateWhatIf(const PlanProfile& profile,
+                            const ScatterTimeline& timeline,
+                            const WhatIfScenario& scenario) {
+  WhatIfResult r;
+  r.scenario = scenario;
+  // Evaluate the identity change through the same model so deltas are
+  // self-consistent even if the model ever diverged from the schedule.
+  WhatIfScenario identity;
+  identity.kind = WhatIfScenario::Kind::kSourceSpeedup;
+  identity.factor = 1.0;  // no source matches "" either
+  r.baseline_ms =
+      ResolveSerial(profile, identity) + ResolveScatter(timeline, profile,
+                                                        identity);
+  r.predicted_ms = ResolveSerial(profile, scenario) +
+                   ResolveScatter(timeline, profile, scenario);
+  return r;
+}
+
+std::vector<WhatIfResult> RankWhatIfs(const PlanProfile& profile,
+                                      const ScatterTimeline& timeline,
+                                      size_t top_k) {
+  std::vector<WhatIfScenario> scenarios;
+
+  // Every involved source, 2x faster. std::set iterates in name order.
+  std::set<std::string> sources;
+  for (const NodeProfile& n : profile.nodes) {
+    if (!n.measured) continue;
+    const std::string s = SourceFromLabel(n.label);
+    if (!s.empty()) sources.insert(ToLower(s));
+  }
+  for (const ScatterTimelineEvent& e : timeline.events) {
+    sources.insert(ToLower(e.source));
+    if (e.hedge) sources.insert(ToLower(e.hedge_source));
+  }
+  for (const std::string& s : sources) {
+    WhatIfScenario sc;
+    sc.kind = WhatIfScenario::Kind::kSourceSpeedup;
+    sc.source = s;
+    sc.factor = 2.0;
+    scenarios.push_back(std::move(sc));
+  }
+
+  for (const ScatterTimelineEvent& e : timeline.events) {
+    if (e.hedge_won) {
+      WhatIfScenario sc;
+      sc.kind = WhatIfScenario::Kind::kDisableHedges;
+      scenarios.push_back(std::move(sc));
+      break;
+    }
+  }
+
+  // The three hottest operators by self time, each made free.
+  std::vector<const NodeProfile*> hot;
+  for (const NodeProfile& n : profile.nodes) {
+    if (n.measured && n.self_ms() > kEps) hot.push_back(&n);
+  }
+  std::stable_sort(hot.begin(), hot.end(),
+                   [](const NodeProfile* a, const NodeProfile* b) {
+                     if (a->self_ms() != b->self_ms()) {
+                       return a->self_ms() > b->self_ms();
+                     }
+                     return a->id < b->id;
+                   });
+  for (size_t i = 0; i < hot.size() && i < 3; ++i) {
+    WhatIfScenario sc;
+    sc.kind = WhatIfScenario::Kind::kOperatorFree;
+    sc.node_id = hot[i]->id;
+    sc.node_label = hot[i]->label;
+    scenarios.push_back(std::move(sc));
+  }
+
+  std::vector<WhatIfResult> results;
+  results.reserve(scenarios.size());
+  for (const WhatIfScenario& sc : scenarios) {
+    results.push_back(EvaluateWhatIf(profile, timeline, sc));
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const WhatIfResult& a, const WhatIfResult& b) {
+                     if (a.delta_ms() != b.delta_ms()) {
+                       return a.delta_ms() > b.delta_ms();
+                     }
+                     return a.scenario.ToString() < b.scenario.ToString();
+                   });
+  if (results.size() > top_k) results.resize(top_k);
+  return results;
+}
+
+void HighlightCriticalPath(const CriticalPath& path,
+                           const PlanProfile& profile,
+                           tracing::Trace* trace) {
+  if (trace == nullptr) return;
+
+  // Map pre-order plan-node ids to their "plan"-category spans: the
+  // executor opens one span per evaluated node in pre-order DFS order,
+  // so the k-th plan span is the k-th measured node. Scatter segments
+  // match submit/hedge spans by their subplan_index arg.
+  std::vector<int> plan_spans;
+  for (const tracing::Span& s : trace->spans()) {
+    if (s.category == "plan") plan_spans.push_back(s.id);
+  }
+
+  struct Mark {
+    std::string kind;
+    double ms = 0;
+  };
+  std::map<int, Mark> marks;  // span id -> annotation
+
+  auto mark = [&marks](int span_id, const std::string& kind, double ms) {
+    Mark& m = marks[span_id];
+    if (ms > m.ms) m.kind = kind;
+    m.ms += ms;
+  };
+
+  // Scatter segments match their submit/hedge span by subplan_index arg.
+  for (const CriticalSegment& seg : path.segments) {
+    if (seg.subplan_index < 0 ||
+        (seg.kind != "scatter-wait" && seg.kind != "hedge-wait")) {
+      continue;
+    }
+    const bool want_hedge = seg.label.rfind("hedge @", 0) == 0;
+    const std::string want_category = want_hedge ? "hedge" : "submit";
+    const std::string want_index = StringPrintf("%d", seg.subplan_index);
+    for (const tracing::Span& s : trace->spans()) {
+      if (s.category != want_category) continue;
+      for (const auto& [key, value] : s.args) {
+        if (key == "subplan_index" && value == want_index) {
+          mark(s.id, seg.kind, seg.ms);
+          break;
+        }
+      }
+    }
+  }
+
+  // Serial segments: the k-th measured profile node (pre-order) is the
+  // k-th plan span in creation order -- the executor opens one span per
+  // node it evaluates, in pre-order DFS.
+  std::map<int, size_t> node_to_span;  // node_id -> plan span index
+  size_t next = 0;
+  for (const NodeProfile& n : profile.nodes) {
+    if (n.measured) node_to_span[n.id] = next++;
+  }
+  for (const CriticalSegment& seg : path.segments) {
+    if (seg.node_id < 0) continue;
+    const auto it = node_to_span.find(seg.node_id);
+    if (it == node_to_span.end() || it->second >= plan_spans.size()) continue;
+    mark(plan_spans[it->second], seg.kind, seg.ms);
+  }
+
+  for (const auto& [span_id, m] : marks) {
+    trace->AddArg(span_id, "critical", m.kind);
+    trace->AddArg(span_id, "critical_ms", m.ms);
+  }
+}
+
+void CriticalPathRegistry::Record(const CriticalPath& path) {
+  ++total_queries_;
+  total_ms_ += path.total_ms();
+
+  PlanAgg& plan = plans_[path.fingerprint];
+  ++plan.queries;
+  plan.critical_ms += path.total_ms();
+
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const CriticalSegment& seg : path.segments) {
+    const auto key = std::make_pair(seg.subject(), seg.kind);
+    BlameAgg& agg = blame_[key];
+    agg.ms += seg.ms;
+    ++agg.segments;
+    if (seen.insert(key).second) ++agg.queries;
+  }
+
+  for (const WhatIfResult& w : path.what_ifs) {
+    auto& [delta, queries] = suggestions_[w.scenario.ToString()];
+    delta += w.delta_ms();
+    ++queries;
+  }
+}
+
+std::vector<CriticalPathRegistry::Bottleneck>
+CriticalPathRegistry::TopBottlenecks(size_t top_k) const {
+  std::vector<Bottleneck> out;
+  out.reserve(blame_.size());
+  for (const auto& [key, agg] : blame_) {
+    Bottleneck b;
+    b.subject = key.first;
+    b.kind = key.second;
+    b.ms = agg.ms;
+    b.segments = agg.segments;
+    b.queries = agg.queries;
+    b.share = total_ms_ > kEps ? agg.ms / total_ms_ : 0;
+    out.push_back(std::move(b));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Bottleneck& a, const Bottleneck& b) {
+                     if (a.ms != b.ms) return a.ms > b.ms;
+                     if (a.subject != b.subject) return a.subject < b.subject;
+                     return a.kind < b.kind;
+                   });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+std::vector<CriticalPathRegistry::Suggestion>
+CriticalPathRegistry::TopSuggestions(size_t top_k) const {
+  std::vector<Suggestion> out;
+  out.reserve(suggestions_.size());
+  for (const auto& [description, agg] : suggestions_) {
+    Suggestion s;
+    s.description = description;
+    s.predicted_delta_ms = agg.first;
+    s.queries = agg.second;
+    out.push_back(std::move(s));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Suggestion& a, const Suggestion& b) {
+                     if (a.predicted_delta_ms != b.predicted_delta_ms) {
+                       return a.predicted_delta_ms > b.predicted_delta_ms;
+                     }
+                     return a.description < b.description;
+                   });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+std::string CriticalPathRegistry::ToText(size_t top_k) const {
+  std::string out = StringPrintf(
+      "critical paths: %lld quer%s, %zu plan shape%s, %.3f ms total\n",
+      static_cast<long long>(total_queries_),
+      total_queries_ == 1 ? "y" : "ies", plans_.size(),
+      plans_.size() == 1 ? "" : "s", total_ms_);
+  out += "top bottlenecks (blame share of aggregated critical-path time):\n";
+  const auto bottlenecks = TopBottlenecks(top_k);
+  if (bottlenecks.empty()) out += "  (none)\n";
+  for (const Bottleneck& b : bottlenecks) {
+    const std::string kind = "[" + b.kind + "]";
+    out += StringPrintf(
+        "  %-15s %12.3f ms  %5.1f%%  %s  (%lld quer%s)\n", kind.c_str(),
+        b.ms, 100.0 * b.share, b.subject.c_str(),
+        static_cast<long long>(b.queries), b.queries == 1 ? "y" : "ies");
+  }
+  const auto suggestions = TopSuggestions(top_k);
+  if (!suggestions.empty()) {
+    out += "what-if suggestions (by predicted total saving):\n";
+    for (const Suggestion& s : suggestions) {
+      out += StringPrintf("  %-38s %12.3f ms saved  (%lld quer%s)\n",
+                          s.description.c_str(), s.predicted_delta_ms,
+                          static_cast<long long>(s.queries),
+                          s.queries == 1 ? "y" : "ies");
+    }
+  }
+  return out;
+}
+
+void RegisterCritpathMetrics(metrics::Registry* registry) {
+  if (registry == nullptr) return;
+  registry->counter("disco.critpath.queries");
+  registry->counter("disco.critpath.segments");
+  registry->histogram("disco.critpath.cpu_ms");
+  registry->histogram("disco.critpath.wait_ms");
+  registry->histogram("disco.critpath.scatter_ms");
+  registry->histogram("disco.critpath.dominant_share");
+}
+
+void RecordCritpathMetrics(const CriticalPath& path,
+                           metrics::Registry* registry) {
+  if (registry == nullptr) return;
+  registry->counter("disco.critpath.queries")->Increment();
+  registry->counter("disco.critpath.segments")
+      ->Increment(static_cast<int64_t>(path.segments.size()));
+  registry->histogram("disco.critpath.cpu_ms")->Record(path.kind_ms("cpu"));
+  registry->histogram("disco.critpath.wait_ms")->Record(path.kind_ms("wait"));
+  registry->histogram("disco.critpath.scatter_ms")
+      ->Record(path.kind_ms("scatter-wait") + path.kind_ms("hedge-wait") +
+               path.kind_ms("stall"));
+  const CriticalSegment* top = path.dominant();
+  if (top != nullptr && path.measured_ms > kEps) {
+    registry->histogram("disco.critpath.dominant_share")
+        ->Record(top->ms / path.measured_ms);
+  }
+}
+
+}  // namespace mediator
+}  // namespace disco

@@ -76,6 +76,7 @@ Result<ExecResult> MediatorExecutor::Execute(const Operator& plan) {
   cpu_ms_ = 0;
   wait_ms_ = 0;
   scatter_charged_ms_ = 0;
+  scatter_timeline_ = ScatterTimeline{};
   rows_emitted_ = 0;
   subqueries_.clear();
   warnings_.clear();
@@ -1251,6 +1252,43 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
     }
     if (!e.status.ok() && e.note_failed) ++failures;
 
+    const char* outcome = e.status.ok()
+                              ? (e.hedge_won ? "hedge-won" : "ok")
+                              : e.cancelled
+                                    ? "cancelled"
+                                    : e.expired ? "deadline-expired"
+                                                : e.note_failed
+                                                      ? "unavailable"
+                                                      : "error";
+
+    // Lay the submit on the exported concurrent timeline (the input to
+    // critical-path analysis). Relative clock, subplan-index order --
+    // pool-size invariant like everything in this loop.
+    {
+      ScatterTimelineEvent tev;
+      tev.subplan_index = submits[i].index;
+      tev.source = groups[static_cast<size_t>(gi)].key;
+      tev.lane = 1 + gi;
+      tev.start_rel = prim.start_rel_ms;
+      tev.end_rel = prim.end_rel_ms;
+      tev.eff_start_rel = e.start_rel;
+      tev.eff_end_rel = e.end_rel;
+      tev.source_ms = e.source_ms;
+      tev.attempts = e.attempts;
+      tev.outcome = outcome;
+      if (h >= 0) {
+        const TaskOutcome& ho = hedge_outcomes[static_cast<size_t>(h)];
+        const HedgeTask& task = hedges[static_cast<size_t>(h)];
+        const double hedge_end = std::min(ho.end_rel_ms, hedge_cut[i]);
+        tev.hedge = true;
+        tev.hedge_source = task.source;
+        tev.hedge_start_rel = std::min(ho.start_rel_ms, hedge_end);
+        tev.hedge_end_rel = hedge_end;
+        tev.hedge_won = e.hedge_won;
+      }
+      scatter_timeline_.events.push_back(std::move(tev));
+    }
+
     if (trace_ != nullptr) {
       const Group& g = groups[static_cast<size_t>(gi)];
       int sid = trace_->AddCompleteSpan(
@@ -1258,14 +1296,6 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
           trace_start_ms + e.end_rel, /*lane=*/1 + gi);
       trace_->AddArg(sid, "subplan_index", int64_t{submits[i].index});
       trace_->AddArg(sid, "attempts", int64_t{e.attempts});
-      const char* outcome = e.status.ok()
-                                ? (e.hedge_won ? "hedge-won" : "ok")
-                                : e.cancelled
-                                      ? "cancelled"
-                                      : e.expired ? "deadline-expired"
-                                                  : e.note_failed
-                                                        ? "unavailable"
-                                                        : "error";
       trace_->AddArg(sid, "outcome", outcome);
       if (e.status.ok() && e.answer != nullptr) {
         trace_->AddArg(
@@ -1364,6 +1394,8 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
   // (PlanProfile::scatter_charged_ms keeps the accounting honest).
   ChargeWait(total_rel);
   scatter_charged_ms_ += total_rel;
+  scatter_timeline_.charged_ms = total_rel;
+  scatter_timeline_.deadline_ms = fed.deadline_ms > 0 ? fed.deadline_ms : 0;
 
   // Replay health events into the shared registry in global timestamp
   // order (stable on ties: subplan-index order), so breaker transitions

@@ -120,6 +120,44 @@ struct ExecResult {
   std::vector<ExecWarning> warnings;  ///< degradations survived
 };
 
+/// One scatter-phase submit on the concurrent timeline, exported for
+/// critical-path analysis (mediator/critical_path.h). Times are ms on
+/// the scatter phase's relative clock (0 = phase start). The *original*
+/// interval is the primary submit as it ran; the *effective* interval is
+/// what the query actually waited for after hedge resolution, deadline
+/// clipping, and cancellation -- the phase's max-not-sum charge equals
+/// the max effective end across events.
+struct ScatterTimelineEvent {
+  int subplan_index = -1;    ///< pre-order index of the submit node
+  std::string source;        ///< primary source group key (lower-cased)
+  int lane = 0;              ///< concurrency lane (1 + group index)
+  double start_rel = 0;      ///< primary submit, original interval
+  double end_rel = 0;
+  double eff_start_rel = 0;  ///< effective interval (see above)
+  double eff_end_rel = 0;
+  double source_ms = 0;      ///< winner's execution time at the source
+  int attempts = 0;          ///< primary + hedge attempts
+  /// Same taxonomy as the trace span arg: ok, hedge-won, cancelled,
+  /// deadline-expired, unavailable, error.
+  std::string outcome;
+  bool hedge = false;        ///< a hedged backup submit was launched
+  std::string hedge_source;  ///< replica the hedge went to
+  double hedge_start_rel = 0;
+  double hedge_end_rel = 0;
+  bool hedge_won = false;
+};
+
+/// The whole scatter phase on its concurrent clock -- everything the
+/// critical-path analyzer needs to tile [0, charged_ms] exactly.
+/// Depends only on the plan's submit order, never on the pool size.
+struct ScatterTimeline {
+  double charged_ms = 0;   ///< the single max-not-sum ChargeWait
+  double deadline_ms = 0;  ///< per-query deadline (0 = none)
+  std::vector<ScatterTimelineEvent> events;  ///< subplan-index order
+
+  bool active() const { return !events.empty(); }
+};
+
 class MediatorExecutor {
  public:
   /// `catalog` supplies collection schemas for bind-join probing; it may
@@ -178,6 +216,13 @@ class MediatorExecutor {
   /// Execute() (0 when the federation layer was inactive). Included in
   /// wait_ms().
   double scatter_charged_ms() const { return scatter_charged_ms_; }
+
+  /// The last Execute()'s scatter phase laid out on its concurrent
+  /// clock (empty when the federation layer was inactive). Input to
+  /// BuildCriticalPath (mediator/critical_path.h).
+  const ScatterTimeline& scatter_timeline() const {
+    return scatter_timeline_;
+  }
 
   /// Sources whose submits exhausted all attempts during the last
   /// Execute() (lower-cased, in first-failure order).
@@ -266,6 +311,7 @@ class MediatorExecutor {
   double cpu_ms_ = 0;
   double wait_ms_ = 0;
   double scatter_charged_ms_ = 0;
+  ScatterTimeline scatter_timeline_;
   /// Cumulative rows produced by mediator-side nodes (trace counters).
   int64_t rows_emitted_ = 0;
   std::vector<SubqueryRecord> subqueries_;

@@ -129,6 +129,10 @@ std::string RenderExplainAnalyze(const ExplainAnalyzeReport& report) {
     out += "\n" + report.profile->WaterfallText();
   }
 
+  if (report.critical_path != nullptr) {
+    out += "\n" + report.critical_path->ToText();
+  }
+
   out += "\n" + report.scoreboard;
   return out;
 }

@@ -17,6 +17,7 @@
 
 #include "algebra/operator.h"
 #include "costmodel/estimator.h"
+#include "mediator/critical_path.h"
 #include "mediator/exec.h"
 #include "mediator/profiler.h"
 
@@ -36,6 +37,9 @@ struct ExplainAnalyzeReport {
   /// Execution profile of the run (may be null when profiling is off);
   /// appends the cardinality-waterfall block to the rendering.
   const PlanProfile* profile = nullptr;
+  /// Critical path of the run (may be null when analysis is off);
+  /// appends the critical-path + what-if block to the rendering.
+  const CriticalPath* critical_path = nullptr;
   /// Cumulative AccuracyTracker::FormatScoreboard() output.
   std::string scoreboard;
 };

@@ -46,6 +46,7 @@ Mediator::Mediator(MediatorOptions options)
   // Pre-create the per-operator execution metrics family so metric
   // expositions list the whole catalog before the first query runs.
   RegisterOperatorMetrics(&metrics_);
+  RegisterCritpathMetrics(&metrics_);
   // Observability: breaker state changes become counters and, during an
   // execution, instant trace events.
   health_.SetTransitionListener([this](const std::string& source,
@@ -266,6 +267,7 @@ Result<std::string> Mediator::ExplainAnalyze(const std::string& sql) {
   report.measured_total_ms = executed.measured_ms;
   report.warnings = &executed.warnings;
   report.profile = executed.profile.get();
+  report.critical_path = executed.critical_path.get();
   report.scoreboard = accuracy_.FormatScoreboard();
   return RenderExplainAnalyze(report);
 }
@@ -352,6 +354,17 @@ void Mediator::RecordQueryLog(const std::string& sql, double start_ms,
           static_cast<int>(result->profile->nodes.size());
       entry.profile_cpu_ms = result->profile->total_cpu_ms();
       entry.profile_wait_ms = result->profile->total_wait_ms();
+    }
+    if (result->critical_path != nullptr) {
+      const CriticalSegment* top = result->critical_path->dominant();
+      if (top != nullptr) {
+        entry.critpath_subject = top->subject();
+        entry.critpath_kind = top->kind;
+        entry.critpath_ms = top->ms;
+        entry.critpath_share = result->measured_ms > 0
+                                   ? top->ms / result->measured_ms
+                                   : 0;
+      }
     }
     for (const ExecWarning& w : result->warnings) {
       entry.warnings.push_back(w.ToString());
@@ -631,6 +644,19 @@ Result<QueryResult> Mediator::ExecuteInternal(
         BuildPlanProfile(plan, *node_measures, raw->measured_ms,
                          exec.scatter_charged_ms(), PlanFingerprint(plan)));
     profiles_.Record(*profile);
+    if (options_.critical_path_analysis) {
+      // Critical path + ranked what-ifs: segment durations sum to
+      // measured_ms exactly, byte-identical across pool sizes (like the
+      // profile it derives from).
+      const ScatterTimeline& timeline = exec.scatter_timeline();
+      auto path = std::make_shared<CriticalPath>(
+          BuildCriticalPath(*profile, timeline));
+      path->what_ifs = RankWhatIfs(*profile, timeline);
+      critpaths_.Record(*path);
+      RecordCritpathMetrics(*path, &metrics_);
+      HighlightCriticalPath(*path, *profile, trace);
+      out.critical_path = std::move(path);
+    }
     out.profile = std::move(profile);
   }
   return out;
@@ -716,6 +742,31 @@ MonitorSnapshot Mediator::MonitorReport(int top_k) const {
   }
   for (const ProfileRegistry::OperatorStat& s : profiles_.WorstDrops(k)) {
     snap.worst_drops.push_back(operator_row(s));
+  }
+
+  // Critical-path panels: cumulative blame shares and what-if savings,
+  // aggregated across every analyzed query.
+  snap.critpath_queries = critpaths_.total_queries();
+  snap.critpath_plans = critpaths_.plan_count();
+  snap.critpath_total_ms = critpaths_.total_ms();
+  for (const CriticalPathRegistry::Bottleneck& b :
+       critpaths_.TopBottlenecks(k)) {
+    MonitorBlameRow row;
+    row.subject = b.subject;
+    row.kind = b.kind;
+    row.ms = b.ms;
+    row.segments = b.segments;
+    row.queries = b.queries;
+    row.share = b.share;
+    snap.top_bottlenecks.push_back(std::move(row));
+  }
+  for (const CriticalPathRegistry::Suggestion& s :
+       critpaths_.TopSuggestions(k)) {
+    MonitorSuggestionRow row;
+    row.description = s.description;
+    row.predicted_delta_ms = s.predicted_delta_ms;
+    row.queries = s.queries;
+    snap.top_suggestions.push_back(std::move(row));
   }
 
   // Worst drift cells first: highest windowed q-error, breached cells

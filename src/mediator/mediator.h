@@ -29,6 +29,7 @@
 #include "costmodel/generic_model.h"
 #include "costmodel/history.h"
 #include "costmodel/registry.h"
+#include "mediator/critical_path.h"
 #include "mediator/exec.h"
 #include "mediator/monitor_report.h"
 #include "mediator/plan_cache.h"
@@ -74,6 +75,12 @@ struct MediatorOptions {
   /// driven like traces, so profiles are byte-identical across runs and
   /// federation pool sizes (docs/OBSERVABILITY.md).
   bool profile_execution = true;
+  /// Extract the per-query critical path (QueryResult::critical_path)
+  /// from the profile + scatter timeline, rank what-if scenarios, and
+  /// aggregate blame shares in the CriticalPathRegistry. Requires
+  /// profile_execution; byte-identical across pool sizes like profiles
+  /// (docs/OBSERVABILITY.md, "Critical-path analysis").
+  bool critical_path_analysis = true;
   /// Fast planning path (docs/PERFORMANCE.md): parameterized plan cache
   /// capacity (0 disables caching)...
   size_t plan_cache_capacity = 64;
@@ -109,6 +116,10 @@ struct QueryResult {
   /// Per-operator CPU/wait profile of the executed plan (null when
   /// MediatorOptions::profile_execution is off or execution failed).
   std::shared_ptr<const PlanProfile> profile;
+  /// The query's critical path with ranked what-if suggestions (null
+  /// when critical_path_analysis or profiling is off, or execution
+  /// failed). Segment durations sum to measured_ms exactly.
+  std::shared_ptr<const CriticalPath> critical_path;
 };
 
 class Mediator {
@@ -187,6 +198,9 @@ class Mediator {
   /// Per-operator execution profiles aggregated across queries, keyed
   /// by plan fingerprint (docs/OBSERVABILITY.md, "Execution profiling").
   const ProfileRegistry& profiles() const { return profiles_; }
+  /// Critical-path blame shares and what-if suggestions aggregated
+  /// across queries (docs/OBSERVABILITY.md, "Critical-path analysis").
+  const CriticalPathRegistry& critical_paths() const { return critpaths_; }
   /// Parameterized plan cache consulted by Query()
   /// (docs/PERFORMANCE.md); empty when plan_cache_capacity is 0.
   PlanCache* plan_cache() { return &plan_cache_; }
@@ -273,6 +287,7 @@ class Mediator {
   costmodel::DriftMonitor drift_;
   QueryLog query_log_;
   ProfileRegistry profiles_;
+  CriticalPathRegistry critpaths_;
   /// Per-submit estimate-vs-measurement details of the most recent
   /// ExecuteInternal, consumed by RecordQueryLog.
   std::vector<QueryLogSubmit> last_submits_;

@@ -98,6 +98,32 @@ std::string MonitorSnapshot::ToText() const {
     }
   }
 
+  out += StringPrintf("critical paths: %lld quer%s over %zu plan shape%s, "
+                      "%.3f ms on the path\n",
+                      static_cast<long long>(critpath_queries),
+                      critpath_queries == 1 ? "y" : "ies", critpath_plans,
+                      critpath_plans == 1 ? "" : "s", critpath_total_ms);
+  if (!top_bottlenecks.empty()) {
+    out += "  top bottlenecks (summed critical-path time):\n";
+    out += StringPrintf("  %-28s %-13s %10s %6s %8s %7s\n", "subject", "kind",
+                        "ms", "segs", "queries", "share");
+    for (const MonitorBlameRow& b : top_bottlenecks) {
+      out += StringPrintf("  %-28s %-13s %10.3f %6lld %8lld %6.1f%%\n",
+                          b.subject.c_str(), b.kind.c_str(), b.ms,
+                          static_cast<long long>(b.segments),
+                          static_cast<long long>(b.queries), 100.0 * b.share);
+    }
+  }
+  if (!top_suggestions.empty()) {
+    out += "  what-if suggestions (summed predicted savings):\n";
+    for (const MonitorSuggestionRow& s : top_suggestions) {
+      out += StringPrintf("  %-44s saves %10.3f ms over %lld quer%s\n",
+                          s.description.c_str(), s.predicted_delta_ms,
+                          static_cast<long long>(s.queries),
+                          s.queries == 1 ? "y" : "ies");
+    }
+  }
+
   out += StringPrintf("drift: %lld event%s raised\n",
                       static_cast<long long>(drift_events),
                       drift_events == 1 ? "" : "s");
@@ -185,6 +211,31 @@ std::string MonitorSnapshot::ToJson() const {
   out += "],\"worst_drops\":[";
   for (size_t i = 0; i < worst_drops.size(); ++i) {
     out += (i == 0 ? "" : ",") + operator_row(worst_drops[i]);
+  }
+  out += "]},";
+  out += StringPrintf(
+      "\"critical_paths\":{\"queries\":%lld,\"plans\":%zu,"
+      "\"total_ms\":%.3f,\"top_bottlenecks\":[",
+      static_cast<long long>(critpath_queries), critpath_plans,
+      critpath_total_ms);
+  for (size_t i = 0; i < top_bottlenecks.size(); ++i) {
+    const MonitorBlameRow& b = top_bottlenecks[i];
+    out += StringPrintf(
+        "%s{\"subject\":\"%s\",\"kind\":\"%s\",\"ms\":%.3f,"
+        "\"segments\":%lld,\"queries\":%lld,\"share\":%.4f}",
+        i == 0 ? "" : ",", JsonEscape(b.subject).c_str(),
+        JsonEscape(b.kind).c_str(), b.ms,
+        static_cast<long long>(b.segments),
+        static_cast<long long>(b.queries), b.share);
+  }
+  out += "],\"top_suggestions\":[";
+  for (size_t i = 0; i < top_suggestions.size(); ++i) {
+    const MonitorSuggestionRow& s = top_suggestions[i];
+    out += StringPrintf(
+        "%s{\"description\":\"%s\",\"predicted_delta_ms\":%.3f,"
+        "\"queries\":%lld}",
+        i == 0 ? "" : ",", JsonEscape(s.description).c_str(),
+        s.predicted_delta_ms, static_cast<long long>(s.queries));
   }
   out += "]},";
   out += StringPrintf("\"drift_events\":%lld,\"worst_cells\":[",

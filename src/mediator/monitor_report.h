@@ -44,6 +44,25 @@ struct MonitorOperatorRow {
   double drop_fraction = 0;  ///< (rows_in - rows_out) / rows_in
 };
 
+/// One aggregated blame subject from the critical-path registry: a
+/// source or operator label plus the wait-class kind it was blamed
+/// under, with its summed critical-path milliseconds.
+struct MonitorBlameRow {
+  std::string subject;  ///< source name or operator label
+  std::string kind;     ///< cpu | wait | scatter-wait | hedge-wait | stall
+  double ms = 0;        ///< summed critical-path ms across queries
+  int64_t segments = 0;
+  int64_t queries = 0;  ///< queries where this subject appeared
+  double share = 0;     ///< ms / registry total critical-path ms
+};
+
+/// One aggregated what-if suggestion from the critical-path registry.
+struct MonitorSuggestionRow {
+  std::string description;       ///< WhatIfScenario::ToString()
+  double predicted_delta_ms = 0; ///< summed predicted savings
+  int64_t queries = 0;           ///< queries that ranked this scenario
+};
+
 /// One (source, operator, rule scope) drift cell, worst first.
 struct MonitorDriftRow {
   std::string source;
@@ -112,6 +131,16 @@ struct MonitorSnapshot {
   std::vector<MonitorOperatorRow> hottest_operators;
   /// Top-K operators by rows dropped (rows_in - rows_out), worst first.
   std::vector<MonitorOperatorRow> worst_drops;
+
+  // Critical-path analysis (docs/OBSERVABILITY.md, "Critical-path
+  // analysis").
+  int64_t critpath_queries = 0;  ///< queries with a critical path
+  size_t critpath_plans = 0;     ///< distinct fingerprints analyzed
+  double critpath_total_ms = 0;  ///< summed critical-path ms
+  /// Top-K blame subjects by summed critical-path ms, worst first.
+  std::vector<MonitorBlameRow> top_bottlenecks;
+  /// Top-K what-if scenarios by summed predicted savings, best first.
+  std::vector<MonitorSuggestionRow> top_suggestions;
 
   // Cost-model drift.
   int64_t drift_events = 0;

@@ -35,11 +35,20 @@ std::string QueryLogEntry::ToJson() const {
         "\"profile\":{\"nodes\":%d,\"cpu_ms\":%.3f,\"wait_ms\":%.3f},",
         profile_nodes, profile_cpu_ms, profile_wait_ms);
   }
-  out += StringPrintf(
-      "\"sql\":\"%s\",\"plan_fingerprint\":\"%s\",\"error\":\"%s\","
-      "\"warnings\":[",
-      JsonEscape(sql).c_str(), JsonEscape(plan_fingerprint).c_str(),
-      JsonEscape(error).c_str());
+  out += StringPrintf("\"sql\":\"%s\",\"plan_fingerprint\":\"%s\",",
+                      JsonEscape(sql).c_str(),
+                      JsonEscape(plan_fingerprint).c_str());
+  // After "sql" like every free-form string: the subject can be an
+  // operator label rendered from the query text.
+  if (!critpath_subject.empty()) {
+    out += StringPrintf(
+        "\"critpath\":{\"ms\":%.3f,\"share\":%.3f,\"subject\":\"%s\","
+        "\"kind\":\"%s\"},",
+        critpath_ms, critpath_share, JsonEscape(critpath_subject).c_str(),
+        JsonEscape(critpath_kind).c_str());
+  }
+  out += StringPrintf("\"error\":\"%s\",\"warnings\":[",
+                      JsonEscape(error).c_str());
   for (size_t i = 0; i < warnings.size(); ++i) {
     out += StringPrintf("%s\"%s\"", i == 0 ? "" : ",",
                         JsonEscape(warnings[i]).c_str());

@@ -53,6 +53,14 @@ struct QueryLogEntry {
   int profile_nodes = 0;
   double profile_cpu_ms = 0;
   double profile_wait_ms = 0;
+  /// Critical-path roll-up (empty subject when analysis was off): the
+  /// dominant segment's blame subject (source or operator label), its
+  /// wait-class kind, its ms, and its share of the measured time. The
+  /// full segment list lives in QueryResult::critical_path, not the log.
+  std::string critpath_subject;
+  std::string critpath_kind;
+  double critpath_ms = 0;
+  double critpath_share = 0;
   /// Rendered ExecWarning lines: retry recoveries, dropped branches,
   /// replica rerouting, breaker states.
   std::vector<std::string> warnings;

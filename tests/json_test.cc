@@ -50,6 +50,38 @@ TEST(JsonTest, FlattenNumbersUsesDottedPaths) {
   EXPECT_DOUBLE_EQ(flat.at("flag"), 1.0);
 }
 
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  // One code point per UTF-8 width: 1, 2, 3 bytes, then a surrogate
+  // pair combining into a 4-byte supplementary character.
+  EXPECT_EQ((*ParseJson("\"\\u0024\""))->string_value, "$");
+  EXPECT_EQ((*ParseJson("\"\\u00e9\""))->string_value, "\xC3\xA9");  // é
+  EXPECT_EQ((*ParseJson("\"\\u20AC\""))->string_value,
+            "\xE2\x82\xAC");  // €
+  EXPECT_EQ((*ParseJson("\"\\uD83D\\uDE00\""))->string_value,
+            "\xF0\x9F\x98\x80");  // U+1F600
+  EXPECT_EQ((*ParseJson("\"\\uD834\\uDD1E\""))->string_value,
+            "\xF0\x9D\x84\x9E");  // U+1D11E
+  // Escaped and mixed content round-trips in place.
+  EXPECT_EQ((*ParseJson("\"a\\u00E9b\\uD83D\\uDE00c\""))->string_value,
+            "a\xC3\xA9"
+            "b\xF0\x9F\x98\x80"
+            "c");
+  // Raw UTF-8 passthrough still works alongside the escapes.
+  EXPECT_EQ((*ParseJson("\"\xE2\x82\xAC = \\u20AC\""))->string_value,
+            "\xE2\x82\xAC = \xE2\x82\xAC");
+}
+
+TEST(JsonTest, RejectsBadUnicodeEscapes) {
+  EXPECT_FALSE(ParseJson("\"\\u12\"").ok());        // truncated
+  EXPECT_FALSE(ParseJson("\"\\u12G4\"").ok());      // bad hex digit
+  EXPECT_FALSE(ParseJson("\"\\uD800\"").ok());      // unpaired high
+  EXPECT_FALSE(ParseJson("\"\\uD800x\"").ok());     // high then text
+  EXPECT_FALSE(ParseJson("\"\\uD800\\n\"").ok());   // high then escape
+  EXPECT_FALSE(ParseJson("\"\\uD800\\u0041\"").ok());  // bad low half
+  EXPECT_FALSE(ParseJson("\"\\uDC00\"").ok());      // lone low
+  EXPECT_FALSE(ParseJson("\"\\uD83D\\uD83D\"").ok());  // high + high
+}
+
 TEST(JsonTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseJson("").ok());
   EXPECT_FALSE(ParseJson("{\"a\":}").ok());

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -124,6 +126,63 @@ TEST(RegistryTest, JsonExportEscapesNames) {
   // No raw (unescaped) quote or newline survives inside a name.
   EXPECT_EQ(json.find("weird.\"quoted\""), std::string::npos) << json;
   EXPECT_EQ(json.find('\n'), std::string::npos) << json;
+}
+
+TEST(RegistryTest, OpenMetricsSanitizesHostileNames) {
+  // Same hostile-name surface as the JSON export: quotes, backslashes,
+  // and newlines in a metric name (label values are embedded in names)
+  // must not break the line-oriented exposition format.
+  Registry reg;
+  reg.counter("weird.\"quoted\".count")->Increment(3);
+  reg.gauge("path.c:\\temp")->Set(1.0);
+  reg.histogram("multi\nline.ms")->Record(2.0);
+  const std::string om = reg.ToOpenMetrics();
+
+  // Every hostile character lands as '_' ('.' always does).
+  EXPECT_NE(om.find("weird__quoted__count_total 3"), std::string::npos)
+      << om;
+  EXPECT_NE(om.find("path_c:_temp 1"), std::string::npos) << om;
+  EXPECT_NE(om.find("multi_line_ms_count 1"), std::string::npos) << om;
+  EXPECT_NE(om.find("multi_line_ms_sum 2.000"), std::string::npos) << om;
+
+  // Nothing outside [a-zA-Z0-9_:] survives in any metric name -- every
+  // sample and every # TYPE line stays parseable.
+  std::istringstream lines(om);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line == "# EOF") continue;
+    std::string name;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      name = line.substr(7, line.find(' ', 7) - 7);
+    } else {
+      name = line.substr(0, line.find_first_of(" {"));
+    }
+    ASSERT_FALSE(name.empty()) << line;
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      EXPECT_TRUE(ok) << "raw '" << c << "' in line: " << line;
+    }
+  }
+  EXPECT_NE(om.find("# EOF\n"), std::string::npos);
+}
+
+TEST(RegistryTest, OpenMetricsExportIsDeterministic) {
+  // Two independently built registries with the same recorded values
+  // render byte-identical expositions (name-ordered, no timestamps).
+  auto build = []() {
+    Registry reg;
+    reg.counter("z.count")->Increment(2);
+    reg.counter("a.\"hostile\".count")->Increment(5);
+    reg.gauge("m.level")->Set(1.5);
+    reg.histogram("q.ms")->Record(10.0);
+    reg.histogram("q.ms")->Record(0.25);
+    return reg.ToOpenMetrics();
+  };
+  const std::string first = build();
+  const std::string second = build();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 TEST(RegistryTest, SnapshotMatchesInstruments) {

@@ -1,0 +1,139 @@
+// critpath: replay a flight-recorder JSONL query log (written by
+// QueryLog::ToJsonl) against the built-in demo federation and print
+// the aggregated critical-path picture: which sources/operators own
+// the latency, and the ranked what-if scenarios that would shave the
+// most off. With no log argument it runs a small built-in workload,
+// so CI can capture sample output without a recorded log.
+//
+//   ./build/tools/critpath                      # built-in workload
+//   ./build/tools/critpath query_log.jsonl      # replay a log
+//   ./build/tools/critpath query_log.jsonl 8    # top-8 rows
+//
+// The demo federation matches replay_querylog: an OO7 object database
+// (exporting the Yao cost rule) plus a relational "erp" source with a
+// Supplier table. Deterministic: the clock is simulated, so the same
+// input prints byte-identical output.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench007/oo7.h"
+#include "mediator/mediator.h"
+#include "mediator/query_log.h"
+
+namespace {
+
+void Fail(const disco::Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  std::exit(1);
+}
+
+void BuildDemoFederation(disco::mediator::Mediator& med) {
+  using namespace disco;  // NOLINT: tool brevity
+
+  bench007::OO7Config config;
+  config.num_atomic_parts = 2000;
+  config.connections_per_atomic = 1;
+  config.num_composite_parts = 100;
+  config.num_documents = 100;
+  auto oo7 = bench007::BuildOO7Source(config);
+  if (!oo7.ok()) Fail(oo7.status());
+  wrapper::SimulatedWrapper::Options oo7_opts;
+  oo7_opts.cost_rules = bench007::Oo7YaoRuleText();
+  if (auto s = med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+          std::move(*oo7), oo7_opts));
+      !s.ok()) {
+    Fail(s);
+  }
+
+  auto rel = sources::MakeRelationalSource("erp");
+  storage::Table* suppliers = rel->CreateTable(CollectionSchema(
+      "Supplier", {{"sid", AttrType::kLong},
+                   {"partType", AttrType::kString},
+                   {"region", AttrType::kString}}));
+  for (int i = 0; i < 200; ++i) {
+    if (auto s = suppliers->Insert({Value(int64_t{i}),
+                                    Value(std::string("t") +
+                                          std::to_string(i % 10)),
+                                    Value(std::string(i % 2 ? "east"
+                                                            : "west"))});
+        !s.ok()) {
+      Fail(s);
+    }
+  }
+  if (auto s = suppliers->CreateIndex("sid"); !s.ok()) Fail(s);
+  if (auto s = med.RegisterWrapper(std::make_unique<wrapper::SimulatedWrapper>(
+          std::move(rel), wrapper::SimulatedWrapper::Options()));
+      !s.ok()) {
+    Fail(s);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using disco::mediator::Mediator;
+  using disco::mediator::QueryLog;
+
+  std::vector<std::string> workload;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      auto parsed = QueryLog::ParseJsonLine(line);
+      if (parsed.has_value() && !parsed->sql.empty()) {
+        workload.push_back(std::move(parsed->sql));
+      }
+    }
+    if (workload.empty()) {
+      std::fprintf(stderr, "error: no replayable queries in '%s'\n", argv[1]);
+      return 2;
+    }
+  } else {
+    workload = {
+        "SELECT id, sid FROM AtomicPart, Supplier "
+        "WHERE AtomicPart.type = Supplier.partType AND id <= 20 "
+        "AND region = 'east'",
+        "SELECT id FROM AtomicPart WHERE id <= 100",
+        "SELECT sid FROM Supplier WHERE region = 'west'",
+        "SELECT id, sid FROM AtomicPart, Supplier "
+        "WHERE AtomicPart.type = Supplier.partType AND id <= 50",
+    };
+  }
+  const int top_k = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  Mediator med;
+  BuildDemoFederation(med);
+
+  int failed = 0;
+  std::shared_ptr<const disco::mediator::CriticalPath> last;
+  for (const std::string& sql : workload) {
+    auto r = med.Query(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n  %s\n", sql.c_str(),
+                   r.status().ToString().c_str());
+      ++failed;
+      continue;
+    }
+    if (r->critical_path != nullptr) last = r->critical_path;
+  }
+
+  if (last != nullptr) {
+    std::printf("last query:\n%s\n", last->ToText().c_str());
+  }
+  std::printf("%s", med.critical_paths().ToText(top_k).c_str());
+  if (failed > 0) {
+    std::printf("(%d quer%s failed to replay)\n", failed,
+                failed == 1 ? "y" : "ies");
+  }
+  return failed == 0 ? 0 : 1;
+}
