@@ -81,6 +81,7 @@ Result<ExecResult> MediatorExecutor::Execute(const Operator& plan) {
   subqueries_.clear();
   warnings_.clear();
   failed_sources_.clear();
+  guard_stats_ = GuardStats{};
   precomputed_.clear();
   retries_used_ = 0;
   precomputed_bonus_ms_ = 0;
@@ -142,6 +143,32 @@ void MediatorExecutor::BumpCounter(const char* name, int64_t delta) {
   if (metrics_ != nullptr) metrics_->counter(name)->Increment(delta);
 }
 
+void MediatorExecutor::ApplyGuardReport(const GuardReport& report,
+                                        const std::string& source_lower,
+                                        int attempts,
+                                        const std::string& breaker,
+                                        int subplan_index,
+                                        std::vector<ExecWarning>* warning_sink) {
+  guard_stats_.Absorb(report);
+  BumpCounter("disco.guard.batches");
+  if (!report.any()) return;
+  BumpCounter("disco.guard.malformed_batches");
+  if (report.rows_quarantined > 0) {
+    BumpCounter("disco.guard.quarantined_rows", report.rows_quarantined);
+  }
+  if (report.truncated) BumpCounter("disco.guard.truncated_streams");
+  if (trace_ != nullptr) {
+    trace_->Instant("result guard quarantine @" + source_lower, "guard");
+  }
+  ExecWarning w{source_lower, report.Message(), attempts, breaker};
+  w.subplan_index = subplan_index;
+  if (warning_sink != nullptr) {
+    warning_sink->push_back(std::move(w));
+  } else {
+    AddWarning(std::move(w));
+  }
+}
+
 Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
     const std::string& source, const Operator& subplan) {
   DISCO_ASSIGN_OR_RETURN(wrapper::Wrapper * w, WrapperFor(source));
@@ -189,6 +216,28 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
       ChargeWait(result->total_ms + params_.ms_msg_latency +
                  params_.ms_per_net_byte * static_cast<double>(bytes));
       if (health_ != nullptr) health_->RecordSuccess(key, Now());
+
+      // Result guard: validate the subanswer against the catalog shape
+      // *after* paying to ship it (corrupted bytes still crossed the
+      // wire), quarantining malformed rows before anything downstream
+      // sees them. Persistent malformation reaches the breaker as a
+      // lying-source signal.
+      if (exec_options_.guard_responses) {
+        GuardExpectation expect;
+        if (catalog_ != nullptr) {
+          expect = MakeGuardExpectation(subplan, *catalog_);
+        }
+        const GuardReport guard = ValidateSubanswer(expect, &*result);
+        ApplyGuardReport(guard, key, attempt, BreakerStateNow(key),
+                         /*subplan_index=*/-1);
+        if (health_ != nullptr) {
+          if (guard.any()) {
+            health_->RecordMalformed(key, Now(), guard.rows_quarantined);
+          } else {
+            health_->RecordWellFormed(key, Now());
+          }
+        }
+      }
 
       SubqueryRecord record;
       record.source = source;
@@ -683,9 +732,15 @@ namespace {
 /// One breaker-relevant outcome observed inside a scatter task, replayed
 /// into the shared registry at gather time in global timestamp order.
 struct HealthEvent {
-  enum Kind { kSuccess, kFailure, kRejected };
+  /// kAllowed replays an AllowSubmit that returned true: the shared
+  /// registry must take the same half-open probe admissions as the
+  /// task's private copy, or probe bookkeeping (single-probe gating,
+  /// flap-damped cooldowns) would drift between them.
+  enum Kind { kSuccess, kFailure, kRejected, kAllowed, kMalformed,
+              kWellFormed };
   Kind kind = kSuccess;
   double at_rel_ms = 0;  ///< relative to scatter start
+  int64_t rows = 0;      ///< kMalformed: rows the guard quarantined
 };
 
 /// Everything one scatter (or hedge) task produced for one submit.
@@ -707,6 +762,8 @@ struct TaskOutcome {
   std::vector<ExecWarning> warnings;  ///< recovery warnings, task order
   ExecWarning failure;                ///< filled when status is not ok
   std::vector<HealthEvent> events;
+  GuardReport guard;          ///< result-guard findings on `exec`
+  bool guard_checked = false; ///< guard ran on this answer
 };
 
 /// The serial submit loop (MediatorExecutor::SubmitToSource) transplanted
@@ -722,7 +779,8 @@ TaskOutcome RunScatterSubmit(wrapper::Wrapper* w, const std::string& source,
                              SourceHealthRegistry* health, Rng* rng,
                              double* clock_rel_ms, double scatter_abs_ms,
                              int* budget_remaining,
-                             int max_attempts_override) {
+                             int max_attempts_override,
+                             const GuardExpectation* guard) {
   TaskOutcome out;
   out.start_rel_ms = *clock_rel_ms;
   const int max_attempts = max_attempts_override > 0
@@ -748,6 +806,9 @@ TaskOutcome RunScatterSubmit(wrapper::Wrapper* w, const std::string& source,
       }
       break;  // the breaker tripped: further retries are pointless
     }
+    if (health != nullptr) {
+      out.events.push_back({HealthEvent::kAllowed, *clock_rel_ms});
+    }
     attempts = attempt;
     Result<sources::ExecutionResult> result = w->Execute(subplan);
     if (!result.ok() && !result.status().IsUnavailable() &&
@@ -772,6 +833,26 @@ TaskOutcome RunScatterSubmit(wrapper::Wrapper* w, const std::string& source,
         health->RecordSuccess(key, scatter_abs_ms + *clock_rel_ms);
       }
       out.events.push_back({HealthEvent::kSuccess, *clock_rel_ms});
+      if (guard != nullptr) {
+        // Validate on the task (quarantine mutates the answer before it
+        // is gathered); the private registry sees the malformation now,
+        // the shared one at replay.
+        out.guard = ValidateSubanswer(*guard, &*result);
+        out.guard_checked = true;
+        if (out.guard.any()) {
+          if (health != nullptr) {
+            health->RecordMalformed(key, scatter_abs_ms + *clock_rel_ms,
+                                    out.guard.rows_quarantined);
+          }
+          out.events.push_back({HealthEvent::kMalformed, *clock_rel_ms,
+                                out.guard.rows_quarantined});
+        } else {
+          if (health != nullptr) {
+            health->RecordWellFormed(key, scatter_abs_ms + *clock_rel_ms);
+          }
+          out.events.push_back({HealthEvent::kWellFormed, *clock_rel_ms});
+        }
+      }
       if (attempt > 1) {
         out.warnings.push_back(ExecWarning{
             key,
@@ -865,6 +946,17 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
   }
   if (groups.empty()) return;
 
+  // Guard expectations are derived on the main thread (catalog access
+  // stays off the workers); the tasks only consume them.
+  const bool guard_on = exec_options_.guard_responses;
+  std::vector<GuardExpectation> slot_guard(guard_on ? submits.size() : 0);
+  if (guard_on && catalog_ != nullptr) {
+    for (size_t i = 0; i < submits.size(); ++i) {
+      if (group_of_slot[i] < 0) continue;
+      slot_guard[i] = MakeGuardExpectation(submits[i].op->child(0), *catalog_);
+    }
+  }
+
   const double scatter_abs_ms = Now();
   const double trace_start_ms = trace_ != nullptr ? trace_->now_ms() : 0;
   if (trace_ != nullptr) {
@@ -910,7 +1002,8 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
       outcomes[slot] = RunScatterSubmit(
           g.w, g.source, g.key, submits[slot].op->child(0), params_, retry,
           ph, &rng, &clock_rel, scatter_abs_ms, &budget_remaining,
-          /*max_attempts_override=*/0);
+          /*max_attempts_override=*/0,
+          guard_on ? &slot_guard[slot] : nullptr);
     }
   };
   const bool concurrent = federation_pool_ != nullptr && fed.threads > 1 &&
@@ -936,6 +1029,7 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
     std::string source;       ///< replica source (lower-cased)
     wrapper::Wrapper* w = nullptr;
     std::unique_ptr<algebra::Operator> subplan;
+    GuardExpectation guard;        ///< derived from `subplan`
     double nominal_start_rel = 0;  ///< primary start + threshold
     double threshold_ms = 0;
   };
@@ -963,9 +1057,13 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
           submits[i].op->child(0), *catalog_, g.key,
           [&](const std::string& candidate) {
             if (wrappers_.find(candidate) == wrappers_.end()) return false;
+            // Only fully-closed replicas may serve a hedge: a half-open
+            // breaker admits exactly one probe per cooldown, and the
+            // hedge path cannot coordinate with a concurrent primary
+            // group that may be probing the same source.
             return health_ == nullptr ||
-                   health_->StateAt(candidate, scatter_abs_ms) !=
-                       BreakerState::kOpen;
+                   health_->StateAt(candidate, scatter_abs_ms) ==
+                       BreakerState::kClosed;
           });
       if (!hp.viable()) continue;
       --hedge_budget;
@@ -973,6 +1071,7 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
       task.slot = i;
       task.source = hp.source;
       task.w = wrappers_.find(hp.source)->second;
+      if (guard_on) task.guard = MakeGuardExpectation(*hp.subplan, *catalog_);
       task.subplan = std::move(hp.subplan);
       task.nominal_start_rel = prim.start_rel_ms + threshold;
       task.threshold_ms = threshold;
@@ -1027,7 +1126,8 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
         hedge_outcomes[h] = RunScatterSubmit(
             t.w, t.source, t.source, *t.subplan, params_, retry,
             hedge_health[static_cast<size_t>(gi)].get(), &rng, &clock_rel,
-            scatter_abs_ms, &unlimited, /*max_attempts_override=*/1);
+            scatter_abs_ms, &unlimited, /*max_attempts_override=*/1,
+            guard_on ? &t.guard : nullptr);
       }
     };
     if (concurrent && hedge_groups.size() > 1) {
@@ -1340,6 +1440,13 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
     // here, so the profile-driven hedge thresholds stay deterministic.
     if (e.status.ok() && e.answer != nullptr) {
       TaskOutcome& win = *e.answer;
+      // Only the committed answer's guard report counts: a quarantine on
+      // a discarded hedge loser never reached the query and stays out of
+      // the per-query roll-up (its breaker effects replay below).
+      if (win.guard_checked) {
+        ApplyGuardReport(win.guard, e.answer_key, e.attempts,
+                         /*breaker=*/"", submits[i].index, &e.warnings);
+      }
       if (metrics_ != nullptr) {
         metrics_->histogram("disco.submit.ms")
             ->Record(e.end_rel - e.start_rel);
@@ -1405,6 +1512,7 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
       double at_rel;
       HealthEvent::Kind kind;
       const std::string* key;
+      int64_t rows;
     };
     std::vector<Replay> replays;
     for (size_t i : order) {
@@ -1413,7 +1521,7 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
           groups[static_cast<size_t>(group_of_slot[i])].key;
       for (const HealthEvent& ev : outcomes[i].events) {
         if (ev.at_rel_ms <= prim_cut[i]) {
-          replays.push_back({ev.at_rel_ms, ev.kind, &key});
+          replays.push_back({ev.at_rel_ms, ev.kind, &key, ev.rows});
         }
       }
       const int h = hedge_for_slot[i];
@@ -1422,7 +1530,8 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
              hedge_outcomes[static_cast<size_t>(h)].events) {
           if (ev.at_rel_ms <= hedge_cut[i]) {
             replays.push_back(
-                {ev.at_rel_ms, ev.kind, &hedges[static_cast<size_t>(h)].source});
+                {ev.at_rel_ms, ev.kind,
+                 &hedges[static_cast<size_t>(h)].source, ev.rows});
           }
         }
       }
@@ -1441,7 +1550,14 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
           health_->RecordFailure(*r.key, at);
           break;
         case HealthEvent::kRejected:
+        case HealthEvent::kAllowed:
           (void)health_->AllowSubmit(*r.key, at);
+          break;
+        case HealthEvent::kMalformed:
+          health_->RecordMalformed(*r.key, at, r.rows);
+          break;
+        case HealthEvent::kWellFormed:
+          health_->RecordWellFormed(*r.key, at);
           break;
       }
     }

@@ -27,6 +27,7 @@
 #include "common/tracing.h"
 #include "costmodel/cost_vector.h"
 #include "mediator/federation.h"
+#include "mediator/result_guard.h"
 #include "mediator/retry_policy.h"
 #include "mediator/source_health.h"
 #include "sources/source_engine.h"
@@ -56,6 +57,12 @@ struct ExecOptions {
   /// charged max-not-sum, per-query deadline, hedged requests. With the
   /// default (inactive) options the serial submit loop runs unchanged.
   FederationOptions federation;
+  /// Validate every subanswer against the catalog schema
+  /// (mediator/result_guard.h): malformed rows are quarantined with a
+  /// warning and persistent malformation trips the breaker as a lying
+  /// source. Needs a catalog for type and truncation checks; without
+  /// one only finiteness/arity are checked.
+  bool guard_responses = true;
 };
 
 /// A structured per-query warning: something was degraded but the query
@@ -230,6 +237,11 @@ class MediatorExecutor {
     return failed_sources_;
   }
 
+  /// Result-guard roll-up of the last Execute(): subanswers checked,
+  /// malformed batches, quarantined rows, truncated streams. Only
+  /// committed answers count (discarded hedge losers do not).
+  const GuardStats& guard_stats() const { return guard_stats_; }
+
  private:
   /// What the scatter phase decided for one kSubmit node; consumed by
   /// EvalSubmit instead of re-submitting. `duration_ms` is the submit's
@@ -262,6 +274,15 @@ class MediatorExecutor {
   /// reporting + subquery record for one submitted subplan.
   Result<sources::ExecutionResult> SubmitToSource(
       const std::string& source, const algebra::Operator& subplan);
+  /// Folds one guard report into the per-query roll-up, bumps the
+  /// disco.guard.* counters, and surfaces a quarantine warning when the
+  /// report found anything. The warning goes to `warning_sink` when
+  /// given (scatter commit: surfaced later in subplan-index order),
+  /// else straight to warnings_.
+  void ApplyGuardReport(const GuardReport& report,
+                        const std::string& source_lower, int attempts,
+                        const std::string& breaker, int subplan_index,
+                        std::vector<ExecWarning>* warning_sink = nullptr);
   Result<wrapper::Wrapper*> WrapperFor(const std::string& source) const;
   /// The scatter phase: runs every statically-known submit concurrently
   /// (grouped by wrapper, serial within a group), applies hedging,
@@ -317,6 +338,8 @@ class MediatorExecutor {
   std::vector<SubqueryRecord> subqueries_;
   std::vector<ExecWarning> warnings_;
   std::vector<std::string> failed_sources_;
+  /// Per-query result-guard roll-up (result_guard.h).
+  GuardStats guard_stats_;
   /// Details of the most recent exhausted submit (for union warnings).
   ExecWarning last_failure_;
   /// Attempts of the most recent submit (for per-node measures).

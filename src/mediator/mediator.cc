@@ -47,6 +47,13 @@ Mediator::Mediator(MediatorOptions options)
   // expositions list the whole catalog before the first query runs.
   RegisterOperatorMetrics(&metrics_);
   RegisterCritpathMetrics(&metrics_);
+  // Result-guard family (docs/OBSERVABILITY.md): pre-created so metric
+  // expositions list it even before the first malformed answer.
+  metrics_.counter("disco.guard.batches");
+  metrics_.counter("disco.guard.malformed_batches");
+  metrics_.counter("disco.guard.quarantined_rows");
+  metrics_.counter("disco.guard.truncated_streams");
+  metrics_.counter("disco.breaker.lying_opens");
   // Observability: breaker state changes become counters and, during an
   // execution, instant trace events.
   health_.SetTransitionListener([this](const std::string& source,
@@ -63,8 +70,16 @@ Mediator::Mediator(MediatorOptions options)
     if (to == BreakerState::kOpen) ++flaps.opens;
     if (to == BreakerState::kOpen) {
       metrics_.counter("disco.breaker.opens")->Increment();
-      DISCO_LOG(Warning) << "circuit breaker for source '" << source
-                         << "' opened at " << now_ms << " ms";
+      // A lying source opened because its answers could not be trusted,
+      // not because it stopped answering -- distinct signal, distinct
+      // counter (the result guard set the flag before transitioning).
+      const bool lying = health_.Health(source).lying;
+      if (lying) metrics_.counter("disco.breaker.lying_opens")->Increment();
+      DISCO_LOG(Warning)
+          << "circuit breaker for source '" << source << "' opened at "
+          << now_ms << " ms"
+          << (lying ? " (lying source: persistent malformed responses)"
+                    : "");
     }
     metrics_.gauge("disco.breaker.state." + source)
         ->Set(static_cast<double>(to));
@@ -366,6 +381,10 @@ void Mediator::RecordQueryLog(const std::string& sql, double start_ms,
                                    : 0;
       }
     }
+    entry.guard_batches = result->guard.batches_checked;
+    entry.guard_malformed = result->guard.malformed_batches;
+    entry.guard_quarantined_rows = result->guard.rows_quarantined;
+    entry.guard_truncated = result->guard.truncated_streams;
     for (const ExecWarning& w : result->warnings) {
       entry.warnings.push_back(w.ToString());
     }
@@ -639,6 +658,7 @@ Result<QueryResult> Mediator::ExecuteInternal(
   out.plan_text = algebra::PrintPlan(plan);
   out.measured_ms = raw->measured_ms;
   out.warnings = std::move(raw->warnings);
+  out.guard = exec.guard_stats();
   if (options_.profile_execution && node_measures != nullptr) {
     auto profile = std::make_shared<PlanProfile>(
         BuildPlanProfile(plan, *node_measures, raw->measured_ms,
@@ -680,6 +700,11 @@ MonitorSnapshot Mediator::MonitorReport(int top_k) const {
   snap.submit_failures = counter("disco.exec.submit_failures");
   snap.breaker_rejections = counter("disco.exec.breaker_rejections");
   snap.drift_events = counter("disco.costmodel.drift_events");
+  snap.guard_batches = counter("disco.guard.batches");
+  snap.guard_malformed_batches = counter("disco.guard.malformed_batches");
+  snap.guard_quarantined_rows = counter("disco.guard.quarantined_rows");
+  snap.guard_truncated_streams = counter("disco.guard.truncated_streams");
+  snap.lying_opens = counter("disco.breaker.lying_opens");
   snap.retry_max_attempts = options_.fault_tolerance.retry.max_attempts;
 
   const FederationOptions& fed = options_.fault_tolerance.federation;
@@ -819,6 +844,11 @@ MonitorSnapshot Mediator::MonitorReport(int top_k) const {
     row.rejected_submits = h.rejected_submits;
     row.failures = h.total_failures;
     row.successes = h.total_successes;
+    row.probe_failures = h.consecutive_probe_failures;
+    row.effective_cooldown_ms = health_.EffectiveCooldownMs(source);
+    row.malformed_batches = h.malformed_batches;
+    row.quarantined_rows = h.quarantined_rows;
+    row.lying = h.lying;
     snap.breakers.push_back(std::move(row));
   }
   return snap;

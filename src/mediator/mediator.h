@@ -110,6 +110,10 @@ struct QueryResult {
   /// Degradations survived while answering (retries that recovered,
   /// dropped union branches, replica rerouting). Empty on a clean run.
   std::vector<ExecWarning> warnings;
+  /// Result-guard roll-up (mediator/result_guard.h): subanswers checked
+  /// against the catalog schema, malformed batches, quarantined rows,
+  /// truncated streams. All zeros on a clean run.
+  GuardStats guard;
   /// The query's span tree (null when MediatorOptions::collect_traces is
   /// off). Export with trace->ToChromeJson() for chrome://tracing.
   tracing::TraceHandle trace;

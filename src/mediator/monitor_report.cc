@@ -59,15 +59,29 @@ std::string MonitorSnapshot::ToText() const {
       static_cast<long long>(cost_memo_misses),
       static_cast<long long>(cost_memo_invalidations));
 
+  out += StringPrintf(
+      "result guard: %lld batches (%lld malformed, %lld rows quarantined, "
+      "%lld truncated streams, %lld lying-source opens)\n",
+      static_cast<long long>(guard_batches),
+      static_cast<long long>(guard_malformed_batches),
+      static_cast<long long>(guard_quarantined_rows),
+      static_cast<long long>(guard_truncated_streams),
+      static_cast<long long>(lying_opens));
+
   out += StringPrintf("breakers (%zu sources):\n", breakers.size());
   for (const MonitorBreakerRow& b : breakers) {
     out += StringPrintf(
-        "  %-12s %-9s flaps=%lld opens=%lld rejected=%lld ok=%lld fail=%lld\n",
+        "  %-12s %-9s flaps=%lld opens=%lld rejected=%lld ok=%lld fail=%lld "
+        "probe-fails=%d cooldown=%.0fms malformed=%lld quarantined=%lld%s\n",
         b.source.c_str(), b.state.c_str(),
         static_cast<long long>(b.transitions), static_cast<long long>(b.opens),
         static_cast<long long>(b.rejected_submits),
         static_cast<long long>(b.successes),
-        static_cast<long long>(b.failures));
+        static_cast<long long>(b.failures), b.probe_failures,
+        b.effective_cooldown_ms,
+        static_cast<long long>(b.malformed_batches),
+        static_cast<long long>(b.quarantined_rows),
+        b.lying ? " LYING" : "");
   }
 
   out += StringPrintf("profiles: %lld quer%s over %zu plan shape%s\n",
@@ -238,6 +252,15 @@ std::string MonitorSnapshot::ToJson() const {
         s.predicted_delta_ms, static_cast<long long>(s.queries));
   }
   out += "]},";
+  out += StringPrintf(
+      "\"guard\":{\"batches\":%lld,\"malformed_batches\":%lld,"
+      "\"quarantined_rows\":%lld,\"truncated_streams\":%lld,"
+      "\"lying_opens\":%lld},",
+      static_cast<long long>(guard_batches),
+      static_cast<long long>(guard_malformed_batches),
+      static_cast<long long>(guard_quarantined_rows),
+      static_cast<long long>(guard_truncated_streams),
+      static_cast<long long>(lying_opens));
   out += StringPrintf("\"drift_events\":%lld,\"worst_cells\":[",
                       static_cast<long long>(drift_events));
   for (size_t i = 0; i < worst_cells.size(); ++i) {
@@ -262,13 +285,19 @@ std::string MonitorSnapshot::ToJson() const {
     out += StringPrintf(
         "%s{\"source\":\"%s\",\"state\":\"%s\",\"transitions\":%lld,"
         "\"opens\":%lld,\"rejected_submits\":%lld,\"failures\":%lld,"
-        "\"successes\":%lld}",
+        "\"successes\":%lld,\"probe_failures\":%d,"
+        "\"effective_cooldown_ms\":%.3f,\"malformed_batches\":%lld,"
+        "\"quarantined_rows\":%lld,\"lying\":%s}",
         i == 0 ? "" : ",", JsonEscape(b.source).c_str(),
         JsonEscape(b.state).c_str(), static_cast<long long>(b.transitions),
         static_cast<long long>(b.opens),
         static_cast<long long>(b.rejected_submits),
         static_cast<long long>(b.failures),
-        static_cast<long long>(b.successes));
+        static_cast<long long>(b.successes), b.probe_failures,
+        b.effective_cooldown_ms,
+        static_cast<long long>(b.malformed_batches),
+        static_cast<long long>(b.quarantined_rows),
+        b.lying ? "true" : "false");
   }
   out += "]}";
   return out;

@@ -26,6 +26,15 @@ struct MonitorBreakerRow {
   int64_t rejected_submits = 0;
   int64_t failures = 0;
   int64_t successes = 0;
+  /// Flap damping: consecutive failed half-open probes, and the cooldown
+  /// the next re-probe must wait (base * 2^probes, capped).
+  int probe_failures = 0;
+  double effective_cooldown_ms = 0;
+  /// Result-guard history: batches with quarantined/truncated answers,
+  /// rows removed, and whether the current open was a lying-source trip.
+  int64_t malformed_batches = 0;
+  int64_t quarantined_rows = 0;
+  bool lying = false;
 };
 
 /// One aggregated plan operator from the execution-profile registry:
@@ -141,6 +150,13 @@ struct MonitorSnapshot {
   std::vector<MonitorBlameRow> top_bottlenecks;
   /// Top-K what-if scenarios by summed predicted savings, best first.
   std::vector<MonitorSuggestionRow> top_suggestions;
+
+  // Result guard (docs/ROBUSTNESS.md, "Malformed-response defense").
+  int64_t guard_batches = 0;            ///< subanswers validated
+  int64_t guard_malformed_batches = 0;  ///< with quarantine/truncation
+  int64_t guard_quarantined_rows = 0;
+  int64_t guard_truncated_streams = 0;
+  int64_t lying_opens = 0;  ///< breaker opens caused by malformation
 
   // Cost-model drift.
   int64_t drift_events = 0;

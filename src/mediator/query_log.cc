@@ -35,6 +35,15 @@ std::string QueryLogEntry::ToJson() const {
         "\"profile\":{\"nodes\":%d,\"cpu_ms\":%.3f,\"wait_ms\":%.3f},",
         profile_nodes, profile_cpu_ms, profile_wait_ms);
   }
+  if (guard_malformed > 0 || guard_truncated > 0) {
+    out += StringPrintf(
+        "\"guard\":{\"batches\":%lld,\"malformed\":%lld,"
+        "\"quarantined_rows\":%lld,\"truncated\":%lld},",
+        static_cast<long long>(guard_batches),
+        static_cast<long long>(guard_malformed),
+        static_cast<long long>(guard_quarantined_rows),
+        static_cast<long long>(guard_truncated));
+  }
   out += StringPrintf("\"sql\":\"%s\",\"plan_fingerprint\":\"%s\",",
                       JsonEscape(sql).c_str(),
                       JsonEscape(plan_fingerprint).c_str());

@@ -61,6 +61,12 @@ struct QueryLogEntry {
   std::string critpath_kind;
   double critpath_ms = 0;
   double critpath_share = 0;
+  /// Result-guard roll-up (mediator/result_guard.h); the "guard" JSON
+  /// object is emitted only when something was malformed.
+  int64_t guard_batches = 0;
+  int64_t guard_malformed = 0;
+  int64_t guard_quarantined_rows = 0;
+  int64_t guard_truncated = 0;
   /// Rendered ExecWarning lines: retry recoveries, dropped branches,
   /// replica rerouting, breaker states.
   std::vector<std::string> warnings;

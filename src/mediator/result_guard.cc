@@ -1,0 +1,215 @@
+#include "mediator/result_guard.h"
+
+#include <cmath>
+#include <utility>
+
+#include "catalog/schema.h"
+#include "common/str_util.h"
+
+namespace disco {
+namespace mediator {
+
+namespace {
+
+using algebra::OpKind;
+using algebra::Operator;
+
+/// Derives the output columns of `op`, or nullopt for underivable
+/// shapes. Mirrors sources/source_engine.cc's column propagation.
+std::optional<std::vector<GuardColumn>> DeriveColumns(
+    const Operator& op, const Catalog& catalog) {
+  switch (op.kind) {
+    case OpKind::kScan: {
+      auto entry = catalog.Collection(op.collection);
+      if (!entry.ok()) return std::nullopt;
+      std::vector<GuardColumn> cols;
+      cols.reserve(entry->schema.attributes().size());
+      for (const AttributeDef& a : entry->schema.attributes()) {
+        cols.push_back({a.name, AttrTypeToValueType(a.type)});
+      }
+      return cols;
+    }
+    case OpKind::kSelect:
+    case OpKind::kSort:
+    case OpKind::kDedup:
+      return DeriveColumns(op.child(0), catalog);
+    case OpKind::kProject: {
+      auto child = DeriveColumns(op.child(0), catalog);
+      if (!child.has_value()) return std::nullopt;
+      std::vector<GuardColumn> cols;
+      cols.reserve(op.project_attrs.size());
+      for (const std::string& attr : op.project_attrs) {
+        GuardColumn col{attr, std::nullopt};
+        for (const GuardColumn& c : *child) {
+          if (EqualsIgnoreCase(c.name, attr)) {
+            col.type = c.type;
+            break;
+          }
+        }
+        cols.push_back(std::move(col));
+      }
+      return cols;
+    }
+    case OpKind::kUnion:
+      // The engine takes the left arm's columns; declared replicas must
+      // agree anyway.
+      return DeriveColumns(op.child(0), catalog);
+    case OpKind::kJoin: {
+      auto left = DeriveColumns(op.child(0), catalog);
+      auto right = DeriveColumns(op.child(1), catalog);
+      if (!left.has_value() || !right.has_value()) return std::nullopt;
+      left->insert(left->end(), right->begin(), right->end());
+      return left;
+    }
+    case OpKind::kAggregate: {
+      auto child = DeriveColumns(op.child(0), catalog);
+      if (!child.has_value()) return std::nullopt;
+      auto type_of = [&](const std::string& attr) -> std::optional<ValueType> {
+        for (const GuardColumn& c : *child) {
+          if (EqualsIgnoreCase(c.name, attr)) return c.type;
+        }
+        return std::nullopt;
+      };
+      std::vector<GuardColumn> cols;
+      for (const std::string& g : op.group_by) {
+        cols.push_back({g, type_of(g)});
+      }
+      GuardColumn agg{"agg", std::nullopt};
+      switch (op.agg_func) {
+        case algebra::AggFunc::kCount:
+          agg.type = ValueType::kInt64;
+          break;
+        case algebra::AggFunc::kSum:
+        case algebra::AggFunc::kAvg:
+          agg.type = ValueType::kDouble;
+          break;
+        case algebra::AggFunc::kMin:
+        case algebra::AggFunc::kMax:
+          agg.type = op.agg_attr.empty() ? std::nullopt
+                                         : type_of(op.agg_attr);
+          break;
+      }
+      cols.push_back(std::move(agg));
+      return cols;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// True when the engine's `objects_produced` provably equals the
+/// delivered row count for this shape: only then is a shortfall a
+/// truncated stream rather than an operator legitimately charging
+/// intermediate outputs (joins, dedup, aggregates).
+bool TruncationDetectable(const Operator& op) {
+  switch (op.kind) {
+    case OpKind::kScan:
+      return true;
+    case OpKind::kSelect: {
+      // A select chain over a scan fuses into one access path that
+      // charges exactly the kept rows; over anything else the filter
+      // drops rows the child already charged.
+      const Operator* cur = &op.child(0);
+      while (cur->kind == OpKind::kSelect) cur = &cur->child(0);
+      return cur->kind == OpKind::kScan;
+    }
+    case OpKind::kProject:
+    case OpKind::kSort:
+      return TruncationDetectable(op.child(0));
+    case OpKind::kUnion:
+      return TruncationDetectable(op.child(0)) &&
+             TruncationDetectable(op.child(1));
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+GuardExpectation MakeGuardExpectation(const algebra::Operator& subplan,
+                                      const Catalog& catalog) {
+  GuardExpectation exp;
+  exp.columns = DeriveColumns(subplan, catalog);
+  exp.truncation_detectable = TruncationDetectable(subplan);
+  return exp;
+}
+
+GuardReport ValidateSubanswer(const GuardExpectation& expectation,
+                              sources::ExecutionResult* result) {
+  GuardReport rep;
+  rep.delivered_rows = static_cast<int64_t>(result->tuples.size());
+  rep.declared_rows = result->objects_produced;
+
+  const bool have_schema = expectation.columns.has_value();
+  const size_t arity = have_schema ? expectation.columns->size()
+                                   : result->columns.size();
+
+  std::vector<storage::Tuple> kept;
+  kept.reserve(result->tuples.size());
+  for (storage::Tuple& row : result->tuples) {
+    ++rep.rows_checked;
+    bool bad = false;
+    if (row.size() != arity) {
+      ++rep.arity_mismatches;
+      bad = true;
+    } else {
+      for (size_t i = 0; i < row.size(); ++i) {
+        const Value& v = row[i];
+        if (v.is_double() && !std::isfinite(v.AsDouble())) {
+          ++rep.non_finite_values;
+          bad = true;
+          continue;
+        }
+        if (have_schema && (*expectation.columns)[i].type.has_value() &&
+            !v.is_null() && v.type() != *(*expectation.columns)[i].type) {
+          ++rep.type_mismatches;
+          bad = true;
+        }
+      }
+    }
+    if (bad) {
+      ++rep.rows_quarantined;
+    } else {
+      kept.push_back(std::move(row));
+    }
+  }
+  result->tuples = std::move(kept);
+
+  if (expectation.truncation_detectable &&
+      rep.declared_rows > rep.delivered_rows) {
+    rep.truncated = true;
+  }
+  return rep;
+}
+
+std::string GuardReport::Message() const {
+  std::string out;
+  if (rows_quarantined > 0) {
+    out = StringPrintf("result guard quarantined %lld/%lld rows (",
+                       static_cast<long long>(rows_quarantined),
+                       static_cast<long long>(rows_checked));
+    bool first = true;
+    auto piece = [&](const char* label, int64_t n) {
+      if (n <= 0) return;
+      if (!first) out += ", ";
+      out += StringPrintf("%s %lld", label, static_cast<long long>(n));
+      first = false;
+    };
+    piece("arity", arity_mismatches);
+    piece("type", type_mismatches);
+    piece("non-finite", non_finite_values);
+    out += ")";
+  }
+  if (truncated) {
+    if (!out.empty()) out += "; ";
+    out += StringPrintf(
+        "truncated stream (%lld declared, %lld delivered)",
+        static_cast<long long>(declared_rows),
+        static_cast<long long>(delivered_rows));
+  }
+  if (out.empty()) out = "result guard: well-formed";
+  return out;
+}
+
+}  // namespace mediator
+}  // namespace disco

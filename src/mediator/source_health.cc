@@ -27,17 +27,44 @@ void SourceHealthRegistry::Transition(const std::string& source_lower,
   if (listener_) listener_(source_lower, from, to, now_ms);
 }
 
+double SourceHealthRegistry::CooldownFor(const SourceHealth& h) const {
+  // Damping starts on the *second* consecutive failed probe: a single
+  // flap pays the base cooldown, persistent flapping doubles per
+  // failure up to the cap.
+  int doublings = h.consecutive_probe_failures - 1;
+  if (doublings < 0) doublings = 0;
+  if (doublings > options_.max_cooldown_doublings) {
+    doublings = options_.max_cooldown_doublings;
+  }
+  return options_.cooldown_ms * static_cast<double>(int64_t{1} << doublings);
+}
+
 bool SourceHealthRegistry::AllowSubmit(const std::string& source,
                                        double now_ms) {
   const std::string key = ToLower(source);
   SourceHealth& h = health_[key];
   switch (h.state) {
     case BreakerState::kClosed:
+      return true;
     case BreakerState::kHalfOpen:
+      // One probe per cooldown: submits racing the in-flight probe are
+      // rejected rather than piling onto a source that may still be
+      // down. A probe that never resolves (cancelled, deadline-expired)
+      // forfeits its slot after one cooldown, so the breaker cannot
+      // wedge half-open forever.
+      if (h.probe_in_flight &&
+          now_ms - h.probe_started_ms < CooldownFor(h)) {
+        ++h.rejected_submits;
+        return false;
+      }
+      h.probe_in_flight = true;
+      h.probe_started_ms = now_ms;
       return true;
     case BreakerState::kOpen:
-      if (now_ms - h.opened_at_ms >= options_.cooldown_ms) {
+      if (now_ms - h.opened_at_ms >= CooldownFor(h)) {
         Transition(key, &h, BreakerState::kHalfOpen, now_ms);
+        h.probe_in_flight = true;
+        h.probe_started_ms = now_ms;
         return true;  // the probe
       }
       ++h.rejected_submits;
@@ -51,6 +78,9 @@ void SourceHealthRegistry::RecordSuccess(const std::string& source,
   const std::string key = ToLower(source);
   SourceHealth& h = health_[key];
   h.consecutive_failures = 0;
+  h.consecutive_probe_failures = 0;
+  h.probe_in_flight = false;
+  h.lying = false;
   ++h.total_successes;
   Transition(key, &h, BreakerState::kClosed, now_ms);
 }
@@ -62,13 +92,42 @@ void SourceHealthRegistry::RecordFailure(const std::string& source,
   ++h.consecutive_failures;
   ++h.total_failures;
   h.last_failure_ms = now_ms;
-  // A failed half-open probe re-opens immediately; a closed breaker
-  // opens once the threshold is reached.
-  if (h.state == BreakerState::kHalfOpen ||
-      (h.state == BreakerState::kClosed &&
-       h.consecutive_failures >= options_.failure_threshold)) {
+  // A failed half-open probe re-opens immediately (growing the damped
+  // cooldown); a closed breaker opens once the threshold is reached.
+  if (h.state == BreakerState::kHalfOpen) {
+    ++h.consecutive_probe_failures;
+    h.probe_in_flight = false;
+    Transition(key, &h, BreakerState::kOpen, now_ms);
+  } else if (h.state == BreakerState::kClosed &&
+             h.consecutive_failures >= options_.failure_threshold) {
     Transition(key, &h, BreakerState::kOpen, now_ms);
   }
+}
+
+void SourceHealthRegistry::RecordMalformed(const std::string& source,
+                                           double now_ms,
+                                           int64_t quarantined_rows) {
+  const std::string key = ToLower(source);
+  SourceHealth& h = health_[key];
+  ++h.malformed_batches;
+  h.quarantined_rows += quarantined_rows;
+  ++h.consecutive_malformed_batches;
+  // Persistent malformation trips the breaker as a *lying* source: it
+  // answers, but the answers cannot be trusted, so it is routed around
+  // exactly like a down source -- distinguishably flagged.
+  if (h.consecutive_malformed_batches >= options_.malformed_threshold &&
+      h.state == BreakerState::kClosed) {
+    h.lying = true;
+    Transition(key, &h, BreakerState::kOpen, now_ms);
+  }
+}
+
+void SourceHealthRegistry::RecordWellFormed(const std::string& source,
+                                            double now_ms) {
+  (void)now_ms;
+  auto it = health_.find(ToLower(source));
+  if (it == health_.end()) return;
+  it->second.consecutive_malformed_batches = 0;
 }
 
 BreakerState SourceHealthRegistry::StateAt(const std::string& source,
@@ -77,10 +136,17 @@ BreakerState SourceHealthRegistry::StateAt(const std::string& source,
   if (it == health_.end()) return BreakerState::kClosed;
   const SourceHealth& h = it->second;
   if (h.state == BreakerState::kOpen &&
-      now_ms - h.opened_at_ms >= options_.cooldown_ms) {
+      now_ms - h.opened_at_ms >= CooldownFor(h)) {
     return BreakerState::kHalfOpen;
   }
   return h.state;
+}
+
+double SourceHealthRegistry::EffectiveCooldownMs(
+    const std::string& source) const {
+  auto it = health_.find(ToLower(source));
+  if (it == health_.end()) return options_.cooldown_ms;
+  return CooldownFor(it->second);
 }
 
 SourceHealth SourceHealthRegistry::Health(const std::string& source) const {

@@ -6,15 +6,30 @@
 // rejected immediately (Status::Unavailable) instead of burning retries
 // against a dead source, and the optimizer routes around the source
 // when an equivalent collection exists elsewhere. After `cooldown_ms`
-// of simulated time the breaker moves to half-open and lets exactly the
-// next submit through as a probe: success re-closes the breaker,
-// failure re-opens it for another cooldown.
+// of simulated time the breaker moves to half-open and lets exactly
+// *one* submit through as a probe (concurrent submits racing the probe
+// are rejected until the probe resolves): success re-closes the
+// breaker, failure re-opens it for another cooldown.
 //
 //        K consecutive failures          cooldown elapses
 //   closed ----------------------> open -----------------> half-open
 //     ^                             ^                          |
 //     |        probe succeeds       |      probe fails         |
 //     +-----------------------------+--------------------------+
+//
+// Two refinements on the textbook machine:
+//
+// * **Flap damping.** A source that keeps failing its probes gets an
+//   exponentially growing cooldown: from the second consecutive failed
+//   probe onward the effective cooldown doubles per failure, capped at
+//   `cooldown_ms * 2^max_cooldown_doublings`. A successful probe
+//   resets the damping.
+// * **Lying sources.** The result guard (mediator/result_guard.h)
+//   reports batches whose rows failed schema validation via
+//   RecordMalformed. `malformed_threshold` consecutive malformed
+//   batches open the breaker with `SourceHealth::lying = true` -- the
+//   breaker distinguishes a source that is *down* from one that is
+//   *answering garbage*, and both are routed around the same way.
 //
 // All timestamps are simulated milliseconds (the mediator's cumulative
 // execution clock), so breaker behaviour is deterministic and
@@ -41,6 +56,12 @@ struct SourceHealthOptions {
   int failure_threshold = 3;
   /// Simulated ms the breaker stays open before allowing a probe.
   double cooldown_ms = 60000.0;
+  /// Consecutive malformed (guard-quarantined) batches that open the
+  /// breaker as a lying source.
+  int malformed_threshold = 3;
+  /// Flap-damping cap: the effective cooldown never exceeds
+  /// `cooldown_ms * 2^max_cooldown_doublings`.
+  int max_cooldown_doublings = 5;
 };
 
 /// Everything tracked for one source.
@@ -49,9 +70,23 @@ struct SourceHealth {
   int consecutive_failures = 0;
   int64_t total_failures = 0;
   int64_t total_successes = 0;
-  int64_t rejected_submits = 0;  ///< submits refused while open
+  int64_t rejected_submits = 0;  ///< submits refused while open or probing
   double opened_at_ms = 0;
   double last_failure_ms = 0;
+  /// A half-open probe has been admitted and has not resolved yet;
+  /// further submits are rejected until RecordSuccess/RecordFailure, or
+  /// until a full cooldown passes with the probe unresolved (a lost
+  /// probe must not wedge the breaker half-open).
+  bool probe_in_flight = false;
+  double probe_started_ms = 0;
+  /// Failed half-open probes since the breaker last closed (drives the
+  /// flap-damped cooldown).
+  int consecutive_probe_failures = 0;
+  /// The last open was caused by malformed responses, not failures.
+  bool lying = false;
+  int64_t malformed_batches = 0;    ///< batches with quarantined rows
+  int64_t quarantined_rows = 0;     ///< rows dropped by the result guard
+  int consecutive_malformed_batches = 0;  ///< reset by a well-formed batch
 };
 
 class SourceHealthRegistry {
@@ -59,18 +94,31 @@ class SourceHealthRegistry {
   explicit SourceHealthRegistry(SourceHealthOptions options = {})
       : options_(options) {}
 
-  /// Gate consulted before each submit. Open breakers whose cooldown has
-  /// elapsed transition to half-open and admit the submit as a probe;
-  /// open breakers still cooling down reject it (and count the
-  /// rejection).
+  /// Gate consulted before each submit. Open breakers whose (flap-
+  /// damped) cooldown has elapsed transition to half-open and admit the
+  /// submit as a probe; open breakers still cooling down, and half-open
+  /// breakers whose single probe is already in flight, reject it (and
+  /// count the rejection).
   bool AllowSubmit(const std::string& source, double now_ms);
 
   void RecordSuccess(const std::string& source, double now_ms);
   void RecordFailure(const std::string& source, double now_ms);
 
+  /// Result-guard verdicts. A malformed batch (rows quarantined by
+  /// mediator/result_guard.h) counts toward the lying-source threshold;
+  /// a well-formed batch resets the consecutive count.
+  void RecordMalformed(const std::string& source, double now_ms,
+                       int64_t quarantined_rows);
+  void RecordWellFormed(const std::string& source, double now_ms);
+
   /// Effective state at `now_ms` (an open breaker past its cooldown
   /// reads as half-open). Unknown sources are closed.
   BreakerState StateAt(const std::string& source, double now_ms) const;
+
+  /// The flap-damped cooldown currently applied to `source`:
+  /// `cooldown_ms * 2^min(max(0, consecutive_probe_failures - 1),
+  /// max_cooldown_doublings)`. Unknown sources report the base cooldown.
+  double EffectiveCooldownMs(const std::string& source) const;
 
   /// Raw counters (state as last recorded, without the cooldown view).
   SourceHealth Health(const std::string& source) const;
@@ -109,6 +157,9 @@ class SourceHealthRegistry {
   /// Applies a state change and notifies the listener if it is a change.
   void Transition(const std::string& source_lower, SourceHealth* h,
                   BreakerState to, double now_ms);
+
+  /// The flap-damped cooldown for one health record.
+  double CooldownFor(const SourceHealth& h) const;
 
   SourceHealthOptions options_;
   /// Keyed by lower-cased source name.

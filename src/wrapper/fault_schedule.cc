@@ -1,0 +1,194 @@
+#include "wrapper/fault_schedule.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace disco {
+namespace wrapper {
+
+namespace {
+
+/// Platform-stable FNV-1a over the lower-cased wrapper name, so the
+/// per-call corruption stream depends only on (seed, name, call index).
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u >= 'A' && u <= 'Z') u = static_cast<unsigned char>(u - 'A' + 'a');
+    h ^= u;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* FaultEffectToString(FaultEffect effect) {
+  switch (effect) {
+    case FaultEffect::kOutage:
+      return "outage";
+    case FaultEffect::kLatencyStorm:
+      return "latency-storm";
+    case FaultEffect::kFlap:
+      return "flap";
+    case FaultEffect::kMalform:
+      return "malform";
+  }
+  return "unknown";
+}
+
+void FaultSchedule::DefineDomain(const std::string& name,
+                                 std::vector<std::string> members) {
+  std::vector<std::string> lower;
+  lower.reserve(members.size());
+  for (const std::string& m : members) lower.push_back(ToLower(m));
+  domains_[name] = std::move(lower);
+}
+
+bool FaultSchedule::InDomain(const std::string& domain,
+                             const std::string& source) const {
+  auto it = domains_.find(domain);
+  if (it == domains_.end()) return false;
+  const std::string key = ToLower(source);
+  for (const std::string& m : it->second) {
+    if (m == key) return true;
+  }
+  return false;
+}
+
+std::vector<const FaultWindow*> FaultSchedule::ActiveWindows(
+    const std::string& source) const {
+  std::vector<const FaultWindow*> out;
+  if (!enabled_) return out;
+  for (const FaultWindow& w : windows_) {
+    if (now_ms_ < w.start_ms || now_ms_ >= w.end_ms) continue;
+    if (!InDomain(w.domain, source)) continue;
+    out.push_back(&w);
+  }
+  return out;
+}
+
+ScheduledFaultWrapper::ScheduledFaultWrapper(std::unique_ptr<Wrapper> inner,
+                                             const FaultSchedule* schedule)
+    : inner_(std::move(inner)), schedule_(schedule) {}
+
+const std::string& ScheduledFaultWrapper::name() const {
+  return inner_->name();
+}
+
+std::string ScheduledFaultWrapper::ExportInterfaces() const {
+  return inner_->ExportInterfaces();
+}
+
+Result<CollectionStats> ScheduledFaultWrapper::ExportStatistics(
+    const std::string& collection) const {
+  return inner_->ExportStatistics(collection);
+}
+
+std::string ScheduledFaultWrapper::ExportCostRules() const {
+  return inner_->ExportCostRules();
+}
+
+optimizer::SourceCapabilities ScheduledFaultWrapper::ExportCapabilities()
+    const {
+  return inner_->ExportCapabilities();
+}
+
+Result<sources::ExecutionResult> ScheduledFaultWrapper::Execute(
+    const algebra::Operator& subplan) {
+  ++calls_;
+  const std::vector<const FaultWindow*> active =
+      schedule_->ActiveWindows(name());
+
+  // Hard failures first: any active outage, or any flap in its down
+  // phase, kills the submit before the inner wrapper runs -- exactly
+  // how a correlated network partition looks from the mediator.
+  for (const FaultWindow* w : active) {
+    if (w->effect == FaultEffect::kOutage) {
+      ++injected_outages_;
+      return Status::Unavailable(w->message + " (domain '" + w->domain +
+                                 "')");
+    }
+    if (w->effect == FaultEffect::kFlap && w->flap_period_ms > 0) {
+      const double phase =
+          std::fmod(schedule_->now_ms() - w->start_ms, w->flap_period_ms);
+      if (phase < w->flap_down_fraction * w->flap_period_ms) {
+        ++injected_outages_;
+        return Status::Unavailable(w->message + " (domain '" + w->domain +
+                                   "', flapping)");
+      }
+    }
+  }
+
+  Result<sources::ExecutionResult> result = inner_->Execute(subplan);
+  if (!result.ok()) return result;
+
+  for (const FaultWindow* w : active) {
+    if (w->effect != FaultEffect::kLatencyStorm) continue;
+    result->total_ms = result->total_ms * w->storm_factor + w->storm_added_ms;
+    result->first_tuple_ms =
+        result->first_tuple_ms * w->storm_factor + w->storm_added_ms;
+  }
+
+  for (const FaultWindow* w : active) {
+    if (w->effect != FaultEffect::kMalform) continue;
+    // Fresh Rng per (seed, wrapper, call index): corruption of call k
+    // never depends on what earlier calls drew, so any arm that issues
+    // the same k-th call to this wrapper sees the same corruption.
+    Rng rng(schedule_->seed() ^ HashName(name()) ^
+            (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(calls_)));
+    bool corrupted = false;
+    if ((w->malform_modes & kMalformTruncate) != 0 &&
+        rng.NextDouble() < w->malform_row_probability &&
+        result->tuples.size() > 1) {
+      // Silently drop the tail; objects_produced keeps the full count,
+      // which is precisely how the result guard catches the lie.
+      result->tuples.resize(result->tuples.size() / 2);
+      corrupted = true;
+    }
+    const uint32_t row_modes =
+        w->malform_modes & (kMalformArity | kMalformTypes | kMalformNonFinite);
+    if (row_modes != 0) {
+      for (storage::Tuple& row : result->tuples) {
+        if (rng.NextDouble() >= w->malform_row_probability) continue;
+        // Cycle deterministically through the enabled row modes.
+        uint32_t enabled[3];
+        int n = 0;
+        if (row_modes & kMalformArity) enabled[n++] = kMalformArity;
+        if (row_modes & kMalformTypes) enabled[n++] = kMalformTypes;
+        if (row_modes & kMalformNonFinite) enabled[n++] = kMalformNonFinite;
+        const uint32_t mode = enabled[rng.NextUint64(
+            static_cast<uint64_t>(n))];
+        corrupted = true;
+        if (mode == kMalformArity) {
+          if (rng.NextUint64(2) == 0 && !row.empty()) {
+            row.pop_back();
+          } else {
+            row.push_back(Value());
+          }
+        } else if (mode == kMalformTypes && !row.empty()) {
+          Value& v = row[rng.NextUint64(row.size())];
+          if (v.is_string()) {
+            v = Value(int64_t{0});
+          } else {
+            v = Value("\xef\xbf\xbd corrupt");
+          }
+        } else if (mode == kMalformNonFinite && !row.empty()) {
+          Value& v = row[rng.NextUint64(row.size())];
+          v = Value(rng.NextUint64(2) == 0
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : std::numeric_limits<double>::infinity());
+        }
+      }
+    }
+    if (corrupted) ++malformed_responses_;
+  }
+
+  return result;
+}
+
+}  // namespace wrapper
+}  // namespace disco

@@ -1,0 +1,294 @@
+// FaultSchedule / ScheduledFaultWrapper: correlated fault domains,
+// timed windows on the schedule clock, and deterministic
+// malformed-response corruption.
+
+#include "wrapper/fault_schedule.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "algebra/operator.h"
+#include "common/value.h"
+
+namespace disco {
+namespace wrapper {
+namespace {
+
+/// Inner wrapper answering a fixed, well-formed batch of `rows` rows
+/// {Int64 k, String name}; Execute never fails on its own.
+class StubWrapper : public Wrapper {
+ public:
+  explicit StubWrapper(std::string name, int rows = 8)
+      : name_(std::move(name)), rows_(rows) {}
+
+  const std::string& name() const override { return name_; }
+  std::string ExportInterfaces() const override { return ""; }
+  Result<CollectionStats> ExportStatistics(
+      const std::string&) const override {
+    return CollectionStats{};
+  }
+  std::string ExportCostRules() const override { return ""; }
+  optimizer::SourceCapabilities ExportCapabilities() const override {
+    return optimizer::SourceCapabilities::All();
+  }
+  Result<sources::ExecutionResult> Execute(
+      const algebra::Operator&) override {
+    sources::ExecutionResult result;
+    result.columns = {"k", "name"};
+    for (int i = 0; i < rows_; ++i) {
+      result.tuples.push_back(
+          {Value(static_cast<int64_t>(i)), Value("row")});
+    }
+    result.total_ms = 10;
+    result.first_tuple_ms = 5;
+    result.objects_produced = rows_;
+    return result;
+  }
+
+ private:
+  std::string name_;
+  int rows_;
+};
+
+ScheduledFaultWrapper MakeWrapped(const FaultSchedule* schedule,
+                                  const std::string& name = "s0",
+                                  int rows = 8) {
+  return ScheduledFaultWrapper(std::make_unique<StubWrapper>(name, rows),
+                               schedule);
+}
+
+FaultWindow Window(const std::string& domain, double start, double end,
+                   FaultEffect effect) {
+  FaultWindow w;
+  w.domain = domain;
+  w.start_ms = start;
+  w.end_ms = end;
+  w.effect = effect;
+  return w;
+}
+
+TEST(FaultScheduleTest, DomainMembershipIsCaseInsensitive) {
+  FaultSchedule schedule;
+  schedule.DefineDomain("rack-a", {"Alpha", "BETA"});
+  EXPECT_TRUE(schedule.InDomain("rack-a", "alpha"));
+  EXPECT_TRUE(schedule.InDomain("rack-a", "ALPHA"));
+  EXPECT_TRUE(schedule.InDomain("rack-a", "beta"));
+  EXPECT_FALSE(schedule.InDomain("rack-a", "gamma"));
+  EXPECT_FALSE(schedule.InDomain("rack-b", "alpha"));  // unknown domain
+  // Redefining a domain replaces the member list.
+  schedule.DefineDomain("rack-a", {"gamma"});
+  EXPECT_FALSE(schedule.InDomain("rack-a", "alpha"));
+  EXPECT_TRUE(schedule.InDomain("rack-a", "gamma"));
+}
+
+TEST(FaultScheduleTest, WindowsAreHalfOpenOnTheScheduleClock) {
+  FaultSchedule schedule;
+  schedule.DefineDomain("d", {"s0"});
+  schedule.AddWindow(Window("d", 100, 200, FaultEffect::kOutage));
+
+  ScheduledFaultWrapper w = MakeWrapped(&schedule);
+  auto probe = [&](double now) {
+    schedule.AdvanceTo(now);
+    return w.Execute(*algebra::Scan("T")).ok();
+  };
+  EXPECT_TRUE(probe(99));     // before the window
+  EXPECT_FALSE(probe(100));   // inclusive start
+  EXPECT_FALSE(probe(199.5));
+  EXPECT_TRUE(probe(200));    // exclusive end
+  EXPECT_EQ(w.calls(), 4);
+  EXPECT_EQ(w.injected_outages(), 2);
+}
+
+TEST(FaultScheduleTest, OutageSharesFateAcrossTheDomain) {
+  FaultSchedule schedule;
+  schedule.DefineDomain("rack", {"s0", "s1"});
+  FaultWindow window = Window("rack", 0, 100, FaultEffect::kOutage);
+  window.message = "rack power lost";
+  schedule.AddWindow(window);
+  schedule.AdvanceTo(50);
+
+  ScheduledFaultWrapper s0 = MakeWrapped(&schedule, "s0");
+  ScheduledFaultWrapper s1 = MakeWrapped(&schedule, "s1");
+  ScheduledFaultWrapper s2 = MakeWrapped(&schedule, "s2");  // off the rack
+
+  auto r0 = s0.Execute(*algebra::Scan("T"));
+  ASSERT_FALSE(r0.ok());
+  EXPECT_TRUE(r0.status().IsUnavailable());
+  EXPECT_NE(r0.status().message().find("rack power lost"),
+            std::string::npos);
+  EXPECT_NE(r0.status().message().find("rack"), std::string::npos);
+  EXPECT_FALSE(s1.Execute(*algebra::Scan("T")).ok());
+  EXPECT_TRUE(s2.Execute(*algebra::Scan("T")).ok());
+  EXPECT_EQ(s0.injected_outages(), 1);
+  EXPECT_EQ(s2.injected_outages(), 0);
+}
+
+TEST(FaultScheduleTest, FlapIsASquareWaveOverThePeriod) {
+  FaultSchedule schedule;
+  schedule.DefineDomain("d", {"s0"});
+  FaultWindow window = Window("d", 0, 1000, FaultEffect::kFlap);
+  window.flap_period_ms = 100;
+  window.flap_down_fraction = 0.5;
+  schedule.AddWindow(window);
+
+  ScheduledFaultWrapper w = MakeWrapped(&schedule);
+  auto up = [&](double now) {
+    schedule.AdvanceTo(now);
+    return w.Execute(*algebra::Scan("T")).ok();
+  };
+  // Down for the leading half of every period, up for the rest.
+  EXPECT_FALSE(up(10));
+  EXPECT_FALSE(up(49));
+  EXPECT_TRUE(up(50));
+  EXPECT_TRUE(up(99));
+  EXPECT_FALSE(up(110));  // next period, down again
+  EXPECT_TRUE(up(160));
+  EXPECT_TRUE(up(1010));  // window over: always up
+}
+
+TEST(FaultScheduleTest, LatencyStormScalesTimeNotTuples) {
+  FaultSchedule schedule;
+  schedule.DefineDomain("wan", {"s0"});
+  FaultWindow window = Window("wan", 0, 100, FaultEffect::kLatencyStorm);
+  window.storm_factor = 3;
+  window.storm_added_ms = 7;
+  schedule.AddWindow(window);
+  schedule.AdvanceTo(10);
+
+  ScheduledFaultWrapper w = MakeWrapped(&schedule);
+  auto r = w.Execute(*algebra::Scan("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->total_ms, 10 * 3 + 7);
+  EXPECT_DOUBLE_EQ(r->first_tuple_ms, 5 * 3 + 7);
+  EXPECT_EQ(r->tuples.size(), 8u);  // payload untouched
+  EXPECT_EQ(w.malformed_responses(), 0);
+}
+
+TEST(FaultScheduleTest, DisabledScheduleInjectsNothing) {
+  FaultSchedule schedule;
+  schedule.DefineDomain("d", {"s0"});
+  schedule.AddWindow(Window("d", 0, 100, FaultEffect::kOutage));
+  schedule.AdvanceTo(50);
+  ASSERT_EQ(schedule.ActiveWindows("s0").size(), 1u);
+
+  schedule.set_enabled(false);  // the oracle arm's master switch
+  EXPECT_TRUE(schedule.ActiveWindows("s0").empty());
+  ScheduledFaultWrapper w = MakeWrapped(&schedule);
+  auto r = w.Execute(*algebra::Scan("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tuples.size(), 8u);
+  EXPECT_EQ(w.injected_outages(), 0);
+
+  schedule.set_enabled(true);
+  EXPECT_FALSE(w.Execute(*algebra::Scan("T")).ok());
+}
+
+TEST(FaultScheduleTest, ArityCorruptionBreaksEveryRow) {
+  FaultSchedule schedule;
+  schedule.DefineDomain("liar", {"s0"});
+  FaultWindow window = Window("liar", 0, 100, FaultEffect::kMalform);
+  window.malform_modes = kMalformArity;
+  window.malform_row_probability = 1.0;
+  schedule.AddWindow(window);
+  schedule.AdvanceTo(10);
+
+  ScheduledFaultWrapper w = MakeWrapped(&schedule);
+  auto r = w.Execute(*algebra::Scan("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tuples.size(), 8u);  // arity mode never drops rows
+  for (const storage::Tuple& row : r->tuples) {
+    EXPECT_NE(row.size(), 2u);  // every row gained or lost a column
+  }
+  EXPECT_EQ(w.malformed_responses(), 1);
+  EXPECT_EQ(r->objects_produced, 8);
+}
+
+TEST(FaultScheduleTest, NonFiniteCorruptionPlantsNaNOrInf) {
+  FaultSchedule schedule;
+  schedule.DefineDomain("liar", {"s0"});
+  FaultWindow window = Window("liar", 0, 100, FaultEffect::kMalform);
+  window.malform_modes = kMalformNonFinite;
+  window.malform_row_probability = 1.0;
+  schedule.AddWindow(window);
+  schedule.AdvanceTo(10);
+
+  ScheduledFaultWrapper w = MakeWrapped(&schedule);
+  auto r = w.Execute(*algebra::Scan("T"));
+  ASSERT_TRUE(r.ok());
+  for (const storage::Tuple& row : r->tuples) {
+    ASSERT_EQ(row.size(), 2u);
+    bool poisoned = false;
+    for (const Value& v : row) {
+      if (v.is_double() && !std::isfinite(v.AsDouble())) poisoned = true;
+    }
+    EXPECT_TRUE(poisoned);
+  }
+}
+
+TEST(FaultScheduleTest, TruncationDropsTheTailButKeepsTheCount) {
+  FaultSchedule schedule;
+  schedule.DefineDomain("liar", {"s0"});
+  FaultWindow window = Window("liar", 0, 100, FaultEffect::kMalform);
+  window.malform_modes = kMalformTruncate;
+  window.malform_row_probability = 1.0;
+  schedule.AddWindow(window);
+  schedule.AdvanceTo(10);
+
+  ScheduledFaultWrapper w = MakeWrapped(&schedule);
+  auto r = w.Execute(*algebra::Scan("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tuples.size(), 4u);  // half the stream silently dropped
+  // The declared count keeps the lie on record for the result guard.
+  EXPECT_EQ(r->objects_produced, 8);
+  // Surviving rows are the (uncorrupted) prefix.
+  for (size_t i = 0; i < r->tuples.size(); ++i) {
+    EXPECT_EQ(r->tuples[i][0].AsInt64(), static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(w.malformed_responses(), 1);
+}
+
+TEST(FaultScheduleTest, CorruptionIsDeterministicPerCallIndex) {
+  auto run = [](int calls) {
+    FaultSchedule schedule(0xFEED);
+    schedule.DefineDomain("liar", {"s0"});
+    FaultWindow window = Window("liar", 0, 1000, FaultEffect::kMalform);
+    window.malform_modes = kMalformAll;
+    window.malform_row_probability = 0.5;
+    schedule.AddWindow(window);
+    schedule.AdvanceTo(10);
+    ScheduledFaultWrapper w = MakeWrapped(&schedule);
+    std::string digest;
+    for (int c = 0; c < calls; ++c) {
+      auto r = w.Execute(*algebra::Scan("T"));
+      if (!r.ok()) continue;
+      for (const storage::Tuple& row : r->tuples) {
+        for (const Value& v : row) digest += v.ToString() + ",";
+        digest += ";";
+      }
+      digest += "|";
+    }
+    return digest;
+  };
+  // Same schedule seed, same call sequence: bit-identical corruption --
+  // this is what makes chaos runs replayable.
+  EXPECT_EQ(run(5), run(5));
+  // And the corruption stream is keyed by call index, so a fresh
+  // wrapper replaying fewer calls matches the prefix.
+  const std::string five = run(5);
+  const std::string two = run(2);
+  EXPECT_EQ(five.substr(0, two.size()), two);
+}
+
+TEST(FaultScheduleTest, EffectNamesRender) {
+  EXPECT_STREQ(FaultEffectToString(FaultEffect::kOutage), "outage");
+  EXPECT_STREQ(FaultEffectToString(FaultEffect::kLatencyStorm),
+               "latency-storm");
+  EXPECT_STREQ(FaultEffectToString(FaultEffect::kFlap), "flap");
+  EXPECT_STREQ(FaultEffectToString(FaultEffect::kMalform), "malform");
+}
+
+}  // namespace
+}  // namespace wrapper
+}  // namespace disco

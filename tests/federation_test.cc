@@ -427,6 +427,88 @@ TEST(FederationTest, OpenBreakerShortCircuitsTheScatterPath) {
             1);
 }
 
+TEST(FederationTest, HalfOpenBreakerAdmitsOneProbeAcrossTheScatter) {
+  // Regression: a half-open breaker used to admit *every* scatter
+  // submit of the query as a probe. With single-probe admission, a
+  // query carrying two submits to the half-open source sends exactly
+  // one attempt -- the probe -- and rejects the other at the gate.
+  MediatorOptions opts;
+  opts.fault_tolerance.allow_partial = true;
+  opts.fault_tolerance.retry = RetryPolicy::Standard(1);  // no retries
+  opts.fault_tolerance.federation.threads = 2;
+  opts.breaker.cooldown_ms = 150;
+  Mediator med(opts);
+  ASSERT_TRUE(
+      med.RegisterWrapper(MakeSource("good", "G", 10, FaultProfile{})).ok());
+  ASSERT_TRUE(
+      med.RegisterWrapper(MakeSource("dead", "X", 10, FaultProfile::Dead()))
+          .ok());
+
+  // Three single-attempt failures open the breaker.
+  auto open_plan = algebra::Union(Submit("good", Scan("G")),
+                                  Submit("dead", Scan("X")));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(med.Execute(*open_plan).ok());
+  }
+  ASSERT_EQ(med.health()->Health("dead").state,
+            mediator::BreakerState::kOpen);
+  // Good-only filler queries walk the simulated clock (~100 ms each of
+  // round trips) past the cooldown: the breaker turns half-open.
+  auto filler = Submit("good", Scan("G"));
+  while (med.health()->StateAt("dead", med.sim_now_ms()) ==
+         mediator::BreakerState::kOpen) {
+    ASSERT_TRUE(med.Execute(*filler).ok());
+  }
+  ASSERT_EQ(med.health()->StateAt("dead", med.sim_now_ms()),
+            mediator::BreakerState::kHalfOpen);
+  const int64_t attempts_before =
+      med.metrics()->counter("disco.exec.submit_attempts")->value();
+
+  // One query, two submits to the half-open source.
+  auto probe_plan = algebra::Union(
+      algebra::Union(Submit("good", Scan("G")), Submit("dead", Scan("X"))),
+      Submit("dead", Scan("X")));
+  auto r = med.Execute(*probe_plan);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tuples.size(), 10u);  // both dead branches dropped
+  EXPECT_EQ(r->warnings.size(), 2u);
+  // 1 good + exactly 1 probe -- not one probe per half-open submit.
+  EXPECT_EQ(med.metrics()->counter("disco.exec.submit_attempts")->value(),
+            attempts_before + 2);
+  EXPECT_EQ(med.health()->Health("dead").state,
+            mediator::BreakerState::kOpen);
+}
+
+TEST(FederationTest, HedgeRefusesANonClosedReplica) {
+  // Regression: hedging used to consult only the latency profile, so a
+  // slow primary could hedge onto a replica whose breaker was open --
+  // or half-open, stealing its single probe slot. Hedge candidates must
+  // be closed-breaker sources.
+  MediatorOptions opts;
+  opts.fault_tolerance.federation.hedge = true;
+  opts.breaker.cooldown_ms = 1;  // west turns half-open almost at once
+  HedgeRig rig = MakeHedgeRig(opts);
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(rig.med->Execute(*rig.plan).ok());
+  }
+
+  // West's breaker opens; by the next query it is half-open (1 ms
+  // cooldown), which is still not a hedge-eligible state.
+  for (int i = 0; i < 3; ++i) {
+    rig.med->health()->RecordFailure("west", rig.med->sim_now_ms());
+  }
+  rig.east->SetProfile(FaultProfile::Slow(4000));
+  auto r = rig.med->Execute(*rig.plan);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tuples.size(), 10u);
+  EXPECT_EQ(
+      rig.med->metrics()->counter("disco.mediator.hedges.launched")->value(),
+      0);
+  // No hedge fired: the slow primary was simply awaited.
+  EXPECT_GT(r->measured_ms, 2000) << r->measured_ms;
+}
+
 TEST(FederationTest, SlowAndStuckStreamProfilesAreDeterministic) {
   // The seeded tail-latency generators behind the deadline and hedging
   // experiments reproduce bit-for-bit.

@@ -1,0 +1,246 @@
+// Result guard: schema expectations derived from the catalog, and
+// in-place quarantine of malformed subanswer rows.
+
+#include "mediator/result_guard.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "algebra/operator.h"
+
+namespace disco {
+namespace mediator {
+namespace {
+
+using algebra::AggFunc;
+using algebra::CmpOp;
+using algebra::Scan;
+
+/// Catalog with one collection T(k Long, price Double, name String).
+Catalog MakeCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.RegisterSource("s").ok());
+  EXPECT_TRUE(catalog
+                  .RegisterCollection(
+                      "s",
+                      CollectionSchema("T", {{"k", AttrType::kLong},
+                                             {"price", AttrType::kDouble},
+                                             {"name", AttrType::kString}}),
+                      {})
+                  .ok());
+  return catalog;
+}
+
+storage::Tuple GoodRow(int64_t k) {
+  return {Value(k), Value(2.5), Value("widget")};
+}
+
+sources::ExecutionResult MakeResult(int rows) {
+  sources::ExecutionResult result;
+  result.columns = {"k", "price", "name"};
+  for (int i = 0; i < rows; ++i) result.tuples.push_back(GoodRow(i));
+  result.objects_produced = rows;
+  return result;
+}
+
+TEST(ResultGuardTest, ScanExpectationComesFromTheCatalog) {
+  Catalog catalog = MakeCatalog();
+  GuardExpectation exp = MakeGuardExpectation(*Scan("T"), catalog);
+  ASSERT_TRUE(exp.columns.has_value());
+  ASSERT_EQ(exp.columns->size(), 3u);
+  EXPECT_EQ((*exp.columns)[0].name, "k");
+  EXPECT_EQ(*(*exp.columns)[0].type, ValueType::kInt64);
+  EXPECT_EQ(*(*exp.columns)[1].type, ValueType::kDouble);
+  EXPECT_EQ(*(*exp.columns)[2].type, ValueType::kString);
+  EXPECT_TRUE(exp.truncation_detectable);
+}
+
+TEST(ResultGuardTest, DerivedShapesFollowTheOperators) {
+  Catalog catalog = MakeCatalog();
+  // Project narrows and reorders.
+  GuardExpectation proj = MakeGuardExpectation(
+      *algebra::Project(Scan("T"), {"name", "k"}), catalog);
+  ASSERT_TRUE(proj.columns.has_value());
+  ASSERT_EQ(proj.columns->size(), 2u);
+  EXPECT_EQ((*proj.columns)[0].name, "name");
+  EXPECT_EQ(*(*proj.columns)[0].type, ValueType::kString);
+  EXPECT_EQ(*(*proj.columns)[1].type, ValueType::kInt64);
+  EXPECT_TRUE(proj.truncation_detectable);
+
+  // Select-over-scan keeps the shape and stays truncation-detectable;
+  // a join is neither (it may charge more objects than rows).
+  GuardExpectation sel = MakeGuardExpectation(
+      *algebra::Select(Scan("T"), "k", CmpOp::kGt, Value(int64_t{3})),
+      catalog);
+  EXPECT_TRUE(sel.truncation_detectable);
+  EXPECT_EQ(sel.columns->size(), 3u);
+
+  GuardExpectation join = MakeGuardExpectation(
+      *algebra::Join(Scan("T"), Scan("T"),
+                     algebra::JoinPredicate{"k", "k"}),
+      catalog);
+  ASSERT_TRUE(join.columns.has_value());
+  EXPECT_EQ(join.columns->size(), 6u);
+  EXPECT_FALSE(join.truncation_detectable);
+
+  // Count aggregates pin the agg column to Int64; dedup is exempt from
+  // truncation detection.
+  GuardExpectation agg = MakeGuardExpectation(
+      *algebra::Aggregate(Scan("T"), AggFunc::kCount, ""), catalog);
+  ASSERT_TRUE(agg.columns.has_value());
+  EXPECT_EQ(*agg.columns->back().type, ValueType::kInt64);
+  EXPECT_FALSE(agg.truncation_detectable);
+  EXPECT_FALSE(MakeGuardExpectation(*algebra::Dedup(Scan("T")), catalog)
+                   .truncation_detectable);
+}
+
+TEST(ResultGuardTest, UnknownCollectionYieldsNoSchema) {
+  Catalog catalog = MakeCatalog();
+  GuardExpectation exp = MakeGuardExpectation(*Scan("Mystery"), catalog);
+  EXPECT_FALSE(exp.columns.has_value());
+  // Still detects truncation (a scan's declared count must match) and
+  // still finiteness-checks against the answer's own arity.
+  EXPECT_TRUE(exp.truncation_detectable);
+}
+
+TEST(ResultGuardTest, WellFormedBatchPassesUntouched) {
+  Catalog catalog = MakeCatalog();
+  GuardExpectation exp = MakeGuardExpectation(*Scan("T"), catalog);
+  sources::ExecutionResult result = MakeResult(5);
+  GuardReport rep = ValidateSubanswer(exp, &result);
+  EXPECT_FALSE(rep.any());
+  EXPECT_EQ(rep.rows_checked, 5);
+  EXPECT_EQ(rep.rows_quarantined, 0);
+  // Regression: a clean batch must keep its rows *with their values* --
+  // not moved-from husks.
+  ASSERT_EQ(result.tuples.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(result.tuples[i].size(), 3u);
+    EXPECT_EQ(result.tuples[i][0].AsInt64(), i);
+    EXPECT_DOUBLE_EQ(result.tuples[i][1].AsDouble(), 2.5);
+    EXPECT_EQ(result.tuples[i][2].AsString(), "widget");
+  }
+  EXPECT_EQ(rep.Message(), "result guard: well-formed");
+}
+
+TEST(ResultGuardTest, MalformedRowsAreQuarantinedInPlace) {
+  Catalog catalog = MakeCatalog();
+  GuardExpectation exp = MakeGuardExpectation(*Scan("T"), catalog);
+  sources::ExecutionResult result = MakeResult(2);
+  result.tuples.push_back({Value(int64_t{7}), Value(2.5)});  // arity 2
+  result.tuples.push_back(
+      {Value("oops"), Value(2.5), Value("widget")});  // k is a string
+  result.tuples.push_back(
+      {Value(int64_t{8}), Value(std::numeric_limits<double>::quiet_NaN()),
+       Value("widget")});  // non-finite price
+  result.tuples.push_back(GoodRow(9));
+  result.objects_produced = 6;
+
+  GuardReport rep = ValidateSubanswer(exp, &result);
+  EXPECT_TRUE(rep.any());
+  EXPECT_EQ(rep.rows_checked, 6);
+  EXPECT_EQ(rep.rows_quarantined, 3);
+  EXPECT_EQ(rep.arity_mismatches, 1);
+  EXPECT_EQ(rep.type_mismatches, 1);
+  EXPECT_EQ(rep.non_finite_values, 1);
+  EXPECT_FALSE(rep.truncated);  // all declared rows were delivered
+  // Survivors keep their order and values.
+  ASSERT_EQ(result.tuples.size(), 3u);
+  EXPECT_EQ(result.tuples[0][0].AsInt64(), 0);
+  EXPECT_EQ(result.tuples[1][0].AsInt64(), 1);
+  EXPECT_EQ(result.tuples[2][0].AsInt64(), 9);
+  // Message names each offense class.
+  const std::string msg = rep.Message();
+  EXPECT_NE(msg.find("quarantined 3/6 rows"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("arity 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("type 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("non-finite 1"), std::string::npos) << msg;
+}
+
+TEST(ResultGuardTest, NullsPassTypeChecksAndInfinityDoesNot) {
+  Catalog catalog = MakeCatalog();
+  GuardExpectation exp = MakeGuardExpectation(*Scan("T"), catalog);
+  sources::ExecutionResult result;
+  result.tuples.push_back({Value(int64_t{1}), Value(), Value("x")});
+  result.tuples.push_back(
+      {Value(int64_t{2}), Value(std::numeric_limits<double>::infinity()),
+       Value("y")});
+  result.objects_produced = 2;
+  GuardReport rep = ValidateSubanswer(exp, &result);
+  EXPECT_EQ(rep.rows_quarantined, 1);
+  EXPECT_EQ(rep.non_finite_values, 1);
+  ASSERT_EQ(result.tuples.size(), 1u);
+  EXPECT_EQ(result.tuples[0][0].AsInt64(), 1);  // the null row survived
+}
+
+TEST(ResultGuardTest, TruncationFlaggedOnlyWhereDetectable) {
+  Catalog catalog = MakeCatalog();
+  // Scan: 8 declared, 4 delivered -> truncated stream.
+  GuardExpectation scan_exp = MakeGuardExpectation(*Scan("T"), catalog);
+  sources::ExecutionResult result = MakeResult(4);
+  result.objects_produced = 8;
+  GuardReport rep = ValidateSubanswer(scan_exp, &result);
+  EXPECT_TRUE(rep.truncated);
+  EXPECT_TRUE(rep.any());
+  EXPECT_EQ(rep.declared_rows, 8);
+  EXPECT_EQ(rep.delivered_rows, 4);
+  EXPECT_EQ(result.tuples.size(), 4u);  // surviving rows still flow
+  EXPECT_NE(rep.Message().find("truncated stream (8 declared, 4 delivered)"),
+            std::string::npos)
+      << rep.Message();
+
+  // Aggregate: charging more objects than final rows is legitimate.
+  GuardExpectation agg_exp = MakeGuardExpectation(
+      *algebra::Aggregate(Scan("T"), AggFunc::kCount, ""), catalog);
+  sources::ExecutionResult agg;
+  agg.tuples.push_back({Value(int64_t{4})});
+  agg.objects_produced = 9;
+  EXPECT_FALSE(ValidateSubanswer(agg_exp, &agg).truncated);
+}
+
+TEST(ResultGuardTest, NoSchemaFallsBackToTheAnswersOwnArity) {
+  Catalog catalog = MakeCatalog();
+  GuardExpectation exp = MakeGuardExpectation(*Scan("Mystery"), catalog);
+  ASSERT_FALSE(exp.columns.has_value());
+  sources::ExecutionResult result;
+  result.columns = {"a", "b"};
+  result.tuples.push_back({Value(int64_t{1}), Value(int64_t{2})});
+  result.tuples.push_back({Value(int64_t{3})});  // short row
+  result.objects_produced = 2;
+  GuardReport rep = ValidateSubanswer(exp, &result);
+  EXPECT_EQ(rep.arity_mismatches, 1);
+  EXPECT_EQ(rep.rows_quarantined, 1);
+  ASSERT_EQ(result.tuples.size(), 1u);
+  EXPECT_EQ(result.tuples[0][1].AsInt64(), 2);
+}
+
+TEST(ResultGuardTest, StatsAbsorbRollsUpReports) {
+  GuardStats stats;
+  GuardReport clean;
+  clean.rows_checked = 5;
+  stats.Absorb(clean);
+
+  GuardReport bad;
+  bad.rows_checked = 4;
+  bad.rows_quarantined = 2;
+  bad.arity_mismatches = 2;
+  stats.Absorb(bad);
+
+  GuardReport truncated;
+  truncated.truncated = true;
+  truncated.declared_rows = 10;
+  truncated.delivered_rows = 5;
+  stats.Absorb(truncated);
+
+  EXPECT_EQ(stats.batches_checked, 3);
+  EXPECT_EQ(stats.malformed_batches, 2);
+  EXPECT_EQ(stats.rows_quarantined, 2);
+  EXPECT_EQ(stats.truncated_streams, 1);
+}
+
+}  // namespace
+}  // namespace mediator
+}  // namespace disco

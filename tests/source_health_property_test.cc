@@ -1,0 +1,210 @@
+// Property test for the circuit-breaker state machine: seed-swept
+// randomized submit/outcome sequences, with every observable invariant
+// checked after every operation.
+//
+// The documented machine (src/mediator/source_health.h):
+//
+//        K consecutive failures          cooldown elapses
+//   closed ----------------------> open -----------------> half-open
+//     ^                             ^                          |
+//     |        probe succeeds       |      probe fails         |
+//     +-----------------------------+--------------------------+
+//
+// plus the two refinements: flap damping (failed probes double the
+// effective cooldown, capped) and lying sources (consecutive malformed
+// batches trip the breaker like failures do). The driver only records
+// outcomes for submits the gate admitted -- like the executor does --
+// and sometimes loses a probe on purpose to exercise the forfeit path.
+
+#include <cstdint>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mediator/source_health.h"
+
+namespace disco {
+namespace mediator {
+namespace {
+
+/// One legal-transition check: `from` -> `to` under operation `op`.
+void ExpectLegalTransition(BreakerState from, BreakerState to,
+                           const char* op, uint64_t seed, int step) {
+  bool legal = false;
+  if (from == to) {
+    legal = true;  // every operation may leave the state alone
+  } else if (from == BreakerState::kClosed && to == BreakerState::kOpen) {
+    legal = true;  // failure / malformed threshold reached
+  } else if (from == BreakerState::kOpen &&
+             to == BreakerState::kHalfOpen) {
+    legal = true;  // cooldown elapsed, probe admitted
+  } else if (from == BreakerState::kHalfOpen &&
+             to == BreakerState::kOpen) {
+    legal = true;  // probe failed
+  } else if (to == BreakerState::kClosed) {
+    legal = true;  // successful (probe) submit re-closes from anywhere
+  }
+  EXPECT_TRUE(legal) << "seed " << seed << " step " << step << ": " << op
+                     << " moved " << BreakerStateToString(from) << " -> "
+                     << BreakerStateToString(to);
+}
+
+TEST(SourceHealthPropertyTest, RandomizedSequencesKeepEveryInvariant) {
+  SourceHealthOptions options;
+  options.failure_threshold = 3;
+  options.cooldown_ms = 100;
+  options.malformed_threshold = 2;
+  options.max_cooldown_doublings = 3;
+  const double max_cooldown =
+      options.cooldown_ms * (1 << options.max_cooldown_doublings);
+
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed * 0x9E3779B97F4A7C15ULL);
+    SourceHealthRegistry reg(options);
+    const std::string source = "s";
+    double now = 0;
+    SourceHealth prev = reg.Health(source);
+
+    for (int step = 0; step < 300; ++step) {
+      now += rng.NextDouble() * 80;
+      const SourceHealth before = reg.Health(source);
+      const double cooldown = reg.EffectiveCooldownMs(source);
+
+      const bool admitted = reg.AllowSubmit(source, now);
+      {
+        const SourceHealth after = reg.Health(source);
+        ExpectLegalTransition(before.state, after.state, "AllowSubmit",
+                              seed, step);
+        // Rejections are counted, admissions are not.
+        EXPECT_EQ(after.rejected_submits,
+                  before.rejected_submits + (admitted ? 0 : 1));
+        // An open breaker still cooling down must reject.
+        if (before.state == BreakerState::kOpen &&
+            now - before.opened_at_ms < cooldown) {
+          EXPECT_FALSE(admitted)
+              << "seed " << seed << " step " << step
+              << ": submit admitted " << now - before.opened_at_ms
+              << " ms into a " << cooldown << " ms cooldown";
+        }
+        // A half-open breaker with a live probe must reject the racer.
+        if (before.state == BreakerState::kHalfOpen &&
+            before.probe_in_flight &&
+            now - before.probe_started_ms < cooldown) {
+          EXPECT_FALSE(admitted)
+              << "seed " << seed << " step " << step
+              << ": second probe admitted while one is in flight";
+        }
+        // An admission out of open is exactly the half-open probe.
+        if (before.state == BreakerState::kOpen && admitted) {
+          EXPECT_EQ(after.state, BreakerState::kHalfOpen);
+          EXPECT_TRUE(after.probe_in_flight);
+        }
+      }
+
+      if (admitted) {
+        // Resolve the admitted submit -- or, 1 in 8 times, lose it
+        // (cancellation / deadline expiry) to exercise the forfeit.
+        const uint64_t verdict = rng.NextUint64(8);
+        const SourceHealth mid = reg.Health(source);
+        if (verdict == 0) {
+          // lost probe: no outcome recorded
+        } else if (verdict <= 3) {
+          reg.RecordSuccess(source, now);
+          const SourceHealth after = reg.Health(source);
+          ExpectLegalTransition(mid.state, after.state, "RecordSuccess",
+                                seed, step);
+          EXPECT_EQ(after.state, BreakerState::kClosed);
+          EXPECT_EQ(after.consecutive_failures, 0);
+          EXPECT_EQ(after.consecutive_probe_failures, 0);
+          EXPECT_FALSE(after.lying);
+        } else if (verdict <= 5) {
+          reg.RecordFailure(source, now);
+          const SourceHealth after = reg.Health(source);
+          ExpectLegalTransition(mid.state, after.state, "RecordFailure",
+                                seed, step);
+          if (mid.state == BreakerState::kHalfOpen) {
+            EXPECT_EQ(after.state, BreakerState::kOpen);
+            EXPECT_EQ(after.consecutive_probe_failures,
+                      mid.consecutive_probe_failures + 1);
+          }
+        } else {
+          // The transport succeeded but the payload was garbage: the
+          // executor records the success, then the guard's verdict.
+          reg.RecordSuccess(source, now);
+          if (rng.NextUint64(2) == 0) {
+            reg.RecordMalformed(source, now,
+                                1 + static_cast<int64_t>(rng.NextUint64(5)));
+            const SourceHealth after = reg.Health(source);
+            ExpectLegalTransition(BreakerState::kClosed, after.state,
+                                  "RecordMalformed", seed, step);
+            // A malformed batch that reaches the threshold while closed
+            // trips immediately -- no closed state survives the call
+            // with a full streak.
+            if (after.state == BreakerState::kClosed) {
+              EXPECT_LT(after.consecutive_malformed_batches,
+                        options.malformed_threshold);
+            } else {
+              EXPECT_TRUE(after.lying);  // the only trip out of closed here
+            }
+          } else {
+            reg.RecordWellFormed(source, now);
+            EXPECT_EQ(reg.Health(source).consecutive_malformed_batches, 0);
+          }
+        }
+      }
+
+      // Global invariants, checked every step.
+      const SourceHealth h = reg.Health(source);
+      EXPECT_GE(h.total_successes, prev.total_successes);
+      EXPECT_GE(h.total_failures, prev.total_failures);
+      EXPECT_GE(h.rejected_submits, prev.rejected_submits);
+      EXPECT_GE(h.malformed_batches, prev.malformed_batches);
+      EXPECT_GE(h.quarantined_rows, prev.quarantined_rows);
+      EXPECT_GE(h.consecutive_failures, 0);
+      EXPECT_GE(h.consecutive_probe_failures, 0);
+      if (h.state == BreakerState::kClosed) {
+        EXPECT_LT(h.consecutive_failures, options.failure_threshold);
+        // (No such bound for the malformed streak: a successful probe
+        // re-closes the breaker but only a *well-formed* batch resets
+        // the streak -- a re-trusted liar re-trips on its next lie.)
+      }
+      const double effective = reg.EffectiveCooldownMs(source);
+      EXPECT_GE(effective, options.cooldown_ms);
+      EXPECT_LE(effective, max_cooldown);
+      prev = h;
+    }
+  }
+}
+
+TEST(SourceHealthPropertyTest, LyingTripCountsAsAnOpenNotAFailure) {
+  SourceHealthOptions options;
+  options.malformed_threshold = 2;
+  options.cooldown_ms = 100;
+  SourceHealthRegistry reg(options);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const std::string s = "liar" + std::to_string(seed);
+    int batches = 0;
+    while (reg.Health(s).state == BreakerState::kClosed && batches < 50) {
+      const double now = static_cast<double>(++batches);
+      ASSERT_TRUE(reg.AllowSubmit(s, now));
+      reg.RecordSuccess(s, now);
+      if (rng.NextUint64(3) == 0) {
+        reg.RecordWellFormed(s, now);
+      } else {
+        reg.RecordMalformed(s, now, 1);
+      }
+    }
+    const SourceHealth h = reg.Health(s);
+    if (h.state == BreakerState::kOpen) {
+      EXPECT_TRUE(h.lying);
+      EXPECT_EQ(h.total_failures, 0);  // transport never failed
+      EXPECT_GE(h.malformed_batches, options.malformed_threshold);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mediator
+}  // namespace disco

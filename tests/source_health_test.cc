@@ -102,6 +102,98 @@ TEST(SourceHealthTest, StateNamesRender) {
   EXPECT_STREQ(BreakerStateToString(BreakerState::kHalfOpen), "half-open");
 }
 
+TEST(SourceHealthTest, HalfOpenAdmitsExactlyOneProbePerCooldown) {
+  SourceHealthRegistry reg(FastBreaker());
+  for (double t : {10.0, 20.0, 30.0}) reg.RecordFailure("s", t);
+  ASSERT_TRUE(reg.AllowSubmit("s", 1100));  // the probe
+  // Concurrent submits racing the in-flight probe are rejected, not
+  // admitted as extra probes.
+  EXPECT_FALSE(reg.AllowSubmit("s", 1101));
+  EXPECT_FALSE(reg.AllowSubmit("s", 1500));
+  EXPECT_EQ(reg.Health("s").rejected_submits, 2);
+  // ...until the probe resolves: failure re-opens, and only after the
+  // next cooldown is one more probe admitted.
+  reg.RecordFailure("s", 1510);
+  EXPECT_FALSE(reg.AllowSubmit("s", 1600));
+  EXPECT_TRUE(reg.AllowSubmit("s", 2600));
+  EXPECT_FALSE(reg.AllowSubmit("s", 2601));  // again: one per cooldown
+}
+
+TEST(SourceHealthTest, LostProbeForfeitsItsSlotAfterOneCooldown) {
+  SourceHealthRegistry reg(FastBreaker());
+  for (double t : {10.0, 20.0, 30.0}) reg.RecordFailure("s", t);
+  ASSERT_TRUE(reg.AllowSubmit("s", 1100));  // probe admitted...
+  // ...but never resolves (cancelled / deadline-expired submit). The
+  // breaker must not wedge half-open: after a full cooldown with no
+  // verdict the slot is forfeited and a new probe goes through.
+  EXPECT_FALSE(reg.AllowSubmit("s", 2050));
+  EXPECT_TRUE(reg.AllowSubmit("s", 2150));  // 1100 + 1000 elapsed
+  reg.RecordSuccess("s", 2160);
+  EXPECT_EQ(reg.StateAt("s", 2160), BreakerState::kClosed);
+}
+
+TEST(SourceHealthTest, FlapDampingDoublesTheCooldown) {
+  SourceHealthOptions o = FastBreaker();
+  o.max_cooldown_doublings = 2;
+  SourceHealthRegistry reg(o);
+  for (double t : {10.0, 20.0, 30.0}) reg.RecordFailure("s", t);
+  EXPECT_DOUBLE_EQ(reg.EffectiveCooldownMs("s"), 1000);
+  double now = 30;
+  // First failed probe keeps the base cooldown; from the second on it
+  // doubles per failure, capped at 2^max_cooldown_doublings.
+  const double expected[] = {1000, 2000, 4000, 4000, 4000};
+  for (double cooldown : expected) {
+    now = reg.Health("s").opened_at_ms + reg.EffectiveCooldownMs("s");
+    ASSERT_FALSE(reg.AllowSubmit("s", now - 1));
+    ASSERT_TRUE(reg.AllowSubmit("s", now));
+    reg.RecordFailure("s", now + 1);
+    EXPECT_DOUBLE_EQ(reg.EffectiveCooldownMs("s"), cooldown)
+        << "after probe failure at " << now + 1;
+  }
+  EXPECT_EQ(reg.Health("s").consecutive_probe_failures, 5);
+  // A successful probe resets the damping.
+  now = reg.Health("s").opened_at_ms + reg.EffectiveCooldownMs("s");
+  ASSERT_TRUE(reg.AllowSubmit("s", now));
+  reg.RecordSuccess("s", now + 1);
+  EXPECT_EQ(reg.Health("s").consecutive_probe_failures, 0);
+  EXPECT_DOUBLE_EQ(reg.EffectiveCooldownMs("s"), 1000);
+}
+
+TEST(SourceHealthTest, PersistentMalformationOpensAsLyingSource) {
+  SourceHealthRegistry reg(FastBreaker());  // malformed_threshold = 3
+  reg.RecordMalformed("s", 10, 4);
+  reg.RecordMalformed("s", 20, 2);
+  EXPECT_EQ(reg.StateAt("s", 20), BreakerState::kClosed);
+  EXPECT_FALSE(reg.Health("s").lying);
+  reg.RecordMalformed("s", 30, 1);  // third consecutive: trip as lying
+  SourceHealth h = reg.Health("s");
+  EXPECT_EQ(h.state, BreakerState::kOpen);
+  EXPECT_TRUE(h.lying);
+  EXPECT_EQ(h.malformed_batches, 3);
+  EXPECT_EQ(h.quarantined_rows, 7);
+  EXPECT_FALSE(reg.AllowSubmit("s", 40));
+  // The probe that re-closes the breaker clears the lying flag.
+  ASSERT_TRUE(reg.AllowSubmit("s", 1100));
+  reg.RecordSuccess("s", 1110);
+  EXPECT_FALSE(reg.Health("s").lying);
+  EXPECT_EQ(reg.StateAt("s", 1110), BreakerState::kClosed);
+}
+
+TEST(SourceHealthTest, WellFormedBatchResetsTheMalformedStreak) {
+  SourceHealthRegistry reg(FastBreaker());
+  reg.RecordMalformed("s", 10, 1);
+  reg.RecordMalformed("s", 20, 1);
+  reg.RecordWellFormed("s", 30);  // streak broken
+  reg.RecordMalformed("s", 40, 1);
+  reg.RecordMalformed("s", 50, 1);
+  EXPECT_EQ(reg.StateAt("s", 50), BreakerState::kClosed);
+  EXPECT_FALSE(reg.Health("s").lying);
+  EXPECT_EQ(reg.Health("s").malformed_batches, 4);
+  // Unknown sources: RecordWellFormed must not materialize state.
+  reg.RecordWellFormed("ghost", 60);
+  EXPECT_EQ(reg.Health("ghost").total_successes, 0);
+}
+
 }  // namespace
 }  // namespace mediator
 }  // namespace disco

@@ -1,0 +1,75 @@
+// chaos: the deterministic chaos harness CLI (docs/ROBUSTNESS.md).
+//
+// Sweeps every fault scenario over a seed range, checks each run's
+// degradation contracts against a fault-free oracle, and prints one
+// line per run plus the aggregate JSON. Exit 0 when every contract
+// held, 1 otherwise -- so the command doubles as a CI assertion.
+//
+//   ./build/tools/chaos                   # full sweep, default seeds
+//   ./build/tools/chaos --seeds 5         # quicker sweep
+//   ./build/tools/chaos --scenario flap   # one scenario only
+//   ./build/tools/chaos --json            # aggregate JSON only
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_harness.h"
+
+int main(int argc, char** argv) {
+  disco::chaos::ChaosOptions options;
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seeds" && i + 1 < argc) {
+      options.seeds = std::atoi(argv[++i]);
+    } else if (arg == "--queries" && i + 1 < argc) {
+      options.queries_per_run = std::atoi(argv[++i]);
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      options.scenarios.push_back(argv[++i]);
+    } else if (arg == "--json") {
+      json_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seeds N] [--queries N] "
+                   "[--scenario NAME]... [--json]\n",
+                   argv[0]);
+      std::fprintf(stderr, "scenarios:");
+      for (const std::string& s : disco::chaos::AllChaosScenarios()) {
+        std::fprintf(stderr, " %s", s.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+  }
+
+  disco::chaos::ChaosSweepResult sweep =
+      disco::chaos::RunChaosSweep(options);
+
+  if (!json_only) {
+    std::printf("%-20s %6s %6s %6s %8s %8s  %s\n", "scenario", "seed",
+                "avail", "quar", "missing", "warns", "verdict");
+    for (const disco::chaos::ChaosRunResult& r : sweep.results) {
+      std::printf("%-20s %6llu %6.3f %6lld %8lld %8lld  %s\n",
+                  r.scenario.c_str(),
+                  static_cast<unsigned long long>(r.seed), r.availability,
+                  static_cast<long long>(r.quarantined_rows),
+                  static_cast<long long>(r.missing_tuples),
+                  static_cast<long long>(r.warning_count),
+                  r.passed() ? "ok" : "FAIL");
+      for (const std::string& v : r.violations) {
+        std::printf("    ! %s\n", v.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("%s\n", sweep.ToJson().c_str());
+  if (!sweep.all_passed()) {
+    std::fprintf(stderr, "FAIL: %d/%d runs violated a contract\n",
+                 sweep.runs - sweep.passed, sweep.runs);
+    return 1;
+  }
+  return 0;
+}
