@@ -84,6 +84,9 @@ Status Operator::CheckWellFormed() const {
       if (!select_pred.has_value()) {
         return Status::InvalidArgument("select without a predicate");
       }
+      if (select_pred->op == CmpOp::kIn && select_pred->in_values.empty()) {
+        return Status::InvalidArgument("IN select without values");
+      }
       break;
     case OpKind::kProject:
       if (num_children() != 1) return arity_error(1);
@@ -210,6 +213,9 @@ size_t Operator::Hash() const {
     h = HashCombine(h, std::hash<std::string>()(select_pred->attribute));
     h = HashCombine(h, static_cast<size_t>(select_pred->op));
     h = HashCombine(h, select_pred->value.Hash());
+    for (const Value& v : select_pred->in_values) {
+      h = HashCombine(h, v.Hash());
+    }
   }
   if (join_pred.has_value()) {
     h = HashCombine(h, std::hash<std::string>()(join_pred->left_attribute));
@@ -270,6 +276,16 @@ std::unique_ptr<Operator> Select(std::unique_ptr<Operator> input,
                                  Value value) {
   return Select(std::move(input),
                 SelectPredicate{std::move(attribute), cmp, std::move(value)});
+}
+
+std::unique_ptr<Operator> SelectIn(std::unique_ptr<Operator> input,
+                                   std::string attribute,
+                                   std::vector<Value> values) {
+  SelectPredicate pred;
+  pred.attribute = std::move(attribute);
+  pred.op = CmpOp::kIn;
+  pred.in_values = std::move(values);
+  return Select(std::move(input), std::move(pred));
 }
 
 std::unique_ptr<Operator> Project(std::unique_ptr<Operator> input,

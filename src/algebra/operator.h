@@ -120,6 +120,10 @@ std::unique_ptr<Operator> Select(std::unique_ptr<Operator> input,
                                  SelectPredicate pred);
 std::unique_ptr<Operator> Select(std::unique_ptr<Operator> input,
                                  std::string attribute, CmpOp op, Value value);
+/// Disjunctive batch probe: `attribute in (values...)`.
+std::unique_ptr<Operator> SelectIn(std::unique_ptr<Operator> input,
+                                   std::string attribute,
+                                   std::vector<Value> values);
 std::unique_ptr<Operator> Project(std::unique_ptr<Operator> input,
                                   std::vector<std::string> attrs);
 std::unique_ptr<Operator> Sort(std::unique_ptr<Operator> input,

@@ -11,11 +11,15 @@ const char* CmpOpToString(CmpOp op) {
     case CmpOp::kLe: return "<=";
     case CmpOp::kGt: return ">";
     case CmpOp::kGe: return ">=";
+    case CmpOp::kIn: return "in";
   }
   return "?";
 }
 
 Result<bool> EvalCmp(const Value& lhs, CmpOp op, const Value& rhs) {
+  if (op == CmpOp::kIn) {
+    return Status::Internal("kIn is set-valued; use EvalPredicate");
+  }
   DISCO_ASSIGN_OR_RETURN(int c, lhs.Compare(rhs));
   switch (op) {
     case CmpOp::kEq: return c == 0;
@@ -24,6 +28,7 @@ Result<bool> EvalCmp(const Value& lhs, CmpOp op, const Value& rhs) {
     case CmpOp::kLe: return c <= 0;
     case CmpOp::kGt: return c > 0;
     case CmpOp::kGe: return c >= 0;
+    case CmpOp::kIn: break;  // handled above
   }
   return Status::Internal("bad CmpOp");
 }
@@ -36,12 +41,32 @@ CmpOp FlipCmp(CmpOp op) {
     case CmpOp::kLe: return CmpOp::kGe;
     case CmpOp::kGt: return CmpOp::kLt;
     case CmpOp::kGe: return CmpOp::kLe;
+    case CmpOp::kIn: return CmpOp::kIn;
   }
   return op;
 }
 
 std::string SelectPredicate::ToString() const {
+  if (op == CmpOp::kIn) {
+    std::string out = attribute + " in (";
+    for (size_t i = 0; i < in_values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += in_values[i].ToString();
+    }
+    out += ")";
+    return out;
+  }
   return attribute + " " + CmpOpToString(op) + " " + value.ToString();
+}
+
+Result<bool> EvalPredicate(const Value& lhs, const SelectPredicate& pred) {
+  if (pred.op == CmpOp::kIn) {
+    for (const Value& v : pred.in_values) {
+      if (lhs == v) return true;
+    }
+    return false;
+  }
+  return EvalCmp(lhs, pred.op, pred.value);
 }
 
 std::string JoinPredicate::ToString() const {

@@ -10,6 +10,7 @@
 #define DISCO_ALGEBRA_PREDICATE_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/value.h"
@@ -17,28 +18,41 @@
 namespace disco {
 namespace algebra {
 
-/// Comparison operator of a selection predicate.
-enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+/// Comparison operator of a selection predicate. `kIn` is the batched
+/// disjunctive probe predicate (`attribute in (v1, ..., vn)`), used by
+/// the bind-join executor to ship one probe per key batch; its operand
+/// set lives in SelectPredicate::in_values.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe, kIn };
 
 const char* CmpOpToString(CmpOp op);
 
-/// Evaluates `lhs op rhs`; incomparable values yield an error.
+/// Evaluates `lhs op rhs`; incomparable values yield an error. kIn is
+/// set-valued and cannot be evaluated against a single rhs -- use
+/// EvalPredicate for predicates that may carry kIn.
 Result<bool> EvalCmp(const Value& lhs, CmpOp op, const Value& rhs);
 
 /// Mirrors the operator left<->right (a < b  <=>  b > a).
 CmpOp FlipCmp(CmpOp op);
 
-/// A selection predicate: `attribute cmp constant`.
+/// A selection predicate: `attribute cmp constant`, or for kIn
+/// `attribute in (in_values...)`.
 struct SelectPredicate {
   std::string attribute;
   CmpOp op = CmpOp::kEq;
   Value value;
+  /// Operand set of a kIn predicate (ignored for every other op).
+  std::vector<Value> in_values;
 
   std::string ToString() const;
   bool operator==(const SelectPredicate& o) const {
-    return attribute == o.attribute && op == o.op && value == o.value;
+    return attribute == o.attribute && op == o.op && value == o.value &&
+           in_values == o.in_values;
   }
 };
+
+/// Evaluates the full predicate against an attribute value; handles kIn
+/// (membership via typed Value equality) where EvalCmp cannot.
+Result<bool> EvalPredicate(const Value& lhs, const SelectPredicate& pred);
 
 /// An equi-join predicate: `left_attribute = right_attribute`.
 struct JoinPredicate {

@@ -349,13 +349,29 @@ class NodeEstimator : public costlang::EvalContext {
         input >= static_cast<int>(st_->match_ctx.input_provenance.size())) {
       return Status::Internal(StringPrintf("input %d out of range", input));
     }
+    // IN-set predicates are set-valued: estimate per value and sum.
+    const std::vector<Value>* in_values =
+        (op == algebra::CmpOp::kIn && node.select_pred.has_value() &&
+         node.select_pred->op == algebra::CmpOp::kIn)
+            ? &node.select_pred->in_values
+            : nullptr;
+    auto fallback = [&]() {
+      double s = DefaultSelectivity(op);
+      if (in_values != nullptr) {
+        s = std::clamp(s * static_cast<double>(in_values->size()), 0.0, 1.0);
+      }
+      return s;
+    };
     const std::string& prov =
         st_->match_ctx.input_provenance[static_cast<size_t>(input)];
-    if (prov.empty()) return DefaultSelectivity(op);
+    if (prov.empty()) return fallback();
     Result<CatalogEntry> entry = catalog_->Collection(prov);
-    if (!entry.ok()) return DefaultSelectivity(op);
+    if (!entry.ok()) return fallback();
     Result<AttributeStats> astats = entry->stats.Attribute(attribute);
-    if (!astats.ok()) return DefaultSelectivity(op);
+    if (!astats.ok()) return fallback();
+    if (in_values != nullptr) {
+      return EstimateInSelectivity(*astats, *in_values);
+    }
     return EstimateSelectivity(*astats, op, v);
   }
 

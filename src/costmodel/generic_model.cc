@@ -1,5 +1,7 @@
 #include "costmodel/generic_model.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 #include "costlang/compiler.h"
 
@@ -19,10 +21,13 @@ std::string Defines(const CalibrationParams& p) {
       "define MedCmpMs = %.6g;\n"
       "define LatencyMs = %.6g;\n"
       "define NetByteMs = %.6g;\n"
+      "define BindBatch = %d;\n"
+      "define BindPar = %d;\n"
       "define Huge = 1e18;\n",
       p.ms_startup, p.ms_per_io, p.ms_per_object, p.ms_per_cmp,
       p.ms_index_probe, p.page_size, p.ms_med_cmp, p.ms_msg_latency,
-      p.ms_per_net_byte);
+      p.ms_per_net_byte, std::max(1, p.bind_batch_size),
+      std::max(1, p.bind_parallelism));
 }
 
 }  // namespace
@@ -163,12 +168,19 @@ submit(C) {
 }
 
 # ---- bind join (extension, cf. paper §7): the mediator probes the
-# second collection once per distinct outer key ----------------------
+# second collection once per distinct outer key. Keys group into
+# batches of BindBatch (one disjunctive IN probe each) and batches
+# issue in simulated-concurrent waves of BindPar; a wave costs its
+# slowest batch (max-not-sum), so TotalTime scales with Waves, not
+# Probes. BindBatch = BindPar = 1 reproduces the serial per-key cost --
 bindjoin(C1, C2, A1 = A2) {
   Probes      = min(C1.CountObject, max(C1.A1.CountDistinct, 1));
-  PerProbe    = LatencyMs + StartupMs
+  Batches     = ceil(Probes / BindBatch);
+  Waves       = ceil(Batches / BindPar);
+  PerBatch    = LatencyMs + StartupMs
               + if(C2.A2.Indexed,
-                   ProbeMs * log2(max(C2.CountObject, 2)) + IoMs,
+                   BindBatch
+                   * (ProbeMs * log2(max(C2.CountObject, 2)) + IoMs),
                    IoMs * (C2.TotalSize / PageSize)
                    + CmpMs * C2.CountObject);
   CountObject = C1.CountObject * C2.CountObject
@@ -177,7 +189,7 @@ bindjoin(C1, C2, A1 = A2) {
   TotalSize   = CountObject * ObjectSize;
   TimeFirst   = C1.TimeFirst + LatencyMs + StartupMs;
   TimeNext    = ObjMs;
-  TotalTime   = C1.TotalTime + Probes * PerProbe
+  TotalTime   = C1.TotalTime + Waves * PerBatch
               + ObjMs * CountObject
               + NetByteMs * TotalSize;
 }
@@ -282,12 +294,19 @@ submit(C) {
 }
 
 # ---- bind join (extension, cf. paper §7): the mediator probes the
-# second collection once per distinct outer key ----------------------
+# second collection once per distinct outer key. Keys group into
+# batches of BindBatch (one disjunctive IN probe each) and batches
+# issue in simulated-concurrent waves of BindPar; a wave costs its
+# slowest batch (max-not-sum), so TotalTime scales with Waves, not
+# Probes. BindBatch = BindPar = 1 reproduces the serial per-key cost --
 bindjoin(C1, C2, A1 = A2) {
   Probes      = min(C1.CountObject, max(C1.A1.CountDistinct, 1));
-  PerProbe    = LatencyMs + StartupMs
+  Batches     = ceil(Probes / BindBatch);
+  Waves       = ceil(Batches / BindPar);
+  PerBatch    = LatencyMs + StartupMs
               + if(C2.A2.Indexed,
-                   ProbeMs * log2(max(C2.CountObject, 2)) + IoMs,
+                   BindBatch
+                   * (ProbeMs * log2(max(C2.CountObject, 2)) + IoMs),
                    IoMs * (C2.TotalSize / PageSize)
                    + CmpMs * C2.CountObject);
   CountObject = C1.CountObject * C2.CountObject
@@ -296,7 +315,7 @@ bindjoin(C1, C2, A1 = A2) {
   TotalSize   = CountObject * ObjectSize;
   TimeFirst   = C1.TimeFirst + LatencyMs + StartupMs;
   TimeNext    = ObjMs;
-  TotalTime   = C1.TotalTime + Probes * PerProbe
+  TotalTime   = C1.TotalTime + Waves * PerBatch
               + ObjMs * CountObject
               + NetByteMs * TotalSize;
 }

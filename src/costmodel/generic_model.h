@@ -41,6 +41,14 @@ struct CalibrationParams {
   // targets; shipping volume is a real factor in site placement.
   double ms_msg_latency = 50.0;   ///< per submitted subquery round trip
   double ms_per_net_byte = 0.01;  ///< ship one byte mediator-ward
+
+  // Bind-join probe batching, mirroring the executor's
+  // FederationOptions::{bind_batch_size, bind_parallelism} so the
+  // optimizer prices bind joins the way they will actually run: keys
+  // per disjunctive probe, and batches issued per simulated-concurrent
+  // wave (the wave charges max-not-sum).
+  int bind_batch_size = 1;
+  int bind_parallelism = 1;
 };
 
 /// Renders the default-scope rule text (generic model) for `p`.

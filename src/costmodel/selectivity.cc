@@ -8,6 +8,7 @@ namespace costmodel {
 double DefaultSelectivity(algebra::CmpOp op) {
   switch (op) {
     case algebra::CmpOp::kEq:
+    case algebra::CmpOp::kIn:  // per-value; callers scale by the set size
       return 0.1;
     case algebra::CmpOp::kNe:
       return 0.9;
@@ -59,6 +60,8 @@ double EstimateSelectivity(const AttributeStats& stats, algebra::CmpOp op,
                           0.0, 1.0);
       case CmpOp::kGe:
         return std::clamp(1.0 - h.EstimateLt(value), 0.0, 1.0);
+      case CmpOp::kIn:
+        break;  // set-valued: resolved by EstimateInSelectivity
     }
   }
 
@@ -92,8 +95,19 @@ double EstimateSelectivity(const AttributeStats& stats, algebra::CmpOp op,
       if (!pos.has_value()) return DefaultSelectivity(op);
       return 1.0 - *pos;
     }
+    case CmpOp::kIn:
+      break;  // set-valued: resolved by EstimateInSelectivity
   }
   return DefaultSelectivity(op);
+}
+
+double EstimateInSelectivity(const AttributeStats& stats,
+                             const std::vector<Value>& values) {
+  double sum = 0;
+  for (const Value& v : values) {
+    sum += EstimateSelectivity(stats, algebra::CmpOp::kEq, v);
+  }
+  return std::clamp(sum, 0.0, 1.0);
 }
 
 double JoinSelectivity(int64_t count_distinct_left,

@@ -25,6 +25,11 @@ double DefaultSelectivity(algebra::CmpOp op);
 double EstimateSelectivity(const AttributeStats& stats, algebra::CmpOp op,
                            const Value& value);
 
+/// Estimates the fraction of objects satisfying `attr in (values...)`:
+/// the per-value equality estimates summed, clamped to [0, 1].
+double EstimateInSelectivity(const AttributeStats& stats,
+                             const std::vector<Value>& values);
+
 /// Equi-join selectivity from the two attributes' distinct counts. The
 /// paper (Section 2.3) estimates it as
 /// 1 / Min(CountDistinct(A), CountDistinct(B)).

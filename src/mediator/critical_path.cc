@@ -14,16 +14,23 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-/// "Submit(@erp)" / "submit @erp" / "BindJoin(@parts, ...)" -> "erp".
+/// "Submit(@erp)" / "submit @erp" / "bindjoin(@parts.Part, ...)" ->
+/// "erp" / "parts" ('.' separates the source from the collection).
 std::string SourceFromLabel(const std::string& label) {
   const size_t at = label.find('@');
   if (at == std::string::npos) return "";
   size_t end = at + 1;
   while (end < label.size() && label[end] != ')' && label[end] != ',' &&
-         label[end] != ' ') {
+         label[end] != ' ' && label[end] != '.') {
     ++end;
   }
   return label.substr(at + 1, end - at - 1);
+}
+
+/// Is this concurrent node one of the scatter phase's submits (as
+/// opposed to a bind join whose probe waves charged max-not-sum)?
+bool IsScatterSubmitNode(const NodeProfile& n) {
+  return n.label.rfind("submit", 0) == 0;
 }
 
 CriticalSegment MakeSegment(int node_id, std::string label, std::string kind,
@@ -126,11 +133,14 @@ void AppendScatterSegments(const ScatterTimeline& timeline,
 
 /// Ids of the concurrent submit nodes in plan pre-order -- the j-th one
 /// corresponds to the j-th ScatterTimeline event (both are the plan's
-/// submit pre-order).
+/// submit pre-order). Concurrent bind-join nodes are excluded: their
+/// probe waves never enter the scatter timeline.
 std::vector<int> ConcurrentNodeIds(const PlanProfile& profile) {
   std::vector<int> ids;
   for (const NodeProfile& n : profile.nodes) {
-    if (n.measured && n.concurrent) ids.push_back(n.id);
+    if (n.measured && n.concurrent && IsScatterSubmitNode(n)) {
+      ids.push_back(n.id);
+    }
   }
   return ids;
 }
@@ -218,7 +228,10 @@ double ResolveSerial(const PlanProfile& profile, const WhatIfScenario& sc) {
   for (const NodeProfile& n : profile.nodes) {
     if (!n.measured) continue;
     double cpu = n.cpu_ms;
-    double wait = n.concurrent ? 0 : n.wait_ms;
+    // Scatter submits' wait re-solves in ResolveScatter; everything
+    // else -- including a concurrent bind join's max-not-sum probe-wave
+    // charge -- is serial relative to the rest of the plan.
+    double wait = n.concurrent && IsScatterSubmitNode(n) ? 0 : n.wait_ms;
     switch (sc.kind) {
       case WhatIfScenario::Kind::kSourceSpeedup:
         if (wait > 0 &&
@@ -350,6 +363,14 @@ CriticalPath BuildCriticalPath(const PlanProfile& profile,
     }
     if (!n.concurrent && std::abs(n.wait_ms) > kEps) {
       cp.segments.push_back(MakeSegment(n.id, n.label, "wait",
+                                        SourceFromLabel(n.label), n.wait_ms,
+                                        -1));
+    } else if (n.concurrent && !IsScatterSubmitNode(n) &&
+               std::abs(n.wait_ms) > kEps) {
+      // A concurrent bind join: its probe waves charged max-not-sum
+      // onto this node (they are not in the scatter timeline), and the
+      // whole charge blocks the rest of the plan -- on the path.
+      cp.segments.push_back(MakeSegment(n.id, n.label, "probe-wait",
                                         SourceFromLabel(n.label), n.wait_ms,
                                         -1));
     }
@@ -630,7 +651,7 @@ void RecordCritpathMetrics(const CriticalPath& path,
   registry->histogram("disco.critpath.wait_ms")->Record(path.kind_ms("wait"));
   registry->histogram("disco.critpath.scatter_ms")
       ->Record(path.kind_ms("scatter-wait") + path.kind_ms("hedge-wait") +
-               path.kind_ms("stall"));
+               path.kind_ms("probe-wait") + path.kind_ms("stall"));
   const CriticalSegment* top = path.dominant();
   if (top != nullptr && path.measured_ms > kEps) {
     registry->histogram("disco.critpath.dominant_share")

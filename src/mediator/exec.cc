@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "algebra/plan_printer.h"
 #include "common/str_util.h"
@@ -86,6 +87,8 @@ Result<ExecResult> MediatorExecutor::Execute(const Operator& plan) {
   retries_used_ = 0;
   precomputed_bonus_ms_ = 0;
   precomputed_concurrent_ = false;
+  trace_lane_base_ = 0;
+  bind_probe_lane_seq_ = 0;
   // Re-seed so repeated executions of the same plan are bit-identical.
   rng_ = Rng(exec_options_.jitter_seed);
   DISCO_RETURN_NOT_OK(plan.CheckWellFormed());
@@ -331,7 +334,7 @@ Result<sources::ExecutionResult> MediatorExecutor::SubmitToSource(
 
 Result<Rel> MediatorExecutor::EvalBindJoin(const Operator& op) {
   // Fail fast on an unknown wrapper before evaluating the outer side.
-  DISCO_RETURN_NOT_OK(WrapperFor(op.source).status());
+  DISCO_ASSIGN_OR_RETURN(wrapper::Wrapper * w, WrapperFor(op.source));
   if (catalog_ == nullptr) {
     return Status::ExecutionError(
         "bind join needs a catalog for the probed collection's schema");
@@ -349,28 +352,84 @@ Result<Rel> MediatorExecutor::EvalBindJoin(const Operator& op) {
     out.columns.push_back(a.name);
   }
 
-  // One probe per distinct outer key; results cached for reuse.
-  std::map<std::string, std::vector<Tuple>> cache;
-  ChargeCpu(static_cast<double>(left.tuples.size()) * params_.ms_med_cmp);
-  for (const Tuple& lt : left.tuples) {
-    const Value& key = lt[static_cast<size_t>(lcol)];
-    std::string canon = key.ToString();
-    auto it = cache.find(canon);
-    if (it == cache.end()) {
+  // Deduplicate outer keys up front on *typed* Value equality -- the
+  // string rendering would alias or miss numerically equal keys that
+  // render differently (1 vs 1.0). One cache-lookup comparison is
+  // charged per outer tuple.
+  std::vector<Value> keys;                       // first-appearance order
+  std::vector<size_t> key_of(left.tuples.size());
+  {
+    struct KeyHash {
+      size_t operator()(const Value& v) const { return v.Hash(); }
+    };
+    struct KeyEq {
+      bool operator()(const Value& a, const Value& b) const { return a == b; }
+    };
+    std::unordered_map<Value, size_t, KeyHash, KeyEq> index;
+    ChargeCpu(static_cast<double>(left.tuples.size()) * params_.ms_med_cmp);
+    for (size_t i = 0; i < left.tuples.size(); ++i) {
+      const Value& key = left.tuples[i][static_cast<size_t>(lcol)];
+      auto [it, inserted] = index.emplace(key, keys.size());
+      if (inserted) keys.push_back(key);
+      key_of[i] = it->second;
+    }
+  }
+  const int64_t cache_hits = static_cast<int64_t>(left.tuples.size()) -
+                             static_cast<int64_t>(keys.size());
+
+  // Per-key probe answers, indexed like `keys`.
+  std::vector<std::vector<Tuple>> answers(keys.size());
+  const FederationOptions& fed = exec_options_.federation;
+  int64_t probes = 0, batches = 0;
+
+  if (fed.bind_batch_size <= 1 && fed.bind_parallelism <= 1) {
+    // Original serial path, kept byte-identical at the default knobs:
+    // one equality probe per distinct key, in first-appearance order.
+    for (size_t k = 0; k < keys.size(); ++k) {
       std::unique_ptr<Operator> probe = algebra::Select(
           algebra::Scan(op.collection), op.join_pred->right_attribute,
-          algebra::CmpOp::kEq, key);
+          algebra::CmpOp::kEq, keys[k]);
       // Probe failures abort the query even under allow_partial: a
       // missing probe answer would silently change the join result.
       DISCO_ASSIGN_OR_RETURN(sources::ExecutionResult result,
                              SubmitToSource(op.source, *probe));
-      it = cache.emplace(canon, std::move(result.tuples)).first;
+      answers[k] = std::move(result.tuples);
+      ++probes;
+      ++batches;
     }
-    for (const Tuple& rt : it->second) {
+  } else {
+    DISCO_RETURN_NOT_OK(
+        RunBindProbeWaves(op, w, keys, &answers, &probes, &batches));
+  }
+
+  // Merge in outer-tuple order; cache-hit rows pay the same per-row
+  // merge comparison as freshly probed rows.
+  int64_t emitted = 0;
+  for (size_t i = 0; i < left.tuples.size(); ++i) {
+    const Tuple& lt = left.tuples[i];
+    for (const Tuple& rt : answers[key_of[i]]) {
       Tuple joined = lt;
       joined.insert(joined.end(), rt.begin(), rt.end());
       out.tuples.push_back(std::move(joined));
+      ++emitted;
     }
+  }
+  ChargeCpu(static_cast<double>(emitted) * params_.ms_med_cmp);
+
+  if (probes > 0) BumpCounter("disco.exec.bindjoin.probes", probes);
+  if (batches > 0) BumpCounter("disco.exec.bindjoin.batches", batches);
+  if (cache_hits > 0) {
+    BumpCounter("disco.exec.bindjoin.cache_hits", cache_hits);
+  }
+
+  // The wave path charged its probes max-not-sum, like the scatter
+  // phase: mark this node concurrent (with no extra bonus time -- the
+  // waves already charged the clock inside this node's span) so the
+  // profiler keeps its self-wait out of the serial wait total.
+  if ((fed.bind_batch_size > 1 || fed.bind_parallelism > 1) &&
+      !keys.empty()) {
+    precomputed_bonus_ms_ = 0;
+    precomputed_concurrent_ = true;
   }
   return out;
 }
@@ -495,9 +554,8 @@ Result<Rel> MediatorExecutor::EvalNode(const Operator& op) {
       out.columns = rel.columns;
       for (Tuple& t : rel.tuples) {
         DISCO_ASSIGN_OR_RETURN(
-            bool keep, algebra::EvalCmp(t[static_cast<size_t>(col)],
-                                        op.select_pred->op,
-                                        op.select_pred->value));
+            bool keep, algebra::EvalPredicate(t[static_cast<size_t>(col)],
+                                              *op.select_pred));
         if (keep) out.tuples.push_back(std::move(t));
       }
       return out;
@@ -907,6 +965,368 @@ TaskOutcome RunScatterSubmit(wrapper::Wrapper* w, const std::string& source,
 
 }  // namespace
 
+Status MediatorExecutor::RunBindProbeWaves(
+    const Operator& op, wrapper::Wrapper* w, const std::vector<Value>& keys,
+    std::vector<std::vector<Tuple>>* answers, int64_t* probes,
+    int64_t* batches) {
+  const FederationOptions& fed = exec_options_.federation;
+  const RetryPolicy& retry = exec_options_.retry;
+  const double kInf = std::numeric_limits<double>::infinity();
+  const int batch_size = std::max(1, fed.bind_batch_size);
+  const int parallelism = std::max(1, fed.bind_parallelism);
+  const std::string key = ToLower(op.source);
+  const std::string& right_attr = op.join_pred->right_attribute;
+  // Capability gate: wrappers without in_select get each batch
+  // decomposed into per-key equality selects (still one probe lane).
+  const bool in_capable = w->ExportCapabilities().in_select;
+  const bool guard_on = exec_options_.guard_responses;
+
+  // ---- deterministic fixed-size batches over the distinct keys --------
+  struct Batch {
+    std::vector<size_t> key_slots;  ///< indices into `keys`
+    std::vector<std::unique_ptr<Operator>> subplans;  ///< 1 (IN) or per-key
+    std::vector<GuardExpectation> guards;
+  };
+  std::vector<Batch> all;
+  for (size_t start = 0; start < keys.size();
+       start += static_cast<size_t>(batch_size)) {
+    Batch b;
+    const size_t end =
+        std::min(keys.size(), start + static_cast<size_t>(batch_size));
+    for (size_t k = start; k < end; ++k) b.key_slots.push_back(k);
+    if (in_capable && b.key_slots.size() > 1) {
+      std::vector<Value> vals;
+      vals.reserve(b.key_slots.size());
+      for (size_t k : b.key_slots) vals.push_back(keys[k]);
+      b.subplans.push_back(algebra::SelectIn(algebra::Scan(op.collection),
+                                             right_attr, std::move(vals)));
+    } else {
+      for (size_t k : b.key_slots) {
+        b.subplans.push_back(algebra::Select(algebra::Scan(op.collection),
+                                             right_attr, algebra::CmpOp::kEq,
+                                             keys[k]));
+      }
+    }
+    if (guard_on) {
+      for (const auto& p : b.subplans) {
+        b.guards.push_back(MakeGuardExpectation(*p, *catalog_));
+      }
+    }
+    all.push_back(std::move(b));
+  }
+  *batches = static_cast<int64_t>(all.size());
+
+  const int lane_base = 1 + trace_lane_base_;
+  int lanes_named = 0;
+  const bool budgeted = retry.query_retry_budget > 0;
+  int64_t waves = 0;
+
+  size_t next = 0;
+  while (next < all.size()) {
+    // Per-query deadline: a wave never starts past the budget, and one
+    // that runs past it aborts the whole bind join (below) -- never a
+    // partial join.
+    if (fed.deadline_ms > 0 && elapsed_ms_ >= fed.deadline_ms) {
+      BumpCounter("disco.exec.bindjoin.deadline_aborts");
+      const std::string msg = StringPrintf(
+          "query deadline (%.1f ms) expired before bind-join probe wave",
+          fed.deadline_ms);
+      last_failure_ = ExecWarning{key, msg, 0, BreakerStateNow(key)};
+      return Status::Unavailable("source '" + key + "': " + msg);
+    }
+    // Breaker single-probe rule: a breaker that is not fully closed
+    // admits at most one probe per cooldown, so the wave collapses to a
+    // single lane instead of racing several admissions at once.
+    int width = parallelism;
+    if (health_ != nullptr &&
+        health_->StateAt(key, Now()) != BreakerState::kClosed) {
+      width = 1;
+    }
+    const size_t wave_begin = next;
+    const size_t wave_end =
+        std::min(all.size(), wave_begin + static_cast<size_t>(width));
+    next = wave_end;
+    ++waves;
+
+    // ---- run the wave's lanes -----------------------------------------
+    // Every probe targets the one probed wrapper, which is not
+    // thread-safe (same-wrapper submits stay serial on the scatter path
+    // for the same reason), so lanes execute serially in batch order.
+    // Concurrency is simulated: each lane starts at the wave epoch on
+    // its own relative clock, and the wave charges max-not-sum.
+    const double wave_start_ms = elapsed_ms_;
+    const double wave_trace_ms = trace_ != nullptr ? trace_->now_ms() : 0;
+    const double wave_abs_ms = Now();
+    struct Lane {
+      double clock_rel = 0;
+      std::vector<TaskOutcome> outcomes;  ///< one per batch subplan
+      int failed = -1;  ///< index of the failing subplan (-1 = none)
+      int retries = 0;
+      std::unique_ptr<SourceHealthRegistry> health;
+    };
+    std::vector<Lane> lanes(wave_end - wave_begin);
+    for (size_t li = 0; li < lanes.size(); ++li) {
+      Lane& lane = lanes[li];
+      Batch& b = all[wave_begin + li];
+      if (health_ != nullptr) {
+        lane.health =
+            std::make_unique<SourceHealthRegistry>(health_->options());
+        lane.health->Adopt(key, health_->Health(key));
+      }
+      // Probe-lane RNG stream, disjoint from the scatter/hedge streams.
+      Rng rng(exec_options_.jitter_seed ^
+              (0xC2B2AE3D27D4EB4FULL * (++bind_probe_lane_seq_)));
+      int budget_remaining =
+          budgeted ? std::max(0, retry.query_retry_budget - retries_used_)
+                   : std::numeric_limits<int>::max();
+      for (size_t pi = 0; pi < b.subplans.size(); ++pi) {
+        TaskOutcome o = RunScatterSubmit(
+            w, op.source, key, *b.subplans[pi], params_, retry,
+            lane.health.get(), &rng, &lane.clock_rel, wave_abs_ms,
+            &budget_remaining, /*max_attempts_override=*/0,
+            guard_on ? &b.guards[pi] : nullptr);
+        lane.retries += o.retries;
+        const bool failed = !o.status.ok();
+        lane.outcomes.push_back(std::move(o));
+        if (failed) {
+          lane.failed = static_cast<int>(pi);
+          break;  // the rest of this lane's keys are moot: the join aborts
+        }
+      }
+    }
+
+    // ---- resolve the wave: earliest failure clips its siblings --------
+    double fatal_rel = kInf;
+    int fatal_lane = -1;
+    for (size_t li = 0; li < lanes.size(); ++li) {
+      if (lanes[li].failed < 0) continue;
+      if (lanes[li].clock_rel < fatal_rel) {
+        fatal_rel = lanes[li].clock_rel;
+        fatal_lane = static_cast<int>(li);
+      }
+    }
+    double span = 0;
+    for (const Lane& lane : lanes) {
+      span = std::max(span, std::min(lane.clock_rel, fatal_rel));
+    }
+    // Deadline clipping: the wave stops charging at the budget and the
+    // join aborts; work past the deadline (answers, health events) is
+    // abandoned exactly like an expired scatter submit.
+    bool deadline_hit = false;
+    double cut = fatal_rel;
+    if (fed.deadline_ms > 0 && wave_start_ms + span > fed.deadline_ms) {
+      deadline_hit = true;
+      span = std::max(0.0, fed.deadline_ms - wave_start_ms);
+      cut = span;
+    }
+    ChargeWait(span);
+    scatter_charged_ms_ += span;
+
+    // Shared-registry replay in global timestamp order (stable on ties:
+    // lane order), clipped at the cancellation/deadline cut.
+    if (health_ != nullptr) {
+      struct Replay {
+        double at_rel;
+        HealthEvent::Kind kind;
+        int64_t rows;
+      };
+      std::vector<Replay> replays;
+      for (size_t li = 0; li < lanes.size(); ++li) {
+        double lane_cut = cut;
+        if (!deadline_hit && static_cast<int>(li) == fatal_lane) {
+          lane_cut = kInf;  // the fatal lane's own events all happened
+        }
+        for (const TaskOutcome& o : lanes[li].outcomes) {
+          for (const HealthEvent& ev : o.events) {
+            if (ev.at_rel_ms <= lane_cut) {
+              replays.push_back({ev.at_rel_ms, ev.kind, ev.rows});
+            }
+          }
+        }
+      }
+      std::stable_sort(replays.begin(), replays.end(),
+                       [](const Replay& a, const Replay& b) {
+                         return a.at_rel < b.at_rel;
+                       });
+      for (const Replay& r : replays) {
+        const double at = wave_abs_ms + r.at_rel;
+        switch (r.kind) {
+          case HealthEvent::kSuccess:
+            health_->RecordSuccess(key, at);
+            break;
+          case HealthEvent::kFailure:
+            health_->RecordFailure(key, at);
+            break;
+          case HealthEvent::kRejected:
+          case HealthEvent::kAllowed:
+            (void)health_->AllowSubmit(key, at);
+            break;
+          case HealthEvent::kMalformed:
+            health_->RecordMalformed(key, at, r.rows);
+            break;
+          case HealthEvent::kWellFormed:
+            health_->RecordWellFormed(key, at);
+            break;
+        }
+      }
+    }
+
+    // Reconcile the shared retry budget (optimistic split, like scatter).
+    int64_t wave_submits = 0, wave_attempts = 0, wave_retries = 0;
+    int64_t wave_rejections = 0, wave_budget_exhaustions = 0;
+    for (Lane& lane : lanes) {
+      retries_used_ += lane.retries;
+      for (const TaskOutcome& o : lane.outcomes) {
+        ++wave_submits;
+        wave_attempts += o.attempts;
+        wave_retries += o.retries;
+        wave_rejections += o.rejections;
+        if (o.budget_exhausted) ++wave_budget_exhaustions;
+      }
+    }
+    BumpCounter("disco.exec.bindjoin.waves");
+    BumpCounter("disco.exec.submits", wave_submits);
+    BumpCounter("disco.exec.submit_attempts", wave_attempts);
+    if (wave_retries > 0) {
+      BumpCounter("disco.exec.submit_retries", wave_retries);
+    }
+    if (wave_rejections > 0) {
+      BumpCounter("disco.exec.breaker_rejections", wave_rejections);
+    }
+    if (wave_budget_exhaustions > 0) {
+      BumpCounter("disco.mediator.retry_budget.exhausted",
+                  wave_budget_exhaustions);
+    }
+
+    // ---- commit, lane order (deterministic for any pool size) ---------
+    Status fatal_status;
+    ExecWarning fatal_warning;
+    bool fatal_note = false;
+    for (size_t li = 0; li < lanes.size(); ++li) {
+      Lane& lane = lanes[li];
+      Batch& b = all[wave_begin + li];
+      if (trace_ != nullptr && static_cast<int>(li) >= lanes_named) {
+        trace_->SetLaneName(lane_base + static_cast<int>(li),
+                            "bindjoin @" + key);
+        lanes_named = static_cast<int>(li) + 1;
+      }
+      for (size_t pi = 0; pi < lane.outcomes.size(); ++pi) {
+        TaskOutcome& o = lane.outcomes[pi];
+        const bool is_fatal = static_cast<int>(li) == fatal_lane &&
+                              static_cast<int>(pi) == lane.failed;
+        // A probe is committed only when it finished before the wave's
+        // cut; later answers were cancelled/expired with the wave.
+        const bool committed = o.status.ok() && o.end_rel_ms <= cut;
+        if (trace_ != nullptr) {
+          const double shown_end = std::min(o.end_rel_ms, cut);
+          int sid = trace_->AddCompleteSpan(
+              "probe @" + key, "bindjoin-probe",
+              wave_trace_ms + std::min(o.start_rel_ms, shown_end),
+              wave_trace_ms + shown_end, lane_base + static_cast<int>(li));
+          trace_->AddArg(sid, "batch",
+                         static_cast<int64_t>(wave_begin + li));
+          trace_->AddArg(sid, "keys",
+                         static_cast<int64_t>(b.key_slots.size()));
+          trace_->AddArg(sid, "attempts", int64_t{o.attempts});
+          const char* outcome =
+              committed ? "ok"
+                        : is_fatal && !deadline_hit
+                              ? (o.availability_failure ? "unavailable"
+                                                        : "error")
+                              : deadline_hit ? "deadline-expired"
+                                             : o.status.ok() ? "cancelled"
+                                                             : "unavailable";
+          trace_->AddArg(sid, "outcome", outcome);
+          if (committed) {
+            trace_->AddArg(sid, "rows",
+                           static_cast<int64_t>(o.exec.tuples.size()));
+          }
+        }
+        if (committed) {
+          for (ExecWarning& wmsg : o.warnings) AddWarning(std::move(wmsg));
+          if (o.guard_checked) {
+            ApplyGuardReport(o.guard, key, o.attempts, BreakerStateNow(key),
+                             /*subplan_index=*/-1);
+          }
+          if (metrics_ != nullptr) {
+            metrics_->histogram("disco.submit.ms")
+                ->Record(o.end_rel_ms - o.start_rel_ms);
+            metrics_->histogram("disco.submit.rows")
+                ->Record(static_cast<double>(o.exec.tuples.size()));
+          }
+          if (profile_ != nullptr) {
+            profile_->Observe(key, o.end_rel_ms - o.start_rel_ms);
+          }
+          SubqueryRecord record;
+          record.source = op.source;
+          const Operator& subplan = *b.subplans[pi];
+          record.subplan = subplan.Clone();
+          record.source_ms = o.exec.total_ms;
+          record.attempts = o.attempts;
+          const auto n = static_cast<double>(o.exec.tuples.size());
+          record.measured = costmodel::CostVector::Full(
+              n, static_cast<double>(o.bytes),
+              n > 0 ? static_cast<double>(o.bytes) / n : 0,
+              o.exec.first_tuple_ms,
+              n > 1 ? (o.exec.total_ms - o.exec.first_tuple_ms) / (n - 1)
+                    : 0,
+              o.exec.total_ms);
+          subqueries_.push_back(std::move(record));
+          ++*probes;
+
+          // Distribute the batch answer onto its keys. An IN probe's
+          // rows interleave keys, so each row is matched (typed
+          // equality) against the batch's key set; a per-key probe maps
+          // straight through.
+          if (b.subplans.size() == 1 && b.key_slots.size() > 1) {
+            Rel shape;
+            shape.columns = o.exec.columns;
+            DISCO_ASSIGN_OR_RETURN(int pcol, shape.ColumnIndex(right_attr));
+            ChargeCpu(static_cast<double>(o.exec.tuples.size()) *
+                      params_.ms_med_cmp);
+            for (Tuple& t : o.exec.tuples) {
+              const Value& v = t[static_cast<size_t>(pcol)];
+              for (size_t k : b.key_slots) {
+                if (v == keys[k]) {
+                  (*answers)[k].push_back(std::move(t));
+                  break;
+                }
+              }
+            }
+          } else {
+            (*answers)[b.key_slots[pi]] = std::move(o.exec.tuples);
+          }
+        } else if (is_fatal && !deadline_hit) {
+          BumpCounter("disco.exec.submit_failures");
+          fatal_status = o.status;
+          fatal_warning = o.failure;
+          fatal_note = o.availability_failure;
+        }
+      }
+    }
+
+    if (deadline_hit) {
+      BumpCounter("disco.exec.bindjoin.deadline_aborts");
+      const std::string msg = StringPrintf(
+          "query deadline (%.1f ms) expired with a bind-join probe wave "
+          "in flight",
+          fed.deadline_ms);
+      last_failure_ = ExecWarning{key, msg, 0, BreakerStateNow(key)};
+      return Status::Unavailable("source '" + key + "': " + msg);
+    }
+    if (fatal_lane >= 0) {
+      // Probe failures abort the query even under allow_partial: a
+      // missing probe answer would silently change the join result.
+      if (fatal_note) NoteFailedSource(key);
+      fatal_warning.breaker = BreakerStateNow(key);
+      last_failure_ = fatal_warning;
+      return fatal_status;
+    }
+  }
+  (void)waves;
+  return Status::OK();
+}
+
 void MediatorExecutor::ScatterGather(const Operator& plan) {
   const FederationOptions& fed = exec_options_.federation;
   const RetryPolicy& retry = exec_options_.retry;
@@ -1139,6 +1559,11 @@ void MediatorExecutor::ScatterGather(const Operator& plan) {
       }
     }
   }
+
+  // Bind-join probe lanes (if the plan has a bind join) render above
+  // every scatter and hedge lane this execution used.
+  trace_lane_base_ =
+      static_cast<int>(groups.size() + hedge_groups.size());
 
   // ---- gather: combine, clip to the deadline, propagate cancellation --
   std::vector<int> hedge_for_slot(submits.size(), -1);

@@ -270,6 +270,21 @@ class MediatorExecutor {
   Result<sources::Rel> EvalNode(const algebra::Operator& op);
   Result<sources::Rel> EvalSubmit(const algebra::Operator& op);
   Result<sources::Rel> EvalBindJoin(const algebra::Operator& op);
+  /// Wave engine of the batched bind-join path (bind_batch_size or
+  /// bind_parallelism > 1): partitions the distinct outer keys into
+  /// fixed-size batches, ships each batch as one IN-set probe (or
+  /// per-key selects for wrappers without in_select), and runs
+  /// bind_parallelism batches per simulated-concurrent wave, the clock
+  /// charged max-not-sum per wave. All probes target one wrapper, which
+  /// is not thread-safe, so lanes execute serially in batch order --
+  /// concurrency is simulated, keeping results byte-identical for any
+  /// federation pool size. Fills `answers` (indexed like `keys`) and the
+  /// probe/batch counts. A probe failure or deadline expiry aborts the
+  /// whole bind join -- never a partial join.
+  Status RunBindProbeWaves(const algebra::Operator& op, wrapper::Wrapper* w,
+                           const std::vector<Value>& keys,
+                           std::vector<std::vector<storage::Tuple>>* answers,
+                           int64_t* probes, int64_t* batches);
   /// Breaker gate + retry loop + communication charging + health
   /// reporting + subquery record for one submitted subplan.
   Result<sources::ExecutionResult> SubmitToSource(
@@ -356,6 +371,13 @@ class MediatorExecutor {
   /// True while precomputed_bonus_ms_ refers to a scatter-phase submit
   /// (marks the node's NodeMeasure as concurrent).
   bool precomputed_concurrent_ = false;
+  /// Trace lanes the scatter phase occupied (primary + hedge groups);
+  /// bind-join probe lanes are allocated above this so the two
+  /// concurrent phases never share a lane.
+  int trace_lane_base_ = 0;
+  /// Probe lanes started this execution; seeds each lane's backoff RNG
+  /// stream apart from the scatter/hedge streams.
+  uint64_t bind_probe_lane_seq_ = 0;
 };
 
 }  // namespace mediator

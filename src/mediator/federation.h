@@ -58,8 +58,22 @@ struct FederationOptions {
   /// Floor on the hedge threshold (guards against hedging on noise when
   /// the profile quantile is still tiny). 0 = no floor.
   double hedge_min_ms = 0;
+  /// Bind-join probe batching: distinct outer keys per probe (shipped as
+  /// one disjunctive IN-set select when the wrapper supports it,
+  /// decomposed into per-key selects otherwise). 1 = the original
+  /// one-equality-probe-per-key loop, byte-for-byte.
+  int bind_batch_size = 1;
+  /// Bind-join probe waves: batches issued per simulated-concurrent
+  /// wave. The clock charges max-not-sum per wave; results are merged in
+  /// outer-tuple order, so any value yields identical tuples for any
+  /// federation pool size. 1 = batches run back to back.
+  int bind_parallelism = 1;
 
-  /// Does any knob require the scatter-gather path?
+  /// Does any knob require the scatter-gather path? The bind-join
+  /// batching knobs deliberately stay out: they reshape probes inside
+  /// EvalBindJoin and must not drag static submits onto the scatter
+  /// path (with all other knobs default the serial submit loop must
+  /// stay byte-identical).
   bool active() const { return threads > 1 || deadline_ms > 0 || hedge; }
 };
 
@@ -121,7 +135,8 @@ struct ScatterSubmit {
 };
 
 /// Collects every kSubmit node of `plan` in pre-order (bind-join probes
-/// are dynamic and stay on the serial path). `allow_partial` determines
+/// are dynamic: they batch and wave inside EvalBindJoin instead, see
+/// FederationOptions::bind_batch_size). `allow_partial` determines
 /// droppability.
 std::vector<ScatterSubmit> CollectScatterSubmits(
     const algebra::Operator& plan, bool allow_partial);

@@ -40,6 +40,14 @@ Mediator::Mediator(MediatorOptions options)
                            : nullptr),
       latency_profile_(options_.fault_tolerance.federation.hedge_quantile),
       plan_cache_(options_.plan_cache_capacity) {
+  // The cost model prices bind joins the way the executor will run
+  // them, so the probe-batching knobs mirror the federation options
+  // unconditionally (a calibration override here could only make the
+  // model disagree with execution).
+  options_.calibration.bind_batch_size =
+      options_.fault_tolerance.federation.bind_batch_size;
+  options_.calibration.bind_parallelism =
+      options_.fault_tolerance.federation.bind_parallelism;
   Status s = costmodel::InstallGenericModel(&registry_, options_.calibration);
   DISCO_CHECK(s.ok()) << "generic cost model failed to install: "
                       << s.ToString();

@@ -17,6 +17,10 @@ namespace optimizer {
 
 struct SourceCapabilities {
   bool select = true;
+  /// Can the wrapper evaluate a disjunctive IN-set select (`attr in
+  /// (v1, ..., vn)`) in one probe? When false the bind-join executor
+  /// decomposes each key batch into per-key equality selects.
+  bool in_select = true;
   bool project = true;
   bool join = true;
   bool sort = true;

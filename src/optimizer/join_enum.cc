@@ -60,8 +60,10 @@ void CollectSubmitNodes(const Operator& op,
 /// kResponseTime adjustment: `plan_total` minus the serial sum of the
 /// plan's submit subtree times plus their max -- the price when the
 /// scatter phase overlaps every submit. Identity for plans with fewer
-/// than two submits. Bind-join probes stay serial in the executor, so
-/// their time is untouched (they are not kSubmit nodes).
+/// than two submits. Bind-join probe concurrency needs no adjustment
+/// here: probes are not kSubmit nodes, and the bindjoin cost rule
+/// already prices their batching and waves (Waves * PerBatch) exactly
+/// as the executor runs them.
 Result<double> AdjustForConcurrentSubmits(
     const Operator& plan, double plan_total,
     const costmodel::CostEstimator& estimator,
@@ -310,14 +312,29 @@ class Enumeration {
       opts.memo = memo_;
       opts.memo_delta = &c->delta;
     }
-    // Branch-and-bound cuts on TotalTime, so it only applies to the
-    // TotalTime objective (a plan with a large TotalTime may still have
-    // the best TimeFirst).
-    if (options_.use_pruning && options_.objective == Objective::kTotalTime &&
-        std::isfinite(c->frozen_bound)) {
-      opts.prune_bound = c->frozen_bound;
-    }
+    // Branch-and-bound cuts on TotalTime. Under kTotalTime the bound is
+    // the objective itself. Under kResponseTime the concurrent-submit
+    // adjustment only lowers TotalTime when the plan scatters two or
+    // more submits, so single-submit plans (where adjusted == total)
+    // prune inside the estimator against the frozen bound, while
+    // multi-submit plans estimate in full and are cut post-adjustment.
+    // kTimeFirst never prunes (a plan with a large TotalTime may still
+    // have the best TimeFirst).
     const Operator& target = c->priced != nullptr ? *c->priced : *c->plan;
+    bool post_adjust_cut = false;
+    if (options_.use_pruning && std::isfinite(c->frozen_bound)) {
+      if (options_.objective == Objective::kTotalTime) {
+        opts.prune_bound = c->frozen_bound;
+      } else if (options_.objective == Objective::kResponseTime) {
+        std::vector<const Operator*> submits;
+        CollectSubmitNodes(target, &submits);
+        if (submits.size() < 2) {
+          opts.prune_bound = c->frozen_bound;
+        } else {
+          post_adjust_cut = true;
+        }
+      }
+    }
     Result<costmodel::PlanEstimate> est = estimator_->Estimate(target, opts);
     if (!est.ok()) {
       c->status = est.status();
@@ -340,6 +357,10 @@ class Enumeration {
           return;
         }
         c->cost = *adjusted;
+        if (post_adjust_cut && c->cost >= c->frozen_bound) {
+          c->est.pruned = true;
+          c->cost = kInf;
+        }
         break;
       }
       case Objective::kTotalTime:

@@ -132,9 +132,8 @@ Result<Rel> SourceEngine::Eval(const Operator& op) {
       for (Tuple& t : rel.tuples) {
         env_->clock.Advance(env_->params.ms_per_cmp);
         DISCO_ASSIGN_OR_RETURN(
-            bool keep, algebra::EvalCmp(t[static_cast<size_t>(col)],
-                                        op.select_pred->op,
-                                        op.select_pred->value));
+            bool keep, algebra::EvalPredicate(t[static_cast<size_t>(col)],
+                                              *op.select_pred));
         if (keep) {
           out.tuples.push_back(std::move(t));
           NoteFirstTuple();
@@ -307,8 +306,7 @@ Result<Rel> SourceEngine::EvalAccessPath(
   // Resolve predicate columns up front.
   struct BoundPred {
     int col;
-    CmpOp op;
-    Value value;
+    algebra::SelectPredicate pred;
   };
   std::vector<BoundPred> bound;
   for (const algebra::SelectPredicate& p : preds) {
@@ -324,10 +322,11 @@ Result<Rel> SourceEngine::EvalAccessPath(
       return Status::NotFound("collection '" + table.name() +
                               "' has no attribute '" + p.attribute + "'");
     }
-    bound.push_back(BoundPred{*col, p.op, p.value});
+    bound.push_back(BoundPred{*col, p});
   }
 
-  // Pick an index predicate if allowed: first equality, else first range.
+  // Pick an index predicate if allowed: first equality (or IN set, which
+  // unions per-value equality lookups), else first range.
   int index_pred = -1;
   if (options_.allow_index) {
     for (size_t i = 0; i < preds.size(); ++i) {
@@ -335,7 +334,7 @@ Result<Rel> SourceEngine::EvalAccessPath(
       std::string attr =
           out.columns[static_cast<size_t>(bound[i].col)];
       if (!table.HasIndex(attr)) continue;
-      if (preds[i].op == CmpOp::kEq) {
+      if (preds[i].op == CmpOp::kEq || preds[i].op == CmpOp::kIn) {
         index_pred = static_cast<int>(i);
         break;
       }
@@ -348,8 +347,9 @@ Result<Rel> SourceEngine::EvalAccessPath(
       if (static_cast<int>(i) == skip) continue;
       env_->clock.Advance(env_->params.ms_per_cmp);
       DISCO_ASSIGN_OR_RETURN(
-          bool keep, algebra::EvalCmp(t[static_cast<size_t>(bound[i].col)],
-                                      bound[i].op, bound[i].value));
+          bool keep,
+          algebra::EvalPredicate(t[static_cast<size_t>(bound[i].col)],
+                                 bound[i].pred));
       if (!keep) return false;
     }
     return true;
@@ -360,10 +360,20 @@ Result<Rel> SourceEngine::EvalAccessPath(
     const std::string& attr = out.columns[static_cast<size_t>(ip.col)];
     DISCO_ASSIGN_OR_RETURN(const storage::BTree* index, table.Index(attr));
     std::vector<storage::RID> rids;
-    storage::BTree::Bound b{ip.value, true};
-    switch (ip.op) {
+    storage::BTree::Bound b{ip.pred.value, true};
+    switch (ip.pred.op) {
       case CmpOp::kEq: {
-        DISCO_ASSIGN_OR_RETURN(rids, index->SearchEq(ip.value));
+        DISCO_ASSIGN_OR_RETURN(rids, index->SearchEq(ip.pred.value));
+        break;
+      }
+      case CmpOp::kIn: {
+        // Union of per-value equality lookups, in the deterministic
+        // order of the IN set (the executor ships distinct keys).
+        for (const Value& v : ip.pred.in_values) {
+          DISCO_ASSIGN_OR_RETURN(std::vector<storage::RID> part,
+                                 index->SearchEq(v));
+          rids.insert(rids.end(), part.begin(), part.end());
+        }
         break;
       }
       case CmpOp::kLt:
